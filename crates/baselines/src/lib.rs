@@ -1,0 +1,43 @@
+//! Non-incremental baselines the paper compares against.
+//!
+//! * [`nested_loop`] — compute the distance of every pair (§4.1.4's nested
+//!   loop experiment), with top-`k` and full-sort variants.
+//! * [`nn_semijoin`] — the §4.2.3 alternative semi-join: one nearest
+//!   neighbour search per outer object, then a final sort.
+//! * [`within_join`] — a non-incremental spatial join with a `within`
+//!   predicate (synchronized R-tree traversal with plane sweep, after
+//!   Brinkhoff et al.), followed by sorting the result by distance — the
+//!   §4.1.4 alternative for computing a distance join when a maximum
+//!   distance is known in advance.
+//!
+//! All baselines return results in ascending distance order so their output
+//! is directly comparable with the incremental algorithms'.
+
+mod nested;
+mod nnsemi;
+mod within;
+
+pub use nested::{nested_loop_count, nested_loop_join, nested_loop_topk};
+pub use nnsemi::{nn_semijoin, nn_semijoin_shuffled};
+pub use within::within_join;
+
+use sdj_rtree::ObjectId;
+
+/// A result pair (same shape as the incremental join's results).
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct BaselinePair {
+    /// Object from the first relation.
+    pub oid1: ObjectId,
+    /// Object from the second relation.
+    pub oid2: ObjectId,
+    /// Distance between the objects.
+    pub distance: f64,
+}
+
+pub(crate) fn sort_pairs(pairs: &mut [BaselinePair]) {
+    pairs.sort_by(|a, b| {
+        a.distance
+            .partial_cmp(&b.distance)
+            .expect("distances are never NaN")
+    });
+}

@@ -1,0 +1,202 @@
+//! Criterion microbenches for the substrates, including the ablations
+//! DESIGN.md calls out: pairing heap vs binary heap, hybrid-queue tiering,
+//! plane-sweep vs all-pairs node expansion, and the distance bound
+//! functions.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use std::hint::black_box;
+
+use sdj_core::{DistanceJoin, JoinConfig, QueueBackend, TraversalPolicy};
+use sdj_datagen::{tiger, uniform_points, unit_box};
+use sdj_geom::{Metric, OrdF64, Point, Rect};
+use sdj_pqueue::{BinaryHeapQueue, HybridConfig, HybridQueue, PairingHeap, PriorityQueue};
+use sdj_rtree::{ObjectId, RTree, RTreeConfig};
+
+fn keys(n: usize) -> Vec<f64> {
+    // Deterministic pseudo-random distances.
+    (0..n)
+        .map(|i| ((i as f64) * 0.754_877_666_247).fract() * 100.0)
+        .collect()
+}
+
+fn bench_heaps(c: &mut Criterion) {
+    let ks = keys(10_000);
+    let mut group = c.benchmark_group("pqueue/push_pop_10k");
+    group.bench_function("pairing_heap", |b| {
+        b.iter_batched(
+            PairingHeap::<OrdF64, u64>::new,
+            |mut h| {
+                for (i, k) in ks.iter().enumerate() {
+                    h.push(OrdF64::new(*k), i as u64);
+                }
+                while let Some(x) = h.pop() {
+                    black_box(x);
+                }
+            },
+            BatchSize::SmallInput,
+        );
+    });
+    group.bench_function("binary_heap", |b| {
+        b.iter_batched(
+            BinaryHeapQueue::<OrdF64, u64>::new,
+            |mut h| {
+                for (i, k) in ks.iter().enumerate() {
+                    h.push(OrdF64::new(*k), i as u64);
+                }
+                while let Some(x) = h.pop() {
+                    black_box(x);
+                }
+            },
+            BatchSize::SmallInput,
+        );
+    });
+    group.bench_function("hybrid_dt10", |b| {
+        b.iter_batched(
+            || HybridQueue::<OrdF64, u64>::new(HybridConfig::with_dt(10.0)),
+            |mut h| {
+                for (i, k) in ks.iter().enumerate() {
+                    h.push(OrdF64::new(*k), i as u64);
+                }
+                while let Some(x) = h.pop() {
+                    black_box(x);
+                }
+            },
+            BatchSize::SmallInput,
+        );
+    });
+    group.finish();
+}
+
+fn bench_rtree(c: &mut Criterion) {
+    let pts = uniform_points(5_000, &unit_box(), 42);
+    c.bench_function("rtree/insert_5k", |b| {
+        b.iter(|| {
+            let mut tree = RTree::new(RTreeConfig::default());
+            for (i, p) in pts.iter().enumerate() {
+                tree.insert(ObjectId(i as u64), p.to_rect()).unwrap();
+            }
+            black_box(tree.len())
+        });
+    });
+    c.bench_function("rtree/bulk_load_5k", |b| {
+        b.iter(|| {
+            let items: Vec<_> = pts
+                .iter()
+                .enumerate()
+                .map(|(i, p)| (ObjectId(i as u64), p.to_rect()))
+                .collect();
+            black_box(RTree::bulk_load(RTreeConfig::default(), items).len())
+        });
+    });
+    let tree = {
+        let items: Vec<_> = pts
+            .iter()
+            .enumerate()
+            .map(|(i, p)| (ObjectId(i as u64), p.to_rect()))
+            .collect();
+        RTree::bulk_load(RTreeConfig::default(), items)
+    };
+    c.bench_function("rtree/nn_first", |b| {
+        b.iter(|| {
+            black_box(
+                tree.nearest_neighbors(Point::xy(0.5, 0.5), Metric::Euclidean)
+                    .next(),
+            )
+        });
+    });
+    c.bench_function("rtree/window_1pct", |b| {
+        let w = Rect::new([0.45, 0.45], [0.55, 0.55]);
+        b.iter(|| black_box(tree.query_window(&w).unwrap().len()));
+    });
+}
+
+fn join_env() -> (RTree<2>, RTree<2>) {
+    let water = tiger::water_like(3_000, 5);
+    let roads = tiger::roads_like(12_000, 5);
+    let tw = RTree::bulk_load(
+        RTreeConfig::default(),
+        water
+            .iter()
+            .enumerate()
+            .map(|(i, p)| (ObjectId(i as u64), p.to_rect()))
+            .collect(),
+    );
+    let tr = RTree::bulk_load(
+        RTreeConfig::default(),
+        roads
+            .iter()
+            .enumerate()
+            .map(|(i, p)| (ObjectId(i as u64), p.to_rect()))
+            .collect(),
+    );
+    (tw, tr)
+}
+
+fn bench_join(c: &mut Criterion) {
+    let (tw, tr) = join_env();
+    let mut group = c.benchmark_group("join");
+    group.sample_size(20);
+    group.bench_function("first_pair", |b| {
+        b.iter(|| {
+            black_box(
+                DistanceJoin::new(&tw, &tr, JoinConfig::default())
+                    .next()
+                    .unwrap(),
+            )
+        });
+    });
+    group.bench_function("1k_pairs_even", |b| {
+        b.iter(|| {
+            black_box(
+                DistanceJoin::new(&tw, &tr, JoinConfig::default())
+                    .take(1_000)
+                    .count(),
+            )
+        });
+    });
+    // Ablation: sweep-based Simultaneous expansion under a tight max
+    // distance, against one-node-at-a-time.
+    group.bench_function("1k_pairs_simultaneous_maxdist", |b| {
+        let config = JoinConfig {
+            traversal: TraversalPolicy::Simultaneous,
+            ..JoinConfig::default()
+        }
+        .with_range(0.0, 0.002);
+        b.iter(|| black_box(DistanceJoin::new(&tw, &tr, config).take(1_000).count()));
+    });
+    group.bench_function("1k_pairs_even_maxdist", |b| {
+        let config = JoinConfig::default().with_range(0.0, 0.002);
+        b.iter(|| black_box(DistanceJoin::new(&tw, &tr, config).take(1_000).count()));
+    });
+    group.bench_function("1k_pairs_hybrid_queue", |b| {
+        let config = JoinConfig {
+            queue: QueueBackend::Hybrid(HybridConfig::with_dt(0.01)),
+            ..JoinConfig::default()
+        };
+        b.iter(|| black_box(DistanceJoin::new(&tw, &tr, config).take(1_000).count()));
+    });
+    group.finish();
+}
+
+fn bench_metrics(c: &mut Criterion) {
+    let a = Rect::new([0.1, 0.2], [0.4, 0.5]);
+    let b_ = Rect::new([0.6, 0.1], [0.9, 0.3]);
+    let p = Point::xy(0.05, 0.95);
+    let mut group = c.benchmark_group("metric");
+    group.bench_function("mindist_rect_rect", |bch| {
+        bch.iter(|| black_box(Metric::Euclidean.mindist_rect_rect(&a, &b_)));
+    });
+    group.bench_function("maxdist_rect_rect", |bch| {
+        bch.iter(|| black_box(Metric::Euclidean.maxdist_rect_rect(&a, &b_)));
+    });
+    group.bench_function("minmaxdist_point_rect", |bch| {
+        bch.iter(|| black_box(Metric::Euclidean.minmaxdist_point_rect(&p, &a)));
+    });
+    group.bench_function("minmaxdist_rect_rect", |bch| {
+        bch.iter(|| black_box(Metric::Euclidean.minmaxdist_rect_rect(&a, &b_)));
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_heaps, bench_rtree, bench_join, bench_metrics);
+criterion_main!(benches);

@@ -1,0 +1,188 @@
+//! Ablations beyond the paper's figures (DESIGN.md §6): the estimation
+//! bound family, R*-tree fan-out, buffer size, and the index substrate
+//! (R*-tree vs PR quadtree vs mixed).
+
+use sdj_bench::{fmt_secs, measure, Env, Table};
+use sdj_core::{DistanceJoin, EstimationBound, JoinConfig};
+use sdj_datagen::unit_box;
+use sdj_quadtree::{PrQuadtree, QuadtreeConfig};
+use sdj_rtree::{ObjectId, RTree, RTreeConfig};
+
+fn main() {
+    let env = Env::from_args();
+    let k = 10_000u64.min((env.water.len() * env.roads.len()) as u64);
+
+    // ---------------------------------------------------- estimation bound
+    println!("Ablation A: estimation bound family (K = 1,000)");
+    println!();
+    let mut t = Table::new(&["Variant", "Time (s)", "Max queue", "Dist. calc."]);
+    for (name, bound) in [
+        ("AllPairs (MAXDIST)", EstimationBound::AllPairs),
+        ("ExistsPair (MINMAXDIST)", EstimationBound::ExistsPair),
+    ] {
+        let config = JoinConfig {
+            estimation: bound,
+            ..JoinConfig::default()
+        }
+        .with_max_pairs(1_000);
+        let m = sdj_bench::run_join(&env, false, config, None, 1_000);
+        t.row(&[
+            name.to_string(),
+            fmt_secs(m.seconds),
+            m.stats.max_queue.to_string(),
+            m.stats.distance_calcs.to_string(),
+        ]);
+    }
+    t.print();
+    println!();
+
+    // ------------------------------------------------------------- fan-out
+    println!("Ablation B: R*-tree fan-out ({k} pairs)");
+    println!();
+    let mut t = Table::new(&["Fan-out", "Build (s)", "Join (s)", "Node I/O", "Max queue"]);
+    for fanout in [10usize, 25, 50, 100] {
+        let config = RTreeConfig {
+            page_size: 8192,
+            fanout_cap: Some(fanout),
+            buffer_frames: 128,
+            ..RTreeConfig::default()
+        };
+        let built = measure(|| {
+            let w = RTree::bulk_load(
+                config,
+                env.water
+                    .iter()
+                    .enumerate()
+                    .map(|(i, p)| (ObjectId(i as u64), p.to_rect()))
+                    .collect(),
+            );
+            let r = RTree::bulk_load(
+                config,
+                env.roads
+                    .iter()
+                    .enumerate()
+                    .map(|(i, p)| (ObjectId(i as u64), p.to_rect()))
+                    .collect(),
+            );
+            (sdj_core::JoinStats::default(), (w.len() + r.len()) as u64)
+        });
+        let w = RTree::bulk_load(
+            config,
+            env.water
+                .iter()
+                .enumerate()
+                .map(|(i, p)| (ObjectId(i as u64), p.to_rect()))
+                .collect(),
+        );
+        let r = RTree::bulk_load(
+            config,
+            env.roads
+                .iter()
+                .enumerate()
+                .map(|(i, p)| (ObjectId(i as u64), p.to_rect()))
+                .collect(),
+        );
+        let run = measure(|| {
+            let mut join = DistanceJoin::new(&w, &r, JoinConfig::default());
+            let produced = join.by_ref().take(k as usize).count() as u64;
+            (join.stats(), produced)
+        });
+        t.row(&[
+            fanout.to_string(),
+            fmt_secs(built.seconds),
+            fmt_secs(run.seconds),
+            run.stats.node_io.to_string(),
+            run.stats.max_queue.to_string(),
+        ]);
+    }
+    t.print();
+    println!();
+
+    // ------------------------------------------------------- buffer frames
+    println!("Ablation C: buffer frames per tree ({k} pairs)");
+    println!();
+    let mut t = Table::new(&["Frames", "Join (s)", "Node I/O"]);
+    for frames in [16usize, 64, 128, 512] {
+        let config = RTreeConfig {
+            buffer_frames: frames,
+            ..RTreeConfig::default()
+        };
+        let w = RTree::bulk_load(
+            config,
+            env.water
+                .iter()
+                .enumerate()
+                .map(|(i, p)| (ObjectId(i as u64), p.to_rect()))
+                .collect(),
+        );
+        let r = RTree::bulk_load(
+            config,
+            env.roads
+                .iter()
+                .enumerate()
+                .map(|(i, p)| (ObjectId(i as u64), p.to_rect()))
+                .collect(),
+        );
+        w.reset_io_stats();
+        r.reset_io_stats();
+        let run = measure(|| {
+            let mut join = DistanceJoin::new(&w, &r, JoinConfig::default());
+            let produced = join.by_ref().take(k as usize).count() as u64;
+            (join.stats(), produced)
+        });
+        t.row(&[
+            frames.to_string(),
+            fmt_secs(run.seconds),
+            run.stats.node_io.to_string(),
+        ]);
+    }
+    t.print();
+    println!();
+
+    // ------------------------------------------------------ index substrate
+    println!("Ablation D: index substrate ({k} pairs)");
+    println!();
+    let mut qw = PrQuadtree::new(QuadtreeConfig::new(unit_box()));
+    for (i, p) in env.water.iter().enumerate() {
+        qw.insert(ObjectId(i as u64), *p).expect("in bounds");
+    }
+    let mut qr = PrQuadtree::new(QuadtreeConfig::new(unit_box()));
+    for (i, p) in env.roads.iter().enumerate() {
+        qr.insert(ObjectId(i as u64), *p).expect("in bounds");
+    }
+    let mut t = Table::new(&["Substrate", "Join (s)", "Max queue", "Node accesses"]);
+    let rt = measure(|| {
+        let mut join = DistanceJoin::new(&env.water_tree, &env.roads_tree, JoinConfig::default());
+        let produced = join.by_ref().take(k as usize).count() as u64;
+        (join.stats(), produced)
+    });
+    t.row(&[
+        "R*-tree x R*-tree".into(),
+        fmt_secs(rt.seconds),
+        rt.stats.max_queue.to_string(),
+        rt.stats.node_accesses.to_string(),
+    ]);
+    let qq = measure(|| {
+        let mut join = DistanceJoin::new(&qw, &qr, JoinConfig::default());
+        let produced = join.by_ref().take(k as usize).count() as u64;
+        (join.stats(), produced)
+    });
+    t.row(&[
+        "quadtree x quadtree".into(),
+        fmt_secs(qq.seconds),
+        qq.stats.max_queue.to_string(),
+        qq.stats.node_accesses.to_string(),
+    ]);
+    let mixed = measure(|| {
+        let mut join = DistanceJoin::new(&qw, &env.roads_tree, JoinConfig::default());
+        let produced = join.by_ref().take(k as usize).count() as u64;
+        (join.stats(), produced)
+    });
+    t.row(&[
+        "quadtree x R*-tree".into(),
+        fmt_secs(mixed.seconds),
+        mixed.stats.max_queue.to_string(),
+        mixed.stats.node_accesses.to_string(),
+    ]);
+    t.print();
+}

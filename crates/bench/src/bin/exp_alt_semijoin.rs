@@ -1,0 +1,76 @@
+//! §4.2.3: the complete distance semi-join via the incremental algorithm
+//! ("GlobalAll", its best variant) versus the nearest-neighbour alternative
+//! (one NN search per outer object + final sort), in both join orders.
+//!
+//! The paper reports GlobalAll ≈ 25 s vs NN ≈ 27 s for Water ⋈ Roads and
+//! 102 s vs 141 s for Roads ⋈ Water: the incremental algorithm wins both,
+//! more clearly with the larger outer relation.
+
+use sdj_bench::{fmt_secs, measure, Env, Table};
+use sdj_baselines::{nn_semijoin, nn_semijoin_shuffled};
+use sdj_core::{DmaxStrategy, JoinConfig, JoinStats, SemiConfig, SemiFilter};
+use sdj_geom::Metric;
+
+fn main() {
+    let env = Env::from_args();
+    println!("Section 4.2.3: complete distance semi-join, incremental vs NN-based");
+    println!();
+    let mut table = Table::new(&[
+        "Order",
+        "GlobalAll (s)",
+        "NN leaf-order (s)",
+        "NN random-order (s)",
+        "GlobalAll node I/O",
+        "NN leaf I/O",
+        "NN random I/O",
+        "Results",
+    ]);
+    for (label, swap) in [("Water x Roads", false), ("Roads x Water", true)] {
+        let semi = SemiConfig {
+            filter: SemiFilter::Inside2,
+            dmax: DmaxStrategy::GlobalAll,
+        };
+        let outer = if swap { env.roads.len() } else { env.water.len() } as u64;
+        let inc = sdj_bench::run_join(&env, swap, JoinConfig::default(), Some(semi), outer);
+        assert_eq!(inc.produced, outer);
+
+        env.reset_io();
+        let (t1, t2) = if swap {
+            (&env.roads_tree, &env.water_tree)
+        } else {
+            (&env.water_tree, &env.roads_tree)
+        };
+        let nn = measure(|| {
+            let pairs = nn_semijoin(t1, t2, Metric::Euclidean).expect("simulated disk");
+            (JoinStats::default(), pairs.len() as u64)
+        });
+        assert_eq!(nn.produced, outer);
+        // The paper's times were disk-bound; the buffer-miss counts are the
+        // hardware-independent comparison.
+        let nn_io = t1.io_stats().misses + t2.io_stats().misses;
+
+        // The leaf-order scan gives consecutive NN queries near-perfect
+        // buffer locality; a relation scanned in storage order uncorrelated
+        // with space does not get that.
+        env.reset_io();
+        let nn_rand = measure(|| {
+            let pairs =
+                nn_semijoin_shuffled(t1, t2, Metric::Euclidean, 42).expect("simulated disk");
+            (JoinStats::default(), pairs.len() as u64)
+        });
+        assert_eq!(nn_rand.produced, outer);
+        let nn_rand_io = t1.io_stats().misses + t2.io_stats().misses;
+
+        table.row(&[
+            label.to_string(),
+            fmt_secs(inc.seconds),
+            fmt_secs(nn.seconds),
+            fmt_secs(nn_rand.seconds),
+            inc.stats.node_io.to_string(),
+            nn_io.to_string(),
+            nn_rand_io.to_string(),
+            outer.to_string(),
+        ]);
+    }
+    table.print();
+}

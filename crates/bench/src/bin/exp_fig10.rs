@@ -1,0 +1,83 @@
+//! Figure 10: the effect of an explicit maximum distance ("MaxDist", set to
+//! the distance of semi-join result #1,000 / #10,000 / the last result) and
+//! of the pair-count estimation ("MaxPair" 1,000 / 10,000 / All) on the
+//! distance semi-join, run over the "Local" variant as in the paper.
+
+use sdj_bench::{fmt_secs, semi_distance_at_ranks, sweep_up_to, Env, Table};
+use sdj_core::{DmaxStrategy, JoinConfig, SemiConfig, SemiFilter};
+
+fn local() -> SemiConfig {
+    SemiConfig {
+        filter: SemiFilter::Inside2,
+        dmax: DmaxStrategy::Local,
+    }
+}
+
+fn main() {
+    let env = Env::from_args();
+    let total = env.water.len() as u64;
+    let ranks: Vec<u64> = [1_000u64, 10_000, total]
+        .into_iter()
+        .filter(|r| *r <= total)
+        .collect();
+    eprintln!("# probing semi-join cut-off distances at ranks {ranks:?} ...");
+    let cutoffs = semi_distance_at_ranks(&env, &ranks);
+    for (r, d) in ranks.iter().zip(&cutoffs) {
+        eprintln!("#   distance of semi-join result #{r}: {d:.6}");
+    }
+
+    println!("Figure 10: distance semi-join (Local), Water semi-join Roads");
+    println!();
+    let mut headers: Vec<String> = vec!["Pairs".into(), "Regular".into()];
+    for r in &ranks {
+        headers.push(if *r == total {
+            "MaxDist All".into()
+        } else {
+            format!("MaxDist {r}")
+        });
+    }
+    for r in &ranks {
+        headers.push(if *r == total {
+            "MaxPair All".into()
+        } else {
+            format!("MaxPair {r}")
+        });
+    }
+    let header_refs: Vec<&str> = headers.iter().map(String::as_str).collect();
+    let mut table = Table::new(&header_refs);
+
+    let mut sweep = sweep_up_to(total);
+    if *sweep.last().unwrap_or(&0) != total {
+        sweep.push(total);
+    }
+    for k in sweep {
+        let label = if k == total {
+            format!("{k} (All)")
+        } else {
+            k.to_string()
+        };
+        let mut row = vec![label];
+        let m = sdj_bench::run_join(&env, false, JoinConfig::default(), Some(local()), k);
+        row.push(fmt_secs(m.seconds));
+        for (rank, cutoff) in ranks.iter().zip(&cutoffs) {
+            if k <= *rank {
+                let config = JoinConfig::default().with_range(0.0, *cutoff);
+                let m = sdj_bench::run_join(&env, false, config, Some(local()), k);
+                row.push(fmt_secs(m.seconds));
+            } else {
+                row.push("-".into());
+            }
+        }
+        for bound in &ranks {
+            if k <= *bound {
+                let config = JoinConfig::default().with_max_pairs(*bound);
+                let m = sdj_bench::run_join(&env, false, config, Some(local()), k);
+                row.push(fmt_secs(m.seconds));
+            } else {
+                row.push("-".into());
+            }
+        }
+        table.row(&row);
+    }
+    table.print();
+}

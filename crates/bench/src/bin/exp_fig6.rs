@@ -1,0 +1,56 @@
+//! Figure 6: execution time of the distance join for four algorithm
+//! variants — Even/DepthFirst, Even/BreadthFirst, Basic/DepthFirst and
+//! Simultaneous/DepthFirst — as a function of the number of result pairs.
+
+use sdj_bench::{fmt_secs, sweep_up_to, Env, Table};
+use sdj_core::{JoinConfig, TiePolicy, TraversalPolicy};
+
+fn main() {
+    let env = Env::from_args();
+    let variants: [(&str, TraversalPolicy, TiePolicy); 4] = [
+        ("Even/DepthFirst", TraversalPolicy::Even, TiePolicy::DepthFirst),
+        ("Even/BreadthFirst", TraversalPolicy::Even, TiePolicy::BreadthFirst),
+        ("Basic/DepthFirst", TraversalPolicy::Basic, TiePolicy::DepthFirst),
+        (
+            "Simult/DepthFirst",
+            TraversalPolicy::Simultaneous,
+            TiePolicy::DepthFirst,
+        ),
+    ];
+    println!("Figure 6: execution time (s) by variant, Water x Roads");
+    println!();
+    let mut headers = vec!["Pairs"];
+    headers.extend(variants.iter().map(|(n, _, _)| *n));
+    let mut table = Table::new(&headers);
+    let mut queue_table = Table::new(&headers);
+    let mut calc_table = Table::new(&headers);
+    let max = (env.water.len() * env.roads.len()) as u64;
+    for k in sweep_up_to(max.min(100_000)) {
+        let mut row = vec![k.to_string()];
+        let mut qrow = vec![k.to_string()];
+        let mut crow = vec![k.to_string()];
+        for (_, traversal, tie) in &variants {
+            let config = JoinConfig {
+                traversal: *traversal,
+                tie: *tie,
+                ..JoinConfig::default()
+            };
+            let m = sdj_bench::run_join(&env, false, config, None, k);
+            row.push(fmt_secs(m.seconds));
+            qrow.push(m.stats.max_queue.to_string());
+            crow.push(m.stats.distance_calcs.to_string());
+        }
+        table.row(&row);
+        queue_table.row(&qrow);
+        calc_table.row(&crow);
+    }
+    table.print();
+    println!();
+    println!("Maximum queue size (hardware independent):");
+    println!();
+    queue_table.print();
+    println!();
+    println!("Distance calculations (hardware independent):");
+    println!();
+    calc_table.print();
+}

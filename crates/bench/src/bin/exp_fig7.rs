@@ -1,0 +1,65 @@
+//! Figure 7: the effect of an explicit maximum distance ("MaxDist", set to
+//! the distance of result pair #1,000 / #10,000 / #100,000) and of the
+//! estimated maximum distance from a pair-count bound ("MaxPair" 1,000 and
+//! 10,000) on distance-join execution time.
+
+use sdj_bench::{fmt_secs, join_distance_at_ranks, sweep_up_to, Env, Table};
+use sdj_core::JoinConfig;
+
+fn main() {
+    let env = Env::from_args();
+    let max = ((env.water.len() * env.roads.len()) as u64).min(100_000);
+    let ranks: Vec<u64> = [1_000u64, 10_000, 100_000]
+        .into_iter()
+        .filter(|r| *r <= max)
+        .collect();
+    eprintln!("# probing cut-off distances at ranks {ranks:?} ...");
+    let cutoffs = join_distance_at_ranks(&env, &ranks);
+    for (r, d) in ranks.iter().zip(&cutoffs) {
+        eprintln!("#   distance of pair #{r}: {d:.6}");
+    }
+
+    println!("Figure 7: execution time (s), Water x Roads");
+    println!();
+    let mut headers: Vec<String> = vec!["Pairs".into(), "Regular".into()];
+    headers.extend(ranks.iter().map(|r| format!("MaxDist {r}")));
+    for k in [1_000u64, 10_000] {
+        if k <= max {
+            headers.push(format!("MaxPair {k}"));
+        }
+    }
+    let header_refs: Vec<&str> = headers.iter().map(String::as_str).collect();
+    let mut table = Table::new(&header_refs);
+
+    for k in sweep_up_to(max) {
+        let mut row = vec![k.to_string()];
+        // Regular: no bounds at all.
+        let m = sdj_bench::run_join(&env, false, JoinConfig::default(), None, k);
+        row.push(fmt_secs(m.seconds));
+        // MaxDist variants: explicit maximum distance, valid up to their rank.
+        for (rank, cutoff) in ranks.iter().zip(&cutoffs) {
+            if k <= *rank {
+                let config = JoinConfig::default().with_range(0.0, *cutoff);
+                let m = sdj_bench::run_join(&env, false, config, None, k);
+                row.push(fmt_secs(m.seconds));
+            } else {
+                row.push("-".into());
+            }
+        }
+        // MaxPair variants: estimation from a pair-count bound.
+        for bound in [1_000u64, 10_000] {
+            if bound > max {
+                continue;
+            }
+            if k <= bound {
+                let config = JoinConfig::default().with_max_pairs(bound);
+                let m = sdj_bench::run_join(&env, false, config, None, k);
+                row.push(fmt_secs(m.seconds));
+            } else {
+                row.push("-".into());
+            }
+        }
+        table.row(&row);
+    }
+    table.print();
+}

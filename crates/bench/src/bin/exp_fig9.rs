@@ -1,0 +1,55 @@
+//! Figure 9: execution time of the distance semi-join under the six
+//! filtering / d_max-pruning strategies of §4.2.1 — Outside, Inside1,
+//! Inside2, Local, GlobalNodes, GlobalAll — as a function of the number of
+//! result pairs, including the full semi-join ("All": the nearest road
+//! feature of every water feature).
+
+use sdj_bench::{fmt_secs, sweep_up_to, Env, Table};
+use sdj_core::{DmaxStrategy, JoinConfig, SemiConfig, SemiFilter};
+
+fn main() {
+    let env = Env::from_args();
+    let variants: [(&str, SemiFilter, DmaxStrategy); 6] = [
+        ("Outside", SemiFilter::Outside, DmaxStrategy::None),
+        ("Inside1", SemiFilter::Inside1, DmaxStrategy::None),
+        ("Inside2", SemiFilter::Inside2, DmaxStrategy::None),
+        ("Local", SemiFilter::Inside2, DmaxStrategy::Local),
+        ("GlobalNodes", SemiFilter::Inside2, DmaxStrategy::GlobalNodes),
+        ("GlobalAll", SemiFilter::Inside2, DmaxStrategy::GlobalAll),
+    ];
+    println!("Figure 9: distance semi-join execution time (s), Water semi-join Roads");
+    println!();
+    let mut headers = vec!["Pairs"];
+    headers.extend(variants.iter().map(|(n, _, _)| *n));
+    let mut table = Table::new(&headers);
+    let total = env.water.len() as u64;
+    let mut sweep = sweep_up_to(total.min(100_000));
+    if *sweep.last().unwrap_or(&0) != total {
+        sweep.push(total); // the full semi-join
+    }
+    for k in sweep {
+        let label = if k == total {
+            format!("{k} (All)")
+        } else {
+            k.to_string()
+        };
+        let mut row = vec![label];
+        for (_, filter, dmax) in &variants {
+            // The paper could not run "Outside" past 10,000 pairs ("the
+            // priority queue became too large"); skip it there too.
+            if matches!(filter, SemiFilter::Outside) && k > 10_000 {
+                row.push("-".into());
+                continue;
+            }
+            let semi = SemiConfig {
+                filter: *filter,
+                dmax: *dmax,
+            };
+            let m = sdj_bench::run_join(&env, false, JoinConfig::default(), Some(semi), k);
+            assert_eq!(m.produced, k);
+            row.push(fmt_secs(m.seconds));
+        }
+        table.row(&row);
+    }
+    table.print();
+}

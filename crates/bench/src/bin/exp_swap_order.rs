@@ -1,0 +1,48 @@
+//! §4.1.1 (text): sensitivity to the order of the joined relations. The
+//! distance join is symmetric, and Even traversal performs virtually the
+//! same either way — but the Basic variant, which always expands the first
+//! item of node/node pairs, blows up when the larger relation (Roads) comes
+//! first ("too many pairs were generated for the priority queue").
+
+use sdj_bench::{fmt_secs, sweep_up_to, Env, Table};
+use sdj_core::{JoinConfig, TraversalPolicy};
+
+fn main() {
+    let env = Env::from_args();
+    println!("Order sensitivity: Basic vs Even traversal, both join orders");
+    println!();
+    let mut table = Table::new(&[
+        "Pairs",
+        "Even W x R (s)",
+        "Even R x W (s)",
+        "Basic W x R (s)",
+        "Basic R x W (s)",
+        "Basic R x W queue",
+        "Even R x W queue",
+    ]);
+    let max = ((env.water.len() * env.roads.len()) as u64).min(10_000);
+    for k in sweep_up_to(max) {
+        let even = JoinConfig {
+            traversal: TraversalPolicy::Even,
+            ..JoinConfig::default()
+        };
+        let basic = JoinConfig {
+            traversal: TraversalPolicy::Basic,
+            ..JoinConfig::default()
+        };
+        let ewr = sdj_bench::run_join(&env, false, even, None, k);
+        let erw = sdj_bench::run_join(&env, true, even, None, k);
+        let bwr = sdj_bench::run_join(&env, false, basic, None, k);
+        let brw = sdj_bench::run_join(&env, true, basic, None, k);
+        table.row(&[
+            k.to_string(),
+            fmt_secs(ewr.seconds),
+            fmt_secs(erw.seconds),
+            fmt_secs(bwr.seconds),
+            fmt_secs(brw.seconds),
+            brw.stats.max_queue.to_string(),
+            erw.stats.max_queue.to_string(),
+        ]);
+    }
+    table.print();
+}

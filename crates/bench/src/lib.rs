@@ -1,0 +1,332 @@
+//! Shared plumbing for the experiment binaries that regenerate the paper's
+//! tables and figures (one binary per artefact; see DESIGN.md §3).
+//!
+//! The environment reproduces §3.1: two R*-trees with fan-out 50 over
+//! Water-like and Roads-like point sets sharing one coordinate frame, a
+//! 256-frame buffer split evenly between the trees, Euclidean distances,
+//! and objects stored directly in the leaves. Dataset sizes scale with
+//! `--scale` (or `SDJ_SCALE`); `1.0` reproduces the paper's cardinalities
+//! (37,495 and 200,482).
+
+use std::time::Instant;
+
+use sdj_core::JoinStats;
+use sdj_datagen::tiger;
+use sdj_geom::Point;
+use sdj_rtree::{ObjectId, RTree, RTreeConfig};
+
+/// Paper-like experiment environment.
+pub struct Env {
+    /// Water-like point set (the smaller relation).
+    pub water: Vec<Point<2>>,
+    /// Roads-like point set (the larger relation).
+    pub roads: Vec<Point<2>>,
+    /// R*-tree over `water`.
+    pub water_tree: RTree<2>,
+    /// R*-tree over `roads`.
+    pub roads_tree: RTree<2>,
+    /// The scale factor used.
+    pub scale: f64,
+}
+
+/// The R*-tree configuration of §3.1: fan-out 50, half of a 256-frame
+/// buffer per tree.
+#[must_use]
+pub fn paper_tree_config() -> RTreeConfig {
+    RTreeConfig {
+        buffer_frames: 128,
+        ..RTreeConfig::default()
+    }
+}
+
+/// Builds a tree from points via STR bulk loading (tree construction is not
+/// the quantity under measurement in any experiment).
+#[must_use]
+pub fn build_tree(points: &[Point<2>]) -> RTree<2> {
+    let items: Vec<(ObjectId, _)> = points
+        .iter()
+        .enumerate()
+        .map(|(i, p)| (ObjectId(i as u64), p.to_rect()))
+        .collect();
+    RTree::bulk_load(paper_tree_config(), items)
+}
+
+impl Env {
+    /// Creates the environment at the given scale with a fixed seed.
+    #[must_use]
+    pub fn new(scale: f64, seed: u64) -> Self {
+        assert!(scale > 0.0 && scale <= 1.0, "scale must be in (0, 1]");
+        let n_water = ((tiger::WATER_FULL as f64) * scale).round().max(1.0) as usize;
+        let n_roads = ((tiger::ROADS_FULL as f64) * scale).round().max(1.0) as usize;
+        let water = tiger::water_like(n_water, seed);
+        let roads = tiger::roads_like(n_roads, seed);
+        let water_tree = build_tree(&water);
+        let roads_tree = build_tree(&roads);
+        Self {
+            water,
+            roads,
+            water_tree,
+            roads_tree,
+            scale,
+        }
+    }
+
+    /// Reads scale/seed from the command line (`--scale F`, `--seed N`) and
+    /// the `SDJ_SCALE` environment variable, then builds the environment.
+    #[must_use]
+    pub fn from_args() -> Self {
+        let args = CliArgs::parse();
+        eprintln!(
+            "# building Water/Roads environment at scale {} (seed {}) ...",
+            args.scale, args.seed
+        );
+        let env = Self::new(args.scale, args.seed);
+        eprintln!(
+            "# Water: {} points (tree height {}), Roads: {} points (tree height {})",
+            env.water.len(),
+            env.water_tree.height(),
+            env.roads.len(),
+            env.roads_tree.height()
+        );
+        // Warm up the allocator and buffer pools so the first measured run
+        // is not charged for cold-start effects.
+        let _ = run_join(&env, false, sdj_core::JoinConfig::default(), None, 100);
+        env
+    }
+
+    /// Resets both trees' I/O counters.
+    pub fn reset_io(&self) {
+        self.water_tree.reset_io_stats();
+        self.roads_tree.reset_io_stats();
+    }
+}
+
+/// Minimal CLI parsing shared by the experiment binaries.
+pub struct CliArgs {
+    /// Dataset scale in `(0, 1]`.
+    pub scale: f64,
+    /// Generator seed.
+    pub seed: u64,
+}
+
+impl CliArgs {
+    /// Parses `--scale` / `--seed` from `std::env::args`, with `SDJ_SCALE`
+    /// and `SDJ_SEED` as fallbacks.
+    #[must_use]
+    pub fn parse() -> Self {
+        let mut scale: f64 = std::env::var("SDJ_SCALE")
+            .ok()
+            .and_then(|s| s.parse().ok())
+            .unwrap_or(0.2);
+        let mut seed: u64 = std::env::var("SDJ_SEED")
+            .ok()
+            .and_then(|s| s.parse().ok())
+            .unwrap_or(1998);
+        let args: Vec<String> = std::env::args().collect();
+        let mut i = 1;
+        while i < args.len() {
+            match args[i].as_str() {
+                "--scale" if i + 1 < args.len() => {
+                    scale = args[i + 1].parse().expect("--scale takes a float");
+                    i += 1;
+                }
+                "--seed" if i + 1 < args.len() => {
+                    seed = args[i + 1].parse().expect("--seed takes an integer");
+                    i += 1;
+                }
+                other => panic!("unknown argument {other} (expected --scale F, --seed N)"),
+            }
+            i += 1;
+        }
+        Self { scale, seed }
+    }
+}
+
+/// One measured run.
+#[derive(Clone, Copy, Debug)]
+pub struct Measurement {
+    /// Wall-clock seconds.
+    pub seconds: f64,
+    /// Join counters at the end of the run.
+    pub stats: JoinStats,
+    /// Result pairs actually produced.
+    pub produced: u64,
+}
+
+/// Runs `f`, timing it; `f` returns (stats, produced-count).
+pub fn measure(f: impl FnOnce() -> (JoinStats, u64)) -> Measurement {
+    let start = Instant::now();
+    let (stats, produced) = f();
+    Measurement {
+        seconds: start.elapsed().as_secs_f64(),
+        stats,
+        produced,
+    }
+}
+
+/// Fixed-width table printer for experiment output.
+pub struct Table {
+    headers: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Creates a table with the given column headers.
+    #[must_use]
+    pub fn new(headers: &[&str]) -> Self {
+        Self {
+            headers: headers.iter().map(|h| (*h).to_owned()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends a row (must match the header count).
+    pub fn row(&mut self, cells: &[String]) {
+        assert_eq!(cells.len(), self.headers.len(), "row arity mismatch");
+        self.rows.push(cells.to_vec());
+    }
+
+    /// Renders the table to stdout.
+    pub fn print(&self) {
+        let mut widths: Vec<usize> = self.headers.iter().map(String::len).collect();
+        for row in &self.rows {
+            for (w, cell) in widths.iter_mut().zip(row) {
+                *w = (*w).max(cell.len());
+            }
+        }
+        let line = |cells: &[String]| {
+            let mut out = String::new();
+            for (w, cell) in widths.iter().zip(cells) {
+                out.push_str(&format!("{cell:>w$}  ", w = w));
+            }
+            println!("{}", out.trim_end());
+        };
+        line(&self.headers);
+        println!(
+            "{}",
+            widths
+                .iter()
+                .map(|w| "-".repeat(*w))
+                .collect::<Vec<_>>()
+                .join("--")
+        );
+        for row in &self.rows {
+            line(row);
+        }
+    }
+}
+
+/// Formats seconds with three significant decimals.
+#[must_use]
+pub fn fmt_secs(s: f64) -> String {
+    format!("{s:.3}")
+}
+
+/// Runs a distance join (or semi-join when `semi` is set) over the
+/// environment, consuming up to `take` results. `swap` joins Roads with
+/// Water instead of Water with Roads.
+#[must_use]
+pub fn run_join(
+    env: &Env,
+    swap: bool,
+    config: sdj_core::JoinConfig,
+    semi: Option<sdj_core::SemiConfig>,
+    take: u64,
+) -> Measurement {
+    env.reset_io();
+    let (t1, t2) = if swap {
+        (&env.roads_tree, &env.water_tree)
+    } else {
+        (&env.water_tree, &env.roads_tree)
+    };
+    measure(|| {
+        let mut join = match semi {
+            Some(sc) => sdj_core::DistanceJoin::semi(t1, t2, config, sc),
+            None => sdj_core::DistanceJoin::new(t1, t2, config),
+        };
+        let produced = join.by_ref().take(take as usize).count() as u64;
+        (join.stats(), produced)
+    })
+}
+
+/// Distances of the result pairs at the given 1-based ranks, from one
+/// regular incremental join run (ranks must be ascending).
+#[must_use]
+pub fn join_distance_at_ranks(env: &Env, ranks: &[u64]) -> Vec<f64> {
+    distance_at_ranks(env, ranks, None)
+}
+
+/// Same as [`join_distance_at_ranks`] for the distance semi-join.
+#[must_use]
+pub fn semi_distance_at_ranks(env: &Env, ranks: &[u64]) -> Vec<f64> {
+    distance_at_ranks(
+        env,
+        ranks,
+        Some(sdj_core::SemiConfig {
+            filter: sdj_core::SemiFilter::Inside2,
+            dmax: sdj_core::DmaxStrategy::Local,
+        }),
+    )
+}
+
+fn distance_at_ranks(env: &Env, ranks: &[u64], semi: Option<sdj_core::SemiConfig>) -> Vec<f64> {
+    assert!(ranks.windows(2).all(|w| w[0] <= w[1]), "ranks must ascend");
+    let config = sdj_core::JoinConfig::default();
+    let mut join = match semi {
+        Some(sc) => sdj_core::DistanceJoin::semi(&env.water_tree, &env.roads_tree, config, sc),
+        None => sdj_core::DistanceJoin::new(&env.water_tree, &env.roads_tree, config),
+    };
+    let mut out = Vec::with_capacity(ranks.len());
+    let mut rank = 0u64;
+    let mut last = 0.0f64;
+    for &target in ranks {
+        while rank < target {
+            match join.next() {
+                Some(r) => {
+                    rank += 1;
+                    last = r.distance;
+                }
+                None => break,
+            }
+        }
+        out.push(last);
+    }
+    out
+}
+
+/// The standard result-count sweep of the paper's figures.
+pub const PAIR_SWEEP: [u64; 6] = [1, 10, 100, 1_000, 10_000, 100_000];
+
+/// Scales the sweep down when a scaled environment cannot produce the
+/// larger counts (semi-joins are capped by the outer cardinality).
+#[must_use]
+pub fn sweep_up_to(max: u64) -> Vec<u64> {
+    PAIR_SWEEP.iter().copied().filter(|k| *k <= max).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn env_builds_at_small_scale() {
+        let env = Env::new(0.002, 7);
+        assert_eq!(env.water.len(), 75);
+        assert_eq!(env.roads.len(), 401);
+        assert_eq!(env.water_tree.len(), 75);
+        assert_eq!(env.roads_tree.len(), 401);
+    }
+
+    #[test]
+    fn sweep_capping() {
+        assert_eq!(sweep_up_to(1_000), vec![1, 10, 100, 1_000]);
+        assert_eq!(sweep_up_to(999), vec![1, 10, 100]);
+    }
+
+    #[test]
+    fn table_renders() {
+        let mut t = Table::new(&["Pairs", "Time"]);
+        t.row(&["1".into(), "0.5".into()]);
+        t.print();
+    }
+}

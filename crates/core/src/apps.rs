@@ -1,0 +1,193 @@
+//! Ready-made applications of the incremental distance join (§1 of the
+//! paper): closest pair, k closest pairs, all nearest neighbours, and the
+//! discrete-Voronoi clustering assignment.
+//!
+//! "A variation of our incremental distance join algorithm can be used to
+//! compute intersecting pairs, closest pair, and all nearest neighbors in a
+//! set of objects" — each function here is a thin, correctly configured
+//! wrapper over [`DistanceJoin`].
+
+use sdj_geom::Metric;
+use sdj_rtree::{ObjectId, RTree};
+
+use crate::config::JoinConfig;
+use crate::join::{DistanceJoin, ResultPair};
+use crate::semi::{DmaxStrategy, SemiConfig, SemiFilter};
+
+fn best_semi() -> SemiConfig {
+    SemiConfig {
+        filter: SemiFilter::Inside2,
+        dmax: DmaxStrategy::GlobalAll,
+    }
+}
+
+/// The closest pair of objects between two indexes, if both are non-empty.
+#[must_use]
+pub fn closest_pair<const D: usize>(
+    tree1: &RTree<D>,
+    tree2: &RTree<D>,
+    metric: Metric,
+) -> Option<ResultPair> {
+    let config = JoinConfig {
+        metric,
+        ..JoinConfig::default()
+    }
+    .with_max_pairs(1);
+    DistanceJoin::new(tree1, tree2, config).next()
+}
+
+/// The `k` closest pairs between two indexes, in ascending distance order.
+#[must_use]
+pub fn k_closest_pairs<const D: usize>(
+    tree1: &RTree<D>,
+    tree2: &RTree<D>,
+    metric: Metric,
+    k: u64,
+) -> Vec<ResultPair> {
+    let config = JoinConfig {
+        metric,
+        ..JoinConfig::default()
+    }
+    .with_max_pairs(k);
+    DistanceJoin::new(tree1, tree2, config).collect()
+}
+
+/// The closest pair *within* one index (self-join, self-pairs excluded).
+#[must_use]
+pub fn closest_pair_within<const D: usize>(tree: &RTree<D>, metric: Metric) -> Option<ResultPair> {
+    let config = JoinConfig {
+        metric,
+        exclude_equal_ids: true,
+        ..JoinConfig::default()
+    }
+    .with_max_pairs(1);
+    DistanceJoin::new(tree, tree, config).next()
+}
+
+/// All nearest neighbours within one index: for every object, its nearest
+/// *other* object, streamed in ascending distance order (a self semi-join
+/// with self-pairs excluded).
+#[must_use]
+pub fn all_nearest_neighbors<const D: usize>(
+    tree: &RTree<D>,
+    metric: Metric,
+) -> Vec<ResultPair> {
+    let config = JoinConfig {
+        metric,
+        exclude_equal_ids: true,
+        ..JoinConfig::default()
+    };
+    DistanceJoin::semi(tree, tree, config, best_semi()).collect()
+}
+
+/// Discrete-Voronoi clustering (the stores/warehouses example of §1):
+/// assigns every object of `objects` to its nearest site in `sites`,
+/// returning `assignment[oid] = site id`. Objects ids must be dense in
+/// `0..objects.len()`.
+pub fn voronoi_assignment<const D: usize>(
+    objects: &RTree<D>,
+    sites: &RTree<D>,
+    metric: Metric,
+) -> Vec<ObjectId> {
+    let config = JoinConfig {
+        metric,
+        ..JoinConfig::default()
+    };
+    let mut assignment = vec![ObjectId(u64::MAX); objects.len()];
+    for pair in DistanceJoin::semi(objects, sites, config, best_semi()) {
+        assignment[usize::try_from(pair.oid1.0).expect("dense ids")] = pair.oid2;
+    }
+    assignment
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sdj_geom::Point;
+    use sdj_rtree::RTreeConfig;
+
+    fn tree(pts: &[(f64, f64)]) -> RTree<2> {
+        let mut t = RTree::new(RTreeConfig::small(4));
+        for (i, (x, y)) in pts.iter().enumerate() {
+            t.insert(ObjectId(i as u64), Point::xy(*x, *y).to_rect()).unwrap();
+        }
+        t
+    }
+
+    #[test]
+    fn closest_pair_between_two_sets() {
+        let a = tree(&[(0.0, 0.0), (10.0, 10.0)]);
+        let b = tree(&[(0.0, 1.0), (50.0, 50.0)]);
+        let best = closest_pair(&a, &b, Metric::Euclidean).unwrap();
+        assert_eq!(best.oid1, ObjectId(0));
+        assert_eq!(best.oid2, ObjectId(0));
+        assert_eq!(best.distance, 1.0);
+    }
+
+    #[test]
+    fn k_closest_pairs_ordered() {
+        let a = tree(&[(0.0, 0.0), (5.0, 0.0)]);
+        let b = tree(&[(1.0, 0.0), (7.0, 0.0)]);
+        let pairs = k_closest_pairs(&a, &b, Metric::Euclidean, 3);
+        let ds: Vec<f64> = pairs.iter().map(|p| p.distance).collect();
+        assert_eq!(ds, vec![1.0, 2.0, 4.0]);
+    }
+
+    #[test]
+    fn closest_pair_within_excludes_self() {
+        let t = tree(&[(0.0, 0.0), (3.0, 0.0), (3.5, 0.0), (10.0, 0.0)]);
+        let best = closest_pair_within(&t, Metric::Euclidean).unwrap();
+        assert!((best.distance - 0.5).abs() < 1e-12);
+        assert_ne!(best.oid1, best.oid2);
+    }
+
+    #[test]
+    fn all_nn_matches_bruteforce() {
+        let pts = [(0.0, 0.0), (1.0, 0.0), (5.0, 5.0), (5.0, 6.0), (9.0, 0.0)];
+        let t = tree(&pts);
+        let result = all_nearest_neighbors(&t, Metric::Euclidean);
+        assert_eq!(result.len(), pts.len());
+        for r in &result {
+            let (px, py) = pts[r.oid1.0 as usize];
+            let p = Point::xy(px, py);
+            let want = pts
+                .iter()
+                .enumerate()
+                .filter(|(j, _)| *j as u64 != r.oid1.0)
+                .map(|(_, (x, y))| Metric::Euclidean.distance(&p, &Point::xy(*x, *y)))
+                .fold(f64::INFINITY, f64::min);
+            assert!((r.distance - want).abs() < 1e-12, "oid {}", r.oid1.0);
+            assert_ne!(r.oid1, r.oid2, "no self pairs");
+        }
+        // Streamed ascending.
+        for w in result.windows(2) {
+            assert!(w[0].distance <= w[1].distance);
+        }
+    }
+
+    #[test]
+    fn voronoi_assignment_is_total_and_correct() {
+        let objects = tree(&[(0.0, 0.0), (1.0, 1.0), (9.0, 9.0), (10.0, 10.0)]);
+        let sites = tree(&[(0.0, 0.0), (10.0, 10.0)]);
+        let assignment = voronoi_assignment(&objects, &sites, Metric::Euclidean);
+        assert_eq!(
+            assignment,
+            vec![ObjectId(0), ObjectId(0), ObjectId(1), ObjectId(1)]
+        );
+    }
+
+    #[test]
+    fn empty_inputs() {
+        let empty: RTree<2> = RTree::new(RTreeConfig::small(4));
+        let t = tree(&[(0.0, 0.0)]);
+        assert!(closest_pair(&empty, &t, Metric::Euclidean).is_none());
+        assert!(closest_pair_within(&t, Metric::Euclidean).is_none());
+        assert!(all_nearest_neighbors(&empty, Metric::Euclidean).is_empty());
+    }
+
+    #[test]
+    fn single_object_self_join_yields_nothing() {
+        let t = tree(&[(0.0, 0.0)]);
+        assert!(all_nearest_neighbors(&t, Metric::Euclidean).is_empty());
+    }
+}

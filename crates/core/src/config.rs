@@ -1,0 +1,181 @@
+//! Join configuration: the paper's design space as data.
+
+use sdj_geom::Metric;
+use sdj_pqueue::HybridConfig;
+
+pub use crate::pair::TiePolicy;
+
+/// How node/node pairs are expanded (§2.2.2, evaluated in §4.1.1).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Hash)]
+pub enum TraversalPolicy {
+    /// Always process item 1 (the basic algorithm of Figure 3).
+    Basic,
+    /// Process the node at the shallower level, keeping the two trees
+    /// evenly descended (the paper's best performer).
+    #[default]
+    Even,
+    /// Process both nodes simultaneously, pairing their entries with a
+    /// plane sweep restricted by the current maximum distance.
+    Simultaneous,
+}
+
+/// Queue backend (§3.2 / §4.1.3).
+#[derive(Clone, Copy, Debug, Default)]
+pub enum QueueBackend {
+    /// Purely in-memory pairing heap.
+    #[default]
+    Memory,
+    /// The hybrid three-tier memory/disk queue with its `D_T` increment.
+    Hybrid(HybridConfig),
+}
+
+/// Which upper-bound distance feeds the maximum-distance estimator
+/// (§2.2.3/§2.2.4).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Hash)]
+pub enum EstimationBound {
+    /// MAXDIST: bounds *every* object pair generated from the pair, so the
+    /// full lower-bound subtree count may be credited.
+    #[default]
+    AllPairs,
+    /// MINMAXDIST: bounds only the *closest* generated pair, so a single
+    /// result is credited. Tighter distances, smaller counts.
+    ExistsPair,
+}
+
+/// Result ordering.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Hash)]
+pub enum ResultOrder {
+    /// Closest pairs first.
+    #[default]
+    Ascending,
+    /// Farthest pairs first (§2.2.5: keys become upper-bound distances).
+    Descending,
+}
+
+/// Full configuration of an incremental distance join.
+#[derive(Clone, Copy, Debug)]
+pub struct JoinConfig {
+    /// Point metric underlying all distance functions.
+    pub metric: Metric,
+    /// Node/node expansion policy.
+    pub traversal: TraversalPolicy,
+    /// Equal-distance ordering.
+    pub tie: TiePolicy,
+    /// Priority-queue backend.
+    pub queue: QueueBackend,
+    /// Minimum result distance (`WHERE d >= dmin`); pairs that cannot reach
+    /// it are pruned via MAXDIST.
+    pub min_distance: f64,
+    /// Maximum result distance (`WHERE d <= dmax`).
+    pub max_distance: f64,
+    /// `STOP AFTER` bound on the number of result pairs; enables the
+    /// maximum-distance estimation of §2.2.4.
+    pub max_pairs: Option<u64>,
+    /// Bound family used by the estimator.
+    pub estimation: EstimationBound,
+    /// Result ordering (descending disables estimation and requires the
+    /// memory queue backend).
+    pub order: ResultOrder,
+    /// Suppress result pairs whose two object ids are equal — for
+    /// self-joins such as the all-nearest-neighbours application of §1,
+    /// where an object must not be its own nearest neighbour.
+    pub exclude_equal_ids: bool,
+}
+
+impl Default for JoinConfig {
+    fn default() -> Self {
+        Self {
+            metric: Metric::Euclidean,
+            traversal: TraversalPolicy::default(),
+            tie: TiePolicy::default(),
+            queue: QueueBackend::default(),
+            min_distance: 0.0,
+            max_distance: f64::INFINITY,
+            max_pairs: None,
+            estimation: EstimationBound::default(),
+            order: ResultOrder::default(),
+            exclude_equal_ids: false,
+        }
+    }
+}
+
+impl JoinConfig {
+    /// Validates internal consistency.
+    ///
+    /// # Panics
+    /// Panics on invalid combinations (negative range bounds, inverted
+    /// range, descending order with a hybrid queue — whose disk buckets are
+    /// keyed by non-negative distance).
+    pub fn validate(&self) {
+        assert!(
+            self.min_distance >= 0.0 && self.max_distance >= 0.0,
+            "distance bounds must be non-negative"
+        );
+        assert!(
+            self.min_distance <= self.max_distance,
+            "min_distance exceeds max_distance"
+        );
+        if matches!(self.order, ResultOrder::Descending) {
+            assert!(
+                matches!(self.queue, QueueBackend::Memory),
+                "descending joins require the memory queue backend"
+            );
+        }
+    }
+
+    /// Convenience: limit the result to `k` pairs (enables estimation).
+    #[must_use]
+    pub fn with_max_pairs(mut self, k: u64) -> Self {
+        self.max_pairs = Some(k);
+        self
+    }
+
+    /// Convenience: restrict result distances to `[min, max]`.
+    #[must_use]
+    pub fn with_range(mut self, min: f64, max: f64) -> Self {
+        self.min_distance = min;
+        self.max_distance = max;
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_is_papers_best_variant() {
+        let c = JoinConfig::default();
+        assert_eq!(c.traversal, TraversalPolicy::Even);
+        assert_eq!(c.tie, TiePolicy::DepthFirst);
+        assert_eq!(c.min_distance, 0.0);
+        assert_eq!(c.max_distance, f64::INFINITY);
+        c.validate();
+    }
+
+    #[test]
+    fn builders_compose() {
+        let c = JoinConfig::default().with_range(1.0, 5.0).with_max_pairs(10);
+        assert_eq!(c.min_distance, 1.0);
+        assert_eq!(c.max_distance, 5.0);
+        assert_eq!(c.max_pairs, Some(10));
+        c.validate();
+    }
+
+    #[test]
+    #[should_panic(expected = "min_distance exceeds max_distance")]
+    fn inverted_range_rejected() {
+        JoinConfig::default().with_range(5.0, 1.0).validate();
+    }
+
+    #[test]
+    #[should_panic(expected = "memory queue")]
+    fn descending_hybrid_rejected() {
+        let c = JoinConfig {
+            order: ResultOrder::Descending,
+            queue: QueueBackend::Hybrid(HybridConfig::default()),
+            ..JoinConfig::default()
+        };
+        c.validate();
+    }
+}

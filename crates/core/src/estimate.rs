@@ -1,0 +1,376 @@
+//! Maximum-distance estimation from a bound on the result count (§2.2.4).
+//!
+//! When the query promises to consume at most `K` pairs (`STOP AFTER`), the
+//! algorithm can *derive* a shrinking maximum distance: it maintains a set
+//! `M` of pairs that are on the priority queue, each contributing a lower
+//! bound on how many result pairs it can generate (from the minimum fan-out
+//! and the level of its nodes) and an upper bound `d_max` on the distance of
+//! those results. Whenever the counts in `M` cover `K`, every queued or
+//! future pair whose MINDIST exceeds the largest retained `d_max` is dead
+//! weight and can be rejected.
+//!
+//! The paper organises `M` as a priority queue on `d_max` plus a hash table;
+//! here a `BTreeMap` keyed by `(d_max, seq)` plays the role of the priority
+//! queue (same asymptotics, simpler deletion).
+//!
+//! Counts are deliberately *lower* bounds: over-estimating them could shrink
+//! the maximum distance below the true `K`-th result distance and force a
+//! restart (§2.2.4); with lower bounds no restart is ever needed.
+
+use std::collections::{BTreeMap, HashMap, HashSet};
+
+use sdj_geom::OrdF64;
+
+use crate::pair::ItemId;
+
+/// Set-`M` key: the full pair identity for distance joins; only the first
+/// item for semi-joins, where "the first item in each pair is unique"
+/// (§2.3).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+enum MKey {
+    Join(ItemId, ItemId),
+    Semi(ItemId),
+}
+
+struct MEntry {
+    count: u64,
+    dmax: OrdF64,
+    seq: u64,
+    /// Second item, kept so a dequeued pair can be matched exactly.
+    item2: ItemId,
+}
+
+/// Estimator mode.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum EstimatorMode {
+    /// Distance join: `M` keyed by the whole pair, counts multiply.
+    Join,
+    /// Distance semi-join: `M` keyed by the first item, counts come from the
+    /// first subtree alone.
+    Semi,
+}
+
+/// The §2.2.4 / §2.3 maximum-distance estimator.
+pub struct Estimator {
+    mode: EstimatorMode,
+    k_remaining: u64,
+    dmax: f64,
+    entries: HashMap<MKey, MEntry>,
+    by_dmax: BTreeMap<(OrdF64, u64), MKey>,
+    total: u128,
+    seq: u64,
+    /// Semi-join: first-item nodes that have been expanded; pairs led by
+    /// them may no longer enter `M` (their descendants would double-count).
+    processed: HashSet<ItemId>,
+}
+
+impl Estimator {
+    /// Creates an estimator for `k` result pairs, starting from the query's
+    /// explicit maximum distance (or `+inf`).
+    #[must_use]
+    pub fn new(mode: EstimatorMode, k: u64, initial_dmax: f64) -> Self {
+        Self {
+            mode,
+            k_remaining: k,
+            dmax: initial_dmax,
+            entries: HashMap::new(),
+            by_dmax: BTreeMap::new(),
+            total: 0,
+            seq: 0,
+            processed: HashSet::new(),
+        }
+    }
+
+    /// The current estimated maximum distance.
+    #[must_use]
+    pub fn current_dmax(&self) -> f64 {
+        self.dmax
+    }
+
+    /// Remaining result budget.
+    #[must_use]
+    pub fn k_remaining(&self) -> u64 {
+        self.k_remaining
+    }
+
+    /// Number of pairs currently in `M`.
+    #[must_use]
+    pub fn m_len(&self) -> usize {
+        self.entries.len()
+    }
+
+    fn key_of(&self, item1: ItemId, item2: ItemId) -> MKey {
+        match self.mode {
+            EstimatorMode::Join => MKey::Join(item1, item2),
+            EstimatorMode::Semi => MKey::Semi(item1),
+        }
+    }
+
+    /// Offers a pair that is being inserted into the priority queue.
+    /// `dmax_pair` must upper-bound the distance of the `count` result pairs
+    /// the pair is guaranteed to generate; the caller has already checked
+    /// eligibility (`dist >= Dmin`, `dmax_pair <= current_dmax`).
+    pub fn offer(&mut self, item1: ItemId, item2: ItemId, dmax_pair: f64, count: u64) {
+        if count == 0 || self.k_remaining == 0 {
+            return;
+        }
+        if self.mode == EstimatorMode::Semi && self.processed.contains(&item1) {
+            return;
+        }
+        let key = self.key_of(item1, item2);
+        let dmax = OrdF64::new(dmax_pair);
+        if let Some(existing) = self.entries.get(&key) {
+            // Semi-join: keep whichever pair led by item1 has the smaller
+            // d_max (§2.3). Join mode can only collide if the same pair is
+            // enqueued twice, which the traversal never does.
+            if existing.dmax <= dmax {
+                return;
+            }
+            self.remove_key(key);
+        }
+        let seq = self.seq;
+        self.seq += 1;
+        self.entries.insert(
+            key,
+            MEntry {
+                count,
+                dmax,
+                seq,
+                item2,
+            },
+        );
+        self.by_dmax.insert((dmax, seq), key);
+        self.total += u128::from(count);
+        self.tighten();
+    }
+
+    /// Notes that a pair has been removed from the priority queue.
+    pub fn on_dequeue(&mut self, item1: ItemId, item2: ItemId) {
+        let key = self.key_of(item1, item2);
+        if let Some(entry) = self.entries.get(&key) {
+            // Semi-join keys ignore item2, so make sure this is the same
+            // pair before dropping it.
+            if entry.item2 == item2 {
+                self.remove_key(key);
+            }
+        }
+    }
+
+    /// Semi-join: notes that a first-side node is about to be expanded.
+    /// Its `M` entry (if any) is dropped and it is barred from re-entry so
+    /// its descendants' counts cannot double with its own.
+    pub fn on_expand_item1(&mut self, item1: ItemId) {
+        if self.mode != EstimatorMode::Semi {
+            return;
+        }
+        self.processed.insert(item1);
+        let key = MKey::Semi(item1);
+        if self.entries.contains_key(&key) {
+            self.remove_key(key);
+        }
+    }
+
+    /// Notes a reported result pair; the shrinking budget may allow further
+    /// tightening.
+    pub fn on_report(&mut self) {
+        self.k_remaining = self.k_remaining.saturating_sub(1);
+        self.tighten();
+    }
+
+    fn remove_key(&mut self, key: MKey) {
+        let entry = self.entries.remove(&key).expect("caller checked presence");
+        self.by_dmax.remove(&(entry.dmax, entry.seq));
+        self.total -= u128::from(entry.count);
+    }
+
+    /// Drops the largest-`d_max` entries while the rest still cover the
+    /// budget, then lowers the global bound to the largest retained `d_max`.
+    fn tighten(&mut self) {
+        if self.k_remaining == 0 {
+            return;
+        }
+        let k = u128::from(self.k_remaining);
+        while let Some((&(_, _), &key)) = self.by_dmax.last_key_value() {
+            let count = u128::from(self.entries[&key].count);
+            if self.total - count >= k {
+                self.remove_key(key);
+            } else {
+                break;
+            }
+        }
+        if self.total >= k {
+            if let Some((&(dmax, _), _)) = self.by_dmax.last_key_value() {
+                self.dmax = self.dmax.min(dmax.get());
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn obj(i: u64) -> ItemId {
+        ItemId::Object(i)
+    }
+
+    fn node(i: u64) -> ItemId {
+        ItemId::Node(i)
+    }
+
+    #[test]
+    fn bound_appears_once_counts_cover_k() {
+        let mut e = Estimator::new(EstimatorMode::Join, 10, f64::INFINITY);
+        e.offer(node(1), node(2), 5.0, 6);
+        assert_eq!(e.current_dmax(), f64::INFINITY, "6 < 10: no bound yet");
+        e.offer(node(3), node(4), 8.0, 6);
+        assert_eq!(e.current_dmax(), 8.0, "12 >= 10: bounded by largest dmax");
+    }
+
+    #[test]
+    fn larger_dmax_entries_are_dropped_when_redundant() {
+        let mut e = Estimator::new(EstimatorMode::Join, 10, f64::INFINITY);
+        e.offer(node(1), node(2), 3.0, 10);
+        assert_eq!(e.current_dmax(), 3.0);
+        // A worse pair adds nothing and must not loosen the bound.
+        e.offer(node(3), node(4), 9.0, 50);
+        assert_eq!(e.current_dmax(), 3.0);
+        assert_eq!(e.m_len(), 1, "redundant entry dropped");
+    }
+
+    #[test]
+    fn bound_never_increases() {
+        let mut e = Estimator::new(EstimatorMode::Join, 5, f64::INFINITY);
+        e.offer(node(1), node(2), 2.0, 5);
+        assert_eq!(e.current_dmax(), 2.0);
+        e.on_dequeue(node(1), node(2));
+        assert_eq!(e.m_len(), 0);
+        // M is empty again, but the proven bound stays.
+        assert_eq!(e.current_dmax(), 2.0);
+    }
+
+    #[test]
+    fn report_shrinks_budget_and_tightens() {
+        let mut e = Estimator::new(EstimatorMode::Join, 2, f64::INFINITY);
+        e.offer(obj(1), obj(2), 1.0, 1);
+        e.offer(obj(3), obj(4), 4.0, 1);
+        assert_eq!(e.current_dmax(), 4.0);
+        e.on_dequeue(obj(1), obj(2));
+        e.on_report();
+        // Budget is 1 and the remaining entry covers it at dmax 4.
+        assert_eq!(e.k_remaining(), 1);
+        assert_eq!(e.current_dmax(), 4.0);
+        e.offer(obj(5), obj(6), 2.0, 1);
+        assert_eq!(e.current_dmax(), 2.0, "tighter entry takes over");
+    }
+
+    #[test]
+    fn semi_mode_keeps_one_entry_per_first_item() {
+        let mut e = Estimator::new(EstimatorMode::Semi, 100, f64::INFINITY);
+        e.offer(obj(1), node(10), 5.0, 1);
+        e.offer(obj(1), node(11), 3.0, 1);
+        assert_eq!(e.m_len(), 1, "same first item replaces");
+        e.offer(obj(1), node(12), 9.0, 1);
+        assert_eq!(e.m_len(), 1, "worse dmax ignored");
+        // Dequeue with the non-matching second item must not remove.
+        e.on_dequeue(obj(1), node(10));
+        assert_eq!(e.m_len(), 1);
+        e.on_dequeue(obj(1), node(11));
+        assert_eq!(e.m_len(), 0);
+    }
+
+    #[test]
+    fn semi_mode_bars_processed_nodes() {
+        let mut e = Estimator::new(EstimatorMode::Semi, 100, f64::INFINITY);
+        e.offer(node(1), node(10), 5.0, 4);
+        e.on_expand_item1(node(1));
+        assert_eq!(e.m_len(), 0, "expanded node leaves M");
+        e.offer(node(1), node(11), 2.0, 4);
+        assert_eq!(e.m_len(), 0, "and may not re-enter");
+        // Other nodes unaffected.
+        e.offer(node(2), node(11), 2.0, 4);
+        assert_eq!(e.m_len(), 1);
+    }
+
+    #[test]
+    fn explicit_max_distance_is_the_ceiling() {
+        let mut e = Estimator::new(EstimatorMode::Join, 1, 10.0);
+        assert_eq!(e.current_dmax(), 10.0);
+        e.offer(node(1), node(2), 20.0, 5);
+        // Caller normally pre-filters dmax > ceiling; even if offered, the
+        // bound must not grow past the ceiling.
+        assert!(e.current_dmax() <= 20.0);
+        let mut e2 = Estimator::new(EstimatorMode::Join, 1, 10.0);
+        e2.offer(node(1), node(2), 4.0, 5);
+        assert_eq!(e2.current_dmax(), 4.0);
+    }
+
+    #[test]
+    fn zero_count_offers_are_ignored() {
+        let mut e = Estimator::new(EstimatorMode::Join, 1, f64::INFINITY);
+        e.offer(node(1), node(2), 1.0, 0);
+        assert_eq!(e.m_len(), 0);
+        assert_eq!(e.current_dmax(), f64::INFINITY);
+    }
+
+    mod properties {
+        use super::*;
+        use proptest::prelude::*;
+
+        #[derive(Clone, Debug)]
+        enum Op {
+            Offer { i1: u64, i2: u64, dmax: f64, count: u64 },
+            Dequeue { i1: u64, i2: u64 },
+            Expand { i1: u64 },
+            Report,
+        }
+
+        fn arb_op() -> impl Strategy<Value = Op> {
+            prop_oneof![
+                4 => (0u64..20, 0u64..20, 0.0..100.0f64, 1u64..8).prop_map(
+                    |(i1, i2, dmax, count)| Op::Offer { i1, i2, dmax, count }
+                ),
+                2 => (0u64..20, 0u64..20).prop_map(|(i1, i2)| Op::Dequeue { i1, i2 }),
+                1 => (0u64..20).prop_map(|i1| Op::Expand { i1 }),
+                1 => Just(Op::Report),
+            ]
+        }
+
+        proptest! {
+            /// Under any operation sequence, the estimated maximum distance
+            /// is monotone non-increasing and never drops below the largest
+            /// d_max of a set that is *necessary* to cover K — i.e. the
+            /// estimator only ever uses sound bounds it was given.
+            #[test]
+            fn dmax_is_monotone_and_sound(
+                ops in prop::collection::vec(arb_op(), 1..120),
+                k in 1u64..30,
+                mode in prop::sample::select(vec![EstimatorMode::Join, EstimatorMode::Semi]),
+            ) {
+                let mut e = Estimator::new(mode, k, f64::INFINITY);
+                let mut last = f64::INFINITY;
+                for op in ops {
+                    match op {
+                        Op::Offer { i1, i2, dmax, count } => {
+                            // Mirror the caller contract: only offer bounds
+                            // at or below the current estimate.
+                            if dmax <= e.current_dmax() {
+                                e.offer(node(i1), node(i2), dmax, count);
+                            }
+                        }
+                        Op::Dequeue { i1, i2 } => e.on_dequeue(node(i1), node(i2)),
+                        Op::Expand { i1 } => e.on_expand_item1(node(i1)),
+                        Op::Report => e.on_report(),
+                    }
+                    prop_assert!(
+                        e.current_dmax() <= last + 1e-12,
+                        "estimate must never loosen: {} -> {}",
+                        last,
+                        e.current_dmax()
+                    );
+                    last = e.current_dmax();
+                }
+            }
+        }
+    }
+}

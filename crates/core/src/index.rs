@@ -1,0 +1,204 @@
+//! The index abstraction the join algorithms traverse.
+//!
+//! §2.2: "the algorithm works for any spatial data structure based on a
+//! hierarchical decomposition … we assume a spatial data structure that
+//! forms a tree structure, where each tree node represents some region of
+//! space". [`SpatialIndex`] captures exactly that contract; `sdj-rtree`'s
+//! R*-tree implements it here, and `sdj-quadtree`'s PR quadtree implements
+//! it in its own crate — including *mixed* joins of one index kind against
+//! another.
+//!
+//! One subtlety the paper calls out (§2.2.3): MINMAXDIST-style upper bounds
+//! are only valid over *minimal* bounding rectangles, where every face
+//! touches an object. R-tree regions are minimal; quadtree quadrants are
+//! not. [`SpatialIndex::MINIMAL_REGIONS`] lets the join fall back to plain
+//! MAXDIST bounds when node regions give no face guarantee.
+
+use sdj_geom::Rect;
+use sdj_rtree::{EntryPtr, ObjectId, PageId, RTree};
+use sdj_storage::Result;
+
+/// Opaque node identifier within an index (page numbers for the provided
+/// implementations).
+pub type NodeId = u64;
+
+/// One entry of a traversed node.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum IndexEntry<const D: usize> {
+    /// A child node, with the region its subtree is confined to.
+    Child {
+        /// The child's node id.
+        id: NodeId,
+        /// The child's level (see [`IndexNode::level`]).
+        level: u8,
+        /// Region covered by the child's subtree.
+        region: Rect<D>,
+    },
+    /// An object, with its minimal bounding rectangle.
+    Object {
+        /// The object's id.
+        oid: ObjectId,
+        /// The object's minimal bounding rectangle.
+        mbr: Rect<D>,
+    },
+}
+
+impl<const D: usize> IndexEntry<D> {
+    /// The entry's rectangle (child region or object MBR).
+    #[must_use]
+    pub fn rect(&self) -> &Rect<D> {
+        match self {
+            IndexEntry::Child { region, .. } => region,
+            IndexEntry::Object { mbr, .. } => mbr,
+        }
+    }
+
+    /// The object id, for object entries.
+    #[must_use]
+    pub fn object_id(&self) -> Option<ObjectId> {
+        match self {
+            IndexEntry::Object { oid, .. } => Some(*oid),
+            IndexEntry::Child { .. } => None,
+        }
+    }
+}
+
+/// A traversed node: its level and entries.
+///
+/// Levels only need two properties: `0` means "all entries are objects",
+/// and levels strictly decrease from parent to child — the join's
+/// tie-breaking (depth-first vs breadth-first) and even traversal compare
+/// them, nothing else does. Balanced structures use height above the leaves;
+/// unbalanced ones may use any monotone encoding of shallowness.
+#[derive(Clone, Debug)]
+pub struct IndexNode<const D: usize> {
+    /// Node level (0 = all-object node).
+    pub level: u8,
+    /// The node's entries.
+    pub entries: Vec<IndexEntry<D>>,
+}
+
+/// A hierarchical spatial index traversable by the incremental join.
+pub trait SpatialIndex<const D: usize> {
+    /// Whether node regions are minimal bounding rectangles (every face
+    /// touched by an object). Enables MINMAXDIST-based bounds.
+    const MINIMAL_REGIONS: bool;
+
+    /// True if the index holds no objects.
+    fn is_empty(&self) -> bool;
+
+    /// Number of indexed objects.
+    fn len(&self) -> usize;
+
+    /// The root node's id.
+    fn root_id(&self) -> NodeId;
+
+    /// The root node's level.
+    fn root_level(&self) -> u8;
+
+    /// The region of the root (the whole index's bounding region).
+    fn root_region(&self) -> Result<Rect<D>>;
+
+    /// Reads a node.
+    fn read_node(&self, id: NodeId) -> Result<IndexNode<D>>;
+
+    /// A conservative lower bound on the objects in the subtree of a node
+    /// at `level` (1 is always safe for a non-empty subtree).
+    fn min_subtree_objects(&self, level: u8, is_root: bool) -> u64;
+
+    /// Cumulative buffer misses (the node I/O measure); used to report
+    /// per-run deltas.
+    fn io_misses(&self) -> u64;
+}
+
+impl<const D: usize> SpatialIndex<D> for RTree<D> {
+    const MINIMAL_REGIONS: bool = true;
+
+    fn is_empty(&self) -> bool {
+        RTree::is_empty(self)
+    }
+
+    fn len(&self) -> usize {
+        RTree::len(self)
+    }
+
+    fn root_id(&self) -> NodeId {
+        NodeId::from(RTree::root_id(self).0)
+    }
+
+    fn root_level(&self) -> u8 {
+        self.height() - 1
+    }
+
+    fn root_region(&self) -> Result<Rect<D>> {
+        self.mbr()
+    }
+
+    fn read_node(&self, id: NodeId) -> Result<IndexNode<D>> {
+        let page = PageId(u32::try_from(id).expect("R-tree node ids are u32 pages"));
+        let node = RTree::read_node(self, page)?;
+        let level = node.level;
+        let entries = node
+            .entries
+            .iter()
+            .map(|e| match e.ptr {
+                EntryPtr::Object(oid) => IndexEntry::Object { oid, mbr: e.mbr },
+                EntryPtr::Child(child) => IndexEntry::Child {
+                    id: NodeId::from(child.0),
+                    level: level - 1,
+                    region: e.mbr,
+                },
+            })
+            .collect();
+        Ok(IndexNode { level, entries })
+    }
+
+    fn min_subtree_objects(&self, level: u8, is_root: bool) -> u64 {
+        RTree::min_subtree_objects(self, level, is_root)
+    }
+
+    fn io_misses(&self) -> u64 {
+        self.io_stats().misses
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sdj_geom::Point;
+    use sdj_rtree::RTreeConfig;
+
+    #[test]
+    fn rtree_implements_spatial_index() {
+        let mut tree = RTree::new(RTreeConfig::small(4));
+        for i in 0..40u64 {
+            let p = Point::xy((i % 8) as f64, (i / 8) as f64);
+            tree.insert(ObjectId(i), p.to_rect()).unwrap();
+        }
+        // Call through the trait explicitly (the inherent R-tree methods
+        // would otherwise shadow it).
+        fn as_index<const D: usize, I: SpatialIndex<D>>(i: &I) -> &I {
+            i
+        }
+        let idx = as_index::<2, _>(&tree);
+        assert_eq!(SpatialIndex::len(idx), 40);
+        assert!(!SpatialIndex::is_empty(idx));
+        let root = SpatialIndex::read_node(idx, SpatialIndex::root_id(idx)).unwrap();
+        assert_eq!(root.level, SpatialIndex::root_level(idx));
+        assert!(!root.entries.is_empty());
+        // Walk to a leaf and check object entries appear at level 0.
+        let mut node = root;
+        while node.level > 0 {
+            let IndexEntry::Child { id, level, .. } = node.entries[0] else {
+                panic!("internal node with object entry");
+            };
+            assert_eq!(level, node.level - 1);
+            node = SpatialIndex::read_node(idx, id).unwrap();
+            assert_eq!(node.level, level);
+        }
+        assert!(node
+            .entries
+            .iter()
+            .all(|e| matches!(e, IndexEntry::Object { .. })));
+    }
+}

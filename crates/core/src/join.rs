@@ -1,0 +1,1015 @@
+//! The incremental distance join (§2.2) and distance semi-join (§2.3).
+//!
+//! One engine implements both operations: a priority queue of item pairs,
+//! keyed by distance with configurable tie-breaking, from which object pairs
+//! stream out in distance order. The semi-join is the same traversal with
+//! first-item duplicate suppression and optional `d_max` pruning layered on.
+//!
+//! The engine is generic over the two spatial indexes ([`SpatialIndex`]),
+//! which may even be of different kinds — §2.2's "the algorithm works for
+//! any spatial data structure based on a hierarchical decomposition".
+//!
+//! The iterator's entire state is the priority queue (plus bookkeeping), so
+//! a pipelined consumer can stop after any number of results having paid
+//! only for what it consumed — the paper's central claim.
+
+use sdj_geom::{Metric, Rect};
+use sdj_rtree::{ObjectId, RTree};
+use sdj_storage::StorageError;
+
+use crate::config::{EstimationBound, JoinConfig, ResultOrder, TraversalPolicy};
+use crate::estimate::{Estimator, EstimatorMode};
+use crate::index::{IndexEntry, IndexNode, NodeId, SpatialIndex};
+use crate::oracle::{DistanceOracle, MbrOracle};
+use crate::pair::{Item, Pair, PairKey};
+use crate::queue::JoinQueue;
+use crate::semi::{SemiConfig, SemiState};
+use crate::stats::JoinStats;
+
+/// One result of a distance join: a pair of objects and their distance.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct ResultPair {
+    /// Object from the first relation.
+    pub oid1: ObjectId,
+    /// Object from the second relation.
+    pub oid2: ObjectId,
+    /// Distance between the two objects.
+    pub distance: f64,
+}
+
+/// The incremental distance join / distance semi-join iterator.
+///
+/// Created by [`DistanceJoin::new`] (join) or [`DistanceJoin::semi`]
+/// (semi-join); yields [`ResultPair`]s in the configured distance order.
+/// Generic over the oracle for exact object distances and the two index
+/// types (defaulting to R\*-trees).
+pub struct DistanceJoin<'a, const D: usize, O = MbrOracle, I1 = RTree<D>, I2 = RTree<D>>
+where
+    O: DistanceOracle<D>,
+    I1: SpatialIndex<D>,
+    I2: SpatialIndex<D>,
+{
+    tree1: &'a I1,
+    tree2: &'a I2,
+    oracle: O,
+    config: JoinConfig,
+    queue: JoinQueue<D>,
+    estimator: Option<Estimator>,
+    semi: Option<SemiState>,
+    stats: JoinStats,
+    io_baseline: u64,
+    reported: u64,
+    done: bool,
+    error: Option<StorageError>,
+    /// §2.2.5 spatial selection: first-relation objects must fall inside
+    /// this window.
+    window1: Option<Rect<D>>,
+    /// §2.2.5 spatial selection: second-relation objects must fall inside
+    /// this window.
+    window2: Option<Rect<D>>,
+}
+
+impl<'a, const D: usize, I1, I2> DistanceJoin<'a, D, MbrOracle, I1, I2>
+where
+    I1: SpatialIndex<D>,
+    I2: SpatialIndex<D>,
+{
+    /// Starts a distance join over two indexes whose objects are stored
+    /// directly in the leaves (points or rectangles).
+    #[must_use]
+    pub fn new(tree1: &'a I1, tree2: &'a I2, config: JoinConfig) -> Self {
+        Self::with_oracle(tree1, tree2, MbrOracle, config)
+    }
+
+    /// Starts a distance semi-join ("for each object of `tree1`, its nearest
+    /// partner in `tree2`, streamed in distance order").
+    #[must_use]
+    pub fn semi(tree1: &'a I1, tree2: &'a I2, config: JoinConfig, semi: SemiConfig) -> Self {
+        Self::semi_with_oracle(tree1, tree2, MbrOracle, config, semi)
+    }
+}
+
+impl<'a, const D: usize, O, I1, I2> DistanceJoin<'a, D, O, I1, I2>
+where
+    O: DistanceOracle<D>,
+    I1: SpatialIndex<D>,
+    I2: SpatialIndex<D>,
+{
+    /// Starts a distance join with exact object distances supplied by
+    /// `oracle` (objects stored externally to the leaves).
+    #[must_use]
+    pub fn with_oracle(tree1: &'a I1, tree2: &'a I2, oracle: O, config: JoinConfig) -> Self {
+        Self::build(tree1, tree2, oracle, config, None)
+    }
+
+    /// Starts a distance semi-join with exact object distances supplied by
+    /// `oracle`.
+    #[must_use]
+    pub fn semi_with_oracle(
+        tree1: &'a I1,
+        tree2: &'a I2,
+        oracle: O,
+        config: JoinConfig,
+        semi: SemiConfig,
+    ) -> Self {
+        Self::build(tree1, tree2, oracle, config, Some(semi))
+    }
+
+    fn build(
+        tree1: &'a I1,
+        tree2: &'a I2,
+        oracle: O,
+        config: JoinConfig,
+        semi_config: Option<SemiConfig>,
+    ) -> Self {
+        config.validate();
+        let semi = semi_config.map(|mut sc| {
+            if !matches!(sc.dmax, crate::semi::DmaxStrategy::None) {
+                // The paper's d_max strategies all build on Inside2
+                // filtering; upgrade silently.
+                sc.filter = crate::semi::SemiFilter::Inside2;
+                assert!(
+                    matches!(config.order, ResultOrder::Ascending),
+                    "semi-join d_max pruning bounds nearest partners and \
+                     requires ascending order"
+                );
+            }
+            SemiState::new(sc, tree1.len())
+        });
+        let estimator = match (config.max_pairs, config.order) {
+            (Some(k), ResultOrder::Ascending) => Some(Estimator::new(
+                if semi.is_some() {
+                    EstimatorMode::Semi
+                } else {
+                    EstimatorMode::Join
+                },
+                k,
+                config.max_distance,
+            )),
+            _ => None,
+        };
+        let io_baseline = tree1.io_misses() + tree2.io_misses();
+        let mut join = Self {
+            tree1,
+            tree2,
+            oracle,
+            config,
+            queue: JoinQueue::new(&config.queue),
+            estimator,
+            semi,
+            stats: JoinStats::default(),
+            io_baseline,
+            reported: 0,
+            done: false,
+            error: None,
+            window1: None,
+            window2: None,
+        };
+        join.seed();
+        join
+    }
+
+    /// Restricts the join to objects falling inside the given windows
+    /// (§2.2.5's spatial-selection extension; `None` leaves a side
+    /// unrestricted). Must be applied before consuming any results.
+    ///
+    /// # Panics
+    /// Panics if results have already been consumed.
+    #[must_use]
+    pub fn with_windows(mut self, window1: Option<Rect<D>>, window2: Option<Rect<D>>) -> Self {
+        assert!(
+            self.stats.pairs_dequeued == 0,
+            "windows must be set before iteration starts"
+        );
+        self.window1 = window1;
+        self.window2 = window2;
+        self
+    }
+
+    /// True if `item` can (for nodes) or does (for objects) satisfy the
+    /// window restriction of its side.
+    fn passes_window(item: &Item<D>, window: &Option<Rect<D>>) -> bool {
+        match window {
+            None => true,
+            Some(w) => match item {
+                // A subtree can still hold qualifying objects if its region
+                // touches the window at all.
+                Item::Node { mbr, .. } => w.intersects(mbr),
+                // Objects must fall inside the window.
+                Item::Obr { mbr, .. } | Item::Object { mbr, .. } => w.contains_rect(mbr),
+            },
+        }
+    }
+
+    /// Enqueues the initial root/root pair (Figure 3, line 2).
+    fn seed(&mut self) {
+        if self.tree1.is_empty() || self.tree2.is_empty() {
+            self.done = true;
+            return;
+        }
+        let roots = (|| -> sdj_storage::Result<Pair<D>> {
+            let region1 = self.tree1.root_region()?;
+            let region2 = self.tree2.root_region()?;
+            self.stats.node_accesses += 2;
+            Ok(Pair::new(
+                Item::Node {
+                    page: self.tree1.root_id(),
+                    level: self.tree1.root_level(),
+                    mbr: region1,
+                },
+                Item::Node {
+                    page: self.tree2.root_id(),
+                    level: self.tree2.root_level(),
+                    mbr: region2,
+                },
+            ))
+        })();
+        match roots {
+            Ok(pair) => self.consider(pair, None),
+            Err(e) => {
+                self.error = Some(e);
+                self.done = true;
+            }
+        }
+    }
+
+    // ------------------------------------------------------------ accessors
+
+    /// Counters for the run so far (node I/O and queue high-water mark are
+    /// sampled at call time).
+    #[must_use]
+    pub fn stats(&self) -> JoinStats {
+        let mut s = self.stats;
+        s.node_io = (self.tree1.io_misses() + self.tree2.io_misses())
+            .saturating_sub(self.io_baseline)
+            + self.queue.disk_stats().reads
+            + self.queue.disk_stats().writes;
+        s.max_queue = self.queue.max_len();
+        s
+    }
+
+    /// Current queue length.
+    #[must_use]
+    pub fn queue_len(&self) -> usize {
+        self.queue.len()
+    }
+
+    /// The estimator's current maximum distance, if estimation is active.
+    #[must_use]
+    pub fn estimated_max_distance(&self) -> Option<f64> {
+        self.estimator.as_ref().map(Estimator::current_dmax)
+    }
+
+    /// Takes the pending I/O error, if iteration stopped because of one.
+    pub fn take_error(&mut self) -> Option<StorageError> {
+        self.error.take()
+    }
+
+    /// Hybrid-queue tiering information (`(tier stats, in-memory element
+    /// peak)`), when the hybrid backend is in use.
+    #[must_use]
+    pub fn hybrid_queue_info(&self) -> Option<(sdj_pqueue::HybridStats, usize)> {
+        self.queue.hybrid_info()
+    }
+
+    // ----------------------------------------------------------- internals
+
+    fn metric(&self) -> Metric {
+        self.config.metric
+    }
+
+    fn ascending(&self) -> bool {
+        matches!(self.config.order, ResultOrder::Ascending)
+    }
+
+    /// The tightest known maximum distance (query bound and estimator).
+    fn effective_max(&self) -> f64 {
+        match &self.estimator {
+            Some(est) => self.config.max_distance.min(est.current_dmax()),
+            None => self.config.max_distance,
+        }
+    }
+
+    /// True when the item's rectangle is a *minimal* bounding rectangle
+    /// (required for MINMAXDIST bounds): object MBRs always are; node
+    /// regions only if the index guarantees it (R-trees yes, quadtrees no).
+    fn item_minimal(item: &Item<D>, first_side: bool) -> bool {
+        match item {
+            Item::Obr { .. } | Item::Object { .. } => true,
+            Item::Node { .. } => {
+                if first_side {
+                    I1::MINIMAL_REGIONS
+                } else {
+                    I2::MINIMAL_REGIONS
+                }
+            }
+        }
+    }
+
+    /// MINMAXDIST between the pair's items when both rectangles are minimal;
+    /// falls back to MAXDIST (always a valid, looser upper bound) otherwise.
+    fn tight_upper_bound(&mut self, pair: &Pair<D>) -> f64 {
+        self.stats.distance_calcs += 1;
+        if Self::item_minimal(&pair.item1, true) && Self::item_minimal(&pair.item2, false) {
+            pair.minmaxdist(self.metric())
+        } else {
+            pair.maxdist(self.metric())
+        }
+    }
+
+    /// Lower bound on result pairs generated from `item` (for estimation).
+    fn min_objects(&self, item: &Item<D>, first_side: bool) -> u64 {
+        match item {
+            Item::Node { page, level, .. } => {
+                if first_side {
+                    self.tree1
+                        .min_subtree_objects(*level, *page == self.tree1.root_id())
+                } else {
+                    self.tree2
+                        .min_subtree_objects(*level, *page == self.tree2.root_id())
+                }
+            }
+            Item::Obr { .. } | Item::Object { .. } => 1,
+        }
+    }
+
+    /// Lower bound on the number of *reportable* result pairs a queued pair
+    /// guarantees within its estimation bound. Spatial windows make subtree
+    /// counts unsafe (objects inside a node may fail the window), and
+    /// `exclude_equal_ids` voids pairs that could be self-pairs; both are
+    /// handled conservatively here so the estimator never over-prunes.
+    fn estimation_count(&self, pair: &Pair<D>) -> u64 {
+        let windowed = self.window1.is_some() || self.window2.is_some();
+        let exclude = self.config.exclude_equal_ids;
+        let has_node = pair.item1.is_node() || pair.item2.is_node();
+        if windowed && has_node {
+            return 0;
+        }
+        match self.config.estimation {
+            EstimationBound::ExistsPair => {
+                // "Exists a pair within MINMAXDIST" — with exclusion, only
+                // provable when both sides are distinct concrete objects.
+                if exclude {
+                    u64::from(!has_node && pair.item1.object_id() != pair.item2.object_id())
+                } else {
+                    1
+                }
+            }
+            EstimationBound::AllPairs => {
+                let c1 = self.min_objects(&pair.item1, true);
+                let c2 = self.min_objects(&pair.item2, false);
+                if self.semi.is_some() {
+                    // Each first-side object has a partner within MAXDIST;
+                    // under exclusion that partner might be itself unless a
+                    // second partner (or a provably different object) exists.
+                    if exclude {
+                        let distinct_objects =
+                            !has_node && pair.item1.object_id() != pair.item2.object_id();
+                        if distinct_objects || c2 >= 2 {
+                            c1
+                        } else {
+                            0
+                        }
+                    } else {
+                        c1
+                    }
+                } else {
+                    let all = c1.saturating_mul(c2);
+                    if exclude {
+                        if !has_node && pair.item1.object_id() == pair.item2.object_id() {
+                            0
+                        } else {
+                            // At most min(c1, c2) of the guaranteed pairs can
+                            // be self-pairs.
+                            all.saturating_sub(c1.min(c2))
+                        }
+                    } else {
+                        all
+                    }
+                }
+            }
+        }
+    }
+
+    /// Upper bound on the nearest-partner distance of `pair.item1` within
+    /// `pair.item2` — MINMAXDIST where valid, MAXDIST for subtrees.
+    ///
+    /// With `exclude_equal_ids` (self-joins) the "a partner exists within
+    /// this bound" witness must not be the object itself: bounds against a
+    /// single possibly-identical object are void, bounds against a subtree
+    /// need at least two objects in it, and only MAXDIST (which covers every
+    /// object of the subtree, so in particular a non-self one) remains valid.
+    fn semi_dmax_bound(&mut self, pair: &Pair<D>) -> f64 {
+        // A minimum-distance restriction invalidates witnesses that may be
+        // closer than `Dmin` (a too-close partner does not qualify as a
+        // result, so it cannot justify discarding farther candidates). The
+        // pair donates a bound only if *all* its generated pairs satisfy
+        // `Dmin` — mirroring the §2.2.4 eligibility rule.
+        if self.config.min_distance > 0.0 {
+            self.stats.distance_calcs += 1;
+            if pair.mindist(self.metric()) < self.config.min_distance {
+                return f64::INFINITY;
+            }
+        }
+        // A second-side window invalidates witnesses that may fall outside
+        // it: single partners must lie inside, subtrees must be wholly
+        // inside (every bounded object then is too).
+        if let Some(w) = &self.window2 {
+            if !w.contains_rect(pair.item2.rect()) {
+                return f64::INFINITY;
+            }
+        }
+        if self.config.exclude_equal_ids {
+            match &pair.item2 {
+                Item::Obr { oid: o2, .. } | Item::Object { oid: o2, .. } => {
+                    match pair.item1.object_id() {
+                        // Two provably distinct objects: the exact witness.
+                        Some(o1) if o1 != *o2 => {
+                            self.stats.distance_calcs += 1;
+                            return pair.minmaxdist(self.metric());
+                        }
+                        // Same object, or a first-side subtree that may
+                        // contain the second-side object: no valid witness.
+                        _ => return f64::INFINITY,
+                    }
+                }
+                Item::Node { page, level, .. } => {
+                    let c2 = self
+                        .tree2
+                        .min_subtree_objects(*level, *page == self.tree2.root_id());
+                    if c2 < 2 {
+                        return f64::INFINITY;
+                    }
+                    // >= 2 objects, all within MAXDIST: at least one is not
+                    // the first-side object.
+                    self.stats.distance_calcs += 1;
+                    return pair.maxdist(self.metric());
+                }
+            }
+        }
+        match pair.item1 {
+            Item::Obr { .. } | Item::Object { .. } => self.tight_upper_bound(pair),
+            Item::Node { .. } => {
+                self.stats.distance_calcs += 1;
+                pair.maxdist(self.metric())
+            }
+        }
+    }
+
+    fn read_node1(&mut self, id: NodeId) -> sdj_storage::Result<IndexNode<D>> {
+        self.stats.node_accesses += 1;
+        self.tree1.read_node(id)
+    }
+
+    fn read_node2(&mut self, id: NodeId) -> sdj_storage::Result<IndexNode<D>> {
+        self.stats.node_accesses += 1;
+        self.tree2.read_node(id)
+    }
+
+    fn child_item(entry: &IndexEntry<D>) -> Item<D> {
+        match entry {
+            IndexEntry::Object { oid, mbr } => Item::Obr {
+                oid: *oid,
+                mbr: *mbr,
+            },
+            IndexEntry::Child { id, level, region } => Item::Node {
+                page: *id,
+                level: *level,
+                mbr: *region,
+            },
+        }
+    }
+
+    fn seen(&self, oid: ObjectId) -> bool {
+        self.semi.as_ref().is_some_and(|s| s.seen.contains(oid.0))
+    }
+
+    /// Filter-and-enqueue pipeline for a non-final (or exact-final) pair.
+    /// `known_mind` lets expansion sites reuse an already computed MINDIST.
+    fn consider(&mut self, pair: Pair<D>, known_mind: Option<f64>) {
+        let metric = self.metric();
+        let mind = known_mind.unwrap_or_else(|| {
+            self.stats.distance_calcs += 1;
+            pair.mindist(metric)
+        });
+        if pair.is_final(O::EXACT) {
+            // Exact obrs: MINDIST between the bounding rectangles is the
+            // object distance.
+            self.enqueue_final(pair, mind);
+            return;
+        }
+
+        // Spatial selection windows (§2.2.5).
+        if !Self::passes_window(&pair.item1, &self.window1)
+            || !Self::passes_window(&pair.item2, &self.window2)
+        {
+            self.stats.pruned_by_range += 1;
+            return;
+        }
+
+        // Maximum-distance pruning (query bound, then estimator).
+        if mind > self.config.max_distance {
+            self.stats.pruned_by_range += 1;
+            return;
+        }
+        if let Some(est) = &self.estimator {
+            if self.ascending() && mind > est.current_dmax() {
+                self.stats.pruned_by_estimate += 1;
+                return;
+            }
+        }
+
+        // Minimum-distance pruning: a pair none of whose results can reach
+        // Dmin is dead (Figure 5).
+        let mut maxd: Option<f64> = None;
+        if self.config.min_distance > 0.0 {
+            let m = {
+                self.stats.distance_calcs += 1;
+                pair.maxdist(metric)
+            };
+            if m < self.config.min_distance {
+                self.stats.pruned_by_range += 1;
+                return;
+            }
+            maxd = Some(m);
+        }
+
+        // Semi-join global d_max bound for the first item.
+        if let Some(semi) = &self.semi {
+            if let Some(bound) = semi.bound_for(pair.item1.identity()) {
+                if mind > bound {
+                    self.stats.pruned_by_dmax += 1;
+                    return;
+                }
+            }
+        }
+
+        // Maximum-distance estimation (§2.2.4).
+        if self.estimator.is_some() && matches!(self.config.order, ResultOrder::Ascending) {
+            let bound = match self.config.estimation {
+                EstimationBound::AllPairs => match maxd {
+                    Some(m) => m,
+                    None => {
+                        self.stats.distance_calcs += 1;
+                        pair.maxdist(metric)
+                    }
+                },
+                EstimationBound::ExistsPair => self.tight_upper_bound(&pair),
+            };
+            let count = self.estimation_count(&pair);
+            let min_distance = self.config.min_distance;
+            if let Some(est) = &mut self.estimator {
+                if mind >= min_distance && bound <= est.current_dmax() {
+                    est.offer(pair.item1.identity(), pair.item2.identity(), bound, count);
+                }
+            }
+        }
+
+        let key_dist = if self.ascending() {
+            mind
+        } else {
+            let m = match maxd {
+                Some(m) => m,
+                None => {
+                    self.stats.distance_calcs += 1;
+                    pair.maxdist(metric)
+                }
+            };
+            -m
+        };
+        self.push(PairKey::new(key_dist, &pair, self.config.tie), pair);
+    }
+
+    /// Filter-and-enqueue pipeline for a pair whose exact object distance is
+    /// known.
+    fn enqueue_final(&mut self, pair: Pair<D>, distance: f64) {
+        if self.config.exclude_equal_ids && pair.item1.object_id() == pair.item2.object_id() {
+            self.stats.filtered_self += 1;
+            return;
+        }
+        if !Self::passes_window(&pair.item1, &self.window1)
+            || !Self::passes_window(&pair.item2, &self.window2)
+        {
+            self.stats.pruned_by_range += 1;
+            return;
+        }
+        if distance > self.config.max_distance || distance < self.config.min_distance {
+            self.stats.pruned_by_range += 1;
+            return;
+        }
+        if let Some(est) = &self.estimator {
+            if self.ascending() && distance > est.current_dmax() {
+                self.stats.pruned_by_estimate += 1;
+                return;
+            }
+        }
+        if let Some(oid1) = pair.item1.object_id() {
+            if self.seen(oid1) {
+                self.stats.filtered_seen += 1;
+                return;
+            }
+            if let Some(semi) = &mut self.semi {
+                if let Some(bound) = semi.bound_for(pair.item1.identity()) {
+                    if distance > bound {
+                        self.stats.pruned_by_dmax += 1;
+                        return;
+                    }
+                }
+                // The pair itself proves a partner within `distance`.
+                semi.update_bound(pair.item1.identity(), distance);
+            }
+        }
+        let ascending = self.ascending();
+        if let Some(est) = &mut self.estimator {
+            if ascending && distance >= self.config.min_distance && distance <= est.current_dmax()
+            {
+                est.offer(pair.item1.identity(), pair.item2.identity(), distance, 1);
+            }
+        }
+        let key_dist = if ascending { distance } else { -distance };
+        self.push(PairKey::new(key_dist, &pair, self.config.tie), pair);
+    }
+
+    fn push(&mut self, key: PairKey, pair: Pair<D>) {
+        self.queue.push(key, pair);
+        self.stats.pairs_enqueued += 1;
+    }
+
+    /// PROCESS_NODE1 / PROCESS_NODE2 (Figure 3): expands the node on
+    /// `first_side`, pairing its entries with the other item.
+    fn expand_one(&mut self, pair: &Pair<D>, first_side: bool) -> sdj_storage::Result<()> {
+        let (node_item, other_item) = if first_side {
+            (&pair.item1, &pair.item2)
+        } else {
+            (&pair.item2, &pair.item1)
+        };
+        let Item::Node { page, .. } = *node_item else {
+            unreachable!("expand_one on a non-node item")
+        };
+        let other = *other_item;
+
+        if first_side {
+            // Semi-join estimation: the first-side node is being processed,
+            // so its own M entry must not coexist with its children's.
+            if self.semi.is_some() {
+                if let Some(est) = &mut self.estimator {
+                    est.on_expand_item1(pair.item1.identity());
+                }
+            }
+            let inherited = self
+                .semi
+                .as_ref()
+                .and_then(|s| s.bound_for(pair.item1.identity()));
+            let node = self.read_node1(page)?;
+            for entry in &node.entries {
+                let child = Self::child_item(entry);
+                if let Some(oid) = child.object_id() {
+                    if self
+                        .semi
+                        .as_ref()
+                        .is_some_and(|s| s.filters_on_expand() && s.seen.contains(oid.0))
+                    {
+                        self.stats.filtered_seen += 1;
+                        continue;
+                    }
+                }
+                let child_pair = Pair::new(child, other);
+                // Global bound maintenance: children inherit their parent's
+                // bound and may tighten it with their own pair's d_max.
+                let global = self.semi.as_ref().is_some_and(|s| {
+                    matches!(
+                        s.config.dmax,
+                        crate::semi::DmaxStrategy::GlobalNodes
+                            | crate::semi::DmaxStrategy::GlobalAll
+                    )
+                });
+                if global {
+                    let own = self.semi_dmax_bound(&child_pair);
+                    let bound = inherited.map_or(own, |b| b.min(own));
+                    if let Some(semi) = &mut self.semi {
+                        semi.update_bound(child.identity(), bound);
+                    }
+                }
+                self.consider(child_pair, None);
+            }
+        } else {
+            let node = self.read_node2(page)?;
+            let item1 = pair.item1;
+            let local = self.semi.as_ref().is_some_and(SemiState::uses_local_bound);
+            if local {
+                // Two passes: first compute per-child distances and d_max
+                // bounds to find the smallest bound, then prune siblings
+                // that cannot beat it (§4.2.1 "Local").
+                let metric = self.metric();
+                let mut children: Vec<(Pair<D>, f64)> = Vec::with_capacity(node.entries.len());
+                let mut best_bound = f64::INFINITY;
+                for entry in &node.entries {
+                    let child = Self::child_item(entry);
+                    let child_pair = Pair::new(item1, child);
+                    self.stats.distance_calcs += 1;
+                    let mind = child_pair.mindist(metric);
+                    let bound = self.semi_dmax_bound(&child_pair);
+                    best_bound = best_bound.min(bound);
+                    children.push((child_pair, mind));
+                }
+                if let Some(semi) = &mut self.semi {
+                    semi.update_bound(item1.identity(), best_bound);
+                }
+                let effective = self
+                    .semi
+                    .as_ref()
+                    .and_then(|s| s.bound_for(item1.identity()))
+                    .map_or(best_bound, |b| b.min(best_bound));
+                for (child_pair, mind) in children {
+                    if mind > effective {
+                        self.stats.pruned_by_dmax += 1;
+                        continue;
+                    }
+                    self.consider(child_pair, Some(mind));
+                }
+            } else {
+                for entry in &node.entries {
+                    let child = Self::child_item(entry);
+                    self.consider(Pair::new(item1, child), None);
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// "Simultaneous" expansion of a node/node pair (§2.2.2): both nodes are
+    /// opened and their entries paired with a plane sweep restricted by the
+    /// distance range.
+    fn expand_both(&mut self, pair: &Pair<D>) -> sdj_storage::Result<()> {
+        let (Item::Node { page: p1, .. }, Item::Node { page: p2, .. }) =
+            (&pair.item1, &pair.item2)
+        else {
+            unreachable!("expand_both on a non-node pair")
+        };
+        if self.semi.is_some() {
+            if let Some(est) = &mut self.estimator {
+                est.on_expand_item1(pair.item1.identity());
+            }
+        }
+        let node1 = self.read_node1(*p1)?;
+        let node2 = self.read_node2(*p2)?;
+        let metric = self.metric();
+        let eff_max = if self.ascending() {
+            self.effective_max()
+        } else {
+            f64::INFINITY
+        };
+        let dmin = self.config.min_distance;
+
+        // Restriction of the search space: drop entries that are out of
+        // range with respect to the space spanned by the other node.
+        let r2 = pair.item2.rect();
+        let mut entries1: Vec<&IndexEntry<D>> = Vec::with_capacity(node1.entries.len());
+        for e in &node1.entries {
+            self.stats.distance_calcs += 1;
+            if metric.mindist_rect_rect(e.rect(), r2) > eff_max {
+                self.stats.pruned_by_range += 1;
+                continue;
+            }
+            if dmin > 0.0 {
+                self.stats.distance_calcs += 1;
+                if metric.maxdist_rect_rect(e.rect(), r2) < dmin {
+                    self.stats.pruned_by_range += 1;
+                    continue;
+                }
+            }
+            if let Some(oid) = e.object_id() {
+                if self
+                    .semi
+                    .as_ref()
+                    .is_some_and(|s| s.filters_on_expand() && s.seen.contains(oid.0))
+                {
+                    self.stats.filtered_seen += 1;
+                    continue;
+                }
+            }
+            entries1.push(e);
+        }
+        let r1 = pair.item1.rect();
+        let mut entries2: Vec<&IndexEntry<D>> = Vec::with_capacity(node2.entries.len());
+        for e in &node2.entries {
+            self.stats.distance_calcs += 1;
+            if metric.mindist_rect_rect(e.rect(), r1) > eff_max {
+                self.stats.pruned_by_range += 1;
+                continue;
+            }
+            if dmin > 0.0 {
+                self.stats.distance_calcs += 1;
+                if metric.maxdist_rect_rect(e.rect(), r1) < dmin {
+                    self.stats.pruned_by_range += 1;
+                    continue;
+                }
+            }
+            entries2.push(e);
+        }
+
+        // Plane sweep along axis 0: for each left entry, only right entries
+        // whose x-interval can lie within `eff_max` are considered ("the
+        // algorithm must sweep along the entries in the other node up to the
+        // coordinate value x2 + Dmax").
+        entries2.sort_by(|a, b| {
+            a.rect().lo()[0]
+                .partial_cmp(&b.rect().lo()[0])
+                .expect("finite rectangles")
+        });
+        let max_width2 = entries2
+            .iter()
+            .map(|e| e.rect().extent(0))
+            .fold(0.0f64, f64::max);
+        for e1 in &entries1 {
+            let (lo_bound, hi_bound) = if eff_max.is_finite() {
+                (
+                    e1.rect().lo()[0] - eff_max - max_width2,
+                    e1.rect().hi()[0] + eff_max,
+                )
+            } else {
+                (f64::NEG_INFINITY, f64::INFINITY)
+            };
+            let start = entries2.partition_point(|e| e.rect().lo()[0] < lo_bound);
+            for e2 in &entries2[start..] {
+                if e2.rect().lo()[0] > hi_bound {
+                    break;
+                }
+                let c1 = Self::child_item(e1);
+                let c2 = Self::child_item(e2);
+                self.consider(Pair::new(c1, c2), None);
+            }
+        }
+        Ok(())
+    }
+
+    /// Reports `(o1, o2, d)`, updating semi-join and estimator state.
+    /// Returns `None` when the semi-join suppresses the pair.
+    fn report(&mut self, oid1: ObjectId, oid2: ObjectId, distance: f64) -> Option<ResultPair> {
+        if self.config.exclude_equal_ids && oid1 == oid2 {
+            self.stats.filtered_self += 1;
+            return None;
+        }
+        if let Some(semi) = &mut self.semi {
+            if !semi.seen.insert(oid1.0) {
+                self.stats.filtered_seen += 1;
+                return None;
+            }
+        }
+        if let Some(est) = &mut self.estimator {
+            est.on_report();
+        }
+        self.stats.pairs_reported += 1;
+        self.reported += 1;
+        if let Some(k) = self.config.max_pairs {
+            if self.reported >= k {
+                self.done = true;
+            }
+        }
+        Some(ResultPair {
+            oid1,
+            oid2,
+            distance,
+        })
+    }
+
+    /// The algorithm's main loop (Figure 3), run until the next result.
+    fn next_result(&mut self) -> sdj_storage::Result<Option<ResultPair>> {
+        if self.done {
+            return Ok(None);
+        }
+        while let Some((key, pair)) = self.queue.pop() {
+            self.stats.pairs_dequeued += 1;
+            let ascending = self.ascending();
+            if let Some(est) = &mut self.estimator {
+                est.on_dequeue(pair.item1.identity(), pair.item2.identity());
+                if ascending && key.dist.get() > est.current_dmax() {
+                    self.stats.pruned_by_estimate += 1;
+                    continue;
+                }
+            }
+            if let Some(semi) = &self.semi {
+                if semi.filters_on_dequeue() {
+                    if let Some(oid1) = pair.item1.object_id() {
+                        if semi.seen.contains(oid1.0) {
+                            self.stats.filtered_seen += 1;
+                            continue;
+                        }
+                    }
+                }
+                if ascending {
+                    if let Some(bound) = semi.bound_for(pair.item1.identity()) {
+                        if key.dist.get() > bound {
+                            self.stats.pruned_by_dmax += 1;
+                            continue;
+                        }
+                    }
+                }
+            }
+
+            if pair.is_final(O::EXACT) {
+                let distance = if ascending {
+                    key.dist.get()
+                } else {
+                    -key.dist.get()
+                };
+                let oid1 = pair.item1.object_id().expect("final pair");
+                let oid2 = pair.item2.object_id().expect("final pair");
+                if let Some(result) = self.report(oid1, oid2, distance) {
+                    return Ok(Some(result));
+                }
+                continue;
+            }
+
+            match (&pair.item1, &pair.item2) {
+                (Item::Obr { oid: o1, .. }, Item::Obr { oid: o2, .. }) => {
+                    // Refinement (Figure 3, lines 7–14): compute the exact
+                    // object distance; report immediately if it is still the
+                    // front of the queue, re-enqueue otherwise.
+                    let (o1, o2) = (*o1, *o2);
+                    self.stats.object_distance_calcs += 1;
+                    let d = self.oracle.object_distance(o1, o2);
+                    if d < self.config.min_distance || d > self.effective_max() {
+                        self.stats.pruned_by_range += 1;
+                        continue;
+                    }
+                    let key_dist = if ascending { d } else { -d };
+                    let object_pair = Pair::new(
+                        Item::Object {
+                            oid: o1,
+                            mbr: *pair.item1.rect(),
+                        },
+                        Item::Object {
+                            oid: o2,
+                            mbr: *pair.item2.rect(),
+                        },
+                    );
+                    let new_key = PairKey::new(key_dist, &object_pair, self.config.tie);
+                    let report_now = match self.queue.peek_key() {
+                        Some(front) => new_key <= front,
+                        None => true,
+                    };
+                    if report_now {
+                        if let Some(result) = self.report(o1, o2, d) {
+                            return Ok(Some(result));
+                        }
+                    } else {
+                        self.enqueue_final(object_pair, d);
+                    }
+                }
+                (Item::Node { .. }, Item::Node { level: l2, .. }) => {
+                    let l2 = *l2;
+                    match self.config.traversal {
+                        TraversalPolicy::Basic => self.expand_one(&pair, true)?,
+                        TraversalPolicy::Even => {
+                            let l1 = pair.item1.node_level().expect("node item");
+                            // Process the node at the shallower level (the
+                            // one closer to its root); at equal levels, the
+                            // one covering more space — this keeps the
+                            // traversal symmetric in the join order, as the
+                            // paper observes for its Even variant.
+                            let first = match l1.cmp(&l2) {
+                                std::cmp::Ordering::Greater => true,
+                                std::cmp::Ordering::Less => false,
+                                std::cmp::Ordering::Equal => {
+                                    pair.item1.rect().area() >= pair.item2.rect().area()
+                                }
+                            };
+                            self.expand_one(&pair, first)?;
+                        }
+                        TraversalPolicy::Simultaneous => self.expand_both(&pair)?,
+                    }
+                }
+                (Item::Node { .. }, _) => self.expand_one(&pair, true)?,
+                (_, Item::Node { .. }) => self.expand_one(&pair, false)?,
+                _ => unreachable!("non-final object pair kinds are handled above"),
+            }
+        }
+        self.done = true;
+        Ok(None)
+    }
+}
+
+impl<const D: usize, O, I1, I2> Iterator for DistanceJoin<'_, D, O, I1, I2>
+where
+    O: DistanceOracle<D>,
+    I1: SpatialIndex<D>,
+    I2: SpatialIndex<D>,
+{
+    type Item = ResultPair;
+
+    fn next(&mut self) -> Option<ResultPair> {
+        match self.next_result() {
+            Ok(r) => r,
+            Err(e) => {
+                self.error = Some(e);
+                self.done = true;
+                None
+            }
+        }
+    }
+}
+
+/// Type alias emphasising semi-join usage.
+pub type DistanceSemiJoin<'a, const D: usize, O = MbrOracle, I1 = RTree<D>, I2 = RTree<D>> =
+    DistanceJoin<'a, D, O, I1, I2>;

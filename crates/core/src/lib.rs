@@ -1,0 +1,82 @@
+//! Incremental distance join algorithms for spatial databases.
+//!
+//! This crate implements the two operations introduced by Hjaltason & Samet
+//! (SIGMOD 1998) and the full design space their evaluation explores:
+//!
+//! * **Distance join** ([`DistanceJoin::new`]): the Cartesian product of two
+//!   spatially indexed relations, streamed in order of the distance between
+//!   the joined objects.
+//! * **Distance semi-join** ([`DistanceJoin::semi`]): for each object of the
+//!   first relation, its nearest partner in the second, streamed in distance
+//!   order — a database-primitive clustering / discrete-Voronoi operation.
+//!
+//! Both are *incremental*: results are produced one at a time from a
+//! priority queue of index-item pairs, so a pipelined consumer that stops
+//! after `k` results pays only for what it consumed.
+//!
+//! The knobs of the paper's §2.2–§2.3 are all exposed through
+//! [`JoinConfig`] and [`SemiConfig`]:
+//!
+//! | Paper concept | Here |
+//! |---|---|
+//! | tie-breaking (§2.2.2) | [`TiePolicy`] |
+//! | node/node processing (§2.2.2) | [`TraversalPolicy`] |
+//! | distance range (§2.2.3) | [`JoinConfig::with_range`] |
+//! | max-distance estimation (§2.2.4) | [`JoinConfig::with_max_pairs`], [`EstimationBound`] |
+//! | reverse ordering (§2.2.5) | [`ResultOrder::Descending`] |
+//! | hybrid queue (§3.2) | [`QueueBackend::Hybrid`] |
+//! | semi-join filtering (§4.2.1) | [`SemiFilter`] |
+//! | semi-join d_max pruning (§4.2.1) | [`DmaxStrategy`] |
+//!
+//! # Example
+//!
+//! ```
+//! use sdj_core::{DistanceJoin, JoinConfig};
+//! use sdj_geom::Point;
+//! use sdj_rtree::{ObjectId, RTree, RTreeConfig};
+//!
+//! let mut stores = RTree::new(RTreeConfig::small(8));
+//! let mut warehouses = RTree::new(RTreeConfig::small(8));
+//! for i in 0..100u64 {
+//!     let p = Point::xy((i % 10) as f64, (i / 10) as f64);
+//!     stores.insert(ObjectId(i), p.to_rect()).unwrap();
+//! }
+//! for i in 0..5u64 {
+//!     let p = Point::xy(2.0 * i as f64, 5.0);
+//!     warehouses.insert(ObjectId(i), p.to_rect()).unwrap();
+//! }
+//!
+//! // The three closest (store, warehouse) pairs.
+//! let closest: Vec<_> = DistanceJoin::new(&stores, &warehouses, JoinConfig::default())
+//!     .take(3)
+//!     .collect();
+//! assert_eq!(closest.len(), 3);
+//! assert!(closest[0].distance <= closest[1].distance);
+//! ```
+
+pub mod apps;
+mod config;
+pub mod index;
+mod estimate;
+pub mod intersect;
+mod join;
+pub mod nn;
+mod oracle;
+mod pair;
+mod queue;
+mod semi;
+mod stats;
+
+pub use config::{
+    EstimationBound, JoinConfig, QueueBackend, ResultOrder, TiePolicy, TraversalPolicy,
+};
+pub use estimate::{Estimator, EstimatorMode};
+pub use index::{IndexEntry, IndexNode, NodeId, SpatialIndex};
+pub use intersect::{IntersectionPair, OrderedIntersectionJoin};
+pub use join::{DistanceJoin, DistanceSemiJoin, ResultPair};
+pub use nn::{nearest_neighbors, IndexNearestNeighbors, IndexNeighbor};
+pub use oracle::{DistanceOracle, MbrOracle, SliceOracle};
+pub use pair::{Item, ItemId, Pair, PairKey};
+pub use queue::JoinQueue;
+pub use semi::{DmaxStrategy, SeenSet, SemiConfig, SemiFilter};
+pub use stats::JoinStats;

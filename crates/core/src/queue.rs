@@ -1,0 +1,142 @@
+//! The join's priority queue: a thin enum over the memory and hybrid
+//! backends, tracking the paper's "maximum queue size" measure.
+
+use sdj_pqueue::{HybridConfig, HybridQueue, PairingHeap, PriorityQueue};
+use sdj_storage::DiskStats;
+
+use crate::config::QueueBackend;
+use crate::pair::{Pair, PairKey};
+
+/// Priority queue of pairs, backed by either a pairing heap or the hybrid
+/// memory/disk scheme.
+pub enum JoinQueue<const D: usize> {
+    /// Purely in-memory pairing heap.
+    Memory(PairingHeap<PairKey, Pair<D>>),
+    /// Hybrid three-tier queue.
+    Hybrid(Box<HybridQueue<PairKey, Pair<D>>>),
+}
+
+impl<const D: usize> JoinQueue<D> {
+    /// Creates the queue selected by `backend`.
+    #[must_use]
+    pub fn new(backend: &QueueBackend) -> Self {
+        match backend {
+            QueueBackend::Memory => JoinQueue::Memory(PairingHeap::new()),
+            QueueBackend::Hybrid(config) => {
+                JoinQueue::Hybrid(Box::new(HybridQueue::new(*config)))
+            }
+        }
+    }
+
+    /// Creates a hybrid-backed queue directly.
+    #[must_use]
+    pub fn hybrid(config: HybridConfig) -> Self {
+        JoinQueue::Hybrid(Box::new(HybridQueue::new(config)))
+    }
+
+    /// Inserts a pair.
+    pub fn push(&mut self, key: PairKey, pair: Pair<D>) {
+        match self {
+            JoinQueue::Memory(q) => q.push(key, pair),
+            JoinQueue::Hybrid(q) => q.push(key, pair),
+        }
+    }
+
+    /// Removes the minimum pair.
+    pub fn pop(&mut self) -> Option<(PairKey, Pair<D>)> {
+        match self {
+            JoinQueue::Memory(q) => q.pop(),
+            JoinQueue::Hybrid(q) => q.pop(),
+        }
+    }
+
+    /// The minimum key (may promote spilled elements in the hybrid case).
+    pub fn peek_key(&mut self) -> Option<PairKey> {
+        match self {
+            JoinQueue::Memory(q) => PriorityQueue::peek_key(q),
+            JoinQueue::Hybrid(q) => q.peek_key(),
+        }
+    }
+
+    /// Current length.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        match self {
+            JoinQueue::Memory(q) => q.len(),
+            JoinQueue::Hybrid(q) => PriorityQueue::len(q.as_ref()),
+        }
+    }
+
+    /// True if empty.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Lifetime high-water mark of the length.
+    #[must_use]
+    pub fn max_len(&self) -> usize {
+        match self {
+            JoinQueue::Memory(q) => PriorityQueue::max_len(q),
+            JoinQueue::Hybrid(q) => PriorityQueue::max_len(q.as_ref()),
+        }
+    }
+
+    /// Disk traffic of the hybrid backend (zeros for the memory backend).
+    #[must_use]
+    pub fn disk_stats(&self) -> DiskStats {
+        match self {
+            JoinQueue::Memory(_) => DiskStats::default(),
+            JoinQueue::Hybrid(q) => q.disk_stats(),
+        }
+    }
+
+    /// Tiering information for the hybrid backend: `(tier stats, in-memory
+    /// element peak)`. `None` for the memory backend.
+    #[must_use]
+    pub fn hybrid_info(&self) -> Option<(sdj_pqueue::HybridStats, usize)> {
+        match self {
+            JoinQueue::Memory(_) => None,
+            JoinQueue::Hybrid(q) => Some((q.stats(), q.in_memory_peak())),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pair::{Item, TiePolicy};
+    use sdj_geom::Rect;
+    use sdj_rtree::ObjectId;
+
+    fn pair(oid: u64) -> Pair<2> {
+        let item = Item::Obr {
+            oid: ObjectId(oid),
+            mbr: Rect::new([0.0, 0.0], [0.0, 0.0]),
+        };
+        Pair::new(item, item)
+    }
+
+    #[test]
+    fn both_backends_agree() {
+        let mut mem = JoinQueue::<2>::new(&QueueBackend::Memory);
+        let mut hyb = JoinQueue::<2>::hybrid(HybridConfig::with_dt(1.0));
+        for (i, d) in [3.0, 0.5, 7.25, 1.5, 4.0].iter().enumerate() {
+            let p = pair(i as u64);
+            let k = PairKey::new(*d, &p, TiePolicy::DepthFirst);
+            mem.push(k, p);
+            hyb.push(k, p);
+        }
+        assert_eq!(mem.len(), hyb.len());
+        loop {
+            let a = mem.pop();
+            let b = hyb.pop();
+            assert_eq!(a.map(|(k, _)| k), b.map(|(k, _)| k));
+            if a.is_none() {
+                break;
+            }
+        }
+        assert_eq!(mem.max_len(), 5);
+        assert_eq!(hyb.max_len(), 5);
+    }
+}

@@ -1,0 +1,66 @@
+//! Per-run performance counters, matching the measures the paper reports
+//! (Table 1: distance calculations, maximum queue size, node I/O).
+
+/// Counters accumulated by one join execution.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct JoinStats {
+    /// All bound-distance evaluations (MINDIST/MAXDIST/MINMAXDIST between
+    /// items).
+    pub distance_calcs: u64,
+    /// Exact object-to-object distance computations.
+    pub object_distance_calcs: u64,
+    /// Pairs pushed onto the priority queue.
+    pub pairs_enqueued: u64,
+    /// Pairs popped from the priority queue.
+    pub pairs_dequeued: u64,
+    /// Result pairs reported.
+    pub pairs_reported: u64,
+    /// High-water mark of the queue length.
+    pub max_queue: usize,
+    /// Logical node reads performed by the join (each may or may not hit the
+    /// buffer pool).
+    pub node_accesses: u64,
+    /// Buffer-pool misses across both trees during the join: the paper's
+    /// "node I/O" measure.
+    pub node_io: u64,
+    /// Pairs rejected by the `[Dmin, Dmax]` range restriction.
+    pub pruned_by_range: u64,
+    /// Pairs rejected by the estimated maximum distance (§2.2.4).
+    pub pruned_by_estimate: u64,
+    /// Pairs rejected by semi-join `d_max` bounds (§4.2.1).
+    pub pruned_by_dmax: u64,
+    /// Pairs dropped because their first object already produced a
+    /// semi-join result.
+    pub filtered_seen: u64,
+    /// Self-pairs dropped by `exclude_equal_ids` (self-join applications).
+    pub filtered_self: u64,
+}
+
+impl JoinStats {
+    /// Sum of all pruning counters.
+    #[must_use]
+    pub fn total_pruned(&self) -> u64 {
+        self.pruned_by_range
+            + self.pruned_by_estimate
+            + self.pruned_by_dmax
+            + self.filtered_seen
+            + self.filtered_self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn total_pruned_sums() {
+        let s = JoinStats {
+            pruned_by_range: 1,
+            pruned_by_estimate: 2,
+            pruned_by_dmax: 3,
+            filtered_seen: 4,
+            ..JoinStats::default()
+        };
+        assert_eq!(s.total_pruned(), 10);
+    }
+}

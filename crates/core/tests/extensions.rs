@@ -1,0 +1,208 @@
+//! Tests for the §2.2.5 extensions: spatial selection windows, self-join
+//! id exclusion, and their interaction with estimation and semi-joins.
+
+use proptest::prelude::*;
+use sdj_core::apps;
+use sdj_core::{DistanceJoin, JoinConfig, SemiConfig};
+use sdj_datagen::{tiger, uniform_points, unit_box};
+use sdj_geom::{Metric, Point, Rect};
+use sdj_rtree::{ObjectId, RTree, RTreeConfig};
+
+const EPS: f64 = 1e-9;
+
+fn build_tree(points: &[Point<2>], fanout: usize) -> RTree<2> {
+    let mut tree = RTree::new(RTreeConfig::small(fanout));
+    for (i, p) in points.iter().enumerate() {
+        tree.insert(ObjectId(i as u64), p.to_rect()).unwrap();
+    }
+    tree
+}
+
+#[test]
+fn window_restriction_matches_bruteforce() {
+    let a = tiger::water_like(150, 17);
+    let b = tiger::roads_like(300, 17);
+    let t1 = build_tree(&a, 6);
+    let t2 = build_tree(&b, 6);
+    let w1 = Rect::new([0.2, 0.2], [0.7, 0.8]);
+    let w2 = Rect::new([0.1, 0.3], [0.9, 0.9]);
+
+    let got: Vec<f64> = DistanceJoin::new(&t1, &t2, JoinConfig::default())
+        .with_windows(Some(w1), Some(w2))
+        .map(|r| r.distance)
+        .collect();
+
+    let mut want: Vec<f64> = a
+        .iter()
+        .filter(|p| w1.contains_point(p))
+        .flat_map(|p| {
+            b.iter()
+                .filter(|q| w2.contains_point(q))
+                .map(move |q| Metric::Euclidean.distance(p, q))
+        })
+        .collect();
+    want.sort_by(|x, y| x.partial_cmp(y).unwrap());
+
+    assert_eq!(got.len(), want.len());
+    for (g, w) in got.iter().zip(&want) {
+        assert!((g - w).abs() < EPS);
+    }
+}
+
+#[test]
+fn one_sided_window() {
+    let a = uniform_points(100, &unit_box(), 23);
+    let b = uniform_points(100, &unit_box(), 24);
+    let t1 = build_tree(&a, 5);
+    let t2 = build_tree(&b, 5);
+    let w1 = Rect::new([0.0, 0.0], [0.5, 0.5]);
+    let results: Vec<_> = DistanceJoin::new(&t1, &t2, JoinConfig::default())
+        .with_windows(Some(w1), None)
+        .collect();
+    let left_in = a.iter().filter(|p| w1.contains_point(p)).count();
+    assert_eq!(results.len(), left_in * b.len());
+    for r in &results {
+        assert!(w1.contains_point(&a[r.oid1.0 as usize]));
+    }
+}
+
+#[test]
+fn window_with_max_pairs_still_exact() {
+    // Windows make subtree counts unsafe for estimation; the conservative
+    // handling must still deliver exactly k correct results.
+    let a = tiger::water_like(200, 31);
+    let b = tiger::roads_like(400, 31);
+    let t1 = build_tree(&a, 6);
+    let t2 = build_tree(&b, 6);
+    let w2 = Rect::new([0.25, 0.25], [0.75, 0.75]);
+
+    let mut want: Vec<f64> = a
+        .iter()
+        .flat_map(|p| {
+            b.iter()
+                .filter(|q| w2.contains_point(q))
+                .map(move |q| Metric::Euclidean.distance(p, q))
+        })
+        .collect();
+    want.sort_by(|x, y| x.partial_cmp(y).unwrap());
+
+    for k in [1usize, 10, 50] {
+        let got: Vec<f64> =
+            DistanceJoin::new(&t1, &t2, JoinConfig::default().with_max_pairs(k as u64))
+                .with_windows(None, Some(w2))
+                .map(|r| r.distance)
+                .collect();
+        assert_eq!(got.len(), k.min(want.len()));
+        for (g, w) in got.iter().zip(&want) {
+            assert!((g - w).abs() < EPS, "k={k}");
+        }
+    }
+}
+
+#[test]
+fn window_semi_join_restricts_partners() {
+    // Semi-join with a window on the second side: nearest partner *inside
+    // the window*.
+    let a = uniform_points(60, &unit_box(), 41);
+    let b = uniform_points(120, &unit_box(), 42);
+    let t1 = build_tree(&a, 5);
+    let t2 = build_tree(&b, 5);
+    let w2 = Rect::new([0.0, 0.0], [0.6, 1.0]);
+    let results: Vec<_> = DistanceJoin::semi(
+        &t1,
+        &t2,
+        JoinConfig::default(),
+        SemiConfig::default(),
+    )
+    .with_windows(None, Some(w2))
+    .collect();
+    assert_eq!(results.len(), a.len());
+    for r in &results {
+        let p = &a[r.oid1.0 as usize];
+        let want = b
+            .iter()
+            .filter(|q| w2.contains_point(q))
+            .map(|q| Metric::Euclidean.distance(p, q))
+            .fold(f64::INFINITY, f64::min);
+        assert!((r.distance - want).abs() < EPS);
+        assert!(w2.contains_point(&b[r.oid2.0 as usize]));
+    }
+}
+
+#[test]
+fn exclusion_with_max_pairs_exact() {
+    let pts = uniform_points(80, &unit_box(), 51);
+    let t = build_tree(&pts, 5);
+    let mut want: Vec<f64> = (0..pts.len())
+        .flat_map(|i| {
+            let pts = &pts;
+            (0..pts.len())
+                .filter(move |j| *j != i)
+                .map(move |j| Metric::Euclidean.distance(&pts[i], &pts[j]))
+        })
+        .collect();
+    want.sort_by(|x, y| x.partial_cmp(y).unwrap());
+    for k in [1usize, 20, 200] {
+        let config = JoinConfig {
+            exclude_equal_ids: true,
+            ..JoinConfig::default()
+        }
+        .with_max_pairs(k as u64);
+        let got: Vec<f64> = DistanceJoin::new(&t, &t, config).map(|r| r.distance).collect();
+        assert_eq!(got.len(), k);
+        for (g, w) in got.iter().zip(&want) {
+            assert!((g - w).abs() < EPS, "k={k}");
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// All-nearest-neighbours over random point sets always matches brute
+    /// force, including duplicate coordinates (distinct ids at distance 0).
+    #[test]
+    fn all_nn_property(
+        coords in prop::collection::vec((0.0..10.0f64, 0.0..10.0f64), 2..60),
+        dup in any::<bool>(),
+    ) {
+        let mut pts: Vec<Point<2>> = coords.iter().map(|(x, y)| Point::xy(*x, *y)).collect();
+        if dup {
+            let first = pts[0];
+            pts.push(first); // force a zero-distance non-self pair
+        }
+        let tree = build_tree(&pts, 4);
+        let result = apps::all_nearest_neighbors(&tree, Metric::Euclidean);
+        prop_assert_eq!(result.len(), pts.len());
+        for r in &result {
+            prop_assert_ne!(r.oid1, r.oid2);
+            let p = &pts[r.oid1.0 as usize];
+            let want = pts
+                .iter()
+                .enumerate()
+                .filter(|(j, _)| *j as u64 != r.oid1.0)
+                .map(|(_, q)| Metric::Euclidean.distance(p, q))
+                .fold(f64::INFINITY, f64::min);
+            prop_assert!((r.distance - want).abs() < EPS);
+        }
+    }
+
+    /// The closest pair within a random set matches brute force.
+    #[test]
+    fn closest_pair_within_property(
+        coords in prop::collection::vec((0.0..10.0f64, 0.0..10.0f64), 2..50),
+    ) {
+        let pts: Vec<Point<2>> = coords.iter().map(|(x, y)| Point::xy(*x, *y)).collect();
+        let tree = build_tree(&pts, 4);
+        let got = apps::closest_pair_within(&tree, Metric::Euclidean).unwrap();
+        let mut want = f64::INFINITY;
+        for i in 0..pts.len() {
+            for j in 0..pts.len() {
+                if i != j {
+                    want = want.min(Metric::Euclidean.distance(&pts[i], &pts[j]));
+                }
+            }
+        }
+        prop_assert!((got.distance - want).abs() < EPS);
+    }
+}

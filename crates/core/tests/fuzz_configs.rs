@@ -1,0 +1,215 @@
+//! Configuration-space fuzzing: any combination of traversal policy, tie
+//! policy, queue backend, distance range, result bound, estimation bound
+//! and ordering must produce exactly the brute-force answer on random data.
+
+use proptest::prelude::*;
+use sdj_core::{
+    DistanceJoin, DmaxStrategy, EstimationBound, JoinConfig, QueueBackend, ResultOrder,
+    SemiConfig, SemiFilter, TiePolicy, TraversalPolicy,
+};
+use sdj_geom::{Metric, Point};
+use sdj_pqueue::HybridConfig;
+use sdj_rtree::{ObjectId, RTree, RTreeConfig};
+
+const EPS: f64 = 1e-9;
+
+#[derive(Clone, Debug)]
+struct FuzzCase {
+    a: Vec<Point<2>>,
+    b: Vec<Point<2>>,
+    fanout: usize,
+    traversal: TraversalPolicy,
+    tie: TiePolicy,
+    hybrid_dt: Option<f64>,
+    metric: Metric,
+    range: Option<(f64, f64)>,
+    max_pairs: Option<u64>,
+    estimation: EstimationBound,
+    descending: bool,
+    semi: Option<(SemiFilter, DmaxStrategy)>,
+}
+
+fn arb_points(max: usize) -> impl Strategy<Value = Vec<Point<2>>> {
+    prop::collection::vec((0.0..10.0f64, 0.0..10.0f64), 1..max)
+        .prop_map(|v| v.into_iter().map(|(x, y)| Point::xy(x, y)).collect())
+}
+
+fn arb_case() -> impl Strategy<Value = FuzzCase> {
+    let traversal = prop::sample::select(vec![
+        TraversalPolicy::Basic,
+        TraversalPolicy::Even,
+        TraversalPolicy::Simultaneous,
+    ]);
+    let tie = prop::sample::select(vec![TiePolicy::DepthFirst, TiePolicy::BreadthFirst]);
+    let metric = prop::sample::select(vec![
+        Metric::Euclidean,
+        Metric::Manhattan,
+        Metric::Chessboard,
+    ]);
+    let estimation =
+        prop::sample::select(vec![EstimationBound::AllPairs, EstimationBound::ExistsPair]);
+    let semi = prop::option::of((
+        prop::sample::select(vec![
+            SemiFilter::Outside,
+            SemiFilter::Inside1,
+            SemiFilter::Inside2,
+        ]),
+        prop::sample::select(vec![
+            DmaxStrategy::None,
+            DmaxStrategy::Local,
+            DmaxStrategy::GlobalNodes,
+            DmaxStrategy::GlobalAll,
+        ]),
+    ));
+    (
+        (
+            arb_points(45),
+            arb_points(60),
+            3usize..7,
+            traversal,
+            tie,
+            prop::option::of(0.05..5.0f64),
+        ),
+        (
+            metric,
+            prop::option::of((0.0..4.0f64, 0.0..10.0f64)),
+            prop::option::of(1u64..80),
+            estimation,
+            any::<bool>(),
+            semi,
+        ),
+    )
+        .prop_map(
+            |(
+                (a, b, fanout, traversal, tie, hybrid_dt),
+                (metric, range, max_pairs, estimation, descending, semi),
+            )| FuzzCase {
+                a,
+                b,
+                fanout,
+                traversal,
+                tie,
+                hybrid_dt,
+                metric,
+                range: range.map(|(lo, w)| (lo, lo + w)),
+                max_pairs,
+                estimation,
+                descending,
+                semi,
+            },
+        )
+}
+
+fn tree(points: &[Point<2>], fanout: usize) -> RTree<2> {
+    let mut t = RTree::new(RTreeConfig::small(fanout));
+    for (i, p) in points.iter().enumerate() {
+        t.insert(ObjectId(i as u64), p.to_rect()).unwrap();
+    }
+    t
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    #[test]
+    fn any_config_matches_bruteforce(case in arb_case()) {
+        let mut config = JoinConfig {
+            traversal: case.traversal,
+            tie: case.tie,
+            metric: case.metric,
+            estimation: case.estimation,
+            ..JoinConfig::default()
+        };
+        if let Some((lo, hi)) = case.range {
+            config = config.with_range(lo, hi);
+        }
+        if let Some(k) = case.max_pairs {
+            config.max_pairs = Some(k);
+        }
+        let descending_ok = case
+            .semi
+            .is_none_or(|(_, dmax)| matches!(dmax, DmaxStrategy::None));
+        if case.descending && descending_ok {
+            config.order = ResultOrder::Descending;
+        }
+        // Hybrid queue only supports ascending keys.
+        if let (Some(dt), ResultOrder::Ascending) = (case.hybrid_dt, config.order) {
+            config.queue = QueueBackend::Hybrid(HybridConfig {
+                dt,
+                page_size: 512,
+                buffer_frames: 4,
+            });
+        }
+
+        let t1 = tree(&case.a, case.fanout);
+        let t2 = tree(&case.b, case.fanout);
+
+        let got: Vec<(u64, u64, f64)> = match case.semi {
+            None => DistanceJoin::new(&t1, &t2, config)
+                .map(|r| (r.oid1.0, r.oid2.0, r.distance))
+                .collect(),
+            Some((filter, dmax)) => {
+                DistanceJoin::semi(&t1, &t2, config, SemiConfig { filter, dmax })
+                    .map(|r| (r.oid1.0, r.oid2.0, r.distance))
+                    .collect()
+            }
+        };
+
+        // Brute-force reference under the same semantics.
+        let (dmin, dmax_q) = case.range.unwrap_or((0.0, f64::INFINITY));
+        let mut all: Vec<(u64, u64, f64)> = Vec::new();
+        for (i, p) in case.a.iter().enumerate() {
+            for (j, q) in case.b.iter().enumerate() {
+                let d = case.metric.distance(p, q);
+                if d >= dmin && d <= dmax_q {
+                    all.push((i as u64, j as u64, d));
+                }
+            }
+        }
+        let asc = matches!(config.order, ResultOrder::Ascending);
+        all.sort_by(|x, y| {
+            let o = x.2.partial_cmp(&y.2).unwrap();
+            if asc { o } else { o.reverse() }
+        });
+        let want: Vec<(u64, f64)> = if case.semi.is_some() {
+            // First occurrence per first object.
+            let mut seen = std::collections::HashSet::new();
+            all.iter()
+                .filter(|(i, _, _)| seen.insert(*i))
+                .map(|(i, _, d)| (*i, *d))
+                .collect()
+        } else {
+            all.iter().map(|(i, _, d)| (*i, *d)).collect()
+        };
+        let limit = case.max_pairs.map_or(want.len(), |k| (k as usize).min(want.len()));
+
+        prop_assert_eq!(got.len(), limit, "config: {:?}", config);
+        for (idx, ((_, _, gd), (_, wd))) in got.iter().zip(&want).enumerate() {
+            prop_assert!(
+                (gd - wd).abs() < EPS,
+                "result {idx}: {gd} vs {wd} under {:?} semi {:?}",
+                config,
+                case.semi
+            );
+        }
+        // Semi-join: each first object at most once, and distances correct
+        // per object.
+        if case.semi.is_some() {
+            let mut seen = std::collections::HashSet::new();
+            for (o1, _, d) in &got {
+                prop_assert!(seen.insert(*o1));
+                let per_object: Vec<f64> = all
+                    .iter()
+                    .filter(|(i, _, _)| i == o1)
+                    .map(|(_, _, d)| *d)
+                    .collect();
+                let best = if asc {
+                    per_object.iter().cloned().fold(f64::INFINITY, f64::min)
+                } else {
+                    per_object.iter().cloned().fold(f64::NEG_INFINITY, f64::max)
+                };
+                prop_assert!((d - best).abs() < EPS);
+            }
+        }
+    }
+}

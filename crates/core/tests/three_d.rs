@@ -1,0 +1,112 @@
+//! The paper's algorithms are dimension-generic ("arbitrary spatial data
+//! types in any dimensions"); exercise the whole stack in 3-D.
+
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+use sdj_core::{DistanceJoin, JoinConfig, SemiConfig};
+use sdj_geom::{Metric, Point};
+use sdj_rtree::{ObjectId, RTree, RTreeConfig};
+
+const EPS: f64 = 1e-9;
+
+fn random_points(n: usize, seed: u64) -> Vec<Point<3>> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..n)
+        .map(|_| {
+            Point::new([
+                rng.random_range(0.0..100.0),
+                rng.random_range(0.0..100.0),
+                rng.random_range(0.0..100.0),
+            ])
+        })
+        .collect()
+}
+
+fn tree(points: &[Point<3>]) -> RTree<3> {
+    let mut t = RTree::new(RTreeConfig {
+        page_size: 1024,
+        fanout_cap: Some(8),
+        buffer_frames: 64,
+        ..RTreeConfig::default()
+    });
+    for (i, p) in points.iter().enumerate() {
+        t.insert(ObjectId(i as u64), p.to_rect()).unwrap();
+    }
+    t
+}
+
+#[test]
+fn three_d_join_matches_bruteforce() {
+    let a = random_points(120, 1);
+    let b = random_points(180, 2);
+    let t1 = tree(&a);
+    let t2 = tree(&b);
+    t1.validate().unwrap();
+    t2.validate().unwrap();
+    for metric in [Metric::Euclidean, Metric::Manhattan, Metric::Chessboard] {
+        let config = JoinConfig {
+            metric,
+            ..JoinConfig::default()
+        };
+        let got: Vec<f64> = DistanceJoin::new(&t1, &t2, config)
+            .take(400)
+            .map(|r| r.distance)
+            .collect();
+        let mut want: Vec<f64> = a
+            .iter()
+            .flat_map(|p| b.iter().map(move |q| metric.distance(p, q)))
+            .collect();
+        want.sort_by(|x, y| x.partial_cmp(y).unwrap());
+        for (g, w) in got.iter().zip(&want) {
+            assert!((g - w).abs() < EPS, "{metric:?}");
+        }
+    }
+}
+
+#[test]
+fn three_d_semi_join_and_estimation() {
+    let a = random_points(90, 3);
+    let b = random_points(150, 4);
+    let t1 = tree(&a);
+    let t2 = tree(&b);
+
+    let semi: Vec<(u64, f64)> =
+        DistanceJoin::semi(&t1, &t2, JoinConfig::default(), SemiConfig::default())
+            .map(|r| (r.oid1.0, r.distance))
+            .collect();
+    assert_eq!(semi.len(), a.len());
+    for (oid, d) in &semi {
+        let nn = b
+            .iter()
+            .map(|q| Metric::Euclidean.distance(&a[*oid as usize], q))
+            .fold(f64::INFINITY, f64::min);
+        assert!((d - nn).abs() < EPS);
+    }
+
+    // Estimation stays exact in 3-D (MINMAXDIST face enumeration included).
+    let mut want: Vec<f64> = a
+        .iter()
+        .flat_map(|p| b.iter().map(move |q| Metric::Euclidean.distance(p, q)))
+        .collect();
+    want.sort_by(|x, y| x.partial_cmp(y).unwrap());
+    for bound in [
+        sdj_core::EstimationBound::AllPairs,
+        sdj_core::EstimationBound::ExistsPair,
+    ] {
+        let config = JoinConfig {
+            estimation: bound,
+            ..JoinConfig::default()
+        }
+        .with_max_pairs(200);
+        let got: Vec<f64> = DistanceJoin::new(&t1, &t2, config)
+            .map(|r| r.distance)
+            .collect();
+        assert_eq!(got.len(), 200, "{bound:?}");
+        for (g, w) in got.iter().zip(&want) {
+            assert!((g - w).abs() < EPS, "{bound:?}");
+        }
+    }
+}
+
+// (The 3-D octree join lives in sdj-quadtree's test suite to avoid a
+// dev-dependency cycle.)

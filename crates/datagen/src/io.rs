@@ -1,0 +1,135 @@
+//! Loading point sets from delimited text files.
+//!
+//! The paper's real data sets are TIGER/Line feature centroids, which are
+//! easy to export as `x,y` text. This loader lets the experiment harness run
+//! over the genuine extracts when the user has them, instead of the
+//! synthetic stand-ins.
+
+use std::fs::File;
+use std::io::{BufRead, BufReader, Read};
+use std::path::Path;
+
+use sdj_geom::Point;
+
+/// Error while loading a point file.
+#[derive(Debug)]
+pub enum LoadError {
+    /// Underlying file I/O failed.
+    Io(std::io::Error),
+    /// A line could not be parsed; carries the 1-based line number.
+    Parse(usize, String),
+}
+
+impl std::fmt::Display for LoadError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            LoadError::Io(e) => write!(f, "I/O error: {e}"),
+            LoadError::Parse(line, what) => write!(f, "line {line}: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for LoadError {}
+
+impl From<std::io::Error> for LoadError {
+    fn from(e: std::io::Error) -> Self {
+        LoadError::Io(e)
+    }
+}
+
+/// Parses 2-d points from lines of `x<sep>y`, where `<sep>` is a comma,
+/// semicolon, tab or run of spaces. Blank lines and lines starting with `#`
+/// are skipped; a first line that does not parse as numbers is treated as a
+/// header.
+pub fn parse_points_csv(input: impl Read) -> Result<Vec<Point<2>>, LoadError> {
+    let reader = BufReader::new(input);
+    let mut out = Vec::new();
+    for (i, line) in reader.lines().enumerate() {
+        let line = line?;
+        let trimmed = line.trim();
+        if trimmed.is_empty() || trimmed.starts_with('#') {
+            continue;
+        }
+        match parse_line(trimmed) {
+            Some(p) => out.push(p),
+            None if out.is_empty() && i == 0 => continue, // header row
+            None => {
+                return Err(LoadError::Parse(i + 1, format!("cannot parse '{trimmed}'")));
+            }
+        }
+    }
+    Ok(out)
+}
+
+fn parse_line(line: &str) -> Option<Point<2>> {
+    let mut fields = line
+        .split(|c: char| c == ',' || c == ';' || c.is_whitespace())
+        .filter(|f| !f.is_empty());
+    let x: f64 = fields.next()?.parse().ok()?;
+    let y: f64 = fields.next()?.parse().ok()?;
+    if !x.is_finite() || !y.is_finite() {
+        return None;
+    }
+    Some(Point::xy(x, y))
+}
+
+/// Loads 2-d points from a delimited text file (see [`parse_points_csv`]).
+pub fn load_points_csv(path: impl AsRef<Path>) -> Result<Vec<Point<2>>, LoadError> {
+    parse_points_csv(File::open(path)?)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_common_formats() {
+        let csv = "1.0,2.0\n3.5,-4.25\n";
+        let pts = parse_points_csv(csv.as_bytes()).unwrap();
+        assert_eq!(pts, vec![Point::xy(1.0, 2.0), Point::xy(3.5, -4.25)]);
+
+        let tsv = "1\t2\n3\t4\n";
+        assert_eq!(parse_points_csv(tsv.as_bytes()).unwrap().len(), 2);
+
+        let spaces = "  1 2 \n 3   4\n";
+        assert_eq!(parse_points_csv(spaces.as_bytes()).unwrap().len(), 2);
+    }
+
+    #[test]
+    fn skips_header_comments_and_blanks() {
+        let input = "x,y\n# comment\n\n1,2\n\n3,4\n";
+        let pts = parse_points_csv(input.as_bytes()).unwrap();
+        assert_eq!(pts.len(), 2);
+    }
+
+    #[test]
+    fn extra_columns_ignored() {
+        let input = "1,2,roadname,99\n3,4,river,0\n";
+        let pts = parse_points_csv(input.as_bytes()).unwrap();
+        assert_eq!(pts, vec![Point::xy(1.0, 2.0), Point::xy(3.0, 4.0)]);
+    }
+
+    #[test]
+    fn reports_bad_line_numbers() {
+        let input = "1,2\nnot-a-point\n";
+        match parse_points_csv(input.as_bytes()) {
+            Err(LoadError::Parse(line, _)) => assert_eq!(line, 2),
+            other => panic!("expected parse error, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn rejects_non_finite() {
+        let input = "1,2\ninf,4\n";
+        assert!(parse_points_csv(input.as_bytes()).is_err());
+    }
+
+    #[test]
+    fn file_roundtrip() {
+        let path = std::env::temp_dir().join(format!("sdj_pts_{}.csv", std::process::id()));
+        std::fs::write(&path, "0.5,0.25\n0.75,0.125\n").unwrap();
+        let pts = load_points_csv(&path).unwrap();
+        std::fs::remove_file(&path).ok();
+        assert_eq!(pts.len(), 2);
+    }
+}

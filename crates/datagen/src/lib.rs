@@ -1,0 +1,158 @@
+//! Deterministic spatial workload generators.
+//!
+//! The paper's experiments join two point sets derived from the TIGER/Line
+//! files of the Washington, DC area: *Water* (37,495 centroids of water
+//! features) and *Roads* (200,482 centroids of road features). Those files
+//! are not shipped here, so this crate synthesises point sets with the same
+//! behaviourally relevant properties — skewed, line-feature-clustered
+//! distributions sharing one coordinate frame — from a seed:
+//!
+//! * [`uniform_points`] / [`gaussian_clusters`] — classic synthetic loads,
+//! * [`tiger`] — polyline-network generator with [`tiger::water_like`] and
+//!   [`tiger::roads_like`] presets mirroring the paper's data sets (full
+//!   cardinalities 37,495 and 200,482; every experiment binary accepts a
+//!   scale factor).
+//!
+//! All generators are deterministic in their seed.
+
+pub mod io;
+pub mod tiger;
+
+pub use io::{load_points_csv, parse_points_csv, LoadError};
+
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+use sdj_geom::{Point, Rect};
+
+/// The unit coordinate frame shared by the standard datasets.
+#[must_use]
+pub fn unit_box() -> Rect<2> {
+    Rect::new([0.0, 0.0], [1.0, 1.0])
+}
+
+/// `n` points uniformly distributed in `bbox`.
+#[must_use]
+pub fn uniform_points(n: usize, bbox: &Rect<2>, seed: u64) -> Vec<Point<2>> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..n)
+        .map(|_| {
+            Point::xy(
+                rng.random_range(bbox.lo()[0]..=bbox.hi()[0]),
+                rng.random_range(bbox.lo()[1]..=bbox.hi()[1]),
+            )
+        })
+        .collect()
+}
+
+/// `n` points drawn from `clusters` Gaussian blobs with standard deviation
+/// `sigma`, clamped to `bbox`.
+#[must_use]
+pub fn gaussian_clusters(
+    n: usize,
+    clusters: usize,
+    sigma: f64,
+    bbox: &Rect<2>,
+    seed: u64,
+) -> Vec<Point<2>> {
+    assert!(clusters > 0, "need at least one cluster");
+    let mut rng = StdRng::seed_from_u64(seed);
+    let centers: Vec<Point<2>> = (0..clusters)
+        .map(|_| {
+            Point::xy(
+                rng.random_range(bbox.lo()[0]..=bbox.hi()[0]),
+                rng.random_range(bbox.lo()[1]..=bbox.hi()[1]),
+            )
+        })
+        .collect();
+    (0..n)
+        .map(|i| {
+            let c = &centers[i % clusters];
+            let p = Point::xy(
+                c.x() + sigma * gaussian(&mut rng),
+                c.y() + sigma * gaussian(&mut rng),
+            );
+            clamp_to(p, bbox)
+        })
+        .collect()
+}
+
+/// Standard normal deviate via Box–Muller.
+pub(crate) fn gaussian(rng: &mut StdRng) -> f64 {
+    let u1: f64 = rng.random_range(f64::MIN_POSITIVE..1.0);
+    let u2: f64 = rng.random_range(0.0..1.0);
+    (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos()
+}
+
+pub(crate) fn clamp_to(p: Point<2>, bbox: &Rect<2>) -> Point<2> {
+    Point::xy(
+        p.x().clamp(bbox.lo()[0], bbox.hi()[0]),
+        p.y().clamp(bbox.lo()[1], bbox.hi()[1]),
+    )
+}
+
+/// Spatial-skew measure used by the tests: the coefficient of variation of
+/// point counts over a `g`×`g` grid (0 for perfectly even, larger for more
+/// clustered distributions).
+#[must_use]
+pub fn grid_skew(points: &[Point<2>], bbox: &Rect<2>, g: usize) -> f64 {
+    assert!(g > 0 && !points.is_empty());
+    let mut counts = vec![0usize; g * g];
+    for p in points {
+        let cx = (((p.x() - bbox.lo()[0]) / bbox.extent(0)) * g as f64) as usize;
+        let cy = (((p.y() - bbox.lo()[1]) / bbox.extent(1)) * g as f64) as usize;
+        counts[cx.min(g - 1) * g + cy.min(g - 1)] += 1;
+    }
+    let mean = points.len() as f64 / (g * g) as f64;
+    let var = counts
+        .iter()
+        .map(|&c| (c as f64 - mean) * (c as f64 - mean))
+        .sum::<f64>()
+        / (g * g) as f64;
+    var.sqrt() / mean
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn uniform_is_deterministic_and_in_bounds() {
+        let bbox = unit_box();
+        let a = uniform_points(500, &bbox, 1);
+        let b = uniform_points(500, &bbox, 1);
+        let c = uniform_points(500, &bbox, 2);
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+        assert!(a.iter().all(|p| bbox.contains_point(p)));
+    }
+
+    #[test]
+    fn gaussian_clusters_are_clustered() {
+        let bbox = unit_box();
+        let clustered = gaussian_clusters(2000, 8, 0.01, &bbox, 3);
+        let uniform = uniform_points(2000, &bbox, 3);
+        assert!(clustered.iter().all(|p| bbox.contains_point(p)));
+        assert!(
+            grid_skew(&clustered, &bbox, 10) > 2.0 * grid_skew(&uniform, &bbox, 10),
+            "clusters should be much more skewed than uniform"
+        );
+    }
+
+    #[test]
+    fn grid_skew_of_even_grid_is_zero() {
+        let bbox = unit_box();
+        let mut pts = Vec::new();
+        for i in 0..10 {
+            for j in 0..10 {
+                pts.push(Point::xy(0.05 + i as f64 * 0.1, 0.05 + j as f64 * 0.1));
+            }
+        }
+        assert!(grid_skew(&pts, &bbox, 10) < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one cluster")]
+    fn zero_clusters_rejected() {
+        let _ = gaussian_clusters(10, 0, 0.1, &unit_box(), 1);
+    }
+}

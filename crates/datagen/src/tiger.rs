@@ -1,0 +1,213 @@
+//! TIGER-like synthetic data: feature centroids scattered along polyline
+//! networks.
+//!
+//! TIGER/Line centroids are not uniform: road-feature centroids trace street
+//! networks (dense urban grids plus sparser arterials), water-feature
+//! centroids trace rivers and pool around lakes. The generator reproduces
+//! that structure from a seed:
+//!
+//! 1. lay down a set of momentum random-walk polylines ("arterials" or
+//!    "rivers") that reflect off the bounding box;
+//! 2. sample feature centroids along the polylines with jitter;
+//! 3. mix in a fraction of blob-clustered centroids ("towns" / "lakes").
+//!
+//! [`water_like`] and [`roads_like`] are presets whose full-scale
+//! cardinalities match the paper's data sets (§3.1): Water = 37,495 points,
+//! Roads = 200,482 points, a ≈ 1 : 5.35 ratio.
+
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+use sdj_geom::Point;
+
+use crate::{clamp_to, gaussian, unit_box};
+
+/// Full-scale cardinality of the Water data set (paper §3.1).
+pub const WATER_FULL: usize = 37_495;
+/// Full-scale cardinality of the Roads data set (paper §3.1).
+pub const ROADS_FULL: usize = 200_482;
+
+/// Parameters of the polyline-network generator.
+#[derive(Clone, Copy, Debug)]
+pub struct TigerConfig {
+    /// Total number of centroids to generate.
+    pub n: usize,
+    /// Number of polylines in the network.
+    pub polylines: usize,
+    /// Mean step length of the polyline random walk (in bbox units).
+    pub step: f64,
+    /// Standard deviation of the heading perturbation per step (radians).
+    pub wiggle: f64,
+    /// Jitter (standard deviation) of centroids around the polyline.
+    pub jitter: f64,
+    /// Fraction of centroids drawn from blob clusters instead of polylines.
+    pub cluster_fraction: f64,
+    /// Number of blob clusters.
+    pub clusters: usize,
+    /// Blob standard deviation.
+    pub cluster_sigma: f64,
+}
+
+impl TigerConfig {
+    /// Preset mimicking river/lake centroid structure.
+    #[must_use]
+    pub fn water(n: usize) -> Self {
+        Self {
+            n,
+            polylines: (n / 900).clamp(4, 60),
+            step: 0.015,
+            wiggle: 0.35,
+            jitter: 0.004,
+            cluster_fraction: 0.3,
+            clusters: (n / 2500).clamp(3, 30),
+            cluster_sigma: 0.012,
+        }
+    }
+
+    /// Preset mimicking street-network centroid structure.
+    #[must_use]
+    pub fn roads(n: usize) -> Self {
+        Self {
+            n,
+            polylines: (n / 250).clamp(8, 900),
+            step: 0.01,
+            wiggle: 0.55,
+            jitter: 0.002,
+            cluster_fraction: 0.45,
+            clusters: (n / 1500).clamp(5, 160),
+            cluster_sigma: 0.02,
+        }
+    }
+}
+
+/// Generates centroids per `config` inside the unit box.
+#[must_use]
+pub fn generate(config: &TigerConfig, seed: u64) -> Vec<Point<2>> {
+    assert!(config.n > 0, "need a positive point count");
+    assert!(config.polylines > 0 && config.clusters > 0);
+    let bbox = unit_box();
+    let mut rng = StdRng::seed_from_u64(seed);
+
+    // 1. Polyline network.
+    let n_line = ((1.0 - config.cluster_fraction) * config.n as f64).round() as usize;
+    let per_line = n_line.div_ceil(config.polylines);
+    let mut points = Vec::with_capacity(config.n);
+    for _ in 0..config.polylines {
+        let mut pos = Point::xy(rng.random_range(0.0..1.0), rng.random_range(0.0..1.0));
+        let mut heading: f64 = rng.random_range(0.0..std::f64::consts::TAU);
+        for _ in 0..per_line {
+            if points.len() >= n_line {
+                break;
+            }
+            // Centroid near the walk position.
+            let c = Point::xy(
+                pos.x() + config.jitter * gaussian(&mut rng),
+                pos.y() + config.jitter * gaussian(&mut rng),
+            );
+            points.push(clamp_to(c, &bbox));
+            // Advance the walk with momentum, reflecting at the borders.
+            heading += config.wiggle * gaussian(&mut rng);
+            let step = config.step * rng.random_range(0.5..1.5);
+            let mut x = pos.x() + step * heading.cos();
+            let mut y = pos.y() + step * heading.sin();
+            if !(0.0..=1.0).contains(&x) {
+                heading = std::f64::consts::PI - heading;
+                x = x.clamp(0.0, 1.0);
+            }
+            if !(0.0..=1.0).contains(&y) {
+                heading = -heading;
+                y = y.clamp(0.0, 1.0);
+            }
+            pos = Point::xy(x, y);
+        }
+    }
+
+    // 2. Blob clusters (towns / lakes).
+    let centers: Vec<Point<2>> = (0..config.clusters)
+        .map(|_| Point::xy(rng.random_range(0.0..1.0), rng.random_range(0.0..1.0)))
+        .collect();
+    let mut i = 0usize;
+    while points.len() < config.n {
+        let c = &centers[i % centers.len()];
+        let p = Point::xy(
+            c.x() + config.cluster_sigma * gaussian(&mut rng),
+            c.y() + config.cluster_sigma * gaussian(&mut rng),
+        );
+        points.push(clamp_to(p, &bbox));
+        i += 1;
+    }
+    points.truncate(config.n);
+    points
+}
+
+/// A Water-like data set of `n` points (use [`WATER_FULL`] for the paper's
+/// cardinality).
+#[must_use]
+pub fn water_like(n: usize, seed: u64) -> Vec<Point<2>> {
+    generate(&TigerConfig::water(n), seed ^ 0x0057_A7E4)
+}
+
+/// A Roads-like data set of `n` points (use [`ROADS_FULL`] for the paper's
+/// cardinality).
+#[must_use]
+pub fn roads_like(n: usize, seed: u64) -> Vec<Point<2>> {
+    generate(&TigerConfig::roads(n), seed ^ 0x0004_0AD5)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{grid_skew, uniform_points};
+    use sdj_geom::Rect;
+
+    #[test]
+    fn deterministic_in_seed() {
+        assert_eq!(water_like(1000, 7), water_like(1000, 7));
+        assert_ne!(water_like(1000, 7), water_like(1000, 8));
+    }
+
+    #[test]
+    fn exact_cardinality_and_bounds() {
+        let bbox = unit_box();
+        for n in [1, 10, 999, 5000] {
+            let pts = roads_like(n, 1);
+            assert_eq!(pts.len(), n);
+            assert!(pts.iter().all(|p| bbox.contains_point(p)));
+        }
+    }
+
+    #[test]
+    fn skewed_like_real_feature_centroids() {
+        let bbox = unit_box();
+        let water = water_like(5000, 2);
+        let roads = roads_like(5000, 2);
+        let uniform = uniform_points(5000, &bbox, 2);
+        let u = grid_skew(&uniform, &bbox, 16);
+        assert!(
+            grid_skew(&water, &bbox, 16) > 2.0 * u,
+            "water must be clustered"
+        );
+        assert!(
+            grid_skew(&roads, &bbox, 16) > 1.5 * u,
+            "roads must be clustered"
+        );
+    }
+
+    #[test]
+    fn water_and_roads_overlap_in_space() {
+        // The join only produces small distances if the two sets share
+        // territory; verify their bounding boxes overlap substantially.
+        let water = Rect::bounding(water_like(2000, 3).iter());
+        let roads = Rect::bounding(roads_like(2000, 3).iter());
+        let overlap = water.overlap_area(&roads);
+        assert!(overlap > 0.5 * water.area().min(roads.area()));
+    }
+
+    #[test]
+    fn full_scale_constants() {
+        assert_eq!(WATER_FULL, 37_495);
+        assert_eq!(ROADS_FULL, 200_482);
+        // Ratio preserved within 1%.
+        let ratio = ROADS_FULL as f64 / WATER_FULL as f64;
+        assert!((ratio - 5.347).abs() < 0.01);
+    }
+}

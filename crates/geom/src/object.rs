@@ -1,0 +1,63 @@
+//! The spatial-object abstraction.
+
+use crate::{Metric, Point, Rect};
+
+/// A spatial data object that can be indexed by the R-tree and joined by the
+/// incremental distance join.
+///
+/// The algorithms only ever interact with objects through a minimal bounding
+/// rectangle and an object-to-object distance, which is what makes them work
+/// "for data objects of arbitrary type and dimension" (paper §2.2). The
+/// consistency requirement is that
+/// `metric.mindist_rect_rect(a.mbr(), b.mbr()) <= a.min_distance(b, metric)`;
+/// the property tests in this workspace verify it for the provided types.
+pub trait SpatialObject<const D: usize>: Clone {
+    /// Minimal bounding rectangle of the object.
+    fn mbr(&self) -> Rect<D>;
+
+    /// Minimum distance between the geometries of two objects under the
+    /// given metric.
+    fn min_distance(&self, other: &Self, metric: Metric) -> f64;
+}
+
+impl<const D: usize> SpatialObject<D> for Point<D> {
+    fn mbr(&self) -> Rect<D> {
+        self.to_rect()
+    }
+
+    fn min_distance(&self, other: &Self, metric: Metric) -> f64 {
+        metric.distance(self, other)
+    }
+}
+
+impl<const D: usize> SpatialObject<D> for Rect<D> {
+    fn mbr(&self) -> Rect<D> {
+        *self
+    }
+
+    fn min_distance(&self, other: &Self, metric: Metric) -> f64 {
+        metric.mindist_rect_rect(self, other)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn point_object_consistency() {
+        let a = Point::xy(0.0, 0.0);
+        let b = Point::xy(3.0, 4.0);
+        let m = Metric::Euclidean;
+        let via_mbr = m.mindist_rect_rect(&a.mbr(), &b.mbr());
+        assert_eq!(via_mbr, a.min_distance(&b, m));
+    }
+
+    #[test]
+    fn rect_object_distance() {
+        let a = Rect::new([0.0, 0.0], [1.0, 1.0]);
+        let b = Rect::new([4.0, 0.0], [5.0, 1.0]);
+        assert_eq!(a.min_distance(&b, Metric::Euclidean), 3.0);
+        assert_eq!(a.mbr(), a);
+    }
+}

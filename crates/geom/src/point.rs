@@ -1,0 +1,179 @@
+//! Points in `D`-dimensional Euclidean space.
+
+use crate::Rect;
+
+/// A point in `D`-dimensional space with `f64` coordinates.
+///
+/// `Point` is `Copy` for small `D`; the join algorithms store points inline
+/// in R-tree leaf pages exactly as the paper's evaluation does ("the spatial
+/// objects were represented directly in the leaves").
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Point<const D: usize> {
+    coords: [f64; D],
+}
+
+impl<const D: usize> Point<D> {
+    /// Creates a point from its coordinate array.
+    #[must_use]
+    pub const fn new(coords: [f64; D]) -> Self {
+        Self { coords }
+    }
+
+    /// The origin (all coordinates zero).
+    #[must_use]
+    pub const fn origin() -> Self {
+        Self { coords: [0.0; D] }
+    }
+
+    /// Coordinate along axis `axis`.
+    ///
+    /// # Panics
+    /// Panics if `axis >= D`.
+    #[inline]
+    #[must_use]
+    pub fn coord(&self, axis: usize) -> f64 {
+        self.coords[axis]
+    }
+
+    /// All coordinates as a slice.
+    #[inline]
+    #[must_use]
+    pub fn coords(&self) -> &[f64; D] {
+        &self.coords
+    }
+
+    /// Mutable access to the coordinates.
+    #[inline]
+    pub fn coords_mut(&mut self) -> &mut [f64; D] {
+        &mut self.coords
+    }
+
+    /// The degenerate rectangle `[self, self]`.
+    #[must_use]
+    pub fn to_rect(self) -> Rect<D> {
+        Rect::new(self.coords, self.coords)
+    }
+
+    /// Componentwise minimum of two points.
+    #[must_use]
+    pub fn min_with(&self, other: &Self) -> Self {
+        let mut out = [0.0; D];
+        for (o, (a, b)) in out.iter_mut().zip(self.coords.iter().zip(&other.coords)) {
+            *o = a.min(*b);
+        }
+        Self { coords: out }
+    }
+
+    /// Componentwise maximum of two points.
+    #[must_use]
+    pub fn max_with(&self, other: &Self) -> Self {
+        let mut out = [0.0; D];
+        for (o, (a, b)) in out.iter_mut().zip(self.coords.iter().zip(&other.coords)) {
+            *o = a.max(*b);
+        }
+        Self { coords: out }
+    }
+
+    /// Linear interpolation `self + t * (other - self)`.
+    #[must_use]
+    pub fn lerp(&self, other: &Self, t: f64) -> Self {
+        let mut out = [0.0; D];
+        for (o, (a, b)) in out.iter_mut().zip(self.coords.iter().zip(&other.coords)) {
+            *o = a + t * (b - a);
+        }
+        Self { coords: out }
+    }
+
+    /// True if every coordinate is finite.
+    #[must_use]
+    pub fn is_finite(&self) -> bool {
+        self.coords.iter().all(|c| c.is_finite())
+    }
+}
+
+impl Point<2> {
+    /// Shorthand constructor for the common 2-D case.
+    #[must_use]
+    pub const fn xy(x: f64, y: f64) -> Self {
+        Self::new([x, y])
+    }
+
+    /// The x coordinate.
+    #[inline]
+    #[must_use]
+    pub fn x(&self) -> f64 {
+        self.coords[0]
+    }
+
+    /// The y coordinate.
+    #[inline]
+    #[must_use]
+    pub fn y(&self) -> f64 {
+        self.coords[1]
+    }
+}
+
+impl<const D: usize> From<[f64; D]> for Point<D> {
+    fn from(coords: [f64; D]) -> Self {
+        Self::new(coords)
+    }
+}
+
+impl<const D: usize> Default for Point<D> {
+    fn default() -> Self {
+        Self::origin()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn xy_accessors() {
+        let p = Point::xy(3.0, -4.5);
+        assert_eq!(p.x(), 3.0);
+        assert_eq!(p.y(), -4.5);
+        assert_eq!(p.coord(0), 3.0);
+        assert_eq!(p.coord(1), -4.5);
+    }
+
+    #[test]
+    fn to_rect_is_degenerate() {
+        let p = Point::new([1.0, 2.0, 3.0]);
+        let r = p.to_rect();
+        assert_eq!(r.lo(), r.hi());
+        assert_eq!(r.lo()[1], 2.0);
+        assert_eq!(r.area(), 0.0);
+    }
+
+    #[test]
+    fn min_max_with() {
+        let a = Point::xy(1.0, 5.0);
+        let b = Point::xy(2.0, -1.0);
+        assert_eq!(a.min_with(&b), Point::xy(1.0, -1.0));
+        assert_eq!(a.max_with(&b), Point::xy(2.0, 5.0));
+    }
+
+    #[test]
+    fn lerp_endpoints_and_midpoint() {
+        let a = Point::xy(0.0, 0.0);
+        let b = Point::xy(2.0, 4.0);
+        assert_eq!(a.lerp(&b, 0.0), a);
+        assert_eq!(a.lerp(&b, 1.0), b);
+        assert_eq!(a.lerp(&b, 0.5), Point::xy(1.0, 2.0));
+    }
+
+    #[test]
+    fn default_is_origin() {
+        let p: Point<4> = Point::default();
+        assert!(p.coords().iter().all(|&c| c == 0.0));
+    }
+
+    #[test]
+    fn finite_detection() {
+        assert!(Point::xy(1.0, 2.0).is_finite());
+        assert!(!Point::xy(f64::NAN, 2.0).is_finite());
+        assert!(!Point::xy(1.0, f64::INFINITY).is_finite());
+    }
+}

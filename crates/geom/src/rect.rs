@@ -1,0 +1,366 @@
+//! Axis-aligned hyper-rectangles (minimum bounding rectangles).
+
+use crate::Point;
+
+/// An axis-aligned hyper-rectangle in `D` dimensions, described by its lower
+/// and upper corners. The R-tree uses `Rect` both as node regions and as
+/// object bounding rectangles.
+///
+/// An *empty* rectangle (used as the identity for [`Rect::union`]) has
+/// `lo = +inf`, `hi = -inf` on every axis.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Rect<const D: usize> {
+    lo: [f64; D],
+    hi: [f64; D],
+}
+
+impl<const D: usize> Rect<D> {
+    /// Creates a rectangle from its corner coordinate arrays.
+    ///
+    /// # Panics
+    /// Panics in debug builds if `lo[i] > hi[i]` for some axis of a
+    /// non-empty rectangle.
+    #[must_use]
+    pub fn new(lo: [f64; D], hi: [f64; D]) -> Self {
+        debug_assert!(
+            lo.iter().zip(&hi).all(|(l, h)| l <= h) || Self { lo, hi }.is_empty_marker(),
+            "invalid rect: lo {lo:?} hi {hi:?}"
+        );
+        Self { lo, hi }
+    }
+
+    /// The empty rectangle: the identity element for [`Rect::union`], which
+    /// intersects nothing and contains nothing.
+    #[must_use]
+    pub fn empty() -> Self {
+        Self {
+            lo: [f64::INFINITY; D],
+            hi: [f64::NEG_INFINITY; D],
+        }
+    }
+
+    fn is_empty_marker(&self) -> bool {
+        self.lo.iter().zip(&self.hi).any(|(l, h)| l > h)
+    }
+
+    /// True if this rectangle is empty (contains no point).
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.is_empty_marker()
+    }
+
+    /// Smallest rectangle containing both corner points (in any order).
+    #[must_use]
+    pub fn from_corners(a: &Point<D>, b: &Point<D>) -> Self {
+        Self {
+            lo: *a.min_with(b).coords(),
+            hi: *a.max_with(b).coords(),
+        }
+    }
+
+    /// Smallest rectangle containing all the given points. Returns
+    /// [`Rect::empty`] for an empty iterator.
+    pub fn bounding<'a>(points: impl IntoIterator<Item = &'a Point<D>>) -> Self {
+        let mut out = Self::empty();
+        for p in points {
+            out = out.union(&p.to_rect());
+        }
+        out
+    }
+
+    /// Lower corner.
+    #[inline]
+    #[must_use]
+    pub fn lo(&self) -> &[f64; D] {
+        &self.lo
+    }
+
+    /// Upper corner.
+    #[inline]
+    #[must_use]
+    pub fn hi(&self) -> &[f64; D] {
+        &self.hi
+    }
+
+    /// Side length along `axis` (zero for empty rectangles).
+    #[inline]
+    #[must_use]
+    pub fn extent(&self, axis: usize) -> f64 {
+        (self.hi[axis] - self.lo[axis]).max(0.0)
+    }
+
+    /// Center point.
+    #[must_use]
+    pub fn center(&self) -> Point<D> {
+        let mut c = [0.0; D];
+        for (o, (l, h)) in c.iter_mut().zip(self.lo.iter().zip(&self.hi)) {
+            *o = 0.5 * (l + h);
+        }
+        Point::new(c)
+    }
+
+    /// Hyper-volume (product of extents). Zero for empty or degenerate
+    /// rectangles.
+    #[must_use]
+    pub fn area(&self) -> f64 {
+        if self.is_empty() {
+            return 0.0;
+        }
+        (0..D).map(|a| self.extent(a)).product()
+    }
+
+    /// Sum of extents (the "margin" used by the R*-tree split heuristic).
+    #[must_use]
+    pub fn margin(&self) -> f64 {
+        if self.is_empty() {
+            return 0.0;
+        }
+        (0..D).map(|a| self.extent(a)).sum()
+    }
+
+    /// Smallest rectangle containing both `self` and `other`.
+    #[must_use]
+    pub fn union(&self, other: &Self) -> Self {
+        let mut lo = [0.0; D];
+        let mut hi = [0.0; D];
+        for a in 0..D {
+            lo[a] = self.lo[a].min(other.lo[a]);
+            hi[a] = self.hi[a].max(other.hi[a]);
+        }
+        Self { lo, hi }
+    }
+
+    /// Intersection of `self` and `other`; empty if they do not overlap.
+    #[must_use]
+    pub fn intersection(&self, other: &Self) -> Self {
+        let mut lo = [0.0; D];
+        let mut hi = [0.0; D];
+        for a in 0..D {
+            lo[a] = self.lo[a].max(other.lo[a]);
+            hi[a] = self.hi[a].min(other.hi[a]);
+            if lo[a] > hi[a] {
+                return Self::empty();
+            }
+        }
+        Self { lo, hi }
+    }
+
+    /// Volume of the intersection (the "overlap" of the R*-tree heuristics).
+    #[must_use]
+    pub fn overlap_area(&self, other: &Self) -> f64 {
+        self.intersection(other).area()
+    }
+
+    /// True if the closed rectangles share at least one point.
+    #[must_use]
+    pub fn intersects(&self, other: &Self) -> bool {
+        if self.is_empty() || other.is_empty() {
+            return false;
+        }
+        (0..D).all(|a| self.lo[a] <= other.hi[a] && other.lo[a] <= self.hi[a])
+    }
+
+    /// True if `self` fully contains `other`.
+    #[must_use]
+    pub fn contains_rect(&self, other: &Self) -> bool {
+        if other.is_empty() {
+            return true;
+        }
+        if self.is_empty() {
+            return false;
+        }
+        (0..D).all(|a| self.lo[a] <= other.lo[a] && other.hi[a] <= self.hi[a])
+    }
+
+    /// True if the closed rectangle contains the point.
+    #[must_use]
+    pub fn contains_point(&self, p: &Point<D>) -> bool {
+        !self.is_empty() && (0..D).all(|a| self.lo[a] <= p.coord(a) && p.coord(a) <= self.hi[a])
+    }
+
+    /// Increase in area caused by enlarging `self` to contain `other`.
+    #[must_use]
+    pub fn enlargement(&self, other: &Self) -> f64 {
+        self.union(other).area() - self.area()
+    }
+
+    /// The `2^D` corner points of the rectangle.
+    ///
+    /// Corners are enumerated in binary-counter order: bit `a` of the index
+    /// selects `hi` (set) or `lo` (clear) on axis `a`.
+    #[must_use]
+    pub fn corners(&self) -> Vec<Point<D>> {
+        let n = 1usize << D;
+        let mut out = Vec::with_capacity(n);
+        for mask in 0..n {
+            let mut c = [0.0; D];
+            for (a, v) in c.iter_mut().enumerate() {
+                *v = if mask & (1 << a) != 0 {
+                    self.hi[a]
+                } else {
+                    self.lo[a]
+                };
+            }
+            out.push(Point::new(c));
+        }
+        out
+    }
+
+    /// The `2 * D` faces of the rectangle. Each face is returned as a
+    /// (degenerate along one axis) rectangle. `faces()[2*a]` is the low face
+    /// on axis `a`, `faces()[2*a + 1]` the high face.
+    #[must_use]
+    pub fn faces(&self) -> Vec<Rect<D>> {
+        let mut out = Vec::with_capacity(2 * D);
+        for a in 0..D {
+            let mut lo = self.lo;
+            let mut hi = self.hi;
+            hi[a] = self.lo[a];
+            out.push(Self { lo, hi });
+            lo[a] = self.hi[a];
+            hi[a] = self.hi[a];
+            out.push(Self { lo, hi });
+        }
+        out
+    }
+
+    /// True if every coordinate is finite (empty rectangles are not finite).
+    #[must_use]
+    pub fn is_finite(&self) -> bool {
+        self.lo.iter().chain(&self.hi).all(|c| c.is_finite())
+    }
+}
+
+impl<const D: usize> Default for Rect<D> {
+    fn default() -> Self {
+        Self::empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn r(lo: [f64; 2], hi: [f64; 2]) -> Rect<2> {
+        Rect::new(lo, hi)
+    }
+
+    #[test]
+    fn area_and_margin() {
+        let q = r([0.0, 0.0], [2.0, 3.0]);
+        assert_eq!(q.area(), 6.0);
+        assert_eq!(q.margin(), 5.0);
+        assert_eq!(q.center(), Point::xy(1.0, 1.5));
+    }
+
+    #[test]
+    fn empty_rect_identities() {
+        let e = Rect::<2>::empty();
+        assert!(e.is_empty());
+        assert_eq!(e.area(), 0.0);
+        let q = r([1.0, 1.0], [2.0, 2.0]);
+        assert_eq!(e.union(&q), q);
+        assert!(!e.intersects(&q));
+        assert!(q.contains_rect(&e));
+        assert!(!e.contains_rect(&q));
+    }
+
+    #[test]
+    fn union_and_intersection() {
+        let a = r([0.0, 0.0], [2.0, 2.0]);
+        let b = r([1.0, 1.0], [3.0, 3.0]);
+        assert_eq!(a.union(&b), r([0.0, 0.0], [3.0, 3.0]));
+        assert_eq!(a.intersection(&b), r([1.0, 1.0], [2.0, 2.0]));
+        assert_eq!(a.overlap_area(&b), 1.0);
+        assert!(a.intersects(&b));
+    }
+
+    #[test]
+    fn disjoint_rects() {
+        let a = r([0.0, 0.0], [1.0, 1.0]);
+        let b = r([2.0, 2.0], [3.0, 3.0]);
+        assert!(!a.intersects(&b));
+        assert!(a.intersection(&b).is_empty());
+        assert_eq!(a.overlap_area(&b), 0.0);
+    }
+
+    #[test]
+    fn touching_rects_intersect() {
+        let a = r([0.0, 0.0], [1.0, 1.0]);
+        let b = r([1.0, 0.0], [2.0, 1.0]);
+        assert!(a.intersects(&b));
+        assert_eq!(a.overlap_area(&b), 0.0);
+    }
+
+    #[test]
+    fn containment() {
+        let outer = r([0.0, 0.0], [10.0, 10.0]);
+        let inner = r([2.0, 2.0], [3.0, 3.0]);
+        assert!(outer.contains_rect(&inner));
+        assert!(!inner.contains_rect(&outer));
+        assert!(outer.contains_point(&Point::xy(0.0, 10.0)));
+        assert!(!outer.contains_point(&Point::xy(-0.1, 5.0)));
+    }
+
+    #[test]
+    fn enlargement_zero_when_contained() {
+        let outer = r([0.0, 0.0], [10.0, 10.0]);
+        let inner = r([2.0, 2.0], [3.0, 3.0]);
+        assert_eq!(outer.enlargement(&inner), 0.0);
+        assert_eq!(inner.enlargement(&outer), 100.0 - 1.0);
+    }
+
+    #[test]
+    fn corners_enumeration() {
+        let q = r([0.0, 0.0], [1.0, 2.0]);
+        let cs = q.corners();
+        assert_eq!(cs.len(), 4);
+        assert!(cs.contains(&Point::xy(0.0, 0.0)));
+        assert!(cs.contains(&Point::xy(1.0, 0.0)));
+        assert!(cs.contains(&Point::xy(0.0, 2.0)));
+        assert!(cs.contains(&Point::xy(1.0, 2.0)));
+    }
+
+    #[test]
+    fn faces_are_degenerate_slabs() {
+        let q = r([0.0, 0.0], [1.0, 2.0]);
+        let fs = q.faces();
+        assert_eq!(fs.len(), 4);
+        // Low x face spans full y range at x = 0.
+        assert_eq!(fs[0], r([0.0, 0.0], [0.0, 2.0]));
+        // High x face at x = 1.
+        assert_eq!(fs[1], r([1.0, 0.0], [1.0, 2.0]));
+        // Low/high y faces.
+        assert_eq!(fs[2], r([0.0, 0.0], [1.0, 0.0]));
+        assert_eq!(fs[3], r([0.0, 2.0], [1.0, 2.0]));
+        for f in &fs {
+            assert!(q.contains_rect(f));
+            assert_eq!(f.area(), 0.0);
+        }
+    }
+
+    #[test]
+    fn bounding_points() {
+        let pts = [Point::xy(1.0, 5.0), Point::xy(-2.0, 3.0), Point::xy(0.0, 7.0)];
+        let b = Rect::bounding(pts.iter());
+        assert_eq!(b, r([-2.0, 3.0], [1.0, 7.0]));
+        let none: [Point<2>; 0] = [];
+        assert!(Rect::bounding(none.iter()).is_empty());
+    }
+
+    #[test]
+    fn from_corners_any_order() {
+        let a = Point::xy(3.0, 1.0);
+        let b = Point::xy(1.0, 4.0);
+        assert_eq!(Rect::from_corners(&a, &b), r([1.0, 1.0], [3.0, 4.0]));
+    }
+
+    #[test]
+    fn three_dimensional_area() {
+        let q: Rect<3> = Rect::new([0.0; 3], [2.0, 3.0, 4.0]);
+        assert_eq!(q.area(), 24.0);
+        assert_eq!(q.margin(), 9.0);
+        assert_eq!(q.corners().len(), 8);
+        assert_eq!(q.faces().len(), 6);
+    }
+}

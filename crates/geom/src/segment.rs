@@ -1,0 +1,216 @@
+//! Two-dimensional line segments: the "objects with extent" that §5 of the
+//! paper lists as future work, supported here to demonstrate that the join
+//! algorithms are not limited to points.
+
+use crate::{Metric, Point, Rect, SpatialObject};
+
+/// A line segment in the plane.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Segment {
+    a: Point<2>,
+    b: Point<2>,
+}
+
+impl Segment {
+    /// Creates a segment between two endpoints.
+    #[must_use]
+    pub const fn new(a: Point<2>, b: Point<2>) -> Self {
+        Self { a, b }
+    }
+
+    /// First endpoint.
+    #[must_use]
+    pub const fn start(&self) -> Point<2> {
+        self.a
+    }
+
+    /// Second endpoint.
+    #[must_use]
+    pub const fn end(&self) -> Point<2> {
+        self.b
+    }
+
+    /// Euclidean length of the segment.
+    #[must_use]
+    pub fn length(&self) -> f64 {
+        Metric::Euclidean.distance(&self.a, &self.b)
+    }
+
+    /// The point of the segment closest (in the Euclidean sense) to `p`.
+    #[must_use]
+    pub fn closest_point_to(&self, p: &Point<2>) -> Point<2> {
+        let dx = self.b.x() - self.a.x();
+        let dy = self.b.y() - self.a.y();
+        let len2 = dx * dx + dy * dy;
+        if len2 == 0.0 {
+            return self.a;
+        }
+        let t = ((p.x() - self.a.x()) * dx + (p.y() - self.a.y()) * dy) / len2;
+        self.a.lerp(&self.b, t.clamp(0.0, 1.0))
+    }
+
+    /// Euclidean distance from a point to the segment.
+    #[must_use]
+    pub fn distance_to_point(&self, p: &Point<2>) -> f64 {
+        Metric::Euclidean.distance(p, &self.closest_point_to(p))
+    }
+
+    /// True if the two segments properly intersect or touch.
+    #[must_use]
+    pub fn intersects(&self, other: &Self) -> bool {
+        let d1 = orient(&other.a, &other.b, &self.a);
+        let d2 = orient(&other.a, &other.b, &self.b);
+        let d3 = orient(&self.a, &self.b, &other.a);
+        let d4 = orient(&self.a, &self.b, &other.b);
+        if ((d1 > 0.0 && d2 < 0.0) || (d1 < 0.0 && d2 > 0.0))
+            && ((d3 > 0.0 && d4 < 0.0) || (d3 < 0.0 && d4 > 0.0))
+        {
+            return true;
+        }
+        (d1 == 0.0 && on_segment(&other.a, &other.b, &self.a))
+            || (d2 == 0.0 && on_segment(&other.a, &other.b, &self.b))
+            || (d3 == 0.0 && on_segment(&self.a, &self.b, &other.a))
+            || (d4 == 0.0 && on_segment(&self.a, &self.b, &other.b))
+    }
+
+    /// Euclidean minimum distance between two segments (zero if they
+    /// intersect); otherwise attained from an endpoint of one segment to the
+    /// other segment.
+    #[must_use]
+    pub fn distance_to_segment(&self, other: &Self) -> f64 {
+        if self.intersects(other) {
+            return 0.0;
+        }
+        self.distance_to_point(&other.a)
+            .min(self.distance_to_point(&other.b))
+            .min(other.distance_to_point(&self.a))
+            .min(other.distance_to_point(&self.b))
+    }
+}
+
+/// Cross product of `(b - a) x (c - a)`: positive if `c` lies to the left of
+/// the directed line `a -> b`.
+fn orient(a: &Point<2>, b: &Point<2>, c: &Point<2>) -> f64 {
+    (b.x() - a.x()) * (c.y() - a.y()) - (b.y() - a.y()) * (c.x() - a.x())
+}
+
+/// True if `p` (already known collinear with `a`-`b`) lies on the segment.
+fn on_segment(a: &Point<2>, b: &Point<2>, p: &Point<2>) -> bool {
+    p.x() >= a.x().min(b.x())
+        && p.x() <= a.x().max(b.x())
+        && p.y() >= a.y().min(b.y())
+        && p.y() <= a.y().max(b.y())
+}
+
+impl SpatialObject<2> for Segment {
+    fn mbr(&self) -> Rect<2> {
+        Rect::from_corners(&self.a, &self.b)
+    }
+
+    /// Minimum distance between segments. Only the Euclidean metric is
+    /// meaningful for extended objects here; other metrics fall back to the
+    /// Euclidean geometry, which is still consistent for Euclidean-keyed
+    /// trees.
+    fn min_distance(&self, other: &Self, _metric: Metric) -> f64 {
+        self.distance_to_segment(other)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::approx_eq;
+    use proptest::prelude::*;
+
+    fn seg(ax: f64, ay: f64, bx: f64, by: f64) -> Segment {
+        Segment::new(Point::xy(ax, ay), Point::xy(bx, by))
+    }
+
+    #[test]
+    fn point_to_segment_distance() {
+        let s = seg(0.0, 0.0, 10.0, 0.0);
+        assert!(approx_eq(s.distance_to_point(&Point::xy(5.0, 3.0)), 3.0));
+        assert!(approx_eq(s.distance_to_point(&Point::xy(-3.0, 4.0)), 5.0));
+        assert!(approx_eq(s.distance_to_point(&Point::xy(13.0, 4.0)), 5.0));
+        assert_eq!(s.distance_to_point(&Point::xy(7.0, 0.0)), 0.0);
+    }
+
+    #[test]
+    fn crossing_segments_distance_zero() {
+        let a = seg(0.0, 0.0, 2.0, 2.0);
+        let b = seg(0.0, 2.0, 2.0, 0.0);
+        assert!(a.intersects(&b));
+        assert_eq!(a.distance_to_segment(&b), 0.0);
+    }
+
+    #[test]
+    fn touching_segments_distance_zero() {
+        let a = seg(0.0, 0.0, 1.0, 0.0);
+        let b = seg(1.0, 0.0, 2.0, 5.0);
+        assert!(a.intersects(&b));
+        assert_eq!(a.distance_to_segment(&b), 0.0);
+    }
+
+    #[test]
+    fn parallel_segments_distance() {
+        let a = seg(0.0, 0.0, 10.0, 0.0);
+        let b = seg(0.0, 4.0, 10.0, 4.0);
+        assert!(!a.intersects(&b));
+        assert!(approx_eq(a.distance_to_segment(&b), 4.0));
+    }
+
+    #[test]
+    fn degenerate_segment_is_point() {
+        let a = seg(1.0, 1.0, 1.0, 1.0);
+        assert_eq!(a.length(), 0.0);
+        assert!(approx_eq(a.distance_to_point(&Point::xy(4.0, 5.0)), 5.0));
+        let b = seg(1.0, 5.0, 1.0, 7.0);
+        assert!(approx_eq(a.distance_to_segment(&b), 4.0));
+    }
+
+    #[test]
+    fn mbr_bounds_segment() {
+        let s = seg(3.0, -1.0, 0.0, 4.0);
+        let m = s.mbr();
+        assert_eq!(m, Rect::new([0.0, -1.0], [3.0, 4.0]));
+    }
+
+    fn arb_seg() -> impl Strategy<Value = Segment> {
+        (
+            -50.0..50.0f64,
+            -50.0..50.0f64,
+            -50.0..50.0f64,
+            -50.0..50.0f64,
+        )
+            .prop_map(|(ax, ay, bx, by)| seg(ax, ay, bx, by))
+    }
+
+    proptest! {
+        /// Segment distance is symmetric and never below the MBR MINDIST —
+        /// the consistency requirement of `SpatialObject`.
+        #[test]
+        fn segment_distance_consistency(a in arb_seg(), b in arb_seg()) {
+            let d = a.distance_to_segment(&b);
+            prop_assert!(approx_eq(d, b.distance_to_segment(&a)));
+            let lb = Metric::Euclidean.mindist_rect_rect(&a.mbr(), &b.mbr());
+            prop_assert!(lb <= d + 1e-9);
+        }
+
+        /// The closest point really lies on the segment and is no farther
+        /// than either endpoint.
+        #[test]
+        fn closest_point_on_segment(s in arb_seg(), px in -60.0..60.0f64, py in -60.0..60.0f64) {
+            let p = Point::xy(px, py);
+            let c = s.closest_point_to(&p);
+            // Allow an ulp of lerp rounding when checking containment.
+            let m = s.mbr();
+            for a in 0..2 {
+                prop_assert!(c.coord(a) >= m.lo()[a] - 1e-9);
+                prop_assert!(c.coord(a) <= m.hi()[a] + 1e-9);
+            }
+            let d = Metric::Euclidean.distance(&p, &c);
+            prop_assert!(d <= Metric::Euclidean.distance(&p, &s.start()) + 1e-9);
+            prop_assert!(d <= Metric::Euclidean.distance(&p, &s.end()) + 1e-9);
+        }
+    }
+}

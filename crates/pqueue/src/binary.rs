@@ -1,0 +1,106 @@
+//! `std::collections::BinaryHeap` adapter, used as an ablation comparator
+//! for the pairing heap in the microbenches.
+
+use std::cmp::{Ordering, Reverse};
+use std::collections::BinaryHeap;
+
+use crate::traits::PriorityQueue;
+
+/// Wraps a key/value pair so only the key participates in ordering.
+struct Element<K, V> {
+    key: K,
+    value: V,
+}
+
+impl<K: Ord, V> PartialEq for Element<K, V> {
+    fn eq(&self, other: &Self) -> bool {
+        self.key == other.key
+    }
+}
+impl<K: Ord, V> Eq for Element<K, V> {}
+impl<K: Ord, V> PartialOrd for Element<K, V> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl<K: Ord, V> Ord for Element<K, V> {
+    fn cmp(&self, other: &Self) -> Ordering {
+        self.key.cmp(&other.key)
+    }
+}
+
+/// A min-priority queue backed by the standard binary heap.
+pub struct BinaryHeapQueue<K: Ord, V> {
+    heap: BinaryHeap<Reverse<Element<K, V>>>,
+    max_len: usize,
+}
+
+impl<K: Ord, V> Default for BinaryHeapQueue<K, V> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<K: Ord, V> BinaryHeapQueue<K, V> {
+    /// Creates an empty queue.
+    #[must_use]
+    pub fn new() -> Self {
+        Self {
+            heap: BinaryHeap::new(),
+            max_len: 0,
+        }
+    }
+}
+
+impl<K: Ord + Clone, V> PriorityQueue<K, V> for BinaryHeapQueue<K, V> {
+    fn push(&mut self, key: K, value: V) {
+        self.heap.push(Reverse(Element { key, value }));
+        self.max_len = self.max_len.max(self.heap.len());
+    }
+
+    fn pop(&mut self) -> Option<(K, V)> {
+        self.heap.pop().map(|Reverse(e)| (e.key, e.value))
+    }
+
+    fn peek_key(&mut self) -> Option<K> {
+        self.heap.peek().map(|Reverse(e)| e.key.clone())
+    }
+
+    fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    fn max_len(&self) -> usize {
+        self.max_len
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn behaves_as_min_queue() {
+        let mut q = BinaryHeapQueue::new();
+        q.push(3, 'c');
+        q.push(1, 'a');
+        q.push(2, 'b');
+        assert_eq!(q.peek_key(), Some(1));
+        assert_eq!(q.pop(), Some((1, 'a')));
+        assert_eq!(q.pop(), Some((2, 'b')));
+        assert_eq!(q.pop(), Some((3, 'c')));
+        assert_eq!(q.pop(), None);
+        assert_eq!(q.max_len(), 3);
+    }
+
+    #[test]
+    fn duplicate_keys_all_returned() {
+        let mut q = BinaryHeapQueue::new();
+        for i in 0..5 {
+            q.push(7, i);
+        }
+        let mut values: Vec<i32> = std::iter::from_fn(|| q.pop().map(|(_, v)| v)).collect();
+        values.sort_unstable();
+        assert_eq!(values, vec![0, 1, 2, 3, 4]);
+    }
+}

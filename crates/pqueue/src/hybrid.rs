@@ -1,0 +1,486 @@
+//! The hybrid memory/disk priority queue of §3.2.
+//!
+//! Elements with key distance below `D1` live in a pairing heap; distances
+//! in `[D1, D2)` sit in an unorganised in-memory list; everything at `D2` or
+//! beyond spills to disk, organised as "linked lists of pages with the pairs
+//! in each list having distances in the range `[k·D_T, (k+1)·D_T)`". When
+//! the heap empties, the list is poured into the heap, the window advances
+//! by `D_T`, and the next disk bucket is loaded into the list.
+//!
+//! The window boundaries are maintained as an integer bucket counter
+//! (`D1 = w·D_T`, `D2 = (w+1)·D_T`) so repeated advancement cannot drift.
+
+use std::collections::BTreeMap;
+
+use sdj_storage::codec::{PageReader, PageWriter};
+use sdj_storage::{BufferPool, DiskStats, PageId, Pager};
+
+use crate::pairing::PairingHeap;
+use crate::traits::{Codec, PriorityQueue, QueueKey};
+
+/// Bytes of a spill-page header: record count (`u16`) + next page (`u32`).
+const BUCKET_HEADER: usize = 6;
+
+/// Configuration of a [`HybridQueue`].
+#[derive(Clone, Copy, Debug)]
+pub struct HybridConfig {
+    /// The fixed distance increment `D_T` that sizes the in-memory window
+    /// and the disk buckets. The paper chooses it per data set (§3.2).
+    pub dt: f64,
+    /// Page size of the spill area.
+    pub page_size: usize,
+    /// Buffer frames for the spill area.
+    pub buffer_frames: usize,
+}
+
+impl Default for HybridConfig {
+    fn default() -> Self {
+        Self {
+            dt: 1.0,
+            page_size: 1024,
+            buffer_frames: 64,
+        }
+    }
+}
+
+impl HybridConfig {
+    /// Creates a configuration with the given `D_T` and default paging.
+    #[must_use]
+    pub fn with_dt(dt: f64) -> Self {
+        Self {
+            dt,
+            ..Self::default()
+        }
+    }
+}
+
+/// Counters describing hybrid-queue tier traffic.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct HybridStats {
+    /// Elements pushed straight to a disk bucket.
+    pub spilled: u64,
+    /// Elements read back from disk into the in-memory window.
+    pub reloaded: u64,
+    /// Window advances (list poured into the heap).
+    pub promotions: u64,
+}
+
+struct Bucket {
+    head: PageId,
+    /// Records in the head page (full pages behind it hold `records_per_page`).
+    head_count: usize,
+    total: usize,
+}
+
+/// A three-tier memory/disk min-priority queue.
+///
+/// Storage errors on the simulated spill disk indicate internal
+/// inconsistencies and therefore panic rather than surface as `Result`s.
+pub struct HybridQueue<K, V> {
+    heap: PairingHeap<K, V>,
+    list: Vec<(K, V)>,
+    buckets: BTreeMap<u64, Bucket>,
+    pool: BufferPool,
+    dt: f64,
+    /// Window counter: heap covers `[0, w·dt)`, list `[w·dt, (w+1)·dt)`.
+    window: u64,
+    records_per_page: usize,
+    len: usize,
+    max_len: usize,
+    mem_peak: usize,
+    stats: HybridStats,
+}
+
+impl<K, V> HybridQueue<K, V>
+where
+    K: QueueKey + Codec,
+    V: Codec,
+{
+    /// Creates an empty hybrid queue.
+    ///
+    /// # Panics
+    /// Panics if `dt` is not positive or a spill page cannot hold at least
+    /// one record.
+    #[must_use]
+    pub fn new(config: HybridConfig) -> Self {
+        assert!(config.dt > 0.0, "D_T must be positive");
+        let record = K::encoded_size() + V::encoded_size();
+        let records_per_page = (config.page_size - BUCKET_HEADER) / record;
+        assert!(
+            records_per_page >= 1,
+            "page size {} cannot hold a {record}-byte record",
+            config.page_size
+        );
+        let pool = BufferPool::new(Pager::new(config.page_size), config.buffer_frames);
+        Self {
+            heap: PairingHeap::new(),
+            list: Vec::new(),
+            buckets: BTreeMap::new(),
+            pool,
+            dt: config.dt,
+            window: 1,
+            records_per_page,
+            len: 0,
+            max_len: 0,
+            mem_peak: 0,
+            stats: HybridStats::default(),
+        }
+    }
+
+    /// Tier-traffic counters.
+    #[must_use]
+    pub fn stats(&self) -> HybridStats {
+        self.stats
+    }
+
+    /// Disk counters of the spill area.
+    #[must_use]
+    pub fn disk_stats(&self) -> DiskStats {
+        self.pool.disk_stats()
+    }
+
+    /// Number of elements currently resident in memory (heap + list).
+    #[must_use]
+    pub fn in_memory_len(&self) -> usize {
+        self.heap.len() + self.list.len()
+    }
+
+    /// Number of elements currently spilled to disk.
+    #[must_use]
+    pub fn on_disk_len(&self) -> usize {
+        self.buckets.values().map(|b| b.total).sum()
+    }
+
+    /// High-water mark of [`HybridQueue::in_memory_len`] — what a
+    /// memory-only queue would have had to keep resident is `max_len()`;
+    /// the difference is the hybrid scheme's memory saving.
+    #[must_use]
+    pub fn in_memory_peak(&self) -> usize {
+        self.mem_peak
+    }
+
+    fn note_memory(&mut self) {
+        let m = self.heap.len() + self.list.len();
+        if m > self.mem_peak {
+            self.mem_peak = m;
+        }
+    }
+
+    fn d1(&self) -> f64 {
+        self.window as f64 * self.dt
+    }
+
+    fn d2(&self) -> f64 {
+        (self.window + 1) as f64 * self.dt
+    }
+
+    fn bucket_index(&self, d: f64) -> u64 {
+        debug_assert!(d >= 0.0);
+        // `as` saturates, which handles +inf keys (pairs that can never
+        // produce results sort into the last bucket).
+        (d / self.dt) as u64
+    }
+
+    fn spill(&mut self, key: K, value: V) {
+        let k = self.bucket_index(key.distance());
+        debug_assert!(k >= self.window, "spill of an in-window distance");
+        let records_per_page = self.records_per_page;
+        // Take the bucket out to appease the borrow checker around pool use.
+        let mut bucket = self.buckets.remove(&k);
+        let needs_new_page = match &bucket {
+            None => true,
+            Some(b) => b.head_count == records_per_page,
+        };
+        if needs_new_page {
+            let page = self.pool.allocate();
+            let next = bucket.as_ref().map_or(PageId::INVALID, |b| b.head);
+            self.pool
+                .update(page, |buf| {
+                    let mut w = PageWriter::new(buf);
+                    w.put_u16(0)?;
+                    w.put_u32(next.0)
+                })
+                .expect("spill page in range")
+                .expect("spill header fits");
+            bucket = Some(Bucket {
+                head: page,
+                head_count: 0,
+                total: bucket.as_ref().map_or(0, |b| b.total),
+            });
+        }
+        let mut b = bucket.expect("bucket just ensured");
+        let offset = BUCKET_HEADER + b.head_count * (K::encoded_size() + V::encoded_size());
+        self.pool
+            .update(b.head, |buf| {
+                let new_count = u16::try_from(b.head_count + 1).expect("fits page");
+                buf[0..2].copy_from_slice(&new_count.to_le_bytes());
+                let mut w = PageWriter::new(&mut buf[offset..]);
+                key.encode(&mut w)?;
+                value.encode(&mut w)
+            })
+            .expect("spill page in range")
+            .expect("record fits page");
+        b.head_count += 1;
+        b.total += 1;
+        self.buckets.insert(k, b);
+        self.stats.spilled += 1;
+    }
+
+    /// Loads every record of bucket `k` into the in-memory list, freeing its
+    /// pages.
+    fn reload_bucket(&mut self, k: u64) {
+        let Some(bucket) = self.buckets.remove(&k) else {
+            return;
+        };
+        let record = K::encoded_size() + V::encoded_size();
+        let mut page = bucket.head;
+        let mut loaded = 0usize;
+        while !page.is_invalid() {
+            let (next, records) = self
+                .pool
+                .with_page(page, |buf| -> sdj_storage::Result<_> {
+                    let mut r = PageReader::new(buf);
+                    let count = r.get_u16()? as usize;
+                    let next = PageId(r.get_u32()?);
+                    let mut records = Vec::with_capacity(count);
+                    for i in 0..count {
+                        let mut rr = PageReader::new(&buf[BUCKET_HEADER + i * record..]);
+                        let key = K::decode(&mut rr)?;
+                        let value = V::decode(&mut rr)?;
+                        records.push((key, value));
+                    }
+                    Ok((next, records))
+                })
+                .expect("bucket page in range")
+                .expect("bucket page well-formed");
+            loaded += records.len();
+            self.list.extend(records);
+            self.pool.free(page).expect("bucket page live");
+            page = next;
+        }
+        debug_assert_eq!(loaded, bucket.total);
+        self.stats.reloaded += loaded as u64;
+    }
+
+    /// Makes the heap's minimum the queue's global minimum, advancing the
+    /// window and reloading disk buckets as needed.
+    fn ensure_front(&mut self) {
+        while self.heap.is_empty() {
+            if self.list.is_empty() && self.buckets.is_empty() {
+                return;
+            }
+            if self.list.is_empty() {
+                // Jump the window straight to the first non-empty bucket.
+                let k = *self.buckets.keys().next().expect("checked non-empty");
+                self.window = k;
+                self.reload_bucket(k);
+            }
+            for (key, value) in self.list.drain(..) {
+                self.heap.push(key, value);
+            }
+            self.stats.promotions += 1;
+            // Advance the window and pull the next bucket into the list.
+            // (Saturating: +inf keys land in bucket u64::MAX.)
+            self.window = self.window.saturating_add(1);
+            self.reload_bucket(self.window);
+            self.note_memory();
+        }
+    }
+}
+
+impl<K, V> PriorityQueue<K, V> for HybridQueue<K, V>
+where
+    K: QueueKey + Codec,
+    V: Codec,
+{
+    fn push(&mut self, key: K, value: V) {
+        let d = key.distance();
+        assert!(d >= 0.0, "distance keys must be non-negative");
+        if d < self.d1() {
+            self.heap.push(key, value);
+        } else if d < self.d2() {
+            self.list.push((key, value));
+        } else {
+            self.spill(key, value);
+        }
+        self.len += 1;
+        self.max_len = self.max_len.max(self.len);
+        self.note_memory();
+    }
+
+    fn pop(&mut self) -> Option<(K, V)> {
+        self.ensure_front();
+        let out = self.heap.pop();
+        if out.is_some() {
+            self.len -= 1;
+        }
+        out
+    }
+
+    fn peek_key(&mut self) -> Option<K> {
+        self.ensure_front();
+        self.heap.peek().cloned()
+    }
+
+    fn len(&self) -> usize {
+        self.len
+    }
+
+    fn max_len(&self) -> usize {
+        self.max_len
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+    use rand::rngs::StdRng;
+    use rand::{RngExt, SeedableRng};
+    use sdj_geom::OrdF64;
+
+    fn queue(dt: f64) -> HybridQueue<OrdF64, u64> {
+        HybridQueue::new(HybridConfig {
+            dt,
+            page_size: 128,
+            buffer_frames: 4,
+        })
+    }
+
+    #[test]
+    fn pops_in_global_order_across_tiers() {
+        let mut q = queue(1.0);
+        // Distances spanning heap (< 1), list ([1, 2)), and disk (>= 2).
+        let ds = [5.5, 0.25, 3.75, 1.5, 0.75, 9.0, 2.25, 1.25, 7.5];
+        for (i, d) in ds.iter().enumerate() {
+            q.push(OrdF64::new(*d), i as u64);
+        }
+        assert!(q.on_disk_len() > 0, "some elements must have spilled");
+        let mut got = Vec::new();
+        while let Some((k, _)) = q.pop() {
+            got.push(k.get());
+        }
+        let mut want = ds.to_vec();
+        want.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        assert_eq!(got, want);
+        assert!(q.stats().spilled > 0);
+        assert_eq!(q.stats().spilled, q.stats().reloaded);
+    }
+
+    #[test]
+    fn interleaved_push_pop_stays_ordered() {
+        let mut rng = StdRng::seed_from_u64(42);
+        let mut q = queue(0.5);
+        let mut last = 0.0f64;
+        let mut pending = 0usize;
+        for _ in 0..2000 {
+            if pending > 0 && rng.random_bool(0.4) {
+                let (k, _) = q.pop().unwrap();
+                // Monotone non-decreasing pops as long as pushes never go
+                // below the last popped key (which the join guarantees via
+                // distance-function consistency).
+                assert!(k.get() >= last - 1e-12);
+                last = k.get();
+                pending -= 1;
+            } else {
+                // Push keys at or above the current front, like the join.
+                let d = last + rng.random_range(0.0..5.0);
+                q.push(OrdF64::new(d), 0);
+                pending += 1;
+            }
+        }
+        while let Some((k, _)) = q.pop() {
+            assert!(k.get() >= last - 1e-12);
+            last = k.get();
+        }
+    }
+
+    #[test]
+    fn sparse_buckets_are_jumped() {
+        let mut q = queue(1.0);
+        q.push(OrdF64::new(1000.0), 1);
+        q.push(OrdF64::new(5000.0), 2);
+        assert_eq!(q.pop().unwrap().1, 1);
+        assert_eq!(q.pop().unwrap().1, 2);
+        assert_eq!(q.pop(), None);
+        // The window should have jumped, not crawled through thousands of
+        // promotions.
+        assert!(q.stats().promotions < 10);
+    }
+
+    #[test]
+    fn disk_pages_are_freed_after_reload() {
+        let mut q = queue(1.0);
+        for i in 0..500 {
+            q.push(OrdF64::new(10.0 + (i as f64) * 0.001), i);
+        }
+        assert_eq!(q.on_disk_len(), 500);
+        let mut n = 0;
+        while q.pop().is_some() {
+            n += 1;
+        }
+        assert_eq!(n, 500);
+        let disk = q.disk_stats();
+        assert_eq!(disk.allocations, disk.frees, "all spill pages freed");
+    }
+
+    #[test]
+    fn infinite_keys_sort_last() {
+        let mut q = queue(1.0);
+        q.push(OrdF64::INFINITY, 99);
+        q.push(OrdF64::new(3.0), 1);
+        assert_eq!(q.pop().unwrap().1, 1);
+        assert_eq!(q.pop().unwrap().1, 99);
+    }
+
+    #[test]
+    fn len_and_max_len() {
+        let mut q = queue(1.0);
+        for i in 0..10 {
+            q.push(OrdF64::new(i as f64), i);
+        }
+        assert_eq!(q.len(), 10);
+        q.pop();
+        q.pop();
+        assert_eq!(q.len(), 8);
+        assert_eq!(q.max_len(), 10);
+        assert_eq!(q.in_memory_len() + q.on_disk_len(), 8);
+    }
+
+    #[test]
+    fn peek_promotes_without_losing_elements() {
+        let mut q = queue(1.0);
+        q.push(OrdF64::new(50.0), 7);
+        assert_eq!(q.peek_key().unwrap().get(), 50.0);
+        assert_eq!(q.len(), 1);
+        assert_eq!(q.pop().unwrap().1, 7);
+    }
+
+    proptest! {
+        /// The hybrid queue pops exactly the multiset it was given, in
+        /// non-decreasing key order, for any D_T.
+        #[test]
+        fn matches_sort(
+            ds in prop::collection::vec(0.0..100.0f64, 1..300),
+            dt in 0.1..20.0f64,
+        ) {
+            let mut q: HybridQueue<OrdF64, u64> = HybridQueue::new(HybridConfig {
+                dt,
+                page_size: 256,
+                buffer_frames: 2,
+            });
+            for (i, d) in ds.iter().enumerate() {
+                q.push(OrdF64::new(*d), i as u64);
+            }
+            let mut want = ds.clone();
+            want.sort_by(|a, b| a.partial_cmp(b).unwrap());
+            let mut got = Vec::with_capacity(ds.len());
+            let mut seen = std::collections::HashSet::new();
+            while let Some((k, v)) = q.pop() {
+                got.push(k.get());
+                prop_assert!(seen.insert(v), "value {v} delivered twice");
+            }
+            prop_assert_eq!(got, want);
+        }
+    }
+}

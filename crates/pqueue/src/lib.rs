@@ -1,0 +1,28 @@
+//! Priority queues for distance-ordered processing.
+//!
+//! The heart of the incremental distance join is "a priority queue, where
+//! each element contains a pair of items" (§2.2.1). This crate provides the
+//! queue implementations the paper evaluates:
+//!
+//! * [`PairingHeap`] — the in-memory structure the paper chose ("we chose
+//!   the pairing heap structure", §3.2), with O(1) insert and amortised
+//!   O(log n) delete-min;
+//! * [`BinaryHeapQueue`] — a `std::collections::BinaryHeap` adapter used as
+//!   an ablation comparator in the microbenches;
+//! * [`HybridQueue`] — the three-tier memory/disk scheme of §3.2: keys below
+//!   `D1` live in a pairing heap, keys in `[D1, D2)` in an unorganised
+//!   in-memory list, and keys of `D2` and above spill to linked page lists
+//!   on a simulated disk, bucketed by a fixed distance increment `D_T`.
+//!
+//! All queues implement the [`PriorityQueue`] trait so the join algorithms
+//! can be configured with either backend.
+
+mod binary;
+mod hybrid;
+mod pairing;
+mod traits;
+
+pub use binary::BinaryHeapQueue;
+pub use hybrid::{HybridConfig, HybridQueue, HybridStats};
+pub use pairing::PairingHeap;
+pub use traits::{Codec, PriorityQueue, QueueKey};

@@ -1,0 +1,340 @@
+//! A pairing heap (Fredman, Sedgewick, Sleator & Tarjan 1986) — the
+//! in-memory priority queue the paper uses (§3.2).
+//!
+//! Nodes live in an arena with a free list, so steady-state push/pop cycles
+//! perform no allocation. `push` and `merge` are O(1); `pop` performs the
+//! classic two-pass pairing of the root's children, amortised O(log n).
+
+use crate::traits::PriorityQueue;
+
+const NIL: usize = usize::MAX;
+
+struct Slot<K, V> {
+    data: Option<(K, V)>,
+    child: usize,
+    sibling: usize,
+}
+
+/// An arena-backed pairing heap ordered by minimum key.
+pub struct PairingHeap<K, V> {
+    slots: Vec<Slot<K, V>>,
+    free: Vec<usize>,
+    root: usize,
+    len: usize,
+    max_len: usize,
+}
+
+impl<K: Ord, V> Default for PairingHeap<K, V> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<K: Ord, V> PairingHeap<K, V> {
+    /// Creates an empty heap.
+    #[must_use]
+    pub fn new() -> Self {
+        Self {
+            slots: Vec::new(),
+            free: Vec::new(),
+            root: NIL,
+            len: 0,
+            max_len: 0,
+        }
+    }
+
+    /// Creates an empty heap with pre-allocated capacity.
+    #[must_use]
+    pub fn with_capacity(cap: usize) -> Self {
+        Self {
+            slots: Vec::with_capacity(cap),
+            ..Self::new()
+        }
+    }
+
+    /// Number of elements.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True if the heap has no elements.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Reference to the minimum key.
+    #[must_use]
+    pub fn peek(&self) -> Option<&K> {
+        (self.root != NIL).then(|| {
+            &self.slots[self.root]
+                .data
+                .as_ref()
+                .expect("root slot is occupied")
+                .0
+        })
+    }
+
+    /// Reference to the minimum key and its value.
+    #[must_use]
+    pub fn peek_entry(&self) -> Option<(&K, &V)> {
+        (self.root != NIL).then(|| {
+            let (k, v) = self.slots[self.root]
+                .data
+                .as_ref()
+                .expect("root slot is occupied");
+            (k, v)
+        })
+    }
+
+    /// Inserts an element. O(1).
+    pub fn push(&mut self, key: K, value: V) {
+        let idx = match self.free.pop() {
+            Some(idx) => {
+                self.slots[idx] = Slot {
+                    data: Some((key, value)),
+                    child: NIL,
+                    sibling: NIL,
+                };
+                idx
+            }
+            None => {
+                self.slots.push(Slot {
+                    data: Some((key, value)),
+                    child: NIL,
+                    sibling: NIL,
+                });
+                self.slots.len() - 1
+            }
+        };
+        self.root = if self.root == NIL {
+            idx
+        } else {
+            self.merge(self.root, idx)
+        };
+        self.len += 1;
+        self.max_len = self.max_len.max(self.len);
+    }
+
+    /// Removes and returns the minimum element. Amortised O(log n).
+    pub fn pop(&mut self) -> Option<(K, V)> {
+        if self.root == NIL {
+            return None;
+        }
+        let old_root = self.root;
+        let data = self.slots[old_root].data.take().expect("occupied root");
+        self.root = self.merge_children(self.slots[old_root].child);
+        self.slots[old_root].child = NIL;
+        self.slots[old_root].sibling = NIL;
+        self.free.push(old_root);
+        self.len -= 1;
+        Some(data)
+    }
+
+    /// Drops all elements, keeping the arena capacity.
+    pub fn clear(&mut self) {
+        self.slots.clear();
+        self.free.clear();
+        self.root = NIL;
+        self.len = 0;
+    }
+
+    /// Largest length observed.
+    #[must_use]
+    pub fn high_water_mark(&self) -> usize {
+        self.max_len
+    }
+
+    fn key(&self, idx: usize) -> &K {
+        &self.slots[idx].data.as_ref().expect("occupied slot").0
+    }
+
+    /// Links two heap roots, returning the new root.
+    fn merge(&mut self, a: usize, b: usize) -> usize {
+        debug_assert!(a != NIL && b != NIL);
+        let (parent, child) = if self.key(a) <= self.key(b) {
+            (a, b)
+        } else {
+            (b, a)
+        };
+        self.slots[child].sibling = self.slots[parent].child;
+        self.slots[parent].child = child;
+        parent
+    }
+
+    /// Two-pass merge of a sibling list: pair left-to-right, then fold the
+    /// pairs right-to-left.
+    fn merge_children(&mut self, first: usize) -> usize {
+        if first == NIL {
+            return NIL;
+        }
+        // Pass 1: merge adjacent pairs.
+        let mut pairs: Vec<usize> = Vec::new();
+        let mut cur = first;
+        while cur != NIL {
+            let next = self.slots[cur].sibling;
+            self.slots[cur].sibling = NIL;
+            if next == NIL {
+                pairs.push(cur);
+                break;
+            }
+            let after = self.slots[next].sibling;
+            self.slots[next].sibling = NIL;
+            pairs.push(self.merge(cur, next));
+            cur = after;
+        }
+        // Pass 2: fold right-to-left.
+        let mut root = pairs.pop().expect("at least one pair");
+        while let Some(p) = pairs.pop() {
+            root = self.merge(root, p);
+        }
+        root
+    }
+}
+
+impl<K: Ord + Clone, V> PriorityQueue<K, V> for PairingHeap<K, V> {
+    fn push(&mut self, key: K, value: V) {
+        PairingHeap::push(self, key, value);
+    }
+
+    fn pop(&mut self) -> Option<(K, V)> {
+        PairingHeap::pop(self)
+    }
+
+    fn peek_key(&mut self) -> Option<K> {
+        self.peek().cloned()
+    }
+
+    fn len(&self) -> usize {
+        self.len
+    }
+
+    fn max_len(&self) -> usize {
+        self.max_len
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+    use sdj_geom::OrdF64;
+
+    #[test]
+    fn pops_in_order() {
+        let mut h = PairingHeap::new();
+        for k in [5, 1, 4, 1, 3, 9, 2] {
+            h.push(k, k * 10);
+        }
+        let mut out = Vec::new();
+        while let Some((k, _)) = h.pop() {
+            out.push(k);
+        }
+        assert_eq!(out, vec![1, 1, 2, 3, 4, 5, 9]);
+        assert!(h.is_empty());
+    }
+
+    #[test]
+    fn peek_matches_pop() {
+        let mut h = PairingHeap::new();
+        h.push(OrdF64::new(2.0), "b");
+        h.push(OrdF64::new(1.0), "a");
+        assert_eq!(h.peek().unwrap().get(), 1.0);
+        assert_eq!(h.peek_entry().unwrap().1, &"a");
+        assert_eq!(h.pop().unwrap().1, "a");
+        assert_eq!(h.peek().unwrap().get(), 2.0);
+    }
+
+    #[test]
+    fn interleaved_push_pop() {
+        let mut h = PairingHeap::new();
+        h.push(3, ());
+        h.push(1, ());
+        assert_eq!(h.pop().unwrap().0, 1);
+        h.push(0, ());
+        h.push(5, ());
+        assert_eq!(h.pop().unwrap().0, 0);
+        assert_eq!(h.pop().unwrap().0, 3);
+        assert_eq!(h.pop().unwrap().0, 5);
+        assert_eq!(h.pop(), None);
+    }
+
+    #[test]
+    fn arena_is_reused() {
+        let mut h = PairingHeap::new();
+        for round in 0..10 {
+            for k in 0..100 {
+                h.push(k, round);
+            }
+            for _ in 0..100 {
+                h.pop().unwrap();
+            }
+        }
+        assert!(h.slots.len() <= 100, "arena grew to {}", h.slots.len());
+    }
+
+    #[test]
+    fn tracks_high_water_mark() {
+        let mut h = PairingHeap::new();
+        for k in 0..50 {
+            h.push(k, ());
+        }
+        for _ in 0..30 {
+            h.pop();
+        }
+        h.push(0, ());
+        assert_eq!(h.high_water_mark(), 50);
+        assert_eq!(h.len(), 21);
+    }
+
+    #[test]
+    fn clear_resets() {
+        let mut h = PairingHeap::new();
+        h.push(1, ());
+        h.clear();
+        assert!(h.is_empty());
+        assert_eq!(h.pop(), None);
+        h.push(2, ());
+        assert_eq!(h.pop().unwrap().0, 2);
+    }
+
+    proptest! {
+        /// Heap order agrees with sorting, including duplicate keys.
+        #[test]
+        fn agrees_with_sort(keys in prop::collection::vec(0u32..1000, 0..300)) {
+            let mut h = PairingHeap::new();
+            for (i, k) in keys.iter().enumerate() {
+                h.push(*k, i);
+            }
+            let mut expect = keys.clone();
+            expect.sort_unstable();
+            let mut got = Vec::new();
+            while let Some((k, _)) = h.pop() {
+                got.push(k);
+            }
+            prop_assert_eq!(got, expect);
+        }
+
+        /// Random interleavings of push/pop behave like a reference
+        /// BinaryHeap.
+        #[test]
+        fn matches_reference_under_interleaving(ops in prop::collection::vec((any::<bool>(), 0u32..100), 1..400)) {
+            use std::cmp::Reverse;
+            use std::collections::BinaryHeap;
+            let mut h = PairingHeap::new();
+            let mut reference = BinaryHeap::new();
+            for (is_pop, k) in ops {
+                if is_pop {
+                    let got = h.pop().map(|(k, ())| k);
+                    let want = reference.pop().map(|Reverse(k)| k);
+                    prop_assert_eq!(got, want);
+                } else {
+                    h.push(k, ());
+                    reference.push(Reverse(k));
+                }
+                prop_assert_eq!(h.len(), reference.len());
+            }
+        }
+    }
+}

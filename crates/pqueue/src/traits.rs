@@ -1,0 +1,114 @@
+//! The queue abstraction shared by the join algorithms.
+
+use sdj_storage::codec::{PageReader, PageWriter};
+
+/// A priority-queue key: totally ordered, with a primary distance component
+/// used by the hybrid queue to decide which tier an element belongs to.
+///
+/// Orderings richer than the bare distance (the paper's tie-breaking rules
+/// of §2.2.2) are expressed by implementing `Ord` on a composite key whose
+/// [`QueueKey::distance`] returns the primary distance.
+pub trait QueueKey: Ord + Clone {
+    /// The primary (distance) component of the key.
+    fn distance(&self) -> f64;
+}
+
+impl QueueKey for sdj_geom::OrdF64 {
+    fn distance(&self) -> f64 {
+        self.get()
+    }
+}
+
+/// Fixed-size binary serialization, required of keys and values that may
+/// spill to the hybrid queue's disk tier.
+pub trait Codec: Sized {
+    /// Encoded size in bytes; every instance must encode to exactly this
+    /// many bytes.
+    fn encoded_size() -> usize;
+
+    /// Writes `self` to the cursor.
+    fn encode(&self, w: &mut PageWriter<'_>) -> sdj_storage::Result<()>;
+
+    /// Reads an instance back from the cursor.
+    fn decode(r: &mut PageReader<'_>) -> sdj_storage::Result<Self>;
+}
+
+impl Codec for sdj_geom::OrdF64 {
+    fn encoded_size() -> usize {
+        8
+    }
+
+    fn encode(&self, w: &mut PageWriter<'_>) -> sdj_storage::Result<()> {
+        w.put_f64(self.get())
+    }
+
+    fn decode(r: &mut PageReader<'_>) -> sdj_storage::Result<Self> {
+        Ok(Self::new(r.get_f64()?))
+    }
+}
+
+impl Codec for u64 {
+    fn encoded_size() -> usize {
+        8
+    }
+
+    fn encode(&self, w: &mut PageWriter<'_>) -> sdj_storage::Result<()> {
+        w.put_u64(*self)
+    }
+
+    fn decode(r: &mut PageReader<'_>) -> sdj_storage::Result<Self> {
+        r.get_u64()
+    }
+}
+
+/// A min-priority queue of `(key, value)` pairs.
+pub trait PriorityQueue<K: Ord, V> {
+    /// Inserts an element.
+    fn push(&mut self, key: K, value: V);
+
+    /// Removes and returns the minimum element.
+    fn pop(&mut self) -> Option<(K, V)>;
+
+    /// The current minimum key, if any.
+    ///
+    /// For tiered queues this may promote spilled elements into memory.
+    fn peek_key(&mut self) -> Option<K>;
+
+    /// Number of elements currently queued.
+    fn len(&self) -> usize;
+
+    /// True if no elements are queued.
+    fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// High-water mark of [`PriorityQueue::len`] over the queue's lifetime —
+    /// the "maximum queue size" column of the paper's Table 1.
+    fn max_len(&self) -> usize;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sdj_geom::OrdF64;
+
+    #[test]
+    fn ordf64_codec_roundtrip() {
+        let mut buf = [0u8; 8];
+        OrdF64::new(12.5).encode(&mut PageWriter::new(&mut buf)).unwrap();
+        let back = OrdF64::decode(&mut PageReader::new(&buf)).unwrap();
+        assert_eq!(back.get(), 12.5);
+    }
+
+    #[test]
+    fn u64_codec_roundtrip() {
+        let mut buf = [0u8; 8];
+        0xDEAD_BEEF_u64.encode(&mut PageWriter::new(&mut buf)).unwrap();
+        assert_eq!(u64::decode(&mut PageReader::new(&buf)).unwrap(), 0xDEAD_BEEF);
+    }
+
+    #[test]
+    fn ordf64_is_queue_key() {
+        assert_eq!(OrdF64::new(3.5).distance(), 3.5);
+    }
+}

@@ -1,0 +1,304 @@
+//! Quadtree node representation and page serialization.
+//!
+//! Page layout (little endian):
+//!
+//! ```text
+//! offset 0:        tag    u8   (0 = leaf, 1 = internal)
+//! offset 1:        depth  u8
+//! offset 2:        count  u16  (points in this page, leaves only)
+//! offset 4:        region 2*D f64
+//! then, leaves:    next   u32  (overflow page, INVALID if none)
+//!                  count × { oid u64, coords D*f64 }
+//! then, internal:  2^D × child page id u32 (INVALID = empty quadrant)
+//! ```
+
+use sdj_geom::{Point, Rect};
+use sdj_storage::codec::{PageReader, PageWriter};
+use sdj_storage::{PageId, Result, StorageError};
+
+use sdj_rtree::ObjectId;
+
+/// Fixed header bytes before the region.
+pub(crate) const HEADER_SIZE: usize = 4;
+
+/// Bytes of the serialized region for dimension `D`.
+pub(crate) const fn region_size<const D: usize>() -> usize {
+    16 * D
+}
+
+/// Bytes of one leaf point entry.
+pub(crate) const fn point_entry_size<const D: usize>() -> usize {
+    8 + 8 * D
+}
+
+/// Leaf capacity for a given page size.
+pub(crate) const fn leaf_capacity<const D: usize>(page_size: usize) -> usize {
+    (page_size - HEADER_SIZE - region_size::<D>() - 4) / point_entry_size::<D>()
+}
+
+/// Number of children of an internal node.
+pub(crate) const fn fan_out<const D: usize>() -> usize {
+    1 << D
+}
+
+/// Minimum page size able to hold an internal node for dimension `D`.
+pub(crate) const fn min_internal_page<const D: usize>() -> usize {
+    HEADER_SIZE + region_size::<D>() + 4 * fan_out::<D>()
+}
+
+/// The payload of a node.
+#[derive(Clone, Debug, PartialEq)]
+pub enum QuadNodeKind<const D: usize> {
+    /// A leaf bucket of points, possibly chaining to an overflow page.
+    Leaf {
+        /// `(id, point)` entries stored in this page.
+        points: Vec<(ObjectId, Point<D>)>,
+        /// Next overflow page, [`PageId::INVALID`] if none.
+        next: PageId,
+    },
+    /// An internal node with one optional child per hyperoctant.
+    Internal {
+        /// Child pages in quadrant order (bit `a` of the index set ⇔ upper
+        /// half along axis `a`); `None` for empty quadrants.
+        children: Vec<Option<PageId>>,
+    },
+}
+
+/// A deserialized quadtree node.
+#[derive(Clone, Debug, PartialEq)]
+pub struct QuadNode<const D: usize> {
+    /// Depth from the root (root = 0).
+    pub depth: u8,
+    /// Region of space this node covers.
+    pub region: Rect<D>,
+    /// Leaf or internal payload.
+    pub kind: QuadNodeKind<D>,
+}
+
+impl<const D: usize> QuadNode<D> {
+    /// A fresh empty leaf.
+    #[must_use]
+    pub fn empty_leaf(depth: u8, region: Rect<D>) -> Self {
+        Self {
+            depth,
+            region,
+            kind: QuadNodeKind::Leaf {
+                points: Vec::new(),
+                next: PageId::INVALID,
+            },
+        }
+    }
+
+    /// Serializes into a page buffer.
+    pub fn encode(&self, buf: &mut [u8]) -> Result<()> {
+        let mut w = PageWriter::new(buf);
+        match &self.kind {
+            QuadNodeKind::Leaf { points, next } => {
+                w.put_u8(0)?;
+                w.put_u8(self.depth)?;
+                let count = u16::try_from(points.len())
+                    .map_err(|_| StorageError::Corrupt("leaf count exceeds u16"))?;
+                w.put_u16(count)?;
+                encode_region(&mut w, &self.region)?;
+                w.put_u32(next.0)?;
+                for (oid, p) in points {
+                    w.put_u64(oid.0)?;
+                    for a in 0..D {
+                        w.put_f64(p.coord(a))?;
+                    }
+                }
+            }
+            QuadNodeKind::Internal { children } => {
+                debug_assert_eq!(children.len(), fan_out::<D>());
+                w.put_u8(1)?;
+                w.put_u8(self.depth)?;
+                w.put_u16(0)?;
+                encode_region(&mut w, &self.region)?;
+                for child in children {
+                    w.put_u32(child.map_or(PageId::INVALID.0, |c| c.0))?;
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Deserializes from a page buffer.
+    pub fn decode(buf: &[u8]) -> Result<Self> {
+        let mut r = PageReader::new(buf);
+        let tag = r.get_u8()?;
+        let depth = r.get_u8()?;
+        let count = r.get_u16()? as usize;
+        let region = decode_region(&mut r)?;
+        let kind = match tag {
+            0 => {
+                if count > leaf_capacity::<D>(buf.len()) {
+                    return Err(StorageError::Corrupt("leaf count exceeds capacity"));
+                }
+                let next = PageId(r.get_u32()?);
+                let mut points = Vec::with_capacity(count);
+                for _ in 0..count {
+                    let oid = ObjectId(r.get_u64()?);
+                    let mut coords = [0.0; D];
+                    for c in &mut coords {
+                        *c = r.get_f64()?;
+                        if !c.is_finite() {
+                            return Err(StorageError::Corrupt("non-finite point"));
+                        }
+                    }
+                    points.push((oid, Point::new(coords)));
+                }
+                QuadNodeKind::Leaf { points, next }
+            }
+            1 => {
+                let mut children = Vec::with_capacity(fan_out::<D>());
+                for _ in 0..fan_out::<D>() {
+                    let raw = PageId(r.get_u32()?);
+                    children.push((!raw.is_invalid()).then_some(raw));
+                }
+                QuadNodeKind::Internal { children }
+            }
+            _ => return Err(StorageError::Corrupt("unknown quadtree node tag")),
+        };
+        Ok(Self {
+            depth,
+            region,
+            kind,
+        })
+    }
+}
+
+fn encode_region<const D: usize>(w: &mut PageWriter<'_>, region: &Rect<D>) -> Result<()> {
+    for a in 0..D {
+        w.put_f64(region.lo()[a])?;
+    }
+    for a in 0..D {
+        w.put_f64(region.hi()[a])?;
+    }
+    Ok(())
+}
+
+fn decode_region<const D: usize>(r: &mut PageReader<'_>) -> Result<Rect<D>> {
+    let mut lo = [0.0; D];
+    let mut hi = [0.0; D];
+    for v in &mut lo {
+        *v = r.get_f64()?;
+    }
+    for v in &mut hi {
+        *v = r.get_f64()?;
+    }
+    for a in 0..D {
+        if !lo[a].is_finite() || !hi[a].is_finite() || lo[a] > hi[a] {
+            return Err(StorageError::Corrupt("invalid quadtree region"));
+        }
+    }
+    Ok(Rect::new(lo, hi))
+}
+
+/// Quadrant index of `p` within `region`: bit `a` set ⇔ `p` lies in the
+/// upper half along axis `a`.
+pub(crate) fn quadrant_of<const D: usize>(region: &Rect<D>, p: &Point<D>) -> usize {
+    let center = region.center();
+    let mut q = 0usize;
+    for a in 0..D {
+        if p.coord(a) >= center.coord(a) {
+            q |= 1 << a;
+        }
+    }
+    q
+}
+
+/// The sub-region of quadrant `q` of `region`.
+pub(crate) fn quadrant_region<const D: usize>(region: &Rect<D>, q: usize) -> Rect<D> {
+    let center = region.center();
+    let mut lo = [0.0; D];
+    let mut hi = [0.0; D];
+    for a in 0..D {
+        if q & (1 << a) != 0 {
+            lo[a] = center.coord(a);
+            hi[a] = region.hi()[a];
+        } else {
+            lo[a] = region.lo()[a];
+            hi[a] = center.coord(a);
+        }
+    }
+    Rect::new(lo, hi)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn leaf_roundtrip() {
+        let node = QuadNode::<2> {
+            depth: 3,
+            region: Rect::new([0.0, 0.0], [1.0, 1.0]),
+            kind: QuadNodeKind::Leaf {
+                points: vec![
+                    (ObjectId(7), Point::xy(0.25, 0.75)),
+                    (ObjectId(u64::MAX), Point::xy(0.5, 0.5)),
+                ],
+                next: PageId(42),
+            },
+        };
+        let mut buf = vec![0u8; 256];
+        node.encode(&mut buf).unwrap();
+        assert_eq!(QuadNode::<2>::decode(&buf).unwrap(), node);
+    }
+
+    #[test]
+    fn internal_roundtrip_with_sparse_children() {
+        let node = QuadNode::<2> {
+            depth: 1,
+            region: Rect::new([0.0, 0.0], [8.0, 8.0]),
+            kind: QuadNodeKind::Internal {
+                children: vec![Some(PageId(5)), None, None, Some(PageId(9))],
+            },
+        };
+        let mut buf = vec![0u8; 128];
+        node.encode(&mut buf).unwrap();
+        assert_eq!(QuadNode::<2>::decode(&buf).unwrap(), node);
+    }
+
+    #[test]
+    fn quadrant_math() {
+        let region = Rect::new([0.0, 0.0], [4.0, 4.0]);
+        assert_eq!(quadrant_of(&region, &Point::xy(1.0, 1.0)), 0);
+        assert_eq!(quadrant_of(&region, &Point::xy(3.0, 1.0)), 1);
+        assert_eq!(quadrant_of(&region, &Point::xy(1.0, 3.0)), 2);
+        assert_eq!(quadrant_of(&region, &Point::xy(3.0, 3.0)), 3);
+        // Center goes to the upper quadrant on both axes.
+        assert_eq!(quadrant_of(&region, &Point::xy(2.0, 2.0)), 3);
+        for q in 0..4 {
+            let sub = quadrant_region(&region, q);
+            assert_eq!(sub.area(), 4.0);
+            assert!(region.contains_rect(&sub));
+        }
+        assert_eq!(quadrant_region(&region, 0), Rect::new([0.0, 0.0], [2.0, 2.0]));
+        assert_eq!(quadrant_region(&region, 3), Rect::new([2.0, 2.0], [4.0, 4.0]));
+    }
+
+    #[test]
+    fn octree_quadrants() {
+        let region: Rect<3> = Rect::new([0.0; 3], [2.0; 3]);
+        assert_eq!(fan_out::<3>(), 8);
+        let p = Point::new([1.5, 0.5, 1.5]);
+        assert_eq!(quadrant_of(&region, &p), 0b101);
+        let sub = quadrant_region(&region, 0b101);
+        assert!(sub.contains_point(&p));
+    }
+
+    #[test]
+    fn capacity_math() {
+        // 1024-byte page, 2-d: (1024 - 4 - 32 - 4) / 24 = 41 points.
+        assert_eq!(leaf_capacity::<2>(1024), 41);
+        assert!(min_internal_page::<2>() <= 1024);
+    }
+
+    #[test]
+    fn decode_rejects_garbage() {
+        let mut buf = vec![0u8; 128];
+        buf[0] = 9; // bad tag
+        assert!(QuadNode::<2>::decode(&buf).is_err());
+    }
+}

@@ -1,0 +1,157 @@
+//! Saving a PR quadtree to a file and reopening it later, mirroring the
+//! R*-tree's persistence format.
+
+use std::fs::File;
+use std::io::{BufReader, BufWriter, Read, Write};
+use std::path::Path;
+
+use sdj_geom::Rect;
+use sdj_storage::persist::{read_u64, write_u64, PersistError};
+use sdj_storage::{BufferPool, PageId, Pager};
+
+use crate::tree::{PrQuadtree, QuadtreeConfig};
+
+const MAGIC: &[u8; 8] = b"SDJQUAD1";
+
+impl<const D: usize> PrQuadtree<D> {
+    /// Writes the tree to `out` (header + full page image).
+    pub fn save_to(&self, out: &mut impl Write) -> Result<(), PersistError> {
+        out.write_all(MAGIC)?;
+        write_u64(out, D as u64)?;
+        write_u64(out, u64::from(self.root_page().0))?;
+        write_u64(out, self.len() as u64)?;
+        let c = self.config();
+        write_u64(out, c.page_size as u64)?;
+        write_u64(out, c.buffer_frames as u64)?;
+        write_u64(out, u64::from(c.max_depth))?;
+        for a in 0..D {
+            write_u64(out, c.bounds.lo()[a].to_bits())?;
+        }
+        for a in 0..D {
+            write_u64(out, c.bounds.hi()[a].to_bits())?;
+        }
+        self.pool().save_to(out)
+    }
+
+    /// Saves the tree to a file.
+    pub fn save(&self, path: impl AsRef<Path>) -> Result<(), PersistError> {
+        let mut out = BufWriter::new(File::create(path)?);
+        self.save_to(&mut out)?;
+        out.flush()?;
+        Ok(())
+    }
+
+    /// Reads a tree back from a dump written by [`PrQuadtree::save_to`].
+    pub fn load_from(input: &mut impl Read) -> Result<Self, PersistError> {
+        let mut magic = [0u8; 8];
+        input.read_exact(&mut magic)?;
+        if &magic != MAGIC {
+            return Err(PersistError::Format("not a quadtree dump"));
+        }
+        if read_u64(input)? != D as u64 {
+            return Err(PersistError::Format("dimension mismatch"));
+        }
+        let root = PageId(
+            u32::try_from(read_u64(input)?).map_err(|_| PersistError::Format("bad root id"))?,
+        );
+        let len = read_u64(input)? as usize;
+        let page_size = read_u64(input)? as usize;
+        let buffer_frames = read_u64(input)? as usize;
+        let max_depth =
+            u8::try_from(read_u64(input)?).map_err(|_| PersistError::Format("bad max depth"))?;
+        let mut lo = [0.0; D];
+        let mut hi = [0.0; D];
+        for v in &mut lo {
+            *v = f64::from_bits(read_u64(input)?);
+        }
+        for v in &mut hi {
+            *v = f64::from_bits(read_u64(input)?);
+        }
+        for a in 0..D {
+            if !lo[a].is_finite() || !hi[a].is_finite() || lo[a] >= hi[a] {
+                return Err(PersistError::Format("invalid bounds"));
+            }
+        }
+        let config = QuadtreeConfig {
+            bounds: Rect::new(lo, hi),
+            page_size,
+            buffer_frames,
+            max_depth,
+        };
+        let pager = Pager::load_from(input)?;
+        if pager.page_size() != page_size {
+            return Err(PersistError::Format("page size mismatch"));
+        }
+        let pool = BufferPool::new(pager, buffer_frames.max(1));
+        let tree = PrQuadtree::from_parts(pool, config, root, len);
+        tree.validate()
+            .map_err(|_| PersistError::Format("structural validation failed"))?;
+        Ok(tree)
+    }
+
+    /// Opens a tree saved with [`PrQuadtree::save`].
+    pub fn open(path: impl AsRef<Path>) -> Result<Self, PersistError> {
+        Self::load_from(&mut BufReader::new(File::open(path)?))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sdj_geom::Point;
+    use sdj_rtree::ObjectId;
+
+    fn sample() -> PrQuadtree<2> {
+        let bounds = Rect::new([0.0, 0.0], [1.0, 1.0]);
+        let mut t = PrQuadtree::new(QuadtreeConfig::small(bounds, 4));
+        for i in 0..200u64 {
+            let p = Point::xy(
+                ((i * 37) % 101) as f64 / 101.0,
+                ((i * 73) % 89) as f64 / 89.0,
+            );
+            t.insert(ObjectId(i), p).unwrap();
+        }
+        t
+    }
+
+    #[test]
+    fn roundtrip_preserves_everything() {
+        let tree = sample();
+        let mut bytes = Vec::new();
+        tree.save_to(&mut bytes).unwrap();
+        let mut back = PrQuadtree::<2>::load_from(&mut bytes.as_slice()).unwrap();
+        assert_eq!(back.len(), 200);
+        back.validate().unwrap();
+        let mut a = tree.all_objects().unwrap();
+        let mut b = back.all_objects().unwrap();
+        a.sort_by_key(|(o, _)| o.0);
+        b.sort_by_key(|(o, _)| o.0);
+        assert_eq!(a, b);
+        // Still updatable.
+        back.insert(ObjectId(999), Point::xy(0.999, 0.001)).unwrap();
+        back.validate().unwrap();
+        assert_eq!(back.len(), 201);
+    }
+
+    #[test]
+    fn file_roundtrip() {
+        let tree = sample();
+        let path = std::env::temp_dir().join(format!("sdj_quad_{}.bin", std::process::id()));
+        tree.save(&path).unwrap();
+        let back = PrQuadtree::<2>::open(&path).unwrap();
+        std::fs::remove_file(&path).ok();
+        assert_eq!(back.len(), tree.len());
+    }
+
+    #[test]
+    fn wrong_magic_rejected() {
+        let tree = sample();
+        let mut bytes = Vec::new();
+        tree.save_to(&mut bytes).unwrap();
+        bytes[0] = b'X';
+        assert!(matches!(
+            PrQuadtree::<2>::load_from(&mut bytes.as_slice()),
+            Err(PersistError::Format(_))
+        ));
+    }
+}

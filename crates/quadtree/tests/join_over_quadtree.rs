@@ -1,0 +1,209 @@
+//! The §2.2 genericity claim, executed: the same incremental distance join
+//! runs over PR quadtrees — and over a quadtree joined *against an R-tree*
+//! — and produces exactly the brute-force distance ordering.
+
+use sdj_core::{DistanceJoin, DmaxStrategy, JoinConfig, SemiConfig, SemiFilter, TiePolicy, TraversalPolicy};
+use sdj_datagen::{tiger, unit_box};
+use sdj_geom::{Metric, Point, Rect};
+use sdj_quadtree::{PrQuadtree, QuadtreeConfig};
+use sdj_rtree::{ObjectId, RTree, RTreeConfig};
+
+const EPS: f64 = 1e-9;
+
+fn quad(points: &[Point<2>], leaf_points: usize) -> PrQuadtree<2> {
+    let mut t = PrQuadtree::new(QuadtreeConfig::small(unit_box(), leaf_points));
+    for (i, p) in points.iter().enumerate() {
+        t.insert(ObjectId(i as u64), *p).unwrap();
+    }
+    t
+}
+
+fn rtree(points: &[Point<2>], fanout: usize) -> RTree<2> {
+    let mut t = RTree::new(RTreeConfig::small(fanout));
+    for (i, p) in points.iter().enumerate() {
+        t.insert(ObjectId(i as u64), p.to_rect()).unwrap();
+    }
+    t
+}
+
+fn sets() -> (Vec<Point<2>>, Vec<Point<2>>) {
+    (tiger::water_like(160, 77), tiger::roads_like(280, 77))
+}
+
+fn brute(a: &[Point<2>], b: &[Point<2>]) -> Vec<f64> {
+    let mut out: Vec<f64> = a
+        .iter()
+        .flat_map(|p| b.iter().map(move |q| Metric::Euclidean.distance(p, q)))
+        .collect();
+    out.sort_by(|x, y| x.partial_cmp(y).unwrap());
+    out
+}
+
+#[test]
+fn quadtree_join_matches_bruteforce() {
+    let (a, b) = sets();
+    let q1 = quad(&a, 5);
+    let q2 = quad(&b, 5);
+    let want = brute(&a, &b);
+    for traversal in [
+        TraversalPolicy::Basic,
+        TraversalPolicy::Even,
+        TraversalPolicy::Simultaneous,
+    ] {
+        for tie in [TiePolicy::DepthFirst, TiePolicy::BreadthFirst] {
+            let config = JoinConfig {
+                traversal,
+                tie,
+                ..JoinConfig::default()
+            };
+            let got: Vec<f64> = DistanceJoin::new(&q1, &q2, config)
+                .take(400)
+                .map(|r| r.distance)
+                .collect();
+            assert_eq!(got.len(), 400);
+            for (g, w) in got.iter().zip(&want) {
+                assert!((g - w).abs() < EPS, "{traversal:?}/{tie:?}");
+            }
+        }
+    }
+}
+
+#[test]
+fn mixed_quadtree_rtree_join() {
+    let (a, b) = sets();
+    let q1 = quad(&a, 5);
+    let r2 = rtree(&b, 6);
+    let want = brute(&a, &b);
+    let got: Vec<f64> = DistanceJoin::new(&q1, &r2, JoinConfig::default())
+        .take(500)
+        .map(|r| r.distance)
+        .collect();
+    for (g, w) in got.iter().zip(&want) {
+        assert!((g - w).abs() < EPS);
+    }
+    // And the other way around.
+    let r1 = rtree(&a, 6);
+    let q2 = quad(&b, 5);
+    let got: Vec<f64> = DistanceJoin::new(&r1, &q2, JoinConfig::default())
+        .take(500)
+        .map(|r| r.distance)
+        .collect();
+    for (g, w) in got.iter().zip(&want) {
+        assert!((g - w).abs() < EPS);
+    }
+}
+
+#[test]
+fn quadtree_full_join_complete() {
+    let a = tiger::water_like(40, 5);
+    let b = tiger::roads_like(55, 5);
+    let q1 = quad(&a, 3);
+    let q2 = quad(&b, 3);
+    let got: Vec<f64> = DistanceJoin::new(&q1, &q2, JoinConfig::default())
+        .map(|r| r.distance)
+        .collect();
+    let want = brute(&a, &b);
+    assert_eq!(got.len(), want.len());
+    for (g, w) in got.iter().zip(&want) {
+        assert!((g - w).abs() < EPS);
+    }
+}
+
+#[test]
+fn quadtree_semijoin_all_strategies() {
+    let (a, b) = sets();
+    let q1 = quad(&a, 5);
+    let q2 = quad(&b, 5);
+    // Non-minimal regions: the engine must fall back to MAXDIST bounds and
+    // stay exact for every d_max strategy.
+    for dmax in [
+        DmaxStrategy::None,
+        DmaxStrategy::Local,
+        DmaxStrategy::GlobalNodes,
+        DmaxStrategy::GlobalAll,
+    ] {
+        let semi = SemiConfig {
+            filter: SemiFilter::Inside2,
+            dmax,
+        };
+        let got: Vec<(u64, f64)> = DistanceJoin::semi(&q1, &q2, JoinConfig::default(), semi)
+            .map(|r| (r.oid1.0, r.distance))
+            .collect();
+        assert_eq!(got.len(), a.len(), "{dmax:?}");
+        for (oid, d) in &got {
+            let p = &a[*oid as usize];
+            let nn = b
+                .iter()
+                .map(|q| Metric::Euclidean.distance(p, q))
+                .fold(f64::INFINITY, f64::min);
+            assert!((d - nn).abs() < EPS, "{dmax:?} oid {oid}");
+        }
+        for w in got.windows(2) {
+            assert!(w[0].1 <= w[1].1 + EPS, "{dmax:?}");
+        }
+    }
+}
+
+#[test]
+fn quadtree_join_with_max_pairs_estimation() {
+    let (a, b) = sets();
+    let q1 = quad(&a, 5);
+    let q2 = quad(&b, 5);
+    let want = brute(&a, &b);
+    for k in [1usize, 25, 300] {
+        let got: Vec<f64> =
+            DistanceJoin::new(&q1, &q2, JoinConfig::default().with_max_pairs(k as u64))
+                .map(|r| r.distance)
+                .collect();
+        assert_eq!(got.len(), k);
+        for (g, w) in got.iter().zip(&want) {
+            assert!((g - w).abs() < EPS, "k={k}");
+        }
+    }
+}
+
+#[test]
+fn quadtree_join_with_range() {
+    let (a, b) = sets();
+    let q1 = quad(&a, 5);
+    let q2 = quad(&b, 5);
+    let (dmin, dmax) = (0.02, 0.1);
+    let got = DistanceJoin::new(&q1, &q2, JoinConfig::default().with_range(dmin, dmax)).count();
+    let want = brute(&a, &b)
+        .into_iter()
+        .filter(|d| *d >= dmin && *d <= dmax)
+        .count();
+    assert_eq!(got, want);
+}
+
+#[test]
+fn generic_nn_over_quadtree() {
+    let (a, _) = sets();
+    let q = quad(&a, 5);
+    let target = Point::xy(0.5, 0.5);
+    let got: Vec<f64> = sdj_core::nearest_neighbors(&q, target, Metric::Euclidean)
+        .take(25)
+        .map(|n| n.distance)
+        .collect();
+    let mut want: Vec<f64> = a
+        .iter()
+        .map(|p| Metric::Euclidean.distance(&target, p))
+        .collect();
+    want.sort_by(|x, y| x.partial_cmp(y).unwrap());
+    for (g, w) in got.iter().zip(&want) {
+        assert!((g - w).abs() < EPS);
+    }
+}
+
+#[test]
+fn quadtree_windowed_join() {
+    let (a, b) = sets();
+    let q1 = quad(&a, 5);
+    let q2 = quad(&b, 5);
+    let w1 = Rect::new([0.1, 0.1], [0.8, 0.8]);
+    let got = DistanceJoin::new(&q1, &q2, JoinConfig::default())
+        .with_windows(Some(w1), None)
+        .count();
+    let want = a.iter().filter(|p| w1.contains_point(p)).count() * b.len();
+    assert_eq!(got, want);
+}

@@ -1,0 +1,74 @@
+//! 3-D: the generalized quadtree is an octree, and the join engine runs over
+//! it unchanged.
+
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+use sdj_core::{DistanceJoin, JoinConfig, SemiConfig};
+use sdj_geom::{Metric, Point, Rect};
+use sdj_quadtree::{ObjectId, PrQuadtree, QuadtreeConfig};
+
+const EPS: f64 = 1e-9;
+
+fn random_points(n: usize, seed: u64) -> Vec<Point<3>> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..n)
+        .map(|_| {
+            Point::new([
+                rng.random_range(0.0..100.0),
+                rng.random_range(0.0..100.0),
+                rng.random_range(0.0..100.0),
+            ])
+        })
+        .collect()
+}
+
+fn octree(points: &[Point<3>]) -> PrQuadtree<3> {
+    let bounds: Rect<3> = Rect::new([0.0; 3], [100.0; 3]);
+    let mut t = PrQuadtree::new(QuadtreeConfig::<3>::small(bounds, 6));
+    for (i, p) in points.iter().enumerate() {
+        t.insert(ObjectId(i as u64), *p).unwrap();
+    }
+    t
+}
+
+#[test]
+fn octree_join_matches_bruteforce() {
+    let a = random_points(100, 7);
+    let b = random_points(160, 8);
+    let o1 = octree(&a);
+    let o2 = octree(&b);
+    o1.validate().unwrap();
+    o2.validate().unwrap();
+    let got: Vec<f64> = DistanceJoin::new(&o1, &o2, JoinConfig::default())
+        .take(300)
+        .map(|r| r.distance)
+        .collect();
+    let mut want: Vec<f64> = a
+        .iter()
+        .flat_map(|p| b.iter().map(move |q| Metric::Euclidean.distance(p, q)))
+        .collect();
+    want.sort_by(|x, y| x.partial_cmp(y).unwrap());
+    for (g, w) in got.iter().zip(&want) {
+        assert!((g - w).abs() < EPS);
+    }
+}
+
+#[test]
+fn octree_semi_join() {
+    let a = random_points(60, 9);
+    let b = random_points(110, 10);
+    let o1 = octree(&a);
+    let o2 = octree(&b);
+    let results: Vec<(u64, f64)> =
+        DistanceJoin::semi(&o1, &o2, JoinConfig::default(), SemiConfig::default())
+            .map(|r| (r.oid1.0, r.distance))
+            .collect();
+    assert_eq!(results.len(), a.len());
+    for (oid, d) in &results {
+        let nn = b
+            .iter()
+            .map(|q| Metric::Euclidean.distance(&a[*oid as usize], q))
+            .fold(f64::INFINITY, f64::min);
+        assert!((d - nn).abs() < EPS);
+    }
+}

@@ -1,0 +1,202 @@
+//! Attribute values and selection predicates.
+
+use std::fmt;
+
+/// An attribute value.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Value {
+    /// 64-bit integer.
+    Int(i64),
+    /// 64-bit float.
+    Float(f64),
+    /// UTF-8 string.
+    Text(String),
+}
+
+impl Value {
+    fn as_f64(&self) -> Option<f64> {
+        match self {
+            Value::Int(i) => Some(*i as f64),
+            Value::Float(f) => Some(*f),
+            Value::Text(_) => None,
+        }
+    }
+}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Value::Int(i) => write!(f, "{i}"),
+            Value::Float(x) => write!(f, "{x}"),
+            Value::Text(s) => write!(f, "{s}"),
+        }
+    }
+}
+
+impl From<i64> for Value {
+    fn from(v: i64) -> Self {
+        Value::Int(v)
+    }
+}
+impl From<f64> for Value {
+    fn from(v: f64) -> Self {
+        Value::Float(v)
+    }
+}
+impl From<&str> for Value {
+    fn from(v: &str) -> Self {
+        Value::Text(v.to_owned())
+    }
+}
+
+/// Comparison operators.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum CmpOp {
+    /// Equal.
+    Eq,
+    /// Not equal.
+    Ne,
+    /// Less than.
+    Lt,
+    /// Less than or equal.
+    Le,
+    /// Greater than.
+    Gt,
+    /// Greater than or equal.
+    Ge,
+}
+
+/// A selection predicate over one relation's attributes.
+#[derive(Clone, Debug)]
+pub enum Predicate {
+    /// `column <op> constant`.
+    Cmp {
+        /// Column name.
+        column: String,
+        /// Operator.
+        op: CmpOp,
+        /// Right-hand constant.
+        value: Value,
+    },
+    /// Conjunction.
+    And(Box<Predicate>, Box<Predicate>),
+    /// Disjunction.
+    Or(Box<Predicate>, Box<Predicate>),
+}
+
+impl Predicate {
+    /// Builder: `column <op> value`.
+    #[must_use]
+    pub fn cmp(column: &str, op: CmpOp, value: impl Into<Value>) -> Self {
+        Predicate::Cmp {
+            column: column.to_owned(),
+            op,
+            value: value.into(),
+        }
+    }
+
+    /// Builder: conjunction.
+    #[must_use]
+    pub fn and(self, other: Predicate) -> Self {
+        Predicate::And(Box::new(self), Box::new(other))
+    }
+
+    /// Builder: disjunction.
+    #[must_use]
+    pub fn or(self, other: Predicate) -> Self {
+        Predicate::Or(Box::new(self), Box::new(other))
+    }
+
+    /// Evaluates the predicate against a row exposed as a column lookup.
+    ///
+    /// Unknown columns and type mismatches evaluate to `false` (SQL-style
+    /// three-valued logic collapsed to false).
+    pub fn eval(&self, lookup: &dyn Fn(&str) -> Option<Value>) -> bool {
+        match self {
+            Predicate::Cmp { column, op, value } => {
+                let Some(actual) = lookup(column) else {
+                    return false;
+                };
+                compare(&actual, *op, value)
+            }
+            Predicate::And(a, b) => a.eval(lookup) && b.eval(lookup),
+            Predicate::Or(a, b) => a.eval(lookup) || b.eval(lookup),
+        }
+    }
+}
+
+fn compare(actual: &Value, op: CmpOp, expected: &Value) -> bool {
+    use std::cmp::Ordering;
+    let ord = match (actual, expected) {
+        (Value::Text(a), Value::Text(b)) => a.cmp(b),
+        _ => match (actual.as_f64(), expected.as_f64()) {
+            (Some(a), Some(b)) => match a.partial_cmp(&b) {
+                Some(o) => o,
+                None => return false,
+            },
+            _ => return false,
+        },
+    };
+    matches!(
+        (op, ord),
+        (CmpOp::Eq, Ordering::Equal)
+            | (CmpOp::Ne, Ordering::Less | Ordering::Greater)
+            | (CmpOp::Lt, Ordering::Less)
+            | (CmpOp::Le, Ordering::Less | Ordering::Equal)
+            | (CmpOp::Gt, Ordering::Greater)
+            | (CmpOp::Ge, Ordering::Greater | Ordering::Equal)
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn lookup(col: &str) -> Option<Value> {
+        match col {
+            "population" => Some(Value::Int(6_000_000)),
+            "name" => Some(Value::Text("springfield".into())),
+            "area" => Some(Value::Float(12.5)),
+            _ => None,
+        }
+    }
+
+    #[test]
+    fn numeric_comparisons() {
+        assert!(Predicate::cmp("population", CmpOp::Gt, 5_000_000i64).eval(&lookup));
+        assert!(!Predicate::cmp("population", CmpOp::Lt, 5_000_000i64).eval(&lookup));
+        assert!(Predicate::cmp("area", CmpOp::Ge, 12.5).eval(&lookup));
+        // Mixed int/float comparisons coerce.
+        assert!(Predicate::cmp("population", CmpOp::Gt, 5.9e6).eval(&lookup));
+    }
+
+    #[test]
+    fn text_comparisons() {
+        assert!(Predicate::cmp("name", CmpOp::Eq, "springfield").eval(&lookup));
+        assert!(Predicate::cmp("name", CmpOp::Ne, "shelbyville").eval(&lookup));
+        assert!(!Predicate::cmp("name", CmpOp::Eq, "shelbyville").eval(&lookup));
+    }
+
+    #[test]
+    fn unknown_column_is_false() {
+        assert!(!Predicate::cmp("missing", CmpOp::Eq, 1i64).eval(&lookup));
+    }
+
+    #[test]
+    fn type_mismatch_is_false() {
+        assert!(!Predicate::cmp("name", CmpOp::Gt, 3i64).eval(&lookup));
+    }
+
+    #[test]
+    fn boolean_combinators() {
+        let p = Predicate::cmp("population", CmpOp::Gt, 5_000_000i64)
+            .and(Predicate::cmp("name", CmpOp::Eq, "springfield"));
+        assert!(p.eval(&lookup));
+        let q = Predicate::cmp("population", CmpOp::Lt, 5i64)
+            .or(Predicate::cmp("area", CmpOp::Gt, 10.0));
+        assert!(q.eval(&lookup));
+        let r = Predicate::cmp("population", CmpOp::Lt, 5i64)
+            .and(Predicate::cmp("area", CmpOp::Gt, 10.0));
+        assert!(!r.eval(&lookup));
+    }
+}

@@ -1,0 +1,100 @@
+//! Node entries: (bounding rectangle, pointer) pairs.
+
+use sdj_geom::Rect;
+use sdj_storage::PageId;
+
+/// Identifier of a data object (e.g. a tuple id in a relational system).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct ObjectId(pub u64);
+
+/// What an entry points at: a data object (leaf nodes) or a child node
+/// (internal nodes).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum EntryPtr {
+    /// Leaf entry payload.
+    Object(ObjectId),
+    /// Internal entry payload.
+    Child(PageId),
+}
+
+/// One `(key, pointer)` entry of an R-tree node (§2.1): `mbr` minimally
+/// bounds everything reachable through `ptr`.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Entry<const D: usize> {
+    /// Minimal bounding rectangle of the referenced object or subtree.
+    pub mbr: Rect<D>,
+    /// The referenced object or child node.
+    pub ptr: EntryPtr,
+}
+
+impl<const D: usize> Entry<D> {
+    /// Creates a leaf entry.
+    #[must_use]
+    pub fn object(mbr: Rect<D>, oid: ObjectId) -> Self {
+        Self {
+            mbr,
+            ptr: EntryPtr::Object(oid),
+        }
+    }
+
+    /// Creates an internal entry.
+    #[must_use]
+    pub fn child(mbr: Rect<D>, page: PageId) -> Self {
+        Self {
+            mbr,
+            ptr: EntryPtr::Child(page),
+        }
+    }
+
+    /// The object id of a leaf entry.
+    ///
+    /// # Panics
+    /// Panics if this is an internal entry.
+    #[must_use]
+    pub fn object_id(&self) -> ObjectId {
+        match self.ptr {
+            EntryPtr::Object(oid) => oid,
+            EntryPtr::Child(_) => panic!("object_id() on an internal entry"),
+        }
+    }
+
+    /// The child page of an internal entry.
+    ///
+    /// # Panics
+    /// Panics if this is a leaf entry.
+    #[must_use]
+    pub fn child_page(&self) -> PageId {
+        match self.ptr {
+            EntryPtr::Child(page) => page,
+            EntryPtr::Object(_) => panic!("child_page() on a leaf entry"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn accessors() {
+        let r = Rect::new([0.0, 0.0], [1.0, 1.0]);
+        let e = Entry::object(r, ObjectId(7));
+        assert_eq!(e.object_id(), ObjectId(7));
+        let c = Entry::child(r, PageId(3));
+        assert_eq!(c.child_page(), PageId(3));
+    }
+
+    #[test]
+    #[should_panic(expected = "internal entry")]
+    fn object_id_on_child_panics() {
+        let r = Rect::new([0.0, 0.0], [1.0, 1.0]);
+        let _ = Entry::<2>::child(r, PageId(3)).object_id();
+    }
+
+    #[test]
+    #[should_panic(expected = "leaf entry")]
+    fn child_page_on_object_panics() {
+        let r = Rect::new([0.0, 0.0], [1.0, 1.0]);
+        let _ = Entry::<2>::object(r, ObjectId(1)).child_page();
+    }
+}

@@ -1,0 +1,40 @@
+//! A disk-resident R*-tree.
+//!
+//! This crate implements the spatial index used throughout the paper's
+//! evaluation (§2.1/§3.1): an R*-tree (Beckmann et al. 1990) whose nodes each
+//! occupy one page of the simulated disk from `sdj-storage`, read and written
+//! through an LRU buffer pool so that every experiment can report node I/O.
+//!
+//! Features:
+//!
+//! * insertion with R* ChooseSubtree, forced reinsertion and the R*
+//!   topological split,
+//! * deletion with condense-tree re-insertion,
+//! * Sort-Tile-Recursive bulk loading,
+//! * window queries,
+//! * the incremental nearest-neighbour iterator of Hjaltason & Samet (1995),
+//!   which §2.2 of the distance-join paper generalises to pairs,
+//! * a structural invariant checker used by the test suites.
+//!
+//! The tree is generic in the dimension `D`. Leaf entries hold an object id
+//! plus the object's minimal bounding rectangle; for point data the MBR *is*
+//! the point, which matches the paper's "objects represented directly in the
+//! leaves" configuration.
+
+mod bulk;
+mod config;
+mod entry;
+mod nn;
+mod node;
+mod persist;
+mod split;
+mod tree;
+mod validate;
+
+pub use config::RTreeConfig;
+pub use entry::{Entry, EntryPtr, ObjectId};
+pub use nn::{NearestNeighbors, Neighbor};
+pub use node::Node;
+pub use tree::RTree;
+
+pub use sdj_storage::{PageId, PoolStats};

@@ -1,0 +1,181 @@
+//! Saving an R*-tree to a file and reopening it later.
+//!
+//! The dump is a small header (dimension, tree shape, configuration)
+//! followed by the page image of the simulated disk, so a reopened tree is
+//! bit-identical to the saved one — including free pages, which keeps
+//! subsequent insertions allocating the same ids.
+
+use std::fs::File;
+use std::io::{BufReader, BufWriter, Read, Write};
+use std::path::Path;
+
+use sdj_storage::persist::{read_u64, write_u64, PersistError};
+use sdj_storage::{BufferPool, PageId, Pager};
+
+use crate::config::RTreeConfig;
+use crate::tree::RTree;
+
+const MAGIC: &[u8; 8] = b"SDJRTRE1";
+
+impl<const D: usize> RTree<D> {
+    /// Writes the tree to `out` (header + full page image).
+    pub fn save_to(&self, out: &mut impl Write) -> Result<(), PersistError> {
+        out.write_all(MAGIC)?;
+        write_u64(out, D as u64)?;
+        write_u64(out, u64::from(self.root_id().0))?;
+        write_u64(out, u64::from(self.height()))?;
+        write_u64(out, self.len() as u64)?;
+        let c = self.config();
+        write_u64(out, c.page_size as u64)?;
+        write_u64(out, c.buffer_frames as u64)?;
+        write_u64(out, c.fanout_cap.map_or(u64::MAX, |f| f as u64))?;
+        write_u64(out, c.min_fill.to_bits())?;
+        write_u64(out, c.reinsert_fraction.to_bits())?;
+        self.pool().save_to(out)
+    }
+
+    /// Saves the tree to a file.
+    pub fn save(&self, path: impl AsRef<Path>) -> Result<(), PersistError> {
+        let mut out = BufWriter::new(File::create(path)?);
+        self.save_to(&mut out)?;
+        out.flush()?;
+        Ok(())
+    }
+
+    /// Reads a tree back from a dump written by [`RTree::save_to`].
+    pub fn load_from(input: &mut impl Read) -> Result<Self, PersistError> {
+        let mut magic = [0u8; 8];
+        input.read_exact(&mut magic)?;
+        if &magic != MAGIC {
+            return Err(PersistError::Format("not an R-tree dump"));
+        }
+        if read_u64(input)? != D as u64 {
+            return Err(PersistError::Format("dimension mismatch"));
+        }
+        let root = PageId(
+            u32::try_from(read_u64(input)?).map_err(|_| PersistError::Format("bad root id"))?,
+        );
+        let height =
+            u8::try_from(read_u64(input)?).map_err(|_| PersistError::Format("bad height"))?;
+        let len = read_u64(input)? as usize;
+        let config = RTreeConfig {
+            page_size: read_u64(input)? as usize,
+            buffer_frames: read_u64(input)? as usize,
+            fanout_cap: match read_u64(input)? {
+                u64::MAX => None,
+                f => Some(f as usize),
+            },
+            min_fill: f64::from_bits(read_u64(input)?),
+            reinsert_fraction: f64::from_bits(read_u64(input)?),
+        };
+        if height == 0 {
+            return Err(PersistError::Format("zero height"));
+        }
+        let pager = Pager::load_from(input)?;
+        if pager.page_size() != config.page_size {
+            return Err(PersistError::Format("page size mismatch"));
+        }
+        let pool = BufferPool::new(pager, config.buffer_frames);
+        let tree = RTree::from_parts(pool, config, root, height, len);
+        // The header could have been tampered with; make sure the structure
+        // is coherent before handing it out.
+        tree.validate()
+            .map_err(|_| PersistError::Format("structural validation failed"))?;
+        Ok(tree)
+    }
+
+    /// Opens a tree saved with [`RTree::save`].
+    pub fn open(path: impl AsRef<Path>) -> Result<Self, PersistError> {
+        Self::load_from(&mut BufReader::new(File::open(path)?))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::entry::ObjectId;
+    use sdj_geom::{Metric, Point, Rect};
+
+    fn sample_tree(n: usize) -> RTree<2> {
+        let mut tree = RTree::new(RTreeConfig::small(5));
+        for i in 0..n {
+            let p = Point::xy((i % 23) as f64, (i / 23) as f64 + 0.5 * (i % 7) as f64);
+            tree.insert(ObjectId(i as u64), p.to_rect()).unwrap();
+        }
+        tree
+    }
+
+    #[test]
+    fn roundtrip_in_memory() {
+        let tree = sample_tree(300);
+        let mut bytes = Vec::new();
+        tree.save_to(&mut bytes).unwrap();
+        let back = RTree::<2>::load_from(&mut bytes.as_slice()).unwrap();
+        assert_eq!(back.len(), 300);
+        assert_eq!(back.height(), tree.height());
+        back.validate().unwrap();
+        let mut a = tree.all_objects().unwrap();
+        let mut b = back.all_objects().unwrap();
+        a.sort_by_key(|(o, _)| o.0);
+        b.sort_by_key(|(o, _)| o.0);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn reopened_tree_accepts_updates() {
+        let tree = sample_tree(120);
+        let mut bytes = Vec::new();
+        tree.save_to(&mut bytes).unwrap();
+        let mut back = RTree::<2>::load_from(&mut bytes.as_slice()).unwrap();
+        back.insert(ObjectId(9999), Point::xy(100.0, 100.0).to_rect())
+            .unwrap();
+        assert!(back
+            .delete(ObjectId(0), &Point::xy(0.0, 0.5 * 0.0).to_rect())
+            .unwrap());
+        back.validate().unwrap();
+        assert_eq!(back.len(), 120);
+        // Queries still work end to end.
+        let nn = back
+            .nearest_neighbors(Point::xy(100.0, 100.0), Metric::Euclidean)
+            .next()
+            .unwrap();
+        assert_eq!(nn.oid, ObjectId(9999));
+    }
+
+    #[test]
+    fn roundtrip_via_file() {
+        let tree = sample_tree(80);
+        let path = std::env::temp_dir().join(format!("sdj_rtree_{}.bin", std::process::id()));
+        tree.save(&path).unwrap();
+        let back = RTree::<2>::open(&path).unwrap();
+        std::fs::remove_file(&path).ok();
+        assert_eq!(back.len(), 80);
+        back.validate().unwrap();
+        let w = Rect::new([0.0, 0.0], [10.0, 10.0]);
+        assert_eq!(
+            tree.query_window(&w).unwrap().len(),
+            back.query_window(&w).unwrap().len()
+        );
+    }
+
+    #[test]
+    fn dimension_mismatch_rejected() {
+        let tree = sample_tree(10);
+        let mut bytes = Vec::new();
+        tree.save_to(&mut bytes).unwrap();
+        assert!(matches!(
+            RTree::<3>::load_from(&mut bytes.as_slice()),
+            Err(PersistError::Format(_))
+        ));
+    }
+
+    #[test]
+    fn corrupt_header_rejected() {
+        let tree = sample_tree(10);
+        let mut bytes = Vec::new();
+        tree.save_to(&mut bytes).unwrap();
+        // Claim an impossible height.
+        bytes[16..24].copy_from_slice(&u64::MAX.to_le_bytes());
+        assert!(RTree::<2>::load_from(&mut bytes.as_slice()).is_err());
+    }
+}

@@ -1,0 +1,224 @@
+//! The R*-tree topological split (Beckmann et al. 1990, §4.2).
+//!
+//! `ChooseSplitAxis` sorts the entries by lower and by upper rectangle value
+//! on each axis and sums the margins of all legal distributions; the axis
+//! with the smallest margin sum wins. `ChooseSplitIndex` then picks, on that
+//! axis, the distribution with the least overlap between the two groups
+//! (ties broken by combined area).
+
+use sdj_geom::Rect;
+
+use crate::entry::Entry;
+
+/// Result of splitting an overflowing entry list in two.
+#[derive(Debug)]
+pub struct Split<const D: usize> {
+    /// First group (stays in the original node).
+    pub first: Vec<Entry<D>>,
+    /// Bounding rectangle of the first group.
+    pub first_mbr: Rect<D>,
+    /// Second group (moves to the new node).
+    pub second: Vec<Entry<D>>,
+    /// Bounding rectangle of the second group.
+    pub second_mbr: Rect<D>,
+}
+
+/// Bounding rectangle of a slice of entries.
+fn mbr_of<const D: usize>(entries: &[Entry<D>]) -> Rect<D> {
+    entries
+        .iter()
+        .fold(Rect::empty(), |acc, e| acc.union(&e.mbr))
+}
+
+/// All legal distributions of a sorted entry list: the first group takes
+/// `min_entries - 1 + k` entries for `k = 1 ..= max - 2*min + 2`.
+fn distributions(total: usize, min_entries: usize) -> impl Iterator<Item = usize> {
+    min_entries..=(total - min_entries)
+}
+
+/// Splits `entries` (which overflowed: `len == max_entries + 1`) into two
+/// groups, each holding at least `min_entries`.
+///
+/// # Panics
+/// Panics if fewer than `2 * min_entries` entries are supplied.
+pub fn rstar_split<const D: usize>(mut entries: Vec<Entry<D>>, min_entries: usize) -> Split<D> {
+    let total = entries.len();
+    assert!(
+        total >= 2 * min_entries,
+        "cannot split {total} entries with minimum {min_entries}"
+    );
+
+    // ChooseSplitAxis: for each axis, the margin sum over both sort orders
+    // and all distributions.
+    let mut best_axis = 0;
+    let mut best_margin = f64::INFINITY;
+    for axis in 0..D {
+        let mut margin_sum = 0.0;
+        for sort_by_upper in [false, true] {
+            sort_entries(&mut entries, axis, sort_by_upper);
+            for split_at in distributions(total, min_entries) {
+                margin_sum += mbr_of(&entries[..split_at]).margin();
+                margin_sum += mbr_of(&entries[split_at..]).margin();
+            }
+        }
+        if margin_sum < best_margin {
+            best_margin = margin_sum;
+            best_axis = axis;
+        }
+    }
+
+    // ChooseSplitIndex on the winning axis: least overlap, ties by least
+    // combined area, over both sort orders.
+    let mut best: Option<(f64, f64, bool, usize)> = None;
+    for sort_by_upper in [false, true] {
+        sort_entries(&mut entries, best_axis, sort_by_upper);
+        for split_at in distributions(total, min_entries) {
+            let left = mbr_of(&entries[..split_at]);
+            let right = mbr_of(&entries[split_at..]);
+            let overlap = left.overlap_area(&right);
+            let area = left.area() + right.area();
+            let candidate = (overlap, area, sort_by_upper, split_at);
+            let better = match &best {
+                None => true,
+                Some((o, a, _, _)) => overlap < *o || (overlap == *o && area < *a),
+            };
+            if better {
+                best = Some(candidate);
+            }
+        }
+    }
+    let (_, _, sort_by_upper, split_at) = best.expect("at least one distribution");
+    sort_entries(&mut entries, best_axis, sort_by_upper);
+    let second = entries.split_off(split_at);
+    let first_mbr = mbr_of(&entries);
+    let second_mbr = mbr_of(&second);
+    Split {
+        first: entries,
+        first_mbr,
+        second,
+        second_mbr,
+    }
+}
+
+fn sort_entries<const D: usize>(entries: &mut [Entry<D>], axis: usize, by_upper: bool) {
+    // Sort by (lo, hi) or (hi, lo) on the axis, as in the R* paper.
+    entries.sort_by(|a, b| {
+        let ka = if by_upper {
+            (a.mbr.hi()[axis], a.mbr.lo()[axis])
+        } else {
+            (a.mbr.lo()[axis], a.mbr.hi()[axis])
+        };
+        let kb = if by_upper {
+            (b.mbr.hi()[axis], b.mbr.lo()[axis])
+        } else {
+            (b.mbr.lo()[axis], b.mbr.hi()[axis])
+        };
+        ka.partial_cmp(&kb).expect("finite rectangle coordinates")
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::entry::ObjectId;
+    use proptest::prelude::*;
+
+    fn obj(lo: [f64; 2], hi: [f64; 2], id: u64) -> Entry<2> {
+        Entry::object(Rect::new(lo, hi), ObjectId(id))
+    }
+
+    #[test]
+    fn splits_two_clusters_cleanly() {
+        // Two well-separated clusters along x; the split must not mix them.
+        let mut entries = Vec::new();
+        for i in 0..4 {
+            let x = i as f64;
+            entries.push(obj([x, 0.0], [x + 0.5, 1.0], i));
+        }
+        for i in 0..4 {
+            let x = 100.0 + i as f64;
+            entries.push(obj([x, 0.0], [x + 0.5, 1.0], 100 + i));
+        }
+        let split = rstar_split(entries, 2);
+        assert_eq!(split.first.len() + split.second.len(), 8);
+        let (left, right) = if split.first_mbr.lo()[0] < 50.0 {
+            (&split.first, &split.second)
+        } else {
+            (&split.second, &split.first)
+        };
+        assert!(left.iter().all(|e| e.mbr.hi()[0] < 50.0));
+        assert!(right.iter().all(|e| e.mbr.lo()[0] > 50.0));
+        assert_eq!(split.first_mbr.overlap_area(&split.second_mbr), 0.0);
+    }
+
+    #[test]
+    fn respects_min_entries() {
+        let entries: Vec<Entry<2>> = (0..11)
+            .map(|i| obj([i as f64, 0.0], [i as f64 + 0.1, 0.1], i))
+            .collect();
+        let split = rstar_split(entries, 4);
+        assert!(split.first.len() >= 4);
+        assert!(split.second.len() >= 4);
+    }
+
+    #[test]
+    fn picks_axis_with_better_separation() {
+        // Entries spread along y, overlapping in x: split axis must be y.
+        let entries: Vec<Entry<2>> = (0..6)
+            .map(|i| obj([0.0, 10.0 * i as f64], [1.0, 10.0 * i as f64 + 1.0], i))
+            .collect();
+        let split = rstar_split(entries, 2);
+        // Groups separated in y, fully overlapping ranges in x.
+        assert!(
+            split.first_mbr.hi()[1] <= split.second_mbr.lo()[1]
+                || split.second_mbr.hi()[1] <= split.first_mbr.lo()[1]
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot split")]
+    fn too_few_entries_panics() {
+        let entries: Vec<Entry<2>> = (0..3)
+            .map(|i| obj([i as f64, 0.0], [i as f64, 0.0], i))
+            .collect();
+        let _ = rstar_split(entries, 2);
+    }
+
+    proptest! {
+        /// Every entry ends up in exactly one group, group sizes respect the
+        /// minimum, and group MBRs bound their members.
+        #[test]
+        fn split_partition_invariants(
+            coords in prop::collection::vec((0.0..100.0f64, 0.0..100.0f64, 0.0..5.0f64, 0.0..5.0f64), 8..40),
+            min_entries in 2usize..4,
+        ) {
+            let entries: Vec<Entry<2>> = coords
+                .iter()
+                .enumerate()
+                .map(|(i, (x, y, w, h))| obj([*x, *y], [x + w, y + h], i as u64))
+                .collect();
+            let total = entries.len();
+            prop_assume!(total >= 2 * min_entries);
+            let split = rstar_split(entries, min_entries);
+            prop_assert_eq!(split.first.len() + split.second.len(), total);
+            prop_assert!(split.first.len() >= min_entries);
+            prop_assert!(split.second.len() >= min_entries);
+            for e in &split.first {
+                prop_assert!(split.first_mbr.contains_rect(&e.mbr));
+            }
+            for e in &split.second {
+                prop_assert!(split.second_mbr.contains_rect(&e.mbr));
+            }
+            // No duplicated or lost ids.
+            let mut ids: Vec<u64> = split
+                .first
+                .iter()
+                .chain(&split.second)
+                .map(|e| e.object_id().0)
+                .collect();
+            ids.sort_unstable();
+            ids.dedup();
+            prop_assert_eq!(ids.len(), total);
+        }
+    }
+}

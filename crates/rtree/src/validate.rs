@@ -1,0 +1,120 @@
+//! Structural invariant checking, used pervasively by the test suites.
+
+use std::collections::HashSet;
+
+use sdj_geom::{approx_eq, Rect};
+use sdj_storage::PageId;
+
+use crate::entry::EntryPtr;
+use crate::tree::RTree;
+
+impl<const D: usize> RTree<D> {
+    /// Checks every structural invariant of the tree, returning a
+    /// description of the first violation found.
+    ///
+    /// Checked invariants:
+    /// 1. node levels decrease by exactly one per edge and leaves are level 0;
+    /// 2. every node's entry count is within `[min, max]` (the root is
+    ///    exempt from the minimum; an internal root needs ≥ 2 entries);
+    /// 3. each internal entry's MBR equals (within epsilon) the MBR of its
+    ///    child node — i.e. bounding rectangles are *minimal*;
+    /// 4. no page is referenced twice;
+    /// 5. object ids are unique and their total matches `len()`.
+    pub fn validate(&self) -> Result<(), String> {
+        let mut seen_pages: HashSet<PageId> = HashSet::new();
+        let mut seen_objects: HashSet<u64> = HashSet::new();
+        let root_level = self.height() - 1;
+        self.validate_node(self.root_id(), root_level, true, &mut seen_pages, &mut seen_objects)?;
+        if seen_objects.len() != self.len() {
+            return Err(format!(
+                "tree reports len {} but holds {} objects",
+                self.len(),
+                seen_objects.len()
+            ));
+        }
+        Ok(())
+    }
+
+    fn validate_node(
+        &self,
+        page: PageId,
+        expected_level: u8,
+        is_root: bool,
+        seen_pages: &mut HashSet<PageId>,
+        seen_objects: &mut HashSet<u64>,
+    ) -> Result<Rect<D>, String> {
+        if !seen_pages.insert(page) {
+            return Err(format!("page {page:?} referenced more than once"));
+        }
+        let node = self
+            .read_node(page)
+            .map_err(|e| format!("cannot read node {page:?}: {e}"))?;
+        if node.level != expected_level {
+            return Err(format!(
+                "node {page:?} has level {}, expected {expected_level}",
+                node.level
+            ));
+        }
+        let count = node.entries.len();
+        if count > self.max_entries() {
+            return Err(format!(
+                "node {page:?} overflows: {count} > {}",
+                self.max_entries()
+            ));
+        }
+        if is_root {
+            if !node.is_leaf() && count < 2 {
+                return Err(format!("internal root {page:?} has {count} < 2 entries"));
+            }
+        } else if count < self.min_entries() {
+            return Err(format!(
+                "node {page:?} underflows: {count} < {}",
+                self.min_entries()
+            ));
+        }
+        for e in &node.entries {
+            match e.ptr {
+                EntryPtr::Object(oid) => {
+                    if !node.is_leaf() {
+                        return Err(format!("object entry in internal node {page:?}"));
+                    }
+                    if !seen_objects.insert(oid.0) {
+                        return Err(format!("object id {} appears twice", oid.0));
+                    }
+                    if !e.mbr.is_finite() {
+                        return Err(format!("non-finite object MBR in node {page:?}"));
+                    }
+                }
+                EntryPtr::Child(child) => {
+                    if node.is_leaf() {
+                        return Err(format!("child entry in leaf node {page:?}"));
+                    }
+                    let child_mbr = self.validate_node(
+                        child,
+                        expected_level - 1,
+                        false,
+                        seen_pages,
+                        seen_objects,
+                    )?;
+                    if !rects_equal(&e.mbr, &child_mbr) {
+                        return Err(format!(
+                            "entry MBR in {page:?} is not minimal for child {child:?}: \
+                             {:?} vs {:?}",
+                            e.mbr, child_mbr
+                        ));
+                    }
+                }
+            }
+        }
+        Ok(node.mbr())
+    }
+}
+
+fn rects_equal<const D: usize>(a: &Rect<D>, b: &Rect<D>) -> bool {
+    if a.is_empty() && b.is_empty() {
+        return true;
+    }
+    (0..D).all(|axis| {
+        approx_eq(a.lo()[axis], b.lo()[axis]) && approx_eq(a.hi()[axis], b.hi()[axis])
+    })
+}

@@ -1,0 +1,118 @@
+//! Randomised R*-tree workouts: arbitrary interleavings of inserts and
+//! deletes must preserve every structural invariant and answer queries
+//! exactly like a linear scan.
+
+use proptest::prelude::*;
+use sdj_geom::{Metric, Point, Rect};
+use sdj_rtree::{ObjectId, RTree, RTreeConfig};
+
+#[derive(Clone, Debug)]
+enum Op {
+    Insert(f64, f64),
+    /// Delete the i-th (mod live count) currently live object.
+    DeleteNth(usize),
+    Validate,
+}
+
+fn op_strategy() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        4 => (0.0..100.0f64, 0.0..100.0f64).prop_map(|(x, y)| Op::Insert(x, y)),
+        2 => (0usize..1000).prop_map(Op::DeleteNth),
+        1 => Just(Op::Validate),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn random_insert_delete_interleavings(
+        ops in prop::collection::vec(op_strategy(), 1..120),
+        fanout in 4usize..9,
+    ) {
+        let mut tree = RTree::new(RTreeConfig::small(fanout));
+        let mut live: Vec<(ObjectId, Point<2>)> = Vec::new();
+        let mut next_id = 0u64;
+        for op in ops {
+            match op {
+                Op::Insert(x, y) => {
+                    let id = ObjectId(next_id);
+                    next_id += 1;
+                    let p = Point::xy(x, y);
+                    tree.insert(id, p.to_rect()).unwrap();
+                    live.push((id, p));
+                }
+                Op::DeleteNth(n) => {
+                    if live.is_empty() {
+                        continue;
+                    }
+                    let (id, p) = live.swap_remove(n % live.len());
+                    prop_assert!(tree.delete(id, &p.to_rect()).unwrap());
+                }
+                Op::Validate => tree.validate().map_err(|e| {
+                    TestCaseError::fail(format!("invariant violated: {e}"))
+                })?,
+            }
+            prop_assert_eq!(tree.len(), live.len());
+        }
+        tree.validate().map_err(TestCaseError::fail)?;
+
+        // Window query equivalence against the live set.
+        let window = Rect::new([20.0, 20.0], [70.0, 60.0]);
+        let mut got: Vec<u64> = tree
+            .query_window(&window)
+            .unwrap()
+            .iter()
+            .map(|(o, _)| o.0)
+            .collect();
+        got.sort_unstable();
+        let mut want: Vec<u64> = live
+            .iter()
+            .filter(|(_, p)| window.contains_point(p))
+            .map(|(o, _)| o.0)
+            .collect();
+        want.sort_unstable();
+        prop_assert_eq!(got, want);
+
+        // Nearest-neighbour equivalence.
+        if !live.is_empty() {
+            let q = Point::xy(50.0, 50.0);
+            let first = tree.nearest_neighbors(q, Metric::Euclidean).next().unwrap();
+            let best = live
+                .iter()
+                .map(|(_, p)| Metric::Euclidean.distance(&q, p))
+                .fold(f64::INFINITY, f64::min);
+            prop_assert!((first.distance - best).abs() < 1e-9);
+        }
+    }
+
+    /// Deleting everything in random order always returns the tree to an
+    /// empty, valid state.
+    #[test]
+    fn delete_all_in_random_order(
+        coords in prop::collection::vec((0.0..50.0f64, 0.0..50.0f64), 1..80),
+        seed in any::<u64>(),
+    ) {
+        let mut tree = RTree::new(RTreeConfig::small(4));
+        let mut live: Vec<(ObjectId, Point<2>)> = Vec::new();
+        for (i, (x, y)) in coords.iter().enumerate() {
+            let p = Point::xy(*x, *y);
+            tree.insert(ObjectId(i as u64), p.to_rect()).unwrap();
+            live.push((ObjectId(i as u64), p));
+        }
+        // Deterministic shuffle from the seed.
+        let mut order: Vec<usize> = (0..live.len()).collect();
+        let mut state = seed | 1;
+        for i in (1..order.len()).rev() {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            order.swap(i, (state >> 33) as usize % (i + 1));
+        }
+        for idx in order {
+            let (id, p) = live[idx];
+            prop_assert!(tree.delete(id, &p.to_rect()).unwrap());
+        }
+        prop_assert!(tree.is_empty());
+        prop_assert_eq!(tree.height(), 1);
+        tree.validate().map_err(TestCaseError::fail)?;
+    }
+}

@@ -1,0 +1,454 @@
+//! LRU buffer pool.
+//!
+//! A fixed number of page-sized frames sits in front of the [`Pager`]. Every
+//! page access goes through [`BufferPool::read`] / [`BufferPool::write`]; a
+//! miss faults the page in from the pager (evicting the least recently used
+//! frame, writing it back if dirty). The experiments report buffer misses as
+//! "node I/O", matching the paper's setup of a 256K buffer over 1K pages.
+//!
+//! The recency list is an intrusive doubly-linked list over frame indices, so
+//! hits, evictions and invalidations are all O(1) (plus hashing).
+
+use std::cell::RefCell;
+use std::collections::HashMap;
+
+use crate::{PageId, Pager, Result};
+
+/// Cumulative buffer-pool counters.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct PoolStats {
+    /// Accesses served from the pool.
+    pub hits: u64,
+    /// Accesses that had to fault the page in from disk. This is the
+    /// experiments' "node I/O" measure.
+    pub misses: u64,
+    /// Frames evicted to make room.
+    pub evictions: u64,
+    /// Dirty frames written back to disk (on eviction or flush).
+    pub writebacks: u64,
+}
+
+impl PoolStats {
+    /// Total page accesses.
+    #[must_use]
+    pub fn accesses(&self) -> u64 {
+        self.hits + self.misses
+    }
+}
+
+const NIL: usize = usize::MAX;
+
+struct Frame {
+    page: PageId,
+    data: Box<[u8]>,
+    dirty: bool,
+    prev: usize,
+    next: usize,
+}
+
+struct PoolInner {
+    pager: Pager,
+    frames: Vec<Frame>,
+    map: HashMap<PageId, usize>,
+    /// Most recently used frame.
+    head: usize,
+    /// Least recently used frame.
+    tail: usize,
+    capacity: usize,
+    stats: PoolStats,
+}
+
+/// An LRU page cache in front of a [`Pager`].
+///
+/// Methods take `&self`: the pool uses interior mutability so that read-only
+/// index traversals can fault pages without exclusive access to the tree.
+pub struct BufferPool {
+    inner: RefCell<PoolInner>,
+}
+
+impl std::fmt::Debug for BufferPool {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let inner = self.inner.borrow();
+        f.debug_struct("BufferPool")
+            .field("capacity", &inner.capacity)
+            .field("resident", &inner.frames.len())
+            .field("stats", &inner.stats)
+            .finish()
+    }
+}
+
+impl BufferPool {
+    /// Creates a pool of `capacity` frames over `pager`.
+    ///
+    /// # Panics
+    /// Panics if `capacity` is zero.
+    #[must_use]
+    pub fn new(pager: Pager, capacity: usize) -> Self {
+        assert!(capacity > 0, "buffer pool needs at least one frame");
+        Self {
+            inner: RefCell::new(PoolInner {
+                pager,
+                frames: Vec::with_capacity(capacity.min(4096)),
+                map: HashMap::new(),
+                head: NIL,
+                tail: NIL,
+                capacity,
+                stats: PoolStats::default(),
+            }),
+        }
+    }
+
+    /// The underlying page size.
+    #[must_use]
+    pub fn page_size(&self) -> usize {
+        self.inner.borrow().pager.page_size()
+    }
+
+    /// Allocates a new zero-filled page on the underlying pager.
+    pub fn allocate(&self) -> PageId {
+        self.inner.borrow_mut().pager.allocate()
+    }
+
+    /// Frees a page, dropping any cached copy of it.
+    pub fn free(&self, id: PageId) -> Result<()> {
+        let mut inner = self.inner.borrow_mut();
+        if let Some(idx) = inner.map.remove(&id) {
+            inner.unlink(idx);
+            inner.discard_frame(idx);
+        }
+        inner.pager.free(id)
+    }
+
+    /// Reads page `id` through the cache, calling `f` with its bytes.
+    pub fn with_page<R>(&self, id: PageId, f: impl FnOnce(&[u8]) -> R) -> Result<R> {
+        let mut inner = self.inner.borrow_mut();
+        let idx = inner.fetch(id)?;
+        Ok(f(&inner.frames[idx].data))
+    }
+
+    /// Reads page `id` into `buf` (one full page) through the cache.
+    pub fn read(&self, id: PageId, buf: &mut [u8]) -> Result<()> {
+        self.with_page(id, |data| buf.copy_from_slice(data))
+    }
+
+    /// Writes page `id` through the cache (write-back: the page is marked
+    /// dirty and flushed on eviction or [`BufferPool::flush_all`]).
+    pub fn write(&self, id: PageId, buf: &[u8]) -> Result<()> {
+        let mut inner = self.inner.borrow_mut();
+        let idx = inner.fetch(id)?;
+        inner.frames[idx].data.copy_from_slice(buf);
+        inner.frames[idx].dirty = true;
+        Ok(())
+    }
+
+    /// Modifies page `id` in place through the cache, marking it dirty.
+    pub fn update<R>(&self, id: PageId, f: impl FnOnce(&mut [u8]) -> R) -> Result<R> {
+        let mut inner = self.inner.borrow_mut();
+        let idx = inner.fetch(id)?;
+        let r = f(&mut inner.frames[idx].data);
+        inner.frames[idx].dirty = true;
+        Ok(r)
+    }
+
+    /// Writes all dirty frames back to the pager.
+    pub fn flush_all(&self) -> Result<()> {
+        let mut inner = self.inner.borrow_mut();
+        for idx in 0..inner.frames.len() {
+            if inner.frames[idx].dirty {
+                let id = inner.frames[idx].page;
+                // Split borrow: move data out temporarily via raw indexing.
+                let data = std::mem::take(&mut inner.frames[idx].data);
+                let res = inner.pager.write(id, &data);
+                inner.frames[idx].data = data;
+                res?;
+                inner.frames[idx].dirty = false;
+                inner.stats.writebacks += 1;
+            }
+        }
+        Ok(())
+    }
+
+    /// Current pool counters.
+    #[must_use]
+    pub fn stats(&self) -> PoolStats {
+        self.inner.borrow().stats
+    }
+
+    /// Current disk counters of the underlying pager.
+    #[must_use]
+    pub fn disk_stats(&self) -> crate::DiskStats {
+        self.inner.borrow().pager.stats()
+    }
+
+    /// Resets pool and disk counters.
+    pub fn reset_stats(&self) {
+        let mut inner = self.inner.borrow_mut();
+        inner.stats = PoolStats::default();
+        inner.pager.reset_stats();
+    }
+
+    /// Number of frames currently resident.
+    #[must_use]
+    pub fn resident(&self) -> usize {
+        self.inner.borrow().map.len()
+    }
+
+    /// Consumes the pool, flushing dirty pages, and returns the pager.
+    pub fn into_pager(self) -> Result<Pager> {
+        self.flush_all()?;
+        Ok(self.inner.into_inner().pager)
+    }
+
+    /// Flushes dirty pages and writes the full disk image to `out`.
+    pub fn save_to(
+        &self,
+        out: &mut impl std::io::Write,
+    ) -> std::result::Result<(), crate::PersistError> {
+        self.flush_all()?;
+        self.inner.borrow_mut().pager.save_to(out)
+    }
+}
+
+impl PoolInner {
+    /// Ensures page `id` is resident and most-recently-used; returns its
+    /// frame index.
+    fn fetch(&mut self, id: PageId) -> Result<usize> {
+        if let Some(&idx) = self.map.get(&id) {
+            self.stats.hits += 1;
+            self.touch(idx);
+            return Ok(idx);
+        }
+        self.stats.misses += 1;
+        let mut data = vec![0u8; self.pager.page_size()].into_boxed_slice();
+        self.pager.read(id, &mut data)?;
+        let idx = if self.frames.len() >= self.capacity {
+            let victim = self.tail;
+            debug_assert_ne!(victim, NIL);
+            self.unlink(victim);
+            let old = self.frames[victim].page;
+            self.map.remove(&old);
+            if self.frames[victim].dirty {
+                let old_data = std::mem::take(&mut self.frames[victim].data);
+                let res = self.pager.write(old, &old_data);
+                self.frames[victim].data = old_data;
+                res?;
+                self.stats.writebacks += 1;
+            }
+            self.stats.evictions += 1;
+            self.frames[victim] = Frame {
+                page: id,
+                data,
+                dirty: false,
+                prev: NIL,
+                next: NIL,
+            };
+            victim
+        } else {
+            self.frames.push(Frame {
+                page: id,
+                data,
+                dirty: false,
+                prev: NIL,
+                next: NIL,
+            });
+            self.frames.len() - 1
+        };
+        self.map.insert(id, idx);
+        self.push_front(idx);
+        Ok(idx)
+    }
+
+    /// Moves frame `idx` to the front (most recently used).
+    fn touch(&mut self, idx: usize) {
+        if self.head == idx {
+            return;
+        }
+        self.unlink(idx);
+        self.push_front(idx);
+    }
+
+    fn push_front(&mut self, idx: usize) {
+        self.frames[idx].prev = NIL;
+        self.frames[idx].next = self.head;
+        if self.head != NIL {
+            self.frames[self.head].prev = idx;
+        }
+        self.head = idx;
+        if self.tail == NIL {
+            self.tail = idx;
+        }
+    }
+
+    fn unlink(&mut self, idx: usize) {
+        let (prev, next) = (self.frames[idx].prev, self.frames[idx].next);
+        if prev != NIL {
+            self.frames[prev].next = next;
+        } else if self.head == idx {
+            self.head = next;
+        }
+        if next != NIL {
+            self.frames[next].prev = prev;
+        } else if self.tail == idx {
+            self.tail = prev;
+        }
+        self.frames[idx].prev = NIL;
+        self.frames[idx].next = NIL;
+    }
+
+    /// Marks a frame as reusable after its page has been freed: it is made
+    /// clean, tagged with the invalid page id, and parked at the LRU tail so
+    /// it becomes the next eviction victim (with no write-back).
+    fn discard_frame(&mut self, idx: usize) {
+        self.frames[idx].dirty = false;
+        self.frames[idx].page = PageId::INVALID;
+        self.push_back(idx);
+    }
+
+    fn push_back(&mut self, idx: usize) {
+        self.frames[idx].next = NIL;
+        self.frames[idx].prev = self.tail;
+        if self.tail != NIL {
+            self.frames[self.tail].next = idx;
+        }
+        self.tail = idx;
+        if self.head == NIL {
+            self.head = idx;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pool(frames: usize) -> (BufferPool, Vec<PageId>) {
+        let mut pager = Pager::new(8);
+        let ids: Vec<PageId> = (0..10).map(|_| pager.allocate()).collect();
+        for (i, id) in ids.iter().enumerate() {
+            pager.write(*id, &[i as u8; 8]).unwrap();
+        }
+        pager.reset_stats();
+        (BufferPool::new(pager, frames), ids)
+    }
+
+    #[test]
+    fn hit_after_miss() {
+        let (pool, ids) = pool(4);
+        let mut buf = [0u8; 8];
+        pool.read(ids[0], &mut buf).unwrap();
+        assert_eq!(buf, [0u8; 8]);
+        pool.read(ids[0], &mut buf).unwrap();
+        let s = pool.stats();
+        assert_eq!(s.misses, 1);
+        assert_eq!(s.hits, 1);
+    }
+
+    #[test]
+    fn lru_eviction_order() {
+        let (pool, ids) = pool(2);
+        let mut buf = [0u8; 8];
+        pool.read(ids[0], &mut buf).unwrap(); // miss
+        pool.read(ids[1], &mut buf).unwrap(); // miss
+        pool.read(ids[0], &mut buf).unwrap(); // hit; 1 is now LRU
+        pool.read(ids[2], &mut buf).unwrap(); // miss, evicts 1
+        pool.read(ids[0], &mut buf).unwrap(); // still resident -> hit
+        pool.read(ids[1], &mut buf).unwrap(); // evicted -> miss
+        let s = pool.stats();
+        assert_eq!(s.misses, 4);
+        assert_eq!(s.hits, 2);
+        assert_eq!(s.evictions, 2);
+    }
+
+    #[test]
+    fn writeback_on_eviction() {
+        let (pool, ids) = pool(1);
+        pool.write(ids[0], &[0xAB; 8]).unwrap();
+        let mut buf = [0u8; 8];
+        pool.read(ids[1], &mut buf).unwrap(); // evicts dirty page 0
+        assert_eq!(pool.stats().writebacks, 1);
+        pool.read(ids[0], &mut buf).unwrap(); // re-read from disk
+        assert_eq!(buf, [0xAB; 8]);
+    }
+
+    #[test]
+    fn flush_all_persists() {
+        let (pool, ids) = pool(4);
+        pool.write(ids[3], &[7; 8]).unwrap();
+        pool.flush_all().unwrap();
+        let mut pager = pool.into_pager().unwrap();
+        let mut buf = [0u8; 8];
+        pager.read(ids[3], &mut buf).unwrap();
+        assert_eq!(buf, [7; 8]);
+    }
+
+    #[test]
+    fn update_in_place() {
+        let (pool, ids) = pool(4);
+        pool.update(ids[2], |data| data[0] = 99).unwrap();
+        let mut buf = [0u8; 8];
+        pool.read(ids[2], &mut buf).unwrap();
+        assert_eq!(buf[0], 99);
+        assert_eq!(buf[1], 2);
+    }
+
+    #[test]
+    fn free_drops_cached_copy() {
+        let (pool, ids) = pool(4);
+        let mut buf = [0u8; 8];
+        pool.read(ids[0], &mut buf).unwrap();
+        pool.free(ids[0]).unwrap();
+        assert!(pool.read(ids[0], &mut buf).is_err());
+        // Allocate a fresh page reusing the freed slot; must read as zeroes,
+        // not the stale cached frame.
+        let id = pool.allocate();
+        assert_eq!(id, ids[0]);
+        pool.read(id, &mut buf).unwrap();
+        assert_eq!(buf, [0u8; 8]);
+    }
+
+    #[test]
+    fn capacity_one_thrashes() {
+        let (pool, ids) = pool(1);
+        let mut buf = [0u8; 8];
+        for round in 0..3 {
+            for id in &ids[..3] {
+                pool.read(*id, &mut buf).unwrap();
+            }
+            let _ = round;
+        }
+        let s = pool.stats();
+        assert_eq!(s.hits, 0, "no reuse distance fits in one frame");
+        assert_eq!(s.misses, 9);
+    }
+
+    #[test]
+    fn working_set_fits_after_warmup() {
+        let (pool, ids) = pool(8);
+        let mut buf = [0u8; 8];
+        for _ in 0..5 {
+            for id in &ids[..6] {
+                pool.read(*id, &mut buf).unwrap();
+            }
+        }
+        let s = pool.stats();
+        assert_eq!(s.misses, 6, "only cold misses");
+        assert_eq!(s.hits, 24);
+        assert_eq!(s.evictions, 0);
+    }
+
+    #[test]
+    fn many_pages_sequential_scan() {
+        // A scan over more pages than frames misses every time (LRU worst
+        // case), which is the access pattern the hybrid queue's disk tier
+        // must tolerate.
+        let (pool, ids) = pool(4);
+        let mut buf = [0u8; 8];
+        for _ in 0..3 {
+            for id in &ids {
+                pool.read(*id, &mut buf).unwrap();
+            }
+        }
+        assert_eq!(pool.stats().hits, 0);
+        assert_eq!(pool.stats().misses, 30);
+    }
+}

@@ -1,0 +1,234 @@
+//! Bounds-checked little-endian encoding helpers for page layouts.
+//!
+//! Tree nodes and spilled priority-queue buckets are flat, fixed-layout
+//! structures; these cursors keep the serialization code free of index
+//! arithmetic mistakes while staying allocation-free.
+
+use crate::{Result, StorageError};
+
+/// A write cursor over a page buffer.
+#[derive(Debug)]
+pub struct PageWriter<'a> {
+    buf: &'a mut [u8],
+    pos: usize,
+}
+
+impl<'a> PageWriter<'a> {
+    /// Creates a writer positioned at the start of `buf`.
+    pub fn new(buf: &'a mut [u8]) -> Self {
+        Self { buf, pos: 0 }
+    }
+
+    /// Current offset.
+    #[must_use]
+    pub fn position(&self) -> usize {
+        self.pos
+    }
+
+    /// Bytes still available.
+    #[must_use]
+    pub fn remaining(&self) -> usize {
+        self.buf.len() - self.pos
+    }
+
+    fn reserve(&mut self, len: usize) -> Result<&mut [u8]> {
+        if self.pos + len > self.buf.len() {
+            return Err(StorageError::OutOfBounds {
+                offset: self.pos,
+                len,
+                size: self.buf.len(),
+            });
+        }
+        let slice = &mut self.buf[self.pos..self.pos + len];
+        self.pos += len;
+        Ok(slice)
+    }
+
+    /// Writes a `u8`.
+    pub fn put_u8(&mut self, v: u8) -> Result<()> {
+        self.reserve(1)?[0] = v;
+        Ok(())
+    }
+
+    /// Writes a `u16` (little endian).
+    pub fn put_u16(&mut self, v: u16) -> Result<()> {
+        self.reserve(2)?.copy_from_slice(&v.to_le_bytes());
+        Ok(())
+    }
+
+    /// Writes a `u32` (little endian).
+    pub fn put_u32(&mut self, v: u32) -> Result<()> {
+        self.reserve(4)?.copy_from_slice(&v.to_le_bytes());
+        Ok(())
+    }
+
+    /// Writes a `u64` (little endian).
+    pub fn put_u64(&mut self, v: u64) -> Result<()> {
+        self.reserve(8)?.copy_from_slice(&v.to_le_bytes());
+        Ok(())
+    }
+
+    /// Writes an `f64` (little-endian IEEE 754 bits).
+    pub fn put_f64(&mut self, v: f64) -> Result<()> {
+        self.reserve(8)?.copy_from_slice(&v.to_le_bytes());
+        Ok(())
+    }
+
+    /// Writes raw bytes.
+    pub fn put_bytes(&mut self, bytes: &[u8]) -> Result<()> {
+        self.reserve(bytes.len())?.copy_from_slice(bytes);
+        Ok(())
+    }
+
+    /// Skips `len` bytes, leaving them untouched.
+    pub fn skip(&mut self, len: usize) -> Result<()> {
+        self.reserve(len).map(|_| ())
+    }
+}
+
+/// A read cursor over a page buffer.
+#[derive(Debug)]
+pub struct PageReader<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> PageReader<'a> {
+    /// Creates a reader positioned at the start of `buf`.
+    #[must_use]
+    pub fn new(buf: &'a [u8]) -> Self {
+        Self { buf, pos: 0 }
+    }
+
+    /// Current offset.
+    #[must_use]
+    pub fn position(&self) -> usize {
+        self.pos
+    }
+
+    /// Bytes still available.
+    #[must_use]
+    pub fn remaining(&self) -> usize {
+        self.buf.len() - self.pos
+    }
+
+    fn take(&mut self, len: usize) -> Result<&'a [u8]> {
+        if self.pos + len > self.buf.len() {
+            return Err(StorageError::OutOfBounds {
+                offset: self.pos,
+                len,
+                size: self.buf.len(),
+            });
+        }
+        let slice = &self.buf[self.pos..self.pos + len];
+        self.pos += len;
+        Ok(slice)
+    }
+
+    /// Reads a `u8`.
+    pub fn get_u8(&mut self) -> Result<u8> {
+        Ok(self.take(1)?[0])
+    }
+
+    /// Reads a `u16` (little endian).
+    pub fn get_u16(&mut self) -> Result<u16> {
+        Ok(u16::from_le_bytes(self.take(2)?.try_into().expect("len 2")))
+    }
+
+    /// Reads a `u32` (little endian).
+    pub fn get_u32(&mut self) -> Result<u32> {
+        Ok(u32::from_le_bytes(self.take(4)?.try_into().expect("len 4")))
+    }
+
+    /// Reads a `u64` (little endian).
+    pub fn get_u64(&mut self) -> Result<u64> {
+        Ok(u64::from_le_bytes(self.take(8)?.try_into().expect("len 8")))
+    }
+
+    /// Reads an `f64` (little-endian IEEE 754 bits).
+    pub fn get_f64(&mut self) -> Result<f64> {
+        Ok(f64::from_le_bytes(self.take(8)?.try_into().expect("len 8")))
+    }
+
+    /// Reads `len` raw bytes.
+    pub fn get_bytes(&mut self, len: usize) -> Result<&'a [u8]> {
+        self.take(len)
+    }
+
+    /// Skips `len` bytes.
+    pub fn skip(&mut self, len: usize) -> Result<()> {
+        self.take(len).map(|_| ())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_scalars() {
+        let mut buf = [0u8; 64];
+        let mut w = PageWriter::new(&mut buf);
+        w.put_u8(7).unwrap();
+        w.put_u16(0xBEEF).unwrap();
+        w.put_u32(0xDEAD_BEEF).unwrap();
+        w.put_u64(0x0123_4567_89AB_CDEF).unwrap();
+        w.put_f64(-1234.5678).unwrap();
+        w.put_bytes(b"tag").unwrap();
+        let end = w.position();
+
+        let mut r = PageReader::new(&buf);
+        assert_eq!(r.get_u8().unwrap(), 7);
+        assert_eq!(r.get_u16().unwrap(), 0xBEEF);
+        assert_eq!(r.get_u32().unwrap(), 0xDEAD_BEEF);
+        assert_eq!(r.get_u64().unwrap(), 0x0123_4567_89AB_CDEF);
+        assert_eq!(r.get_f64().unwrap(), -1234.5678);
+        assert_eq!(r.get_bytes(3).unwrap(), b"tag");
+        assert_eq!(r.position(), end);
+    }
+
+    #[test]
+    fn overflow_write_is_error() {
+        let mut buf = [0u8; 4];
+        let mut w = PageWriter::new(&mut buf);
+        w.put_u32(1).unwrap();
+        assert!(matches!(
+            w.put_u8(1),
+            Err(StorageError::OutOfBounds { offset: 4, len: 1, size: 4 })
+        ));
+    }
+
+    #[test]
+    fn overflow_read_is_error() {
+        let buf = [0u8; 4];
+        let mut r = PageReader::new(&buf);
+        r.get_u16().unwrap();
+        assert!(r.get_u64().is_err());
+        // Failed reads do not advance.
+        assert_eq!(r.position(), 2);
+        r.get_u16().unwrap();
+        assert_eq!(r.remaining(), 0);
+    }
+
+    #[test]
+    fn skip_and_remaining() {
+        let mut buf = [0u8; 10];
+        let mut w = PageWriter::new(&mut buf);
+        w.skip(6).unwrap();
+        assert_eq!(w.remaining(), 4);
+        w.put_u32(42).unwrap();
+        let mut r = PageReader::new(&buf);
+        r.skip(6).unwrap();
+        assert_eq!(r.get_u32().unwrap(), 42);
+    }
+
+    #[test]
+    fn f64_bit_exactness() {
+        for v in [0.0, -0.0, f64::INFINITY, f64::MIN_POSITIVE, 1.0e300] {
+            let mut buf = [0u8; 8];
+            PageWriter::new(&mut buf).put_f64(v).unwrap();
+            let got = PageReader::new(&buf).get_f64().unwrap();
+            assert_eq!(v.to_bits(), got.to_bits());
+        }
+    }
+}

@@ -1,0 +1,55 @@
+//! Error type for the storage layer.
+
+use std::fmt;
+
+/// Errors raised by the pager, buffer pool and page codecs.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum StorageError {
+    /// A page id referred to a page that was never allocated or is out of
+    /// bounds.
+    UnknownPage(u32),
+    /// A page id referred to a page that has been freed.
+    FreedPage(u32),
+    /// A read or write buffer did not match the pager's page size.
+    BadBufferSize { expected: usize, actual: usize },
+    /// A codec read ran past the end of a page, or encoded data did not fit.
+    OutOfBounds { offset: usize, len: usize, size: usize },
+    /// Decoded bytes were structurally invalid.
+    Corrupt(&'static str),
+}
+
+impl fmt::Display for StorageError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StorageError::UnknownPage(id) => write!(f, "unknown page id {id}"),
+            StorageError::FreedPage(id) => write!(f, "page {id} has been freed"),
+            StorageError::BadBufferSize { expected, actual } => {
+                write!(f, "buffer size {actual} does not match page size {expected}")
+            }
+            StorageError::OutOfBounds { offset, len, size } => write!(
+                f,
+                "access of {len} bytes at offset {offset} exceeds page size {size}"
+            ),
+            StorageError::Corrupt(what) => write!(f, "corrupt page data: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for StorageError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages() {
+        assert_eq!(StorageError::UnknownPage(7).to_string(), "unknown page id 7");
+        assert!(StorageError::BadBufferSize { expected: 1024, actual: 10 }
+            .to_string()
+            .contains("1024"));
+        assert!(StorageError::OutOfBounds { offset: 1020, len: 8, size: 1024 }
+            .to_string()
+            .contains("1020"));
+        assert!(StorageError::Corrupt("bad tag").to_string().contains("bad tag"));
+    }
+}

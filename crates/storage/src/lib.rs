@@ -1,0 +1,37 @@
+//! Simulated disk substrate with I/O accounting.
+//!
+//! The paper's evaluation (§3.1) runs on 1K-byte R*-tree pages with a 256K
+//! buffer, and reports *node I/O* as one of its hardware-independent
+//! performance measures. This crate reproduces that environment in-process:
+//!
+//! * [`Pager`] — a "disk" of fixed-size pages with read/write counters,
+//! * [`BufferPool`] — an LRU page cache in front of a pager; a buffer miss is
+//!   what the experiments count as one node I/O,
+//! * [`codec`] — small helpers for encoding tree nodes and spilled
+//!   priority-queue entries into pages.
+//!
+//! The pool uses interior mutability so that read-only tree traversals (the
+//! join and nearest-neighbour iterators) can fault pages in without requiring
+//! `&mut` access to the index.
+
+mod buffer;
+pub mod codec;
+mod error;
+mod pager;
+pub mod persist;
+
+pub use buffer::{BufferPool, PoolStats};
+pub use error::StorageError;
+pub use pager::{DiskStats, PageId, Pager};
+pub use persist::PersistError;
+
+/// Page size used throughout the paper's experiments (§3.1: "The size of the
+/// nodes was 1K").
+pub const DEFAULT_PAGE_SIZE: usize = 1024;
+
+/// Buffer size used throughout the paper's experiments (§3.1: "256K of
+/// memory used for buffers"), expressed in frames of [`DEFAULT_PAGE_SIZE`].
+pub const DEFAULT_BUFFER_FRAMES: usize = 256;
+
+/// Convenience result alias.
+pub type Result<T> = std::result::Result<T, StorageError>;

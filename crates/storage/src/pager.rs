@@ -1,0 +1,238 @@
+//! The simulated disk: a flat collection of fixed-size pages with
+//! allocation, free-list reuse, and read/write accounting.
+
+use crate::{Result, StorageError};
+
+/// Identifier of a disk page.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct PageId(pub u32);
+
+impl PageId {
+    /// Sentinel used in on-page encodings for "no page" (e.g. the tail of a
+    /// linked page list).
+    pub const INVALID: PageId = PageId(u32::MAX);
+
+    /// True if this id is the [`PageId::INVALID`] sentinel.
+    #[must_use]
+    pub fn is_invalid(self) -> bool {
+        self == Self::INVALID
+    }
+}
+
+/// Cumulative disk-level counters.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct DiskStats {
+    /// Number of page reads served.
+    pub reads: u64,
+    /// Number of page writes performed.
+    pub writes: u64,
+    /// Number of pages allocated.
+    pub allocations: u64,
+    /// Number of pages freed.
+    pub frees: u64,
+}
+
+/// A simulated disk of fixed-size pages.
+///
+/// Freshly allocated pages are zero-filled (like a zeroed file extent), and
+/// freed pages go on a free list for reuse, so page ids stay dense over the
+/// lifetime of a workload — important for the hybrid priority queue, which
+/// continuously allocates and frees bucket pages.
+#[derive(Debug)]
+pub struct Pager {
+    page_size: usize,
+    pages: Vec<Option<Box<[u8]>>>,
+    free_list: Vec<PageId>,
+    stats: DiskStats,
+}
+
+impl Pager {
+    /// Creates an empty pager with the given page size.
+    ///
+    /// # Panics
+    /// Panics if `page_size` is zero.
+    #[must_use]
+    pub fn new(page_size: usize) -> Self {
+        assert!(page_size > 0, "page size must be positive");
+        Self {
+            page_size,
+            pages: Vec::new(),
+            free_list: Vec::new(),
+            stats: DiskStats::default(),
+        }
+    }
+
+    /// The page size in bytes.
+    #[must_use]
+    pub fn page_size(&self) -> usize {
+        self.page_size
+    }
+
+    /// Number of live (allocated, not freed) pages.
+    #[must_use]
+    pub fn live_pages(&self) -> usize {
+        self.pages.iter().filter(|p| p.is_some()).count()
+    }
+
+    /// High-water mark of the simulated disk, in pages.
+    #[must_use]
+    pub fn capacity_pages(&self) -> usize {
+        self.pages.len()
+    }
+
+    /// Allocates a zero-filled page, reusing a freed slot when possible.
+    pub fn allocate(&mut self) -> PageId {
+        self.stats.allocations += 1;
+        if let Some(id) = self.free_list.pop() {
+            self.pages[id.0 as usize] = Some(vec![0u8; self.page_size].into_boxed_slice());
+            return id;
+        }
+        let id = PageId(u32::try_from(self.pages.len()).expect("pager overflow"));
+        self.pages.push(Some(vec![0u8; self.page_size].into_boxed_slice()));
+        id
+    }
+
+    /// Frees a page, making its id available for reuse.
+    pub fn free(&mut self, id: PageId) -> Result<()> {
+        let slot = self
+            .pages
+            .get_mut(id.0 as usize)
+            .ok_or(StorageError::UnknownPage(id.0))?;
+        if slot.is_none() {
+            return Err(StorageError::FreedPage(id.0));
+        }
+        *slot = None;
+        self.free_list.push(id);
+        self.stats.frees += 1;
+        Ok(())
+    }
+
+    /// Reads a full page into `buf` (which must be exactly one page long).
+    pub fn read(&mut self, id: PageId, buf: &mut [u8]) -> Result<()> {
+        if buf.len() != self.page_size {
+            return Err(StorageError::BadBufferSize {
+                expected: self.page_size,
+                actual: buf.len(),
+            });
+        }
+        let page = self
+            .pages
+            .get(id.0 as usize)
+            .ok_or(StorageError::UnknownPage(id.0))?
+            .as_ref()
+            .ok_or(StorageError::FreedPage(id.0))?;
+        buf.copy_from_slice(page);
+        self.stats.reads += 1;
+        Ok(())
+    }
+
+    /// Writes a full page from `buf` (which must be exactly one page long).
+    pub fn write(&mut self, id: PageId, buf: &[u8]) -> Result<()> {
+        if buf.len() != self.page_size {
+            return Err(StorageError::BadBufferSize {
+                expected: self.page_size,
+                actual: buf.len(),
+            });
+        }
+        let page = self
+            .pages
+            .get_mut(id.0 as usize)
+            .ok_or(StorageError::UnknownPage(id.0))?
+            .as_mut()
+            .ok_or(StorageError::FreedPage(id.0))?;
+        page.copy_from_slice(buf);
+        self.stats.writes += 1;
+        Ok(())
+    }
+
+    /// Current disk counters.
+    #[must_use]
+    pub fn stats(&self) -> DiskStats {
+        self.stats
+    }
+
+    /// Resets the disk counters (page contents are unaffected).
+    pub fn reset_stats(&mut self) {
+        self.stats = DiskStats::default();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn allocate_read_write_roundtrip() {
+        let mut pager = Pager::new(64);
+        let id = pager.allocate();
+        let mut buf = vec![0u8; 64];
+        pager.read(id, &mut buf).unwrap();
+        assert!(buf.iter().all(|&b| b == 0), "fresh pages are zeroed");
+        let data: Vec<u8> = (0..64).map(|i| i as u8).collect();
+        pager.write(id, &data).unwrap();
+        pager.read(id, &mut buf).unwrap();
+        assert_eq!(buf, data);
+    }
+
+    #[test]
+    fn free_and_reuse() {
+        let mut pager = Pager::new(16);
+        let a = pager.allocate();
+        let b = pager.allocate();
+        assert_ne!(a, b);
+        pager.free(a).unwrap();
+        assert_eq!(pager.live_pages(), 1);
+        let c = pager.allocate();
+        assert_eq!(c, a, "freed ids are reused");
+        let mut buf = vec![0u8; 16];
+        pager.read(c, &mut buf).unwrap();
+        assert!(buf.iter().all(|&b| b == 0), "reused pages are re-zeroed");
+    }
+
+    #[test]
+    fn errors_on_bad_access() {
+        let mut pager = Pager::new(16);
+        let a = pager.allocate();
+        let mut small = vec![0u8; 8];
+        assert!(matches!(
+            pager.read(a, &mut small),
+            Err(StorageError::BadBufferSize { .. })
+        ));
+        assert!(matches!(
+            pager.read(PageId(99), &mut [0u8; 16]),
+            Err(StorageError::UnknownPage(99))
+        ));
+        pager.free(a).unwrap();
+        assert!(matches!(
+            pager.read(a, &mut [0u8; 16]),
+            Err(StorageError::FreedPage(_))
+        ));
+        assert!(matches!(pager.free(a), Err(StorageError::FreedPage(_))));
+    }
+
+    #[test]
+    fn stats_track_operations() {
+        let mut pager = Pager::new(16);
+        let a = pager.allocate();
+        let b = pager.allocate();
+        let buf = vec![1u8; 16];
+        pager.write(a, &buf).unwrap();
+        pager.write(b, &buf).unwrap();
+        let mut out = vec![0u8; 16];
+        pager.read(a, &mut out).unwrap();
+        pager.free(b).unwrap();
+        let s = pager.stats();
+        assert_eq!(s.allocations, 2);
+        assert_eq!(s.writes, 2);
+        assert_eq!(s.reads, 1);
+        assert_eq!(s.frees, 1);
+        pager.reset_stats();
+        assert_eq!(pager.stats(), DiskStats::default());
+    }
+
+    #[test]
+    fn invalid_sentinel() {
+        assert!(PageId::INVALID.is_invalid());
+        assert!(!PageId(0).is_invalid());
+    }
+}

@@ -1,0 +1,65 @@
+//! Build an index once, save it to a file, reopen it later (or in another
+//! process) and join straight away — the page image round-trips bit-exactly,
+//! including free pages.
+//!
+//! Run with: `cargo run --release --example persistence`
+
+use incremental_distance_join::datagen::tiger;
+use incremental_distance_join::join::{DistanceJoin, JoinConfig};
+use incremental_distance_join::rtree::{ObjectId, RTree, RTreeConfig};
+
+fn main() {
+    let water = tiger::water_like(5_000, 3);
+    let roads = tiger::roads_like(20_000, 3);
+
+    // Phase 1: build and save (imagine this is an offline indexing job).
+    let dir = std::env::temp_dir();
+    let water_path = dir.join("sdj_example_water.idx");
+    let roads_path = dir.join("sdj_example_roads.idx");
+    {
+        let mut tw = RTree::new(RTreeConfig::default());
+        for (i, p) in water.iter().enumerate() {
+            tw.insert(ObjectId(i as u64), p.to_rect()).expect("insert");
+        }
+        let mut tr = RTree::new(RTreeConfig::default());
+        for (i, p) in roads.iter().enumerate() {
+            tr.insert(ObjectId(i as u64), p.to_rect()).expect("insert");
+        }
+        tw.save(&water_path).expect("save water index");
+        tr.save(&roads_path).expect("save roads index");
+        println!(
+            "saved {} + {} objects to {:?} ({} and {} bytes)",
+            tw.len(),
+            tr.len(),
+            dir,
+            std::fs::metadata(&water_path).unwrap().len(),
+            std::fs::metadata(&roads_path).unwrap().len(),
+        );
+    } // both trees dropped here
+
+    // Phase 2: reopen and query (imagine a separate serving process).
+    let tw = RTree::<2>::open(&water_path).expect("open water index");
+    let tr = RTree::<2>::open(&roads_path).expect("open roads index");
+    tw.validate().expect("water index intact");
+    tr.validate().expect("roads index intact");
+
+    println!("\nfive closest (water, road) pairs from the reopened indexes:");
+    for pair in DistanceJoin::new(&tw, &tr, JoinConfig::default()).take(5) {
+        println!(
+            "  water {:>4} – road {:>5}  distance {:.6}",
+            pair.oid1.0, pair.oid2.0, pair.distance
+        );
+    }
+
+    // Reopened trees are fully updatable.
+    let mut tw = tw;
+    tw.insert(
+        ObjectId(999_999),
+        incremental_distance_join::geom::Point::xy(0.5, 0.5).to_rect(),
+    )
+    .expect("insert into reopened tree");
+    println!("\ninserted one more object; water index now holds {}", tw.len());
+
+    std::fs::remove_file(&water_path).ok();
+    std::fs::remove_file(&roads_path).ok();
+}

@@ -1,0 +1,73 @@
+//! Quickstart: index two point sets and stream their closest pairs.
+//!
+//! Run with: `cargo run --release --example quickstart`
+
+use incremental_distance_join::geom::Point;
+use incremental_distance_join::join::{DistanceJoin, JoinConfig, SemiConfig};
+use incremental_distance_join::rtree::{ObjectId, RTree, RTreeConfig};
+
+fn main() {
+    // Two tiny relations with spatial attributes.
+    let restaurants = [
+        ("Blue Heron", 1.0, 4.0),
+        ("Samet's Diner", 3.0, 1.0),
+        ("Quad Grill", 6.0, 5.0),
+        ("Deep Fork", 8.0, 2.0),
+    ];
+    let hotels = [
+        ("Hotel R", 2.0, 3.5),
+        ("Hotel Tree", 7.0, 4.0),
+        ("Hotel Star", 9.0, 9.0),
+    ];
+
+    // Index each relation with an R*-tree.
+    let mut r_tree = RTree::new(RTreeConfig::default());
+    for (i, (_, x, y)) in restaurants.iter().enumerate() {
+        r_tree
+            .insert(ObjectId(i as u64), Point::xy(*x, *y).to_rect())
+            .expect("insert");
+    }
+    let mut h_tree = RTree::new(RTreeConfig::default());
+    for (i, (_, x, y)) in hotels.iter().enumerate() {
+        h_tree
+            .insert(ObjectId(i as u64), Point::xy(*x, *y).to_rect())
+            .expect("insert");
+    }
+
+    // Distance join: (restaurant, hotel) pairs, closest first. The join is
+    // incremental — taking three pairs does only the work for three pairs.
+    println!("Three closest (restaurant, hotel) pairs:");
+    for pair in DistanceJoin::new(&r_tree, &h_tree, JoinConfig::default()).take(3) {
+        println!(
+            "  {:<14} – {:<10}  distance {:.2}",
+            restaurants[pair.oid1.0 as usize].0,
+            hotels[pair.oid2.0 as usize].0,
+            pair.distance
+        );
+    }
+
+    // Distance semi-join: each restaurant's nearest hotel, closest first.
+    println!("\nNearest hotel to every restaurant:");
+    for pair in DistanceJoin::semi(
+        &r_tree,
+        &h_tree,
+        JoinConfig::default(),
+        SemiConfig::default(),
+    ) {
+        println!(
+            "  {:<14} -> {:<10}  distance {:.2}",
+            restaurants[pair.oid1.0 as usize].0,
+            hotels[pair.oid2.0 as usize].0,
+            pair.distance
+        );
+    }
+
+    // A within-distance join: pairs at most 3 apart.
+    let near = DistanceJoin::new(
+        &r_tree,
+        &h_tree,
+        JoinConfig::default().with_range(0.0, 3.0),
+    )
+    .count();
+    println!("\n(restaurant, hotel) pairs within distance 3: {near}");
+}

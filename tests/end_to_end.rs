@@ -1,0 +1,161 @@
+//! Cross-crate end-to-end tests through the facade: data generation →
+//! indexing → incremental joins → baselines → query layer, all agreeing.
+
+use incremental_distance_join::baselines::{nested_loop_topk, nn_semijoin, within_join};
+use incremental_distance_join::datagen::tiger;
+use incremental_distance_join::geom::Metric;
+use incremental_distance_join::join::{
+    DistanceJoin, DmaxStrategy, JoinConfig, SemiConfig, SemiFilter,
+};
+use incremental_distance_join::query::{CmpOp, DistanceQuery, Predicate, Relation, Value};
+use incremental_distance_join::rtree::{ObjectId, RTree, RTreeConfig};
+
+type Items = Vec<(ObjectId, sdj_geom::Rect<2>)>;
+
+fn env() -> (RTree<2>, RTree<2>, Items, Items) {
+    let water = tiger::water_like(400, 3);
+    let roads = tiger::roads_like(1_500, 3);
+    let w_items: Vec<_> = water
+        .iter()
+        .enumerate()
+        .map(|(i, p)| (ObjectId(i as u64), p.to_rect()))
+        .collect();
+    let r_items: Vec<_> = roads
+        .iter()
+        .enumerate()
+        .map(|(i, p)| (ObjectId(i as u64), p.to_rect()))
+        .collect();
+    let tw = RTree::bulk_load(RTreeConfig::default(), w_items.clone());
+    let tr = RTree::bulk_load(RTreeConfig::default(), r_items.clone());
+    (tw, tr, w_items, r_items)
+}
+
+#[test]
+fn incremental_join_agrees_with_nested_loop_baseline() {
+    let (tw, tr, w_items, r_items) = env();
+    let k = 1_000;
+    let incremental: Vec<f64> = DistanceJoin::new(&tw, &tr, JoinConfig::default())
+        .take(k)
+        .map(|r| r.distance)
+        .collect();
+    let baseline = nested_loop_topk(&w_items, &r_items, Metric::Euclidean, k);
+    assert_eq!(incremental.len(), baseline.len());
+    for (a, b) in incremental.iter().zip(&baseline) {
+        assert!((a - b.distance).abs() < 1e-9);
+    }
+}
+
+#[test]
+fn incremental_semijoin_agrees_with_nn_baseline() {
+    let (tw, tr, ..) = env();
+    let semi = SemiConfig {
+        filter: SemiFilter::Inside2,
+        dmax: DmaxStrategy::GlobalAll,
+    };
+    let incremental: Vec<(u64, f64)> =
+        DistanceJoin::semi(&tw, &tr, JoinConfig::default(), semi)
+            .map(|r| (r.oid1.0, r.distance))
+            .collect();
+    let baseline = nn_semijoin(&tw, &tr, Metric::Euclidean).unwrap();
+    assert_eq!(incremental.len(), baseline.len());
+    for (a, b) in incremental.iter().zip(&baseline) {
+        assert!((a.1 - b.distance).abs() < 1e-9);
+    }
+}
+
+#[test]
+fn incremental_range_join_agrees_with_within_baseline() {
+    let (tw, tr, ..) = env();
+    let dmax = 0.01;
+    let incremental: Vec<f64> =
+        DistanceJoin::new(&tw, &tr, JoinConfig::default().with_range(0.0, dmax))
+            .map(|r| r.distance)
+            .collect();
+    let baseline = within_join(&tw, &tr, Metric::Euclidean, 0.0, dmax).unwrap();
+    assert_eq!(incremental.len(), baseline.len());
+    for (a, b) in incremental.iter().zip(&baseline) {
+        assert!((a - b.distance).abs() < 1e-9);
+    }
+}
+
+#[test]
+fn query_layer_over_generated_relations() {
+    let water = tiger::water_like(300, 5);
+    let roads = tiger::roads_like(900, 5);
+    let mut rivers = Relation::new("rivers", &["kind"]);
+    for p in &water {
+        rivers.insert(*p, vec![Value::from("water")]);
+    }
+    let mut streets = Relation::new("streets", &["lanes"]);
+    for (i, p) in roads.iter().enumerate() {
+        streets.insert(*p, vec![Value::from((i % 4 + 1) as i64)]);
+    }
+    // Multi-lane streets near water, closest first, stop after 20.
+    let rows: Vec<_> = DistanceQuery::join(&streets, &rivers)
+        .where_left(Predicate::cmp("lanes", CmpOp::Ge, 3i64))
+        .stop_after(20)
+        .execute()
+        .collect();
+    assert_eq!(rows.len(), 20);
+    for w in rows.windows(2) {
+        assert!(w[0].distance <= w[1].distance);
+    }
+    for row in &rows {
+        let lanes = streets.value(row.left, "lanes").unwrap();
+        assert!(matches!(lanes, Value::Int(l) if l >= 3));
+    }
+}
+
+#[test]
+fn pipelining_pays_only_for_what_is_consumed() {
+    let (tw, tr, ..) = env();
+    let mut ten = DistanceJoin::new(&tw, &tr, JoinConfig::default());
+    for _ in 0..10 {
+        ten.next().unwrap();
+    }
+    let cost_ten = ten.stats().distance_calcs;
+
+    let mut all = DistanceJoin::new(&tw, &tr, JoinConfig::default());
+    let n = all.by_ref().count();
+    assert_eq!(n, tw.len() * tr.len());
+    let cost_all = all.stats().distance_calcs;
+    assert!(
+        cost_ten * 10 < cost_all,
+        "ten pairs should cost a small fraction of the full join \
+         ({cost_ten} vs {cost_all})"
+    );
+}
+
+#[test]
+fn insertion_and_bulk_built_trees_join_identically() {
+    let water = tiger::water_like(250, 8);
+    let roads = tiger::roads_like(600, 8);
+    let mut ins_w = RTree::new(RTreeConfig::default());
+    for (i, p) in water.iter().enumerate() {
+        ins_w.insert(ObjectId(i as u64), p.to_rect()).unwrap();
+    }
+    let bulk_w = RTree::bulk_load(
+        RTreeConfig::default(),
+        water
+            .iter()
+            .enumerate()
+            .map(|(i, p)| (ObjectId(i as u64), p.to_rect()))
+            .collect(),
+    );
+    let mut tr = RTree::new(RTreeConfig::default());
+    for (i, p) in roads.iter().enumerate() {
+        tr.insert(ObjectId(i as u64), p.to_rect()).unwrap();
+    }
+    ins_w.validate().unwrap();
+    let a: Vec<f64> = DistanceJoin::new(&ins_w, &tr, JoinConfig::default())
+        .take(500)
+        .map(|r| r.distance)
+        .collect();
+    let b: Vec<f64> = DistanceJoin::new(&bulk_w, &tr, JoinConfig::default())
+        .take(500)
+        .map(|r| r.distance)
+        .collect();
+    for (x, y) in a.iter().zip(&b) {
+        assert!((x - y).abs() < 1e-9, "tree build method must not change results");
+    }
+}
