@@ -139,7 +139,10 @@ mod tests {
     fn count_respects_range() {
         let a = pts(&[(0.0, 0.0)]);
         let b = pts(&[(1.0, 0.0), (2.0, 0.0), (3.0, 0.0)]);
-        assert_eq!(nested_loop_count(&a, &b, Metric::Euclidean, 0.0, f64::INFINITY), 3);
+        assert_eq!(
+            nested_loop_count(&a, &b, Metric::Euclidean, 0.0, f64::INFINITY),
+            3
+        );
         assert_eq!(nested_loop_count(&a, &b, Metric::Euclidean, 1.5, 2.5), 1);
         assert_eq!(nested_loop_count(&a, &b, Metric::Euclidean, 4.0, 9.0), 0);
     }

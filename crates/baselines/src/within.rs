@@ -111,7 +111,7 @@ fn sweep_leaves<const D: usize>(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use sdj_datagen::{tiger, unit_box, uniform_points};
+    use sdj_datagen::{tiger, uniform_points, unit_box};
     use sdj_geom::Point;
     use sdj_rtree::{ObjectId, RTreeConfig};
 

@@ -1,0 +1,123 @@
+//! Serial-vs-parallel throughput report.
+//!
+//! Joins two uniform 100k-point sets, consuming the K = 100,000 closest
+//! pairs, once through the serial engine and once through the parallel
+//! executor at several thread counts, and writes the measurements to
+//! `BENCH_parallel.json` in the current directory.
+//!
+//! Numbers are wall-clock and honest: on a single-core host the parallel
+//! executor cannot beat the serial engine (its workers time-slice one CPU
+//! and it additionally pays for partitioning, channels and the merge), and
+//! the report records exactly that. The `hardware_threads` field gives the
+//! context needed to read the speedups.
+
+use std::time::Instant;
+
+use sdj_bench::build_tree;
+use sdj_core::{DistanceJoin, JoinConfig};
+use sdj_datagen::{uniform_points, unit_box};
+use sdj_exec::{ParallelConfig, ParallelDistanceJoin};
+use sdj_geom::Point;
+use sdj_rtree::RTree;
+
+struct Sample {
+    label: String,
+    threads: usize,
+    seconds: f64,
+    pairs: u64,
+    distance_calcs: u64,
+}
+
+impl Sample {
+    fn pairs_per_sec(&self) -> f64 {
+        self.pairs as f64 / self.seconds.max(1e-12)
+    }
+}
+
+fn measure_serial(t1: &RTree<2>, t2: &RTree<2>, k: u64) -> Sample {
+    let config = JoinConfig::default().with_max_pairs(k);
+    let start = Instant::now();
+    let mut join = DistanceJoin::new(t1, t2, config);
+    let pairs = join.by_ref().count() as u64;
+    let seconds = start.elapsed().as_secs_f64();
+    Sample {
+        label: "serial".into(),
+        threads: 1,
+        seconds,
+        pairs,
+        distance_calcs: join.stats().distance_calcs,
+    }
+}
+
+fn measure_parallel(t1: &RTree<2>, t2: &RTree<2>, k: u64, threads: usize) -> Sample {
+    let config = JoinConfig::default().with_max_pairs(k);
+    let start = Instant::now();
+    let run = ParallelDistanceJoin::new(t1, t2, config, ParallelConfig::with_threads(threads))
+        .run(|stream| stream.count() as u64);
+    let seconds = start.elapsed().as_secs_f64();
+    assert_eq!(run.error, None, "parallel run failed");
+    Sample {
+        label: format!("parallel-{threads}"),
+        threads,
+        seconds,
+        pairs: run.value,
+        distance_calcs: run.stats.distance_calcs,
+    }
+}
+
+fn env_num<T: std::str::FromStr>(name: &str, default: T) -> T {
+    match std::env::var(name) {
+        Ok(v) => v
+            .parse()
+            .unwrap_or_else(|_| panic!("{name}={v:?} is not a number")),
+        Err(_) => default,
+    }
+}
+
+fn main() {
+    let n: usize = env_num("SDJ_BENCH_N", 100_000);
+    let k: u64 = env_num("SDJ_BENCH_K", 100_000);
+    let hardware_threads = std::thread::available_parallelism().map_or(1, usize::from);
+
+    eprintln!("# building two uniform {n}-point trees ...");
+    let a: Vec<Point<2>> = uniform_points(n, &unit_box(), 97);
+    let b: Vec<Point<2>> = uniform_points(n, &unit_box(), 98);
+    let t1 = build_tree(&a);
+    let t2 = build_tree(&b);
+
+    eprintln!("# serial join, K={k} ...");
+    let serial = measure_serial(&t1, &t2, k);
+    let mut samples = vec![serial];
+    for threads in [2, 4, 8] {
+        eprintln!("# parallel join, {threads} threads, K={k} ...");
+        samples.push(measure_parallel(&t1, &t2, k, threads));
+    }
+    let serial_secs = samples[0].seconds;
+
+    let mut rows = String::new();
+    for (i, s) in samples.iter().enumerate() {
+        if i > 0 {
+            rows.push_str(",\n");
+        }
+        rows.push_str(&format!(
+            "    {{\"label\": \"{}\", \"threads\": {}, \"seconds\": {:.6}, \"pairs\": {}, \
+             \"pairs_per_sec\": {:.1}, \"distance_calcs\": {}, \"speedup_vs_serial\": {:.3}}}",
+            s.label,
+            s.threads,
+            s.seconds,
+            s.pairs,
+            s.pairs_per_sec(),
+            s.distance_calcs,
+            serial_secs / s.seconds.max(1e-12),
+        ));
+    }
+    let json = format!(
+        "{{\n  \"benchmark\": \"incremental distance join, uniform {n} x {n} points, \
+         K = {k} closest pairs\",\n  \"hardware_threads\": {hardware_threads},\n  \
+         \"note\": \"wall-clock on this host; speedups above 1.0 require \
+         hardware_threads > 1\",\n  \"samples\": [\n{rows}\n  ]\n}}\n"
+    );
+    std::fs::write("BENCH_parallel.json", &json).expect("write BENCH_parallel.json");
+    print!("{json}");
+    eprintln!("# wrote BENCH_parallel.json");
+}

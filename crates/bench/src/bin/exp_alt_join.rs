@@ -7,8 +7,8 @@
 //! pairs; scale the environment so the Cartesian product stays tractable
 //! (the default 0.2 gives ~300 M pairs).
 
-use sdj_bench::{fmt_secs, join_distance_at_ranks, measure, sweep_up_to, Env, Table};
 use sdj_baselines::{nested_loop_count, within_join};
+use sdj_bench::{fmt_secs, join_distance_at_ranks, measure, sweep_up_to, Env, Table};
 use sdj_core::{JoinConfig, JoinStats};
 use sdj_geom::Metric;
 
@@ -33,7 +33,13 @@ fn main() {
         .map(|(i, p)| (sdj_rtree::ObjectId(i as u64), p.to_rect()))
         .collect();
     let nested = measure(|| {
-        let n = nested_loop_count(&water_objs, &roads_objs, Metric::Euclidean, 0.0, f64::INFINITY);
+        let n = nested_loop_count(
+            &water_objs,
+            &roads_objs,
+            Metric::Euclidean,
+            0.0,
+            f64::INFINITY,
+        );
         (JoinStats::default(), n)
     });
     println!(

@@ -6,8 +6,8 @@
 //! 102 s vs 141 s for Roads ⋈ Water: the incremental algorithm wins both,
 //! more clearly with the larger outer relation.
 
-use sdj_bench::{fmt_secs, measure, Env, Table};
 use sdj_baselines::{nn_semijoin, nn_semijoin_shuffled};
+use sdj_bench::{fmt_secs, measure, Env, Table};
 use sdj_core::{DmaxStrategy, JoinConfig, JoinStats, SemiConfig, SemiFilter};
 use sdj_geom::Metric;
 
@@ -30,7 +30,11 @@ fn main() {
             filter: SemiFilter::Inside2,
             dmax: DmaxStrategy::GlobalAll,
         };
-        let outer = if swap { env.roads.len() } else { env.water.len() } as u64;
+        let outer = if swap {
+            env.roads.len()
+        } else {
+            env.water.len()
+        } as u64;
         let inc = sdj_bench::run_join(&env, swap, JoinConfig::default(), Some(semi), outer);
         assert_eq!(inc.produced, outer);
 

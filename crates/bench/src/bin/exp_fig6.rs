@@ -8,9 +8,21 @@ use sdj_core::{JoinConfig, TiePolicy, TraversalPolicy};
 fn main() {
     let env = Env::from_args();
     let variants: [(&str, TraversalPolicy, TiePolicy); 4] = [
-        ("Even/DepthFirst", TraversalPolicy::Even, TiePolicy::DepthFirst),
-        ("Even/BreadthFirst", TraversalPolicy::Even, TiePolicy::BreadthFirst),
-        ("Basic/DepthFirst", TraversalPolicy::Basic, TiePolicy::DepthFirst),
+        (
+            "Even/DepthFirst",
+            TraversalPolicy::Even,
+            TiePolicy::DepthFirst,
+        ),
+        (
+            "Even/BreadthFirst",
+            TraversalPolicy::Even,
+            TiePolicy::BreadthFirst,
+        ),
+        (
+            "Basic/DepthFirst",
+            TraversalPolicy::Basic,
+            TiePolicy::DepthFirst,
+        ),
         (
             "Simult/DepthFirst",
             TraversalPolicy::Simultaneous,

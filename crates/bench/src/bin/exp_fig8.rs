@@ -51,7 +51,10 @@ fn main() {
     let ranks: Vec<u64> = [7_663u64, 34_906].into_iter().map(|r| r.min(max)).collect();
     eprintln!("# probing D_T candidates at ranks {ranks:?} ...");
     let dts = join_distance_at_ranks(&env, &ranks);
-    eprintln!("#   Hybrid1 D_T = {:.6}, Hybrid2 D_T = {:.6}", dts[0], dts[1]);
+    eprintln!(
+        "#   Hybrid1 D_T = {:.6}, Hybrid2 D_T = {:.6}",
+        dts[0], dts[1]
+    );
 
     println!("Figure 8: memory-only vs hybrid priority queue, Water x Roads");
     println!();

@@ -14,7 +14,11 @@ fn main() {
         ("Inside1", SemiFilter::Inside1, DmaxStrategy::None),
         ("Inside2", SemiFilter::Inside2, DmaxStrategy::None),
         ("Local", SemiFilter::Inside2, DmaxStrategy::Local),
-        ("GlobalNodes", SemiFilter::Inside2, DmaxStrategy::GlobalNodes),
+        (
+            "GlobalNodes",
+            SemiFilter::Inside2,
+            DmaxStrategy::GlobalNodes,
+        ),
         ("GlobalAll", SemiFilter::Inside2, DmaxStrategy::GlobalAll),
     ];
     println!("Figure 9: distance semi-join execution time (s), Water semi-join Roads");

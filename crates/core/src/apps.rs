@@ -68,10 +68,7 @@ pub fn closest_pair_within<const D: usize>(tree: &RTree<D>, metric: Metric) -> O
 /// *other* object, streamed in ascending distance order (a self semi-join
 /// with self-pairs excluded).
 #[must_use]
-pub fn all_nearest_neighbors<const D: usize>(
-    tree: &RTree<D>,
-    metric: Metric,
-) -> Vec<ResultPair> {
+pub fn all_nearest_neighbors<const D: usize>(tree: &RTree<D>, metric: Metric) -> Vec<ResultPair> {
     let config = JoinConfig {
         metric,
         exclude_equal_ids: true,
@@ -109,7 +106,8 @@ mod tests {
     fn tree(pts: &[(f64, f64)]) -> RTree<2> {
         let mut t = RTree::new(RTreeConfig::small(4));
         for (i, (x, y)) in pts.iter().enumerate() {
-            t.insert(ObjectId(i as u64), Point::xy(*x, *y).to_rect()).unwrap();
+            t.insert(ObjectId(i as u64), Point::xy(*x, *y).to_rect())
+                .unwrap();
         }
         t
     }

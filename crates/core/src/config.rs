@@ -155,7 +155,9 @@ mod tests {
 
     #[test]
     fn builders_compose() {
-        let c = JoinConfig::default().with_range(1.0, 5.0).with_max_pairs(10);
+        let c = JoinConfig::default()
+            .with_range(1.0, 5.0)
+            .with_max_pairs(10);
         assert_eq!(c.min_distance, 1.0);
         assert_eq!(c.max_distance, 5.0);
         assert_eq!(c.max_pairs, Some(10));

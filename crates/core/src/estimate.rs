@@ -319,9 +319,19 @@ mod tests {
 
         #[derive(Clone, Debug)]
         enum Op {
-            Offer { i1: u64, i2: u64, dmax: f64, count: u64 },
-            Dequeue { i1: u64, i2: u64 },
-            Expand { i1: u64 },
+            Offer {
+                i1: u64,
+                i2: u64,
+                dmax: f64,
+                count: u64,
+            },
+            Dequeue {
+                i1: u64,
+                i2: u64,
+            },
+            Expand {
+                i1: u64,
+            },
             Report,
         }
 

@@ -19,15 +19,14 @@
 //! need an oracle producing intersection geometry; their MBR-based ordering
 //! value is still a valid lower bound.
 
-use std::cmp::Ordering;
-use std::collections::BinaryHeap;
-
-use sdj_geom::{Metric, OrdF64, Point};
+use sdj_geom::{Metric, Point};
 use sdj_rtree::ObjectId;
 use sdj_storage::StorageError;
 
+use crate::config::QueueBackend;
 use crate::index::SpatialIndex;
-use crate::pair::{Item, Pair};
+use crate::pair::{Item, Pair, PairKey, TiePolicy};
+use crate::queue::JoinQueue;
 
 /// One result of the ordered intersection join.
 #[derive(Clone, Copy, Debug, PartialEq)]
@@ -40,35 +39,6 @@ pub struct IntersectionPair {
     pub distance_from_focus: f64,
 }
 
-struct Elem<const D: usize> {
-    key: OrdF64,
-    /// Object pairs pop before node pairs at equal keys.
-    object_first: bool,
-    seq: u64,
-    pair: Pair<D>,
-}
-
-impl<const D: usize> PartialEq for Elem<D> {
-    fn eq(&self, other: &Self) -> bool {
-        self.cmp(other) == Ordering::Equal
-    }
-}
-impl<const D: usize> Eq for Elem<D> {}
-impl<const D: usize> PartialOrd for Elem<D> {
-    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
-        Some(self.cmp(other))
-    }
-}
-impl<const D: usize> Ord for Elem<D> {
-    fn cmp(&self, other: &Self) -> Ordering {
-        other
-            .key
-            .cmp(&self.key)
-            .then_with(|| self.object_first.cmp(&other.object_first))
-            .then_with(|| other.seq.cmp(&self.seq))
-    }
-}
-
 /// Incremental intersection join ordered by distance from a focus point.
 pub struct OrderedIntersectionJoin<'a, const D: usize, I1, I2>
 where
@@ -79,8 +49,10 @@ where
     tree2: &'a I2,
     focus: Point<D>,
     metric: Metric,
-    heap: BinaryHeap<Elem<D>>,
-    seq: u64,
+    /// The distance join's queue and key scheme, reused: keys order by the
+    /// focus distance of the common region, with the shared depth-first tie
+    /// rank (object pairs ahead of node pairs, deeper nodes first).
+    queue: JoinQueue<D>,
     error: Option<StorageError>,
 }
 
@@ -98,8 +70,7 @@ where
             tree2,
             focus,
             metric,
-            heap: BinaryHeap::new(),
-            seq: 0,
+            queue: JoinQueue::new(&QueueBackend::Memory),
             error: None,
         };
         join.seed();
@@ -142,15 +113,9 @@ where
         if common.is_empty() {
             return;
         }
-        let key = OrdF64::new(self.metric.mindist_point_rect(&self.focus, &common));
-        let object_first = pair.is_final(true);
-        self.heap.push(Elem {
-            key,
-            object_first,
-            seq: self.seq,
-            pair,
-        });
-        self.seq += 1;
+        let dist = self.metric.mindist_point_rect(&self.focus, &common);
+        let key = PairKey::new(dist, &pair, TiePolicy::DepthFirst);
+        self.queue.push(key, pair);
     }
 
     fn expand(&mut self, pair: &Pair<D>, first_side: bool) -> sdj_storage::Result<()> {
@@ -190,13 +155,12 @@ where
     }
 
     fn step(&mut self) -> sdj_storage::Result<Option<IntersectionPair>> {
-        while let Some(elem) = self.heap.pop() {
-            let pair = elem.pair;
+        while let Some((key, pair)) = self.queue.pop() {
             if pair.is_final(true) {
                 return Ok(Some(IntersectionPair {
                     oid1: pair.item1.object_id().expect("final pair"),
                     oid2: pair.item2.object_id().expect("final pair"),
-                    distance_from_focus: elem.key.get(),
+                    distance_from_focus: key.dist.get(),
                 }));
             }
             // Expand the shallower node (even traversal); node/obr pairs
@@ -297,8 +261,16 @@ mod tests {
 
     #[test]
     fn point_data_reports_coincident_points() {
-        let pts_a = [Point::xy(1.0, 1.0), Point::xy(5.0, 5.0), Point::xy(9.0, 9.0)];
-        let pts_b = [Point::xy(5.0, 5.0), Point::xy(9.0, 9.0), Point::xy(2.0, 2.0)];
+        let pts_a = [
+            Point::xy(1.0, 1.0),
+            Point::xy(5.0, 5.0),
+            Point::xy(9.0, 9.0),
+        ];
+        let pts_b = [
+            Point::xy(5.0, 5.0),
+            Point::xy(9.0, 9.0),
+            Point::xy(2.0, 2.0),
+        ];
         let t1 = rect_tree(&pts_a.map(|p| p.to_rect()));
         let t2 = rect_tree(&pts_b.map(|p| p.to_rect()));
         let focus = Point::xy(10.0, 10.0);
@@ -318,8 +290,7 @@ mod tests {
         let t1 = rect_tree(&a);
         let t2 = rect_tree(&b);
         assert_eq!(
-            OrderedIntersectionJoin::new(&t1, &t2, Point::xy(0.0, 0.0), Metric::Euclidean)
-                .count(),
+            OrderedIntersectionJoin::new(&t1, &t2, Point::xy(0.0, 0.0), Metric::Euclidean).count(),
             0
         );
     }
@@ -329,8 +300,7 @@ mod tests {
         let t1: RTree<2> = RTree::new(RTreeConfig::small(4));
         let t2 = rect_tree(&[Rect::new([0.0, 0.0], [1.0, 1.0])]);
         assert_eq!(
-            OrderedIntersectionJoin::new(&t1, &t2, Point::xy(0.0, 0.0), Metric::Euclidean)
-                .count(),
+            OrderedIntersectionJoin::new(&t1, &t2, Point::xy(0.0, 0.0), Metric::Euclidean).count(),
             0
         );
     }

@@ -17,13 +17,14 @@ use sdj_geom::{Metric, Rect};
 use sdj_rtree::{ObjectId, RTree};
 use sdj_storage::StorageError;
 
+use crate::bound::SharedDistanceBound;
 use crate::config::{EstimationBound, JoinConfig, ResultOrder, TraversalPolicy};
 use crate::estimate::{Estimator, EstimatorMode};
 use crate::index::{IndexEntry, IndexNode, NodeId, SpatialIndex};
 use crate::oracle::{DistanceOracle, MbrOracle};
 use crate::pair::{Item, Pair, PairKey};
 use crate::queue::JoinQueue;
-use crate::semi::{SemiConfig, SemiState};
+use crate::semi::{SeenSet, SemiConfig, SemiState};
 use crate::stats::JoinStats;
 
 /// One result of a distance join: a pair of objects and their distance.
@@ -67,6 +68,55 @@ where
     /// §2.2.5 spatial selection: second-relation objects must fall inside
     /// this window.
     window2: Option<Rect<D>>,
+    /// Cross-worker maximum-distance bound of a parallel run (ascending
+    /// order only): read for pruning, written from the estimator.
+    shared_bound: Option<&'a SharedDistanceBound>,
+    /// Pairs accepted by the filter pipeline but not yet in the queue;
+    /// flushed in one batch per expansion.
+    pending: Vec<(PairKey, Pair<D>)>,
+    /// Reusable buffers for the expansion hot paths, so steady-state
+    /// iteration performs no per-node allocation.
+    scratch_entries1: Vec<IndexEntry<D>>,
+    scratch_entries2: Vec<IndexEntry<D>>,
+    scratch_children: Vec<(Pair<D>, f64)>,
+}
+
+/// Outcome of processing one queue element.
+enum StepOutcome {
+    /// An object pair was reported.
+    Result(ResultPair),
+    /// The element was expanded, refined, or pruned; iteration continues.
+    Continue,
+    /// The queue is empty.
+    Exhausted,
+}
+
+/// A partition of an in-flight join produced by
+/// [`DistanceJoin::into_frontier`]: the results already reported while the
+/// queue was grown (globally the closest — every later result is at least as
+/// far), and the queue split into shards whose descendant object-pair sets
+/// are pairwise disjoint, so independent engines resumed from them
+/// ([`DistanceJoin::resume`]) jointly produce exactly the remaining results.
+pub struct JoinFrontier<const D: usize> {
+    /// Results reported during partitioning, in order.
+    pub prefix: Vec<ResultPair>,
+    /// Disjoint queue shards (round-robin dealt, so distances are spread
+    /// evenly across them).
+    pub shards: Vec<Vec<(PairKey, Pair<D>)>>,
+    /// Semi-join: snapshot of the reported set at the split point.
+    pub seen: Option<SeenSet>,
+    /// Tightest maximum distance proven at the split point (query bound and
+    /// estimator); seeds a parallel run's shared bound.
+    pub dmax_hint: f64,
+    /// Results still owed after the prefix, when `max_pairs` was set.
+    pub remaining_pairs: Option<u64>,
+    /// Counters of the partitioning run.
+    pub stats: JoinStats,
+    /// I/O error that stopped partitioning early, if any.
+    pub error: Option<sdj_storage::StorageError>,
+    /// True when the serial run finished during partitioning (all shards are
+    /// then empty and `prefix` is the complete result).
+    pub exhausted: bool,
 }
 
 impl<'a, const D: usize, I1, I2> DistanceJoin<'a, D, MbrOracle, I1, I2>
@@ -122,6 +172,19 @@ where
         config: JoinConfig,
         semi_config: Option<SemiConfig>,
     ) -> Self {
+        let mut join = Self::assemble(tree1, tree2, oracle, config, semi_config);
+        join.seed();
+        join
+    }
+
+    /// Everything [`build`](Self::build) does except seeding the queue.
+    fn assemble(
+        tree1: &'a I1,
+        tree2: &'a I2,
+        oracle: O,
+        config: JoinConfig,
+        semi_config: Option<SemiConfig>,
+    ) -> Self {
         config.validate();
         let semi = semi_config.map(|mut sc| {
             if !matches!(sc.dmax, crate::semi::DmaxStrategy::None) {
@@ -149,7 +212,7 @@ where
             _ => None,
         };
         let io_baseline = tree1.io_misses() + tree2.io_misses();
-        let mut join = Self {
+        Self {
             tree1,
             tree2,
             oracle,
@@ -164,9 +227,103 @@ where
             error: None,
             window1: None,
             window2: None,
-        };
-        join.seed();
+            shared_bound: None,
+            pending: Vec::new(),
+            scratch_entries1: Vec::new(),
+            scratch_entries2: Vec::new(),
+            scratch_children: Vec::new(),
+        }
+    }
+
+    /// Resumes the join from one shard of a [`JoinFrontier`]. The shard's
+    /// pairs enter the queue verbatim (their ancestors' filters already ran);
+    /// `config` should carry the frontier's `remaining_pairs` as `max_pairs`
+    /// and `seen` should be the frontier's snapshot so already-reported
+    /// first objects are not searched again.
+    #[must_use]
+    pub fn resume(
+        tree1: &'a I1,
+        tree2: &'a I2,
+        oracle: O,
+        config: JoinConfig,
+        semi_config: Option<SemiConfig>,
+        shard: Vec<(PairKey, Pair<D>)>,
+        seen: Option<SeenSet>,
+    ) -> Self {
+        let mut join = Self::assemble(tree1, tree2, oracle, config, semi_config);
+        if let (Some(semi), Some(seen)) = (join.semi.as_mut(), seen) {
+            semi.seen = seen;
+        }
+        // Shard pairs were counted as enqueued by the partitioning run; do
+        // not recount them here so merged parallel stats keep push/pop
+        // symmetry.
+        join.queue.push_batch(shard);
         join
+    }
+
+    /// Attaches a cross-worker distance bound (parallel execution, ascending
+    /// order): dequeued or considered pairs beyond the bound are pruned, and
+    /// bounds proven by this engine's estimator are published to it.
+    #[must_use]
+    pub fn with_shared_bound(mut self, bound: &'a SharedDistanceBound) -> Self {
+        self.shared_bound = Some(bound);
+        self
+    }
+
+    /// Runs the serial engine until the queue holds at least
+    /// `shards * min_pairs_per_shard` pairs (or the join finishes), then
+    /// splits the queue into `shards` disjoint shards. Results produced on
+    /// the way are returned as the frontier's ordered prefix.
+    ///
+    /// # Panics
+    /// Panics if `shards` is zero.
+    #[must_use]
+    pub fn into_frontier(mut self, shards: usize, min_pairs_per_shard: usize) -> JoinFrontier<D> {
+        assert!(shards >= 1, "a frontier needs at least one shard");
+        let target = shards.saturating_mul(min_pairs_per_shard).max(shards);
+        let mut prefix = Vec::new();
+        let mut exhausted = false;
+        while !self.done && self.queue.len() < target {
+            match self.step() {
+                Ok(StepOutcome::Result(r)) => prefix.push(r),
+                Ok(StepOutcome::Continue) => {}
+                Ok(StepOutcome::Exhausted) => {
+                    exhausted = true;
+                    break;
+                }
+                Err(e) => {
+                    self.error = Some(e);
+                    self.done = true;
+                    break;
+                }
+            }
+        }
+        // `done` set by the K-limit also finishes the run: the queue's
+        // remainder is dead weight, not work to hand out.
+        exhausted |= self.done;
+        let mut shard_vecs: Vec<Vec<(PairKey, Pair<D>)>> = Vec::with_capacity(shards);
+        let per_shard = self.queue.len().div_ceil(shards);
+        shard_vecs.resize_with(shards, || Vec::with_capacity(per_shard));
+        if !exhausted {
+            let mut next = 0usize;
+            while let Some(entry) = self.queue.pop() {
+                shard_vecs[next].push(entry);
+                next = (next + 1) % shards;
+            }
+        }
+        JoinFrontier {
+            prefix,
+            shards: shard_vecs,
+            seen: self.semi.as_ref().map(|s| s.seen.clone()),
+            dmax_hint: self.effective_max(),
+            remaining_pairs: self
+                .config
+                .max_pairs
+                .map(|k| k.saturating_sub(self.reported)),
+            stats: self.stats(),
+            error: self.error.take(),
+            exhausted,
+        }
     }
 
     /// Restricts the join to objects falling inside the given windows
@@ -231,6 +388,7 @@ where
                 self.done = true;
             }
         }
+        self.flush_pending();
     }
 
     // ------------------------------------------------------------ accessors
@@ -282,11 +440,39 @@ where
         matches!(self.config.order, ResultOrder::Ascending)
     }
 
-    /// The tightest known maximum distance (query bound and estimator).
+    /// The tightest known maximum distance (query bound, estimator, and —
+    /// for ascending runs — the cross-worker shared bound).
     fn effective_max(&self) -> f64 {
-        match &self.estimator {
+        let mut max = match &self.estimator {
             Some(est) => self.config.max_distance.min(est.current_dmax()),
             None => self.config.max_distance,
+        };
+        if matches!(self.config.order, ResultOrder::Ascending) {
+            if let Some(shared) = self.shared_bound {
+                max = max.min(shared.get());
+            }
+        }
+        max
+    }
+
+    /// The shared bound's current value, when one is attached and applies
+    /// (ascending order only — descending runs key on MAXDIST, where a
+    /// maximum-distance bound proves nothing about rank).
+    fn shared_max(&self) -> f64 {
+        match self.shared_bound {
+            Some(shared) if matches!(self.config.order, ResultOrder::Ascending) => shared.get(),
+            _ => f64::INFINITY,
+        }
+    }
+
+    /// Publishes the estimator's proven maximum distance to the shared
+    /// cross-worker bound. A bound proven from this engine's queue alone
+    /// holds for the whole parallel run: the merged result set is a superset
+    /// of this shard's, so "K results within d exist here" implies the
+    /// global K-th result is within d too.
+    fn publish_shared_bound(&self) {
+        if let (Some(shared), Some(est)) = (self.shared_bound, &self.estimator) {
+            shared.tighten(est.current_dmax());
         }
     }
 
@@ -518,6 +704,10 @@ where
                 return;
             }
         }
+        if mind > self.shared_max() {
+            self.stats.pruned_by_shared += 1;
+            return;
+        }
 
         // Minimum-distance pruning: a pair none of whose results can reach
         // Dmin is dead (Figure 5).
@@ -563,6 +753,7 @@ where
                     est.offer(pair.item1.identity(), pair.item2.identity(), bound, count);
                 }
             }
+            self.publish_shared_bound();
         }
 
         let key_dist = if self.ascending() {
@@ -603,6 +794,10 @@ where
                 return;
             }
         }
+        if distance > self.shared_max() {
+            self.stats.pruned_by_shared += 1;
+            return;
+        }
         if let Some(oid1) = pair.item1.object_id() {
             if self.seen(oid1) {
                 self.stats.filtered_seen += 1;
@@ -621,18 +816,33 @@ where
         }
         let ascending = self.ascending();
         if let Some(est) = &mut self.estimator {
-            if ascending && distance >= self.config.min_distance && distance <= est.current_dmax()
-            {
+            if ascending && distance >= self.config.min_distance && distance <= est.current_dmax() {
                 est.offer(pair.item1.identity(), pair.item2.identity(), distance, 1);
+                self.publish_shared_bound();
             }
         }
         let key_dist = if ascending { distance } else { -distance };
         self.push(PairKey::new(key_dist, &pair, self.config.tie), pair);
     }
 
+    /// Stages a pair for insertion; [`flush_pending`](Self::flush_pending)
+    /// moves staged pairs into the queue in one batch.
     fn push(&mut self, key: PairKey, pair: Pair<D>) {
-        self.queue.push(key, pair);
-        self.stats.pairs_enqueued += 1;
+        self.pending.push((key, pair));
+    }
+
+    /// Moves staged pairs into the queue, growing its arena at most once.
+    /// Called after every expansion and at the end of each step, so the
+    /// queue is fully materialised whenever an element is popped or the
+    /// public accessors run.
+    fn flush_pending(&mut self) {
+        if self.pending.is_empty() {
+            return;
+        }
+        self.stats.pairs_enqueued += self.pending.len() as u64;
+        let mut pending = std::mem::take(&mut self.pending);
+        self.queue.push_batch(pending.drain(..));
+        self.pending = pending;
     }
 
     /// PROCESS_NODE1 / PROCESS_NODE2 (Figure 3): expands the node on
@@ -699,9 +909,12 @@ where
             if local {
                 // Two passes: first compute per-child distances and d_max
                 // bounds to find the smallest bound, then prune siblings
-                // that cannot beat it (§4.2.1 "Local").
+                // that cannot beat it (§4.2.1 "Local"). The children buffer
+                // is owned by the join and reused across expansions.
                 let metric = self.metric();
-                let mut children: Vec<(Pair<D>, f64)> = Vec::with_capacity(node.entries.len());
+                let mut children = std::mem::take(&mut self.scratch_children);
+                children.clear();
+                children.reserve(node.entries.len());
                 let mut best_bound = f64::INFINITY;
                 for entry in &node.entries {
                     let child = Self::child_item(entry);
@@ -720,13 +933,14 @@ where
                     .as_ref()
                     .and_then(|s| s.bound_for(item1.identity()))
                     .map_or(best_bound, |b| b.min(best_bound));
-                for (child_pair, mind) in children {
+                for &(child_pair, mind) in &children {
                     if mind > effective {
                         self.stats.pruned_by_dmax += 1;
                         continue;
                     }
                     self.consider(child_pair, Some(mind));
                 }
+                self.scratch_children = children;
             } else {
                 for entry in &node.entries {
                     let child = Self::child_item(entry);
@@ -741,8 +955,7 @@ where
     /// opened and their entries paired with a plane sweep restricted by the
     /// distance range.
     fn expand_both(&mut self, pair: &Pair<D>) -> sdj_storage::Result<()> {
-        let (Item::Node { page: p1, .. }, Item::Node { page: p2, .. }) =
-            (&pair.item1, &pair.item2)
+        let (Item::Node { page: p1, .. }, Item::Node { page: p2, .. }) = (&pair.item1, &pair.item2)
         else {
             unreachable!("expand_both on a non-node pair")
         };
@@ -762,9 +975,13 @@ where
         let dmin = self.config.min_distance;
 
         // Restriction of the search space: drop entries that are out of
-        // range with respect to the space spanned by the other node.
+        // range with respect to the space spanned by the other node. The
+        // entry buffers are owned by the join and reused across expansions
+        // (entries are `Copy`, so they can outlive the node reads).
         let r2 = pair.item2.rect();
-        let mut entries1: Vec<&IndexEntry<D>> = Vec::with_capacity(node1.entries.len());
+        let mut entries1 = std::mem::take(&mut self.scratch_entries1);
+        entries1.clear();
+        entries1.reserve(node1.entries.len());
         for e in &node1.entries {
             self.stats.distance_calcs += 1;
             if metric.mindist_rect_rect(e.rect(), r2) > eff_max {
@@ -788,10 +1005,12 @@ where
                     continue;
                 }
             }
-            entries1.push(e);
+            entries1.push(*e);
         }
         let r1 = pair.item1.rect();
-        let mut entries2: Vec<&IndexEntry<D>> = Vec::with_capacity(node2.entries.len());
+        let mut entries2 = std::mem::take(&mut self.scratch_entries2);
+        entries2.clear();
+        entries2.reserve(node2.entries.len());
         for e in &node2.entries {
             self.stats.distance_calcs += 1;
             if metric.mindist_rect_rect(e.rect(), r1) > eff_max {
@@ -805,7 +1024,7 @@ where
                     continue;
                 }
             }
-            entries2.push(e);
+            entries2.push(*e);
         }
 
         // Plane sweep along axis 0: for each left entry, only right entries
@@ -840,6 +1059,8 @@ where
                 self.consider(Pair::new(c1, c2), None);
             }
         }
+        self.scratch_entries1 = entries1;
+        self.scratch_entries2 = entries2;
         Ok(())
     }
 
@@ -859,6 +1080,7 @@ where
         if let Some(est) = &mut self.estimator {
             est.on_report();
         }
+        self.publish_shared_bound();
         self.stats.pairs_reported += 1;
         self.reported += 1;
         if let Some(k) = self.config.max_pairs {
@@ -873,120 +1095,147 @@ where
         })
     }
 
-    /// The algorithm's main loop (Figure 3), run until the next result.
+    /// Processes exactly one queue element, flushing staged insertions
+    /// afterwards so the queue is consistent between steps (the frontier
+    /// partitioner measures `queue.len()` at step granularity).
+    fn step(&mut self) -> sdj_storage::Result<StepOutcome> {
+        let outcome = self.step_inner();
+        self.flush_pending();
+        outcome
+    }
+
+    /// One iteration of the algorithm's main loop (Figure 3).
+    fn step_inner(&mut self) -> sdj_storage::Result<StepOutcome> {
+        let Some((key, pair)) = self.queue.pop() else {
+            return Ok(StepOutcome::Exhausted);
+        };
+        self.stats.pairs_dequeued += 1;
+        let ascending = self.ascending();
+        if let Some(est) = &mut self.estimator {
+            est.on_dequeue(pair.item1.identity(), pair.item2.identity());
+            if ascending && key.dist.get() > est.current_dmax() {
+                self.stats.pruned_by_estimate += 1;
+                return Ok(StepOutcome::Continue);
+            }
+        }
+        if key.dist.get() > self.shared_max() {
+            self.stats.pruned_by_shared += 1;
+            return Ok(StepOutcome::Continue);
+        }
+        if let Some(semi) = &self.semi {
+            if semi.filters_on_dequeue() {
+                if let Some(oid1) = pair.item1.object_id() {
+                    if semi.seen.contains(oid1.0) {
+                        self.stats.filtered_seen += 1;
+                        return Ok(StepOutcome::Continue);
+                    }
+                }
+            }
+            if ascending {
+                if let Some(bound) = semi.bound_for(pair.item1.identity()) {
+                    if key.dist.get() > bound {
+                        self.stats.pruned_by_dmax += 1;
+                        return Ok(StepOutcome::Continue);
+                    }
+                }
+            }
+        }
+
+        if pair.is_final(O::EXACT) {
+            let distance = if ascending {
+                key.dist.get()
+            } else {
+                -key.dist.get()
+            };
+            let oid1 = pair.item1.object_id().expect("final pair");
+            let oid2 = pair.item2.object_id().expect("final pair");
+            return Ok(match self.report(oid1, oid2, distance) {
+                Some(result) => StepOutcome::Result(result),
+                None => StepOutcome::Continue,
+            });
+        }
+
+        match (&pair.item1, &pair.item2) {
+            (Item::Obr { oid: o1, .. }, Item::Obr { oid: o2, .. }) => {
+                // Refinement (Figure 3, lines 7–14): compute the exact
+                // object distance; report immediately if it is still the
+                // front of the queue, re-enqueue otherwise.
+                let (o1, o2) = (*o1, *o2);
+                self.stats.object_distance_calcs += 1;
+                let d = self.oracle.object_distance(o1, o2);
+                if d < self.config.min_distance || d > self.effective_max() {
+                    self.stats.pruned_by_range += 1;
+                    return Ok(StepOutcome::Continue);
+                }
+                let key_dist = if ascending { d } else { -d };
+                let object_pair = Pair::new(
+                    Item::Object {
+                        oid: o1,
+                        mbr: *pair.item1.rect(),
+                    },
+                    Item::Object {
+                        oid: o2,
+                        mbr: *pair.item2.rect(),
+                    },
+                );
+                let new_key = PairKey::new(key_dist, &object_pair, self.config.tie);
+                let report_now = match self.queue.peek_key() {
+                    Some(front) => new_key <= front,
+                    None => true,
+                };
+                if report_now {
+                    if let Some(result) = self.report(o1, o2, d) {
+                        return Ok(StepOutcome::Result(result));
+                    }
+                } else {
+                    self.enqueue_final(object_pair, d);
+                }
+            }
+            (Item::Node { .. }, Item::Node { level: l2, .. }) => {
+                let l2 = *l2;
+                match self.config.traversal {
+                    TraversalPolicy::Basic => self.expand_one(&pair, true)?,
+                    TraversalPolicy::Even => {
+                        let l1 = pair.item1.node_level().expect("node item");
+                        // Process the node at the shallower level (the
+                        // one closer to its root); at equal levels, the
+                        // one covering more space — this keeps the
+                        // traversal symmetric in the join order, as the
+                        // paper observes for its Even variant.
+                        let first = match l1.cmp(&l2) {
+                            std::cmp::Ordering::Greater => true,
+                            std::cmp::Ordering::Less => false,
+                            std::cmp::Ordering::Equal => {
+                                pair.item1.rect().area() >= pair.item2.rect().area()
+                            }
+                        };
+                        self.expand_one(&pair, first)?;
+                    }
+                    TraversalPolicy::Simultaneous => self.expand_both(&pair)?,
+                }
+            }
+            (Item::Node { .. }, _) => self.expand_one(&pair, true)?,
+            (_, Item::Node { .. }) => self.expand_one(&pair, false)?,
+            _ => unreachable!("non-final object pair kinds are handled above"),
+        }
+        Ok(StepOutcome::Continue)
+    }
+
+    /// The algorithm's main loop, run until the next result.
     fn next_result(&mut self) -> sdj_storage::Result<Option<ResultPair>> {
         if self.done {
             return Ok(None);
         }
-        while let Some((key, pair)) = self.queue.pop() {
-            self.stats.pairs_dequeued += 1;
-            let ascending = self.ascending();
-            if let Some(est) = &mut self.estimator {
-                est.on_dequeue(pair.item1.identity(), pair.item2.identity());
-                if ascending && key.dist.get() > est.current_dmax() {
-                    self.stats.pruned_by_estimate += 1;
-                    continue;
+        loop {
+            match self.step()? {
+                StepOutcome::Result(result) => return Ok(Some(result)),
+                StepOutcome::Continue => {}
+                StepOutcome::Exhausted => {
+                    self.done = true;
+                    return Ok(None);
                 }
-            }
-            if let Some(semi) = &self.semi {
-                if semi.filters_on_dequeue() {
-                    if let Some(oid1) = pair.item1.object_id() {
-                        if semi.seen.contains(oid1.0) {
-                            self.stats.filtered_seen += 1;
-                            continue;
-                        }
-                    }
-                }
-                if ascending {
-                    if let Some(bound) = semi.bound_for(pair.item1.identity()) {
-                        if key.dist.get() > bound {
-                            self.stats.pruned_by_dmax += 1;
-                            continue;
-                        }
-                    }
-                }
-            }
-
-            if pair.is_final(O::EXACT) {
-                let distance = if ascending {
-                    key.dist.get()
-                } else {
-                    -key.dist.get()
-                };
-                let oid1 = pair.item1.object_id().expect("final pair");
-                let oid2 = pair.item2.object_id().expect("final pair");
-                if let Some(result) = self.report(oid1, oid2, distance) {
-                    return Ok(Some(result));
-                }
-                continue;
-            }
-
-            match (&pair.item1, &pair.item2) {
-                (Item::Obr { oid: o1, .. }, Item::Obr { oid: o2, .. }) => {
-                    // Refinement (Figure 3, lines 7–14): compute the exact
-                    // object distance; report immediately if it is still the
-                    // front of the queue, re-enqueue otherwise.
-                    let (o1, o2) = (*o1, *o2);
-                    self.stats.object_distance_calcs += 1;
-                    let d = self.oracle.object_distance(o1, o2);
-                    if d < self.config.min_distance || d > self.effective_max() {
-                        self.stats.pruned_by_range += 1;
-                        continue;
-                    }
-                    let key_dist = if ascending { d } else { -d };
-                    let object_pair = Pair::new(
-                        Item::Object {
-                            oid: o1,
-                            mbr: *pair.item1.rect(),
-                        },
-                        Item::Object {
-                            oid: o2,
-                            mbr: *pair.item2.rect(),
-                        },
-                    );
-                    let new_key = PairKey::new(key_dist, &object_pair, self.config.tie);
-                    let report_now = match self.queue.peek_key() {
-                        Some(front) => new_key <= front,
-                        None => true,
-                    };
-                    if report_now {
-                        if let Some(result) = self.report(o1, o2, d) {
-                            return Ok(Some(result));
-                        }
-                    } else {
-                        self.enqueue_final(object_pair, d);
-                    }
-                }
-                (Item::Node { .. }, Item::Node { level: l2, .. }) => {
-                    let l2 = *l2;
-                    match self.config.traversal {
-                        TraversalPolicy::Basic => self.expand_one(&pair, true)?,
-                        TraversalPolicy::Even => {
-                            let l1 = pair.item1.node_level().expect("node item");
-                            // Process the node at the shallower level (the
-                            // one closer to its root); at equal levels, the
-                            // one covering more space — this keeps the
-                            // traversal symmetric in the join order, as the
-                            // paper observes for its Even variant.
-                            let first = match l1.cmp(&l2) {
-                                std::cmp::Ordering::Greater => true,
-                                std::cmp::Ordering::Less => false,
-                                std::cmp::Ordering::Equal => {
-                                    pair.item1.rect().area() >= pair.item2.rect().area()
-                                }
-                            };
-                            self.expand_one(&pair, first)?;
-                        }
-                        TraversalPolicy::Simultaneous => self.expand_both(&pair)?,
-                    }
-                }
-                (Item::Node { .. }, _) => self.expand_one(&pair, true)?,
-                (_, Item::Node { .. }) => self.expand_one(&pair, false)?,
-                _ => unreachable!("non-final object pair kinds are handled above"),
             }
         }
-        self.done = true;
-        Ok(None)
     }
 }
 

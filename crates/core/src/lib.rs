@@ -55,9 +55,10 @@
 //! ```
 
 pub mod apps;
+mod bound;
 mod config;
-pub mod index;
 mod estimate;
+pub mod index;
 pub mod intersect;
 mod join;
 pub mod nn;
@@ -67,13 +68,14 @@ mod queue;
 mod semi;
 mod stats;
 
+pub use bound::SharedDistanceBound;
 pub use config::{
     EstimationBound, JoinConfig, QueueBackend, ResultOrder, TiePolicy, TraversalPolicy,
 };
 pub use estimate::{Estimator, EstimatorMode};
 pub use index::{IndexEntry, IndexNode, NodeId, SpatialIndex};
 pub use intersect::{IntersectionPair, OrderedIntersectionJoin};
-pub use join::{DistanceJoin, DistanceSemiJoin, ResultPair};
+pub use join::{DistanceJoin, DistanceSemiJoin, JoinFrontier, ResultPair};
 pub use nn::{nearest_neighbors, IndexNearestNeighbors, IndexNeighbor};
 pub use oracle::{DistanceOracle, MbrOracle, SliceOracle};
 pub use pair::{Item, ItemId, Pair, PairKey};

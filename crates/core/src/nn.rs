@@ -164,12 +164,7 @@ mod tests {
     fn generic_nn_over_rtree_matches_specialised() {
         let mut tree = RTree::new(RTreeConfig::small(5));
         let pts: Vec<Point<2>> = (0..150)
-            .map(|i| {
-                Point::xy(
-                    ((i * 37) % 101) as f64,
-                    ((i * 73) % 89) as f64,
-                )
-            })
+            .map(|i| Point::xy(((i * 37) % 101) as f64, ((i * 73) % 89) as f64))
             .collect();
         for (i, p) in pts.iter().enumerate() {
             tree.insert(ObjectId(i as u64), p.to_rect()).unwrap();

@@ -370,8 +370,10 @@ mod tests {
     fn distance_dominates_ties() {
         let oo = Pair::new(obr(1), obr(2));
         let nn = Pair::new(node(1, 5), node(2, 5));
-        assert!(PairKey::new(1.0, &nn, TiePolicy::DepthFirst)
-            < PairKey::new(2.0, &oo, TiePolicy::DepthFirst));
+        assert!(
+            PairKey::new(1.0, &nn, TiePolicy::DepthFirst)
+                < PairKey::new(2.0, &oo, TiePolicy::DepthFirst)
+        );
     }
 
     #[test]

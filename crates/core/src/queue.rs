@@ -22,9 +22,7 @@ impl<const D: usize> JoinQueue<D> {
     pub fn new(backend: &QueueBackend) -> Self {
         match backend {
             QueueBackend::Memory => JoinQueue::Memory(PairingHeap::new()),
-            QueueBackend::Hybrid(config) => {
-                JoinQueue::Hybrid(Box::new(HybridQueue::new(*config)))
-            }
+            QueueBackend::Hybrid(config) => JoinQueue::Hybrid(Box::new(HybridQueue::new(*config))),
         }
     }
 
@@ -39,6 +37,23 @@ impl<const D: usize> JoinQueue<D> {
         match self {
             JoinQueue::Memory(q) => q.push(key, pair),
             JoinQueue::Hybrid(q) => q.push(key, pair),
+        }
+    }
+
+    /// Inserts a batch of pairs. The memory backend grows its arena at most
+    /// once for the whole batch; the hybrid backend falls back to per-element
+    /// pushes (its tiering decisions are per-element anyway).
+    pub fn push_batch<I>(&mut self, batch: I)
+    where
+        I: IntoIterator<Item = (PairKey, Pair<D>)>,
+    {
+        match self {
+            JoinQueue::Memory(q) => q.push_batch(batch),
+            JoinQueue::Hybrid(q) => {
+                for (key, pair) in batch {
+                    q.push(key, pair);
+                }
+            }
         }
     }
 

@@ -76,7 +76,9 @@ impl SeenSet {
     #[must_use]
     pub fn contains(&self, oid: u64) -> bool {
         let word = (oid / 64) as usize;
-        self.bits.get(word).is_some_and(|w| w & (1 << (oid % 64)) != 0)
+        self.bits
+            .get(word)
+            .is_some_and(|w| w & (1 << (oid % 64)) != 0)
     }
 
     /// Inserts `oid`; returns true if it was new.

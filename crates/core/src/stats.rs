@@ -29,6 +29,8 @@ pub struct JoinStats {
     pub pruned_by_estimate: u64,
     /// Pairs rejected by semi-join `d_max` bounds (§4.2.1).
     pub pruned_by_dmax: u64,
+    /// Pairs rejected by the executor's shared cross-worker distance bound.
+    pub pruned_by_shared: u64,
     /// Pairs dropped because their first object already produced a
     /// semi-join result.
     pub filtered_seen: u64,
@@ -43,8 +45,28 @@ impl JoinStats {
         self.pruned_by_range
             + self.pruned_by_estimate
             + self.pruned_by_dmax
+            + self.pruned_by_shared
             + self.filtered_seen
             + self.filtered_self
+    }
+
+    /// Accumulates `other` into `self`: counters add, high-water marks take
+    /// the maximum. Used to aggregate per-worker stats of a parallel run.
+    pub fn merge(&mut self, other: &JoinStats) {
+        self.distance_calcs += other.distance_calcs;
+        self.object_distance_calcs += other.object_distance_calcs;
+        self.pairs_enqueued += other.pairs_enqueued;
+        self.pairs_dequeued += other.pairs_dequeued;
+        self.pairs_reported += other.pairs_reported;
+        self.max_queue = self.max_queue.max(other.max_queue);
+        self.node_accesses += other.node_accesses;
+        self.node_io += other.node_io;
+        self.pruned_by_range += other.pruned_by_range;
+        self.pruned_by_estimate += other.pruned_by_estimate;
+        self.pruned_by_dmax += other.pruned_by_dmax;
+        self.pruned_by_shared += other.pruned_by_shared;
+        self.filtered_seen += other.filtered_seen;
+        self.filtered_self += other.filtered_self;
     }
 }
 
@@ -62,5 +84,27 @@ mod tests {
             ..JoinStats::default()
         };
         assert_eq!(s.total_pruned(), 10);
+    }
+
+    #[test]
+    fn merge_adds_counters_and_maxes_peaks() {
+        let mut a = JoinStats {
+            distance_calcs: 10,
+            pairs_reported: 2,
+            max_queue: 7,
+            ..JoinStats::default()
+        };
+        let b = JoinStats {
+            distance_calcs: 5,
+            pairs_reported: 1,
+            max_queue: 12,
+            pruned_by_shared: 3,
+            ..JoinStats::default()
+        };
+        a.merge(&b);
+        assert_eq!(a.distance_calcs, 15);
+        assert_eq!(a.pairs_reported, 3);
+        assert_eq!(a.max_queue, 12);
+        assert_eq!(a.pruned_by_shared, 3);
     }
 }

@@ -3,10 +3,10 @@
 //! loop over the raw data produces.
 
 use sdj_core::{
-    DistanceJoin, DmaxStrategy, EstimationBound, JoinConfig, QueueBackend, ResultOrder,
-    SemiConfig, SemiFilter, SliceOracle, TiePolicy, TraversalPolicy,
+    DistanceJoin, DmaxStrategy, EstimationBound, JoinConfig, QueueBackend, ResultOrder, SemiConfig,
+    SemiFilter, SliceOracle, TiePolicy, TraversalPolicy,
 };
-use sdj_datagen::{gaussian_clusters, tiger, unit_box, uniform_points};
+use sdj_datagen::{gaussian_clusters, tiger, uniform_points, unit_box};
 use sdj_geom::{Metric, Point, Segment, SpatialObject};
 use sdj_pqueue::HybridConfig;
 use sdj_rtree::{ObjectId, RTree, RTreeConfig};
@@ -189,8 +189,7 @@ fn estimation_prunes_queue_growth() {
     }
     let q_unlimited = unlimited.stats().max_queue;
 
-    let mut limited =
-        DistanceJoin::new(&t1, &t2, JoinConfig::default().with_max_pairs(10));
+    let mut limited = DistanceJoin::new(&t1, &t2, JoinConfig::default().with_max_pairs(10));
     for _ in 0..10 {
         limited.next().unwrap();
     }
@@ -242,10 +241,9 @@ fn semi_join_all_strategies_match_bruteforce() {
     ];
     for (filter, dmax) in variants {
         let semi = SemiConfig { filter, dmax };
-        let got: Vec<(u64, f64)> =
-            DistanceJoin::semi(&t1, &t2, JoinConfig::default(), semi)
-                .map(|r| (r.oid1.0, r.distance))
-                .collect();
+        let got: Vec<(u64, f64)> = DistanceJoin::semi(&t1, &t2, JoinConfig::default(), semi)
+            .map(|r| (r.oid1.0, r.distance))
+            .collect();
         assert_eq!(got.len(), a.len(), "{filter:?}/{dmax:?}: one result per o1");
         // Distances ascend.
         for w in got.windows(2) {
@@ -365,11 +363,10 @@ fn segment_objects_with_refinement_oracle() {
     }
 
     let oracle = SliceOracle::new(&segs_a, &segs_b, Metric::Euclidean);
-    let got: Vec<f64> =
-        DistanceJoin::with_oracle(&t1, &t2, oracle, JoinConfig::default())
-            .take(500)
-            .map(|r| r.distance)
-            .collect();
+    let got: Vec<f64> = DistanceJoin::with_oracle(&t1, &t2, oracle, JoinConfig::default())
+        .take(500)
+        .map(|r| r.distance)
+        .collect();
 
     let mut want: Vec<f64> = segs_a
         .iter()
@@ -386,8 +383,14 @@ fn empty_inputs_yield_nothing() {
     let t_empty: RTree<2> = RTree::new(RTreeConfig::small(4));
     let a = uniform_points(10, &unit_box(), 1);
     let t1 = build_tree(&a, 4);
-    assert_eq!(DistanceJoin::new(&t1, &t_empty, JoinConfig::default()).count(), 0);
-    assert_eq!(DistanceJoin::new(&t_empty, &t1, JoinConfig::default()).count(), 0);
+    assert_eq!(
+        DistanceJoin::new(&t1, &t_empty, JoinConfig::default()).count(),
+        0
+    );
+    assert_eq!(
+        DistanceJoin::new(&t_empty, &t1, JoinConfig::default()).count(),
+        0
+    );
     assert_eq!(
         DistanceJoin::semi(&t_empty, &t1, JoinConfig::default(), SemiConfig::default()).count(),
         0

@@ -108,14 +108,10 @@ fn window_semi_join_restricts_partners() {
     let t1 = build_tree(&a, 5);
     let t2 = build_tree(&b, 5);
     let w2 = Rect::new([0.0, 0.0], [0.6, 1.0]);
-    let results: Vec<_> = DistanceJoin::semi(
-        &t1,
-        &t2,
-        JoinConfig::default(),
-        SemiConfig::default(),
-    )
-    .with_windows(None, Some(w2))
-    .collect();
+    let results: Vec<_> =
+        DistanceJoin::semi(&t1, &t2, JoinConfig::default(), SemiConfig::default())
+            .with_windows(None, Some(w2))
+            .collect();
     assert_eq!(results.len(), a.len());
     for r in &results {
         let p = &a[r.oid1.0 as usize];
@@ -148,7 +144,9 @@ fn exclusion_with_max_pairs_exact() {
             ..JoinConfig::default()
         }
         .with_max_pairs(k as u64);
-        let got: Vec<f64> = DistanceJoin::new(&t, &t, config).map(|r| r.distance).collect();
+        let got: Vec<f64> = DistanceJoin::new(&t, &t, config)
+            .map(|r| r.distance)
+            .collect();
         assert_eq!(got.len(), k);
         for (g, w) in got.iter().zip(&want) {
             assert!((g - w).abs() < EPS, "k={k}");

@@ -4,8 +4,8 @@
 
 use proptest::prelude::*;
 use sdj_core::{
-    DistanceJoin, DmaxStrategy, EstimationBound, JoinConfig, QueueBackend, ResultOrder,
-    SemiConfig, SemiFilter, TiePolicy, TraversalPolicy,
+    DistanceJoin, DmaxStrategy, EstimationBound, JoinConfig, QueueBackend, ResultOrder, SemiConfig,
+    SemiFilter, TiePolicy, TraversalPolicy,
 };
 use sdj_geom::{Metric, Point};
 use sdj_pqueue::HybridConfig;

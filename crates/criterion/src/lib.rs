@@ -1,0 +1,252 @@
+//! Offline shim for the subset of the `criterion` benchmark API used by this
+//! workspace.
+//!
+//! The build container has no network access, so the real crates.io
+//! `criterion` cannot be fetched. This crate keeps `cargo bench` working with
+//! the same source code: benchmarks compile, run a calibrated timing loop,
+//! and print mean wall-clock time per iteration. There are no statistical
+//! refinements (outlier rejection, regression detection, HTML reports) — the
+//! numbers are honest but simple means.
+
+use std::hint::black_box as std_black_box;
+use std::time::{Duration, Instant};
+
+/// Re-export matching `criterion::black_box` (deprecated upstream in favour
+/// of `std::hint::black_box`, but still referenced by some bench code).
+pub fn black_box<T>(x: T) -> T {
+    std_black_box(x)
+}
+
+/// How `iter_batched` amortises setup cost. The shim runs one setup per
+/// routine call regardless of the variant, so these are behaviourally
+/// identical; they exist for source compatibility.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum BatchSize {
+    SmallInput,
+    LargeInput,
+    PerIteration,
+}
+
+/// Per-benchmark timing driver handed to `bench_function` closures.
+pub struct Bencher {
+    /// Total time measured across all timed iterations.
+    elapsed: Duration,
+    /// Number of timed iterations.
+    iters: u64,
+    /// Target wall-clock time for the measurement phase.
+    measure_target: Duration,
+}
+
+impl Bencher {
+    fn new(measure_target: Duration) -> Self {
+        Self {
+            elapsed: Duration::ZERO,
+            iters: 0,
+            measure_target,
+        }
+    }
+
+    /// Times `routine` repeatedly until the measurement target is reached.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        // Warm-up: one untimed call (populates caches, faults pages).
+        std_black_box(routine());
+        let start = Instant::now();
+        loop {
+            let t0 = Instant::now();
+            std_black_box(routine());
+            self.elapsed += t0.elapsed();
+            self.iters += 1;
+            if start.elapsed() >= self.measure_target {
+                break;
+            }
+        }
+    }
+
+    /// Times `routine` on fresh inputs from `setup`; setup time is excluded.
+    pub fn iter_batched<I, O, S, R>(&mut self, mut setup: S, mut routine: R, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        R: FnMut(I) -> O,
+    {
+        std_black_box(routine(setup()));
+        let start = Instant::now();
+        loop {
+            let input = setup();
+            let t0 = Instant::now();
+            std_black_box(routine(input));
+            self.elapsed += t0.elapsed();
+            self.iters += 1;
+            if start.elapsed() >= self.measure_target {
+                break;
+            }
+        }
+    }
+
+    /// Like `iter_batched`, but the routine takes the input by reference.
+    pub fn iter_batched_ref<I, O, S, R>(&mut self, setup: S, mut routine: R, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        R: FnMut(&mut I) -> O,
+    {
+        self.iter_batched(setup, |mut input| routine(&mut input), _size);
+    }
+
+    fn mean(&self) -> Duration {
+        if self.iters == 0 {
+            Duration::ZERO
+        } else {
+            self.elapsed / u32::try_from(self.iters.min(u64::from(u32::MAX))).unwrap_or(1)
+        }
+    }
+}
+
+fn format_duration(d: Duration) -> String {
+    let nanos = d.as_nanos();
+    if nanos < 1_000 {
+        format!("{nanos} ns")
+    } else if nanos < 1_000_000 {
+        format!("{:.3} µs", nanos as f64 / 1e3)
+    } else if nanos < 1_000_000_000 {
+        format!("{:.3} ms", nanos as f64 / 1e6)
+    } else {
+        format!("{:.3} s", nanos as f64 / 1e9)
+    }
+}
+
+fn run_one(label: &str, measure_target: Duration, f: &mut dyn FnMut(&mut Bencher)) {
+    let mut bencher = Bencher::new(measure_target);
+    f(&mut bencher);
+    println!(
+        "{label:<48} {:>12}/iter  ({} iters)",
+        format_duration(bencher.mean()),
+        bencher.iters
+    );
+}
+
+/// Top-level benchmark registry; mirrors `criterion::Criterion`.
+pub struct Criterion {
+    measure_target: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Self {
+            measure_target: Duration::from_millis(500),
+        }
+    }
+}
+
+impl Criterion {
+    /// Sets the wall-clock measurement budget per benchmark.
+    #[must_use]
+    pub fn measurement_time(mut self, t: Duration) -> Self {
+        self.measure_target = t;
+        self
+    }
+
+    /// Registers and immediately runs one benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: &str, mut f: F) -> &mut Self {
+        run_one(id, self.measure_target, &mut f);
+        self
+    }
+
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        let measure_target = self.measure_target;
+        BenchmarkGroup {
+            _parent: self,
+            name: name.to_string(),
+            measure_target,
+        }
+    }
+}
+
+/// A named benchmark group; mirrors `criterion::BenchmarkGroup`.
+pub struct BenchmarkGroup<'a> {
+    _parent: &'a mut Criterion,
+    name: String,
+    measure_target: Duration,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Accepted for source compatibility; the shim's iteration count is
+    /// time-driven, not sample-count-driven.
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    /// Sets the wall-clock measurement budget per benchmark in this group.
+    pub fn measurement_time(&mut self, t: Duration) -> &mut Self {
+        self.measure_target = t;
+        self
+    }
+
+    /// Registers and immediately runs one benchmark in the group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: &str, mut f: F) -> &mut Self {
+        run_one(&format!("{}/{id}", self.name), self.measure_target, &mut f);
+        self
+    }
+
+    /// Ends the group (no-op beyond source compatibility).
+    pub fn finish(self) {}
+}
+
+/// Mirrors `criterion::criterion_group!`: bundles bench functions into one
+/// runner function.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Mirrors `criterion::criterion_main!`: emits `main` running each group.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_counts_iters() {
+        let mut b = Bencher::new(Duration::from_millis(5));
+        let mut n = 0u64;
+        b.iter(|| n += 1);
+        assert!(b.iters >= 1);
+        assert_eq!(n, b.iters + 1); // warm-up call included
+        assert!(b.mean() <= b.elapsed);
+    }
+
+    #[test]
+    fn iter_batched_runs_setup_per_iteration() {
+        let mut b = Bencher::new(Duration::from_millis(2));
+        let mut setups = 0u64;
+        b.iter_batched(
+            || {
+                setups += 1;
+                vec![1u8; 16]
+            },
+            |v| v.len(),
+            BatchSize::SmallInput,
+        );
+        assert_eq!(setups, b.iters + 1);
+    }
+
+    #[test]
+    fn format_covers_scales() {
+        assert_eq!(format_duration(Duration::from_nanos(10)), "10 ns");
+        assert!(format_duration(Duration::from_micros(12)).ends_with("µs"));
+        assert!(format_duration(Duration::from_millis(12)).ends_with("ms"));
+        assert!(format_duration(Duration::from_secs(2)).ends_with(" s"));
+    }
+}

@@ -1,0 +1,461 @@
+//! Parallel distance-join executor.
+//!
+//! Wraps the serial incremental engine of `sdj-core` without changing its
+//! semantics. A parallel run has three stages:
+//!
+//! 1. **Frontier partitioning** (`DistanceJoin::into_frontier`): the serial
+//!    engine runs until its priority queue holds at least
+//!    `threads * frontier_factor` pairs. Results produced on the way are the
+//!    globally closest (the queue's best key never improves as the run
+//!    advances), so they stream out first, unchanged. The queue is then dealt
+//!    round-robin into `threads` shards. Every queue pair subtends a set of
+//!    object pairs disjoint from every other queue pair's — expansion
+//!    replaces a pair with pairs over disjoint children — so the shards
+//!    partition the remaining work.
+//! 2. **Worker pool**: one scoped thread per non-empty shard resumes an
+//!    independent serial engine over its shard (`DistanceJoin::resume`).
+//!    Workers share a [`SharedDistanceBound`] — an `AtomicU64` over f64
+//!    bits — seeded from the frontier's proven maximum distance; each worker
+//!    publishes its estimator's bound to it and prunes against the
+//!    fleet-wide minimum. A bound proven by one shard ("the K results still
+//!    owed all lie within `d`") holds globally, because the merged result
+//!    set dominates any single shard's.
+//! 3. **Ordered merge** ([`JoinStream`]): per-worker result streams arrive
+//!    on bounded channels, each individually distance-ordered. The merge
+//!    holds one *watermark* element per live worker — a bound on everything
+//!    that worker will ever emit — and re-emits the best watermark, blocking
+//!    on workers whose watermark is missing. For semi-joins it additionally
+//!    drops repeat first objects: shards are disjoint in *pairs*, not in
+//!    first objects, and the first emission in merge order is the nearest
+//!    partner, exactly the serial answer.
+//!
+//! The output is pairwise identical to the serial engine's: the same result
+//! multiset, in a valid distance order. Only the relative order of
+//! equal-distance results may differ from a serial run's tie order.
+
+use std::sync::mpsc::Receiver;
+use std::sync::Mutex;
+
+use sdj_core::{
+    DistanceJoin, DistanceOracle, JoinConfig, JoinFrontier, JoinStats, MbrOracle, Pair, PairKey,
+    ResultOrder, ResultPair, SeenSet, SemiConfig, SharedDistanceBound, SpatialIndex,
+};
+use sdj_geom::Rect;
+use sdj_storage::StorageError;
+
+// The executor shares `&RTree` across scoped threads; this fails to compile
+// if the default index ever regresses to a non-Sync interior (e.g. a RefCell
+// buffer pool).
+const _: () = {
+    const fn assert_sync<T: Sync>() {}
+    assert_sync::<sdj_rtree::RTree<2>>();
+};
+
+/// One shard of a partitioned queue, as handed to `DistanceJoin::resume`.
+type Shard<const D: usize> = Vec<(PairKey, Pair<D>)>;
+
+/// Tuning knobs of a parallel run.
+#[derive(Clone, Copy, Debug)]
+pub struct ParallelConfig {
+    /// Number of queue shards (and worker threads: one per non-empty shard).
+    pub threads: usize,
+    /// Frontier target per shard: partitioning runs until the queue holds
+    /// `threads * frontier_factor` pairs.
+    pub frontier_factor: usize,
+    /// Bound of each worker's result channel; a worker stalls when the
+    /// merge falls this far behind it.
+    pub channel_capacity: usize,
+}
+
+impl Default for ParallelConfig {
+    fn default() -> Self {
+        Self {
+            threads: std::thread::available_parallelism().map_or(4, usize::from),
+            frontier_factor: 64,
+            channel_capacity: 256,
+        }
+    }
+}
+
+impl ParallelConfig {
+    /// A configuration with `threads` workers and default tuning.
+    #[must_use]
+    pub fn with_threads(threads: usize) -> Self {
+        Self {
+            threads,
+            ..Self::default()
+        }
+    }
+}
+
+/// What a finished parallel run hands back alongside the consumer's value.
+#[derive(Debug)]
+pub struct RunOutput<R> {
+    /// The value returned by the stream consumer.
+    pub value: R,
+    /// Merged counters: the partitioning run plus every worker (counts add,
+    /// peaks take the maximum).
+    pub stats: JoinStats,
+    /// First I/O error hit by the partitioner or any worker, if any; the
+    /// stream ends early when one occurs.
+    pub error: Option<StorageError>,
+    /// Worker threads actually spawned (empty shards are skipped; an
+    /// exhausted frontier or a partitioning error spawns none).
+    pub workers_spawned: usize,
+}
+
+/// Builder for a parallel distance join or semi-join over two indexes.
+///
+/// Mirrors the serial constructors: [`ParallelDistanceJoin::new`] /
+/// [`ParallelDistanceJoin::semi`] for leaf-stored objects, the
+/// `*_with_oracle` variants for external object storage.
+pub struct ParallelDistanceJoin<'a, const D: usize, O, I1, I2>
+where
+    O: DistanceOracle<D>,
+    I1: SpatialIndex<D>,
+    I2: SpatialIndex<D>,
+{
+    tree1: &'a I1,
+    tree2: &'a I2,
+    oracle: O,
+    config: JoinConfig,
+    semi: Option<SemiConfig>,
+    window1: Option<Rect<D>>,
+    window2: Option<Rect<D>>,
+    parallel: ParallelConfig,
+}
+
+impl<'a, const D: usize, I1, I2> ParallelDistanceJoin<'a, D, MbrOracle, I1, I2>
+where
+    I1: SpatialIndex<D> + Sync,
+    I2: SpatialIndex<D> + Sync,
+{
+    /// Parallel distance join over indexes whose leaves store the objects.
+    #[must_use]
+    pub fn new(tree1: &'a I1, tree2: &'a I2, config: JoinConfig, parallel: ParallelConfig) -> Self {
+        Self::with_oracle(tree1, tree2, MbrOracle, config, parallel)
+    }
+
+    /// Parallel distance semi-join.
+    #[must_use]
+    pub fn semi(
+        tree1: &'a I1,
+        tree2: &'a I2,
+        config: JoinConfig,
+        semi: SemiConfig,
+        parallel: ParallelConfig,
+    ) -> Self {
+        Self::semi_with_oracle(tree1, tree2, MbrOracle, config, semi, parallel)
+    }
+}
+
+impl<'a, const D: usize, O, I1, I2> ParallelDistanceJoin<'a, D, O, I1, I2>
+where
+    O: DistanceOracle<D> + Clone + Send,
+    I1: SpatialIndex<D> + Sync,
+    I2: SpatialIndex<D> + Sync,
+{
+    /// Parallel join with exact distances supplied by `oracle` (each worker
+    /// receives a clone).
+    #[must_use]
+    pub fn with_oracle(
+        tree1: &'a I1,
+        tree2: &'a I2,
+        oracle: O,
+        config: JoinConfig,
+        parallel: ParallelConfig,
+    ) -> Self {
+        Self {
+            tree1,
+            tree2,
+            oracle,
+            config,
+            semi: None,
+            window1: None,
+            window2: None,
+            parallel,
+        }
+    }
+
+    /// Parallel semi-join with an explicit oracle.
+    #[must_use]
+    pub fn semi_with_oracle(
+        tree1: &'a I1,
+        tree2: &'a I2,
+        oracle: O,
+        config: JoinConfig,
+        semi: SemiConfig,
+        parallel: ParallelConfig,
+    ) -> Self {
+        Self {
+            semi: Some(semi),
+            ..Self::with_oracle(tree1, tree2, oracle, config, parallel)
+        }
+    }
+
+    /// Restricts both sides to spatial windows, as in the serial
+    /// `DistanceJoin::with_windows` (§2.2.5).
+    #[must_use]
+    pub fn with_windows(mut self, window1: Option<Rect<D>>, window2: Option<Rect<D>>) -> Self {
+        self.window1 = window1;
+        self.window2 = window2;
+        self
+    }
+
+    /// Runs the join, handing the globally ordered result stream to
+    /// `consume`. The stream (and the worker pool behind it) lives only for
+    /// the duration of the call — scoped worker threads must join before
+    /// this function returns, which is why the consumer is a closure rather
+    /// than a returned iterator. Dropping the stream early (e.g. after
+    /// `take(k)`) cancels the remaining work.
+    pub fn run<R>(self, consume: impl FnOnce(&mut JoinStream) -> R) -> RunOutput<R> {
+        let threads = self.parallel.threads.max(1);
+        let frontier = self
+            .build_serial(self.config, None)
+            .into_frontier(threads, self.parallel.frontier_factor);
+        self.run_from_frontier(frontier, consume)
+    }
+
+    /// Runs the join and collects every result in order.
+    pub fn collect(self) -> RunOutput<Vec<ResultPair>> {
+        self.run(|stream| stream.collect())
+    }
+
+    /// Builds a serial engine sharing this builder's trees, oracle and
+    /// windows: the partitioning run (`shard` = `None`) or a worker resumed
+    /// from a shard. The returned lifetime may be shorter than `'a` so the
+    /// engine can also borrow scope-local state (the shared bound).
+    fn build_serial<'b>(
+        &self,
+        config: JoinConfig,
+        shard: Option<(Shard<D>, Option<SeenSet>)>,
+    ) -> DistanceJoin<'b, D, O, I1, I2>
+    where
+        'a: 'b,
+    {
+        let join = match shard {
+            None => {
+                if let Some(semi) = self.semi {
+                    DistanceJoin::semi_with_oracle(
+                        self.tree1,
+                        self.tree2,
+                        self.oracle.clone(),
+                        config,
+                        semi,
+                    )
+                } else {
+                    DistanceJoin::with_oracle(self.tree1, self.tree2, self.oracle.clone(), config)
+                }
+            }
+            Some((shard, seen)) => DistanceJoin::resume(
+                self.tree1,
+                self.tree2,
+                self.oracle.clone(),
+                config,
+                self.semi,
+                shard,
+                seen,
+            ),
+        };
+        join.with_windows(self.window1, self.window2)
+    }
+
+    fn run_from_frontier<R>(
+        self,
+        mut frontier: JoinFrontier<D>,
+        consume: impl FnOnce(&mut JoinStream) -> R,
+    ) -> RunOutput<R> {
+        let ascending = matches!(self.config.order, ResultOrder::Ascending);
+        let frontier_error = frontier.error.take();
+        let shards: Vec<Shard<D>> = if frontier_error.is_some() {
+            Vec::new()
+        } else {
+            std::mem::take(&mut frontier.shards)
+                .into_iter()
+                .filter(|s| !s.is_empty())
+                .collect()
+        };
+        let workers_spawned = shards.len();
+
+        // Seed the cross-worker bound with everything the partitioner proved
+        // (descending runs key on maximum distances, which bound nothing).
+        let shared = SharedDistanceBound::new(if ascending {
+            frontier.dmax_hint
+        } else {
+            f64::INFINITY
+        });
+        let mut worker_config = self.config;
+        worker_config.max_pairs = frontier.remaining_pairs;
+
+        let tallies: Mutex<Vec<(JoinStats, Option<StorageError>)>> =
+            Mutex::new(Vec::with_capacity(workers_spawned));
+
+        let (value, mut stats) = std::thread::scope(|scope| {
+            let mut receivers = Vec::with_capacity(workers_spawned);
+            for shard in shards {
+                let (tx, rx) = std::sync::mpsc::sync_channel(self.parallel.channel_capacity.max(1));
+                receivers.push(rx);
+                let mut join = self
+                    .build_serial(worker_config, Some((shard, frontier.seen.clone())))
+                    .with_shared_bound(&shared);
+                let tallies = &tallies;
+                scope.spawn(move || {
+                    for result in &mut join {
+                        if tx.send(result).is_err() {
+                            break; // the consumer dropped the stream
+                        }
+                    }
+                    let tally = (join.stats(), join.take_error());
+                    tallies
+                        .lock()
+                        .unwrap_or_else(std::sync::PoisonError::into_inner)
+                        .push(tally);
+                });
+            }
+
+            let mut stream = JoinStream::new(
+                std::mem::take(&mut frontier.prefix),
+                receivers,
+                ascending,
+                self.semi.map(|_| frontier.seen.clone().unwrap_or_default()),
+                frontier.remaining_pairs,
+            );
+            let value = consume(&mut stream);
+            drop(stream); // close the receivers so stalled workers exit
+            (value, frontier.stats)
+        });
+
+        let mut error = frontier_error;
+        for (worker_stats, worker_error) in tallies
+            .into_inner()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+        {
+            stats.merge(&worker_stats);
+            if error.is_none() {
+                error = worker_error;
+            }
+        }
+        RunOutput {
+            value,
+            stats,
+            error,
+            workers_spawned,
+        }
+    }
+}
+
+/// One worker's incoming stream and its current watermark element.
+struct WorkerStream {
+    rx: Option<Receiver<ResultPair>>,
+    head: Option<ResultPair>,
+}
+
+impl WorkerStream {
+    /// Ensures `head` holds the worker's next element, blocking on the
+    /// channel if necessary; a disconnected channel finishes the stream.
+    fn fill(&mut self) {
+        if self.head.is_none() {
+            if let Some(rx) = &self.rx {
+                match rx.recv() {
+                    Ok(item) => self.head = Some(item),
+                    Err(_) => self.rx = None,
+                }
+            }
+        }
+    }
+}
+
+/// The globally ordered result stream of a parallel run: the frontier's
+/// prefix first, then the k-way watermark merge of the worker streams.
+pub struct JoinStream {
+    prefix: std::vec::IntoIter<ResultPair>,
+    workers: Vec<WorkerStream>,
+    ascending: bool,
+    /// Semi-join only: first objects already answered; repeats are dropped.
+    seen: Option<SeenSet>,
+    /// Results still allowed after the prefix (`max_pairs` runs).
+    remaining: Option<u64>,
+}
+
+impl JoinStream {
+    fn new(
+        prefix: Vec<ResultPair>,
+        receivers: Vec<Receiver<ResultPair>>,
+        ascending: bool,
+        seen: Option<SeenSet>,
+        remaining: Option<u64>,
+    ) -> Self {
+        Self {
+            prefix: prefix.into_iter(),
+            workers: receivers
+                .into_iter()
+                .map(|rx| WorkerStream {
+                    rx: Some(rx),
+                    head: None,
+                })
+                .collect(),
+            ascending,
+            seen,
+            remaining,
+        }
+    }
+
+    /// Index of the worker whose watermark is globally next, if any stream
+    /// is still live. Each worker's head bounds everything it will ever
+    /// emit, so the best head is safe to emit now. Distance ties go to the
+    /// lowest worker index, making the merge deterministic for a fixed
+    /// shard layout.
+    fn best_head(&mut self) -> Option<usize> {
+        for w in &mut self.workers {
+            w.fill();
+        }
+        let mut best: Option<usize> = None;
+        for (i, w) in self.workers.iter().enumerate() {
+            let Some(head) = &w.head else { continue };
+            let better = match best {
+                None => true,
+                Some(b) => {
+                    let incumbent = self.workers[b].head.as_ref().expect("best head is filled");
+                    if self.ascending {
+                        head.distance < incumbent.distance
+                    } else {
+                        head.distance > incumbent.distance
+                    }
+                }
+            };
+            if better {
+                best = Some(i);
+            }
+        }
+        best
+    }
+}
+
+impl Iterator for JoinStream {
+    type Item = ResultPair;
+
+    fn next(&mut self) -> Option<ResultPair> {
+        // The prefix was produced before any shard work started and is
+        // globally first; the workers' seen-set snapshot already excludes
+        // semi-join repeats of it.
+        if let Some(r) = self.prefix.next() {
+            return Some(r);
+        }
+        loop {
+            if self.remaining == Some(0) {
+                return None;
+            }
+            let best = self.best_head()?;
+            let r = self.workers[best].head.take().expect("best head is filled");
+            if let Some(seen) = &mut self.seen {
+                if !seen.insert(r.oid1.0) {
+                    continue; // another shard already answered this object
+                }
+            }
+            if let Some(rem) = &mut self.remaining {
+                *rem -= 1;
+            }
+            return Some(r);
+        }
+    }
+}

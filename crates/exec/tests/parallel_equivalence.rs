@@ -1,0 +1,333 @@
+//! The parallel executor must be observationally identical to the serial
+//! engine: same result multiset, in a valid distance order, for joins and
+//! semi-joins, with and without a `[Dmin, Dmax]` restriction, across thread
+//! counts 1/2/4/8.
+
+use proptest::prelude::*;
+use sdj_core::{DistanceJoin, DmaxStrategy, JoinConfig, ResultOrder, SemiConfig, SemiFilter};
+use sdj_exec::{ParallelConfig, ParallelDistanceJoin};
+use sdj_geom::Point;
+use sdj_rtree::{ObjectId, RTree, RTreeConfig};
+
+fn tree(points: &[Point<2>], fanout: usize) -> RTree<2> {
+    let mut t = RTree::new(RTreeConfig::small(fanout));
+    for (i, p) in points.iter().enumerate() {
+        t.insert(ObjectId(i as u64), p.to_rect()).unwrap();
+    }
+    t
+}
+
+/// Exact comparison key: distances come out of identical code paths on the
+/// same pairs, so bit-for-bit equality is the right notion.
+fn key(r: &sdj_core::ResultPair) -> (u64, u64, u64) {
+    (r.distance.to_bits(), r.oid1.0, r.oid2.0)
+}
+
+fn assert_order_valid(results: &[sdj_core::ResultPair], ascending: bool) {
+    for w in results.windows(2) {
+        if ascending {
+            assert!(w[0].distance <= w[1].distance, "stream must be ascending");
+        } else {
+            assert!(w[0].distance >= w[1].distance, "stream must be descending");
+        }
+    }
+}
+
+/// Join mode: the parallel stream must be the serial result multiset in a
+/// valid order.
+fn check_join_equivalence(
+    a: &[Point<2>],
+    b: &[Point<2>],
+    fanout: usize,
+    config: JoinConfig,
+    parallel: ParallelConfig,
+) {
+    let t1 = tree(a, fanout);
+    let t2 = tree(b, fanout);
+    let serial: Vec<_> = DistanceJoin::new(&t1, &t2, config).collect();
+    let run = ParallelDistanceJoin::new(&t1, &t2, config, parallel).collect();
+    assert_eq!(run.error, None);
+    assert_order_valid(&run.value, matches!(config.order, ResultOrder::Ascending));
+    let mut got: Vec<_> = run.value.iter().map(key).collect();
+    let mut want: Vec<_> = serial.iter().map(key).collect();
+    got.sort_unstable();
+    want.sort_unstable();
+    assert_eq!(got, want, "threads={}", parallel.threads);
+}
+
+/// Semi-join mode: per first object the nearest-partner distance is unique,
+/// so the map `o1 -> distance` must match exactly (the witnessing `o2` may
+/// differ only under exact distance ties).
+fn check_semi_equivalence(
+    a: &[Point<2>],
+    b: &[Point<2>],
+    fanout: usize,
+    config: JoinConfig,
+    semi: SemiConfig,
+    parallel: ParallelConfig,
+) {
+    let t1 = tree(a, fanout);
+    let t2 = tree(b, fanout);
+    let serial: Vec<_> = DistanceJoin::semi(&t1, &t2, config, semi).collect();
+    let run = ParallelDistanceJoin::semi(&t1, &t2, config, semi, parallel).collect();
+    assert_eq!(run.error, None);
+    assert_order_valid(&run.value, matches!(config.order, ResultOrder::Ascending));
+    let to_map = |rs: &[sdj_core::ResultPair]| {
+        let mut m: Vec<(u64, u64)> = rs
+            .iter()
+            .map(|r| (r.oid1.0, r.distance.to_bits()))
+            .collect();
+        m.sort_unstable();
+        m
+    };
+    assert_eq!(
+        to_map(&run.value),
+        to_map(&serial),
+        "threads={}",
+        parallel.threads
+    );
+    // Each first object answered at most once.
+    let mut seen = std::collections::HashSet::new();
+    for r in &run.value {
+        assert!(seen.insert(r.oid1.0), "object {} answered twice", r.oid1.0);
+    }
+}
+
+fn arb_points(max: usize) -> impl Strategy<Value = Vec<Point<2>>> {
+    prop::collection::vec((0.0..10.0f64, 0.0..10.0f64), 1..max)
+        .prop_map(|v| v.into_iter().map(|(x, y)| Point::xy(x, y)).collect())
+}
+
+#[derive(Clone, Debug)]
+struct Case {
+    a: Vec<Point<2>>,
+    b: Vec<Point<2>>,
+    fanout: usize,
+    threads: usize,
+    frontier_factor: usize,
+    channel_capacity: usize,
+    range: Option<(f64, f64)>,
+}
+
+fn arb_case() -> impl Strategy<Value = Case> {
+    (
+        arb_points(50),
+        arb_points(70),
+        3usize..7,
+        prop::sample::select(vec![1usize, 2, 4, 8]),
+        // Small frontiers force real sharding even on small inputs; a tiny
+        // channel exercises worker back-pressure in the merge.
+        1usize..6,
+        1usize..5,
+        prop::option::of((0.0..4.0f64, 0.0..10.0f64)),
+    )
+        .prop_map(
+            |(a, b, fanout, threads, frontier_factor, channel_capacity, range)| Case {
+                a,
+                b,
+                fanout,
+                threads,
+                frontier_factor,
+                channel_capacity,
+                range: range.map(|(lo, w)| (lo, lo + w)),
+            },
+        )
+}
+
+fn case_config(case: &Case) -> (JoinConfig, ParallelConfig) {
+    let mut config = JoinConfig::default();
+    if let Some((lo, hi)) = case.range {
+        config = config.with_range(lo, hi);
+    }
+    let parallel = ParallelConfig {
+        threads: case.threads,
+        frontier_factor: case.frontier_factor,
+        channel_capacity: case.channel_capacity,
+    };
+    (config, parallel)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn join_matches_serial(case in arb_case()) {
+        let (config, parallel) = case_config(&case);
+        check_join_equivalence(&case.a, &case.b, case.fanout, config, parallel);
+    }
+
+    #[test]
+    fn semi_join_matches_serial(case in arb_case()) {
+        let (config, parallel) = case_config(&case);
+        check_semi_equivalence(
+            &case.a,
+            &case.b,
+            case.fanout,
+            config,
+            SemiConfig::default(),
+            parallel,
+        );
+    }
+
+    #[test]
+    fn semi_join_global_dmax_matches_serial(case in arb_case()) {
+        let (config, parallel) = case_config(&case);
+        check_semi_equivalence(
+            &case.a,
+            &case.b,
+            case.fanout,
+            config,
+            SemiConfig { filter: SemiFilter::Inside2, dmax: DmaxStrategy::GlobalAll },
+            parallel,
+        );
+    }
+}
+
+// ----------------------------------------------------------- deterministic
+
+fn uniform(n: usize, seed: u64) -> Vec<Point<2>> {
+    sdj_datagen::uniform_points(n, &sdj_datagen::unit_box(), seed)
+}
+
+#[test]
+fn every_thread_count_matches_on_fixed_data() {
+    let a = uniform(300, 11);
+    let b = uniform(400, 12);
+    for threads in [1, 2, 4, 8] {
+        let parallel = ParallelConfig {
+            threads,
+            frontier_factor: 8,
+            channel_capacity: 16,
+        };
+        check_join_equivalence(&a, &b, 8, JoinConfig::default(), parallel);
+        check_semi_equivalence(
+            &a,
+            &b,
+            8,
+            JoinConfig::default(),
+            SemiConfig::default(),
+            parallel,
+        );
+    }
+}
+
+#[test]
+fn range_restriction_matches_on_fixed_data() {
+    let a = uniform(250, 21);
+    let b = uniform(250, 22);
+    let config = JoinConfig::default().with_range(0.02, 0.3);
+    for threads in [2, 4] {
+        check_join_equivalence(&a, &b, 8, config, ParallelConfig::with_threads(threads));
+    }
+}
+
+#[test]
+fn descending_join_matches_on_fixed_data() {
+    let a = uniform(120, 31);
+    let b = uniform(150, 32);
+    let config = JoinConfig {
+        order: ResultOrder::Descending,
+        ..JoinConfig::default()
+    };
+    check_join_equivalence(&a, &b, 6, config, ParallelConfig::with_threads(4));
+}
+
+/// Uniform random points make exact distance ties measure-zero, so a
+/// `max_pairs` run must match the serial prefix exactly, element by element.
+#[test]
+fn max_pairs_matches_serial_prefix() {
+    let a = uniform(300, 41);
+    let b = uniform(300, 42);
+    let t1 = tree(&a, 8);
+    let t2 = tree(&b, 8);
+    for k in [1u64, 10, 100, 1000] {
+        let config = JoinConfig::default().with_max_pairs(k);
+        let serial: Vec<_> = DistanceJoin::new(&t1, &t2, config).collect();
+        let run =
+            ParallelDistanceJoin::new(&t1, &t2, config, ParallelConfig::with_threads(4)).collect();
+        assert_eq!(run.error, None);
+        let got: Vec<_> = run.value.iter().map(key).collect();
+        let want: Vec<_> = serial.iter().map(key).collect();
+        assert_eq!(got, want, "K={k}");
+    }
+}
+
+/// Dropping the stream early cancels the workers instead of deadlocking on
+/// their bounded channels.
+#[test]
+fn early_stop_cancels_workers() {
+    let a = uniform(400, 51);
+    let b = uniform(400, 52);
+    let t1 = tree(&a, 8);
+    let t2 = tree(&b, 8);
+    let parallel = ParallelConfig {
+        threads: 4,
+        frontier_factor: 4,
+        channel_capacity: 2,
+    };
+    let run = ParallelDistanceJoin::new(&t1, &t2, JoinConfig::default(), parallel)
+        .run(|stream| stream.take(25).collect::<Vec<_>>());
+    assert_eq!(run.error, None);
+    assert_eq!(run.value.len(), 25);
+    let serial: Vec<_> = DistanceJoin::new(&t1, &t2, JoinConfig::default())
+        .take(25)
+        .collect();
+    // Uniform data: no ties, so even the prefix is bitwise identical.
+    assert_eq!(
+        run.value.iter().map(key).collect::<Vec<_>>(),
+        serial.iter().map(key).collect::<Vec<_>>()
+    );
+}
+
+/// A frontier that exhausts during partitioning (tiny inputs) must still
+/// produce the complete result with no workers.
+#[test]
+fn tiny_inputs_exhaust_in_the_frontier() {
+    let a = uniform(3, 61);
+    let b = uniform(2, 62);
+    let t1 = tree(&a, 4);
+    let t2 = tree(&b, 4);
+    let parallel = ParallelConfig {
+        threads: 8,
+        frontier_factor: 1000,
+        channel_capacity: 4,
+    };
+    let run = ParallelDistanceJoin::new(&t1, &t2, JoinConfig::default(), parallel).collect();
+    assert_eq!(run.error, None);
+    assert_eq!(run.workers_spawned, 0, "frontier finished the whole join");
+    assert_eq!(run.value.len(), 6);
+    let serial: Vec<_> = DistanceJoin::new(&t1, &t2, JoinConfig::default()).collect();
+    assert_eq!(
+        run.value.iter().map(key).collect::<Vec<_>>(),
+        serial.iter().map(key).collect::<Vec<_>>()
+    );
+}
+
+/// Merged statistics keep enqueue/dequeue symmetry: the partitioner counts
+/// shard pairs once and workers do not recount them.
+#[test]
+fn merged_stats_keep_queue_symmetry() {
+    let a = uniform(300, 71);
+    let b = uniform(300, 72);
+    let t1 = tree(&a, 8);
+    let t2 = tree(&b, 8);
+    let run = ParallelDistanceJoin::new(
+        &t1,
+        &t2,
+        JoinConfig::default(),
+        ParallelConfig {
+            threads: 4,
+            frontier_factor: 16,
+            channel_capacity: 64,
+        },
+    )
+    .collect();
+    assert_eq!(run.error, None);
+    assert_eq!(run.stats.pairs_reported, run.value.len() as u64);
+    assert!(
+        run.stats.pairs_dequeued <= run.stats.pairs_enqueued,
+        "dequeues ({}) cannot exceed enqueues ({})",
+        run.stats.pairs_dequeued,
+        run.stats.pairs_enqueued
+    );
+}

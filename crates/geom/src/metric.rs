@@ -250,14 +250,8 @@ mod tests {
     fn mindist_point_rect_outside() {
         let r = Rect::new([0.0, 0.0], [1.0, 1.0]);
         let p = Point::xy(4.0, 5.0);
-        assert!(approx_eq(
-            Metric::Euclidean.mindist_point_rect(&p, &r),
-            5.0
-        ));
-        assert!(approx_eq(
-            Metric::Manhattan.mindist_point_rect(&p, &r),
-            7.0
-        ));
+        assert!(approx_eq(Metric::Euclidean.mindist_point_rect(&p, &r), 5.0));
+        assert!(approx_eq(Metric::Manhattan.mindist_point_rect(&p, &r), 7.0));
         assert!(approx_eq(
             Metric::Chessboard.mindist_point_rect(&p, &r),
             4.0
@@ -319,7 +313,10 @@ mod tests {
         let r = q.to_rect();
         let p = Point::xy(0.0, 0.0);
         for m in METRICS {
-            assert!(approx_eq(m.minmaxdist_point_rect(&p, &r), m.distance(&p, &q)));
+            assert!(approx_eq(
+                m.minmaxdist_point_rect(&p, &r),
+                m.distance(&p, &q)
+            ));
             assert!(approx_eq(
                 m.minmaxdist_rect_rect(&p.to_rect(), &r),
                 m.distance(&p, &q)

@@ -95,7 +95,12 @@ mod tests {
 
     #[test]
     fn sort_stability() {
-        let mut v = vec![OrdF64::new(3.0), OrdF64::new(1.0), OrdF64::INFINITY, OrdF64::ZERO];
+        let mut v = vec![
+            OrdF64::new(3.0),
+            OrdF64::new(1.0),
+            OrdF64::INFINITY,
+            OrdF64::ZERO,
+        ];
         v.sort();
         let raw: Vec<f64> = v.into_iter().map(OrdF64::get).collect();
         assert_eq!(raw, vec![0.0, 1.0, 3.0, f64::INFINITY]);

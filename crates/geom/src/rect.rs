@@ -341,7 +341,11 @@ mod tests {
 
     #[test]
     fn bounding_points() {
-        let pts = [Point::xy(1.0, 5.0), Point::xy(-2.0, 3.0), Point::xy(0.0, 7.0)];
+        let pts = [
+            Point::xy(1.0, 5.0),
+            Point::xy(-2.0, 3.0),
+            Point::xy(0.0, 7.0),
+        ];
         let b = Rect::bounding(pts.iter());
         assert_eq!(b, r([-2.0, 3.0], [1.0, 7.0]));
         let none: [Point<2>; 0] = [];

@@ -88,6 +88,32 @@ impl<K: Ord, V> PairingHeap<K, V> {
         })
     }
 
+    /// Ensures space for `additional` more elements without reallocating the
+    /// arena (beyond slots recycled through the free list).
+    pub fn reserve(&mut self, additional: usize) {
+        let fresh_needed = additional.saturating_sub(self.free.len());
+        let spare = self.slots.capacity() - self.slots.len();
+        if fresh_needed > spare {
+            self.slots.reserve(fresh_needed - spare);
+        }
+    }
+
+    /// Inserts a batch of elements, growing the arena at most once. Each
+    /// insertion is still the O(1) root merge, so this is `push` in a loop
+    /// minus the incremental reallocation — the join engine's expansion loops
+    /// use it to enqueue a node's children in one call.
+    pub fn push_batch<I>(&mut self, batch: I)
+    where
+        I: IntoIterator<Item = (K, V)>,
+    {
+        let batch = batch.into_iter();
+        let (lower, _) = batch.size_hint();
+        self.reserve(lower);
+        for (key, value) in batch {
+            self.push(key, value);
+        }
+    }
+
     /// Inserts an element. O(1).
     pub fn push(&mut self, key: K, value: V) {
         let idx = match self.free.pop() {
@@ -286,6 +312,41 @@ mod tests {
         h.push(0, ());
         assert_eq!(h.high_water_mark(), 50);
         assert_eq!(h.len(), 21);
+    }
+
+    #[test]
+    fn push_batch_orders_like_push() {
+        let mut batched = PairingHeap::new();
+        let mut serial = PairingHeap::new();
+        batched.push(7, ());
+        serial.push(7, ());
+        batched.push_batch([4, 9, 1, 4].map(|k| (k, ())));
+        for k in [4, 9, 1, 4] {
+            serial.push(k, ());
+        }
+        assert_eq!(batched.len(), 5);
+        while let Some((k, ())) = batched.pop() {
+            assert_eq!(Some(k), serial.pop().map(|(k, ())| k));
+        }
+        assert!(serial.is_empty());
+    }
+
+    #[test]
+    fn reserve_prevents_incremental_growth() {
+        let mut h: PairingHeap<u32, ()> = PairingHeap::new();
+        h.reserve(64);
+        let cap = h.slots.capacity();
+        assert!(cap >= 64);
+        for k in 0..64 {
+            h.push(k, ());
+        }
+        assert_eq!(h.slots.capacity(), cap, "no reallocation during pushes");
+        // Recycled slots count toward a later reservation.
+        for _ in 0..64 {
+            h.pop();
+        }
+        h.reserve(64);
+        assert_eq!(h.slots.capacity(), cap);
     }
 
     #[test]

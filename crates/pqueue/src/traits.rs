@@ -95,7 +95,9 @@ mod tests {
     #[test]
     fn ordf64_codec_roundtrip() {
         let mut buf = [0u8; 8];
-        OrdF64::new(12.5).encode(&mut PageWriter::new(&mut buf)).unwrap();
+        OrdF64::new(12.5)
+            .encode(&mut PageWriter::new(&mut buf))
+            .unwrap();
         let back = OrdF64::decode(&mut PageReader::new(&buf)).unwrap();
         assert_eq!(back.get(), 12.5);
     }
@@ -103,8 +105,13 @@ mod tests {
     #[test]
     fn u64_codec_roundtrip() {
         let mut buf = [0u8; 8];
-        0xDEAD_BEEF_u64.encode(&mut PageWriter::new(&mut buf)).unwrap();
-        assert_eq!(u64::decode(&mut PageReader::new(&buf)).unwrap(), 0xDEAD_BEEF);
+        0xDEAD_BEEF_u64
+            .encode(&mut PageWriter::new(&mut buf))
+            .unwrap();
+        assert_eq!(
+            u64::decode(&mut PageReader::new(&buf)).unwrap(),
+            0xDEAD_BEEF
+        );
     }
 
     #[test]

@@ -1,0 +1,82 @@
+//! `any::<T>()` — canonical strategies per type.
+
+use std::fmt::Debug;
+use std::marker::PhantomData;
+
+use crate::strategy::Strategy;
+use crate::test_runner::TestRng;
+
+/// Types with a canonical generation strategy.
+pub trait Arbitrary: Debug {
+    /// Draws an arbitrary value.
+    fn arbitrary(rng: &mut TestRng) -> Self;
+}
+
+/// The canonical strategy for `T` (see [`Arbitrary`]).
+#[must_use]
+pub fn any<T: Arbitrary>() -> Any<T> {
+    Any(PhantomData)
+}
+
+/// Strategy returned by [`any`].
+#[derive(Clone, Copy, Debug)]
+pub struct Any<T>(PhantomData<T>);
+
+impl<T: Arbitrary> Strategy for Any<T> {
+    type Value = T;
+
+    fn generate(&self, rng: &mut TestRng) -> T {
+        T::arbitrary(rng)
+    }
+}
+
+impl Arbitrary for bool {
+    fn arbitrary(rng: &mut TestRng) -> bool {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+macro_rules! int_arbitrary {
+    ($($t:ty),*) => {$(
+        impl Arbitrary for $t {
+            #[allow(clippy::cast_possible_truncation, clippy::cast_lossless)]
+            fn arbitrary(rng: &mut TestRng) -> $t {
+                rng.next_u64() as $t
+            }
+        }
+    )*};
+}
+
+int_arbitrary!(u8, u16, u32, u64, usize, i8, i16, i32, i64);
+
+impl Arbitrary for f64 {
+    /// A finite value with a wide dynamic range (mantissa scaled by a
+    /// bounded power of two), never NaN or infinite.
+    fn arbitrary(rng: &mut TestRng) -> f64 {
+        let mantissa = rng.unit_f64() * 2.0 - 1.0;
+        let exponent = (rng.below(61) as i32) - 30;
+        mantissa * f64::powi(2.0, exponent)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn any_generates_all_bools() {
+        let mut rng = TestRng::seed_from_u64(5);
+        let strat = any::<bool>();
+        let vals: Vec<bool> = (0..100).map(|_| strat.generate(&mut rng)).collect();
+        assert!(vals.iter().any(|v| *v));
+        assert!(vals.iter().any(|v| !*v));
+    }
+
+    #[test]
+    fn any_f64_is_finite() {
+        let mut rng = TestRng::seed_from_u64(6);
+        for _ in 0..1000 {
+            assert!(any::<f64>().generate(&mut rng).is_finite());
+        }
+    }
+}

@@ -1,0 +1,43 @@
+//! Sampling strategies (`prop::sample::select`).
+
+use std::fmt::Debug;
+
+use crate::strategy::Strategy;
+use crate::test_runner::TestRng;
+
+/// Uniform choice among the given values.
+///
+/// # Panics
+/// Panics if `values` is empty.
+pub fn select<T: Clone + Debug>(values: Vec<T>) -> Select<T> {
+    assert!(!values.is_empty(), "select over no values");
+    Select { values }
+}
+
+/// Strategy returned by [`select`].
+#[derive(Clone, Debug)]
+pub struct Select<T> {
+    values: Vec<T>,
+}
+
+impl<T: Clone + Debug> Strategy for Select<T> {
+    type Value = T;
+
+    fn generate(&self, rng: &mut TestRng) -> T {
+        self.values[rng.below(self.values.len() as u64) as usize].clone()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hits_every_value() {
+        let mut rng = TestRng::seed_from_u64(11);
+        let strat = select(vec!['a', 'b', 'c']);
+        let drawn: std::collections::HashSet<char> =
+            (0..200).map(|_| strat.generate(&mut rng)).collect();
+        assert_eq!(drawn.len(), 3);
+    }
+}

@@ -1,0 +1,254 @@
+//! The [`Strategy`] trait and its combinators.
+
+use std::fmt::Debug;
+use std::ops::{Range, RangeInclusive};
+
+use crate::test_runner::TestRng;
+
+/// A recipe for generating values of one type.
+///
+/// Unlike upstream proptest there is no value tree and no shrinking: a
+/// strategy simply draws a value from the runner's RNG.
+pub trait Strategy {
+    /// The generated type.
+    type Value: Debug;
+
+    /// Draws one value.
+    fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Maps generated values through `f`.
+    fn prop_map<O, F>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        O: Debug,
+        F: Fn(Self::Value) -> O,
+    {
+        Map { inner: self, f }
+    }
+}
+
+impl<V: Debug, S: Strategy<Value = V> + ?Sized> Strategy for Box<S> {
+    type Value = V;
+
+    fn generate(&self, rng: &mut TestRng) -> V {
+        (**self).generate(rng)
+    }
+}
+
+impl<V: Debug, S: Strategy<Value = V> + ?Sized> Strategy for &S {
+    type Value = V;
+
+    fn generate(&self, rng: &mut TestRng) -> V {
+        (**self).generate(rng)
+    }
+}
+
+/// Boxes a strategy behind `dyn Strategy` (used by `prop_oneof!` to unify
+/// branch types).
+pub fn boxed<S>(strategy: S) -> Box<dyn Strategy<Value = S::Value>>
+where
+    S: Strategy + 'static,
+{
+    Box::new(strategy)
+}
+
+/// A strategy that always yields a clone of one value.
+#[derive(Clone, Debug)]
+pub struct Just<T: Clone + Debug>(pub T);
+
+impl<T: Clone + Debug> Strategy for Just<T> {
+    type Value = T;
+
+    fn generate(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+/// The [`Strategy::prop_map`] combinator.
+#[derive(Clone, Debug)]
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S, O, F> Strategy for Map<S, F>
+where
+    S: Strategy,
+    O: Debug,
+    F: Fn(S::Value) -> O,
+{
+    type Value = O;
+
+    fn generate(&self, rng: &mut TestRng) -> O {
+        (self.f)(self.inner.generate(rng))
+    }
+}
+
+/// The `prop_oneof!` combinator: weighted choice among strategies of one
+/// value type.
+pub struct Union<V> {
+    branches: Vec<(u32, Box<dyn Strategy<Value = V>>)>,
+    total: u64,
+}
+
+impl<V: Debug> Union<V> {
+    /// Builds a union from weighted boxed branches.
+    ///
+    /// # Panics
+    /// Panics if `branches` is empty or all weights are zero.
+    #[must_use]
+    pub fn new(branches: Vec<(u32, Box<dyn Strategy<Value = V>>)>) -> Self {
+        let total: u64 = branches.iter().map(|(w, _)| u64::from(*w)).sum();
+        assert!(total > 0, "prop_oneof! needs a positive total weight");
+        Self { branches, total }
+    }
+}
+
+impl<V: Debug> Strategy for Union<V> {
+    type Value = V;
+
+    fn generate(&self, rng: &mut TestRng) -> V {
+        let mut pick = rng.below(self.total);
+        for (weight, branch) in &self.branches {
+            let weight = u64::from(*weight);
+            if pick < weight {
+                return branch.generate(rng);
+            }
+            pick -= weight;
+        }
+        unreachable!("weights sum to total")
+    }
+}
+
+impl Strategy for Range<f64> {
+    type Value = f64;
+
+    fn generate(&self, rng: &mut TestRng) -> f64 {
+        assert!(self.start < self.end, "empty strategy range");
+        let v = self.start + rng.unit_f64() * (self.end - self.start);
+        if v < self.end {
+            v
+        } else {
+            self.start
+        }
+    }
+}
+
+impl Strategy for RangeInclusive<f64> {
+    type Value = f64;
+
+    fn generate(&self, rng: &mut TestRng) -> f64 {
+        let (lo, hi) = (*self.start(), *self.end());
+        assert!(lo <= hi, "empty strategy range");
+        lo + rng.unit_f64() * (hi - lo)
+    }
+}
+
+macro_rules! int_range_inclusive_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for RangeInclusive<$t> {
+            type Value = $t;
+
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                let (lo, hi) = (*self.start(), *self.end());
+                assert!(lo <= hi, "empty strategy range");
+                let span = (hi as u128).wrapping_sub(lo as u128).wrapping_add(1);
+                let offset = if span == 0 {
+                    u128::from(rng.next_u64()) << 64 | u128::from(rng.next_u64())
+                } else {
+                    u128::from(rng.next_u64()) % span
+                };
+                (lo as u128).wrapping_add(offset) as $t
+            }
+        }
+    )*};
+}
+
+int_range_inclusive_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64);
+
+macro_rules! int_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "empty strategy range");
+                let span = (self.end as u128).wrapping_sub(self.start as u128);
+                let offset = u128::from(rng.next_u64()) % span;
+                (self.start as u128).wrapping_add(offset) as $t
+            }
+        }
+    )*};
+}
+
+int_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64);
+
+macro_rules! tuple_strategy {
+    ($($name:ident),+) => {
+        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+            type Value = ($($name::Value,)+);
+
+            #[allow(non_snake_case)]
+            fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                let ($($name,)+) = self;
+                ($($name.generate(rng),)+)
+            }
+        }
+    };
+}
+
+tuple_strategy!(A);
+tuple_strategy!(A, B);
+tuple_strategy!(A, B, C);
+tuple_strategy!(A, B, C, D);
+tuple_strategy!(A, B, C, D, E);
+tuple_strategy!(A, B, C, D, E, F);
+tuple_strategy!(A, B, C, D, E, F, G);
+tuple_strategy!(A, B, C, D, E, F, G, H);
+tuple_strategy!(A, B, C, D, E, F, G, H, I);
+tuple_strategy!(A, B, C, D, E, F, G, H, I, J);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rng() -> TestRng {
+        TestRng::seed_from_u64(42)
+    }
+
+    #[test]
+    fn ranges_and_tuples() {
+        let mut rng = rng();
+        for _ in 0..1000 {
+            let (a, b) = (0u32..10, -5i64..5).generate(&mut rng);
+            assert!(a < 10);
+            assert!((-5..5).contains(&b));
+            let f = (0.25..0.75f64).generate(&mut rng);
+            assert!((0.25..0.75).contains(&f));
+        }
+    }
+
+    #[test]
+    fn map_and_just() {
+        let mut rng = rng();
+        let doubled = (1u32..5).prop_map(|v| v * 2);
+        for _ in 0..100 {
+            let v = doubled.generate(&mut rng);
+            assert!(v % 2 == 0 && (2..10).contains(&v));
+        }
+        assert_eq!(Just(7u8).generate(&mut rng), 7);
+    }
+
+    #[test]
+    fn union_respects_weights() {
+        let mut rng = rng();
+        let u = Union::new(vec![(9, boxed(Just(1u8))), (1, boxed(Just(2u8)))]);
+        let mut ones = 0;
+        for _ in 0..1000 {
+            if u.generate(&mut rng) == 1 {
+                ones += 1;
+            }
+        }
+        assert!(ones > 800, "ones = {ones}");
+    }
+}

@@ -1,0 +1,185 @@
+//! Case generation and the test-runner loop.
+
+/// Runner configuration. Only the case count is honoured by this shim.
+#[derive(Clone, Copy, Debug)]
+pub struct ProptestConfig {
+    /// Number of passing cases required for the test to succeed.
+    pub cases: u32,
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        Self { cases: 256 }
+    }
+}
+
+impl ProptestConfig {
+    /// A configuration running `cases` cases.
+    #[must_use]
+    pub fn with_cases(cases: u32) -> Self {
+        Self { cases }
+    }
+}
+
+/// Why a single case did not pass.
+#[derive(Clone, Debug)]
+pub enum TestCaseError {
+    /// The case was discarded by `prop_assume!`.
+    Reject,
+    /// A `prop_assert*!` failed.
+    Fail(String),
+}
+
+impl TestCaseError {
+    /// A failure carrying `message`.
+    #[must_use]
+    pub fn fail(message: String) -> Self {
+        TestCaseError::Fail(message)
+    }
+}
+
+/// The deterministic generator driving value generation (xoshiro256++).
+#[derive(Clone, Debug)]
+pub struct TestRng {
+    s: [u64; 4],
+}
+
+impl TestRng {
+    pub(crate) fn seed_from_u64(state: u64) -> Self {
+        let mut sm = state;
+        let mut next = || {
+            sm = sm.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = sm;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        };
+        Self {
+            s: [next(), next(), next(), next()],
+        }
+    }
+
+    /// The next 64 uniform bits.
+    pub fn next_u64(&mut self) -> u64 {
+        let s = &mut self.s;
+        let result = s[0].wrapping_add(s[3]).rotate_left(23).wrapping_add(s[0]);
+        let t = s[1] << 17;
+        s[2] ^= s[0];
+        s[3] ^= s[1];
+        s[1] ^= s[2];
+        s[0] ^= s[3];
+        s[2] ^= t;
+        s[3] = s[3].rotate_left(45);
+        result
+    }
+
+    /// A uniform value below `n`.
+    ///
+    /// # Panics
+    /// Panics if `n` is zero.
+    pub fn below(&mut self, n: u64) -> u64 {
+        assert!(n > 0, "below(0)");
+        self.next_u64() % n
+    }
+
+    /// A uniform value in `[0, 1)`.
+    pub fn unit_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+/// FNV-1a over the test name, so every test gets its own stable seed.
+fn name_seed(name: &str) -> u64 {
+    let mut h = 0xCBF2_9CE4_8422_2325u64;
+    for b in name.bytes() {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    h
+}
+
+/// Runs `case` until `config.cases` cases pass, panicking on the first
+/// failure with the generated inputs. `prop_assume!` rejections are retried,
+/// up to a global cap.
+///
+/// # Panics
+/// Panics when a case fails or too many cases are rejected.
+pub fn run_cases(
+    config: ProptestConfig,
+    name: &str,
+    mut case: impl FnMut(&mut TestRng) -> (String, Result<(), TestCaseError>),
+) {
+    let seed = name_seed(name);
+    let mut passed = 0u32;
+    let mut rejected = 0u32;
+    let max_rejects = config.cases.saturating_mul(20).max(1024);
+    let mut index = 0u64;
+    while passed < config.cases {
+        let mut rng = TestRng::seed_from_u64(seed ^ index.wrapping_mul(0x9E37_79B9_7F4A_7C15));
+        index += 1;
+        let (inputs, outcome) = case(&mut rng);
+        match outcome {
+            Ok(()) => passed += 1,
+            Err(TestCaseError::Reject) => {
+                rejected += 1;
+                assert!(
+                    rejected <= max_rejects,
+                    "{name}: too many prop_assume! rejections ({rejected}) — \
+                     strategy rarely satisfies the assumption"
+                );
+            }
+            Err(TestCaseError::Fail(message)) => {
+                panic!(
+                    "{name}: property failed at case #{index} (seed {seed:#x})\n\
+                     {message}\ninputs:\n{inputs}"
+                );
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn runs_requested_cases() {
+        let mut count = 0;
+        run_cases(ProptestConfig::with_cases(10), "t", |_| {
+            count += 1;
+            (String::new(), Ok(()))
+        });
+        assert_eq!(count, 10);
+    }
+
+    #[test]
+    #[should_panic(expected = "property failed")]
+    fn failure_panics() {
+        run_cases(ProptestConfig::with_cases(5), "t", |_| {
+            (String::new(), Err(TestCaseError::fail("boom".into())))
+        });
+    }
+
+    #[test]
+    #[should_panic(expected = "too many prop_assume! rejections")]
+    fn reject_storm_panics() {
+        run_cases(ProptestConfig::with_cases(1), "t", |_| {
+            (String::new(), Err(TestCaseError::Reject))
+        });
+    }
+
+    #[test]
+    fn rng_is_deterministic_per_name() {
+        let mut first = Vec::new();
+        run_cases(ProptestConfig::with_cases(3), "same", |rng| {
+            first.push(rng.next_u64());
+            (String::new(), Ok(()))
+        });
+        let mut second = Vec::new();
+        run_cases(ProptestConfig::with_cases(3), "same", |rng| {
+            second.push(rng.next_u64());
+            (String::new(), Ok(()))
+        });
+        assert_eq!(first, second);
+    }
+}

@@ -274,8 +274,14 @@ mod tests {
             assert_eq!(sub.area(), 4.0);
             assert!(region.contains_rect(&sub));
         }
-        assert_eq!(quadrant_region(&region, 0), Rect::new([0.0, 0.0], [2.0, 2.0]));
-        assert_eq!(quadrant_region(&region, 3), Rect::new([2.0, 2.0], [4.0, 4.0]));
+        assert_eq!(
+            quadrant_region(&region, 0),
+            Rect::new([0.0, 0.0], [2.0, 2.0])
+        );
+        assert_eq!(
+            quadrant_region(&region, 3),
+            Rect::new([2.0, 2.0], [4.0, 4.0])
+        );
     }
 
     #[test]

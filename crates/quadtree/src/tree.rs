@@ -6,8 +6,7 @@ use sdj_rtree::ObjectId;
 use sdj_storage::{BufferPool, PageId, Pager, PoolStats, Result};
 
 use crate::node::{
-    fan_out, leaf_capacity, min_internal_page, quadrant_of, quadrant_region, QuadNode,
-    QuadNodeKind,
+    fan_out, leaf_capacity, min_internal_page, quadrant_of, quadrant_region, QuadNode, QuadNodeKind,
 };
 
 /// Construction parameters of a [`PrQuadtree`].
@@ -204,10 +203,8 @@ impl<const D: usize> PrQuadtree<D> {
                     Some(child) => self.insert_into(child, oid, point),
                     None => {
                         let child = self.pool.allocate();
-                        let mut leaf = QuadNode::empty_leaf(
-                            node.depth + 1,
-                            quadrant_region(&node.region, q),
-                        );
+                        let mut leaf =
+                            QuadNode::empty_leaf(node.depth + 1, quadrant_region(&node.region, q));
                         let QuadNodeKind::Leaf { points, .. } = &mut leaf.kind else {
                             unreachable!()
                         };
@@ -268,11 +265,7 @@ impl<const D: usize> PrQuadtree<D> {
             }
             match node.kind {
                 QuadNodeKind::Leaf { points, next } => {
-                    out.extend(
-                        points
-                            .into_iter()
-                            .filter(|(_, p)| window.contains_point(p)),
-                    );
+                    out.extend(points.into_iter().filter(|(_, p)| window.contains_point(p)));
                     if !next.is_invalid() {
                         stack.push(next);
                     }
@@ -471,7 +464,12 @@ mod tests {
         let tree = build(&pts, 4);
         tree.validate().unwrap();
         assert_eq!(tree.len(), 500);
-        let mut ids: Vec<u64> = tree.all_objects().unwrap().iter().map(|(o, _)| o.0).collect();
+        let mut ids: Vec<u64> = tree
+            .all_objects()
+            .unwrap()
+            .iter()
+            .map(|(o, _)| o.0)
+            .collect();
         ids.sort_unstable();
         assert_eq!(ids, (0..500).collect::<Vec<u64>>());
     }
@@ -565,8 +563,7 @@ mod tests {
                         let child = SpatialIndex::read_node(&tree, *id).unwrap();
                         for ce in &child.entries {
                             let lb = Metric::Euclidean.mindist_rect_rect(region, &q.to_rect());
-                            let cd =
-                                Metric::Euclidean.mindist_rect_rect(ce.rect(), &q.to_rect());
+                            let cd = Metric::Euclidean.mindist_rect_rect(ce.rect(), &q.to_rect());
                             assert!(lb <= cd + 1e-12, "region bound must be consistent");
                         }
                         stack.push(child);

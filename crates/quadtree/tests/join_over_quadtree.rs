@@ -2,7 +2,9 @@
 //! runs over PR quadtrees — and over a quadtree joined *against an R-tree*
 //! — and produces exactly the brute-force distance ordering.
 
-use sdj_core::{DistanceJoin, DmaxStrategy, JoinConfig, SemiConfig, SemiFilter, TiePolicy, TraversalPolicy};
+use sdj_core::{
+    DistanceJoin, DmaxStrategy, JoinConfig, SemiConfig, SemiFilter, TiePolicy, TraversalPolicy,
+};
 use sdj_datagen::{tiger, unit_box};
 use sdj_geom::{Metric, Point, Rect};
 use sdj_quadtree::{PrQuadtree, QuadtreeConfig};

@@ -20,7 +20,7 @@ use crate::predicate::Predicate;
 use crate::relation::Relation;
 
 /// One row of a distance-query result.
-#[derive(Clone, Debug, PartialEq)]
+#[derive(Clone, Copy, Debug, PartialEq)]
 pub struct QueryRow {
     /// Row id in the left relation.
     pub left: ObjectId,
@@ -179,8 +179,7 @@ impl<'a> DistanceQuery<'a> {
         match self.plan {
             PlanChoice::Auto => {
                 let sel = |rel: &Relation, p: &Option<Predicate>| {
-                    p.as_ref()
-                        .map_or(1.0, |p| rel.estimate_selectivity(p, 200))
+                    p.as_ref().map_or(1.0, |p| rel.estimate_selectivity(p, 200))
                 };
                 let worst = sel(self.left, &self.left_predicate)
                     .min(sel(self.right, &self.right_predicate));
@@ -333,12 +332,8 @@ impl Iterator for QueryOutput<'_> {
             Inner::Materialized { state } => {
                 if !state.started {
                     state.started = true;
-                    let join = make_join(
-                        &state.left_sub,
-                        &state.right_sub,
-                        state.config,
-                        state.semi,
-                    );
+                    let join =
+                        make_join(&state.left_sub, &state.right_sub, state.config, state.semi);
                     // The sub-relations live inside `state`, so the join
                     // cannot outlive this call; drain it eagerly. The
                     // upfront cost is precisely the non-pipelined nature of
@@ -355,7 +350,7 @@ impl Iterator for QueryOutput<'_> {
                     return None;
                 }
                 state.cursor += 1;
-                state.results[state.cursor - 1].clone()
+                state.results[state.cursor - 1]
             }
         };
         if let Some(n) = &mut self.remaining {
@@ -373,8 +368,7 @@ mod tests {
     use sdj_rtree::RTreeConfig;
 
     fn rivers() -> Relation {
-        let mut r =
-            Relation::with_tree_config("rivers", &["name"], RTreeConfig::small(4));
+        let mut r = Relation::with_tree_config("rivers", &["name"], RTreeConfig::small(4));
         for (i, name) in ["nile", "amazon", "danube"].iter().enumerate() {
             r.insert(Point::xy(10.0 * i as f64, 0.0), vec![Value::from(*name)]);
         }
@@ -382,11 +376,8 @@ mod tests {
     }
 
     fn cities() -> Relation {
-        let mut r = Relation::with_tree_config(
-            "cities",
-            &["name", "population"],
-            RTreeConfig::small(4),
-        );
+        let mut r =
+            Relation::with_tree_config("cities", &["name", "population"], RTreeConfig::small(4));
         let data: [(&str, i64, f64, f64); 5] = [
             ("tiny", 10_000, 0.0, 1.0),
             ("metropolis", 8_000_000, 10.0, 2.0),

@@ -189,14 +189,23 @@ mod tests {
 
     #[test]
     fn boolean_combinators() {
-        let p = Predicate::cmp("population", CmpOp::Gt, 5_000_000i64)
-            .and(Predicate::cmp("name", CmpOp::Eq, "springfield"));
+        let p = Predicate::cmp("population", CmpOp::Gt, 5_000_000i64).and(Predicate::cmp(
+            "name",
+            CmpOp::Eq,
+            "springfield",
+        ));
         assert!(p.eval(&lookup));
-        let q = Predicate::cmp("population", CmpOp::Lt, 5i64)
-            .or(Predicate::cmp("area", CmpOp::Gt, 10.0));
+        let q = Predicate::cmp("population", CmpOp::Lt, 5i64).or(Predicate::cmp(
+            "area",
+            CmpOp::Gt,
+            10.0,
+        ));
         assert!(q.eval(&lookup));
-        let r = Predicate::cmp("population", CmpOp::Lt, 5i64)
-            .and(Predicate::cmp("area", CmpOp::Gt, 10.0));
+        let r = Predicate::cmp("population", CmpOp::Lt, 5i64).and(Predicate::cmp(
+            "area",
+            CmpOp::Gt,
+            10.0,
+        ));
         assert!(!r.eval(&lookup));
     }
 }

@@ -164,11 +164,8 @@ mod tests {
     use crate::predicate::CmpOp;
 
     fn cities() -> Relation {
-        let mut r = Relation::with_tree_config(
-            "cities",
-            &["name", "population"],
-            RTreeConfig::small(4),
-        );
+        let mut r =
+            Relation::with_tree_config("cities", &["name", "population"], RTreeConfig::small(4));
         for (i, (name, pop)) in [
             ("alpha", 100_000i64),
             ("beta", 6_000_000),
@@ -191,7 +188,10 @@ mod tests {
         let r = cities();
         assert_eq!(r.len(), 4);
         assert_eq!(r.value(ObjectId(1), "name"), Some(Value::from("beta")));
-        assert_eq!(r.value(ObjectId(1), "population"), Some(Value::from(6_000_000i64)));
+        assert_eq!(
+            r.value(ObjectId(1), "population"),
+            Some(Value::from(6_000_000i64))
+        );
         assert_eq!(r.value(ObjectId(1), "missing"), None);
         assert_eq!(r.point(ObjectId(2)), Point::xy(2.0, 2.0));
         assert_eq!(r.tree().len(), 4);
@@ -207,7 +207,10 @@ mod tests {
         assert_eq!(all_map.len(), r.len());
         assert_eq!(filtered.len(), 2);
         assert_eq!(mapping, vec![ObjectId(1), ObjectId(3)]);
-        assert_eq!(filtered.value(ObjectId(0), "name"), Some(Value::from("beta")));
+        assert_eq!(
+            filtered.value(ObjectId(0), "name"),
+            Some(Value::from("beta"))
+        );
         assert_eq!(filtered.tree().len(), 2);
     }
 

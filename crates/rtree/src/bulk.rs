@@ -77,7 +77,9 @@ fn str_tile<const D: usize>(
         return vec![entries];
     }
     entries.sort_by(|a, b| {
-        a.mbr.center().coord(axis)
+        a.mbr
+            .center()
+            .coord(axis)
             .partial_cmp(&b.mbr.center().coord(axis))
             .expect("finite centers")
     });
@@ -131,7 +133,12 @@ mod tests {
     fn bulk_load_roundtrip() {
         let tree = RTree::bulk_load(RTreeConfig::small(8), points(1000));
         assert_eq!(tree.len(), 1000);
-        let mut ids: Vec<u64> = tree.all_objects().unwrap().iter().map(|(o, _)| o.0).collect();
+        let mut ids: Vec<u64> = tree
+            .all_objects()
+            .unwrap()
+            .iter()
+            .map(|(o, _)| o.0)
+            .collect();
         ids.sort_unstable();
         assert_eq!(ids.len(), 1000);
         assert_eq!(ids[0], 0);
@@ -169,8 +176,18 @@ mod tests {
             ins.insert(*oid, *mbr).unwrap();
         }
         let window = Rect::new([20.0, 20.0], [60.0, 45.0]);
-        let mut a: Vec<u64> = bulk.query_window(&window).unwrap().iter().map(|(o, _)| o.0).collect();
-        let mut b: Vec<u64> = ins.query_window(&window).unwrap().iter().map(|(o, _)| o.0).collect();
+        let mut a: Vec<u64> = bulk
+            .query_window(&window)
+            .unwrap()
+            .iter()
+            .map(|(o, _)| o.0)
+            .collect();
+        let mut b: Vec<u64> = ins
+            .query_window(&window)
+            .unwrap()
+            .iter()
+            .map(|(o, _)| o.0)
+            .collect();
         a.sort_unstable();
         b.sort_unstable();
         assert_eq!(a, b);

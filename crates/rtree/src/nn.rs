@@ -221,7 +221,10 @@ mod tests {
     fn distances_match_linear_scan_for_k() {
         let (tree, pts) = random_tree(200, 99);
         let q = Point::xy(10.0, 90.0);
-        let mut brute: Vec<f64> = pts.iter().map(|p| Metric::Euclidean.distance(&q, p)).collect();
+        let mut brute: Vec<f64> = pts
+            .iter()
+            .map(|p| Metric::Euclidean.distance(&q, p))
+            .collect();
         brute.sort_by(|a, b| a.partial_cmp(b).unwrap());
         let got: Vec<f64> = tree
             .nearest_neighbors(q, Metric::Euclidean)
@@ -251,7 +254,8 @@ mod tests {
     fn empty_tree_yields_nothing() {
         let tree: RTree<2> = RTree::new(RTreeConfig::small(4));
         assert_eq!(
-            tree.nearest_neighbors(Point::xy(0.0, 0.0), Metric::Euclidean).count(),
+            tree.nearest_neighbors(Point::xy(0.0, 0.0), Metric::Euclidean)
+                .count(),
             0
         );
     }
@@ -262,13 +266,18 @@ mod tests {
         let q = Point::xy(30.0, 60.0);
         let k = tree.k_nearest(q, 12, Metric::Euclidean);
         assert_eq!(k.len(), 12);
-        let mut brute: Vec<f64> = pts.iter().map(|p| Metric::Euclidean.distance(&q, p)).collect();
+        let mut brute: Vec<f64> = pts
+            .iter()
+            .map(|p| Metric::Euclidean.distance(&q, p))
+            .collect();
         brute.sort_by(|a, b| a.partial_cmp(b).unwrap());
         for (n, b) in k.iter().zip(&brute) {
             assert!((n.distance - b).abs() < 1e-9);
         }
         let radius = brute[30];
-        let within: Vec<_> = tree.neighbors_within(q, radius, Metric::Euclidean).collect();
+        let within: Vec<_> = tree
+            .neighbors_within(q, radius, Metric::Euclidean)
+            .collect();
         let want = brute.iter().filter(|d| **d <= radius).count();
         assert_eq!(within.len(), want);
         assert!(within.iter().all(|n| n.distance <= radius));

@@ -305,7 +305,9 @@ impl<const D: usize> RTree<D> {
         let mut parent = self.read_node(parent_page)?;
         debug_assert_eq!(parent.entries[child_idx].child_page(), page);
         parent.entries[child_idx].mbr = split.first_mbr;
-        parent.entries.push(Entry::child(split.second_mbr, new_page));
+        parent
+            .entries
+            .push(Entry::child(split.second_mbr, new_page));
         self.add_and_treat(parent_page, parent, path, reinserted_levels)
     }
 
@@ -484,8 +486,8 @@ fn choose_subtree<const D: usize>(node: &Node<D>, mbr: &Rect<D>) -> usize {
             let mut overlap_delta = 0.0;
             for (j, other) in node.entries.iter().enumerate() {
                 if i != j {
-                    overlap_delta += enlarged.overlap_area(&other.mbr)
-                        - e.mbr.overlap_area(&other.mbr);
+                    overlap_delta +=
+                        enlarged.overlap_area(&other.mbr) - e.mbr.overlap_area(&other.mbr);
                 }
             }
             let key = (overlap_delta, e.mbr.enlargement(mbr), e.mbr.area());
@@ -540,7 +542,12 @@ mod tests {
     #[test]
     fn all_objects_complete() {
         let tree = grid_tree(77, 5);
-        let mut ids: Vec<u64> = tree.all_objects().unwrap().iter().map(|(o, _)| o.0).collect();
+        let mut ids: Vec<u64> = tree
+            .all_objects()
+            .unwrap()
+            .iter()
+            .map(|(o, _)| o.0)
+            .collect();
         ids.sort_unstable();
         assert_eq!(ids, (0..77).collect::<Vec<u64>>());
     }
@@ -575,7 +582,12 @@ mod tests {
             tree.validate().unwrap();
         }
         assert_eq!(tree.len(), 30);
-        let ids: Vec<u64> = tree.all_objects().unwrap().iter().map(|(o, _)| o.0).collect();
+        let ids: Vec<u64> = tree
+            .all_objects()
+            .unwrap()
+            .iter()
+            .map(|(o, _)| o.0)
+            .collect();
         assert!(ids.iter().all(|i| i % 2 == 1));
     }
 
@@ -604,7 +616,9 @@ mod tests {
     fn io_stats_accumulate() {
         let tree = grid_tree(200, 4);
         tree.reset_io_stats();
-        let _ = tree.query_window(&Rect::new([0.0, 0.0], [20.0, 20.0])).unwrap();
+        let _ = tree
+            .query_window(&Rect::new([0.0, 0.0], [20.0, 20.0]))
+            .unwrap();
         let stats = tree.io_stats();
         assert!(stats.accesses() > 0);
     }
@@ -628,7 +642,9 @@ mod tests {
         tree.validate().unwrap();
         assert_eq!(tree.len(), 50);
         assert_eq!(
-            tree.query_window(&Rect::new([1.0, 1.0], [1.0, 1.0])).unwrap().len(),
+            tree.query_window(&Rect::new([1.0, 1.0], [1.0, 1.0]))
+                .unwrap()
+                .len(),
             50
         );
     }
@@ -643,7 +659,9 @@ mod tests {
                 .unwrap();
         }
         tree.validate().unwrap();
-        let hits = tree.query_window(&Rect::new([0.0, 0.0], [4.0, 4.0])).unwrap();
+        let hits = tree
+            .query_window(&Rect::new([0.0, 0.0], [4.0, 4.0]))
+            .unwrap();
         assert!(hits.len() >= 4);
     }
 }

@@ -24,7 +24,13 @@ impl<const D: usize> RTree<D> {
         let mut seen_pages: HashSet<PageId> = HashSet::new();
         let mut seen_objects: HashSet<u64> = HashSet::new();
         let root_level = self.height() - 1;
-        self.validate_node(self.root_id(), root_level, true, &mut seen_pages, &mut seen_objects)?;
+        self.validate_node(
+            self.root_id(),
+            root_level,
+            true,
+            &mut seen_pages,
+            &mut seen_objects,
+        )?;
         if seen_objects.len() != self.len() {
             return Err(format!(
                 "tree reports len {} but holds {} objects",
@@ -114,7 +120,6 @@ fn rects_equal<const D: usize>(a: &Rect<D>, b: &Rect<D>) -> bool {
     if a.is_empty() && b.is_empty() {
         return true;
     }
-    (0..D).all(|axis| {
-        approx_eq(a.lo()[axis], b.lo()[axis]) && approx_eq(a.hi()[axis], b.hi()[axis])
-    })
+    (0..D)
+        .all(|axis| approx_eq(a.lo()[axis], b.lo()[axis]) && approx_eq(a.hi()[axis], b.hi()[axis]))
 }

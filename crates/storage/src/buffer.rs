@@ -8,9 +8,14 @@
 //!
 //! The recency list is an intrusive doubly-linked list over frame indices, so
 //! hits, evictions and invalidations are all O(1) (plus hashing).
+//!
+//! The pool is internally synchronised with a [`Mutex`] so that indexes built
+//! on top of it are `Sync` and can be shared across the parallel executor's
+//! worker threads. Distance computation dominates node reads in the join hot
+//! path, so the single lock is not a meaningful serialisation point.
 
-use std::cell::RefCell;
 use std::collections::HashMap;
+use std::sync::Mutex;
 
 use crate::{PageId, Pager, Result};
 
@@ -63,12 +68,12 @@ struct PoolInner {
 /// Methods take `&self`: the pool uses interior mutability so that read-only
 /// index traversals can fault pages without exclusive access to the tree.
 pub struct BufferPool {
-    inner: RefCell<PoolInner>,
+    inner: Mutex<PoolInner>,
 }
 
 impl std::fmt::Debug for BufferPool {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        let inner = self.inner.borrow();
+        let inner = self.lock();
         f.debug_struct("BufferPool")
             .field("capacity", &inner.capacity)
             .field("resident", &inner.frames.len())
@@ -86,7 +91,7 @@ impl BufferPool {
     pub fn new(pager: Pager, capacity: usize) -> Self {
         assert!(capacity > 0, "buffer pool needs at least one frame");
         Self {
-            inner: RefCell::new(PoolInner {
+            inner: Mutex::new(PoolInner {
                 pager,
                 frames: Vec::with_capacity(capacity.min(4096)),
                 map: HashMap::new(),
@@ -98,20 +103,28 @@ impl BufferPool {
         }
     }
 
+    /// Acquires the pool lock; a poisoned lock is recovered since every
+    /// invariant of `PoolInner` holds between public calls.
+    fn lock(&self) -> std::sync::MutexGuard<'_, PoolInner> {
+        self.inner
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+    }
+
     /// The underlying page size.
     #[must_use]
     pub fn page_size(&self) -> usize {
-        self.inner.borrow().pager.page_size()
+        self.lock().pager.page_size()
     }
 
     /// Allocates a new zero-filled page on the underlying pager.
     pub fn allocate(&self) -> PageId {
-        self.inner.borrow_mut().pager.allocate()
+        self.lock().pager.allocate()
     }
 
     /// Frees a page, dropping any cached copy of it.
     pub fn free(&self, id: PageId) -> Result<()> {
-        let mut inner = self.inner.borrow_mut();
+        let mut inner = self.lock();
         if let Some(idx) = inner.map.remove(&id) {
             inner.unlink(idx);
             inner.discard_frame(idx);
@@ -121,7 +134,7 @@ impl BufferPool {
 
     /// Reads page `id` through the cache, calling `f` with its bytes.
     pub fn with_page<R>(&self, id: PageId, f: impl FnOnce(&[u8]) -> R) -> Result<R> {
-        let mut inner = self.inner.borrow_mut();
+        let mut inner = self.lock();
         let idx = inner.fetch(id)?;
         Ok(f(&inner.frames[idx].data))
     }
@@ -134,7 +147,7 @@ impl BufferPool {
     /// Writes page `id` through the cache (write-back: the page is marked
     /// dirty and flushed on eviction or [`BufferPool::flush_all`]).
     pub fn write(&self, id: PageId, buf: &[u8]) -> Result<()> {
-        let mut inner = self.inner.borrow_mut();
+        let mut inner = self.lock();
         let idx = inner.fetch(id)?;
         inner.frames[idx].data.copy_from_slice(buf);
         inner.frames[idx].dirty = true;
@@ -143,7 +156,7 @@ impl BufferPool {
 
     /// Modifies page `id` in place through the cache, marking it dirty.
     pub fn update<R>(&self, id: PageId, f: impl FnOnce(&mut [u8]) -> R) -> Result<R> {
-        let mut inner = self.inner.borrow_mut();
+        let mut inner = self.lock();
         let idx = inner.fetch(id)?;
         let r = f(&mut inner.frames[idx].data);
         inner.frames[idx].dirty = true;
@@ -152,7 +165,7 @@ impl BufferPool {
 
     /// Writes all dirty frames back to the pager.
     pub fn flush_all(&self) -> Result<()> {
-        let mut inner = self.inner.borrow_mut();
+        let mut inner = self.lock();
         for idx in 0..inner.frames.len() {
             if inner.frames[idx].dirty {
                 let id = inner.frames[idx].page;
@@ -171,18 +184,18 @@ impl BufferPool {
     /// Current pool counters.
     #[must_use]
     pub fn stats(&self) -> PoolStats {
-        self.inner.borrow().stats
+        self.lock().stats
     }
 
     /// Current disk counters of the underlying pager.
     #[must_use]
     pub fn disk_stats(&self) -> crate::DiskStats {
-        self.inner.borrow().pager.stats()
+        self.lock().pager.stats()
     }
 
     /// Resets pool and disk counters.
     pub fn reset_stats(&self) {
-        let mut inner = self.inner.borrow_mut();
+        let mut inner = self.lock();
         inner.stats = PoolStats::default();
         inner.pager.reset_stats();
     }
@@ -190,13 +203,17 @@ impl BufferPool {
     /// Number of frames currently resident.
     #[must_use]
     pub fn resident(&self) -> usize {
-        self.inner.borrow().map.len()
+        self.lock().map.len()
     }
 
     /// Consumes the pool, flushing dirty pages, and returns the pager.
     pub fn into_pager(self) -> Result<Pager> {
         self.flush_all()?;
-        Ok(self.inner.into_inner().pager)
+        Ok(self
+            .inner
+            .into_inner()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+            .pager)
     }
 
     /// Flushes dirty pages and writes the full disk image to `out`.
@@ -205,7 +222,7 @@ impl BufferPool {
         out: &mut impl std::io::Write,
     ) -> std::result::Result<(), crate::PersistError> {
         self.flush_all()?;
-        self.inner.borrow_mut().pager.save_to(out)
+        self.lock().pager.save_to(out)
     }
 }
 

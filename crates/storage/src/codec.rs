@@ -194,7 +194,11 @@ mod tests {
         w.put_u32(1).unwrap();
         assert!(matches!(
             w.put_u8(1),
-            Err(StorageError::OutOfBounds { offset: 4, len: 1, size: 4 })
+            Err(StorageError::OutOfBounds {
+                offset: 4,
+                len: 1,
+                size: 4
+            })
         ));
     }
 

@@ -13,7 +13,11 @@ pub enum StorageError {
     /// A read or write buffer did not match the pager's page size.
     BadBufferSize { expected: usize, actual: usize },
     /// A codec read ran past the end of a page, or encoded data did not fit.
-    OutOfBounds { offset: usize, len: usize, size: usize },
+    OutOfBounds {
+        offset: usize,
+        len: usize,
+        size: usize,
+    },
     /// Decoded bytes were structurally invalid.
     Corrupt(&'static str),
 }
@@ -24,7 +28,10 @@ impl fmt::Display for StorageError {
             StorageError::UnknownPage(id) => write!(f, "unknown page id {id}"),
             StorageError::FreedPage(id) => write!(f, "page {id} has been freed"),
             StorageError::BadBufferSize { expected, actual } => {
-                write!(f, "buffer size {actual} does not match page size {expected}")
+                write!(
+                    f,
+                    "buffer size {actual} does not match page size {expected}"
+                )
             }
             StorageError::OutOfBounds { offset, len, size } => write!(
                 f,
@@ -43,13 +50,25 @@ mod tests {
 
     #[test]
     fn display_messages() {
-        assert_eq!(StorageError::UnknownPage(7).to_string(), "unknown page id 7");
-        assert!(StorageError::BadBufferSize { expected: 1024, actual: 10 }
+        assert_eq!(
+            StorageError::UnknownPage(7).to_string(),
+            "unknown page id 7"
+        );
+        assert!(StorageError::BadBufferSize {
+            expected: 1024,
+            actual: 10
+        }
+        .to_string()
+        .contains("1024"));
+        assert!(StorageError::OutOfBounds {
+            offset: 1020,
+            len: 8,
+            size: 1024
+        }
+        .to_string()
+        .contains("1020"));
+        assert!(StorageError::Corrupt("bad tag")
             .to_string()
-            .contains("1024"));
-        assert!(StorageError::OutOfBounds { offset: 1020, len: 8, size: 1024 }
-            .to_string()
-            .contains("1020"));
-        assert!(StorageError::Corrupt("bad tag").to_string().contains("bad tag"));
+            .contains("bad tag"));
     }
 }

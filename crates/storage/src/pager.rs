@@ -88,7 +88,8 @@ impl Pager {
             return id;
         }
         let id = PageId(u32::try_from(self.pages.len()).expect("pager overflow"));
-        self.pages.push(Some(vec![0u8; self.page_size].into_boxed_slice()));
+        self.pages
+            .push(Some(vec![0u8; self.page_size].into_boxed_slice()));
         id
     }
 

@@ -18,14 +18,22 @@ fn main() {
     let mut water_rtree = RTree::new(RTreeConfig::default());
     let mut water_quad = PrQuadtree::new(QuadtreeConfig::new(unit_box()));
     for (i, p) in water.iter().enumerate() {
-        water_rtree.insert(ObjectId(i as u64), p.to_rect()).expect("insert");
-        water_quad.insert(ObjectId(i as u64), *p).expect("in bounds");
+        water_rtree
+            .insert(ObjectId(i as u64), p.to_rect())
+            .expect("insert");
+        water_quad
+            .insert(ObjectId(i as u64), *p)
+            .expect("in bounds");
     }
     let mut roads_rtree = RTree::new(RTreeConfig::default());
     let mut roads_quad = PrQuadtree::new(QuadtreeConfig::new(unit_box()));
     for (i, p) in roads.iter().enumerate() {
-        roads_rtree.insert(ObjectId(i as u64), p.to_rect()).expect("insert");
-        roads_quad.insert(ObjectId(i as u64), *p).expect("in bounds");
+        roads_rtree
+            .insert(ObjectId(i as u64), p.to_rect())
+            .expect("insert");
+        roads_quad
+            .insert(ObjectId(i as u64), *p)
+            .expect("in bounds");
     }
 
     let k = 10;
@@ -41,7 +49,10 @@ fn main() {
         .take(k)
         .collect();
 
-    println!("{:>4}  {:>12}  {:>12}  {:>12}", "#", "R* x R*", "quad x quad", "quad x R*");
+    println!(
+        "{:>4}  {:>12}  {:>12}  {:>12}",
+        "#", "R* x R*", "quad x quad", "quad x R*"
+    );
     for i in 0..k {
         println!(
             "{:>4}  {:>12.8}  {:>12.8}  {:>12.8}",

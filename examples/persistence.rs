@@ -58,7 +58,10 @@ fn main() {
         incremental_distance_join::geom::Point::xy(0.5, 0.5).to_rect(),
     )
     .expect("insert into reopened tree");
-    println!("\ninserted one more object; water index now holds {}", tw.len());
+    println!(
+        "\ninserted one more object; water index now holds {}",
+        tw.len()
+    );
 
     std::fs::remove_file(&water_path).ok();
     std::fs::remove_file(&roads_path).ok();

@@ -40,9 +40,7 @@ fn main() {
     for pair in DistanceJoin::new(&r_tree, &h_tree, JoinConfig::default()).take(3) {
         println!(
             "  {:<14} – {:<10}  distance {:.2}",
-            restaurants[pair.oid1.0 as usize].0,
-            hotels[pair.oid2.0 as usize].0,
-            pair.distance
+            restaurants[pair.oid1.0 as usize].0, hotels[pair.oid2.0 as usize].0, pair.distance
         );
     }
 
@@ -56,18 +54,12 @@ fn main() {
     ) {
         println!(
             "  {:<14} -> {:<10}  distance {:.2}",
-            restaurants[pair.oid1.0 as usize].0,
-            hotels[pair.oid2.0 as usize].0,
-            pair.distance
+            restaurants[pair.oid1.0 as usize].0, hotels[pair.oid2.0 as usize].0, pair.distance
         );
     }
 
     // A within-distance join: pairs at most 3 apart.
-    let near = DistanceJoin::new(
-        &r_tree,
-        &h_tree,
-        JoinConfig::default().with_range(0.0, 3.0),
-    )
-    .count();
+    let near =
+        DistanceJoin::new(&r_tree, &h_tree, JoinConfig::default().with_range(0.0, 3.0)).count();
     println!("\n(restaurant, hotel) pairs within distance 3: {near}");
 }

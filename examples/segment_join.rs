@@ -34,11 +34,15 @@ fn main() {
 
     let mut road_tree = RTree::new(RTreeConfig::default());
     for (i, s) in roads.iter().enumerate() {
-        road_tree.insert(ObjectId(i as u64), s.mbr()).expect("insert");
+        road_tree
+            .insert(ObjectId(i as u64), s.mbr())
+            .expect("insert");
     }
     let mut river_tree = RTree::new(RTreeConfig::default());
     for (i, s) in rivers.iter().enumerate() {
-        river_tree.insert(ObjectId(i as u64), s.mbr()).expect("insert");
+        river_tree
+            .insert(ObjectId(i as u64), s.mbr())
+            .expect("insert");
     }
 
     let oracle = SliceOracle::new(&roads, &rivers, Metric::Euclidean);
@@ -68,13 +72,12 @@ fn main() {
 
     // §2.2.5's intersection-ordering extension in action: a max distance of
     // zero turns the distance join into an intersection join.
-    let crossings_total =
-        DistanceJoin::with_oracle(
-            &road_tree,
-            &river_tree,
-            oracle,
-            JoinConfig::default().with_range(0.0, 0.0),
-        )
-        .count();
+    let crossings_total = DistanceJoin::with_oracle(
+        &road_tree,
+        &river_tree,
+        oracle,
+        JoinConfig::default().with_range(0.0, 0.0),
+    )
+    .count();
     println!("total (road, river) crossings: {crossings_total}");
 }

@@ -8,7 +8,9 @@
 
 use incremental_distance_join::datagen::{gaussian_clusters, uniform_points, unit_box};
 use incremental_distance_join::geom::Metric;
-use incremental_distance_join::join::{DistanceJoin, DmaxStrategy, JoinConfig, SemiConfig, SemiFilter};
+use incremental_distance_join::join::{
+    DistanceJoin, DmaxStrategy, JoinConfig, SemiConfig, SemiFilter,
+};
 use incremental_distance_join::rtree::{ObjectId, RTree, RTreeConfig};
 
 fn main() {
@@ -45,7 +47,11 @@ fn main() {
     }
     let stats = join.stats();
 
-    println!("Discrete Voronoi partition of {} stores over {} warehouses:", stores.len(), warehouses.len());
+    println!(
+        "Discrete Voronoi partition of {} stores over {} warehouses:",
+        stores.len(),
+        warehouses.len()
+    );
     for (w, p) in warehouses.iter().enumerate() {
         println!(
             "  warehouse {w} at ({:.2}, {:.2}): {:>4} stores, farthest served {:.3}",

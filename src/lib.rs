@@ -13,6 +13,7 @@
 //! | [`pqueue`] | `sdj-pqueue` | pairing heap + hybrid memory/disk queue |
 //! | [`quadtree`] | `sdj-quadtree` | PR quadtree (non-minimal regions) |
 //! | [`join`] | `sdj-core` | **the paper's algorithms** |
+//! | [`exec`] | `sdj-exec` | parallel executor with ordered stream merge |
 //! | [`baselines`] | `sdj-baselines` | nested loop, NN semi-join, within-join |
 //! | [`datagen`] | `sdj-datagen` | seeded TIGER-like workload generators |
 //! | [`query`] | `sdj-query` | relations, predicates, `STOP AFTER` queries |
@@ -37,6 +38,7 @@
 pub use sdj_baselines as baselines;
 pub use sdj_core as join;
 pub use sdj_datagen as datagen;
+pub use sdj_exec as exec;
 pub use sdj_geom as geom;
 pub use sdj_pqueue as pqueue;
 pub use sdj_quadtree as quadtree;

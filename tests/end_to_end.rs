@@ -52,10 +52,9 @@ fn incremental_semijoin_agrees_with_nn_baseline() {
         filter: SemiFilter::Inside2,
         dmax: DmaxStrategy::GlobalAll,
     };
-    let incremental: Vec<(u64, f64)> =
-        DistanceJoin::semi(&tw, &tr, JoinConfig::default(), semi)
-            .map(|r| (r.oid1.0, r.distance))
-            .collect();
+    let incremental: Vec<(u64, f64)> = DistanceJoin::semi(&tw, &tr, JoinConfig::default(), semi)
+        .map(|r| (r.oid1.0, r.distance))
+        .collect();
     let baseline = nn_semijoin(&tw, &tr, Metric::Euclidean).unwrap();
     assert_eq!(incremental.len(), baseline.len());
     for (a, b) in incremental.iter().zip(&baseline) {
@@ -156,6 +155,9 @@ fn insertion_and_bulk_built_trees_join_identically() {
         .map(|r| r.distance)
         .collect();
     for (x, y) in a.iter().zip(&b) {
-        assert!((x - y).abs() < 1e-9, "tree build method must not change results");
+        assert!(
+            (x - y).abs() < 1e-9,
+            "tree build method must not change results"
+        );
     }
 }

@@ -33,7 +33,13 @@ fn env() -> (RTree<2>, RTree<2>) {
     (tree(&water), tree(&roads))
 }
 
-fn run(t1: &RTree<2>, t2: &RTree<2>, config: JoinConfig, semi: Option<SemiConfig>, k: usize) -> JoinStats {
+fn run(
+    t1: &RTree<2>,
+    t2: &RTree<2>,
+    config: JoinConfig,
+    semi: Option<SemiConfig>,
+    k: usize,
+) -> JoinStats {
     t1.reset_io_stats();
     t2.reset_io_stats();
     let mut join = match semi {
