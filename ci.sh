@@ -16,4 +16,14 @@ cargo build --release --workspace --offline
 echo "==> cargo test"
 cargo test --workspace --offline -q
 
+echo "==> observability smoke gate"
+# A small instrumented join must produce a schema-valid RunReport whose
+# rank curve is monotone and whose queue curve grows then drains; the
+# no-op-sink engine must stay within SDJ_OVERHEAD_PCT (default 2%) of the
+# uninstrumented one on identical work.
+./target/release/sdj-report --n 4000 --k 800 --threads 2 \
+    --out results/RunReport_ci.json --events results/RunReport_ci.ndjson
+./target/release/sdj-report --check results/RunReport_ci.json --expect-drain
+./target/release/sdj-report --overhead --n 20000 --k 10000
+
 echo "CI OK"

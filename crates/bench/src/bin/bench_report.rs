@@ -111,13 +111,18 @@ fn main() {
             serial_secs / s.seconds.max(1e-12),
         ));
     }
+    let host = sdj_obs::HostInfo::detect();
     let json = format!(
-        "{{\n  \"benchmark\": \"incremental distance join, uniform {n} x {n} points, \
-         K = {k} closest pairs\",\n  \"hardware_threads\": {hardware_threads},\n  \
+        "{{\n  \"schema_version\": 1,\n  \"benchmark\": \"incremental distance join, \
+         uniform {n} x {n} points, K = {k} closest pairs\",\n  \
+         \"host\": {{\"nproc\": {}, \"build_profile\": \"{}\"}},\n  \
+         \"hardware_threads\": {hardware_threads},\n  \
          \"note\": \"wall-clock on this host; speedups above 1.0 require \
-         hardware_threads > 1\",\n  \"samples\": [\n{rows}\n  ]\n}}\n"
+         hardware_threads > 1\",\n  \"samples\": [\n{rows}\n  ]\n}}\n",
+        host.nproc, host.build_profile,
     );
-    std::fs::write("BENCH_parallel.json", &json).expect("write BENCH_parallel.json");
+    sdj_obs::write_atomic("BENCH_parallel.json", json.as_bytes())
+        .expect("write BENCH_parallel.json");
     print!("{json}");
     eprintln!("# wrote BENCH_parallel.json");
 }

@@ -8,11 +8,13 @@
 //! `--scale` (or `SDJ_SCALE`); `1.0` reproduces the paper's cardinalities
 //! (37,495 and 200,482).
 
+use std::sync::{Arc, OnceLock};
 use std::time::Instant;
 
 use sdj_core::JoinStats;
 use sdj_datagen::tiger;
 use sdj_geom::Point;
+use sdj_obs::{NdjsonWriter, ObsContext};
 use sdj_rtree::{ObjectId, RTree, RTreeConfig};
 
 /// Paper-like experiment environment.
@@ -222,6 +224,44 @@ pub fn fmt_secs(s: f64) -> String {
     format!("{s:.3}")
 }
 
+/// Process-wide observability context from the environment, created once.
+///
+/// When `SDJ_OBS_NDJSON` names a path, every instrumented run in this
+/// process appends its events there as NDJSON (one shared writer — the
+/// experiment binaries call [`run_join`] many times per sweep and the log
+/// must span the whole sweep). Unset or uncreatable ⇒ `None`, and runs stay
+/// uninstrumented. Result events are thinned to every 64th so full-scale
+/// sweeps don't produce multi-gigabyte logs.
+#[must_use]
+pub fn obs_from_env() -> Option<ObsContext> {
+    static OBS: OnceLock<Option<ObsContext>> = OnceLock::new();
+    OBS.get_or_init(|| {
+        let path = std::env::var("SDJ_OBS_NDJSON")
+            .ok()
+            .filter(|p| !p.is_empty())?;
+        if let Some(dir) = std::path::Path::new(&path).parent() {
+            if !dir.as_os_str().is_empty() {
+                let _ = std::fs::create_dir_all(dir);
+            }
+        }
+        match NdjsonWriter::create(&path) {
+            Ok(w) => {
+                eprintln!("# logging observability events to {path}");
+                Some(
+                    ObsContext::new(Arc::new(w))
+                        .with_pop_sample_every(256)
+                        .with_result_sample_every(64),
+                )
+            }
+            Err(e) => {
+                eprintln!("# SDJ_OBS_NDJSON: cannot create {path}: {e} (running unobserved)");
+                None
+            }
+        }
+    })
+    .clone()
+}
+
 /// Runs a distance join (or semi-join when `semi` is set) over the
 /// environment, consuming up to `take` results. `swap` joins Roads with
 /// Water instead of Water with Roads.
@@ -244,6 +284,9 @@ pub fn run_join(
             Some(sc) => sdj_core::DistanceJoin::semi(t1, t2, config, sc),
             None => sdj_core::DistanceJoin::new(t1, t2, config),
         };
+        if let Some(ctx) = obs_from_env() {
+            join = join.with_obs(&ctx);
+        }
         let produced = join.by_ref().take(take as usize).count() as u64;
         (join.stats(), produced)
     })

@@ -51,14 +51,17 @@ impl SharedDistanceBound {
 
     /// Lowers the bound to `bound` if it is tighter than the current value.
     /// Non-finite or negative candidates are ignored (they can only arise
-    /// from callers that have nothing to prove).
-    pub fn tighten(&self, bound: f64) {
+    /// from callers that have nothing to prove). Returns true when this call
+    /// strictly lowered the bound — the executor emits a `BoundTightened`
+    /// event per strict improvement.
+    pub fn tighten(&self, bound: f64) -> bool {
         if bound.is_nan() || bound < 0.0 {
-            return;
+            return false;
         }
         // Non-negative f64 bit patterns are monotone in the value, so an
         // integer fetch_min implements a float min atomically.
-        self.bits.fetch_min(bound.to_bits(), Ordering::AcqRel);
+        let prev = self.bits.fetch_min(bound.to_bits(), Ordering::AcqRel);
+        bound < f64::from_bits(prev)
     }
 }
 
@@ -70,11 +73,11 @@ mod tests {
     fn starts_at_initial_and_only_tightens() {
         let b = SharedDistanceBound::new(10.0);
         assert_eq!(b.get(), 10.0);
-        b.tighten(12.0);
+        assert!(!b.tighten(12.0), "looser bound is not an improvement");
         assert_eq!(b.get(), 10.0, "looser bound ignored");
-        b.tighten(4.5);
+        assert!(b.tighten(4.5));
         assert_eq!(b.get(), 4.5);
-        b.tighten(4.5);
+        assert!(!b.tighten(4.5), "equal bound is not a strict improvement");
         assert_eq!(b.get(), 4.5);
     }
 

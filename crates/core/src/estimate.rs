@@ -59,6 +59,8 @@ pub struct Estimator {
     by_dmax: BTreeMap<(OrdF64, u64), MKey>,
     total: u128,
     seq: u64,
+    /// Times the global bound strictly decreased (observability).
+    tightenings: u64,
     /// Semi-join: first-item nodes that have been expanded; pairs led by
     /// them may no longer enter `M` (their descendants would double-count).
     processed: HashSet<ItemId>,
@@ -77,6 +79,7 @@ impl Estimator {
             by_dmax: BTreeMap::new(),
             total: 0,
             seq: 0,
+            tightenings: 0,
             processed: HashSet::new(),
         }
     }
@@ -97,6 +100,12 @@ impl Estimator {
     #[must_use]
     pub fn m_len(&self) -> usize {
         self.entries.len()
+    }
+
+    /// Times [`Estimator::current_dmax`] has strictly decreased so far.
+    #[must_use]
+    pub fn tightenings(&self) -> u64 {
+        self.tightenings
     }
 
     fn key_of(&self, item1: ItemId, item2: ItemId) -> MKey {
@@ -200,7 +209,10 @@ impl Estimator {
         }
         if self.total >= k {
             if let Some((&(dmax, _), _)) = self.by_dmax.last_key_value() {
-                self.dmax = self.dmax.min(dmax.get());
+                if dmax.get() < self.dmax {
+                    self.dmax = dmax.get();
+                    self.tightenings += 1;
+                }
             }
         }
     }

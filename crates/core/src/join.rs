@@ -14,6 +14,7 @@
 //! only for what it consumed — the paper's central claim.
 
 use sdj_geom::{Metric, Rect};
+use sdj_obs::{ObsContext, PairKind, Side};
 use sdj_rtree::{ObjectId, RTree};
 use sdj_storage::StorageError;
 
@@ -21,6 +22,7 @@ use crate::bound::SharedDistanceBound;
 use crate::config::{EstimationBound, JoinConfig, ResultOrder, TraversalPolicy};
 use crate::estimate::{Estimator, EstimatorMode};
 use crate::index::{IndexEntry, IndexNode, NodeId, SpatialIndex};
+use crate::obs::JoinObs;
 use crate::oracle::{DistanceOracle, MbrOracle};
 use crate::pair::{Item, Pair, PairKey};
 use crate::queue::JoinQueue;
@@ -71,6 +73,9 @@ where
     /// Cross-worker maximum-distance bound of a parallel run (ascending
     /// order only): read for pruning, written from the estimator.
     shared_bound: Option<&'a SharedDistanceBound>,
+    /// Instrumentation handle; `None` (the default) keeps the hot path to a
+    /// single branch per hook site.
+    obs: Option<JoinObs>,
     /// Pairs accepted by the filter pipeline but not yet in the queue;
     /// flushed in one batch per expansion.
     pending: Vec<(PairKey, Pair<D>)>,
@@ -228,6 +233,7 @@ where
             window1: None,
             window2: None,
             shared_bound: None,
+            obs: None,
             pending: Vec::new(),
             scratch_entries1: Vec::new(),
             scratch_entries2: Vec::new(),
@@ -268,6 +274,29 @@ where
     pub fn with_shared_bound(mut self, bound: &'a SharedDistanceBound) -> Self {
         self.shared_bound = Some(bound);
         self
+    }
+
+    /// Instruments the engine: pops, expansions, results, bound tightenings
+    /// and queue depth feed the context's sink and registry, and the hybrid
+    /// queue backend (if selected) reports tier migrations and occupancy.
+    #[must_use]
+    pub fn with_obs(self, ctx: &ObsContext) -> Self {
+        let obs = JoinObs::new(ctx);
+        self.with_obs_handle(ctx, obs)
+    }
+
+    /// Like [`with_obs`](Self::with_obs) but with a caller-built handle
+    /// (the parallel executor passes per-worker handles).
+    #[must_use]
+    pub fn with_obs_handle(mut self, ctx: &ObsContext, obs: JoinObs) -> Self {
+        self.queue.attach_obs(ctx);
+        self.obs = Some(obs);
+        self
+    }
+
+    /// A mutable borrow of the attached instrumentation handle, if any.
+    pub fn obs_mut(&mut self) -> Option<&mut JoinObs> {
+        self.obs.as_mut()
     }
 
     /// Runs the serial engine until the queue holds at least
@@ -402,7 +431,10 @@ where
             .saturating_sub(self.io_baseline)
             + self.queue.disk_stats().reads
             + self.queue.disk_stats().writes;
-        s.max_queue = self.queue.max_len();
+        // The queue's own high-water mark covers single pushes and resumed
+        // shards; the flush-time sample covers batch insertions. Take the
+        // max so neither path can under-report.
+        s.max_queue = s.max_queue.max(self.queue.max_len());
         s
     }
 
@@ -470,9 +502,15 @@ where
     /// holds for the whole parallel run: the merged result set is a superset
     /// of this shard's, so "K results within d exist here" implies the
     /// global K-th result is within d too.
-    fn publish_shared_bound(&self) {
-        if let (Some(shared), Some(est)) = (self.shared_bound, &self.estimator) {
-            shared.tighten(est.current_dmax());
+    fn publish_shared_bound(&mut self) {
+        if let Some(est) = &self.estimator {
+            let dmax = est.current_dmax();
+            if let Some(shared) = self.shared_bound {
+                shared.tighten(dmax);
+            }
+            if let Some(obs) = &mut self.obs {
+                obs.on_bound(dmax);
+            }
         }
     }
 
@@ -811,7 +849,11 @@ where
                     }
                 }
                 // The pair itself proves a partner within `distance`.
-                semi.update_bound(pair.item1.identity(), distance);
+                if semi.update_bound(pair.item1.identity(), distance) {
+                    if let Some(obs) = &mut self.obs {
+                        obs.on_semi_bound();
+                    }
+                }
             }
         }
         let ascending = self.ascending();
@@ -843,6 +885,9 @@ where
         let mut pending = std::mem::take(&mut self.pending);
         self.queue.push_batch(pending.drain(..));
         self.pending = pending;
+        // Update the high-water mark once per flush, not once per push:
+        // batch insertions must be observed too.
+        self.stats.max_queue = self.stats.max_queue.max(self.queue.len());
     }
 
     /// PROCESS_NODE1 / PROCESS_NODE2 (Figure 3): expands the node on
@@ -871,6 +916,9 @@ where
                 .as_ref()
                 .and_then(|s| s.bound_for(pair.item1.identity()));
             let node = self.read_node1(page)?;
+            if let Some(obs) = &mut self.obs {
+                obs.on_expand(Side::First, node.entries.len() as u32);
+            }
             for entry in &node.entries {
                 let child = Self::child_item(entry);
                 if let Some(oid) = child.object_id() {
@@ -897,13 +945,20 @@ where
                     let own = self.semi_dmax_bound(&child_pair);
                     let bound = inherited.map_or(own, |b| b.min(own));
                     if let Some(semi) = &mut self.semi {
-                        semi.update_bound(child.identity(), bound);
+                        if semi.update_bound(child.identity(), bound) {
+                            if let Some(obs) = &mut self.obs {
+                                obs.on_semi_bound();
+                            }
+                        }
                     }
                 }
                 self.consider(child_pair, None);
             }
         } else {
             let node = self.read_node2(page)?;
+            if let Some(obs) = &mut self.obs {
+                obs.on_expand(Side::Second, node.entries.len() as u32);
+            }
             let item1 = pair.item1;
             let local = self.semi.as_ref().is_some_and(SemiState::uses_local_bound);
             if local {
@@ -926,7 +981,11 @@ where
                     children.push((child_pair, mind));
                 }
                 if let Some(semi) = &mut self.semi {
-                    semi.update_bound(item1.identity(), best_bound);
+                    if semi.update_bound(item1.identity(), best_bound) {
+                        if let Some(obs) = &mut self.obs {
+                            obs.on_semi_bound();
+                        }
+                    }
                 }
                 let effective = self
                     .semi
@@ -966,6 +1025,12 @@ where
         }
         let node1 = self.read_node1(*p1)?;
         let node2 = self.read_node2(*p2)?;
+        if let Some(obs) = &mut self.obs {
+            obs.on_expand(
+                Side::Both,
+                (node1.entries.len() + node2.entries.len()) as u32,
+            );
+        }
         let metric = self.metric();
         let eff_max = if self.ascending() {
             self.effective_max()
@@ -1083,6 +1148,9 @@ where
         self.publish_shared_bound();
         self.stats.pairs_reported += 1;
         self.reported += 1;
+        if let Some(obs) = &mut self.obs {
+            obs.on_result(self.reported, distance);
+        }
         if let Some(k) = self.config.max_pairs {
             if self.reported >= k {
                 self.done = true;
@@ -1110,6 +1178,21 @@ where
             return Ok(StepOutcome::Exhausted);
         };
         self.stats.pairs_dequeued += 1;
+        if self.obs.is_some() {
+            let kind = match (pair.item1.is_node(), pair.item2.is_node()) {
+                (true, true) => PairKind::NodeNode,
+                (true, false) => PairKind::NodeObject,
+                (false, true) => PairKind::ObjectNode,
+                (false, false) => PairKind::ObjectObject,
+            };
+            // Descending runs key on negated MAXDIST; report the magnitude.
+            let dist = key.dist.get().abs();
+            let queue_len = self.queue.len();
+            let results = self.reported;
+            if let Some(obs) = &mut self.obs {
+                obs.on_pop(kind, dist, queue_len, results);
+            }
+        }
         let ascending = self.ascending();
         if let Some(est) = &mut self.estimator {
             est.on_dequeue(pair.item1.identity(), pair.item2.identity());

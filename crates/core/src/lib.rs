@@ -62,6 +62,7 @@ pub mod index;
 pub mod intersect;
 mod join;
 pub mod nn;
+mod obs;
 mod oracle;
 mod pair;
 mod queue;
@@ -77,6 +78,7 @@ pub use index::{IndexEntry, IndexNode, NodeId, SpatialIndex};
 pub use intersect::{IntersectionPair, OrderedIntersectionJoin};
 pub use join::{DistanceJoin, DistanceSemiJoin, JoinFrontier, ResultPair};
 pub use nn::{nearest_neighbors, IndexNearestNeighbors, IndexNeighbor};
+pub use obs::JoinObs;
 pub use oracle::{DistanceOracle, MbrOracle, SliceOracle};
 pub use pair::{Item, ItemId, Pair, PairKey};
 pub use queue::JoinQueue;

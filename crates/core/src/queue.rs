@@ -115,6 +115,17 @@ impl<const D: usize> JoinQueue<D> {
             JoinQueue::Hybrid(q) => Some((q.stats(), q.in_memory_peak())),
         }
     }
+
+    /// Attaches observability to the hybrid backend: tier migrations emit
+    /// events to the context's sink and the `pq.tier.*` occupancy gauges are
+    /// registered and kept in sync. No-op for the memory backend (the join's
+    /// own `join.queue_depth` gauge covers it).
+    pub fn attach_obs(&mut self, ctx: &sdj_obs::ObsContext) {
+        if let JoinQueue::Hybrid(q) = self {
+            let gauges = sdj_pqueue::TierGauges::register(&ctx.registry);
+            q.attach_obs(std::sync::Arc::clone(&ctx.sink), Some(gauges));
+        }
+    }
 }
 
 #[cfg(test)]

@@ -149,19 +149,31 @@ impl SemiState {
         }
     }
 
-    /// Records a (possibly improved) upper bound for `item1`.
-    pub fn update_bound(&mut self, item1: ItemId, bound: f64) {
+    /// Records a (possibly improved) upper bound for `item1`. Returns true
+    /// when the stored bound actually changed (a new entry, or a strictly
+    /// tighter one) — the join counts these as `d_max` tightenings.
+    pub fn update_bound(&mut self, item1: ItemId, bound: f64) -> bool {
         let tracked = matches!(
             (self.config.dmax, item1),
             (DmaxStrategy::GlobalNodes, ItemId::Node(_)) | (DmaxStrategy::GlobalAll, _)
         );
         if !tracked || !bound.is_finite() {
-            return;
+            return false;
         }
-        self.bounds
-            .entry(item1)
-            .and_modify(|b| *b = b.min(bound))
-            .or_insert(bound);
+        match self.bounds.entry(item1) {
+            std::collections::hash_map::Entry::Occupied(mut e) => {
+                if bound < *e.get() {
+                    *e.get_mut() = bound;
+                    true
+                } else {
+                    false
+                }
+            }
+            std::collections::hash_map::Entry::Vacant(e) => {
+                e.insert(bound);
+                true
+            }
+        }
     }
 
     /// Uses `Local` (or stronger) bounding during expansion?

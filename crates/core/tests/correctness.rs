@@ -200,6 +200,33 @@ fn estimation_prunes_queue_growth() {
     );
 }
 
+/// Regression: `max_queue` must observe *batch* insertions, not just single
+/// pushes. Expansions stage children and flush them in one `push_batch`, so
+/// both the flush-time sample and the backend high-water mark must keep the
+/// reported peak at least the live queue length at every step.
+#[test]
+fn max_queue_tracks_batch_insertions() {
+    let (a, b) = sample_sets();
+    let t1 = build_tree(&a, 6);
+    let t2 = build_tree(&b, 6);
+    let mut join = DistanceJoin::new(&t1, &t2, JoinConfig::default());
+    let mut peak = 0usize;
+    for _ in 0..200 {
+        if join.next().is_none() {
+            break;
+        }
+        let live = join.queue_len();
+        peak = peak.max(live);
+        assert!(
+            join.stats().max_queue >= live,
+            "high-water {} below live length {live}",
+            join.stats().max_queue
+        );
+    }
+    assert!(peak > 0, "run must actually grow the queue");
+    assert!(join.stats().max_queue >= peak);
+}
+
 #[test]
 fn hybrid_queue_backend_agrees_with_memory() {
     let (a, b) = sample_sets();

@@ -34,13 +34,14 @@
 //! equal-distance results may differ from a serial run's tie order.
 
 use std::sync::mpsc::Receiver;
-use std::sync::Mutex;
+use std::sync::{Arc, Mutex};
 
 use sdj_core::{
-    DistanceJoin, DistanceOracle, JoinConfig, JoinFrontier, JoinStats, MbrOracle, Pair, PairKey,
-    ResultOrder, ResultPair, SeenSet, SemiConfig, SharedDistanceBound, SpatialIndex,
+    DistanceJoin, DistanceOracle, JoinConfig, JoinFrontier, JoinObs, JoinStats, MbrOracle, Pair,
+    PairKey, ResultOrder, ResultPair, SeenSet, SemiConfig, SharedDistanceBound, SpatialIndex,
 };
 use sdj_geom::Rect;
+use sdj_obs::{Event, EventSink, ObsContext};
 use sdj_storage::StorageError;
 
 // The executor shares `&RTree` across scoped threads; this fails to compile
@@ -123,6 +124,7 @@ where
     window1: Option<Rect<D>>,
     window2: Option<Rect<D>>,
     parallel: ParallelConfig,
+    obs: Option<ObsContext>,
 }
 
 impl<'a, const D: usize, I1, I2> ParallelDistanceJoin<'a, D, MbrOracle, I1, I2>
@@ -174,6 +176,7 @@ where
             window1: None,
             window2: None,
             parallel,
+            obs: None,
         }
     }
 
@@ -202,6 +205,18 @@ where
         self
     }
 
+    /// Instruments the run. The partitioner reports as worker 0 and emits
+    /// `ResultReported` for the frontier prefix; spawned workers report as
+    /// workers 1.. with per-shard result events suppressed (their local ranks
+    /// would interleave) and announce `WorkerFinished` when their stream
+    /// ends. Globally ranked `ResultReported` events for the merged portion
+    /// are emitted by the [`JoinStream`] itself.
+    #[must_use]
+    pub fn with_obs(mut self, ctx: ObsContext) -> Self {
+        self.obs = Some(ctx);
+        self
+    }
+
     /// Runs the join, handing the globally ordered result stream to
     /// `consume`. The stream (and the worker pool behind it) lives only for
     /// the duration of the call — scoped worker threads must join before
@@ -211,7 +226,7 @@ where
     pub fn run<R>(self, consume: impl FnOnce(&mut JoinStream) -> R) -> RunOutput<R> {
         let threads = self.parallel.threads.max(1);
         let frontier = self
-            .build_serial(self.config, None)
+            .build_serial(self.config, None, 0)
             .into_frontier(threads, self.parallel.frontier_factor);
         self.run_from_frontier(frontier, consume)
     }
@@ -229,6 +244,7 @@ where
         &self,
         config: JoinConfig,
         shard: Option<(Shard<D>, Option<SeenSet>)>,
+        worker: u32,
     ) -> DistanceJoin<'b, D, O, I1, I2>
     where
         'a: 'b,
@@ -257,7 +273,17 @@ where
                 seen,
             ),
         };
-        join.with_windows(self.window1, self.window2)
+        let join = join.with_windows(self.window1, self.window2);
+        match &self.obs {
+            Some(ctx) => {
+                let mut handle = JoinObs::for_worker(ctx, worker);
+                if worker > 0 {
+                    handle = handle.suppress_result_events();
+                }
+                join.with_obs_handle(ctx, handle)
+            }
+            None => join,
+        }
     }
 
     fn run_from_frontier<R>(
@@ -292,18 +318,24 @@ where
 
         let (value, mut stats) = std::thread::scope(|scope| {
             let mut receivers = Vec::with_capacity(workers_spawned);
-            for shard in shards {
+            for (i, shard) in shards.into_iter().enumerate() {
                 let (tx, rx) = std::sync::mpsc::sync_channel(self.parallel.channel_capacity.max(1));
                 receivers.push(rx);
+                let worker = u32::try_from(i + 1).unwrap_or(u32::MAX);
                 let mut join = self
-                    .build_serial(worker_config, Some((shard, frontier.seen.clone())))
+                    .build_serial(worker_config, Some((shard, frontier.seen.clone())), worker)
                     .with_shared_bound(&shared);
                 let tallies = &tallies;
                 scope.spawn(move || {
+                    let mut sent: u64 = 0;
                     for result in &mut join {
                         if tx.send(result).is_err() {
                             break; // the consumer dropped the stream
                         }
+                        sent += 1;
+                    }
+                    if let Some(obs) = join.obs_mut() {
+                        obs.finish(sent);
                     }
                     let tally = (join.stats(), join.take_error());
                     tallies
@@ -313,12 +345,19 @@ where
                 });
             }
 
+            let prefix = std::mem::take(&mut frontier.prefix);
+            let stream_obs = self.obs.as_ref().map(|ctx| StreamObs {
+                sink: Arc::clone(&ctx.sink),
+                result_sample_every: ctx.result_sample_every,
+                rank: prefix.len() as u64,
+            });
             let mut stream = JoinStream::new(
-                std::mem::take(&mut frontier.prefix),
+                prefix,
                 receivers,
                 ascending,
                 self.semi.map(|_| frontier.seen.clone().unwrap_or_default()),
                 frontier.remaining_pairs,
+                stream_obs,
             );
             let value = consume(&mut stream);
             drop(stream); // close the receivers so stalled workers exit
@@ -365,6 +404,17 @@ impl WorkerStream {
     }
 }
 
+/// Merged-stream observability: global ranks can only be assigned here,
+/// after the watermark merge, so the stream itself emits `ResultReported`
+/// (per-worker result events are suppressed).
+struct StreamObs {
+    sink: Arc<dyn EventSink>,
+    result_sample_every: u64,
+    /// Global rank of the last emitted result; starts at the prefix length,
+    /// whose ranks worker 0 already reported.
+    rank: u64,
+}
+
 /// The globally ordered result stream of a parallel run: the frontier's
 /// prefix first, then the k-way watermark merge of the worker streams.
 pub struct JoinStream {
@@ -375,6 +425,7 @@ pub struct JoinStream {
     seen: Option<SeenSet>,
     /// Results still allowed after the prefix (`max_pairs` runs).
     remaining: Option<u64>,
+    obs: Option<StreamObs>,
 }
 
 impl JoinStream {
@@ -384,6 +435,7 @@ impl JoinStream {
         ascending: bool,
         seen: Option<SeenSet>,
         remaining: Option<u64>,
+        obs: Option<StreamObs>,
     ) -> Self {
         Self {
             prefix: prefix.into_iter(),
@@ -397,6 +449,7 @@ impl JoinStream {
             ascending,
             seen,
             remaining,
+            obs,
         }
     }
 
@@ -454,6 +507,15 @@ impl Iterator for JoinStream {
             }
             if let Some(rem) = &mut self.remaining {
                 *rem -= 1;
+            }
+            if let Some(obs) = &mut self.obs {
+                obs.rank += 1;
+                if obs.rank.is_multiple_of(obs.result_sample_every) {
+                    obs.sink.emit(&Event::ResultReported {
+                        rank: obs.rank,
+                        dist: r.distance,
+                    });
+                }
             }
             return Some(r);
         }

@@ -1,0 +1,430 @@
+//! The typed event taxonomy emitted by instrumented components.
+//!
+//! Events are small `Copy` records so emitting one costs a match and a few
+//! stores, never an allocation. Each event serialises to one NDJSON line
+//! (`{"e":"<name>", ...}`) and parses back losslessly, so a recorded stream
+//! can be replayed through any [`crate::EventSink`] — the replay property
+//! the tier-migration tests rely on.
+
+use crate::json::{escape_into, JsonValue};
+
+/// Which sides of a queued pair are index nodes.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum PairKind {
+    /// Both items are nodes.
+    NodeNode,
+    /// First item a node, second an object.
+    NodeObject,
+    /// First item an object, second a node.
+    ObjectNode,
+    /// Both items are objects (bounding rectangles or exact).
+    ObjectObject,
+}
+
+impl PairKind {
+    /// Stable wire name.
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            PairKind::NodeNode => "node_node",
+            PairKind::NodeObject => "node_object",
+            PairKind::ObjectNode => "object_node",
+            PairKind::ObjectObject => "object_object",
+        }
+    }
+
+    fn parse(s: &str) -> Option<Self> {
+        Some(match s {
+            "node_node" => PairKind::NodeNode,
+            "node_object" => PairKind::NodeObject,
+            "object_node" => PairKind::ObjectNode,
+            "object_object" => PairKind::ObjectObject,
+            _ => return None,
+        })
+    }
+}
+
+/// Which relation a node expansion opened.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum Side {
+    /// The first relation's node was expanded.
+    First,
+    /// The second relation's node was expanded.
+    Second,
+    /// Both nodes were opened simultaneously (§2.2.2 plane sweep).
+    Both,
+}
+
+impl Side {
+    /// Stable wire name.
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            Side::First => "first",
+            Side::Second => "second",
+            Side::Both => "both",
+        }
+    }
+
+    fn parse(s: &str) -> Option<Self> {
+        Some(match s {
+            "first" => Side::First,
+            "second" => Side::Second,
+            "both" => Side::Both,
+            _ => return None,
+        })
+    }
+}
+
+/// One tier of the hybrid memory/disk priority queue (§3.2).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum Tier {
+    /// The in-memory pairing heap (distances below `D1`).
+    Heap,
+    /// The unorganised in-memory window list (`[D1, D2)`).
+    List,
+    /// The paged disk buckets (`D2` and beyond).
+    Disk,
+}
+
+impl Tier {
+    /// Stable wire name.
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            Tier::Heap => "heap",
+            Tier::List => "list",
+            Tier::Disk => "disk",
+        }
+    }
+
+    fn parse(s: &str) -> Option<Self> {
+        Some(match s {
+            "heap" => Tier::Heap,
+            "list" => Tier::List,
+            "disk" => Tier::Disk,
+            _ => return None,
+        })
+    }
+}
+
+/// One instrumentation event. All payloads are `Copy`.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum Event {
+    /// A pair left the priority queue (high-frequency; detail mode only).
+    PairPopped {
+        /// Node/object shape of the pair.
+        kind: PairKind,
+        /// The pair's key distance.
+        dist: f64,
+    },
+    /// An index node was opened and its entries paired (detail mode only).
+    NodeExpanded {
+        /// Which relation's node (or both).
+        side: Side,
+        /// Number of child entries considered.
+        children: u32,
+    },
+    /// A result pair was reported to the consumer.
+    ResultReported {
+        /// 1-based rank of the result in emission order.
+        rank: u64,
+        /// Its reported distance.
+        dist: f64,
+    },
+    /// Periodic queue-depth sample (the Figure 6 time series).
+    QueueSampled {
+        /// Pops performed so far.
+        pops: u64,
+        /// Current queue length.
+        len: u64,
+        /// Results reported so far.
+        results: u64,
+    },
+    /// Elements moved between tiers of the hybrid queue. A spill at
+    /// insertion time is reported as `List -> Disk` (the element left the
+    /// in-memory window for disk without ever being stored in the list).
+    TierMigration {
+        /// Tier the elements left.
+        from: Tier,
+        /// Tier the elements entered.
+        to: Tier,
+        /// Number of elements that moved.
+        n: u32,
+    },
+    /// The buffer pool evicted a frame.
+    BufferEvict {
+        /// True if the victim was dirty and had to be written back.
+        writeback: bool,
+    },
+    /// A maximum-distance bound tightened (estimator progress, or a worker
+    /// publishing to the shared cross-worker bound).
+    BoundTightened {
+        /// Worker id (0 = the serial engine / partitioner).
+        worker: u32,
+        /// The new, tighter bound.
+        bound: f64,
+    },
+    /// A parallel worker's result stream finished.
+    WorkerFinished {
+        /// Worker id (1-based; 0 is the partitioner).
+        worker: u32,
+        /// Results the worker emitted.
+        results: u64,
+    },
+}
+
+/// Formats an `f64` for NDJSON: finite values as shortest-roundtrip Rust
+/// float syntax, non-finite as quoted strings (JSON has no infinities).
+fn fmt_f64(out: &mut String, v: f64) {
+    if v.is_finite() {
+        // Ensure a decimal point or exponent so the value parses as a float.
+        let s = format!("{v}");
+        out.push_str(&s);
+        if !s.contains(['.', 'e', 'E']) {
+            out.push_str(".0");
+        }
+    } else if v.is_nan() {
+        out.push_str("\"nan\"");
+    } else if v > 0.0 {
+        out.push_str("\"inf\"");
+    } else {
+        out.push_str("\"-inf\"");
+    }
+}
+
+fn parse_f64(v: &JsonValue) -> Option<f64> {
+    match v {
+        JsonValue::Num(n) => Some(*n),
+        JsonValue::Str(s) => match s.as_str() {
+            "nan" => Some(f64::NAN),
+            "inf" => Some(f64::INFINITY),
+            "-inf" => Some(f64::NEG_INFINITY),
+            _ => None,
+        },
+        _ => None,
+    }
+}
+
+impl Event {
+    /// Stable wire name of the event type.
+    #[must_use]
+    pub fn name(&self) -> &'static str {
+        match self {
+            Event::PairPopped { .. } => "pair_popped",
+            Event::NodeExpanded { .. } => "node_expanded",
+            Event::ResultReported { .. } => "result_reported",
+            Event::QueueSampled { .. } => "queue_sampled",
+            Event::TierMigration { .. } => "tier_migration",
+            Event::BufferEvict { .. } => "buffer_evict",
+            Event::BoundTightened { .. } => "bound_tightened",
+            Event::WorkerFinished { .. } => "worker_finished",
+        }
+    }
+
+    /// Appends the event as one NDJSON object (no trailing newline).
+    pub fn write_ndjson(&self, out: &mut String) {
+        out.push_str("{\"e\":\"");
+        out.push_str(self.name());
+        out.push('"');
+        match *self {
+            Event::PairPopped { kind, dist } => {
+                out.push_str(",\"kind\":\"");
+                out.push_str(kind.name());
+                out.push_str("\",\"dist\":");
+                fmt_f64(out, dist);
+            }
+            Event::NodeExpanded { side, children } => {
+                out.push_str(",\"side\":\"");
+                out.push_str(side.name());
+                out.push_str("\",\"children\":");
+                out.push_str(&children.to_string());
+            }
+            Event::ResultReported { rank, dist } => {
+                out.push_str(",\"rank\":");
+                out.push_str(&rank.to_string());
+                out.push_str(",\"dist\":");
+                fmt_f64(out, dist);
+            }
+            Event::QueueSampled { pops, len, results } => {
+                out.push_str(",\"pops\":");
+                out.push_str(&pops.to_string());
+                out.push_str(",\"len\":");
+                out.push_str(&len.to_string());
+                out.push_str(",\"results\":");
+                out.push_str(&results.to_string());
+            }
+            Event::TierMigration { from, to, n } => {
+                out.push_str(",\"from\":\"");
+                out.push_str(from.name());
+                out.push_str("\",\"to\":\"");
+                out.push_str(to.name());
+                out.push_str("\",\"n\":");
+                out.push_str(&n.to_string());
+            }
+            Event::BufferEvict { writeback } => {
+                out.push_str(",\"writeback\":");
+                out.push_str(if writeback { "true" } else { "false" });
+            }
+            Event::BoundTightened { worker, bound } => {
+                out.push_str(",\"worker\":");
+                out.push_str(&worker.to_string());
+                out.push_str(",\"bound\":");
+                fmt_f64(out, bound);
+            }
+            Event::WorkerFinished { worker, results } => {
+                out.push_str(",\"worker\":");
+                out.push_str(&worker.to_string());
+                out.push_str(",\"results\":");
+                out.push_str(&results.to_string());
+            }
+        }
+        out.push('}');
+    }
+
+    /// Renders the event as one NDJSON line (with trailing newline).
+    #[must_use]
+    pub fn to_ndjson(&self) -> String {
+        let mut s = String::with_capacity(64);
+        self.write_ndjson(&mut s);
+        s.push('\n');
+        s
+    }
+
+    /// Parses one NDJSON line produced by [`Event::write_ndjson`].
+    /// Returns `None` for malformed lines or unknown event types.
+    #[must_use]
+    pub fn parse_ndjson(line: &str) -> Option<Event> {
+        let v = JsonValue::parse(line).ok()?;
+        let name = v.get("e")?.as_str()?;
+        let num = |k: &str| v.get(k).and_then(JsonValue::as_f64);
+        let int = |k: &str| num(k).map(|f| f as u64);
+        Some(match name {
+            "pair_popped" => Event::PairPopped {
+                kind: PairKind::parse(v.get("kind")?.as_str()?)?,
+                dist: parse_f64(v.get("dist")?)?,
+            },
+            "node_expanded" => Event::NodeExpanded {
+                side: Side::parse(v.get("side")?.as_str()?)?,
+                children: int("children")? as u32,
+            },
+            "result_reported" => Event::ResultReported {
+                rank: int("rank")?,
+                dist: parse_f64(v.get("dist")?)?,
+            },
+            "queue_sampled" => Event::QueueSampled {
+                pops: int("pops")?,
+                len: int("len")?,
+                results: int("results")?,
+            },
+            "tier_migration" => Event::TierMigration {
+                from: Tier::parse(v.get("from")?.as_str()?)?,
+                to: Tier::parse(v.get("to")?.as_str()?)?,
+                n: int("n")? as u32,
+            },
+            "buffer_evict" => Event::BufferEvict {
+                writeback: v.get("writeback")?.as_bool()?,
+            },
+            "bound_tightened" => Event::BoundTightened {
+                worker: int("worker")? as u32,
+                bound: parse_f64(v.get("bound")?)?,
+            },
+            "worker_finished" => Event::WorkerFinished {
+                worker: int("worker")? as u32,
+                results: int("results")?,
+            },
+            _ => return None,
+        })
+    }
+}
+
+/// Escapes `s` and appends it as a JSON string literal (quotes included).
+/// Re-exported here so event-adjacent writers share one escaper.
+pub fn push_json_string(out: &mut String, s: &str) {
+    out.push('"');
+    escape_into(out, s);
+    out.push('"');
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn all_events() -> Vec<Event> {
+        vec![
+            Event::PairPopped {
+                kind: PairKind::NodeNode,
+                dist: 1.5,
+            },
+            Event::PairPopped {
+                kind: PairKind::ObjectObject,
+                dist: 0.0,
+            },
+            Event::NodeExpanded {
+                side: Side::Both,
+                children: 50,
+            },
+            Event::ResultReported {
+                rank: 17,
+                dist: 0.125,
+            },
+            Event::QueueSampled {
+                pops: 1024,
+                len: 4096,
+                results: 12,
+            },
+            Event::TierMigration {
+                from: Tier::Disk,
+                to: Tier::List,
+                n: 200,
+            },
+            Event::BufferEvict { writeback: true },
+            Event::BufferEvict { writeback: false },
+            Event::BoundTightened {
+                worker: 3,
+                bound: 2.25,
+            },
+            Event::BoundTightened {
+                worker: 0,
+                bound: f64::INFINITY,
+            },
+            Event::WorkerFinished {
+                worker: 1,
+                results: 999,
+            },
+        ]
+    }
+
+    #[test]
+    fn ndjson_roundtrip_all_variants() {
+        for e in all_events() {
+            let line = e.to_ndjson();
+            assert!(line.ends_with('\n'));
+            let back = Event::parse_ndjson(&line).unwrap_or_else(|| panic!("parse {line}"));
+            match (e, back) {
+                (
+                    Event::BoundTightened { bound: a, .. },
+                    Event::BoundTightened { bound: b, .. },
+                ) if a.is_infinite() => assert!(b.is_infinite()),
+                (e, back) => assert_eq!(e, back, "line {line}"),
+            }
+        }
+    }
+
+    #[test]
+    fn integer_distances_still_parse_as_floats() {
+        let e = Event::ResultReported { rank: 1, dist: 2.0 };
+        let line = e.to_ndjson();
+        assert!(line.contains("2.0"), "{line}");
+        assert_eq!(Event::parse_ndjson(&line), Some(e));
+    }
+
+    #[test]
+    fn malformed_lines_are_rejected() {
+        assert_eq!(Event::parse_ndjson(""), None);
+        assert_eq!(Event::parse_ndjson("{}"), None);
+        assert_eq!(Event::parse_ndjson("{\"e\":\"no_such_event\"}"), None);
+        assert_eq!(Event::parse_ndjson("{\"e\":\"result_reported\"}"), None);
+        assert_eq!(Event::parse_ndjson("not json at all"), None);
+    }
+}

@@ -1,0 +1,675 @@
+//! Machine-readable run reports.
+//!
+//! A [`RunReport`] is a schema-versioned JSON document describing one
+//! instrumented join run: host info, workload parameters, counters, the
+//! queue-size-vs-results time series, and the distance-vs-rank curve — the
+//! raw material of the paper's Figures 6–8. Reports are written atomically
+//! ([`write_atomic`]) and can be parsed back and validated
+//! ([`RunReport::from_json`], [`RunReport::validate`]).
+//!
+//! [`RunRecorder`] is the [`EventSink`] that collects the two series from a
+//! live event stream, and [`sparkline`] renders any series as a one-line
+//! Unicode chart for terminals.
+
+use std::io::{self, Write};
+use std::path::Path;
+use std::sync::Mutex;
+
+use crate::event::Event;
+use crate::json::{escape_into, JsonValue};
+use crate::sink::EventSink;
+
+/// Current report schema version. Bump on breaking field changes.
+pub const SCHEMA_VERSION: u64 = 1;
+
+/// Hard cap on stored series points; beyond it the recorder decimates by
+/// doubling its stride, so memory stays bounded on any run length.
+const SERIES_CAP: usize = 4096;
+
+/// Static facts about the host and build that produced a report.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct HostInfo {
+    /// Hardware threads available to the process.
+    pub nproc: u64,
+    /// `"release"` or `"debug"`.
+    pub build_profile: String,
+}
+
+impl HostInfo {
+    /// Detects the current host and build profile.
+    #[must_use]
+    pub fn detect() -> Self {
+        let nproc = std::thread::available_parallelism().map_or(1, |n| n.get() as u64);
+        let build_profile = if cfg!(debug_assertions) {
+            "debug"
+        } else {
+            "release"
+        };
+        Self {
+            nproc,
+            build_profile: build_profile.to_string(),
+        }
+    }
+
+    /// Appends this as a JSON object.
+    fn write_json(&self, out: &mut String) {
+        out.push_str("{\"nproc\":");
+        out.push_str(&self.nproc.to_string());
+        out.push_str(",\"build_profile\":\"");
+        escape_into(out, &self.build_profile);
+        out.push_str("\"}");
+    }
+
+    fn from_json(v: &JsonValue) -> Option<Self> {
+        Some(Self {
+            nproc: v.get("nproc")?.as_u64()?,
+            build_profile: v.get("build_profile")?.as_str()?.to_string(),
+        })
+    }
+}
+
+/// One instrumented run, ready to serialise.
+#[derive(Clone, Debug, Default)]
+pub struct RunReport {
+    /// Human-readable run label.
+    pub label: String,
+    /// Host / build facts ([`HostInfo::detect`]).
+    pub host: Option<HostInfo>,
+    /// Workload parameters, e.g. `("n", 10000.0)`, `("k", 1000.0)`.
+    pub workload: Vec<(String, f64)>,
+    /// Named end-of-run counters (from `JoinStats` and the registry).
+    pub counters: Vec<(String, u64)>,
+    /// `(results_reported, queue_len)` samples in run order — Figure 6.
+    pub queue_series: Vec<(u64, u64)>,
+    /// `(rank, distance)` samples in rank order — Figures 7–8.
+    pub distance_by_rank: Vec<(u64, f64)>,
+    /// Named floating-point metrics (rates, seconds, means ...).
+    pub metrics: Vec<(String, f64)>,
+    /// Total events the sink saw while recording.
+    pub events_recorded: u64,
+}
+
+/// A failed [`RunReport::validate`] check.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ReportError(pub String);
+
+impl std::fmt::Display for ReportError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl std::error::Error for ReportError {}
+
+fn fmt_metric(v: f64) -> String {
+    if v.is_finite() {
+        let s = format!("{v}");
+        if s.contains(['.', 'e', 'E']) {
+            s
+        } else {
+            format!("{s}.0")
+        }
+    } else {
+        // JSON has no infinities; clamp to a sentinel the parser accepts.
+        "null".to_string()
+    }
+}
+
+impl RunReport {
+    /// A report with the given label and detected host info.
+    #[must_use]
+    pub fn new(label: &str) -> Self {
+        Self {
+            label: label.to_string(),
+            host: Some(HostInfo::detect()),
+            ..Self::default()
+        }
+    }
+
+    /// Renders the report as pretty-ish JSON (stable field order).
+    #[must_use]
+    pub fn to_json(&self) -> String {
+        let mut out = String::with_capacity(1024);
+        out.push_str("{\n  \"schema_version\": ");
+        out.push_str(&SCHEMA_VERSION.to_string());
+        out.push_str(",\n  \"label\": \"");
+        escape_into(&mut out, &self.label);
+        out.push_str("\",\n  \"host\": ");
+        match &self.host {
+            Some(h) => h.write_json(&mut out),
+            None => out.push_str("null"),
+        }
+        out.push_str(",\n  \"workload\": {");
+        for (i, (k, v)) in self.workload.iter().enumerate() {
+            if i > 0 {
+                out.push_str(", ");
+            }
+            out.push('"');
+            escape_into(&mut out, k);
+            out.push_str("\": ");
+            out.push_str(&fmt_metric(*v));
+        }
+        out.push_str("},\n  \"counters\": {");
+        for (i, (k, v)) in self.counters.iter().enumerate() {
+            if i > 0 {
+                out.push_str(", ");
+            }
+            out.push('"');
+            escape_into(&mut out, k);
+            out.push_str("\": ");
+            out.push_str(&v.to_string());
+        }
+        out.push_str("},\n  \"metrics\": {");
+        for (i, (k, v)) in self.metrics.iter().enumerate() {
+            if i > 0 {
+                out.push_str(", ");
+            }
+            out.push('"');
+            escape_into(&mut out, k);
+            out.push_str("\": ");
+            out.push_str(&fmt_metric(*v));
+        }
+        out.push_str("},\n  \"events_recorded\": ");
+        out.push_str(&self.events_recorded.to_string());
+        out.push_str(",\n  \"queue_series\": [");
+        for (i, (results, len)) in self.queue_series.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!("[{results},{len}]"));
+        }
+        out.push_str("],\n  \"distance_by_rank\": [");
+        for (i, (rank, dist)) in self.distance_by_rank.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!("[{rank},{}]", fmt_metric(*dist)));
+        }
+        out.push_str("]\n}\n");
+        out
+    }
+
+    /// Parses a report previously written by [`RunReport::to_json`].
+    /// Rejects unknown schema versions.
+    pub fn from_json(text: &str) -> Result<Self, ReportError> {
+        let v = JsonValue::parse(text).map_err(|e| ReportError(format!("bad json: {e}")))?;
+        let version = v
+            .get("schema_version")
+            .and_then(JsonValue::as_u64)
+            .ok_or_else(|| ReportError("missing schema_version".into()))?;
+        if version != SCHEMA_VERSION {
+            return Err(ReportError(format!(
+                "unsupported schema_version {version} (expected {SCHEMA_VERSION})"
+            )));
+        }
+        let label = v
+            .get("label")
+            .and_then(JsonValue::as_str)
+            .ok_or_else(|| ReportError("missing label".into()))?
+            .to_string();
+        let host = match v.get("host") {
+            Some(JsonValue::Null) | None => None,
+            Some(h) => {
+                Some(HostInfo::from_json(h).ok_or_else(|| ReportError("malformed host".into()))?)
+            }
+        };
+        let obj_pairs = |key: &str| -> Result<Vec<(String, f64)>, ReportError> {
+            match v.get(key) {
+                Some(JsonValue::Obj(fields)) => fields
+                    .iter()
+                    .map(|(k, val)| match val {
+                        JsonValue::Num(n) => Ok((k.clone(), *n)),
+                        JsonValue::Null => Ok((k.clone(), f64::NAN)),
+                        _ => Err(ReportError(format!("non-numeric {key}.{k}"))),
+                    })
+                    .collect(),
+                None => Ok(Vec::new()),
+                _ => Err(ReportError(format!("{key} is not an object"))),
+            }
+        };
+        let workload = obj_pairs("workload")?;
+        let metrics = obj_pairs("metrics")?;
+        let counters = match v.get("counters") {
+            Some(JsonValue::Obj(fields)) => fields
+                .iter()
+                .map(|(k, val)| {
+                    val.as_u64()
+                        .map(|n| (k.clone(), n))
+                        .ok_or_else(|| ReportError(format!("counter {k} not a non-negative int")))
+                })
+                .collect::<Result<Vec<_>, _>>()?,
+            None => Vec::new(),
+            _ => return Err(ReportError("counters is not an object".into())),
+        };
+        let pair_u64 = |p: &JsonValue, what: &str| -> Result<(u64, u64), ReportError> {
+            let arr = p
+                .as_arr()
+                .filter(|a| a.len() == 2)
+                .ok_or_else(|| ReportError(format!("{what} entry is not a pair")))?;
+            Ok((
+                arr[0]
+                    .as_u64()
+                    .ok_or_else(|| ReportError(format!("{what} x not a u64")))?,
+                arr[1]
+                    .as_u64()
+                    .ok_or_else(|| ReportError(format!("{what} y not a u64")))?,
+            ))
+        };
+        let queue_series = match v.get("queue_series") {
+            Some(JsonValue::Arr(items)) => items
+                .iter()
+                .map(|p| pair_u64(p, "queue_series"))
+                .collect::<Result<Vec<_>, _>>()?,
+            None => Vec::new(),
+            _ => return Err(ReportError("queue_series is not an array".into())),
+        };
+        let distance_by_rank = match v.get("distance_by_rank") {
+            Some(JsonValue::Arr(items)) => items
+                .iter()
+                .map(|p| -> Result<(u64, f64), ReportError> {
+                    let arr = p
+                        .as_arr()
+                        .filter(|a| a.len() == 2)
+                        .ok_or_else(|| ReportError("distance_by_rank entry not a pair".into()))?;
+                    Ok((
+                        arr[0]
+                            .as_u64()
+                            .ok_or_else(|| ReportError("rank not a u64".into()))?,
+                        arr[1]
+                            .as_f64()
+                            .ok_or_else(|| ReportError("distance not a number".into()))?,
+                    ))
+                })
+                .collect::<Result<Vec<_>, _>>()?,
+            None => Vec::new(),
+            _ => return Err(ReportError("distance_by_rank is not an array".into())),
+        };
+        let events_recorded = v
+            .get("events_recorded")
+            .and_then(JsonValue::as_u64)
+            .unwrap_or(0);
+        Ok(Self {
+            label,
+            host,
+            workload,
+            counters,
+            queue_series,
+            distance_by_rank,
+            metrics,
+            events_recorded,
+        })
+    }
+
+    /// Schema checks beyond parseability: host sanity, ranks strictly
+    /// increasing, distances non-negative and non-decreasing.
+    pub fn validate(&self) -> Result<(), ReportError> {
+        if let Some(h) = &self.host {
+            if h.nproc == 0 {
+                return Err(ReportError("host.nproc must be >= 1".into()));
+            }
+            if h.build_profile != "release" && h.build_profile != "debug" {
+                return Err(ReportError(format!(
+                    "host.build_profile {:?} not release/debug",
+                    h.build_profile
+                )));
+            }
+        }
+        let mut prev_rank: Option<u64> = None;
+        let mut prev_dist = 0.0f64;
+        for &(rank, dist) in &self.distance_by_rank {
+            if let Some(p) = prev_rank {
+                if rank <= p {
+                    return Err(ReportError(format!(
+                        "ranks not strictly increasing at {rank} (prev {p})"
+                    )));
+                }
+            }
+            if dist.is_nan() || dist < 0.0 {
+                return Err(ReportError(format!("distance at rank {rank} is {dist}")));
+            }
+            if dist + 1e-9 < prev_dist {
+                return Err(ReportError(format!(
+                    "distances decrease at rank {rank}: {dist} < {prev_dist}"
+                )));
+            }
+            prev_rank = Some(rank);
+            prev_dist = dist.max(prev_dist);
+        }
+        Ok(())
+    }
+
+    /// True if the queue-size series shows the grow-then-drain shape of
+    /// the paper's Figure 6: its peak is well above both endpoints.
+    #[must_use]
+    pub fn grow_then_drain(&self) -> bool {
+        if self.queue_series.len() < 3 {
+            return false;
+        }
+        let first = self.queue_series.first().map_or(0, |p| p.1);
+        let last = self.queue_series.last().map_or(0, |p| p.1);
+        let peak = self.queue_series.iter().map(|p| p.1).max().unwrap_or(0);
+        peak > first.saturating_mul(2).max(8) && peak > last.saturating_mul(2).max(8)
+    }
+
+    /// Writes the report atomically (temp file + rename) to `path`.
+    pub fn write_atomic<P: AsRef<Path>>(&self, path: P) -> io::Result<()> {
+        write_atomic(path, self.to_json().as_bytes())
+    }
+}
+
+/// Writes `bytes` to `path` atomically: the data goes to a uniquely named
+/// temp file in the same directory (same filesystem, so rename cannot
+/// cross devices), is flushed, then renamed over the destination. Readers
+/// never observe a torn file.
+pub fn write_atomic<P: AsRef<Path>>(path: P, bytes: &[u8]) -> io::Result<()> {
+    let path = path.as_ref();
+    let dir = path.parent().filter(|p| !p.as_os_str().is_empty());
+    let file_name = path
+        .file_name()
+        .ok_or_else(|| io::Error::new(io::ErrorKind::InvalidInput, "path has no file name"))?;
+    // Unique-enough temp name: pid + address entropy from a stack local.
+    let token = {
+        let local = 0u8;
+        (std::ptr::addr_of!(local) as usize) ^ (std::process::id() as usize).rotate_left(17)
+    };
+    let tmp_name = format!(".{}.tmp{:x}", file_name.to_string_lossy(), token);
+    let tmp_path = match dir {
+        Some(d) => d.join(&tmp_name),
+        None => Path::new(&tmp_name).to_path_buf(),
+    };
+    let result = (|| {
+        let mut f = std::fs::File::create(&tmp_path)?;
+        f.write_all(bytes)?;
+        f.sync_all()?;
+        std::fs::rename(&tmp_path, path)
+    })();
+    if result.is_err() {
+        let _ = std::fs::remove_file(&tmp_path);
+    }
+    result
+}
+
+/// Renders `values` as a one-line Unicode sparkline of at most `width`
+/// cells, downsampling by taking the max within each cell (peaks matter
+/// for queue-size curves). Empty input renders as an empty string.
+#[must_use]
+pub fn sparkline(values: &[f64], width: usize) -> String {
+    const BARS: [char; 8] = ['▁', '▂', '▃', '▄', '▅', '▆', '▇', '█'];
+    if values.is_empty() || width == 0 {
+        return String::new();
+    }
+    let finite: Vec<f64> = values.iter().copied().filter(|v| v.is_finite()).collect();
+    if finite.is_empty() {
+        return String::new();
+    }
+    let lo = finite.iter().copied().fold(f64::INFINITY, f64::min);
+    let hi = finite.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+    let cells = width.min(values.len());
+    let mut out = String::with_capacity(cells * 3);
+    for c in 0..cells {
+        let start = c * values.len() / cells;
+        let end = ((c + 1) * values.len() / cells).max(start + 1);
+        let cell_max = values[start..end.min(values.len())]
+            .iter()
+            .copied()
+            .filter(|v| v.is_finite())
+            .fold(f64::NEG_INFINITY, f64::max);
+        if !cell_max.is_finite() {
+            out.push(BARS[0]);
+            continue;
+        }
+        let t = if hi > lo {
+            (cell_max - lo) / (hi - lo)
+        } else {
+            0.0
+        };
+        let idx = ((t * 7.0).round() as usize).min(7);
+        out.push(BARS[idx]);
+    }
+    out
+}
+
+struct RecorderInner {
+    queue_series: Vec<(u64, u64)>,
+    queue_stride: u64,
+    queue_seen: u64,
+    distance_by_rank: Vec<(u64, f64)>,
+    rank_stride: u64,
+    rank_seen: u64,
+    events: u64,
+    last_result: Option<(u64, f64)>,
+}
+
+impl RecorderInner {
+    /// Halves a series in place and doubles its stride — called when a
+    /// series hits [`SERIES_CAP`], keeping memory bounded while the
+    /// retained points stay evenly spaced.
+    fn decimate<T: Copy>(series: &mut Vec<T>, stride: &mut u64) {
+        let mut keep = 0;
+        for i in (0..series.len()).step_by(2) {
+            series[keep] = series[i];
+            keep += 1;
+        }
+        series.truncate(keep);
+        *stride *= 2;
+    }
+}
+
+/// An [`EventSink`] that accumulates the two report series from a live
+/// event stream: `QueueSampled` → queue-size-vs-results, `ResultReported`
+/// → distance-vs-rank. Bounded memory via stride-doubling decimation; the
+/// final result is always retained exactly.
+pub struct RunRecorder {
+    inner: Mutex<RecorderInner>,
+}
+
+impl Default for RunRecorder {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl RunRecorder {
+    /// An empty recorder.
+    #[must_use]
+    pub fn new() -> Self {
+        Self {
+            inner: Mutex::new(RecorderInner {
+                queue_series: Vec::new(),
+                queue_stride: 1,
+                queue_seen: 0,
+                distance_by_rank: Vec::new(),
+                rank_stride: 1,
+                rank_seen: 0,
+                events: 0,
+                last_result: None,
+            }),
+        }
+    }
+
+    /// Moves the recorded series into `report` (and sets
+    /// `events_recorded`). The final reported result is appended to the
+    /// rank curve if decimation dropped it.
+    pub fn fill_report(&self, report: &mut RunReport) {
+        let mut inner = self.inner.lock().unwrap();
+        report.events_recorded = inner.events;
+        report.queue_series = std::mem::take(&mut inner.queue_series);
+        let mut ranks = std::mem::take(&mut inner.distance_by_rank);
+        if let Some(last) = inner.last_result {
+            if ranks.last().is_none_or(|&(r, _)| r < last.0) {
+                ranks.push(last);
+            }
+        }
+        report.distance_by_rank = ranks;
+    }
+
+    /// Total events seen so far.
+    #[must_use]
+    pub fn events_seen(&self) -> u64 {
+        self.inner.lock().unwrap().events
+    }
+}
+
+impl EventSink for RunRecorder {
+    fn emit(&self, event: &Event) {
+        let mut inner = self.inner.lock().unwrap();
+        inner.events += 1;
+        match *event {
+            Event::QueueSampled { len, results, .. } => {
+                inner.queue_seen += 1;
+                if inner.queue_seen.is_multiple_of(inner.queue_stride) {
+                    inner.queue_series.push((results, len));
+                    if inner.queue_series.len() >= SERIES_CAP {
+                        let RecorderInner {
+                            queue_series,
+                            queue_stride,
+                            ..
+                        } = &mut *inner;
+                        RecorderInner::decimate(queue_series, queue_stride);
+                    }
+                }
+            }
+            Event::ResultReported { rank, dist } => {
+                inner.last_result = Some((rank, dist));
+                inner.rank_seen += 1;
+                if inner.rank_seen.is_multiple_of(inner.rank_stride) {
+                    inner.distance_by_rank.push((rank, dist));
+                    if inner.distance_by_rank.len() >= SERIES_CAP {
+                        let RecorderInner {
+                            distance_by_rank,
+                            rank_stride,
+                            ..
+                        } = &mut *inner;
+                        RecorderInner::decimate(distance_by_rank, rank_stride);
+                    }
+                }
+            }
+            _ => {}
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_report() -> RunReport {
+        RunReport {
+            label: "test run".into(),
+            host: Some(HostInfo {
+                nproc: 4,
+                build_profile: "release".into(),
+            }),
+            workload: vec![("n".into(), 10000.0), ("k".into(), 1000.0)],
+            counters: vec![("distance_calcs".into(), 12345)],
+            queue_series: vec![(0, 10), (100, 500), (200, 900), (300, 50)],
+            distance_by_rank: vec![(1, 0.0), (2, 0.5), (10, 0.5), (100, 2.25)],
+            metrics: vec![("seconds".into(), 1.25)],
+            events_recorded: 42,
+        }
+    }
+
+    #[test]
+    fn report_json_roundtrip() {
+        let r = sample_report();
+        let json = r.to_json();
+        let back = RunReport::from_json(&json).expect("parses");
+        assert_eq!(back.label, r.label);
+        assert_eq!(back.host, r.host);
+        assert_eq!(back.counters, r.counters);
+        assert_eq!(back.queue_series, r.queue_series);
+        assert_eq!(back.distance_by_rank, r.distance_by_rank);
+        assert_eq!(back.events_recorded, 42);
+        back.validate().expect("valid");
+    }
+
+    #[test]
+    fn from_json_rejects_bad_schema_version() {
+        let mut json = sample_report().to_json();
+        json = json.replace("\"schema_version\": 1", "\"schema_version\": 99");
+        assert!(RunReport::from_json(&json).is_err());
+    }
+
+    #[test]
+    fn validate_catches_bad_series() {
+        let mut r = sample_report();
+        r.distance_by_rank = vec![(1, 0.5), (1, 0.6)];
+        assert!(r.validate().is_err(), "duplicate rank");
+        r.distance_by_rank = vec![(1, 0.5), (2, 0.1)];
+        assert!(r.validate().is_err(), "decreasing distance");
+        r.distance_by_rank = vec![(1, -0.5)];
+        assert!(r.validate().is_err(), "negative distance");
+        r.distance_by_rank.clear();
+        r.host.as_mut().unwrap().nproc = 0;
+        assert!(r.validate().is_err(), "zero nproc");
+    }
+
+    #[test]
+    fn grow_then_drain_shape_check() {
+        let mut r = sample_report();
+        assert!(r.grow_then_drain());
+        r.queue_series = vec![(0, 10), (1, 11), (2, 12)];
+        assert!(!r.grow_then_drain(), "monotone growth is not a drain");
+        r.queue_series.clear();
+        assert!(!r.grow_then_drain());
+    }
+
+    #[test]
+    fn write_atomic_replaces_and_cleans_up() {
+        let dir = std::env::temp_dir().join(format!("sdj_obs_test_{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("report.json");
+        write_atomic(&path, b"one").unwrap();
+        assert_eq!(std::fs::read(&path).unwrap(), b"one");
+        write_atomic(&path, b"two").unwrap();
+        assert_eq!(std::fs::read(&path).unwrap(), b"two");
+        let leftovers: Vec<_> = std::fs::read_dir(&dir)
+            .unwrap()
+            .filter_map(|e| e.ok())
+            .filter(|e| e.file_name().to_string_lossy().contains(".tmp"))
+            .collect();
+        assert!(leftovers.is_empty(), "temp files left behind");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn sparkline_renders_shapes() {
+        assert_eq!(sparkline(&[], 10), "");
+        let flat = sparkline(&[1.0, 1.0, 1.0], 3);
+        assert_eq!(flat, "▁▁▁");
+        let ramp = sparkline(&[0.0, 1.0, 2.0, 3.0, 4.0, 5.0, 6.0, 7.0], 8);
+        assert_eq!(ramp, "▁▂▃▄▅▆▇█");
+        let peak = sparkline(&[0.0, 10.0, 0.0], 3);
+        assert_eq!(peak.chars().count(), 3);
+        assert!(peak.contains('█'));
+        // Width smaller than data downsamples, keeping peaks.
+        let wide = sparkline(&[0.0, 0.0, 9.0, 0.0, 0.0, 0.0], 2);
+        assert_eq!(wide.chars().count(), 2);
+        assert!(wide.contains('█'));
+    }
+
+    #[test]
+    fn recorder_collects_and_decimates() {
+        let rec = RunRecorder::new();
+        for i in 0..10_000u64 {
+            rec.emit(&Event::QueueSampled {
+                pops: i,
+                len: i % 100,
+                results: i,
+            });
+            rec.emit(&Event::ResultReported {
+                rank: i + 1,
+                dist: i as f64 * 0.001,
+            });
+        }
+        let mut report = RunReport::new("decimation");
+        rec.fill_report(&mut report);
+        assert!(report.queue_series.len() <= SERIES_CAP);
+        assert!(report.distance_by_rank.len() <= SERIES_CAP);
+        assert!(report.queue_series.len() > SERIES_CAP / 4);
+        // The final result survives decimation.
+        assert_eq!(report.distance_by_rank.last().unwrap().0, 10_000);
+        assert_eq!(report.events_recorded, 20_000);
+        report.validate().expect("valid after decimation");
+    }
+}

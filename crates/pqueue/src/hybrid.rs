@@ -11,7 +11,9 @@
 //! (`D1 = w·D_T`, `D2 = (w+1)·D_T`) so repeated advancement cannot drift.
 
 use std::collections::BTreeMap;
+use std::sync::Arc;
 
+use sdj_obs::{Event, EventSink, Gauge, Registry, Tier};
 use sdj_storage::codec::{PageReader, PageWriter};
 use sdj_storage::{BufferPool, DiskStats, PageId, Pager};
 
@@ -65,6 +67,43 @@ pub struct HybridStats {
     pub promotions: u64,
 }
 
+/// Pre-registered tier-occupancy gauges (`pq.tier.heap` / `pq.tier.list` /
+/// `pq.tier.disk`). At every quiescent point the three gauges sum to the
+/// queue's total length — the invariant the pqueue observability tests
+/// exercise.
+#[derive(Clone)]
+pub struct TierGauges {
+    /// Elements resident in the pairing heap (distances below `D1`).
+    pub heap: Arc<Gauge>,
+    /// Elements in the unorganised in-memory list (`[D1, D2)`).
+    pub list: Arc<Gauge>,
+    /// Elements spilled to disk buckets (`>= D2`).
+    pub disk: Arc<Gauge>,
+}
+
+impl TierGauges {
+    /// Registers (or re-uses) the three tier gauges in `registry`.
+    #[must_use]
+    pub fn register(registry: &Registry) -> Self {
+        Self {
+            heap: registry.gauge("pq.tier.heap"),
+            list: registry.gauge("pq.tier.list"),
+            disk: registry.gauge("pq.tier.disk"),
+        }
+    }
+}
+
+impl std::fmt::Debug for TierGauges {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("TierGauges").finish_non_exhaustive()
+    }
+}
+
+struct HybridObs {
+    sink: Arc<dyn EventSink>,
+    gauges: Option<TierGauges>,
+}
+
 struct Bucket {
     head: PageId,
     /// Records in the head page (full pages behind it hold `records_per_page`).
@@ -89,6 +128,7 @@ pub struct HybridQueue<K, V> {
     max_len: usize,
     mem_peak: usize,
     stats: HybridStats,
+    obs: Option<HybridObs>,
 }
 
 impl<K, V> HybridQueue<K, V>
@@ -124,6 +164,34 @@ where
             max_len: 0,
             mem_peak: 0,
             stats: HybridStats::default(),
+            obs: None,
+        }
+    }
+
+    /// Attaches observability: every tier migration (spill, bucket reload,
+    /// window promotion) emits a [`Event::TierMigration`] to `sink`, and —
+    /// if `gauges` is given — the per-tier occupancy gauges are kept in sync
+    /// after every queue operation.
+    pub fn attach_obs(&mut self, sink: Arc<dyn EventSink>, gauges: Option<TierGauges>) {
+        self.obs = Some(HybridObs { sink, gauges });
+        self.sync_obs_gauges();
+    }
+
+    fn sync_obs_gauges(&self) {
+        if let Some(HybridObs {
+            gauges: Some(g), ..
+        }) = &self.obs
+        {
+            g.heap.set(self.heap.len() as i64);
+            g.list.set(self.list.len() as i64);
+            g.disk.set(self.on_disk_len() as i64);
+        }
+    }
+
+    fn emit_migration(&self, from: Tier, to: Tier, n: usize) {
+        if let Some(obs) = &self.obs {
+            let n = u32::try_from(n).unwrap_or(u32::MAX);
+            obs.sink.emit(&Event::TierMigration { from, to, n });
         }
     }
 
@@ -224,6 +292,9 @@ where
         b.total += 1;
         self.buckets.insert(k, b);
         self.stats.spilled += 1;
+        // A spill at insertion time is reported as `List -> Disk`: the
+        // element logically belongs past the list window.
+        self.emit_migration(Tier::List, Tier::Disk, 1);
     }
 
     /// Loads every record of bucket `k` into the in-memory list, freeing its
@@ -260,6 +331,9 @@ where
         }
         debug_assert_eq!(loaded, bucket.total);
         self.stats.reloaded += loaded as u64;
+        if loaded > 0 {
+            self.emit_migration(Tier::Disk, Tier::List, loaded);
+        }
     }
 
     /// Makes the heap's minimum the queue's global minimum, advancing the
@@ -275,10 +349,14 @@ where
                 self.window = k;
                 self.reload_bucket(k);
             }
+            let drained = self.list.len();
             for (key, value) in self.list.drain(..) {
                 self.heap.push(key, value);
             }
             self.stats.promotions += 1;
+            if drained > 0 {
+                self.emit_migration(Tier::List, Tier::Heap, drained);
+            }
             // Advance the window and pull the next bucket into the list.
             // (Saturating: +inf keys land in bucket u64::MAX.)
             self.window = self.window.saturating_add(1);
@@ -306,6 +384,7 @@ where
         self.len += 1;
         self.max_len = self.max_len.max(self.len);
         self.note_memory();
+        self.sync_obs_gauges();
     }
 
     fn pop(&mut self) -> Option<(K, V)> {
@@ -314,11 +393,13 @@ where
         if out.is_some() {
             self.len -= 1;
         }
+        self.sync_obs_gauges();
         out
     }
 
     fn peek_key(&mut self) -> Option<K> {
         self.ensure_front();
+        self.sync_obs_gauges();
         self.heap.peek().cloned()
     }
 

@@ -23,6 +23,6 @@ mod pairing;
 mod traits;
 
 pub use binary::BinaryHeapQueue;
-pub use hybrid::{HybridConfig, HybridQueue, HybridStats};
+pub use hybrid::{HybridConfig, HybridQueue, HybridStats, TierGauges};
 pub use pairing::PairingHeap;
 pub use traits::{Codec, PriorityQueue, QueueKey};

@@ -133,6 +133,14 @@ impl<const D: usize> RTree<D> {
         self.pool.reset_stats();
     }
 
+    /// Attaches an observability handle to the tree's buffer pool: node
+    /// accesses are mirrored into the handle's hit/miss/eviction counters
+    /// and evictions emit buffer events (see
+    /// [`sdj_storage::BufferPool::attach_obs`]).
+    pub fn attach_obs(&self, obs: sdj_storage::BufferObs) {
+        self.pool.attach_obs(obs);
+    }
+
     /// A conservative lower bound on the number of objects in the subtree of
     /// a node at `level` (used by the maximum-distance estimation of
     /// §2.2.4: "derived from the minimum fan-out and the height of the

@@ -15,7 +15,9 @@
 //! path, so the single lock is not a meaningful serialisation point.
 
 use std::collections::HashMap;
-use std::sync::Mutex;
+use std::sync::{Arc, Mutex};
+
+use sdj_obs::{Counter, Event, EventSink, ObsContext};
 
 use crate::{PageId, Pager, Result};
 
@@ -41,6 +43,38 @@ impl PoolStats {
     }
 }
 
+/// Observability handle for a buffer pool: counters pre-registered under a
+/// caller-chosen prefix (so several pools — tree nodes, queue spill pages —
+/// stay distinguishable in one registry) plus the shared event sink, which
+/// receives a [`Event::BufferEvict`] per eviction.
+#[derive(Clone)]
+pub struct BufferObs {
+    sink: Arc<dyn EventSink>,
+    hits: Arc<Counter>,
+    misses: Arc<Counter>,
+    evictions: Arc<Counter>,
+}
+
+impl BufferObs {
+    /// Builds the handle from a context, registering `{prefix}.hits`,
+    /// `{prefix}.misses` and `{prefix}.evictions`.
+    #[must_use]
+    pub fn new(ctx: &ObsContext, prefix: &str) -> Self {
+        Self {
+            sink: Arc::clone(&ctx.sink),
+            hits: ctx.registry.counter(&format!("{prefix}.hits")),
+            misses: ctx.registry.counter(&format!("{prefix}.misses")),
+            evictions: ctx.registry.counter(&format!("{prefix}.evictions")),
+        }
+    }
+}
+
+impl std::fmt::Debug for BufferObs {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("BufferObs").finish_non_exhaustive()
+    }
+}
+
 const NIL: usize = usize::MAX;
 
 struct Frame {
@@ -61,6 +95,7 @@ struct PoolInner {
     tail: usize,
     capacity: usize,
     stats: PoolStats,
+    obs: Option<BufferObs>,
 }
 
 /// An LRU page cache in front of a [`Pager`].
@@ -99,8 +134,17 @@ impl BufferPool {
                 tail: NIL,
                 capacity,
                 stats: PoolStats::default(),
+                obs: None,
             }),
         }
+    }
+
+    /// Attaches an observability handle: subsequent hits, misses and
+    /// evictions are mirrored into its counters and evictions emit a
+    /// [`Event::BufferEvict`]. The counters start from the attach point —
+    /// they are deltas, not a copy of [`BufferPool::stats`].
+    pub fn attach_obs(&self, obs: BufferObs) {
+        self.lock().obs = Some(obs);
     }
 
     /// Acquires the pool lock; a poisoned lock is recovered since every
@@ -232,10 +276,16 @@ impl PoolInner {
     fn fetch(&mut self, id: PageId) -> Result<usize> {
         if let Some(&idx) = self.map.get(&id) {
             self.stats.hits += 1;
+            if let Some(obs) = &self.obs {
+                obs.hits.inc();
+            }
             self.touch(idx);
             return Ok(idx);
         }
         self.stats.misses += 1;
+        if let Some(obs) = &self.obs {
+            obs.misses.inc();
+        }
         let mut data = vec![0u8; self.pager.page_size()].into_boxed_slice();
         self.pager.read(id, &mut data)?;
         let idx = if self.frames.len() >= self.capacity {
@@ -244,7 +294,8 @@ impl PoolInner {
             self.unlink(victim);
             let old = self.frames[victim].page;
             self.map.remove(&old);
-            if self.frames[victim].dirty {
+            let writeback = self.frames[victim].dirty;
+            if writeback {
                 let old_data = std::mem::take(&mut self.frames[victim].data);
                 let res = self.pager.write(old, &old_data);
                 self.frames[victim].data = old_data;
@@ -252,6 +303,10 @@ impl PoolInner {
                 self.stats.writebacks += 1;
             }
             self.stats.evictions += 1;
+            if let Some(obs) = &self.obs {
+                obs.evictions.inc();
+                obs.sink.emit(&Event::BufferEvict { writeback });
+            }
             self.frames[victim] = Frame {
                 page: id,
                 data,
@@ -451,6 +506,29 @@ mod tests {
         assert_eq!(s.misses, 6, "only cold misses");
         assert_eq!(s.hits, 24);
         assert_eq!(s.evictions, 0);
+    }
+
+    #[test]
+    fn obs_mirrors_stats_and_emits_evictions() {
+        use sdj_obs::{ObsContext, RingRecorder};
+        let ring = Arc::new(RingRecorder::new(16));
+        let ctx = ObsContext::new(ring.clone() as Arc<dyn EventSink>);
+        let (pool, ids) = pool(2);
+        pool.attach_obs(BufferObs::new(&ctx, "buf"));
+        let mut buf = [0u8; 8];
+        pool.read(ids[0], &mut buf).unwrap(); // miss
+        pool.read(ids[0], &mut buf).unwrap(); // hit
+        pool.write(ids[1], &[1; 8]).unwrap(); // miss, dirties ids[1]
+        pool.read(ids[2], &mut buf).unwrap(); // miss, evicts clean ids[0]
+        pool.read(ids[0], &mut buf).unwrap(); // miss, evicts dirty ids[1]
+        let s = pool.stats();
+        let snap = ctx.registry.snapshot();
+        assert_eq!(snap.counter("buf.hits"), Some(s.hits));
+        assert_eq!(snap.counter("buf.misses"), Some(s.misses));
+        assert_eq!(snap.counter("buf.evictions"), Some(s.evictions));
+        let counts = ring.counts();
+        assert_eq!(counts.buffer_evict, 2);
+        assert_eq!(counts.writebacks, 1);
     }
 
     #[test]

@@ -20,7 +20,7 @@ mod error;
 mod pager;
 pub mod persist;
 
-pub use buffer::{BufferPool, PoolStats};
+pub use buffer::{BufferObs, BufferPool, PoolStats};
 pub use error::StorageError;
 pub use pager::{DiskStats, PageId, Pager};
 pub use persist::PersistError;

@@ -1,16 +1,19 @@
 #!/bin/bash
+# Full-scale experiment sweep. Each binary streams its observability events
+# as NDJSON into results/<name>.ndjson via the SDJ_OBS_NDJSON sink (see
+# sdj-bench::obs_from_env); tables go to .txt, progress chatter to .log.
 cd /root/repo
 R=results
 mkdir -p $R
 set -x
-./target/release/exp_table1 --scale 1.0 > $R/table1.txt 2> $R/table1.log
-./target/release/exp_fig6 --scale 1.0 > $R/fig6.txt 2> $R/fig6.log
-./target/release/exp_fig7 --scale 1.0 > $R/fig7.txt 2> $R/fig7.log
-./target/release/exp_fig8 --scale 1.0 > $R/fig8.txt 2> $R/fig8.log
-./target/release/exp_fig9 --scale 1.0 > $R/fig9.txt 2> $R/fig9.log
-./target/release/exp_fig10 --scale 1.0 > $R/fig10.txt 2> $R/fig10.log
-./target/release/exp_swap_order --scale 1.0 > $R/swap_order.txt 2> $R/swap_order.log
-./target/release/exp_alt_semijoin --scale 1.0 > $R/alt_semijoin.txt 2> $R/alt_semijoin.log
-./target/release/exp_alt_join --scale 0.2 > $R/alt_join.txt 2> $R/alt_join.log
-./target/release/exp_ablation --scale 0.2 > $R/ablation.txt 2> $R/ablation.log
+SDJ_OBS_NDJSON=$R/table1.ndjson ./target/release/exp_table1 --scale 1.0 > $R/table1.txt 2> $R/table1.log
+SDJ_OBS_NDJSON=$R/fig6.ndjson ./target/release/exp_fig6 --scale 1.0 > $R/fig6.txt 2> $R/fig6.log
+SDJ_OBS_NDJSON=$R/fig7.ndjson ./target/release/exp_fig7 --scale 1.0 > $R/fig7.txt 2> $R/fig7.log
+SDJ_OBS_NDJSON=$R/fig8.ndjson ./target/release/exp_fig8 --scale 1.0 > $R/fig8.txt 2> $R/fig8.log
+SDJ_OBS_NDJSON=$R/fig9.ndjson ./target/release/exp_fig9 --scale 1.0 > $R/fig9.txt 2> $R/fig9.log
+SDJ_OBS_NDJSON=$R/fig10.ndjson ./target/release/exp_fig10 --scale 1.0 > $R/fig10.txt 2> $R/fig10.log
+SDJ_OBS_NDJSON=$R/swap_order.ndjson ./target/release/exp_swap_order --scale 1.0 > $R/swap_order.txt 2> $R/swap_order.log
+SDJ_OBS_NDJSON=$R/alt_semijoin.ndjson ./target/release/exp_alt_semijoin --scale 1.0 > $R/alt_semijoin.txt 2> $R/alt_semijoin.log
+SDJ_OBS_NDJSON=$R/alt_join.ndjson ./target/release/exp_alt_join --scale 0.2 > $R/alt_join.txt 2> $R/alt_join.log
+SDJ_OBS_NDJSON=$R/ablation.ndjson ./target/release/exp_ablation --scale 0.2 > $R/ablation.txt 2> $R/ablation.log
 echo ALL_EXPERIMENTS_DONE

@@ -1,11 +1,13 @@
 #!/bin/bash
+# Resume the tail of run_experiments.sh; same NDJSON event logging.
 cd /root/repo
 R=results
+mkdir -p $R
 set -x
-./target/release/exp_fig9 --scale 1.0 > $R/fig9.txt 2> $R/fig9.log
-./target/release/exp_fig10 --scale 1.0 > $R/fig10.txt 2> $R/fig10.log
-./target/release/exp_swap_order --scale 1.0 > $R/swap_order.txt 2> $R/swap_order.log
-./target/release/exp_alt_semijoin --scale 1.0 > $R/alt_semijoin.txt 2> $R/alt_semijoin.log
-./target/release/exp_alt_join --scale 0.2 > $R/alt_join.txt 2> $R/alt_join.log
-./target/release/exp_ablation --scale 0.2 > $R/ablation.txt 2> $R/ablation.log
+SDJ_OBS_NDJSON=$R/fig9.ndjson ./target/release/exp_fig9 --scale 1.0 > $R/fig9.txt 2> $R/fig9.log
+SDJ_OBS_NDJSON=$R/fig10.ndjson ./target/release/exp_fig10 --scale 1.0 > $R/fig10.txt 2> $R/fig10.log
+SDJ_OBS_NDJSON=$R/swap_order.ndjson ./target/release/exp_swap_order --scale 1.0 > $R/swap_order.txt 2> $R/swap_order.log
+SDJ_OBS_NDJSON=$R/alt_semijoin.ndjson ./target/release/exp_alt_semijoin --scale 1.0 > $R/alt_semijoin.txt 2> $R/alt_semijoin.log
+SDJ_OBS_NDJSON=$R/alt_join.ndjson ./target/release/exp_alt_join --scale 0.2 > $R/alt_join.txt 2> $R/alt_join.log
+SDJ_OBS_NDJSON=$R/ablation.ndjson ./target/release/exp_ablation --scale 0.2 > $R/ablation.txt 2> $R/ablation.log
 echo REMAINING_DONE

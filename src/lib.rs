@@ -17,6 +17,7 @@
 //! | [`baselines`] | `sdj-baselines` | nested loop, NN semi-join, within-join |
 //! | [`datagen`] | `sdj-datagen` | seeded TIGER-like workload generators |
 //! | [`query`] | `sdj-query` | relations, predicates, `STOP AFTER` queries |
+//! | [`obs`] | `sdj-obs` | events, metrics registry, run reports (DESIGN.md §7) |
 //!
 //! See the README for a tour and `DESIGN.md` for the paper-to-module map.
 //!
@@ -40,6 +41,7 @@ pub use sdj_core as join;
 pub use sdj_datagen as datagen;
 pub use sdj_exec as exec;
 pub use sdj_geom as geom;
+pub use sdj_obs as obs;
 pub use sdj_pqueue as pqueue;
 pub use sdj_quadtree as quadtree;
 pub use sdj_query as query;

@@ -1,0 +1,131 @@
+//! End-to-end observability: one instrumented join exercises every layer —
+//! the engine's counters and event sampling (sdj-core), the hybrid queue's
+//! tier gauges and migration events (sdj-pqueue), the buffer pool's
+//! hit/miss/eviction counters (sdj-storage via sdj-rtree) — and the
+//! collected stream must reconstruct into a valid [`RunReport`] whose
+//! series match the results the join actually produced.
+
+use std::sync::Arc;
+
+use sdj_core::{DistanceJoin, JoinConfig, QueueBackend};
+use sdj_datagen::{uniform_points, unit_box};
+use sdj_geom::Point;
+use sdj_obs::{EventSink, ObsContext, RingRecorder, RunRecorder, RunReport, TeeSink};
+use sdj_pqueue::HybridConfig;
+use sdj_rtree::{ObjectId, RTree, RTreeConfig};
+use sdj_storage::BufferObs;
+
+fn small_tree(seed: u64, n: usize) -> RTree<2> {
+    let pts: Vec<Point<2>> = uniform_points(n, &unit_box(), seed);
+    // A tiny buffer pool so the run actually evicts.
+    let mut t = RTree::new(RTreeConfig {
+        buffer_frames: 8,
+        ..RTreeConfig::small(8)
+    });
+    for (i, p) in pts.iter().enumerate() {
+        t.insert(ObjectId(i as u64), p.to_rect()).unwrap();
+    }
+    t
+}
+
+#[test]
+fn instrumented_join_observes_every_layer() {
+    let t1 = small_tree(11, 600);
+    let t2 = small_tree(12, 600);
+
+    let ring = Arc::new(RingRecorder::new(1 << 16));
+    let run_rec = Arc::new(RunRecorder::new());
+    let sink: Arc<dyn EventSink> = Arc::new(TeeSink::new(Arc::clone(&ring), Arc::clone(&run_rec)));
+    let ctx = ObsContext::new(sink).with_pop_sample_every(32);
+
+    // Hybrid queue backend so tier events fire; tiny buffer so evictions do.
+    t1.attach_obs(BufferObs::new(&ctx, "buf.tree1"));
+    t2.attach_obs(BufferObs::new(&ctx, "buf.tree2"));
+    let config = JoinConfig {
+        queue: QueueBackend::Hybrid(HybridConfig::with_dt(0.01)),
+        ..JoinConfig::default()
+    }
+    .with_max_pairs(500);
+    let mut join = DistanceJoin::new(&t1, &t2, config).with_obs(&ctx);
+    let results: Vec<_> = join.by_ref().collect();
+    let stats = join.stats();
+    assert_eq!(results.len(), 500);
+    assert_eq!(ring.dropped(), 0);
+
+    // Engine layer: registry counters agree with the run.
+    let snap = ctx.registry.snapshot();
+    assert_eq!(snap.counter("join.results"), Some(500));
+    assert!(snap.counter("join.expansions").unwrap() > 0);
+    let (_, queue_peak) = snap.gauge("join.queue_depth").unwrap();
+    assert!(queue_peak > 0);
+    assert!(stats.max_queue >= queue_peak as usize);
+
+    // Queue layer: tier gauges registered and all elements drained back out.
+    let (heap, _) = snap.gauge("pq.tier.heap").unwrap();
+    let (list, _) = snap.gauge("pq.tier.list").unwrap();
+    let (disk, _) = snap.gauge("pq.tier.disk").unwrap();
+    assert_eq!(
+        (heap + list + disk) as usize,
+        join.queue_len(),
+        "tier gauges must sum to the live queue length"
+    );
+
+    // Storage layer: the tiny pools were actually exercised.
+    let fetches: u64 = ["buf.tree1", "buf.tree2"]
+        .iter()
+        .map(|p| {
+            snap.counter(&format!("{p}.hits")).unwrap()
+                + snap.counter(&format!("{p}.misses")).unwrap()
+        })
+        .sum();
+    assert!(fetches > 0, "joins must fetch nodes through the pools");
+    let counts = ring.counts();
+    assert_eq!(counts.result_reported, 500);
+    assert!(counts.queue_sampled > 0, "pop sampling must fire");
+
+    // Report layer: the recorded series reconstruct a valid report whose
+    // rank curve is exactly the produced result distances.
+    let mut report = RunReport::new("integration");
+    run_rec.fill_report(&mut report);
+    report.counters = snap.counters.iter().map(|(n, v)| (n.clone(), *v)).collect();
+    report.validate().expect("report must validate");
+    assert_eq!(report.distance_by_rank.len(), 500);
+    for (i, ((rank, dist), r)) in report.distance_by_rank.iter().zip(&results).enumerate() {
+        assert_eq!(*rank, i as u64 + 1);
+        assert_eq!(dist.to_bits(), r.distance.to_bits());
+    }
+
+    // Round-trip: serialised JSON parses back to the same series.
+    let back = RunReport::from_json(&report.to_json()).expect("parses");
+    assert_eq!(back.distance_by_rank, report.distance_by_rank);
+    assert_eq!(back.queue_series, report.queue_series);
+    back.validate().expect("round-tripped report validates");
+}
+
+/// The disabled path stays disabled: an uninstrumented join touches no
+/// registry and emits nothing, and its stats equal an instrumented twin's.
+#[test]
+fn noop_instrumentation_is_invisible() {
+    let t1 = small_tree(21, 300);
+    let t2 = small_tree(22, 300);
+    let config = JoinConfig::default().with_max_pairs(200);
+
+    let mut bare = DistanceJoin::new(&t1, &t2, config);
+    let bare_dists: Vec<u64> = bare.by_ref().map(|r| r.distance.to_bits()).collect();
+
+    let ring = Arc::new(RingRecorder::new(1 << 14));
+    let ctx = ObsContext::new(ring.clone() as Arc<dyn EventSink>);
+    let mut obs = DistanceJoin::new(&t1, &t2, config).with_obs(&ctx);
+    let obs_dists: Vec<u64> = obs.by_ref().map(|r| r.distance.to_bits()).collect();
+
+    assert_eq!(
+        bare_dists, obs_dists,
+        "instrumentation must not change results"
+    );
+    assert_eq!(
+        bare.stats().distance_calcs,
+        obs.stats().distance_calcs,
+        "instrumentation must not change the work done"
+    );
+    assert!(ring.counts().total() > 0, "instrumented twin did emit");
+}
