@@ -10,11 +10,27 @@ cargo fmt --all --check
 echo "==> cargo clippy -D warnings"
 cargo clippy --workspace --all-targets --offline -- -D warnings
 
+echo "==> cargo clippy (geom kernels: suboptimal_flops)"
+# The distance kernels are the arithmetic hot path; hold them to the
+# stricter floating-point lint tier.
+cargo clippy -p sdj-geom --all-targets --no-deps --offline -- \
+    -D warnings -D clippy::suboptimal_flops
+
 echo "==> cargo build --release"
 cargo build --release --workspace --offline
 
+echo "==> cargo bench --no-run"
+cargo bench --workspace --offline --no-run
+
 echo "==> cargo test"
 cargo test --workspace --offline -q
+
+echo "==> kernel-equivalence smoke gate"
+# Batched SoA distance kernels must match the scalar bound functions
+# (<= 1 ulp, every metric, 2-D and 3-D), and every KeyDomain x
+# ExpansionPath combination must emit the identical result stream.
+cargo test -p sdj-geom --offline -q --test kernel_equivalence
+cargo test -p sdj-core --offline -q --test key_domain
 
 echo "==> observability smoke gate"
 # A small instrumented join must produce a schema-valid RunReport whose

@@ -1,0 +1,120 @@
+//! Key-domain / kernel A/B report for the expansion hot path.
+//!
+//! Joins two uniform 100k-point sets, consuming the K = 100,000 closest
+//! pairs through the serial engine under every `KeyDomain` ×
+//! `ExpansionPath` combination, and writes the measurements to
+//! `BENCH_kernels.json` in the current directory.
+//!
+//! The `plain/scalar` sample is the pre-kernel engine (per-entry scalar
+//! bounds on real distances); `squared/batched` is the shipped default
+//! (sqrt-free squared keys, struct-of-arrays MINDIST/MAXDIST kernels over
+//! cached node views). All four emit the identical result stream — the
+//! equivalence suites pin that — so the numbers isolate the cost of the
+//! arithmetic, not the answer. Serial wall-clock on one core; no
+//! parallelism involved.
+
+use std::time::Instant;
+
+use sdj_bench::build_tree;
+use sdj_core::{DistanceJoin, ExpansionPath, JoinConfig, KeyDomain};
+use sdj_datagen::{uniform_points, unit_box};
+use sdj_geom::Point;
+use sdj_rtree::RTree;
+
+struct Sample {
+    label: &'static str,
+    seconds: f64,
+    pairs: u64,
+    distance_calcs: u64,
+    sqrt_calls: u64,
+}
+
+fn measure(t1: &RTree<2>, t2: &RTree<2>, k: u64, domain: KeyDomain, path: ExpansionPath) -> Sample {
+    let label = match (domain, path) {
+        (KeyDomain::Plain, ExpansionPath::Scalar) => "plain/scalar (pre-kernel baseline)",
+        (KeyDomain::Plain, ExpansionPath::Batched) => "plain/batched",
+        (KeyDomain::Squared, ExpansionPath::Scalar) => "squared/scalar",
+        (KeyDomain::Squared, ExpansionPath::Batched) => "squared/batched (default)",
+    };
+    let config = JoinConfig::default()
+        .with_max_pairs(k)
+        .with_key_domain(domain)
+        .with_expansion(path);
+    let start = Instant::now();
+    let mut join = DistanceJoin::new(t1, t2, config);
+    let pairs = join.by_ref().count() as u64;
+    let seconds = start.elapsed().as_secs_f64();
+    let stats = join.stats();
+    Sample {
+        label,
+        seconds,
+        pairs,
+        distance_calcs: stats.distance_calcs,
+        sqrt_calls: stats.sqrt_calls,
+    }
+}
+
+fn env_num<T: std::str::FromStr>(name: &str, default: T) -> T {
+    match std::env::var(name) {
+        Ok(v) => v
+            .parse()
+            .unwrap_or_else(|_| panic!("{name}={v:?} is not a number")),
+        Err(_) => default,
+    }
+}
+
+fn main() {
+    let n: usize = env_num("SDJ_BENCH_N", 100_000);
+    let k: u64 = env_num("SDJ_BENCH_K", 100_000);
+
+    eprintln!("# building two uniform {n}-point trees ...");
+    let a: Vec<Point<2>> = uniform_points(n, &unit_box(), 97);
+    let b: Vec<Point<2>> = uniform_points(n, &unit_box(), 98);
+    let t1 = build_tree(&a);
+    let t2 = build_tree(&b);
+
+    let combos = [
+        (KeyDomain::Plain, ExpansionPath::Scalar),
+        (KeyDomain::Plain, ExpansionPath::Batched),
+        (KeyDomain::Squared, ExpansionPath::Scalar),
+        (KeyDomain::Squared, ExpansionPath::Batched),
+    ];
+    let mut samples = Vec::with_capacity(combos.len());
+    for (domain, path) in combos {
+        eprintln!("# serial join, K={k}, {domain:?}/{path:?} ...");
+        samples.push(measure(&t1, &t2, k, domain, path));
+    }
+    let baseline_secs = samples[0].seconds;
+
+    let mut rows = String::new();
+    for (i, s) in samples.iter().enumerate() {
+        if i > 0 {
+            rows.push_str(",\n");
+        }
+        rows.push_str(&format!(
+            "    {{\"label\": \"{}\", \"seconds\": {:.6}, \"pairs\": {}, \
+             \"pairs_per_sec\": {:.1}, \"distance_calcs\": {}, \"sqrt_calls\": {}, \
+             \"speedup_vs_baseline\": {:.3}}}",
+            s.label,
+            s.seconds,
+            s.pairs,
+            s.pairs as f64 / s.seconds.max(1e-12),
+            s.distance_calcs,
+            s.sqrt_calls,
+            baseline_secs / s.seconds.max(1e-12),
+        ));
+    }
+    let host = sdj_obs::HostInfo::detect();
+    let json = format!(
+        "{{\n  \"schema_version\": 1,\n  \"benchmark\": \"serial incremental distance join, \
+         uniform {n} x {n} points, K = {k} closest pairs, key-domain x expansion-path A/B\",\n  \
+         \"host\": {{\"nproc\": {}, \"build_profile\": \"{}\"}},\n  \
+         \"note\": \"single-core wall-clock; all combinations emit the identical stream, \
+         sqrt_calls counts the deferred key-to-distance conversions on the result path\",\n  \
+         \"samples\": [\n{rows}\n  ]\n}}\n",
+        host.nproc, host.build_profile,
+    );
+    sdj_obs::write_atomic("BENCH_kernels.json", json.as_bytes()).expect("write BENCH_kernels.json");
+    print!("{json}");
+    eprintln!("# wrote BENCH_kernels.json");
+}

@@ -7,6 +7,12 @@
 //! shard's — so workers publish their estimator's maximum distance here and
 //! read the fleet-wide minimum back into their own pruning checks.
 //!
+//! The published values live in the join's *key domain* (squared distances
+//! under the default Euclidean configuration, plain distances otherwise —
+//! see `JoinConfig::key_space`). All workers of a run share one config and
+//! therefore one domain, and the monotone distance → key map preserves the
+//! min, so nothing here needs to know which domain is in use.
+//!
 //! The bound is a non-negative `f64` stored as its IEEE-754 bit pattern in
 //! an [`AtomicU64`]. For non-negative floats the bit patterns order exactly
 //! like the values, so `fetch_min` on the raw bits is `fetch_min` on the

@@ -52,6 +52,37 @@ pub enum ResultOrder {
     Descending,
 }
 
+/// Domain of the priority-queue keys and every internal pruning bound.
+///
+/// Euclidean distances are monotone in their squares, so ordering pairs by
+/// squared distance pops them in exactly the same order while skipping the
+/// `sqrt` in every MINDIST/MAXDIST/MINMAXDIST evaluation. The single root is
+/// paid when a result is reported. Reported distances are bitwise identical
+/// between the two domains (see `DESIGN.md` §8). Manhattan/Chessboard keys
+/// are identical under both settings.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Hash)]
+pub enum KeyDomain {
+    /// Squared Euclidean keys; `sqrt` deferred to result reporting.
+    #[default]
+    Squared,
+    /// Keys are plain distances (the pre-kernel behaviour, kept for A/B
+    /// comparisons).
+    Plain,
+}
+
+/// Which implementation computes child bounds during node expansion.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Hash)]
+pub enum ExpansionPath {
+    /// Batched struct-of-arrays kernels over a cached per-page `NodeView`
+    /// (`sdj_geom::kernels`): one pass per axis over contiguous `lo`/`hi`
+    /// columns.
+    #[default]
+    Batched,
+    /// Per-entry scalar bound evaluations (the pre-kernel behaviour, kept
+    /// for A/B comparisons).
+    Scalar,
+}
+
 /// Full configuration of an incremental distance join.
 #[derive(Clone, Copy, Debug)]
 pub struct JoinConfig {
@@ -80,6 +111,11 @@ pub struct JoinConfig {
     /// self-joins such as the all-nearest-neighbours application of §1,
     /// where an object must not be its own nearest neighbour.
     pub exclude_equal_ids: bool,
+    /// Key domain for queue keys and pruning bounds (default: squared
+    /// Euclidean keys, deferring the `sqrt` to result reporting).
+    pub key_domain: KeyDomain,
+    /// Expansion implementation (default: batched SoA kernels).
+    pub expansion: ExpansionPath,
 }
 
 impl Default for JoinConfig {
@@ -95,6 +131,8 @@ impl Default for JoinConfig {
             estimation: EstimationBound::default(),
             order: ResultOrder::default(),
             exclude_equal_ids: false,
+            key_domain: KeyDomain::default(),
+            expansion: ExpansionPath::default(),
         }
     }
 }
@@ -136,6 +174,30 @@ impl JoinConfig {
         self.min_distance = min;
         self.max_distance = max;
         self
+    }
+
+    /// Convenience: select the key domain.
+    #[must_use]
+    pub fn with_key_domain(mut self, key_domain: KeyDomain) -> Self {
+        self.key_domain = key_domain;
+        self
+    }
+
+    /// Convenience: select the expansion implementation.
+    #[must_use]
+    pub fn with_expansion(mut self, expansion: ExpansionPath) -> Self {
+        self.expansion = expansion;
+        self
+    }
+
+    /// The key space implied by `metric` and `key_domain`: all queue keys,
+    /// shared bounds, and range restrictions live in this space.
+    #[must_use]
+    pub fn key_space(&self) -> sdj_geom::KeySpace {
+        match self.key_domain {
+            KeyDomain::Squared => sdj_geom::KeySpace::squared(self.metric),
+            KeyDomain::Plain => sdj_geom::KeySpace::plain(self.metric),
+        }
     }
 }
 

@@ -16,6 +16,11 @@
 //! Counts are deliberately *lower* bounds: over-estimating them could shrink
 //! the maximum distance below the true `K`-th result distance and force a
 //! restart (§2.2.4); with lower bounds no restart is ever needed.
+//!
+//! The estimator is agnostic to the join's key domain: `d_max` values are
+//! whatever monotone keys the engine feeds it (squared distances under the
+//! default Euclidean configuration), and [`Estimator::current_dmax`] answers
+//! in the same domain.
 
 use std::collections::{BTreeMap, HashMap, HashSet};
 

@@ -78,6 +78,24 @@ pub struct IndexNode<const D: usize> {
     pub entries: Vec<IndexEntry<D>>,
 }
 
+impl<const D: usize> IndexNode<D> {
+    /// An empty level-0 node — the starting state of a reusable read buffer
+    /// for [`SpatialIndex::read_node_into`].
+    #[must_use]
+    pub fn empty() -> Self {
+        Self {
+            level: 0,
+            entries: Vec::new(),
+        }
+    }
+}
+
+impl<const D: usize> Default for IndexNode<D> {
+    fn default() -> Self {
+        Self::empty()
+    }
+}
+
 /// A hierarchical spatial index traversable by the incremental join.
 pub trait SpatialIndex<const D: usize> {
     /// Whether node regions are minimal bounding rectangles (every face
@@ -101,6 +119,17 @@ pub trait SpatialIndex<const D: usize> {
 
     /// Reads a node.
     fn read_node(&self, id: NodeId) -> Result<IndexNode<D>>;
+
+    /// Reads a node into a caller-provided buffer, reusing its allocations.
+    ///
+    /// The expansion hot path reads one node per pop; this variant lets
+    /// implementations decode straight into `out.entries` (the R-tree
+    /// streams entries off the page buffer) instead of allocating a fresh
+    /// `Vec` per read. The default delegates to [`SpatialIndex::read_node`].
+    fn read_node_into(&self, id: NodeId, out: &mut IndexNode<D>) -> Result<()> {
+        *out = self.read_node(id)?;
+        Ok(())
+    }
 
     /// A conservative lower bound on the objects in the subtree of a node
     /// at `level` (1 is always safe for a non-empty subtree).
@@ -135,22 +164,26 @@ impl<const D: usize> SpatialIndex<D> for RTree<D> {
     }
 
     fn read_node(&self, id: NodeId) -> Result<IndexNode<D>> {
+        let mut out = IndexNode::empty();
+        SpatialIndex::read_node_into(self, id, &mut out)?;
+        Ok(out)
+    }
+
+    fn read_node_into(&self, id: NodeId, out: &mut IndexNode<D>) -> Result<()> {
         let page = PageId(u32::try_from(id).expect("R-tree node ids are u32 pages"));
-        let node = RTree::read_node(self, page)?;
-        let level = node.level;
-        let entries = node
-            .entries
-            .iter()
-            .map(|e| match e.ptr {
+        out.entries.clear();
+        let entries = &mut out.entries;
+        out.level = self.scan_node(page, |level, e| {
+            entries.push(match e.ptr {
                 EntryPtr::Object(oid) => IndexEntry::Object { oid, mbr: e.mbr },
                 EntryPtr::Child(child) => IndexEntry::Child {
                     id: NodeId::from(child.0),
                     level: level - 1,
                     region: e.mbr,
                 },
-            })
-            .collect();
-        Ok(IndexNode { level, entries })
+            });
+        })?;
+        Ok(())
     }
 
     fn min_subtree_objects(&self, level: u8, is_root: bool) -> u64 {

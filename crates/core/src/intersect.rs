@@ -19,12 +19,12 @@
 //! need an oracle producing intersection geometry; their MBR-based ordering
 //! value is still a valid lower bound.
 
-use sdj_geom::{Metric, Point};
+use sdj_geom::{KeySpace, Metric, Point, SoaRects};
 use sdj_rtree::ObjectId;
 use sdj_storage::StorageError;
 
 use crate::config::QueueBackend;
-use crate::index::SpatialIndex;
+use crate::index::{IndexNode, SpatialIndex};
 use crate::pair::{Item, Pair, PairKey, TiePolicy};
 use crate::queue::JoinQueue;
 
@@ -48,11 +48,22 @@ where
     tree1: &'a I1,
     tree2: &'a I2,
     focus: Point<D>,
-    metric: Metric,
+    /// Sqrt-free key domain of the ordering metric: queue keys are squared
+    /// focus distances under Euclidean, and the single `sqrt` per result is
+    /// paid when the pair is reported.
+    keys: KeySpace,
     /// The distance join's queue and key scheme, reused: keys order by the
     /// focus distance of the common region, with the shared depth-first tie
     /// rank (object pairs ahead of node pairs, deeper nodes first).
     queue: JoinQueue<D>,
+    /// Reusable node buffer: expansions stream pages into it instead of
+    /// allocating a fresh entry vector per read.
+    node_scratch: IndexNode<D>,
+    /// Struct-of-arrays copy of the scratch node's entry rectangles — the
+    /// operand of the batched focus-intersection kernel.
+    soa: SoaRects<D>,
+    /// Key output column of the batched kernel, reused across expansions.
+    keys_buf: Vec<f64>,
     error: Option<StorageError>,
 }
 
@@ -65,12 +76,16 @@ where
     /// first.
     #[must_use]
     pub fn new(tree1: &'a I1, tree2: &'a I2, focus: Point<D>, metric: Metric) -> Self {
+        let keys = KeySpace::squared(metric);
         let mut join = Self {
             tree1,
             tree2,
             focus,
-            metric,
-            queue: JoinQueue::new(&QueueBackend::Memory),
+            keys,
+            queue: JoinQueue::new(&QueueBackend::Memory, keys),
+            node_scratch: IndexNode::empty(),
+            soa: SoaRects::new(),
+            keys_buf: Vec::new(),
             error: None,
         };
         join.seed();
@@ -113,8 +128,8 @@ where
         if common.is_empty() {
             return;
         }
-        let dist = self.metric.mindist_point_rect(&self.focus, &common);
-        let key = PairKey::new(dist, &pair, TiePolicy::DepthFirst);
+        let k = self.keys.mindist_point_rect(&self.focus, &common);
+        let key = PairKey::new(k, &pair, TiePolicy::DepthFirst);
         self.queue.push(key, pair);
     }
 
@@ -127,31 +142,58 @@ where
         let Item::Node { page, .. } = *node_item else {
             unreachable!("expand on a non-node item")
         };
-        let node: crate::index::IndexNode<D> = if first_side {
-            self.tree1.read_node(page)?
+        // Stream the page into the reusable scratch buffers, then compute
+        // every child's key — MINDIST from the focus to the child ∩ other
+        // intersection, +inf when disjoint — in one batched kernel pass.
+        let mut node = std::mem::take(&mut self.node_scratch);
+        let mut soa = std::mem::take(&mut self.soa);
+        let mut kbuf = std::mem::take(&mut self.keys_buf);
+        let read = if first_side {
+            self.tree1.read_node_into(page, &mut node)
         } else {
-            self.tree2.read_node(page)?
+            self.tree2.read_node_into(page, &mut node)
         };
-        for entry in &node.entries {
-            let child = match entry {
-                crate::index::IndexEntry::Object { oid, mbr } => Item::Obr {
-                    oid: *oid,
-                    mbr: *mbr,
-                },
-                crate::index::IndexEntry::Child { id, level, region } => Item::Node {
-                    page: *id,
-                    level: *level,
-                    mbr: *region,
-                },
-            };
-            let child_pair = if first_side {
-                Pair::new(child, other)
-            } else {
-                Pair::new(other, child)
-            };
-            self.consider(child_pair);
+        if read.is_ok() {
+            soa.clear();
+            for e in &node.entries {
+                soa.push(e.rect());
+            }
+            kbuf.clear();
+            soa.focus_intersection_keys(
+                self.keys,
+                other.rect(),
+                &self.focus,
+                0..soa.len(),
+                &mut kbuf,
+            );
+            for (entry, &k) in node.entries.iter().zip(&kbuf) {
+                if !k.is_finite() {
+                    continue;
+                }
+                let child = match entry {
+                    crate::index::IndexEntry::Object { oid, mbr } => Item::Obr {
+                        oid: *oid,
+                        mbr: *mbr,
+                    },
+                    crate::index::IndexEntry::Child { id, level, region } => Item::Node {
+                        page: *id,
+                        level: *level,
+                        mbr: *region,
+                    },
+                };
+                let child_pair = if first_side {
+                    Pair::new(child, other)
+                } else {
+                    Pair::new(other, child)
+                };
+                let key = PairKey::new(k, &child_pair, TiePolicy::DepthFirst);
+                self.queue.push(key, child_pair);
+            }
         }
-        Ok(())
+        self.node_scratch = node;
+        self.soa = soa;
+        self.keys_buf = kbuf;
+        read
     }
 
     fn step(&mut self) -> sdj_storage::Result<Option<IntersectionPair>> {
@@ -160,7 +202,9 @@ where
                 return Ok(Some(IntersectionPair {
                     oid1: pair.item1.object_id().expect("final pair"),
                     oid2: pair.item2.object_id().expect("final pair"),
-                    distance_from_focus: key.dist.get(),
+                    // The only key → distance conversion: one sqrt per
+                    // reported pair under the squared Euclidean domain.
+                    distance_from_focus: self.keys.to_distance(key.dist.get()),
                 }));
             }
             // Expand the shallower node (even traversal); node/obr pairs

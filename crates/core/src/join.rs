@@ -12,14 +12,26 @@
 //! The iterator's entire state is the priority queue (plus bookkeeping), so
 //! a pipelined consumer can stop after any number of results having paid
 //! only for what it consumed — the paper's central claim.
+//!
+//! # Key domain
+//!
+//! All internal distances — queue keys, range restrictions, estimator and
+//! semi-join bounds, the shared cross-worker bound — live in the
+//! configuration's *key space* ([`JoinConfig::key_space`]). Under the
+//! default [`crate::config::KeyDomain::Squared`] these are squared Euclidean
+//! distances: the monotone `x ↦ x²` map preserves every comparison, so the
+//! pop order is untouched while MINDIST/MAXDIST evaluations skip their
+//! `sqrt`. The single root per result is paid in [`DistanceJoin::report`],
+//! and reported distances are bitwise identical to a plain-domain run
+//! (`DESIGN.md` §8 gives the argument).
 
-use sdj_geom::{Metric, Rect};
+use sdj_geom::{KeySpace, Rect, SoaRects};
 use sdj_obs::{ObsContext, PairKind, Side};
 use sdj_rtree::{ObjectId, RTree};
 use sdj_storage::StorageError;
 
 use crate::bound::SharedDistanceBound;
-use crate::config::{EstimationBound, JoinConfig, ResultOrder, TraversalPolicy};
+use crate::config::{EstimationBound, ExpansionPath, JoinConfig, ResultOrder, TraversalPolicy};
 use crate::estimate::{Estimator, EstimatorMode};
 use crate::index::{IndexEntry, IndexNode, NodeId, SpatialIndex};
 use crate::obs::JoinObs;
@@ -28,6 +40,7 @@ use crate::pair::{Item, Pair, PairKey};
 use crate::queue::JoinQueue;
 use crate::semi::{SeenSet, SemiConfig, SemiState};
 use crate::stats::JoinStats;
+use crate::view::{NodeView, ViewCache, VIEW_CACHE_CAP};
 
 /// One result of a distance join: a pair of objects and their distance.
 #[derive(Clone, Copy, Debug, PartialEq)]
@@ -56,6 +69,13 @@ where
     tree2: &'a I2,
     oracle: O,
     config: JoinConfig,
+    /// The key space every internal distance lives in (squared Euclidean by
+    /// default); see the module docs.
+    keys: KeySpace,
+    /// `config.min_distance` mapped into the key domain.
+    min_key: f64,
+    /// `config.max_distance` mapped into the key domain.
+    max_key: f64,
     queue: JoinQueue<D>,
     estimator: Option<Estimator>,
     semi: Option<SemiState>,
@@ -84,6 +104,14 @@ where
     scratch_entries1: Vec<IndexEntry<D>>,
     scratch_entries2: Vec<IndexEntry<D>>,
     scratch_children: Vec<(Pair<D>, f64)>,
+    /// Key buffers the batched kernels write into.
+    scratch_keys: Vec<f64>,
+    scratch_keys2: Vec<f64>,
+    /// Struct-of-arrays columns of the plane sweep's sorted right entries.
+    scratch_soa2: SoaRects<D>,
+    /// Per-side caches of decoded struct-of-arrays node views.
+    views1: ViewCache<D>,
+    views2: ViewCache<D>,
 }
 
 /// Outcome of processing one queue element.
@@ -111,7 +139,9 @@ pub struct JoinFrontier<const D: usize> {
     /// Semi-join: snapshot of the reported set at the split point.
     pub seen: Option<SeenSet>,
     /// Tightest maximum distance proven at the split point (query bound and
-    /// estimator); seeds a parallel run's shared bound.
+    /// estimator); seeds a parallel run's shared bound. Expressed in the
+    /// join's key domain (squared under the default squared Euclidean keys),
+    /// matching what resumed workers compare queue keys against.
     pub dmax_hint: f64,
     /// Results still owed after the prefix, when `max_pairs` was set.
     pub remaining_pairs: Option<u64>,
@@ -204,6 +234,7 @@ where
             }
             SemiState::new(sc, tree1.len())
         });
+        let keys = config.key_space();
         let estimator = match (config.max_pairs, config.order) {
             (Some(k), ResultOrder::Ascending) => Some(Estimator::new(
                 if semi.is_some() {
@@ -212,7 +243,9 @@ where
                     EstimatorMode::Join
                 },
                 k,
-                config.max_distance,
+                // The estimator is domain-agnostic: it only compares and
+                // stores values the join feeds it, all of which are keys.
+                keys.to_key(config.max_distance),
             )),
             _ => None,
         };
@@ -222,7 +255,10 @@ where
             tree2,
             oracle,
             config,
-            queue: JoinQueue::new(&config.queue),
+            keys,
+            min_key: keys.to_key(config.min_distance),
+            max_key: keys.to_key(config.max_distance),
+            queue: JoinQueue::new(&config.queue, keys),
             estimator,
             semi,
             stats: JoinStats::default(),
@@ -238,6 +274,11 @@ where
             scratch_entries1: Vec::new(),
             scratch_entries2: Vec::new(),
             scratch_children: Vec::new(),
+            scratch_keys: Vec::new(),
+            scratch_keys2: Vec::new(),
+            scratch_soa2: SoaRects::default(),
+            views1: ViewCache::new(VIEW_CACHE_CAP),
+            views2: ViewCache::new(VIEW_CACHE_CAP),
         }
     }
 
@@ -344,7 +385,7 @@ where
             prefix,
             shards: shard_vecs,
             seen: self.semi.as_ref().map(|s| s.seen.clone()),
-            dmax_hint: self.effective_max(),
+            dmax_hint: self.effective_max_key(),
             remaining_pairs: self
                 .config
                 .max_pairs
@@ -445,9 +486,13 @@ where
     }
 
     /// The estimator's current maximum distance, if estimation is active.
+    /// Converted out of the key domain, so it is a real distance regardless
+    /// of configuration.
     #[must_use]
     pub fn estimated_max_distance(&self) -> Option<f64> {
-        self.estimator.as_ref().map(Estimator::current_dmax)
+        self.estimator
+            .as_ref()
+            .map(|est| self.keys.to_distance(est.current_dmax()))
     }
 
     /// Takes the pending I/O error, if iteration stopped because of one.
@@ -464,20 +509,16 @@ where
 
     // ----------------------------------------------------------- internals
 
-    fn metric(&self) -> Metric {
-        self.config.metric
-    }
-
     fn ascending(&self) -> bool {
         matches!(self.config.order, ResultOrder::Ascending)
     }
 
-    /// The tightest known maximum distance (query bound, estimator, and —
-    /// for ascending runs — the cross-worker shared bound).
-    fn effective_max(&self) -> f64 {
+    /// The tightest known maximum key (query bound, estimator, and — for
+    /// ascending runs — the cross-worker shared bound), in the key domain.
+    fn effective_max_key(&self) -> f64 {
         let mut max = match &self.estimator {
-            Some(est) => self.config.max_distance.min(est.current_dmax()),
-            None => self.config.max_distance,
+            Some(est) => self.max_key.min(est.current_dmax()),
+            None => self.max_key,
         };
         if matches!(self.config.order, ResultOrder::Ascending) {
             if let Some(shared) = self.shared_bound {
@@ -487,9 +528,9 @@ where
         max
     }
 
-    /// The shared bound's current value, when one is attached and applies
-    /// (ascending order only — descending runs key on MAXDIST, where a
-    /// maximum-distance bound proves nothing about rank).
+    /// The shared bound's current value (a key), when one is attached and
+    /// applies (ascending order only — descending runs key on MAXDIST,
+    /// where a maximum-distance bound proves nothing about rank).
     fn shared_max(&self) -> f64 {
         match self.shared_bound {
             Some(shared) if matches!(self.config.order, ResultOrder::Ascending) => shared.get(),
@@ -497,19 +538,25 @@ where
         }
     }
 
-    /// Publishes the estimator's proven maximum distance to the shared
-    /// cross-worker bound. A bound proven from this engine's queue alone
-    /// holds for the whole parallel run: the merged result set is a superset
-    /// of this shard's, so "K results within d exist here" implies the
-    /// global K-th result is within d too.
+    /// Publishes the estimator's proven maximum key to the shared
+    /// cross-worker bound (both live in the key domain). A bound proven from
+    /// this engine's queue alone holds for the whole parallel run: the
+    /// merged result set is a superset of this shard's, so "K results within
+    /// d exist here" implies the global K-th result is within d too.
     fn publish_shared_bound(&mut self) {
         if let Some(est) = &self.estimator {
             let dmax = est.current_dmax();
             if let Some(shared) = self.shared_bound {
                 shared.tighten(dmax);
             }
-            if let Some(obs) = &mut self.obs {
-                obs.on_bound(dmax);
+            if self.obs.is_some() {
+                // Instrumentation reports real distances; convert only when
+                // someone is listening (uncounted by `stats.sqrt_calls`,
+                // which tracks the result path).
+                let dist = self.keys.to_distance(dmax);
+                if let Some(obs) = &mut self.obs {
+                    obs.on_bound(dist);
+                }
             }
         }
     }
@@ -530,14 +577,15 @@ where
         }
     }
 
-    /// MINMAXDIST between the pair's items when both rectangles are minimal;
-    /// falls back to MAXDIST (always a valid, looser upper bound) otherwise.
+    /// MINMAXDIST key between the pair's items when both rectangles are
+    /// minimal; falls back to the MAXDIST key (always a valid, looser upper
+    /// bound) otherwise.
     fn tight_upper_bound(&mut self, pair: &Pair<D>) -> f64 {
         self.stats.distance_calcs += 1;
         if Self::item_minimal(&pair.item1, true) && Self::item_minimal(&pair.item2, false) {
-            pair.minmaxdist(self.metric())
+            pair.minmaxdist_key(self.keys)
         } else {
-            pair.maxdist(self.metric())
+            pair.maxdist_key(self.keys)
         }
     }
 
@@ -629,9 +677,9 @@ where
         // result, so it cannot justify discarding farther candidates). The
         // pair donates a bound only if *all* its generated pairs satisfy
         // `Dmin` — mirroring the §2.2.4 eligibility rule.
-        if self.config.min_distance > 0.0 {
+        if self.min_key > 0.0 {
             self.stats.distance_calcs += 1;
-            if pair.mindist(self.metric()) < self.config.min_distance {
+            if pair.mindist_key(self.keys) < self.min_key {
                 return f64::INFINITY;
             }
         }
@@ -650,7 +698,7 @@ where
                         // Two provably distinct objects: the exact witness.
                         Some(o1) if o1 != *o2 => {
                             self.stats.distance_calcs += 1;
-                            return pair.minmaxdist(self.metric());
+                            return pair.minmaxdist_key(self.keys);
                         }
                         // Same object, or a first-side subtree that may
                         // contain the second-side object: no valid witness.
@@ -667,7 +715,7 @@ where
                     // >= 2 objects, all within MAXDIST: at least one is not
                     // the first-side object.
                     self.stats.distance_calcs += 1;
-                    return pair.maxdist(self.metric());
+                    return pair.maxdist_key(self.keys);
                 }
             }
         }
@@ -675,7 +723,7 @@ where
             Item::Obr { .. } | Item::Object { .. } => self.tight_upper_bound(pair),
             Item::Node { .. } => {
                 self.stats.distance_calcs += 1;
-                pair.maxdist(self.metric())
+                pair.maxdist_key(self.keys)
             }
         }
     }
@@ -688,6 +736,21 @@ where
     fn read_node2(&mut self, id: NodeId) -> sdj_storage::Result<IndexNode<D>> {
         self.stats.node_accesses += 1;
         self.tree2.read_node(id)
+    }
+
+    /// Checks the first tree's node `id` out of the view cache (decoding it
+    /// only on a miss). Counted as a logical node access like
+    /// [`read_node1`](Self::read_node1).
+    fn checkout1(&mut self, id: NodeId) -> sdj_storage::Result<NodeView<D>> {
+        self.stats.node_accesses += 1;
+        let tree = self.tree1;
+        self.views1.checkout(tree, id)
+    }
+
+    fn checkout2(&mut self, id: NodeId) -> sdj_storage::Result<NodeView<D>> {
+        self.stats.node_accesses += 1;
+        let tree = self.tree2;
+        self.views2.checkout(tree, id)
     }
 
     fn child_item(entry: &IndexEntry<D>) -> Item<D> {
@@ -709,16 +772,17 @@ where
     }
 
     /// Filter-and-enqueue pipeline for a non-final (or exact-final) pair.
-    /// `known_mind` lets expansion sites reuse an already computed MINDIST.
+    /// `known_mind` lets expansion sites reuse an already computed MINDIST
+    /// key. Every distance in this pipeline is a key-domain value.
     fn consider(&mut self, pair: Pair<D>, known_mind: Option<f64>) {
-        let metric = self.metric();
+        let keys = self.keys;
         let mind = known_mind.unwrap_or_else(|| {
             self.stats.distance_calcs += 1;
-            pair.mindist(metric)
+            pair.mindist_key(keys)
         });
         if pair.is_final(O::EXACT) {
-            // Exact obrs: MINDIST between the bounding rectangles is the
-            // object distance.
+            // Exact obrs: the MINDIST key between the bounding rectangles is
+            // the object distance's key.
             self.enqueue_final(pair, mind);
             return;
         }
@@ -732,7 +796,7 @@ where
         }
 
         // Maximum-distance pruning (query bound, then estimator).
-        if mind > self.config.max_distance {
+        if mind > self.max_key {
             self.stats.pruned_by_range += 1;
             return;
         }
@@ -750,12 +814,12 @@ where
         // Minimum-distance pruning: a pair none of whose results can reach
         // Dmin is dead (Figure 5).
         let mut maxd: Option<f64> = None;
-        if self.config.min_distance > 0.0 {
+        if self.min_key > 0.0 {
             let m = {
                 self.stats.distance_calcs += 1;
-                pair.maxdist(metric)
+                pair.maxdist_key(keys)
             };
-            if m < self.config.min_distance {
+            if m < self.min_key {
                 self.stats.pruned_by_range += 1;
                 return;
             }
@@ -779,15 +843,15 @@ where
                     Some(m) => m,
                     None => {
                         self.stats.distance_calcs += 1;
-                        pair.maxdist(metric)
+                        pair.maxdist_key(keys)
                     }
                 },
                 EstimationBound::ExistsPair => self.tight_upper_bound(&pair),
             };
             let count = self.estimation_count(&pair);
-            let min_distance = self.config.min_distance;
+            let min_key = self.min_key;
             if let Some(est) = &mut self.estimator {
-                if mind >= min_distance && bound <= est.current_dmax() {
+                if mind >= min_key && bound <= est.current_dmax() {
                     est.offer(pair.item1.identity(), pair.item2.identity(), bound, count);
                 }
             }
@@ -801,7 +865,7 @@ where
                 Some(m) => m,
                 None => {
                     self.stats.distance_calcs += 1;
-                    pair.maxdist(metric)
+                    pair.maxdist_key(keys)
                 }
             };
             -m
@@ -810,8 +874,8 @@ where
     }
 
     /// Filter-and-enqueue pipeline for a pair whose exact object distance is
-    /// known.
-    fn enqueue_final(&mut self, pair: Pair<D>, distance: f64) {
+    /// known. `key` is that distance in the key domain.
+    fn enqueue_final(&mut self, pair: Pair<D>, key: f64) {
         if self.config.exclude_equal_ids && pair.item1.object_id() == pair.item2.object_id() {
             self.stats.filtered_self += 1;
             return;
@@ -822,17 +886,17 @@ where
             self.stats.pruned_by_range += 1;
             return;
         }
-        if distance > self.config.max_distance || distance < self.config.min_distance {
+        if key > self.max_key || key < self.min_key {
             self.stats.pruned_by_range += 1;
             return;
         }
         if let Some(est) = &self.estimator {
-            if self.ascending() && distance > est.current_dmax() {
+            if self.ascending() && key > est.current_dmax() {
                 self.stats.pruned_by_estimate += 1;
                 return;
             }
         }
-        if distance > self.shared_max() {
+        if key > self.shared_max() {
             self.stats.pruned_by_shared += 1;
             return;
         }
@@ -843,13 +907,13 @@ where
             }
             if let Some(semi) = &mut self.semi {
                 if let Some(bound) = semi.bound_for(pair.item1.identity()) {
-                    if distance > bound {
+                    if key > bound {
                         self.stats.pruned_by_dmax += 1;
                         return;
                     }
                 }
-                // The pair itself proves a partner within `distance`.
-                if semi.update_bound(pair.item1.identity(), distance) {
+                // The pair itself proves a partner within this distance.
+                if semi.update_bound(pair.item1.identity(), key) {
                     if let Some(obs) = &mut self.obs {
                         obs.on_semi_bound();
                     }
@@ -858,12 +922,12 @@ where
         }
         let ascending = self.ascending();
         if let Some(est) = &mut self.estimator {
-            if ascending && distance >= self.config.min_distance && distance <= est.current_dmax() {
-                est.offer(pair.item1.identity(), pair.item2.identity(), distance, 1);
+            if ascending && key >= self.min_key && key <= est.current_dmax() {
+                est.offer(pair.item1.identity(), pair.item2.identity(), key, 1);
                 self.publish_shared_bound();
             }
         }
-        let key_dist = if ascending { distance } else { -distance };
+        let key_dist = if ascending { key } else { -key };
         self.push(PairKey::new(key_dist, &pair, self.config.tie), pair);
     }
 
@@ -893,6 +957,149 @@ where
     /// PROCESS_NODE1 / PROCESS_NODE2 (Figure 3): expands the node on
     /// `first_side`, pairing its entries with the other item.
     fn expand_one(&mut self, pair: &Pair<D>, first_side: bool) -> sdj_storage::Result<()> {
+        match self.config.expansion {
+            ExpansionPath::Batched => self.expand_one_batched(pair, first_side),
+            ExpansionPath::Scalar => self.expand_one_scalar(pair, first_side),
+        }
+    }
+
+    /// [`expand_one`](Self::expand_one) over a cached struct-of-arrays node
+    /// view: the MINDIST keys of all children against the other item come
+    /// from one batched kernel pass per axis.
+    fn expand_one_batched(&mut self, pair: &Pair<D>, first_side: bool) -> sdj_storage::Result<()> {
+        let (node_item, other_item) = if first_side {
+            (&pair.item1, &pair.item2)
+        } else {
+            (&pair.item2, &pair.item1)
+        };
+        let Item::Node { page, .. } = *node_item else {
+            unreachable!("expand_one on a non-node item")
+        };
+        let other = *other_item;
+        let keys = self.keys;
+
+        let view = if first_side {
+            // Semi-join estimation: the first-side node is being processed,
+            // so its own M entry must not coexist with its children's.
+            if self.semi.is_some() {
+                if let Some(est) = &mut self.estimator {
+                    est.on_expand_item1(pair.item1.identity());
+                }
+            }
+            self.checkout1(page)?
+        } else {
+            self.checkout2(page)?
+        };
+        let n = view.rects.len();
+        if let Some(obs) = &mut self.obs {
+            let side = if first_side {
+                Side::First
+            } else {
+                Side::Second
+            };
+            obs.on_expand(side, n as u32);
+        }
+        let mut minds = std::mem::take(&mut self.scratch_keys);
+        minds.clear();
+        view.rects
+            .mindist_keys(keys, other.rect(), 0..n, &mut minds);
+        self.stats.distance_calcs += n as u64;
+
+        if first_side {
+            let inherited = self
+                .semi
+                .as_ref()
+                .and_then(|s| s.bound_for(pair.item1.identity()));
+            let global = self.semi.as_ref().is_some_and(|s| {
+                matches!(
+                    s.config.dmax,
+                    crate::semi::DmaxStrategy::GlobalNodes | crate::semi::DmaxStrategy::GlobalAll
+                )
+            });
+            for (entry, &mind) in view.node.entries.iter().zip(&minds) {
+                let child = Self::child_item(entry);
+                if let Some(oid) = child.object_id() {
+                    if self
+                        .semi
+                        .as_ref()
+                        .is_some_and(|s| s.filters_on_expand() && s.seen.contains(oid.0))
+                    {
+                        self.stats.filtered_seen += 1;
+                        continue;
+                    }
+                }
+                let child_pair = Pair::new(child, other);
+                // Global bound maintenance: children inherit their parent's
+                // bound and may tighten it with their own pair's d_max.
+                if global {
+                    let own = self.semi_dmax_bound(&child_pair);
+                    let bound = inherited.map_or(own, |b| b.min(own));
+                    if let Some(semi) = &mut self.semi {
+                        if semi.update_bound(child.identity(), bound) {
+                            if let Some(obs) = &mut self.obs {
+                                obs.on_semi_bound();
+                            }
+                        }
+                    }
+                }
+                self.consider(child_pair, Some(mind));
+            }
+            self.scratch_keys = minds;
+            self.views1.checkin(page, view);
+        } else {
+            let item1 = pair.item1;
+            let local = self.semi.as_ref().is_some_and(SemiState::uses_local_bound);
+            if local {
+                // Two passes: first compute per-child d_max bounds to find
+                // the smallest, then prune siblings that cannot beat it
+                // (§4.2.1 "Local"). MINDIST keys are already batched.
+                let mut children = std::mem::take(&mut self.scratch_children);
+                children.clear();
+                children.reserve(n);
+                let mut best_bound = f64::INFINITY;
+                for (entry, &mind) in view.node.entries.iter().zip(&minds) {
+                    let child = Self::child_item(entry);
+                    let child_pair = Pair::new(item1, child);
+                    let bound = self.semi_dmax_bound(&child_pair);
+                    best_bound = best_bound.min(bound);
+                    children.push((child_pair, mind));
+                }
+                if let Some(semi) = &mut self.semi {
+                    if semi.update_bound(item1.identity(), best_bound) {
+                        if let Some(obs) = &mut self.obs {
+                            obs.on_semi_bound();
+                        }
+                    }
+                }
+                let effective = self
+                    .semi
+                    .as_ref()
+                    .and_then(|s| s.bound_for(item1.identity()))
+                    .map_or(best_bound, |b| b.min(best_bound));
+                for &(child_pair, mind) in &children {
+                    if mind > effective {
+                        self.stats.pruned_by_dmax += 1;
+                        continue;
+                    }
+                    self.consider(child_pair, Some(mind));
+                }
+                self.scratch_children = children;
+            } else {
+                for (entry, &mind) in view.node.entries.iter().zip(&minds) {
+                    let child = Self::child_item(entry);
+                    self.consider(Pair::new(item1, child), Some(mind));
+                }
+            }
+            self.scratch_keys = minds;
+            self.views2.checkin(page, view);
+        }
+        Ok(())
+    }
+
+    /// [`expand_one`](Self::expand_one) with per-entry scalar bound
+    /// evaluations — the pre-kernel behaviour, selectable for A/B runs via
+    /// [`ExpansionPath::Scalar`].
+    fn expand_one_scalar(&mut self, pair: &Pair<D>, first_side: bool) -> sdj_storage::Result<()> {
         let (node_item, other_item) = if first_side {
             (&pair.item1, &pair.item2)
         } else {
@@ -966,7 +1173,7 @@ where
                 // bounds to find the smallest bound, then prune siblings
                 // that cannot beat it (§4.2.1 "Local"). The children buffer
                 // is owned by the join and reused across expansions.
-                let metric = self.metric();
+                let keys = self.keys;
                 let mut children = std::mem::take(&mut self.scratch_children);
                 children.clear();
                 children.reserve(node.entries.len());
@@ -975,7 +1182,7 @@ where
                     let child = Self::child_item(entry);
                     let child_pair = Pair::new(item1, child);
                     self.stats.distance_calcs += 1;
-                    let mind = child_pair.mindist(metric);
+                    let mind = child_pair.mindist_key(keys);
                     let bound = self.semi_dmax_bound(&child_pair);
                     best_bound = best_bound.min(bound);
                     children.push((child_pair, mind));
@@ -1014,6 +1221,182 @@ where
     /// opened and their entries paired with a plane sweep restricted by the
     /// distance range.
     fn expand_both(&mut self, pair: &Pair<D>) -> sdj_storage::Result<()> {
+        match self.config.expansion {
+            ExpansionPath::Batched => self.expand_both_batched(pair),
+            ExpansionPath::Scalar => self.expand_both_scalar(pair),
+        }
+    }
+
+    /// [`expand_both`](Self::expand_both) over cached struct-of-arrays node
+    /// views: the range-restriction filters and the per-window MINDIST keys
+    /// of the plane sweep all come from batched kernel passes.
+    fn expand_both_batched(&mut self, pair: &Pair<D>) -> sdj_storage::Result<()> {
+        let (Item::Node { page: p1, .. }, Item::Node { page: p2, .. }) = (&pair.item1, &pair.item2)
+        else {
+            unreachable!("expand_both on a non-node pair")
+        };
+        let (p1, p2) = (*p1, *p2);
+        if self.semi.is_some() {
+            if let Some(est) = &mut self.estimator {
+                est.on_expand_item1(pair.item1.identity());
+            }
+        }
+        let view1 = self.checkout1(p1)?;
+        let view2 = match self.checkout2(p2) {
+            Ok(view) => view,
+            Err(e) => {
+                self.views1.checkin(p1, view1);
+                return Err(e);
+            }
+        };
+        if let Some(obs) = &mut self.obs {
+            obs.on_expand(Side::Both, (view1.rects.len() + view2.rects.len()) as u32);
+        }
+        let keys = self.keys;
+        let eff_max = if self.ascending() {
+            self.effective_max_key()
+        } else {
+            f64::INFINITY
+        };
+        let min_key = self.min_key;
+
+        // Restriction of the search space: drop entries that are out of
+        // range with respect to the space spanned by the other node. The
+        // MINDIST (and, under a `Dmin` restriction, MAXDIST) keys of a whole
+        // node against the other item come from one kernel pass per axis;
+        // the filter then walks the key columns. All buffers are owned by
+        // the join and reused across expansions.
+        let mut minds = std::mem::take(&mut self.scratch_keys);
+        let mut maxds = std::mem::take(&mut self.scratch_keys2);
+        let mut entries1 = std::mem::take(&mut self.scratch_entries1);
+        let mut entries2 = std::mem::take(&mut self.scratch_entries2);
+
+        let r2 = pair.item2.rect();
+        let n1 = view1.rects.len();
+        minds.clear();
+        view1.rects.mindist_keys(keys, r2, 0..n1, &mut minds);
+        self.stats.distance_calcs += n1 as u64;
+        if min_key > 0.0 {
+            maxds.clear();
+            view1.rects.maxdist_keys(keys, r2, 0..n1, &mut maxds);
+            self.stats.distance_calcs += n1 as u64;
+        }
+        entries1.clear();
+        entries1.reserve(n1);
+        for (i, e) in view1.node.entries.iter().enumerate() {
+            if minds[i] > eff_max {
+                self.stats.pruned_by_range += 1;
+                continue;
+            }
+            if min_key > 0.0 && maxds[i] < min_key {
+                self.stats.pruned_by_range += 1;
+                continue;
+            }
+            if let Some(oid) = e.object_id() {
+                if self
+                    .semi
+                    .as_ref()
+                    .is_some_and(|s| s.filters_on_expand() && s.seen.contains(oid.0))
+                {
+                    self.stats.filtered_seen += 1;
+                    continue;
+                }
+            }
+            entries1.push(*e);
+        }
+
+        let r1 = pair.item1.rect();
+        let n2 = view2.rects.len();
+        minds.clear();
+        view2.rects.mindist_keys(keys, r1, 0..n2, &mut minds);
+        self.stats.distance_calcs += n2 as u64;
+        if min_key > 0.0 {
+            maxds.clear();
+            view2.rects.maxdist_keys(keys, r1, 0..n2, &mut maxds);
+            self.stats.distance_calcs += n2 as u64;
+        }
+        entries2.clear();
+        entries2.reserve(n2);
+        for (i, e) in view2.node.entries.iter().enumerate() {
+            if minds[i] > eff_max {
+                self.stats.pruned_by_range += 1;
+                continue;
+            }
+            if min_key > 0.0 && maxds[i] < min_key {
+                self.stats.pruned_by_range += 1;
+                continue;
+            }
+            entries2.push(*e);
+        }
+        self.views1.checkin(p1, view1);
+        self.views2.checkin(p2, view2);
+
+        // Plane sweep along axis 0 (entries are `Copy`, so the filtered
+        // buffers outlive the checked-in views): for each left entry, only
+        // right entries whose x-interval can lie within `eff_max` are
+        // considered ("the algorithm must sweep along the entries in the
+        // other node up to the coordinate value x2 + Dmax"). The window
+        // bounds compare single-axis gaps against the key-domain bound via
+        // [`KeySpace::axis_gap_exceeds`] — no sqrt, and an infinite bound
+        // degenerates to the full window in both domains. Each window's
+        // MINDIST keys come from one kernel pass over the sorted columns.
+        entries2.sort_by(|a, b| {
+            a.rect().lo()[0]
+                .partial_cmp(&b.rect().lo()[0])
+                .expect("finite rectangles")
+        });
+        let mut soa2 = std::mem::take(&mut self.scratch_soa2);
+        soa2.clear();
+        for e in &entries2 {
+            soa2.push(e.rect());
+        }
+        let max_width2 = entries2
+            .iter()
+            .map(|e| e.rect().extent(0))
+            .fold(0.0f64, f64::max);
+        for e1 in &entries1 {
+            let e1_lo = e1.rect().lo()[0];
+            let e1_hi = e1.rect().hi()[0];
+            let lo2s = soa2.lo_axis(0);
+            // A right entry starting at `lo2` is out of reach on the left
+            // when even the closest point of the widest right rectangle
+            // (`lo2 + max_width2`) is more than the bound away from `e1`'s
+            // left edge. Monotone in `lo2`, so a binary search applies.
+            let start = lo2s.partition_point(|&lo2| {
+                let t = e1_lo - lo2 - max_width2;
+                t > 0.0 && keys.axis_gap_exceeds(t, eff_max)
+            });
+            // Out of reach on the right as soon as the right entry starts
+            // more than the bound past `e1`'s right edge; also monotone.
+            let end = start
+                + lo2s[start..].partition_point(|&lo2| {
+                    let t = lo2 - e1_hi;
+                    !(t > 0.0 && keys.axis_gap_exceeds(t, eff_max))
+                });
+            if start == end {
+                continue;
+            }
+            minds.clear();
+            soa2.mindist_keys(keys, e1.rect(), start..end, &mut minds);
+            self.stats.distance_calcs += (end - start) as u64;
+            let c1 = Self::child_item(e1);
+            for (e2, &mind) in entries2[start..end].iter().zip(&minds) {
+                let c2 = Self::child_item(e2);
+                self.consider(Pair::new(c1, c2), Some(mind));
+            }
+        }
+        self.scratch_keys = minds;
+        self.scratch_keys2 = maxds;
+        self.scratch_entries1 = entries1;
+        self.scratch_entries2 = entries2;
+        self.scratch_soa2 = soa2;
+        Ok(())
+    }
+
+    /// [`expand_both`](Self::expand_both) with per-entry scalar bound
+    /// evaluations — the pre-kernel behaviour, selectable for A/B runs via
+    /// [`ExpansionPath::Scalar`].
+    fn expand_both_scalar(&mut self, pair: &Pair<D>) -> sdj_storage::Result<()> {
         let (Item::Node { page: p1, .. }, Item::Node { page: p2, .. }) = (&pair.item1, &pair.item2)
         else {
             unreachable!("expand_both on a non-node pair")
@@ -1031,13 +1414,13 @@ where
                 (node1.entries.len() + node2.entries.len()) as u32,
             );
         }
-        let metric = self.metric();
+        let keys = self.keys;
         let eff_max = if self.ascending() {
-            self.effective_max()
+            self.effective_max_key()
         } else {
             f64::INFINITY
         };
-        let dmin = self.config.min_distance;
+        let min_key = self.min_key;
 
         // Restriction of the search space: drop entries that are out of
         // range with respect to the space spanned by the other node. The
@@ -1049,13 +1432,13 @@ where
         entries1.reserve(node1.entries.len());
         for e in &node1.entries {
             self.stats.distance_calcs += 1;
-            if metric.mindist_rect_rect(e.rect(), r2) > eff_max {
+            if keys.mindist_rect_rect(e.rect(), r2) > eff_max {
                 self.stats.pruned_by_range += 1;
                 continue;
             }
-            if dmin > 0.0 {
+            if min_key > 0.0 {
                 self.stats.distance_calcs += 1;
-                if metric.maxdist_rect_rect(e.rect(), r2) < dmin {
+                if keys.maxdist_rect_rect(e.rect(), r2) < min_key {
                     self.stats.pruned_by_range += 1;
                     continue;
                 }
@@ -1078,13 +1461,13 @@ where
         entries2.reserve(node2.entries.len());
         for e in &node2.entries {
             self.stats.distance_calcs += 1;
-            if metric.mindist_rect_rect(e.rect(), r1) > eff_max {
+            if keys.mindist_rect_rect(e.rect(), r1) > eff_max {
                 self.stats.pruned_by_range += 1;
                 continue;
             }
-            if dmin > 0.0 {
+            if min_key > 0.0 {
                 self.stats.distance_calcs += 1;
-                if metric.maxdist_rect_rect(e.rect(), r1) < dmin {
+                if keys.maxdist_rect_rect(e.rect(), r1) < min_key {
                     self.stats.pruned_by_range += 1;
                     continue;
                 }
@@ -1092,10 +1475,8 @@ where
             entries2.push(*e);
         }
 
-        // Plane sweep along axis 0: for each left entry, only right entries
-        // whose x-interval can lie within `eff_max` are considered ("the
-        // algorithm must sweep along the entries in the other node up to the
-        // coordinate value x2 + Dmax").
+        // Plane sweep along axis 0, with the same key-domain window bounds
+        // as the batched path (see `expand_both_batched`).
         entries2.sort_by(|a, b| {
             a.rect().lo()[0]
                 .partial_cmp(&b.rect().lo()[0])
@@ -1106,17 +1487,15 @@ where
             .map(|e| e.rect().extent(0))
             .fold(0.0f64, f64::max);
         for e1 in &entries1 {
-            let (lo_bound, hi_bound) = if eff_max.is_finite() {
-                (
-                    e1.rect().lo()[0] - eff_max - max_width2,
-                    e1.rect().hi()[0] + eff_max,
-                )
-            } else {
-                (f64::NEG_INFINITY, f64::INFINITY)
-            };
-            let start = entries2.partition_point(|e| e.rect().lo()[0] < lo_bound);
+            let e1_lo = e1.rect().lo()[0];
+            let e1_hi = e1.rect().hi()[0];
+            let start = entries2.partition_point(|e| {
+                let t = e1_lo - e.rect().lo()[0] - max_width2;
+                t > 0.0 && keys.axis_gap_exceeds(t, eff_max)
+            });
             for e2 in &entries2[start..] {
-                if e2.rect().lo()[0] > hi_bound {
+                let t = e2.rect().lo()[0] - e1_hi;
+                if t > 0.0 && keys.axis_gap_exceeds(t, eff_max) {
                     break;
                 }
                 let c1 = Self::child_item(e1);
@@ -1129,9 +1508,12 @@ where
         Ok(())
     }
 
-    /// Reports `(o1, o2, d)`, updating semi-join and estimator state.
-    /// Returns `None` when the semi-join suppresses the pair.
-    fn report(&mut self, oid1: ObjectId, oid2: ObjectId, distance: f64) -> Option<ResultPair> {
+    /// Reports the pair `(o1, o2)` whose distance key is `key`, updating
+    /// semi-join and estimator state. Returns `None` when the semi-join
+    /// suppresses the pair. This is where the key domain ends: the single
+    /// `sqrt` per reported result is paid here (and counted in
+    /// [`JoinStats::sqrt_calls`]), after the suppression filters.
+    fn report(&mut self, oid1: ObjectId, oid2: ObjectId, key: f64) -> Option<ResultPair> {
         if self.config.exclude_equal_ids && oid1 == oid2 {
             self.stats.filtered_self += 1;
             return None;
@@ -1141,6 +1523,10 @@ where
                 self.stats.filtered_seen += 1;
                 return None;
             }
+        }
+        let distance = self.keys.to_distance(key);
+        if self.keys.is_squared() {
+            self.stats.sqrt_calls += 1;
         }
         if let Some(est) = &mut self.estimator {
             est.on_report();
@@ -1186,7 +1572,9 @@ where
                 (false, false) => PairKind::ObjectObject,
             };
             // Descending runs key on negated MAXDIST; report the magnitude.
-            let dist = key.dist.get().abs();
+            // Instrumentation sees real distances (uncounted by
+            // `stats.sqrt_calls`, which tracks the result path).
+            let dist = self.keys.to_distance(key.dist.get().abs());
             let queue_len = self.queue.len();
             let results = self.reported;
             if let Some(obs) = &mut self.obs {
@@ -1225,14 +1613,14 @@ where
         }
 
         if pair.is_final(O::EXACT) {
-            let distance = if ascending {
+            let result_key = if ascending {
                 key.dist.get()
             } else {
                 -key.dist.get()
             };
             let oid1 = pair.item1.object_id().expect("final pair");
             let oid2 = pair.item2.object_id().expect("final pair");
-            return Ok(match self.report(oid1, oid2, distance) {
+            return Ok(match self.report(oid1, oid2, result_key) {
                 Some(result) => StepOutcome::Result(result),
                 None => StepOutcome::Continue,
             });
@@ -1245,12 +1633,14 @@ where
                 // front of the queue, re-enqueue otherwise.
                 let (o1, o2) = (*o1, *o2);
                 self.stats.object_distance_calcs += 1;
-                let d = self.oracle.object_distance(o1, o2);
-                if d < self.config.min_distance || d > self.effective_max() {
+                // The oracle answers in real distances; map its answer into
+                // the key domain once and stay there.
+                let k = self.keys.to_key(self.oracle.object_distance(o1, o2));
+                if k < self.min_key || k > self.effective_max_key() {
                     self.stats.pruned_by_range += 1;
                     return Ok(StepOutcome::Continue);
                 }
-                let key_dist = if ascending { d } else { -d };
+                let key_dist = if ascending { k } else { -k };
                 let object_pair = Pair::new(
                     Item::Object {
                         oid: o1,
@@ -1267,11 +1657,11 @@ where
                     None => true,
                 };
                 if report_now {
-                    if let Some(result) = self.report(o1, o2, d) {
+                    if let Some(result) = self.report(o1, o2, k) {
                         return Ok(StepOutcome::Result(result));
                     }
                 } else {
-                    self.enqueue_final(object_pair, d);
+                    self.enqueue_final(object_pair, k);
                 }
             }
             (Item::Node { .. }, Item::Node { level: l2, .. }) => {

@@ -68,10 +68,12 @@ mod pair;
 mod queue;
 mod semi;
 mod stats;
+mod view;
 
 pub use bound::SharedDistanceBound;
 pub use config::{
-    EstimationBound, JoinConfig, QueueBackend, ResultOrder, TiePolicy, TraversalPolicy,
+    EstimationBound, ExpansionPath, JoinConfig, KeyDomain, QueueBackend, ResultOrder, TiePolicy,
+    TraversalPolicy,
 };
 pub use estimate::{Estimator, EstimatorMode};
 pub use index::{IndexEntry, IndexNode, NodeId, SpatialIndex};

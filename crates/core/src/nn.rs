@@ -9,11 +9,11 @@
 use std::cmp::Ordering;
 use std::collections::BinaryHeap;
 
-use sdj_geom::{Metric, OrdF64, Point, Rect};
+use sdj_geom::{KeySpace, Metric, OrdF64, Point, Rect, SoaRects};
 use sdj_rtree::ObjectId;
 use sdj_storage::StorageError;
 
-use crate::index::{IndexEntry, NodeId, SpatialIndex};
+use crate::index::{IndexEntry, IndexNode, NodeId, SpatialIndex};
 
 /// One result of the generic nearest-neighbour iterator.
 #[derive(Clone, Copy, Debug, PartialEq)]
@@ -64,9 +64,19 @@ impl<const D: usize> Ord for Elem<D> {
 pub struct IndexNearestNeighbors<'a, const D: usize, I: SpatialIndex<D>> {
     index: &'a I,
     query: Point<D>,
-    metric: Metric,
+    /// Sqrt-free key domain of the metric: heap keys are squared distances
+    /// under Euclidean, converted back once per reported neighbour.
+    keys: KeySpace,
     heap: BinaryHeap<Elem<D>>,
     seq: u64,
+    /// Reusable node buffer: expansions stream pages into it instead of
+    /// allocating a fresh entry vector per read.
+    node_scratch: IndexNode<D>,
+    /// Struct-of-arrays copy of the scratch node's entry rectangles — the
+    /// operand of the batched point-MINDIST kernel.
+    soa: SoaRects<D>,
+    /// Key output column of the batched kernel, reused across expansions.
+    keys_buf: Vec<f64>,
     error: Option<StorageError>,
 }
 
@@ -77,9 +87,12 @@ impl<'a, const D: usize, I: SpatialIndex<D>> IndexNearestNeighbors<'a, D, I> {
         let mut nn = Self {
             index,
             query,
-            metric,
+            keys: KeySpace::squared(metric),
             heap: BinaryHeap::new(),
             seq: 0,
+            node_scratch: IndexNode::empty(),
+            soa: SoaRects::new(),
+            keys_buf: Vec::new(),
             error: None,
         };
         if !index.is_empty() {
@@ -111,19 +124,37 @@ impl<'a, const D: usize, I: SpatialIndex<D>> IndexNearestNeighbors<'a, D, I> {
                     return Ok(Some(IndexNeighbor {
                         oid,
                         mbr,
-                        distance: elem.key.get(),
+                        // The only key → distance conversion: one sqrt per
+                        // reported neighbour under the squared domain.
+                        distance: self.keys.to_distance(elem.key.get()),
                     }));
                 }
                 QueueItem::Node(id) => {
-                    let node = self.index.read_node(id)?;
-                    for entry in &node.entries {
-                        let d = self.metric.mindist_point_rect(&self.query, entry.rect());
-                        let item = match entry {
-                            IndexEntry::Object { oid, mbr } => QueueItem::Object(*oid, *mbr),
-                            IndexEntry::Child { id, .. } => QueueItem::Node(*id),
-                        };
-                        self.push(OrdF64::new(d), item);
+                    // Stream the page into the reusable scratch buffers,
+                    // then key all children in one batched kernel pass.
+                    let mut node = std::mem::take(&mut self.node_scratch);
+                    let mut soa = std::mem::take(&mut self.soa);
+                    let mut kbuf = std::mem::take(&mut self.keys_buf);
+                    let read = self.index.read_node_into(id, &mut node);
+                    if read.is_ok() {
+                        soa.clear();
+                        for e in &node.entries {
+                            soa.push(e.rect());
+                        }
+                        kbuf.clear();
+                        soa.point_mindist_keys(self.keys, &self.query, 0..soa.len(), &mut kbuf);
+                        for (entry, &k) in node.entries.iter().zip(&kbuf) {
+                            let item = match entry {
+                                IndexEntry::Object { oid, mbr } => QueueItem::Object(*oid, *mbr),
+                                IndexEntry::Child { id, .. } => QueueItem::Node(*id),
+                            };
+                            self.push(OrdF64::new(k), item);
+                        }
                     }
+                    self.node_scratch = node;
+                    self.soa = soa;
+                    self.keys_buf = kbuf;
+                    read?;
                 }
             }
         }

@@ -5,7 +5,7 @@
 //! With object bounding rectangles stored in the leaves there are five pair
 //! kinds in play: node/node, node/obr, obr/node, obr/obr and object/object.
 
-use sdj_geom::{Metric, OrdF64, Rect};
+use sdj_geom::{KeySpace, Metric, OrdF64, Rect};
 use sdj_pqueue::{Codec, QueueKey};
 use sdj_rtree::ObjectId;
 
@@ -135,6 +135,25 @@ impl<const D: usize> Pair<D> {
         metric.minmaxdist_rect_rect(self.item1.rect(), self.item2.rect())
     }
 
+    /// MINDIST in `keys`'s key domain (squared under sqrt-free Euclidean
+    /// keys) — what the join actually pushes as [`PairKey::dist`].
+    #[must_use]
+    pub fn mindist_key(&self, keys: KeySpace) -> f64 {
+        keys.mindist_rect_rect(self.item1.rect(), self.item2.rect())
+    }
+
+    /// MAXDIST in `keys`'s key domain.
+    #[must_use]
+    pub fn maxdist_key(&self, keys: KeySpace) -> f64 {
+        keys.maxdist_rect_rect(self.item1.rect(), self.item2.rect())
+    }
+
+    /// MINMAXDIST in `keys`'s key domain.
+    #[must_use]
+    pub fn minmaxdist_key(&self, keys: KeySpace) -> f64 {
+        keys.minmaxdist_rect_rect(self.item1.rect(), self.item2.rect())
+    }
+
     /// Hashable identity of the pair.
     #[must_use]
     pub fn identity(&self) -> (ItemId, ItemId) {
@@ -173,8 +192,10 @@ pub enum TiePolicy {
 /// tie-breaking rank.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord)]
 pub struct PairKey {
-    /// Distance between the pair's items (MINDIST for ascending joins,
-    /// negated MAXDIST for descending ones).
+    /// Key-domain distance between the pair's items (MINDIST for ascending
+    /// joins, negated MAXDIST for descending ones). Under the default
+    /// squared Euclidean key domain this is a *squared* distance; the join
+    /// converts back with one `sqrt` when it reports a result.
     pub dist: OrdF64,
     /// Tie rank: smaller pops first.
     pub tie: u8,

@@ -17,12 +17,23 @@ pub enum JoinQueue<const D: usize> {
 }
 
 impl<const D: usize> JoinQueue<D> {
-    /// Creates the queue selected by `backend`.
+    /// Creates the queue selected by `backend`, with keys in `keys`'s
+    /// domain. The hybrid backend's `D_T` is expressed in distance units;
+    /// its tier boundaries are mapped into the key domain via
+    /// [`sdj_pqueue::KeyScale`], so the same config tiers identically under
+    /// squared and plain keys.
     #[must_use]
-    pub fn new(backend: &QueueBackend) -> Self {
+    pub fn new(backend: &QueueBackend, keys: sdj_geom::KeySpace) -> Self {
         match backend {
             QueueBackend::Memory => JoinQueue::Memory(PairingHeap::new()),
-            QueueBackend::Hybrid(config) => JoinQueue::Hybrid(Box::new(HybridQueue::new(*config))),
+            QueueBackend::Hybrid(config) => {
+                let scale = if keys.is_squared() {
+                    sdj_pqueue::KeyScale::Squared
+                } else {
+                    sdj_pqueue::KeyScale::Identity
+                };
+                JoinQueue::Hybrid(Box::new(HybridQueue::new(config.with_key_scale(scale))))
+            }
         }
     }
 
@@ -145,7 +156,8 @@ mod tests {
 
     #[test]
     fn both_backends_agree() {
-        let mut mem = JoinQueue::<2>::new(&QueueBackend::Memory);
+        let keys = sdj_geom::KeySpace::plain(sdj_geom::Metric::Euclidean);
+        let mut mem = JoinQueue::<2>::new(&QueueBackend::Memory, keys);
         let mut hyb = JoinQueue::<2>::hybrid(HybridConfig::with_dt(1.0));
         for (i, d) in [3.0, 0.5, 7.25, 1.5, 4.0].iter().enumerate() {
             let p = pair(i as u64);

@@ -139,7 +139,9 @@ impl SemiState {
     }
 
     /// The global upper bound applicable to pairs led by `item1`, if the
-    /// strategy tracks it.
+    /// strategy tracks it. Bounds live in the join's key domain (squared
+    /// distances under the default Euclidean configuration): the engine
+    /// stores and compares them against MINDIST keys without conversion.
     pub fn bound_for(&self, item1: ItemId) -> Option<f64> {
         match (self.config.dmax, item1) {
             (DmaxStrategy::GlobalNodes, ItemId::Node(_)) | (DmaxStrategy::GlobalAll, _) => {

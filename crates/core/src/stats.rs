@@ -36,6 +36,12 @@ pub struct JoinStats {
     pub filtered_seen: u64,
     /// Self-pairs dropped by `exclude_equal_ids` (self-join applications).
     pub filtered_self: u64,
+    /// Key-to-distance conversions (`sqrt` under the squared Euclidean key
+    /// domain). With the default squared keys this equals the number of
+    /// reported results: every internal bound, prune, and queue key stays in
+    /// the sqrt-free key domain, so the root is paid exactly once per
+    /// emitted pair. Always zero under a plain key domain.
+    pub sqrt_calls: u64,
 }
 
 impl JoinStats {
@@ -67,6 +73,7 @@ impl JoinStats {
         self.pruned_by_shared += other.pruned_by_shared;
         self.filtered_seen += other.filtered_seen;
         self.filtered_self += other.filtered_self;
+        self.sqrt_calls += other.sqrt_calls;
     }
 }
 

@@ -138,6 +138,7 @@ proptest! {
                 dt,
                 page_size: 512,
                 buffer_frames: 4,
+                ..HybridConfig::default()
             });
         }
 

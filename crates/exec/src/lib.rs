@@ -15,9 +15,12 @@
 //! 2. **Worker pool**: one scoped thread per non-empty shard resumes an
 //!    independent serial engine over its shard (`DistanceJoin::resume`).
 //!    Workers share a [`SharedDistanceBound`] — an `AtomicU64` over f64
-//!    bits — seeded from the frontier's proven maximum distance; each worker
-//!    publishes its estimator's bound to it and prunes against the
-//!    fleet-wide minimum. A bound proven by one shard ("the K results still
+//!    bits — seeded from the frontier's proven maximum distance *key*; each
+//!    worker publishes its estimator's bound to it and prunes against the
+//!    fleet-wide minimum. All workers run the same [`JoinConfig`], hence the
+//!    same key domain (squared distances under the default Euclidean
+//!    configuration), so published keys compare consistently without ever
+//!    leaving the domain. A bound proven by one shard ("the K results still
 //!    owed all lie within `d`") holds globally, because the merged result
 //!    set dominates any single shard's.
 //! 3. **Ordered merge** ([`JoinStream`]): per-worker result streams arrive

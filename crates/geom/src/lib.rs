@@ -15,6 +15,7 @@
 //! distance of any pair it was generated from. The property tests in this
 //! crate check exactly that.
 
+pub mod kernels;
 mod metric;
 mod object;
 mod ordf64;
@@ -22,7 +23,8 @@ mod point;
 mod rect;
 mod segment;
 
-pub use metric::Metric;
+pub use kernels::SoaRects;
+pub use metric::{KeySpace, Metric};
 pub use object::SpatialObject;
 pub use ordf64::OrdF64;
 pub use point::Point;

@@ -39,8 +39,15 @@ pub enum Metric {
 
 impl Metric {
     /// Folds a per-axis absolute difference into the running accumulator.
+    ///
+    /// Deliberately *not* `mul_add`: the squared-key contract ([`KeySpace`],
+    /// `kernels`) promises bit-identical results for the exact two-rounding
+    /// sequence below wherever it is evaluated, and a fused operation would
+    /// also lower to a libm call on targets without native FMA — the wrong
+    /// trade for the hottest arithmetic in the join.
+    #[allow(clippy::suboptimal_flops)]
     #[inline]
-    fn accumulate(self, acc: f64, delta: f64) -> f64 {
+    pub(crate) fn accumulate(self, acc: f64, delta: f64) -> f64 {
         match self {
             Metric::Euclidean => acc + delta * delta,
             Metric::Manhattan => acc + delta,
@@ -208,9 +215,240 @@ impl Metric {
     }
 }
 
+/// A monotone *key domain* for one metric: the domain in which priority-queue
+/// keys, pruning bounds and tier boundaries live.
+///
+/// For the Euclidean metric the natural key is the **squared** distance —
+/// every bound function is a fold of per-axis terms finished by a single
+/// `sqrt`, and because `sqrt` is strictly monotone on `[0, +inf]` the
+/// ordering of squared keys is exactly the ordering of distances. Working in
+/// the squared domain removes the `sqrt` from every bound evaluation and
+/// comparison; the one remaining `sqrt` happens when a key is converted back
+/// to a reportable distance with [`KeySpace::to_distance`].
+///
+/// Manhattan and Chessboard distances are already sums/maxima with an
+/// identity finish, so their key domain is the distance itself and every
+/// conversion below is a no-op.
+///
+/// Bitwise note: the scalar Euclidean bound is `sqrt(acc)` of an accumulator
+/// folded over axes `0..D`; the key-domain bound is that same `acc`, so
+/// `to_distance(key)` reproduces the scalar distance *bit for bit* as long as
+/// callers keep the axis fold order (all functions here and in
+/// [`kernels`](crate::kernels) do).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct KeySpace {
+    metric: Metric,
+    squared: bool,
+}
+
+impl KeySpace {
+    /// The sqrt-free key domain for `metric`: squared keys for Euclidean,
+    /// identity for Manhattan/Chessboard.
+    #[must_use]
+    pub fn squared(metric: Metric) -> Self {
+        Self {
+            metric,
+            squared: matches!(metric, Metric::Euclidean),
+        }
+    }
+
+    /// The identity key domain: keys *are* distances for every metric. Kept
+    /// for A/B comparison against the squared domain.
+    #[must_use]
+    pub fn plain(metric: Metric) -> Self {
+        Self {
+            metric,
+            squared: false,
+        }
+    }
+
+    /// The underlying metric.
+    #[must_use]
+    pub fn metric(self) -> Metric {
+        self.metric
+    }
+
+    /// True if keys are squared distances.
+    #[must_use]
+    pub fn is_squared(self) -> bool {
+        self.squared
+    }
+
+    /// Maps a distance into the key domain (monotone on `[0, +inf]`).
+    #[must_use]
+    pub fn to_key(self, d: f64) -> f64 {
+        if self.squared {
+            d * d
+        } else {
+            d
+        }
+    }
+
+    /// Maps a key back to a distance. This is the *only* place a `sqrt` is
+    /// paid in the squared domain.
+    #[must_use]
+    pub fn to_distance(self, k: f64) -> f64 {
+        if self.squared {
+            k.sqrt()
+        } else {
+            k
+        }
+    }
+
+    /// Finishes a metric accumulator into a key (identity in the squared
+    /// domain — that is the whole point).
+    #[inline]
+    pub(crate) fn finish_acc(self, acc: f64) -> f64 {
+        if self.squared {
+            acc
+        } else {
+            self.metric.finish(acc)
+        }
+    }
+
+    /// Combines per-axis absolute differences into a key.
+    #[inline]
+    fn combine(self, deltas: impl Iterator<Item = f64>) -> f64 {
+        self.finish_acc(deltas.fold(0.0, |acc, d| self.metric.accumulate(acc, d)))
+    }
+
+    /// True if a non-negative single-axis gap (in coordinate units) already
+    /// exceeds the bound `key`. Lets the plane sweep of §2.2.2 compare axis
+    /// gaps against key-domain bounds without leaving the key domain: a
+    /// one-axis gap `g` contributes at least `g` (L1/L∞) or `g²` (squared L2)
+    /// to any key involving it.
+    #[must_use]
+    pub fn axis_gap_exceeds(self, gap: f64, key: f64) -> bool {
+        if self.squared {
+            gap * gap > key
+        } else {
+            gap > key
+        }
+    }
+
+    /// Point distance in the key domain.
+    #[must_use]
+    pub fn distance<const D: usize>(self, p: &Point<D>, q: &Point<D>) -> f64 {
+        self.combine(
+            p.coords()
+                .iter()
+                .zip(q.coords())
+                .map(|(a, b)| (a - b).abs()),
+        )
+    }
+
+    /// MINDIST key between a point and a rectangle.
+    #[must_use]
+    pub fn mindist_point_rect<const D: usize>(self, p: &Point<D>, r: &Rect<D>) -> f64 {
+        if r.is_empty() {
+            return f64::INFINITY;
+        }
+        self.combine((0..D).map(|a| axis_gap(p.coord(a), p.coord(a), r.lo()[a], r.hi()[a])))
+    }
+
+    /// MINDIST key between two rectangles.
+    #[must_use]
+    pub fn mindist_rect_rect<const D: usize>(self, r: &Rect<D>, s: &Rect<D>) -> f64 {
+        if r.is_empty() || s.is_empty() {
+            return f64::INFINITY;
+        }
+        self.combine((0..D).map(|a| axis_gap(r.lo()[a], r.hi()[a], s.lo()[a], s.hi()[a])))
+    }
+
+    /// MAXDIST key between a point and a rectangle.
+    #[must_use]
+    pub fn maxdist_point_rect<const D: usize>(self, p: &Point<D>, r: &Rect<D>) -> f64 {
+        if r.is_empty() {
+            return f64::INFINITY;
+        }
+        self.combine((0..D).map(|a| {
+            let c = p.coord(a);
+            (c - r.lo()[a]).abs().max((c - r.hi()[a]).abs())
+        }))
+    }
+
+    /// MAXDIST key between two rectangles.
+    #[must_use]
+    pub fn maxdist_rect_rect<const D: usize>(self, r: &Rect<D>, s: &Rect<D>) -> f64 {
+        if r.is_empty() || s.is_empty() {
+            return f64::INFINITY;
+        }
+        self.combine((0..D).map(|a| {
+            let d1 = (r.hi()[a] - s.lo()[a]).abs();
+            let d2 = (s.hi()[a] - r.lo()[a]).abs();
+            d1.max(d2)
+        }))
+    }
+
+    /// MINMAXDIST key between a point and a minimal bounding rectangle.
+    ///
+    /// The minimum over candidate axes commutes with the monotone map, so
+    /// this is exactly `to_key(metric.minmaxdist_point_rect(..))` up to the
+    /// deferred finish: `min_k sqrt(acc_k) = sqrt(min_k acc_k)`.
+    #[must_use]
+    pub fn minmaxdist_point_rect<const D: usize>(self, p: &Point<D>, r: &Rect<D>) -> f64 {
+        if r.is_empty() {
+            return f64::INFINITY;
+        }
+        let near = |a: usize| {
+            let c = p.coord(a);
+            if c <= 0.5 * (r.lo()[a] + r.hi()[a]) {
+                (c - r.lo()[a]).abs()
+            } else {
+                (c - r.hi()[a]).abs()
+            }
+        };
+        let far = |a: usize| {
+            let c = p.coord(a);
+            (c - r.lo()[a]).abs().max((c - r.hi()[a]).abs())
+        };
+        let mut best = f64::INFINITY;
+        for k in 0..D {
+            let acc = (0..D).fold(0.0, |acc, a| {
+                self.metric
+                    .accumulate(acc, if a == k { near(a) } else { far(a) })
+            });
+            best = best.min(self.finish_acc(acc));
+        }
+        best
+    }
+
+    /// MINMAXDIST key between two minimal bounding rectangles (the face-pair
+    /// minimax of §2.2.3, in the key domain).
+    #[must_use]
+    pub fn minmaxdist_rect_rect<const D: usize>(self, r: &Rect<D>, s: &Rect<D>) -> f64 {
+        if r.is_empty() || s.is_empty() {
+            return f64::INFINITY;
+        }
+        if r.margin() == 0.0 {
+            return self.minmaxdist_point_rect(&r.center(), s);
+        }
+        if s.margin() == 0.0 {
+            return self.minmaxdist_point_rect(&s.center(), r);
+        }
+        let faces_r = r.faces();
+        let faces_s = s.faces();
+        let mut best = f64::INFINITY;
+        for fr in &faces_r {
+            let cr = fr.corners();
+            for fs in &faces_s {
+                let cs = fs.corners();
+                let mut face_max: f64 = 0.0;
+                for p in &cr {
+                    for q in &cs {
+                        face_max = face_max.max(self.distance(p, q));
+                    }
+                }
+                best = best.min(face_max);
+            }
+        }
+        best
+    }
+}
+
 /// Distance along one axis between two intervals (zero if they overlap).
 #[inline]
-fn axis_gap(alo: f64, ahi: f64, blo: f64, bhi: f64) -> f64 {
+pub(crate) fn axis_gap(alo: f64, ahi: f64, blo: f64, bhi: f64) -> f64 {
     if ahi < blo {
         blo - ahi
     } else if bhi < alo {
@@ -415,12 +653,12 @@ mod tests {
         ) {
             // Build a sub-rectangle of r.
             let lo = [
-                r.lo()[0] + 0.5 * t * r.extent(0),
-                r.lo()[1] + 0.5 * u * r.extent(1),
+                (0.5 * t).mul_add(r.extent(0), r.lo()[0]),
+                (0.5 * u).mul_add(r.extent(1), r.lo()[1]),
             ];
             let hi = [
-                r.hi()[0] - 0.25 * t * r.extent(0),
-                r.hi()[1] - 0.25 * u * r.extent(1),
+                (-0.25 * t).mul_add(r.extent(0), r.hi()[0]),
+                (-0.25 * u).mul_add(r.extent(1), r.hi()[1]),
             ];
             let sub = Rect::new(lo, hi);
             prop_assert!(r.contains_rect(&sub));
@@ -454,6 +692,52 @@ mod tests {
             let b = m.minmaxdist_rect_rect(&r, &pr);
             prop_assert!(approx_eq(a, m.minmaxdist_point_rect(&p, &r)));
             prop_assert!(approx_eq(a, b));
+        }
+
+        /// Key-domain bounds reproduce the scalar bounds bit for bit after
+        /// the deferred finish, in both the squared and the plain domain.
+        #[test]
+        fn key_space_matches_scalar_bounds(m in arb_metric(), p in arb_point(), r in arb_rect(), s in arb_rect()) {
+            for ks in [KeySpace::squared(m), KeySpace::plain(m)] {
+                prop_assert_eq!(ks.to_distance(ks.distance(&p, &s.center())), m.distance(&p, &s.center()));
+                prop_assert_eq!(ks.to_distance(ks.mindist_point_rect(&p, &r)), m.mindist_point_rect(&p, &r));
+                prop_assert_eq!(ks.to_distance(ks.mindist_rect_rect(&r, &s)), m.mindist_rect_rect(&r, &s));
+                prop_assert_eq!(ks.to_distance(ks.maxdist_point_rect(&p, &r)), m.maxdist_point_rect(&p, &r));
+                prop_assert_eq!(ks.to_distance(ks.maxdist_rect_rect(&r, &s)), m.maxdist_rect_rect(&r, &s));
+                prop_assert_eq!(
+                    ks.to_distance(ks.minmaxdist_point_rect(&p, &r)),
+                    m.minmaxdist_point_rect(&p, &r)
+                );
+                prop_assert_eq!(
+                    ks.to_distance(ks.minmaxdist_rect_rect(&r, &s)),
+                    m.minmaxdist_rect_rect(&r, &s)
+                );
+            }
+        }
+
+        /// The key map is monotone: ordering of keys equals ordering of
+        /// distances, so queues keyed in either domain pop identically.
+        #[test]
+        fn key_space_preserves_ordering(m in arb_metric(), r in arb_rect(), s in arb_rect(), t in arb_rect()) {
+            let ks = KeySpace::squared(m);
+            let (d1, d2) = (m.mindist_rect_rect(&r, &s), m.mindist_rect_rect(&r, &t));
+            let (k1, k2) = (ks.mindist_rect_rect(&r, &s), ks.mindist_rect_rect(&r, &t));
+            // Strict distance order forces strict key order; key order can
+            // only collapse to equality after the rounding of the final sqrt.
+            // (All values are finite and non-negative, so >= is the clean
+            // negation of <.)
+            prop_assert!(d1 >= d2 || k1 < k2);
+            prop_assert!(k1 >= k2 || d1 <= d2);
+        }
+
+        /// `axis_gap_exceeds(g, key)` agrees with comparing the gap against
+        /// the distance the key encodes.
+        #[test]
+        fn axis_gap_exceeds_matches_distance_compare(
+            m in arb_metric(), gap in 0.0..50.0f64, d in 0.0..50.0f64,
+        ) {
+            let ks = KeySpace::squared(m);
+            prop_assert_eq!(ks.axis_gap_exceeds(gap, ks.to_key(d)), gap > d);
         }
 
         /// MINMAXDIST point/rect agrees with a brute-force evaluation of the

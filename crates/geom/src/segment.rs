@@ -41,11 +41,11 @@ impl Segment {
     pub fn closest_point_to(&self, p: &Point<2>) -> Point<2> {
         let dx = self.b.x() - self.a.x();
         let dy = self.b.y() - self.a.y();
-        let len2 = dx * dx + dy * dy;
+        let len2 = dx.mul_add(dx, dy * dy);
         if len2 == 0.0 {
             return self.a;
         }
-        let t = ((p.x() - self.a.x()) * dx + (p.y() - self.a.y()) * dy) / len2;
+        let t = (p.x() - self.a.x()).mul_add(dx, (p.y() - self.a.y()) * dy) / len2;
         self.a.lerp(&self.b, t.clamp(0.0, 1.0))
     }
 
@@ -91,7 +91,7 @@ impl Segment {
 /// Cross product of `(b - a) x (c - a)`: positive if `c` lies to the left of
 /// the directed line `a -> b`.
 fn orient(a: &Point<2>, b: &Point<2>, c: &Point<2>) -> f64 {
-    (b.x() - a.x()) * (c.y() - a.y()) - (b.y() - a.y()) * (c.x() - a.x())
+    (b.x() - a.x()).mul_add(c.y() - a.y(), -((b.y() - a.y()) * (c.x() - a.x())))
 }
 
 /// True if `p` (already known collinear with `a`-`b`) lies on the segment.

@@ -1,0 +1,151 @@
+//! Batched-kernel ↔ scalar equivalence, property-tested over random
+//! rectangle batches for every metric and for D ∈ {2, 3}.
+//!
+//! The kernels promise the *same axis fold order* as the scalar bound
+//! functions, so results should match bit for bit; the assertion allows a
+//! 1-ulp slack to state the contract the rest of the system actually relies
+//! on (ordering decisions tolerate 1 ulp; see `sdj-core`'s fuzz suites).
+//!
+//! `ci.sh` runs this file as the kernel-equivalence smoke test.
+
+use proptest::prelude::*;
+use sdj_geom::{KeySpace, Metric, Point, Rect, SoaRects};
+
+/// Ulp distance between two non-negative finite floats (∞ handled exactly).
+fn ulp_diff(a: f64, b: f64) -> u64 {
+    if a == b {
+        return 0; // covers +inf == +inf
+    }
+    if !a.is_finite() || !b.is_finite() {
+        return u64::MAX;
+    }
+    a.to_bits().abs_diff(b.to_bits())
+}
+
+fn assert_close(got: f64, want: f64) -> Result<(), TestCaseError> {
+    prop_assert!(
+        ulp_diff(got, want) <= 1,
+        "kernel {got:e} vs scalar {want:e} differ by more than 1 ulp"
+    );
+    Ok(())
+}
+
+fn arb_metric() -> impl Strategy<Value = Metric> {
+    prop::sample::select(vec![
+        Metric::Euclidean,
+        Metric::Manhattan,
+        Metric::Chessboard,
+    ])
+}
+
+fn arb_rect<const D: usize>() -> impl Strategy<Value = Rect<D>> {
+    prop::collection::vec((-50.0..50.0f64, 0.0..20.0f64), D).prop_map(|axes| {
+        let mut lo = [0.0; D];
+        let mut hi = [0.0; D];
+        for (a, (l, w)) in axes.into_iter().enumerate() {
+            lo[a] = l;
+            hi[a] = l + w;
+        }
+        Rect::new(lo, hi)
+    })
+}
+
+fn arb_point<const D: usize>() -> impl Strategy<Value = Point<D>> {
+    prop::collection::vec(-60.0..60.0f64, D).prop_map(|c| {
+        let mut coords = [0.0; D];
+        coords.copy_from_slice(&c);
+        Point::new(coords)
+    })
+}
+
+fn batch<const D: usize>(rects: &[Rect<D>]) -> SoaRects<D> {
+    let mut soa = SoaRects::new();
+    for r in rects {
+        soa.push(r);
+    }
+    soa
+}
+
+fn check_all<const D: usize>(
+    metric: Metric,
+    squared: bool,
+    rects: &[Rect<D>],
+    q: &Rect<D>,
+    p: &Point<D>,
+) -> Result<(), TestCaseError> {
+    let ks = if squared {
+        KeySpace::squared(metric)
+    } else {
+        KeySpace::plain(metric)
+    };
+    let soa = batch(rects);
+    let n = rects.len();
+    let mut out = Vec::new();
+
+    soa.mindist_keys(ks, q, 0..n, &mut out);
+    for (r, &k) in rects.iter().zip(&out) {
+        assert_close(k, ks.mindist_rect_rect(r, q))?;
+    }
+    out.clear();
+    soa.maxdist_keys(ks, q, 0..n, &mut out);
+    for (r, &k) in rects.iter().zip(&out) {
+        assert_close(k, ks.maxdist_rect_rect(r, q))?;
+    }
+    out.clear();
+    soa.minmaxdist_keys(ks, q, 0..n, &mut out);
+    for (r, &k) in rects.iter().zip(&out) {
+        assert_close(k, ks.minmaxdist_rect_rect(q, r))?;
+    }
+    out.clear();
+    soa.point_mindist_keys(ks, p, 0..n, &mut out);
+    for (r, &k) in rects.iter().zip(&out) {
+        assert_close(k, ks.mindist_point_rect(p, r))?;
+    }
+    out.clear();
+    soa.focus_intersection_keys(ks, q, p, 0..n, &mut out);
+    for (r, &k) in rects.iter().zip(&out) {
+        let common = r.intersection(q);
+        let want = if common.is_empty() {
+            f64::INFINITY
+        } else {
+            ks.mindist_point_rect(p, &common)
+        };
+        assert_close(k, want)?;
+    }
+
+    // Sub-range calls agree with the full pass (offset bookkeeping).
+    if n >= 2 {
+        out.clear();
+        soa.mindist_keys(ks, q, 1..n, &mut out);
+        for (r, &k) in rects[1..].iter().zip(&out) {
+            assert_close(k, ks.mindist_rect_rect(r, q))?;
+        }
+    }
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn kernels_match_scalar_2d(
+        metric in arb_metric(),
+        squared in any::<bool>(),
+        rects in prop::collection::vec(arb_rect::<2>(), 1..40),
+        q in arb_rect::<2>(),
+        p in arb_point::<2>(),
+    ) {
+        check_all(metric, squared, &rects, &q, &p)?;
+    }
+
+    #[test]
+    fn kernels_match_scalar_3d(
+        metric in arb_metric(),
+        squared in any::<bool>(),
+        rects in prop::collection::vec(arb_rect::<3>(), 1..40),
+        q in arb_rect::<3>(),
+        p in arb_point::<3>(),
+    ) {
+        check_all(metric, squared, &rects, &q, &p)?;
+    }
+}

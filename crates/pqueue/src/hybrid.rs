@@ -23,16 +23,58 @@ use crate::traits::{Codec, PriorityQueue, QueueKey};
 /// Bytes of a spill-page header: record count (`u16`) + next page (`u32`).
 const BUCKET_HEADER: usize = 6;
 
+/// How queue keys relate to the distance units `D_T` is expressed in.
+///
+/// The join pushes *keys*, which under the sqrt-free Euclidean key domain
+/// are squared distances. `D_T` stays meaningful as a distance: the tier
+/// boundaries are mapped *into* key space (`D1 = (w·D_T)²`, `D2 =
+/// ((w+1)·D_T)²` under [`KeyScale::Squared`]), so `HybridConfig::default()`'s
+/// `dt: 1.0` selects the same physical window no matter which key domain the
+/// producer uses. The inverse map (one `sqrt` per key) is only evaluated on
+/// the spill path, where a disk write dominates it.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum KeyScale {
+    /// Keys are distances.
+    #[default]
+    Identity,
+    /// Keys are squared distances (the Euclidean squared-key domain).
+    Squared,
+}
+
+impl KeyScale {
+    /// Maps a distance into key space.
+    #[must_use]
+    pub fn to_key(self, d: f64) -> f64 {
+        match self {
+            Self::Identity => d,
+            Self::Squared => d * d,
+        }
+    }
+
+    /// Maps a key back to a distance (used only when bucketing spills).
+    #[must_use]
+    pub fn from_key(self, k: f64) -> f64 {
+        match self {
+            Self::Identity => k,
+            Self::Squared => k.sqrt(),
+        }
+    }
+}
+
 /// Configuration of a [`HybridQueue`].
 #[derive(Clone, Copy, Debug)]
 pub struct HybridConfig {
     /// The fixed distance increment `D_T` that sizes the in-memory window
     /// and the disk buckets. The paper chooses it per data set (§3.2).
+    /// Always expressed in *distance* units; [`HybridConfig::key_scale`]
+    /// translates it into the key domain the producer pushes in.
     pub dt: f64,
     /// Page size of the spill area.
     pub page_size: usize,
     /// Buffer frames for the spill area.
     pub buffer_frames: usize,
+    /// The key domain of pushed keys (see [`KeyScale`]).
+    pub key_scale: KeyScale,
 }
 
 impl Default for HybridConfig {
@@ -41,6 +83,7 @@ impl Default for HybridConfig {
             dt: 1.0,
             page_size: 1024,
             buffer_frames: 64,
+            key_scale: KeyScale::Identity,
         }
     }
 }
@@ -53,6 +96,13 @@ impl HybridConfig {
             dt,
             ..Self::default()
         }
+    }
+
+    /// Returns the configuration with its key scale replaced.
+    #[must_use]
+    pub fn with_key_scale(mut self, key_scale: KeyScale) -> Self {
+        self.key_scale = key_scale;
+        self
     }
 }
 
@@ -121,7 +171,9 @@ pub struct HybridQueue<K, V> {
     buckets: BTreeMap<u64, Bucket>,
     pool: BufferPool,
     dt: f64,
-    /// Window counter: heap covers `[0, w·dt)`, list `[w·dt, (w+1)·dt)`.
+    scale: KeyScale,
+    /// Window counter: in distance terms the heap covers `[0, w·dt)` and the
+    /// list `[w·dt, (w+1)·dt)`; both boundaries are compared in key space.
     window: u64,
     records_per_page: usize,
     len: usize,
@@ -158,6 +210,7 @@ where
             buckets: BTreeMap::new(),
             pool,
             dt: config.dt,
+            scale: config.key_scale,
             window: 1,
             records_per_page,
             len: 0,
@@ -234,19 +287,23 @@ where
         }
     }
 
+    /// Lower tier boundary, in key space.
     fn d1(&self) -> f64 {
-        self.window as f64 * self.dt
+        self.scale.to_key(self.window as f64 * self.dt)
     }
 
+    /// Upper tier boundary, in key space.
     fn d2(&self) -> f64 {
-        (self.window + 1) as f64 * self.dt
+        self.scale.to_key((self.window + 1) as f64 * self.dt)
     }
 
-    fn bucket_index(&self, d: f64) -> u64 {
-        debug_assert!(d >= 0.0);
+    fn bucket_index(&self, key: f64) -> u64 {
+        debug_assert!(key >= 0.0);
         // `as` saturates, which handles +inf keys (pairs that can never
-        // produce results sort into the last bucket).
-        (d / self.dt) as u64
+        // produce results sort into the last bucket). Under a squared key
+        // scale this takes a sqrt, but only spilled elements pay it and the
+        // accompanying page write dwarfs it.
+        (self.scale.from_key(key) / self.dt) as u64
     }
 
     fn spill(&mut self, key: K, value: V) {
@@ -425,6 +482,7 @@ mod tests {
             dt,
             page_size: 128,
             buffer_frames: 4,
+            key_scale: KeyScale::Identity,
         })
     }
 
@@ -528,6 +586,44 @@ mod tests {
         assert_eq!(q.in_memory_len() + q.on_disk_len(), 8);
     }
 
+    /// Satellite regression: the tier boundaries derived from `D_T` select
+    /// the same physical window whether keys arrive as distances or as
+    /// squared distances — tier traffic (spills, reloads, promotions) must
+    /// be identical between the two key scales.
+    #[test]
+    fn tier_boundaries_match_between_key_scales() {
+        let mk = |scale| {
+            HybridQueue::<OrdF64, u64>::new(HybridConfig {
+                dt: 1.5,
+                page_size: 128,
+                buffer_frames: 4,
+                key_scale: scale,
+            })
+        };
+        let mut plain = mk(KeyScale::Identity);
+        let mut squared = mk(KeyScale::Squared);
+        let mut rng = StdRng::seed_from_u64(7);
+        let ds: Vec<f64> = (0..400).map(|_| rng.random_range(0.0..30.0)).collect();
+        for (i, d) in ds.iter().enumerate() {
+            plain.push(OrdF64::new(*d), i as u64);
+            squared.push(OrdF64::new(d * d), i as u64);
+        }
+        assert_eq!(plain.stats(), squared.stats());
+        assert_eq!(plain.on_disk_len(), squared.on_disk_len());
+        assert_eq!(plain.in_memory_len(), squared.in_memory_len());
+        loop {
+            match (plain.pop(), squared.pop()) {
+                (Some((kp, _)), Some((kq, _))) => {
+                    // Same element order up to sqrt rounding on the key.
+                    assert!((kp.get() - kq.get().sqrt()).abs() <= 1e-12 * kp.get().max(1.0));
+                }
+                (None, None) => break,
+                other => panic!("queues diverged: {other:?}"),
+            }
+        }
+        assert_eq!(plain.stats(), squared.stats());
+    }
+
     #[test]
     fn peek_promotes_without_losing_elements() {
         let mut q = queue(1.0);
@@ -549,6 +645,7 @@ mod tests {
                 dt,
                 page_size: 256,
                 buffer_frames: 2,
+                key_scale: KeyScale::Identity,
             });
             for (i, d) in ds.iter().enumerate() {
                 q.push(OrdF64::new(*d), i as u64);
@@ -562,6 +659,29 @@ mod tests {
                 prop_assert!(seen.insert(v), "value {v} delivered twice");
             }
             prop_assert_eq!(got, want);
+        }
+
+        /// Under a squared key scale the queue still pops the exact key
+        /// multiset in non-decreasing order for any `D_T`.
+        #[test]
+        fn matches_sort_squared_scale(
+            ds in prop::collection::vec(0.0..100.0f64, 1..300),
+            dt in 0.1..20.0f64,
+        ) {
+            let mut q: HybridQueue<OrdF64, u64> = HybridQueue::new(
+                HybridConfig::with_dt(dt).with_key_scale(KeyScale::Squared),
+            );
+            for (i, d) in ds.iter().enumerate() {
+                q.push(OrdF64::new(d * d), i as u64);
+            }
+            let mut want: Vec<f64> = ds.iter().map(|d| d * d).collect();
+            want.sort_by(|a, b| a.partial_cmp(b).unwrap());
+            let mut got = Vec::with_capacity(ds.len());
+            while let Some((k, _)) = q.pop() {
+                got.push(k.get());
+            }
+            prop_assert_eq!(got, want);
+            prop_assert_eq!(q.stats().spilled, q.stats().reloaded);
         }
     }
 }

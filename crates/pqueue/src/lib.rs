@@ -16,6 +16,15 @@
 //!
 //! All queues implement the [`PriorityQueue`] trait so the join algorithms
 //! can be configured with either backend.
+//!
+//! # Key domains
+//!
+//! Queues order by whatever `f64` key the producer pushes. The distance join
+//! pushes *squared* Euclidean distances (a monotone transform, so the pop
+//! order is unchanged); the [`HybridQueue`] is the one structure that
+//! interprets key magnitudes (its tier boundaries), so [`HybridConfig`]
+//! carries a [`KeyScale`] translating its distance-valued `D_T` into the
+//! producer's key domain.
 
 mod binary;
 mod hybrid;
@@ -23,6 +32,6 @@ mod pairing;
 mod traits;
 
 pub use binary::BinaryHeapQueue;
-pub use hybrid::{HybridConfig, HybridQueue, HybridStats, TierGauges};
+pub use hybrid::{HybridConfig, HybridQueue, HybridStats, KeyScale, TierGauges};
 pub use pairing::PairingHeap;
 pub use traits::{Codec, PriorityQueue, QueueKey};

@@ -51,6 +51,7 @@ proptest! {
             dt,
             page_size: 256,
             buffer_frames: 2,
+            ..HybridConfig::default()
         });
         q.attach_obs(Arc::clone(&sink), Some(gauges.clone()));
 

@@ -102,6 +102,35 @@ impl<const D: usize> Node<D> {
 
     /// Deserializes a node from a page buffer.
     pub fn decode(buf: &[u8]) -> Result<Self> {
+        let (level, count) = Self::decode_header(buf)?;
+        let mut r = PageReader::new(buf);
+        r.skip(HEADER_SIZE)?;
+        let mut entries = Vec::with_capacity(count);
+        for _ in 0..count {
+            entries.push(Self::decode_entry(&mut r, level)?);
+        }
+        Ok(Self { level, entries })
+    }
+
+    /// Deserializes a node, streaming each entry through `f(level, &entry)`
+    /// instead of collecting a `Vec`. Returns the node's level.
+    ///
+    /// This is the allocation-free read path: callers with a reusable buffer
+    /// (the join's struct-of-arrays node views) decode a page without any
+    /// per-read heap traffic.
+    pub fn scan(buf: &[u8], mut f: impl FnMut(u8, &Entry<D>)) -> Result<u8> {
+        let (level, count) = Self::decode_header(buf)?;
+        let mut r = PageReader::new(buf);
+        r.skip(HEADER_SIZE)?;
+        for _ in 0..count {
+            let entry = Self::decode_entry(&mut r, level)?;
+            f(level, &entry);
+        }
+        Ok(level)
+    }
+
+    /// Parses and validates the fixed node header: `(level, entry count)`.
+    fn decode_header(buf: &[u8]) -> Result<(u8, usize)> {
         let mut r = PageReader::new(buf);
         let level = r.get_u8()?;
         let count = r.get_u16()? as usize;
@@ -109,33 +138,34 @@ impl<const D: usize> Node<D> {
         if count > node_capacity::<D>(buf.len()) {
             return Err(StorageError::Corrupt("node entry count exceeds capacity"));
         }
-        let mut entries = Vec::with_capacity(count);
-        for _ in 0..count {
-            let ptr_bits = r.get_u64()?;
-            let mut lo = [0.0; D];
-            let mut hi = [0.0; D];
-            for v in &mut lo {
-                *v = r.get_f64()?;
-            }
-            for v in &mut hi {
-                *v = r.get_f64()?;
-            }
-            for a in 0..D {
-                if !lo[a].is_finite() || !hi[a].is_finite() || lo[a] > hi[a] {
-                    return Err(StorageError::Corrupt("invalid entry rectangle"));
-                }
-            }
-            let mbr = Rect::new(lo, hi);
-            let ptr = if level == 0 {
-                EntryPtr::Object(ObjectId(ptr_bits))
-            } else {
-                let page = u32::try_from(ptr_bits)
-                    .map_err(|_| StorageError::Corrupt("child page id exceeds u32"))?;
-                EntryPtr::Child(PageId(page))
-            };
-            entries.push(Entry { mbr, ptr });
+        Ok((level, count))
+    }
+
+    /// Parses one entry at the reader's position for a node at `level`.
+    fn decode_entry(r: &mut PageReader<'_>, level: u8) -> Result<Entry<D>> {
+        let ptr_bits = r.get_u64()?;
+        let mut lo = [0.0; D];
+        let mut hi = [0.0; D];
+        for v in &mut lo {
+            *v = r.get_f64()?;
         }
-        Ok(Self { level, entries })
+        for v in &mut hi {
+            *v = r.get_f64()?;
+        }
+        for a in 0..D {
+            if !lo[a].is_finite() || !hi[a].is_finite() || lo[a] > hi[a] {
+                return Err(StorageError::Corrupt("invalid entry rectangle"));
+            }
+        }
+        let mbr = Rect::new(lo, hi);
+        let ptr = if level == 0 {
+            EntryPtr::Object(ObjectId(ptr_bits))
+        } else {
+            let page = u32::try_from(ptr_bits)
+                .map_err(|_| StorageError::Corrupt("child page id exceeds u32"))?;
+            EntryPtr::Child(PageId(page))
+        };
+        Ok(Entry { mbr, ptr })
     }
 }
 
@@ -175,6 +205,21 @@ mod tests {
         let back = Node::<2>::decode(&buf).unwrap();
         assert_eq!(n, back);
         assert!(!back.is_leaf());
+    }
+
+    #[test]
+    fn scan_streams_same_entries_as_decode() {
+        let n = leaf();
+        let mut buf = vec![0u8; 256];
+        n.encode(&mut buf).unwrap();
+        let mut streamed = Vec::new();
+        let level = Node::<2>::scan(&buf, |lvl, e| {
+            assert_eq!(lvl, n.level);
+            streamed.push(*e);
+        })
+        .unwrap();
+        assert_eq!(level, n.level);
+        assert_eq!(streamed, n.entries);
     }
 
     #[test]

@@ -164,6 +164,14 @@ impl<const D: usize> RTree<D> {
         self.pool.with_page(page, Node::decode)?
     }
 
+    /// Reads the node stored on `page`, streaming each entry through
+    /// `f(level, &entry)` without materialising a [`Node`]; returns the
+    /// node's level. This is the allocation-free read path the join's
+    /// struct-of-arrays node views decode through.
+    pub fn scan_node(&self, page: PageId, mut f: impl FnMut(u8, &Entry<D>)) -> Result<u8> {
+        self.pool.with_page(page, |buf| Node::scan(buf, &mut f))?
+    }
+
     /// Encodes and writes `node` to `page`, through the buffer pool.
     pub fn write_node(&self, page: PageId, node: &Node<D>) -> Result<()> {
         self.pool.update(page, |buf| {
