@@ -32,6 +32,18 @@ echo "==> kernel-equivalence smoke gate"
 cargo test -p sdj-geom --offline -q --test kernel_equivalence
 cargo test -p sdj-core --offline -q --test key_domain
 
+echo "==> storage concurrency smoke gate"
+# The sharded buffer pool must stay observationally equivalent to the
+# historical single-lock pool: clippy-clean storage crate, the
+# model-equivalence + pin/evict proptests, the multi-thread pin/evict
+# stress test, and bit-identical join streams across shard counts {1,4}
+# (covered inside parallel_equivalence alongside thread counts).
+cargo clippy -p sdj-storage --all-targets --offline -- -D warnings
+cargo test -p sdj-storage --offline -q --test pin_evict
+cargo test -p sdj-storage --offline -q --test pin_evict threaded_pin_evict_stress
+cargo test -p sdj-exec --offline -q --test parallel_equivalence shard_counts_are_stream_invisible
+cargo test -p sdj-exec --offline -q --test parallel_equivalence prefetch_is_stream_invisible_and_conserves_io
+
 echo "==> observability smoke gate"
 # A small instrumented join must produce a schema-valid RunReport whose
 # rank curve is monotone and whose queue curve grows then drains; the

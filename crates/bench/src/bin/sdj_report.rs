@@ -31,6 +31,7 @@ use sdj_exec::{ParallelConfig, ParallelDistanceJoin};
 use sdj_geom::Point;
 use sdj_obs::{sparkline, EventSink, NdjsonWriter, ObsContext, RunRecorder, RunReport, TeeSink};
 use sdj_rtree::RTree;
+use sdj_storage::BufferObs;
 
 struct Args {
     n: usize,
@@ -196,6 +197,10 @@ fn run_report(args: &Args) -> Result<(), String> {
         args.k, args.threads
     );
     let ctx1 = ObsContext::new(sink_for(&rank_rec)).with_pop_sample_every(64);
+    // Buffer-pool counters (hits/misses/evictions/writebacks/prefetch_*)
+    // land in ctx1's registry and therefore in the report.
+    t1.attach_obs(BufferObs::new(&ctx1, "buf.t1"));
+    t2.attach_obs(BufferObs::new(&ctx1, "buf.t2"));
     let (stats, produced, dmax, seconds) = run_k_pass(&t1, &t2, args.k, args.threads, &ctx1);
     if produced == 0 {
         return Err("pass 1 produced no results".into());
@@ -205,6 +210,11 @@ fn run_report(args: &Args) -> Result<(), String> {
     let ctx2 = ObsContext::new(sink_for(&queue_rec))
         .with_pop_sample_every(64)
         .with_result_sample_every(u64::MAX); // rank curve comes from pass 1
+
+    // Rebind the pools to pass 2's context so the reported buf.* counters
+    // stay scoped to pass 1.
+    t1.attach_obs(BufferObs::new(&ctx2, "buf.t1"));
+    t2.attach_obs(BufferObs::new(&ctx2, "buf.t2"));
     let drained = run_drain_pass(&t1, &t2, dmax, &ctx2);
 
     let mut report = RunReport::new(&args.label);

@@ -116,6 +116,14 @@ pub struct JoinConfig {
     pub key_domain: KeyDomain,
     /// Expansion implementation (default: batched SoA kernels).
     pub expansion: ExpansionPath,
+    /// Queue-driven node prefetch depth: after each expansion, up to this
+    /// many node-child pages from the smallest-key pairs about to enter the
+    /// queue (i.e. nearest its head) are handed to the indexes as batch
+    /// prefetch hints. `0` (the default) disables hinting entirely —
+    /// result streams are identical either way, and prefetch reads are
+    /// counted separately from demand misses, so the node-I/O measure stays
+    /// comparable.
+    pub prefetch_depth: usize,
 }
 
 impl Default for JoinConfig {
@@ -133,6 +141,7 @@ impl Default for JoinConfig {
             exclude_equal_ids: false,
             key_domain: KeyDomain::default(),
             expansion: ExpansionPath::default(),
+            prefetch_depth: 0,
         }
     }
 }
@@ -187,6 +196,14 @@ impl JoinConfig {
     #[must_use]
     pub fn with_expansion(mut self, expansion: ExpansionPath) -> Self {
         self.expansion = expansion;
+        self
+    }
+
+    /// Convenience: enable queue-driven node prefetch with the given depth
+    /// (`0` disables it).
+    #[must_use]
+    pub fn with_prefetch(mut self, depth: usize) -> Self {
+        self.prefetch_depth = depth;
         self
     }
 

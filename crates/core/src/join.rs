@@ -112,6 +112,10 @@ where
     /// Per-side caches of decoded struct-of-arrays node views.
     views1: ViewCache<D>,
     views2: ViewCache<D>,
+    /// Scratch page batches for queue-driven prefetch hints, one per side,
+    /// handed to [`SpatialIndex::prefetch_nodes`].
+    scratch_hints: Vec<NodeId>,
+    scratch_hint_pages: Vec<NodeId>,
 }
 
 /// Outcome of processing one queue element.
@@ -279,6 +283,8 @@ where
             scratch_soa2: SoaRects::default(),
             views1: ViewCache::new(VIEW_CACHE_CAP),
             views2: ViewCache::new(VIEW_CACHE_CAP),
+            scratch_hints: Vec::new(),
+            scratch_hint_pages: Vec::new(),
         }
     }
 
@@ -1555,7 +1561,45 @@ where
     fn step(&mut self) -> sdj_storage::Result<StepOutcome> {
         let outcome = self.step_inner();
         self.flush_pending();
+        if self.config.prefetch_depth > 0 {
+            self.emit_prefetch_hints();
+        }
         outcome
+    }
+
+    /// Queue-driven prefetch (run right after the staged pairs are flushed,
+    /// so the queue reflects the true frontier): visits up to
+    /// `prefetch_depth` pairs nearest the head of the priority queue — the
+    /// pairs the next steps will pop — and hands their node pages to the
+    /// indexes as batch hints. Hints only touch buffer-pool state (prefetch
+    /// reads, counted apart from demand misses), never the result stream.
+    fn emit_prefetch_hints(&mut self) {
+        let mut pages1 = std::mem::take(&mut self.scratch_hints);
+        let mut pages2 = std::mem::take(&mut self.scratch_hint_pages);
+        pages1.clear();
+        pages2.clear();
+        self.queue.peek_top(self.config.prefetch_depth, |_, pair| {
+            if let Item::Node { page, .. } = pair.item1 {
+                pages1.push(page);
+            }
+            if let Item::Node { page, .. } = pair.item2 {
+                pages2.push(page);
+            }
+        });
+        pages1.sort_unstable();
+        pages1.dedup();
+        if !pages1.is_empty() {
+            self.stats.prefetch_hints += pages1.len() as u64;
+            self.tree1.prefetch_nodes(&pages1);
+        }
+        pages2.sort_unstable();
+        pages2.dedup();
+        if !pages2.is_empty() {
+            self.stats.prefetch_hints += pages2.len() as u64;
+            self.tree2.prefetch_nodes(&pages2);
+        }
+        self.scratch_hints = pages1;
+        self.scratch_hint_pages = pages2;
     }
 
     /// One iteration of the algorithm's main loop (Figure 3).

@@ -108,6 +108,17 @@ impl<const D: usize> JoinQueue<D> {
         }
     }
 
+    /// Visits up to `limit` entries near the head of the queue (see
+    /// [`PairingHeap::peek_top`]): the minimum first, then subtree minima in
+    /// breadth-first order. Memory backend only — the hybrid backend's head
+    /// tier is reorganised on access, so peeking it is not side-effect-free;
+    /// it simply gets no prefetch hints.
+    pub fn peek_top(&self, limit: usize, visit: impl FnMut(&PairKey, &Pair<D>)) {
+        if let JoinQueue::Memory(q) = self {
+            q.peek_top(limit, visit);
+        }
+    }
+
     /// Disk traffic of the hybrid backend (zeros for the memory backend).
     #[must_use]
     pub fn disk_stats(&self) -> DiskStats {

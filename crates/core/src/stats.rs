@@ -42,6 +42,11 @@ pub struct JoinStats {
     /// the sqrt-free key domain, so the root is paid exactly once per
     /// emitted pair. Always zero under a plain key domain.
     pub sqrt_calls: u64,
+    /// Node pages handed to the indexes as queue-driven prefetch hints
+    /// (zero unless `JoinConfig::prefetch_depth` is set). Whether a hint
+    /// became an actual prefetch read or hit is counted by the buffer pool,
+    /// not here.
+    pub prefetch_hints: u64,
 }
 
 impl JoinStats {
@@ -74,6 +79,7 @@ impl JoinStats {
         self.filtered_seen += other.filtered_seen;
         self.filtered_self += other.filtered_self;
         self.sqrt_calls += other.sqrt_calls;
+        self.prefetch_hints += other.prefetch_hints;
     }
 }
 

@@ -303,6 +303,134 @@ fn tiny_inputs_exhaust_in_the_frontier() {
     );
 }
 
+fn sharded_tree(points: &[Point<2>], fanout: usize, shards: usize) -> RTree<2> {
+    let mut t = RTree::new(RTreeConfig {
+        buffer_shards: shards,
+        ..RTreeConfig::small(fanout)
+    });
+    for (i, p) in points.iter().enumerate() {
+        t.insert(ObjectId(i as u64), p.to_rect()).unwrap();
+    }
+    t
+}
+
+/// Buffer-pool sharding is a pure concurrency knob: every shard count must
+/// produce the bit-identical join and semi-join stream at every thread
+/// count. (Uniform data has no exact distance ties, so ordered bitwise
+/// comparison is the right check.)
+#[test]
+fn shard_counts_are_stream_invisible() {
+    let a = uniform(300, 81);
+    let b = uniform(350, 82);
+    let base1 = tree(&a, 8);
+    let base2 = tree(&b, 8);
+    let want_join: Vec<_> = DistanceJoin::new(&base1, &base2, JoinConfig::default())
+        .map(|r| key(&r))
+        .collect();
+    let want_semi: Vec<_> =
+        DistanceJoin::semi(&base1, &base2, JoinConfig::default(), SemiConfig::default())
+            .map(|r| key(&r))
+            .collect();
+    for shards in [1usize, 2, 4] {
+        let t1 = sharded_tree(&a, 8, shards);
+        let t2 = sharded_tree(&b, 8, shards);
+        let serial: Vec<_> = DistanceJoin::new(&t1, &t2, JoinConfig::default())
+            .map(|r| key(&r))
+            .collect();
+        assert_eq!(serial, want_join, "serial join drifted at shards={shards}");
+        for threads in [1usize, 4] {
+            let parallel = ParallelConfig {
+                threads,
+                frontier_factor: 8,
+                channel_capacity: 16,
+            };
+            let run =
+                ParallelDistanceJoin::new(&t1, &t2, JoinConfig::default(), parallel).collect();
+            assert_eq!(run.error, None);
+            assert_eq!(
+                run.value.iter().map(key).collect::<Vec<_>>(),
+                want_join,
+                "join stream drifted at shards={shards} threads={threads}"
+            );
+            let run = ParallelDistanceJoin::semi(
+                &t1,
+                &t2,
+                JoinConfig::default(),
+                SemiConfig::default(),
+                parallel,
+            )
+            .collect();
+            assert_eq!(run.error, None);
+            assert_eq!(
+                run.value.iter().map(key).collect::<Vec<_>>(),
+                want_semi,
+                "semi stream drifted at shards={shards} threads={threads}"
+            );
+        }
+    }
+}
+
+/// Queue-driven prefetch must never change the result stream. With an
+/// eviction-free buffer its I/O accounting obeys an exact conservation law:
+/// every demand miss it removes reappears as a prefetch-satisfied hit
+/// (`misses_on + prefetch_hits == misses_off`), so the paper's node-I/O
+/// measure stays reconstructable with prefetch enabled.
+#[test]
+fn prefetch_is_stream_invisible_and_conserves_io() {
+    let a = uniform(300, 91);
+    let b = uniform(350, 92);
+    let roomy_tree = |points: &[Point<2>], shards: usize| {
+        let mut t = tree(points, 8);
+        // Fresh cold pool, sized so the join never evicts: the conservation
+        // law below is exact only without eviction interference.
+        t.rebuild_buffer(4096, shards).unwrap();
+        t
+    };
+    let run_with = |depth: usize, shards: usize| {
+        let t1 = roomy_tree(&a, shards);
+        let t2 = roomy_tree(&b, shards);
+        let config = JoinConfig::default().with_prefetch(depth);
+        let mut join = DistanceJoin::new(&t1, &t2, config);
+        let stream: Vec<_> = join.by_ref().map(|r| key(&r)).collect();
+        let stats = join.stats();
+        drop(join);
+        let pool = |t: &RTree<2>| t.io_stats();
+        let (s1, s2) = (pool(&t1), pool(&t2));
+        assert_eq!(
+            s1.evictions + s2.evictions,
+            0,
+            "buffer sized to avoid evictions"
+        );
+        (
+            stream,
+            stats,
+            s1.misses + s2.misses,
+            s1.prefetch_reads + s2.prefetch_reads,
+            s1.prefetch_hits + s2.prefetch_hits,
+        )
+    };
+    for shards in [1usize, 4] {
+        let (off_stream, off_stats, off_misses, off_reads, off_hits) = run_with(0, shards);
+        let (on_stream, on_stats, on_misses, on_reads, on_hits) = run_with(8, shards);
+        assert_eq!(on_stream, off_stream, "prefetch changed the stream");
+        assert_eq!(off_reads, 0, "depth 0 must issue no prefetch reads");
+        assert_eq!(off_hits, 0);
+        assert_eq!(off_stats.prefetch_hints, 0);
+        assert!(
+            on_stats.prefetch_hints > 0,
+            "depth 8 should have issued hints"
+        );
+        assert!(on_reads > 0, "hints should have prefetched real pages");
+        assert!(on_hits > 0, "some prefetched pages should satisfy demand");
+        assert_eq!(
+            on_misses + on_hits,
+            off_misses,
+            "I/O conservation broke at shards={shards}"
+        );
+        assert_eq!(on_stats.pairs_reported, off_stats.pairs_reported);
+    }
+}
+
 /// Merged statistics keep enqueue/dequeue symmetry: the partitioner counts
 /// shard pairs once and workers do not recount them.
 #[test]

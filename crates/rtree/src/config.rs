@@ -15,6 +15,12 @@ pub struct RTreeConfig {
     pub page_size: usize,
     /// Number of page frames in the tree's buffer pool.
     pub buffer_frames: usize,
+    /// Number of buffer-pool shards. `1` (the default) keeps the historical
+    /// single-shard LRU pool — byte-identical miss counts for the
+    /// experiments; larger values split the frames across independently
+    /// locked CLOCK shards so parallel workers' node reads never serialise.
+    /// A runtime-only knob: not persisted with the tree.
+    pub buffer_shards: usize,
     /// Optional cap on the fan-out, applied after computing how many entries
     /// fit in a page. `Some(50)` by default to match the paper.
     pub fanout_cap: Option<usize>,
@@ -30,6 +36,7 @@ impl Default for RTreeConfig {
         Self {
             page_size: 2048,
             buffer_frames: 256,
+            buffer_shards: 1,
             fanout_cap: Some(50),
             min_fill: 0.4,
             reinsert_fraction: 0.3,
@@ -45,6 +52,7 @@ impl RTreeConfig {
         Self {
             page_size: HEADER_SIZE + max_entries * crate::node::entry_size::<2>(),
             buffer_frames: 16,
+            buffer_shards: 1,
             fanout_cap: Some(max_entries),
             min_fill: 0.4,
             reinsert_fraction: 0.3,

@@ -61,6 +61,9 @@ impl<const D: usize> RTree<D> {
         let config = RTreeConfig {
             page_size: read_u64(input)? as usize,
             buffer_frames: read_u64(input)? as usize,
+            // Sharding is a runtime concurrency knob, not part of the
+            // on-disk format; reopened trees start with the default.
+            buffer_shards: 1,
             fanout_cap: match read_u64(input)? {
                 u64::MAX => None,
                 f => Some(f as usize),

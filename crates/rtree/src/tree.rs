@@ -3,7 +3,7 @@
 //! algorithms.
 
 use sdj_geom::{Metric, Rect};
-use sdj_storage::{BufferPool, DiskStats, PageId, Pager, PoolStats, Result};
+use sdj_storage::{BufferPool, DiskStats, PageId, Pager, PoolConfig, PoolStats, Result};
 
 use crate::config::RTreeConfig;
 use crate::entry::{Entry, ObjectId};
@@ -44,7 +44,7 @@ impl<const D: usize> RTree<D> {
     #[must_use]
     pub fn new(config: RTreeConfig) -> Self {
         let pager = Pager::new(config.page_size);
-        let pool = BufferPool::new(pager, config.buffer_frames);
+        let pool = BufferPool::with_config(pager, config.buffer_frames, Self::pool_config(&config));
         let root = pool.allocate();
         let tree = Self {
             pool,
@@ -128,9 +128,50 @@ impl<const D: usize> RTree<D> {
         self.pool.disk_stats()
     }
 
+    /// Per-shard buffer counters, for inspecting how evenly the page hash
+    /// spreads load (one entry when unsharded).
+    #[must_use]
+    pub fn shard_io_stats(&self) -> Vec<PoolStats> {
+        self.pool.shard_stats()
+    }
+
     /// Resets I/O counters (tree contents unaffected).
     pub fn reset_io_stats(&self) {
         self.pool.reset_stats();
+    }
+
+    /// Replaces the buffer pool with a freshly built (cold) one of the
+    /// given frame budget and shard count, flushing dirty pages first.
+    /// Tree contents are unaffected; all counters start from zero. Lets
+    /// experiments measure cold-cache behaviour on a tree that was built
+    /// warm, and switch sharding without a persist round-trip.
+    pub fn rebuild_buffer(&mut self, frames: usize, shards: usize) -> Result<()> {
+        self.config.buffer_frames = frames;
+        self.config.buffer_shards = shards;
+        let dummy = BufferPool::new(Pager::new(self.config.page_size), 1);
+        let pager = std::mem::replace(&mut self.pool, dummy).into_pager()?;
+        self.pool = BufferPool::with_config(pager, frames, Self::pool_config(&self.config));
+        Ok(())
+    }
+
+    /// Buffer-pool configuration implied by an [`RTreeConfig`]: one shard
+    /// keeps the historical LRU pool (byte-identical miss counts for the
+    /// experiments); more shards switch to per-shard CLOCK eviction.
+    pub(crate) fn pool_config(config: &RTreeConfig) -> PoolConfig {
+        if config.buffer_shards <= 1 {
+            PoolConfig::default()
+        } else {
+            PoolConfig::sharded(config.buffer_shards)
+        }
+    }
+
+    /// Batch prefetch hint for node pages likely to be read soon (see
+    /// [`sdj_storage::BufferPool::prefetch`]): absent pages are faulted in
+    /// and counted as prefetch reads, *not* demand misses, so
+    /// [`RTree::io_stats`] miss counts stay comparable across runs with and
+    /// without hinting.
+    pub fn prefetch_pages(&self, pages: &[PageId]) {
+        self.pool.prefetch(pages);
     }
 
     /// Attaches an observability handle to the tree's buffer pool: node

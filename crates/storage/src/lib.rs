@@ -5,14 +5,16 @@
 //! performance measures. This crate reproduces that environment in-process:
 //!
 //! * [`Pager`] — a "disk" of fixed-size pages with read/write counters,
-//! * [`BufferPool`] — an LRU page cache in front of a pager; a buffer miss is
-//!   what the experiments count as one node I/O,
+//! * [`BufferPool`] — a sharded page cache in front of a pager with pinned
+//!   zero-copy [`PageGuard`] reads and batch [`BufferPool::prefetch`] hints;
+//!   a demand buffer miss is what the experiments count as one node I/O,
 //! * [`codec`] — small helpers for encoding tree nodes and spilled
 //!   priority-queue entries into pages.
 //!
 //! The pool uses interior mutability so that read-only tree traversals (the
 //! join and nearest-neighbour iterators) can fault pages in without requiring
-//! `&mut` access to the index.
+//! `&mut` access to the index, and per-shard locking so the parallel
+//! executor's workers do not serialise on warm reads.
 
 mod buffer;
 pub mod codec;
@@ -20,7 +22,7 @@ mod error;
 mod pager;
 pub mod persist;
 
-pub use buffer::{BufferObs, BufferPool, PoolStats};
+pub use buffer::{BufferObs, BufferPool, EvictionPolicy, PageGuard, PoolConfig, PoolStats};
 pub use error::StorageError;
 pub use pager::{DiskStats, PageId, Pager};
 pub use persist::PersistError;
