@@ -44,6 +44,24 @@ cargo test -p sdj-storage --offline -q --test pin_evict threaded_pin_evict_stres
 cargo test -p sdj-exec --offline -q --test parallel_equivalence shard_counts_are_stream_invisible
 cargo test -p sdj-exec --offline -q --test parallel_equivalence prefetch_is_stream_invisible_and_conserves_io
 
+echo "==> fail-clean chaos gate"
+# Fault injection must never panic and never corrupt the result stream:
+# storage and pqueue hold the panic-free lint tier (no unwrap/expect in
+# library code), the fuzzed fault-schedule proptests assert the
+# prefix-or-identical invariant for serial and parallel runs, and a seeded
+# end-to-end report run under transient faults must complete bit-identically
+# with retries recorded in the report. The seed pins one deterministic
+# schedule, so this gate is reproducible (see README: SDJ_FAULT_SEED).
+cargo clippy -p sdj-storage -p sdj-pqueue --lib --no-deps --offline -- \
+    -D warnings -D clippy::unwrap_used -D clippy::expect_used
+cargo test -p sdj-storage --offline -q fault
+cargo test -p sdj-core --offline -q --test chaos
+cargo test -p sdj-exec --offline -q --test chaos_parallel
+SDJ_FAULT_SEED=1998 SDJ_FAULT_RATE=0.2 ./target/release/sdj-report \
+    --n 2000 --k 300 --out results/RunReport_chaos.json
+./target/release/sdj-report --check results/RunReport_chaos.json \
+    --expect-drain --expect-retries
+
 echo "==> observability smoke gate"
 # A small instrumented join must produce a schema-valid RunReport whose
 # rank curve is monotone and whose queue curve grows then drains; the

@@ -41,9 +41,9 @@ fn bench_heaps(c: &mut Criterion) {
             BinaryHeapQueue::<OrdF64, u64>::new,
             |mut h| {
                 for (i, k) in ks.iter().enumerate() {
-                    h.push(OrdF64::new(*k), i as u64);
+                    h.push(OrdF64::new(*k), i as u64).expect("in-memory push");
                 }
-                while let Some(x) = h.pop() {
+                while let Ok(Some(x)) = h.pop() {
                     black_box(x);
                 }
             },
@@ -55,9 +55,9 @@ fn bench_heaps(c: &mut Criterion) {
             || HybridQueue::<OrdF64, u64>::new(HybridConfig::with_dt(10.0)),
             |mut h| {
                 for (i, k) in ks.iter().enumerate() {
-                    h.push(OrdF64::new(*k), i as u64);
+                    h.push(OrdF64::new(*k), i as u64).expect("in-memory push");
                 }
-                while let Some(x) = h.pop() {
+                while let Ok(Some(x)) = h.pop() {
                     black_box(x);
                 }
             },

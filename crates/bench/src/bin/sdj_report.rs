@@ -30,8 +30,8 @@ use sdj_datagen::{uniform_points, unit_box};
 use sdj_exec::{ParallelConfig, ParallelDistanceJoin};
 use sdj_geom::Point;
 use sdj_obs::{sparkline, EventSink, NdjsonWriter, ObsContext, RunRecorder, RunReport, TeeSink};
-use sdj_rtree::RTree;
-use sdj_storage::BufferObs;
+use sdj_rtree::{ObjectId, RTree, RTreeConfig};
+use sdj_storage::{BufferObs, FaultConfig, FaultInjector};
 
 struct Args {
     n: usize,
@@ -41,6 +41,7 @@ struct Args {
     events: Option<String>,
     check: Option<String>,
     expect_drain: bool,
+    expect_retries: bool,
     overhead: bool,
     label: String,
 }
@@ -55,6 +56,7 @@ impl Args {
             events: None,
             check: None,
             expect_drain: false,
+            expect_retries: false,
             overhead: false,
             label: "uniform distance join".into(),
         };
@@ -94,6 +96,7 @@ impl Args {
                     i += 1;
                 }
                 "--expect-drain" => a.expect_drain = true,
+                "--expect-retries" => a.expect_retries = true,
                 "--overhead" => a.overhead = true,
                 "--label" => {
                     a.label = take(&argv, i, "--label");
@@ -101,7 +104,7 @@ impl Args {
                 }
                 other => panic!(
                     "unknown argument {other} (expected --n/--k/--threads/--out/--events/\
-                     --check/--expect-drain/--overhead/--label)"
+                     --check/--expect-drain/--expect-retries/--overhead/--label)"
                 ),
             }
             i += 1;
@@ -113,7 +116,25 @@ impl Args {
 fn build_env(n: usize) -> (RTree<2>, RTree<2>) {
     let a: Vec<Point<2>> = uniform_points(n, &unit_box(), 97);
     let b: Vec<Point<2>> = uniform_points(n, &unit_box(), 98);
-    (build_tree(&a), build_tree(&b))
+    if chaos_from_env().is_some() {
+        // Thrash-sized pools: the paper config's 128 frames can cache a
+        // small tree whole, leaving the injector no pager I/O to fault.
+        let config = RTreeConfig {
+            buffer_frames: 8,
+            ..sdj_bench::paper_tree_config()
+        };
+        let small = |pts: &[Point<2>]| {
+            let items: Vec<_> = pts
+                .iter()
+                .enumerate()
+                .map(|(i, p)| (ObjectId(i as u64), p.to_rect()))
+                .collect();
+            RTree::bulk_load(config, items)
+        };
+        (small(&a), small(&b))
+    } else {
+        (build_tree(&a), build_tree(&b))
+    }
 }
 
 /// Pass 1: the K closest pairs through the selected engine. Returns the
@@ -163,9 +184,61 @@ fn run_drain_pass(t1: &RTree<2>, t2: &RTree<2>, dmax: f64, ctx: &ObsContext) -> 
     join.by_ref().count() as u64
 }
 
+/// Chaos mode from the environment: `SDJ_FAULT_SEED` (u64) enables a
+/// deterministic transient-only fault schedule on both tree buffer pools at
+/// rate `SDJ_FAULT_RATE` (default 0.01) with `SDJ_FAULT_RETRIES` bounded
+/// retries (default 16). Retries must absorb every fault — the run still
+/// completes, and the report records `buf.*.faults` / `buf.*.retries` for
+/// the CI chaos gate (`--check --expect-retries`). The same seed reproduces
+/// the same schedule.
+struct Chaos {
+    seed: u64,
+    rate: f64,
+    retries: u32,
+}
+
+fn chaos_from_env() -> Option<Chaos> {
+    let seed = std::env::var("SDJ_FAULT_SEED")
+        .ok()
+        .and_then(|s| s.parse::<u64>().ok())?;
+    let rate: f64 = std::env::var("SDJ_FAULT_RATE")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(0.01);
+    let retries: u32 = std::env::var("SDJ_FAULT_RETRIES")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(16);
+    Some(Chaos {
+        seed,
+        rate,
+        retries,
+    })
+}
+
+fn install_chaos(t1: &RTree<2>, t2: &RTree<2>) {
+    let Some(chaos) = chaos_from_env() else {
+        return;
+    };
+    eprintln!(
+        "# chaos: transient faults at rate {}, seed {}, retries {}",
+        chaos.rate, chaos.seed, chaos.retries
+    );
+    let inj = Arc::new(FaultInjector::new(FaultConfig::transient_only(
+        chaos.seed, chaos.rate,
+    )));
+    t1.set_fault_injector(Some(Arc::clone(&inj)));
+    t2.set_fault_injector(Some(inj));
+    t1.set_retry_limit(chaos.retries);
+    t2.set_retry_limit(chaos.retries);
+}
+
 fn run_report(args: &Args) -> Result<(), String> {
     eprintln!("# building two uniform {}-point trees ...", args.n);
     let (t1, t2) = build_env(args.n);
+    // Installed after the build: construction is never faulted, only the
+    // join's node I/O.
+    install_chaos(&t1, &t2);
 
     // One NDJSON log (if requested) spans both passes; each pass gets its
     // own recorder so pass 1's queue samples (which never drain: the run
@@ -294,7 +367,7 @@ fn run_report(args: &Args) -> Result<(), String> {
     Ok(())
 }
 
-fn run_check(path: &str, expect_drain: bool) -> Result<(), String> {
+fn run_check(path: &str, expect_drain: bool, expect_retries: bool) -> Result<(), String> {
     let text = std::fs::read_to_string(path).map_err(|e| format!("read {path}: {e}"))?;
     let report = RunReport::from_json(&text).map_err(|e| format!("{path}: {e}"))?;
     report.validate().map_err(|e| format!("{path}: {e}"))?;
@@ -309,6 +382,27 @@ fn run_check(path: &str, expect_drain: bool) -> Result<(), String> {
             "{path}: queue series is not grow-then-drain ({} points)",
             report.queue_series.len()
         ));
+    }
+    if expect_retries {
+        // The chaos gate: a run under SDJ_FAULT_SEED must have actually
+        // exercised the retry path (faults injected, retries recorded) and
+        // still produced a complete, valid report.
+        let sum = |suffix: &str| -> u64 {
+            report
+                .counters
+                .iter()
+                .filter(|(name, _)| name.ends_with(suffix))
+                .map(|(_, v)| v)
+                .sum()
+        };
+        let (faults, retries) = (sum(".faults"), sum(".retries"));
+        if faults == 0 || retries == 0 {
+            return Err(format!(
+                "{path}: expected injected faults and successful retries, \
+                 got faults={faults} retries={retries}"
+            ));
+        }
+        println!("{path}: chaos ok (faults={faults}, retries={retries})");
     }
     println!(
         "{path}: ok (schema {}, {} counters, {} queue points, {} rank points)",
@@ -405,7 +499,7 @@ fn run_overhead(args: &Args) -> Result<(), String> {
 fn main() -> ExitCode {
     let args = Args::parse();
     let result = if let Some(path) = &args.check {
-        run_check(path, args.expect_drain)
+        run_check(path, args.expect_drain, args.expect_retries)
     } else if args.overhead {
         run_overhead(&args)
     } else {

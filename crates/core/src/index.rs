@@ -183,7 +183,12 @@ impl<const D: usize> SpatialIndex<D> for RTree<D> {
     }
 
     fn read_node_into(&self, id: NodeId, out: &mut IndexNode<D>) -> Result<()> {
-        let page = PageId(u32::try_from(id).expect("R-tree node ids are u32 pages"));
+        // Node ids come from decoded pages; an out-of-range one means the
+        // page was damaged, not a programming error.
+        let page =
+            PageId(u32::try_from(id).map_err(|_| {
+                sdj_storage::StorageError::Corrupt("node id exceeds u32 page range")
+            })?);
         out.entries.clear();
         let entries = &mut out.entries;
         out.level = self.scan_node(page, |level, e| {
@@ -208,12 +213,21 @@ impl<const D: usize> SpatialIndex<D> for RTree<D> {
     }
 
     fn prefetch_nodes(&self, ids: &[NodeId]) {
+        // Prefetching is best-effort by contract ("stale ids must not fail
+        // the join"), so ids that don't fit a u32 page are skipped, not
+        // reported.
         let mut pages = [PageId::INVALID; PREFETCH_CHUNK];
         for chunk in ids.chunks(PREFETCH_CHUNK) {
-            for (slot, &id) in pages.iter_mut().zip(chunk) {
-                *slot = PageId(u32::try_from(id).expect("R-tree node ids are u32 pages"));
+            let mut n = 0;
+            for &id in chunk {
+                if let Ok(page) = u32::try_from(id) {
+                    pages[n] = PageId(page);
+                    n += 1;
+                }
             }
-            self.prefetch_pages(&pages[..chunk.len()]);
+            if n > 0 {
+                self.prefetch_pages(&pages[..n]);
+            }
         }
     }
 }

@@ -110,9 +110,8 @@ where
                 },
             ))
         })();
-        match roots {
-            Ok(pair) => self.consider(pair),
-            Err(e) => self.error = Some(e),
+        if let Err(e) = roots.and_then(|pair| self.consider(pair)) {
+            self.error = Some(e);
         }
     }
 
@@ -123,14 +122,14 @@ where
 
     /// Discards non-intersecting pairs (the "∞" case) and enqueues the rest
     /// keyed by the focus distance of their common region.
-    fn consider(&mut self, pair: Pair<D>) {
+    fn consider(&mut self, pair: Pair<D>) -> sdj_storage::Result<()> {
         let common = pair.item1.rect().intersection(pair.item2.rect());
         if common.is_empty() {
-            return;
+            return Ok(());
         }
         let k = self.keys.mindist_point_rect(&self.focus, &common);
         let key = PairKey::new(k, &pair, TiePolicy::DepthFirst);
-        self.queue.push(key, pair);
+        self.queue.push(key, pair)
     }
 
     fn expand(&mut self, pair: &Pair<D>, first_side: bool) -> sdj_storage::Result<()> {
@@ -148,7 +147,7 @@ where
         let mut node = std::mem::take(&mut self.node_scratch);
         let mut soa = std::mem::take(&mut self.soa);
         let mut kbuf = std::mem::take(&mut self.keys_buf);
-        let read = if first_side {
+        let mut read = if first_side {
             self.tree1.read_node_into(page, &mut node)
         } else {
             self.tree2.read_node_into(page, &mut node)
@@ -187,7 +186,10 @@ where
                     Pair::new(other, child)
                 };
                 let key = PairKey::new(k, &child_pair, TiePolicy::DepthFirst);
-                self.queue.push(key, child_pair);
+                if let Err(e) = self.queue.push(key, child_pair) {
+                    read = Err(e);
+                    break;
+                }
             }
         }
         self.node_scratch = node;
@@ -197,7 +199,7 @@ where
     }
 
     fn step(&mut self) -> sdj_storage::Result<Option<IntersectionPair>> {
-        while let Some((key, pair)) = self.queue.pop() {
+        while let Some((key, pair)) = self.queue.pop()? {
             if pair.is_final(true) {
                 return Ok(Some(IntersectionPair {
                     oid1: pair.item1.object_id().expect("final pair"),

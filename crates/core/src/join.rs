@@ -310,7 +310,10 @@ where
         // Shard pairs were counted as enqueued by the partitioning run; do
         // not recount them here so merged parallel stats keep push/pop
         // symmetry.
-        join.queue.push_batch(shard);
+        if let Err(e) = join.queue.push_batch(shard) {
+            join.error = Some(e);
+            join.done = true;
+        }
         join
     }
 
@@ -382,9 +385,23 @@ where
         shard_vecs.resize_with(shards, || Vec::with_capacity(per_shard));
         if !exhausted {
             let mut next = 0usize;
-            while let Some(entry) = self.queue.pop() {
-                shard_vecs[next].push(entry);
-                next = (next + 1) % shards;
+            loop {
+                match self.queue.pop() {
+                    Ok(Some(entry)) => {
+                        shard_vecs[next].push(entry);
+                        next = (next + 1) % shards;
+                    }
+                    Ok(None) => break,
+                    Err(e) => {
+                        // A fault while draining the queue loses the shards'
+                        // completeness; surface the error so the executor
+                        // aborts instead of running an incomplete partition.
+                        if self.error.is_none() {
+                            self.error = Some(e);
+                        }
+                        break;
+                    }
+                }
             }
         }
         JoinFrontier {
@@ -464,7 +481,10 @@ where
                 self.done = true;
             }
         }
-        self.flush_pending();
+        if let Err(e) = self.flush_pending() {
+            self.error = Some(e);
+            self.done = true;
+        }
     }
 
     // ------------------------------------------------------------ accessors
@@ -504,6 +524,29 @@ where
     /// Takes the pending I/O error, if iteration stopped because of one.
     pub fn take_error(&mut self) -> Option<StorageError> {
         self.error.take()
+    }
+
+    /// Installs (or clears) a fault injector on the hybrid queue's spill
+    /// pager. No-op for the memory backend.
+    pub fn set_queue_fault_injector(
+        &mut self,
+        injector: Option<std::sync::Arc<sdj_storage::FaultInjector>>,
+    ) {
+        self.queue.set_fault_injector(injector);
+    }
+
+    /// Bounds how many times the hybrid queue's buffer pool retries an
+    /// operation that failed with a transient fault. No-op for the memory
+    /// backend.
+    pub fn set_queue_retry_limit(&mut self, limit: u32) {
+        self.queue.set_retry_limit(limit);
+    }
+
+    /// Buffer-pool statistics for the hybrid queue's spill tier (zeroed
+    /// stats for the memory backend).
+    #[must_use]
+    pub fn queue_pool_stats(&self) -> sdj_storage::PoolStats {
+        self.queue.pool_stats()
     }
 
     /// Hybrid-queue tiering information (`(tier stats, in-memory element
@@ -946,18 +989,21 @@ where
     /// Moves staged pairs into the queue, growing its arena at most once.
     /// Called after every expansion and at the end of each step, so the
     /// queue is fully materialised whenever an element is popped or the
-    /// public accessors run.
-    fn flush_pending(&mut self) {
+    /// public accessors run. A hybrid-backend spill fault surfaces here; the
+    /// caller aborts the run, so the partially flushed batch is never
+    /// observed as output.
+    fn flush_pending(&mut self) -> sdj_storage::Result<()> {
         if self.pending.is_empty() {
-            return;
+            return Ok(());
         }
         self.stats.pairs_enqueued += self.pending.len() as u64;
         let mut pending = std::mem::take(&mut self.pending);
-        self.queue.push_batch(pending.drain(..));
+        let flushed = self.queue.push_batch(pending.drain(..));
         self.pending = pending;
         // Update the high-water mark once per flush, not once per push:
         // batch insertions must be observed too.
         self.stats.max_queue = self.stats.max_queue.max(self.queue.len());
+        flushed
     }
 
     /// PROCESS_NODE1 / PROCESS_NODE2 (Figure 3): expands the node on
@@ -1346,11 +1392,10 @@ where
         // [`KeySpace::axis_gap_exceeds`] — no sqrt, and an infinite bound
         // degenerates to the full window in both domains. Each window's
         // MINDIST keys come from one kernel pass over the sorted columns.
-        entries2.sort_by(|a, b| {
-            a.rect().lo()[0]
-                .partial_cmp(&b.rect().lo()[0])
-                .expect("finite rectangles")
-        });
+        // `total_cmp` keeps the sweep well-defined even if a corrupt page
+        // decoded to a NaN coordinate (NaNs sort last; the pair is still
+        // pruned or reported by the distance kernels, never a panic).
+        entries2.sort_by(|a, b| a.rect().lo()[0].total_cmp(&b.rect().lo()[0]));
         let mut soa2 = std::mem::take(&mut self.scratch_soa2);
         soa2.clear();
         for e in &entries2 {
@@ -1483,11 +1528,10 @@ where
 
         // Plane sweep along axis 0, with the same key-domain window bounds
         // as the batched path (see `expand_both_batched`).
-        entries2.sort_by(|a, b| {
-            a.rect().lo()[0]
-                .partial_cmp(&b.rect().lo()[0])
-                .expect("finite rectangles")
-        });
+        // `total_cmp` keeps the sweep well-defined even if a corrupt page
+        // decoded to a NaN coordinate (NaNs sort last; the pair is still
+        // pruned or reported by the distance kernels, never a panic).
+        entries2.sort_by(|a, b| a.rect().lo()[0].total_cmp(&b.rect().lo()[0]));
         let max_width2 = entries2
             .iter()
             .map(|e| e.rect().extent(0))
@@ -1560,7 +1604,12 @@ where
     /// partitioner measures `queue.len()` at step granularity).
     fn step(&mut self) -> sdj_storage::Result<StepOutcome> {
         let outcome = self.step_inner();
-        self.flush_pending();
+        let flushed = self.flush_pending();
+        if outcome.is_ok() {
+            // Surface a flush fault (the step's own error takes precedence:
+            // it happened first and the flush ran on its partial state).
+            flushed?;
+        }
         if self.config.prefetch_depth > 0 {
             self.emit_prefetch_hints();
         }
@@ -1604,7 +1653,7 @@ where
 
     /// One iteration of the algorithm's main loop (Figure 3).
     fn step_inner(&mut self) -> sdj_storage::Result<StepOutcome> {
-        let Some((key, pair)) = self.queue.pop() else {
+        let Some((key, pair)) = self.queue.pop()? else {
             return Ok(StepOutcome::Exhausted);
         };
         self.stats.pairs_dequeued += 1;
@@ -1696,7 +1745,7 @@ where
                     },
                 );
                 let new_key = PairKey::new(key_dist, &object_pair, self.config.tie);
-                let report_now = match self.queue.peek_key() {
+                let report_now = match self.queue.peek_key()? {
                     Some(front) => new_key <= front,
                     None => true,
                 };

@@ -43,44 +43,54 @@ impl<const D: usize> JoinQueue<D> {
         JoinQueue::Hybrid(Box::new(HybridQueue::new(config)))
     }
 
-    /// Inserts a pair.
-    pub fn push(&mut self, key: PairKey, pair: Pair<D>) {
+    /// Inserts a pair. The memory backend is infallible; the hybrid backend
+    /// surfaces disk faults (transient I/O, disk-full, corruption).
+    pub fn push(&mut self, key: PairKey, pair: Pair<D>) -> sdj_storage::Result<()> {
         match self {
-            JoinQueue::Memory(q) => q.push(key, pair),
-            JoinQueue::Hybrid(q) => q.push(key, pair),
+            JoinQueue::Memory(q) => {
+                q.push(key, pair);
+                Ok(())
+            }
+            JoinQueue::Hybrid(q) => PriorityQueue::push(q.as_mut(), key, pair),
         }
     }
 
     /// Inserts a batch of pairs. The memory backend grows its arena at most
     /// once for the whole batch; the hybrid backend falls back to per-element
-    /// pushes (its tiering decisions are per-element anyway).
-    pub fn push_batch<I>(&mut self, batch: I)
+    /// pushes (its tiering decisions are per-element anyway) and stops at the
+    /// first storage error, dropping the rest of the batch — callers abort
+    /// the join on `Err`, so the partial state is never observed as output.
+    pub fn push_batch<I>(&mut self, batch: I) -> sdj_storage::Result<()>
     where
         I: IntoIterator<Item = (PairKey, Pair<D>)>,
     {
         match self {
-            JoinQueue::Memory(q) => q.push_batch(batch),
+            JoinQueue::Memory(q) => {
+                q.push_batch(batch);
+                Ok(())
+            }
             JoinQueue::Hybrid(q) => {
                 for (key, pair) in batch {
-                    q.push(key, pair);
+                    PriorityQueue::push(q.as_mut(), key, pair)?;
                 }
+                Ok(())
             }
         }
     }
 
     /// Removes the minimum pair.
-    pub fn pop(&mut self) -> Option<(PairKey, Pair<D>)> {
+    pub fn pop(&mut self) -> sdj_storage::Result<Option<(PairKey, Pair<D>)>> {
         match self {
-            JoinQueue::Memory(q) => q.pop(),
-            JoinQueue::Hybrid(q) => q.pop(),
+            JoinQueue::Memory(q) => Ok(q.pop()),
+            JoinQueue::Hybrid(q) => PriorityQueue::pop(q.as_mut()),
         }
     }
 
     /// The minimum key (may promote spilled elements in the hybrid case).
-    pub fn peek_key(&mut self) -> Option<PairKey> {
+    pub fn peek_key(&mut self) -> sdj_storage::Result<Option<PairKey>> {
         match self {
-            JoinQueue::Memory(q) => PriorityQueue::peek_key(q),
-            JoinQueue::Hybrid(q) => q.peek_key(),
+            JoinQueue::Memory(q) => Ok(q.peek().cloned()),
+            JoinQueue::Hybrid(q) => PriorityQueue::peek_key(q.as_mut()),
         }
     }
 
@@ -138,6 +148,35 @@ impl<const D: usize> JoinQueue<D> {
         }
     }
 
+    /// Attaches a fault injector to the hybrid backend's simulated disk.
+    /// No-op for the memory backend, which never touches storage.
+    pub fn set_fault_injector(
+        &mut self,
+        injector: Option<std::sync::Arc<sdj_storage::FaultInjector>>,
+    ) {
+        if let JoinQueue::Hybrid(q) = self {
+            q.set_fault_injector(injector);
+        }
+    }
+
+    /// Bounds how many times the hybrid backend retries a transient disk
+    /// fault before surfacing it. No-op for the memory backend.
+    pub fn set_retry_limit(&mut self, limit: u32) {
+        if let JoinQueue::Hybrid(q) = self {
+            q.set_retry_limit(limit);
+        }
+    }
+
+    /// Buffer-pool fault/retry counters of the hybrid backend (zeros for the
+    /// memory backend).
+    #[must_use]
+    pub fn pool_stats(&self) -> sdj_storage::PoolStats {
+        match self {
+            JoinQueue::Memory(_) => sdj_storage::PoolStats::default(),
+            JoinQueue::Hybrid(q) => q.pool_stats(),
+        }
+    }
+
     /// Attaches observability to the hybrid backend: tier migrations emit
     /// events to the context's sink and the `pq.tier.*` occupancy gauges are
     /// registered and kept in sync. No-op for the memory backend (the join's
@@ -173,13 +212,13 @@ mod tests {
         for (i, d) in [3.0, 0.5, 7.25, 1.5, 4.0].iter().enumerate() {
             let p = pair(i as u64);
             let k = PairKey::new(*d, &p, TiePolicy::DepthFirst);
-            mem.push(k, p);
-            hyb.push(k, p);
+            mem.push(k, p).unwrap();
+            hyb.push(k, p).unwrap();
         }
         assert_eq!(mem.len(), hyb.len());
         loop {
-            let a = mem.pop();
-            let b = hyb.pop();
+            let a = mem.pop().unwrap();
+            let b = hyb.pop().unwrap();
             assert_eq!(a.map(|(k, _)| k), b.map(|(k, _)| k));
             if a.is_none() {
                 break;

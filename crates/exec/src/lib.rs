@@ -45,7 +45,7 @@ use sdj_core::{
 };
 use sdj_geom::Rect;
 use sdj_obs::{Event, EventSink, ObsContext};
-use sdj_storage::StorageError;
+use sdj_storage::{FaultConfig, FaultInjector, StorageError};
 
 // The executor shares `&RTree` across scoped threads; this fails to compile
 // if the default index ever regresses to a non-Sync interior (e.g. a RefCell
@@ -128,6 +128,7 @@ where
     window2: Option<Rect<D>>,
     parallel: ParallelConfig,
     obs: Option<ObsContext>,
+    queue_fault: Option<(FaultConfig, u32)>,
 }
 
 impl<'a, const D: usize, I1, I2> ParallelDistanceJoin<'a, D, MbrOracle, I1, I2>
@@ -180,6 +181,7 @@ where
             window2: None,
             parallel,
             obs: None,
+            queue_fault: None,
         }
     }
 
@@ -217,6 +219,17 @@ where
     #[must_use]
     pub fn with_obs(mut self, ctx: ObsContext) -> Self {
         self.obs = Some(ctx);
+        self
+    }
+
+    /// Installs a fault schedule on every engine's hybrid-queue spill pager
+    /// (chaos testing). The partitioner and each worker own independent
+    /// queues, so each gets its own injector built from `config`; `retries`
+    /// bounds the buffer pools' transient-fault retries. No-op under the
+    /// memory queue backend.
+    #[must_use]
+    pub fn with_queue_fault_config(mut self, config: FaultConfig, retries: u32) -> Self {
+        self.queue_fault = Some((config, retries));
         self
     }
 
@@ -276,7 +289,11 @@ where
                 seen,
             ),
         };
-        let join = join.with_windows(self.window1, self.window2);
+        let mut join = join.with_windows(self.window1, self.window2);
+        if let Some((fault, retries)) = &self.queue_fault {
+            join.set_queue_fault_injector(Some(Arc::new(FaultInjector::new(fault.clone()))));
+            join.set_queue_retry_limit(*retries);
+        }
         match &self.obs {
             Some(ctx) => {
                 let mut handle = JoinObs::for_worker(ctx, worker);
@@ -332,7 +349,7 @@ where
                 scope.spawn(move || {
                     let mut sent: u64 = 0;
                     for result in &mut join {
-                        if tx.send(result).is_err() {
+                        if tx.send(Ok(result)).is_err() {
                             break; // the consumer dropped the stream
                         }
                         sent += 1;
@@ -340,7 +357,15 @@ where
                     if let Some(obs) = join.obs_mut() {
                         obs.finish(sent);
                     }
-                    let tally = (join.stats(), join.take_error());
+                    let err = join.take_error();
+                    if let Some(e) = &err {
+                        // The error is this stream's final message: the merge
+                        // stops at it instead of treating the worker as
+                        // cleanly exhausted (which would silently drop every
+                        // result the worker still owed).
+                        let _ = tx.send(Err(e.clone()));
+                    }
+                    let tally = (join.stats(), err);
                     tallies
                         .lock()
                         .unwrap_or_else(std::sync::PoisonError::into_inner)
@@ -362,6 +387,10 @@ where
                 frontier.remaining_pairs,
                 stream_obs,
             );
+            // A partitioning error truncates the stream to the prefix with
+            // no workers behind it; expose it to the consumer the same way a
+            // worker error is exposed.
+            stream.error = frontier_error.clone();
             let value = consume(&mut stream);
             drop(stream); // close the receivers so stalled workers exit
             (value, frontier.stats)
@@ -388,22 +417,29 @@ where
 
 /// One worker's incoming stream and its current watermark element.
 struct WorkerStream {
-    rx: Option<Receiver<ResultPair>>,
+    rx: Option<Receiver<Result<ResultPair, StorageError>>>,
     head: Option<ResultPair>,
 }
 
 impl WorkerStream {
     /// Ensures `head` holds the worker's next element, blocking on the
     /// channel if necessary; a disconnected channel finishes the stream.
-    fn fill(&mut self) {
+    /// Returns the worker's error if its next message is one (the stream is
+    /// finished either way — an error is always a worker's final message).
+    fn fill(&mut self) -> Option<StorageError> {
         if self.head.is_none() {
             if let Some(rx) = &self.rx {
                 match rx.recv() {
-                    Ok(item) => self.head = Some(item),
+                    Ok(Ok(item)) => self.head = Some(item),
+                    Ok(Err(e)) => {
+                        self.rx = None;
+                        return Some(e);
+                    }
                     Err(_) => self.rx = None,
                 }
             }
         }
+        None
     }
 }
 
@@ -429,12 +465,18 @@ pub struct JoinStream {
     /// Results still allowed after the prefix (`max_pairs` runs).
     remaining: Option<u64>,
     obs: Option<StreamObs>,
+    /// First worker error observed by the merge. Once set, the stream ends:
+    /// everything emitted so far is a correct prefix of the fault-free
+    /// stream (each emission was ≤ every live worker's watermark, including
+    /// the erroring worker's last one), and emitting past the error point
+    /// could skip results the dead worker still owed.
+    error: Option<StorageError>,
 }
 
 impl JoinStream {
     fn new(
         prefix: Vec<ResultPair>,
-        receivers: Vec<Receiver<ResultPair>>,
+        receivers: Vec<Receiver<Result<ResultPair, StorageError>>>,
         ascending: bool,
         seen: Option<SeenSet>,
         remaining: Option<u64>,
@@ -453,7 +495,16 @@ impl JoinStream {
             seen,
             remaining,
             obs,
+            error: None,
         }
+    }
+
+    /// The worker error that ended the stream, if any. The results already
+    /// pulled from the stream remain a valid prefix of the fault-free
+    /// output. (The same error is also reported in [`RunOutput::error`].)
+    #[must_use]
+    pub fn error(&self) -> Option<&StorageError> {
+        self.error.as_ref()
     }
 
     /// Index of the worker whose watermark is globally next, if any stream
@@ -462,8 +513,14 @@ impl JoinStream {
     /// lowest worker index, making the merge deterministic for a fixed
     /// shard layout.
     fn best_head(&mut self) -> Option<usize> {
+        if self.error.is_some() {
+            return None;
+        }
         for w in &mut self.workers {
-            w.fill();
+            if let Some(e) = w.fill() {
+                self.error = Some(e);
+                return None;
+            }
         }
         let mut best: Option<usize> = None;
         for (i, w) in self.workers.iter().enumerate() {

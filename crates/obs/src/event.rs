@@ -172,6 +172,19 @@ pub enum Event {
         /// Results the worker emitted.
         results: u64,
     },
+    /// A storage operation failed under the buffer pool (injected or real).
+    FaultInjected {
+        /// True for a write-side fault, false for a read-side one.
+        write: bool,
+        /// Whether the fault was transient (retryable).
+        transient: bool,
+    },
+    /// A storage operation succeeded after one or more retries of a
+    /// transient fault.
+    RetrySucceeded {
+        /// Number of failed attempts before the success.
+        retries: u32,
+    },
 }
 
 /// Formats an `f64` for NDJSON: finite values as shortest-roundtrip Rust
@@ -219,6 +232,8 @@ impl Event {
             Event::BufferEvict { .. } => "buffer_evict",
             Event::BoundTightened { .. } => "bound_tightened",
             Event::WorkerFinished { .. } => "worker_finished",
+            Event::FaultInjected { .. } => "fault_injected",
+            Event::RetrySucceeded { .. } => "retry_succeeded",
         }
     }
 
@@ -278,6 +293,16 @@ impl Event {
                 out.push_str(",\"results\":");
                 out.push_str(&results.to_string());
             }
+            Event::FaultInjected { write, transient } => {
+                out.push_str(",\"write\":");
+                out.push_str(if write { "true" } else { "false" });
+                out.push_str(",\"transient\":");
+                out.push_str(if transient { "true" } else { "false" });
+            }
+            Event::RetrySucceeded { retries } => {
+                out.push_str(",\"retries\":");
+                out.push_str(&retries.to_string());
+            }
         }
         out.push('}');
     }
@@ -332,6 +357,13 @@ impl Event {
             "worker_finished" => Event::WorkerFinished {
                 worker: int("worker")? as u32,
                 results: int("results")?,
+            },
+            "fault_injected" => Event::FaultInjected {
+                write: v.get("write")?.as_bool()?,
+                transient: v.get("transient")?.as_bool()?,
+            },
+            "retry_succeeded" => Event::RetrySucceeded {
+                retries: int("retries")? as u32,
             },
             _ => return None,
         })
@@ -392,6 +424,15 @@ mod tests {
                 worker: 1,
                 results: 999,
             },
+            Event::FaultInjected {
+                write: true,
+                transient: false,
+            },
+            Event::FaultInjected {
+                write: false,
+                transient: true,
+            },
+            Event::RetrySucceeded { retries: 3 },
         ]
     }
 

@@ -52,6 +52,10 @@ pub struct EventCounts {
     pub bound_tightened: u64,
     /// `WorkerFinished` events seen.
     pub worker_finished: u64,
+    /// `FaultInjected` events seen.
+    pub fault_injected: u64,
+    /// `RetrySucceeded` events seen.
+    pub retry_succeeded: u64,
     /// Elements that migrated into the disk tier (spills).
     pub elems_to_disk: u64,
     /// Elements that migrated out of the disk tier (bucket reloads).
@@ -89,6 +93,8 @@ impl EventCounts {
             }
             Event::BoundTightened { .. } => self.bound_tightened += 1,
             Event::WorkerFinished { .. } => self.worker_finished += 1,
+            Event::FaultInjected { .. } => self.fault_injected += 1,
+            Event::RetrySucceeded { .. } => self.retry_succeeded += 1,
         }
     }
 
@@ -103,6 +109,8 @@ impl EventCounts {
             + self.buffer_evict
             + self.bound_tightened
             + self.worker_finished
+            + self.fault_injected
+            + self.retry_succeeded
     }
 }
 

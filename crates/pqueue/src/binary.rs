@@ -53,17 +53,18 @@ impl<K: Ord, V> BinaryHeapQueue<K, V> {
 }
 
 impl<K: Ord + Clone, V> PriorityQueue<K, V> for BinaryHeapQueue<K, V> {
-    fn push(&mut self, key: K, value: V) {
+    fn push(&mut self, key: K, value: V) -> sdj_storage::Result<()> {
         self.heap.push(Reverse(Element { key, value }));
         self.max_len = self.max_len.max(self.heap.len());
+        Ok(())
     }
 
-    fn pop(&mut self) -> Option<(K, V)> {
-        self.heap.pop().map(|Reverse(e)| (e.key, e.value))
+    fn pop(&mut self) -> sdj_storage::Result<Option<(K, V)>> {
+        Ok(self.heap.pop().map(|Reverse(e)| (e.key, e.value)))
     }
 
-    fn peek_key(&mut self) -> Option<K> {
-        self.heap.peek().map(|Reverse(e)| e.key.clone())
+    fn peek_key(&mut self) -> sdj_storage::Result<Option<K>> {
+        Ok(self.heap.peek().map(|Reverse(e)| e.key.clone()))
     }
 
     fn len(&self) -> usize {
@@ -82,14 +83,14 @@ mod tests {
     #[test]
     fn behaves_as_min_queue() {
         let mut q = BinaryHeapQueue::new();
-        q.push(3, 'c');
-        q.push(1, 'a');
-        q.push(2, 'b');
-        assert_eq!(q.peek_key(), Some(1));
-        assert_eq!(q.pop(), Some((1, 'a')));
-        assert_eq!(q.pop(), Some((2, 'b')));
-        assert_eq!(q.pop(), Some((3, 'c')));
-        assert_eq!(q.pop(), None);
+        q.push(3, 'c').unwrap();
+        q.push(1, 'a').unwrap();
+        q.push(2, 'b').unwrap();
+        assert_eq!(q.peek_key().unwrap(), Some(1));
+        assert_eq!(q.pop().unwrap(), Some((1, 'a')));
+        assert_eq!(q.pop().unwrap(), Some((2, 'b')));
+        assert_eq!(q.pop().unwrap(), Some((3, 'c')));
+        assert_eq!(q.pop().unwrap(), None);
         assert_eq!(q.max_len(), 3);
     }
 
@@ -97,9 +98,10 @@ mod tests {
     fn duplicate_keys_all_returned() {
         let mut q = BinaryHeapQueue::new();
         for i in 0..5 {
-            q.push(7, i);
+            q.push(7, i).unwrap();
         }
-        let mut values: Vec<i32> = std::iter::from_fn(|| q.pop().map(|(_, v)| v)).collect();
+        let mut values: Vec<i32> =
+            std::iter::from_fn(|| q.pop().unwrap().map(|(_, v)| v)).collect();
         values.sort_unstable();
         assert_eq!(values, vec![0, 1, 2, 3, 4]);
     }

@@ -15,7 +15,7 @@ use std::sync::Arc;
 
 use sdj_obs::{Event, EventSink, Gauge, Registry, Tier};
 use sdj_storage::codec::{PageReader, PageWriter};
-use sdj_storage::{BufferPool, DiskStats, PageId, Pager};
+use sdj_storage::{BufferPool, DiskStats, FaultInjector, PageId, Pager, PoolStats, StorageError};
 
 use crate::pairing::PairingHeap;
 use crate::traits::{Codec, PriorityQueue, QueueKey};
@@ -163,8 +163,13 @@ struct Bucket {
 
 /// A three-tier memory/disk min-priority queue.
 ///
-/// Storage errors on the simulated spill disk indicate internal
-/// inconsistencies and therefore panic rather than surface as `Result`s.
+/// Storage errors on the simulated spill disk (transient I/O faults,
+/// disk-full during spill, corrupt bucket pages) surface as
+/// `sdj_storage::Result` errors from [`PriorityQueue::push`] /
+/// [`PriorityQueue::pop`] / [`PriorityQueue::peek_key`]. After an error the
+/// queue's contents may be incomplete (a mid-spill fault can drop the
+/// element being pushed); callers are expected to abort the enclosing run,
+/// which is what the join engines do.
 pub struct HybridQueue<K, V> {
     heap: PairingHeap<K, V>,
     list: Vec<(K, V)>,
@@ -260,6 +265,24 @@ where
         self.pool.disk_stats()
     }
 
+    /// Buffer-pool counters of the spill area (includes the fault and retry
+    /// counts of the bounded retry policy).
+    #[must_use]
+    pub fn pool_stats(&self) -> PoolStats {
+        self.pool.stats()
+    }
+
+    /// Installs (or clears) a deterministic fault injector on the spill
+    /// area's simulated disk.
+    pub fn set_fault_injector(&self, injector: Option<Arc<FaultInjector>>) {
+        self.pool.set_fault_injector(injector);
+    }
+
+    /// Sets the spill pool's bounded retry limit for transient faults.
+    pub fn set_retry_limit(&self, retries: u32) {
+        self.pool.set_retry_limit(retries);
+    }
+
     /// Number of elements currently resident in memory (heap + list).
     #[must_use]
     pub fn in_memory_len(&self) -> usize {
@@ -306,7 +329,7 @@ where
         (self.scale.from_key(key) / self.dt) as u64
     }
 
-    fn spill(&mut self, key: K, value: V) {
+    fn spill(&mut self, key: K, value: V) -> sdj_storage::Result<()> {
         let k = self.bucket_index(key.distance());
         debug_assert!(k >= self.window, "spill of an in-window distance");
         let records_per_page = self.records_per_page;
@@ -317,34 +340,56 @@ where
             Some(b) => b.head_count == records_per_page,
         };
         if needs_new_page {
-            let page = self.pool.allocate();
+            // Fallible allocation: disk-full on spill surfaces here.
+            let page = match self.pool.try_allocate() {
+                Ok(p) => p,
+                Err(e) => {
+                    // The existing bucket pages are untouched; keep them.
+                    if let Some(b) = bucket {
+                        self.buckets.insert(k, b);
+                    }
+                    return Err(e);
+                }
+            };
             let next = bucket.as_ref().map_or(PageId::INVALID, |b| b.head);
-            self.pool
-                .update(page, |buf| {
-                    let mut w = PageWriter::new(buf);
-                    w.put_u16(0)?;
-                    w.put_u32(next.0)
-                })
-                .expect("spill page in range")
-                .expect("spill header fits");
+            let header = self.pool.update(page, |buf| {
+                let mut w = PageWriter::new(buf);
+                w.put_u16(0)?;
+                w.put_u32(next.0)
+            });
+            if let Err(e) = header.and_then(|r| r) {
+                let _ = self.pool.free(page);
+                if let Some(b) = bucket {
+                    self.buckets.insert(k, b);
+                }
+                return Err(e);
+            }
             bucket = Some(Bucket {
                 head: page,
                 head_count: 0,
                 total: bucket.as_ref().map_or(0, |b| b.total),
             });
         }
-        let mut b = bucket.expect("bucket just ensured");
-        let offset = BUCKET_HEADER + b.head_count * (K::encoded_size() + V::encoded_size());
-        self.pool
-            .update(b.head, |buf| {
-                let new_count = u16::try_from(b.head_count + 1).expect("fits page");
-                buf[0..2].copy_from_slice(&new_count.to_le_bytes());
-                let mut w = PageWriter::new(&mut buf[offset..]);
-                key.encode(&mut w)?;
-                value.encode(&mut w)
-            })
-            .expect("spill page in range")
-            .expect("record fits page");
+        let Some(mut b) = bucket else {
+            // Unreachable: the branch above always materialises a bucket.
+            return Err(StorageError::Corrupt("spill bucket vanished"));
+        };
+        let head_count = b.head_count;
+        let offset = BUCKET_HEADER + head_count * (K::encoded_size() + V::encoded_size());
+        let written = self.pool.update(b.head, |buf| {
+            let new_count = u16::try_from(head_count + 1)
+                .map_err(|_| StorageError::Corrupt("bucket record count overflows u16"))?;
+            buf[0..2].copy_from_slice(&new_count.to_le_bytes());
+            let mut w = PageWriter::new(&mut buf[offset..]);
+            key.encode(&mut w)?;
+            value.encode(&mut w)
+        });
+        if let Err(e) = written.and_then(|r| r) {
+            // The bucket's existing pages stay tracked; only the element
+            // being pushed is lost, and the caller aborts on the error.
+            self.buckets.insert(k, b);
+            return Err(e);
+        }
         b.head_count += 1;
         b.total += 1;
         self.buckets.insert(k, b);
@@ -352,38 +397,40 @@ where
         // A spill at insertion time is reported as `List -> Disk`: the
         // element logically belongs past the list window.
         self.emit_migration(Tier::List, Tier::Disk, 1);
+        Ok(())
     }
 
     /// Loads every record of bucket `k` into the in-memory list, freeing its
     /// pages.
-    fn reload_bucket(&mut self, k: u64) {
+    fn reload_bucket(&mut self, k: u64) -> sdj_storage::Result<()> {
         let Some(bucket) = self.buckets.remove(&k) else {
-            return;
+            return Ok(());
         };
         let record = K::encoded_size() + V::encoded_size();
+        let records_per_page = self.records_per_page;
         let mut page = bucket.head;
         let mut loaded = 0usize;
         while !page.is_invalid() {
-            let (next, records) = self
-                .pool
-                .with_page(page, |buf| -> sdj_storage::Result<_> {
-                    let mut r = PageReader::new(buf);
-                    let count = r.get_u16()? as usize;
-                    let next = PageId(r.get_u32()?);
-                    let mut records = Vec::with_capacity(count);
-                    for i in 0..count {
-                        let mut rr = PageReader::new(&buf[BUCKET_HEADER + i * record..]);
-                        let key = K::decode(&mut rr)?;
-                        let value = V::decode(&mut rr)?;
-                        records.push((key, value));
-                    }
-                    Ok((next, records))
-                })
-                .expect("bucket page in range")
-                .expect("bucket page well-formed");
+            let read = self.pool.with_page(page, |buf| -> sdj_storage::Result<_> {
+                let mut r = PageReader::new(buf);
+                let count = r.get_u16()? as usize;
+                let next = PageId(r.get_u32()?);
+                if count > records_per_page {
+                    return Err(StorageError::Corrupt("bucket record count exceeds page"));
+                }
+                let mut records = Vec::with_capacity(count);
+                for i in 0..count {
+                    let mut rr = PageReader::new(&buf[BUCKET_HEADER + i * record..]);
+                    let key = K::decode(&mut rr)?;
+                    let value = V::decode(&mut rr)?;
+                    records.push((key, value));
+                }
+                Ok((next, records))
+            });
+            let (next, records) = read.and_then(|r| r)?;
             loaded += records.len();
             self.list.extend(records);
-            self.pool.free(page).expect("bucket page live");
+            self.pool.free(page)?;
             page = next;
         }
         debug_assert_eq!(loaded, bucket.total);
@@ -391,20 +438,23 @@ where
         if loaded > 0 {
             self.emit_migration(Tier::Disk, Tier::List, loaded);
         }
+        Ok(())
     }
 
     /// Makes the heap's minimum the queue's global minimum, advancing the
     /// window and reloading disk buckets as needed.
-    fn ensure_front(&mut self) {
+    fn ensure_front(&mut self) -> sdj_storage::Result<()> {
         while self.heap.is_empty() {
             if self.list.is_empty() && self.buckets.is_empty() {
-                return;
+                return Ok(());
             }
             if self.list.is_empty() {
                 // Jump the window straight to the first non-empty bucket.
-                let k = *self.buckets.keys().next().expect("checked non-empty");
+                let Some(&k) = self.buckets.keys().next() else {
+                    return Ok(());
+                };
                 self.window = k;
-                self.reload_bucket(k);
+                self.reload_bucket(k)?;
             }
             let drained = self.list.len();
             for (key, value) in self.list.drain(..) {
@@ -417,9 +467,10 @@ where
             // Advance the window and pull the next bucket into the list.
             // (Saturating: +inf keys land in bucket u64::MAX.)
             self.window = self.window.saturating_add(1);
-            self.reload_bucket(self.window);
+            self.reload_bucket(self.window)?;
             self.note_memory();
         }
+        Ok(())
     }
 }
 
@@ -428,7 +479,7 @@ where
     K: QueueKey + Codec,
     V: Codec,
 {
-    fn push(&mut self, key: K, value: V) {
+    fn push(&mut self, key: K, value: V) -> sdj_storage::Result<()> {
         let d = key.distance();
         assert!(d >= 0.0, "distance keys must be non-negative");
         if d < self.d1() {
@@ -436,28 +487,29 @@ where
         } else if d < self.d2() {
             self.list.push((key, value));
         } else {
-            self.spill(key, value);
+            self.spill(key, value)?;
         }
         self.len += 1;
         self.max_len = self.max_len.max(self.len);
         self.note_memory();
         self.sync_obs_gauges();
+        Ok(())
     }
 
-    fn pop(&mut self) -> Option<(K, V)> {
-        self.ensure_front();
+    fn pop(&mut self) -> sdj_storage::Result<Option<(K, V)>> {
+        self.ensure_front()?;
         let out = self.heap.pop();
         if out.is_some() {
             self.len -= 1;
         }
         self.sync_obs_gauges();
-        out
+        Ok(out)
     }
 
-    fn peek_key(&mut self) -> Option<K> {
-        self.ensure_front();
+    fn peek_key(&mut self) -> sdj_storage::Result<Option<K>> {
+        self.ensure_front()?;
         self.sync_obs_gauges();
-        self.heap.peek().cloned()
+        Ok(self.heap.peek().cloned())
     }
 
     fn len(&self) -> usize {
@@ -492,11 +544,11 @@ mod tests {
         // Distances spanning heap (< 1), list ([1, 2)), and disk (>= 2).
         let ds = [5.5, 0.25, 3.75, 1.5, 0.75, 9.0, 2.25, 1.25, 7.5];
         for (i, d) in ds.iter().enumerate() {
-            q.push(OrdF64::new(*d), i as u64);
+            q.push(OrdF64::new(*d), i as u64).unwrap();
         }
         assert!(q.on_disk_len() > 0, "some elements must have spilled");
         let mut got = Vec::new();
-        while let Some((k, _)) = q.pop() {
+        while let Some((k, _)) = q.pop().unwrap() {
             got.push(k.get());
         }
         let mut want = ds.to_vec();
@@ -514,7 +566,7 @@ mod tests {
         let mut pending = 0usize;
         for _ in 0..2000 {
             if pending > 0 && rng.random_bool(0.4) {
-                let (k, _) = q.pop().unwrap();
+                let (k, _) = q.pop().unwrap().unwrap();
                 // Monotone non-decreasing pops as long as pushes never go
                 // below the last popped key (which the join guarantees via
                 // distance-function consistency).
@@ -524,11 +576,11 @@ mod tests {
             } else {
                 // Push keys at or above the current front, like the join.
                 let d = last + rng.random_range(0.0..5.0);
-                q.push(OrdF64::new(d), 0);
+                q.push(OrdF64::new(d), 0).unwrap();
                 pending += 1;
             }
         }
-        while let Some((k, _)) = q.pop() {
+        while let Some((k, _)) = q.pop().unwrap() {
             assert!(k.get() >= last - 1e-12);
             last = k.get();
         }
@@ -537,11 +589,11 @@ mod tests {
     #[test]
     fn sparse_buckets_are_jumped() {
         let mut q = queue(1.0);
-        q.push(OrdF64::new(1000.0), 1);
-        q.push(OrdF64::new(5000.0), 2);
-        assert_eq!(q.pop().unwrap().1, 1);
-        assert_eq!(q.pop().unwrap().1, 2);
-        assert_eq!(q.pop(), None);
+        q.push(OrdF64::new(1000.0), 1).unwrap();
+        q.push(OrdF64::new(5000.0), 2).unwrap();
+        assert_eq!(q.pop().unwrap().unwrap().1, 1);
+        assert_eq!(q.pop().unwrap().unwrap().1, 2);
+        assert_eq!(q.pop().unwrap(), None);
         // The window should have jumped, not crawled through thousands of
         // promotions.
         assert!(q.stats().promotions < 10);
@@ -551,11 +603,11 @@ mod tests {
     fn disk_pages_are_freed_after_reload() {
         let mut q = queue(1.0);
         for i in 0..500 {
-            q.push(OrdF64::new(10.0 + (i as f64) * 0.001), i);
+            q.push(OrdF64::new(10.0 + (i as f64) * 0.001), i).unwrap();
         }
         assert_eq!(q.on_disk_len(), 500);
         let mut n = 0;
-        while q.pop().is_some() {
+        while q.pop().unwrap().is_some() {
             n += 1;
         }
         assert_eq!(n, 500);
@@ -566,21 +618,21 @@ mod tests {
     #[test]
     fn infinite_keys_sort_last() {
         let mut q = queue(1.0);
-        q.push(OrdF64::INFINITY, 99);
-        q.push(OrdF64::new(3.0), 1);
-        assert_eq!(q.pop().unwrap().1, 1);
-        assert_eq!(q.pop().unwrap().1, 99);
+        q.push(OrdF64::INFINITY, 99).unwrap();
+        q.push(OrdF64::new(3.0), 1).unwrap();
+        assert_eq!(q.pop().unwrap().unwrap().1, 1);
+        assert_eq!(q.pop().unwrap().unwrap().1, 99);
     }
 
     #[test]
     fn len_and_max_len() {
         let mut q = queue(1.0);
         for i in 0..10 {
-            q.push(OrdF64::new(i as f64), i);
+            q.push(OrdF64::new(i as f64), i).unwrap();
         }
         assert_eq!(q.len(), 10);
-        q.pop();
-        q.pop();
+        q.pop().unwrap();
+        q.pop().unwrap();
         assert_eq!(q.len(), 8);
         assert_eq!(q.max_len(), 10);
         assert_eq!(q.in_memory_len() + q.on_disk_len(), 8);
@@ -605,14 +657,14 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(7);
         let ds: Vec<f64> = (0..400).map(|_| rng.random_range(0.0..30.0)).collect();
         for (i, d) in ds.iter().enumerate() {
-            plain.push(OrdF64::new(*d), i as u64);
-            squared.push(OrdF64::new(d * d), i as u64);
+            plain.push(OrdF64::new(*d), i as u64).unwrap();
+            squared.push(OrdF64::new(d * d), i as u64).unwrap();
         }
         assert_eq!(plain.stats(), squared.stats());
         assert_eq!(plain.on_disk_len(), squared.on_disk_len());
         assert_eq!(plain.in_memory_len(), squared.in_memory_len());
         loop {
-            match (plain.pop(), squared.pop()) {
+            match (plain.pop().unwrap(), squared.pop().unwrap()) {
                 (Some((kp, _)), Some((kq, _))) => {
                     // Same element order up to sqrt rounding on the key.
                     assert!((kp.get() - kq.get().sqrt()).abs() <= 1e-12 * kp.get().max(1.0));
@@ -627,10 +679,90 @@ mod tests {
     #[test]
     fn peek_promotes_without_losing_elements() {
         let mut q = queue(1.0);
-        q.push(OrdF64::new(50.0), 7);
-        assert_eq!(q.peek_key().unwrap().get(), 50.0);
+        q.push(OrdF64::new(50.0), 7).unwrap();
+        assert_eq!(q.peek_key().unwrap().unwrap().get(), 50.0);
         assert_eq!(q.len(), 1);
-        assert_eq!(q.pop().unwrap().1, 7);
+        assert_eq!(q.pop().unwrap().unwrap().1, 7);
+    }
+
+    #[test]
+    fn disk_full_on_spill_surfaces_as_error() {
+        use sdj_storage::{FaultConfig, FaultInjector};
+        let mut q = queue(1.0);
+        q.set_fault_injector(Some(Arc::new(FaultInjector::new(FaultConfig {
+            seed: 11,
+            disk_full_after: Some(2),
+            ..FaultConfig::default()
+        }))));
+        // Each spill page holds several records; keep pushing spilled keys
+        // until the allocation budget runs out.
+        let mut err = None;
+        for i in 0..500 {
+            if let Err(e) = q.push(OrdF64::new(10.0 + i as f64), i) {
+                err = Some(e);
+                break;
+            }
+        }
+        assert_eq!(err, Some(StorageError::DiskFull));
+        // In-memory pushes still work after the error.
+        q.push(OrdF64::new(0.5), 999).unwrap();
+        assert_eq!(q.pop().unwrap().unwrap().1, 999);
+    }
+
+    #[test]
+    fn transient_spill_faults_retried_to_completion() {
+        use sdj_storage::{FaultConfig, FaultInjector};
+        let mut q = queue(1.0);
+        q.set_retry_limit(8);
+        q.set_fault_injector(Some(Arc::new(FaultInjector::new(
+            FaultConfig::transient_only(21, 0.2),
+        ))));
+        let ds: Vec<f64> = (0..300).map(|i| 5.0 + (i as f64) * 0.01).collect();
+        for (i, d) in ds.iter().enumerate() {
+            q.push(OrdF64::new(*d), i as u64).unwrap();
+        }
+        let mut got = Vec::new();
+        while let Some((k, _)) = q.pop().unwrap() {
+            got.push(k.get());
+        }
+        assert_eq!(got.len(), ds.len());
+        assert!(got.windows(2).all(|w| w[0] <= w[1]));
+        let ps = q.pool_stats();
+        assert!(ps.faults > 0, "expected injected faults: {ps:?}");
+        assert!(ps.retries > 0);
+    }
+
+    #[test]
+    fn corrupt_bucket_page_surfaces_as_error() {
+        use sdj_storage::{FaultConfig, FaultInjector};
+        let mut q = queue(1.0);
+        for i in 0..300 {
+            q.push(OrdF64::new(10.0 + (i as f64) * 0.01), i).unwrap();
+        }
+        assert!(q.on_disk_len() > 0);
+        // Flush dirty spill pages to the simulated disk, then corrupt every
+        // subsequent physical read.
+        q.set_fault_injector(Some(Arc::new(FaultInjector::new(FaultConfig {
+            seed: 31,
+            bit_flip: 1.0,
+            ..FaultConfig::default()
+        }))));
+        let mut saw_err = None;
+        loop {
+            match q.pop() {
+                Ok(Some(_)) => {}
+                Ok(None) => break,
+                Err(e) => {
+                    saw_err = Some(e);
+                    break;
+                }
+            }
+        }
+        assert_eq!(
+            saw_err,
+            Some(StorageError::Corrupt("page checksum mismatch")),
+            "bit-flipped spill pages must be detected by the checksum"
+        );
     }
 
     proptest! {
@@ -648,13 +780,13 @@ mod tests {
                 key_scale: KeyScale::Identity,
             });
             for (i, d) in ds.iter().enumerate() {
-                q.push(OrdF64::new(*d), i as u64);
+                q.push(OrdF64::new(*d), i as u64).unwrap();
             }
             let mut want = ds.clone();
             want.sort_by(|a, b| a.partial_cmp(b).unwrap());
             let mut got = Vec::with_capacity(ds.len());
             let mut seen = std::collections::HashSet::new();
-            while let Some((k, v)) = q.pop() {
+            while let Some((k, v)) = q.pop().unwrap() {
                 got.push(k.get());
                 prop_assert!(seen.insert(v), "value {v} delivered twice");
             }
@@ -672,12 +804,12 @@ mod tests {
                 HybridConfig::with_dt(dt).with_key_scale(KeyScale::Squared),
             );
             for (i, d) in ds.iter().enumerate() {
-                q.push(OrdF64::new(d * d), i as u64);
+                q.push(OrdF64::new(d * d), i as u64).unwrap();
             }
             let mut want: Vec<f64> = ds.iter().map(|d| d * d).collect();
             want.sort_by(|a, b| a.partial_cmp(b).unwrap());
             let mut got = Vec::with_capacity(ds.len());
-            while let Some((k, _)) = q.pop() {
+            while let Some((k, _)) = q.pop().unwrap() {
                 got.push(k.get());
             }
             prop_assert_eq!(got, want);

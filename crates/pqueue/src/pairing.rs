@@ -67,25 +67,19 @@ impl<K: Ord, V> PairingHeap<K, V> {
     /// Reference to the minimum key.
     #[must_use]
     pub fn peek(&self) -> Option<&K> {
-        (self.root != NIL).then(|| {
-            &self.slots[self.root]
-                .data
-                .as_ref()
-                .expect("root slot is occupied")
-                .0
-        })
+        // NIL is usize::MAX, so `get` covers both the empty heap and (as a
+        // fail-safe rather than a panic) a vacant root slot.
+        self.slots.get(self.root)?.data.as_ref().map(|(k, _)| k)
     }
 
     /// Reference to the minimum key and its value.
     #[must_use]
     pub fn peek_entry(&self) -> Option<(&K, &V)> {
-        (self.root != NIL).then(|| {
-            let (k, v) = self.slots[self.root]
-                .data
-                .as_ref()
-                .expect("root slot is occupied");
-            (k, v)
-        })
+        self.slots
+            .get(self.root)?
+            .data
+            .as_ref()
+            .map(|(k, v)| (k, v))
     }
 
     /// Visits up to `limit` entries from the top of the heap, breadth-first
@@ -110,8 +104,9 @@ impl<K: Ord, V> PairingHeap<K, V> {
             at += 1;
         }
         for idx in frontier {
-            let (k, v) = self.slots[idx].data.as_ref().expect("occupied slot");
-            visit(k, v);
+            if let Some((k, v)) = self.slots[idx].data.as_ref() {
+                visit(k, v);
+            }
         }
     }
 
@@ -176,7 +171,9 @@ impl<K: Ord, V> PairingHeap<K, V> {
             return None;
         }
         let old_root = self.root;
-        let data = self.slots[old_root].data.take().expect("occupied root");
+        // A vacant root would mean the arena invariant broke; treat it as an
+        // empty heap instead of aborting a long-running join.
+        let data = self.slots[old_root].data.take()?;
         self.root = self.merge_children(self.slots[old_root].child);
         self.slots[old_root].child = NIL;
         self.slots[old_root].sibling = NIL;
@@ -199,18 +196,20 @@ impl<K: Ord, V> PairingHeap<K, V> {
         self.max_len
     }
 
-    fn key(&self, idx: usize) -> &K {
-        &self.slots[idx].data.as_ref().expect("occupied slot").0
+    /// Key order between two slots; vacant slots sort last so a broken
+    /// occupancy invariant degrades the ordering instead of panicking.
+    fn le(&self, a: usize, b: usize) -> bool {
+        match (self.slots[a].data.as_ref(), self.slots[b].data.as_ref()) {
+            (Some(x), Some(y)) => x.0 <= y.0,
+            (Some(_), None) => true,
+            (None, _) => false,
+        }
     }
 
     /// Links two heap roots, returning the new root.
     fn merge(&mut self, a: usize, b: usize) -> usize {
         debug_assert!(a != NIL && b != NIL);
-        let (parent, child) = if self.key(a) <= self.key(b) {
-            (a, b)
-        } else {
-            (b, a)
-        };
+        let (parent, child) = if self.le(a, b) { (a, b) } else { (b, a) };
         self.slots[child].sibling = self.slots[parent].child;
         self.slots[parent].child = child;
         parent
@@ -237,26 +236,28 @@ impl<K: Ord, V> PairingHeap<K, V> {
             pairs.push(self.merge(cur, next));
             cur = after;
         }
-        // Pass 2: fold right-to-left.
-        let mut root = pairs.pop().expect("at least one pair");
+        // Pass 2: fold right-to-left. The loop above pushed at least one
+        // pair, so the fold starts from a real root.
+        let mut root = NIL;
         while let Some(p) = pairs.pop() {
-            root = self.merge(root, p);
+            root = if root == NIL { p } else { self.merge(root, p) };
         }
         root
     }
 }
 
 impl<K: Ord + Clone, V> PriorityQueue<K, V> for PairingHeap<K, V> {
-    fn push(&mut self, key: K, value: V) {
+    fn push(&mut self, key: K, value: V) -> sdj_storage::Result<()> {
         PairingHeap::push(self, key, value);
+        Ok(())
     }
 
-    fn pop(&mut self) -> Option<(K, V)> {
-        PairingHeap::pop(self)
+    fn pop(&mut self) -> sdj_storage::Result<Option<(K, V)>> {
+        Ok(PairingHeap::pop(self))
     }
 
-    fn peek_key(&mut self) -> Option<K> {
-        self.peek().cloned()
+    fn peek_key(&mut self) -> sdj_storage::Result<Option<K>> {
+        Ok(self.peek().cloned())
     }
 
     fn len(&self) -> usize {

@@ -62,17 +62,22 @@ impl Codec for u64 {
 }
 
 /// A min-priority queue of `(key, value)` pairs.
+///
+/// The mutating operations are fallible: tiered implementations touch a
+/// simulated disk whose faults (transient I/O, disk-full, corruption)
+/// surface as `sdj_storage::StorageError` instead of panicking. Purely
+/// in-memory implementations always return `Ok`.
 pub trait PriorityQueue<K: Ord, V> {
     /// Inserts an element.
-    fn push(&mut self, key: K, value: V);
+    fn push(&mut self, key: K, value: V) -> sdj_storage::Result<()>;
 
     /// Removes and returns the minimum element.
-    fn pop(&mut self) -> Option<(K, V)>;
+    fn pop(&mut self) -> sdj_storage::Result<Option<(K, V)>>;
 
     /// The current minimum key, if any.
     ///
     /// For tiered queues this may promote spilled elements into memory.
-    fn peek_key(&mut self) -> Option<K>;
+    fn peek_key(&mut self) -> sdj_storage::Result<Option<K>>;
 
     /// Number of elements currently queued.
     fn len(&self) -> usize;

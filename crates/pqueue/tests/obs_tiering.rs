@@ -60,15 +60,15 @@ proptest! {
         let mut floor = 0.0f64;
         for (i, (is_pop, d)) in ops.iter().enumerate() {
             if *is_pop && !q.is_empty() {
-                let (k, _) = q.pop().unwrap();
+                let (k, _) = q.pop().unwrap().unwrap();
                 floor = floor.max(k.get());
             } else {
-                q.push(OrdF64::new(floor + d), i as u64);
+                q.push(OrdF64::new(floor + d), i as u64).unwrap();
             }
             let sum = gauges.heap.get() + gauges.list.get() + gauges.disk.get();
             prop_assert_eq!(sum as usize, q.len(), "gauges must sum to len");
         }
-        while q.pop().is_some() {}
+        while q.pop().unwrap().is_some() {}
         prop_assert_eq!(
             gauges.heap.get() + gauges.list.get() + gauges.disk.get(),
             0,

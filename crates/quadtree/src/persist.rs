@@ -2,11 +2,11 @@
 //! R*-tree's persistence format.
 
 use std::fs::File;
-use std::io::{BufReader, BufWriter, Read, Write};
+use std::io::{BufReader, Read, Write};
 use std::path::Path;
 
 use sdj_geom::Rect;
-use sdj_storage::persist::{read_u64, write_u64, PersistError};
+use sdj_storage::persist::{read_u64, save_atomic, write_u64, PersistError};
 use sdj_storage::{BufferPool, PageId, Pager};
 
 use crate::tree::{PrQuadtree, QuadtreeConfig};
@@ -33,12 +33,11 @@ impl<const D: usize> PrQuadtree<D> {
         self.pool().save_to(out)
     }
 
-    /// Saves the tree to a file.
+    /// Saves the tree to a file, atomically: the dump is written to a
+    /// temporary sibling, fsynced, and renamed over `path`, so a crash
+    /// mid-save never destroys an existing dump.
     pub fn save(&self, path: impl AsRef<Path>) -> Result<(), PersistError> {
-        let mut out = BufWriter::new(File::create(path)?);
-        self.save_to(&mut out)?;
-        out.flush()?;
-        Ok(())
+        save_atomic(path.as_ref(), |out| self.save_to(out))
     }
 
     /// Reads a tree back from a dump written by [`PrQuadtree::save_to`].
@@ -78,11 +77,23 @@ impl<const D: usize> PrQuadtree<D> {
             buffer_frames,
             max_depth,
         };
+        // Hard-bound the header before any allocation it controls (see the
+        // R-tree loader).
+        if buffer_frames == 0 || buffer_frames > 1 << 20 {
+            return Err(PersistError::Format("implausible buffer frame count"));
+        }
         let pager = Pager::load_from(input)?;
         if pager.page_size() != page_size {
             return Err(PersistError::Format("page size mismatch"));
         }
-        let pool = BufferPool::new(pager, buffer_frames.max(1));
+        let total = pager.capacity_pages();
+        if (root.0 as usize) >= total {
+            return Err(PersistError::Format("root page out of range"));
+        }
+        if len > total.saturating_mul(page_size) {
+            return Err(PersistError::Format("length exceeds disk capacity"));
+        }
+        let pool = BufferPool::new(pager, buffer_frames);
         let tree = PrQuadtree::from_parts(pool, config, root, len);
         tree.validate()
             .map_err(|_| PersistError::Format("structural validation failed"))?;
@@ -153,5 +164,57 @@ mod tests {
             PrQuadtree::<2>::load_from(&mut bytes.as_slice()),
             Err(PersistError::Format(_))
         ));
+    }
+
+    #[test]
+    fn truncated_dump_rejected_at_every_length() {
+        let tree = sample();
+        let mut bytes = Vec::new();
+        tree.save_to(&mut bytes).unwrap();
+        for cut in (0..bytes.len()).step_by(97.max(bytes.len() / 64)) {
+            assert!(
+                PrQuadtree::<2>::load_from(&mut &bytes[..cut]).is_err(),
+                "truncation at {cut} bytes accepted"
+            );
+        }
+    }
+
+    #[test]
+    fn bit_flipped_header_never_panics() {
+        let tree = sample();
+        let mut clean = Vec::new();
+        tree.save_to(&mut clean).unwrap();
+        // Header for D = 2: magic + 6 u64 fields + 4 bounds words = 88 bytes.
+        for bit in 0..88 * 8 {
+            let mut bytes = clean.clone();
+            bytes[bit / 8] ^= 1 << (bit % 8);
+            if let Ok(t) = PrQuadtree::<2>::load_from(&mut bytes.as_slice()) {
+                t.validate().unwrap();
+            }
+        }
+    }
+
+    #[test]
+    fn oversized_header_fields_rejected() {
+        let tree = sample();
+        let mut clean = Vec::new();
+        tree.save_to(&mut clean).unwrap();
+        // Field offsets after the magic: dim, root, len, page_size,
+        // buffer_frames, max_depth.
+        for (field, value) in [
+            (1usize, u64::MAX),       // root id out of u32
+            (2, u64::MAX / 2),        // len beyond any capacity
+            (3, u64::MAX),            // absurd page size
+            (4, u64::from(u32::MAX)), // absurd frame count
+            (4, 0),                   // zero frames (pool would assert)
+        ] {
+            let mut bytes = clean.clone();
+            let at = 8 + field * 8;
+            bytes[at..at + 8].copy_from_slice(&value.to_le_bytes());
+            assert!(
+                PrQuadtree::<2>::load_from(&mut bytes.as_slice()).is_err(),
+                "oversized field {field} (= {value}) accepted"
+            );
+        }
     }
 }

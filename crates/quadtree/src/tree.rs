@@ -141,6 +141,18 @@ impl<const D: usize> PrQuadtree<D> {
         self.pool.reset_stats();
     }
 
+    /// Installs (or clears) a fault injector on the tree's simulated disk
+    /// (chaos testing); see the R-tree's method of the same name.
+    pub fn set_fault_injector(&self, injector: Option<std::sync::Arc<sdj_storage::FaultInjector>>) {
+        self.pool.set_fault_injector(injector);
+    }
+
+    /// Bounds how many times the buffer pool retries an operation that
+    /// failed with a transient fault (0 = fail on first fault).
+    pub fn set_retry_limit(&self, limit: u32) {
+        self.pool.set_retry_limit(limit);
+    }
+
     pub(crate) fn pool(&self) -> &BufferPool {
         &self.pool
     }

@@ -6,10 +6,10 @@
 //! subsequent insertions allocating the same ids.
 
 use std::fs::File;
-use std::io::{BufReader, BufWriter, Read, Write};
+use std::io::{BufReader, Read, Write};
 use std::path::Path;
 
-use sdj_storage::persist::{read_u64, write_u64, PersistError};
+use sdj_storage::persist::{read_u64, save_atomic, write_u64, PersistError};
 use sdj_storage::{BufferPool, PageId, Pager};
 
 use crate::config::RTreeConfig;
@@ -34,12 +34,11 @@ impl<const D: usize> RTree<D> {
         self.pool().save_to(out)
     }
 
-    /// Saves the tree to a file.
+    /// Saves the tree to a file, atomically: the dump is written to a
+    /// temporary sibling, fsynced, and renamed over `path`, so a crash
+    /// mid-save never destroys an existing dump.
     pub fn save(&self, path: impl AsRef<Path>) -> Result<(), PersistError> {
-        let mut out = BufWriter::new(File::create(path)?);
-        self.save_to(&mut out)?;
-        out.flush()?;
-        Ok(())
+        save_atomic(path.as_ref(), |out| self.save_to(out))
     }
 
     /// Reads a tree back from a dump written by [`RTree::save_to`].
@@ -74,9 +73,41 @@ impl<const D: usize> RTree<D> {
         if height == 0 {
             return Err(PersistError::Format("zero height"));
         }
+        // The configuration fields feed straight into asserting accessors
+        // (`RTreeConfig::max_entries` and friends); tampered values must be
+        // format errors, not aborts.
+        if config.page_size < crate::node::HEADER_SIZE + 2 * crate::node::entry_size::<D>() {
+            return Err(PersistError::Format("page too small for two entries"));
+        }
+        if config.fanout_cap.is_some_and(|c| c < 2) {
+            return Err(PersistError::Format("fanout cap below two"));
+        }
+        if !(0.0..=0.5).contains(&config.min_fill) {
+            return Err(PersistError::Format("min_fill out of range"));
+        }
+        if !(0.0..1.0).contains(&config.reinsert_fraction) {
+            return Err(PersistError::Format("reinsert_fraction out of range"));
+        }
+        // Hard-bound the header before any allocation it controls: a hostile
+        // or bit-flipped dump must produce a `Format` error, not an abort on
+        // an absurd frame-vector reservation.
+        if config.buffer_frames == 0 || config.buffer_frames > 1 << 20 {
+            return Err(PersistError::Format("implausible buffer frame count"));
+        }
         let pager = Pager::load_from(input)?;
         if pager.page_size() != config.page_size {
             return Err(PersistError::Format("page size mismatch"));
+        }
+        // Cross-check the tree-shape fields against the actual page image.
+        let total = pager.capacity_pages();
+        if (root.0 as usize) >= total {
+            return Err(PersistError::Format("root page out of range"));
+        }
+        if usize::from(height) > total {
+            return Err(PersistError::Format("height exceeds page count"));
+        }
+        if len > total.saturating_mul(config.page_size) {
+            return Err(PersistError::Format("length exceeds disk capacity"));
         }
         let pool = BufferPool::new(pager, config.buffer_frames);
         let tree = RTree::from_parts(pool, config, root, height, len);
@@ -180,5 +211,63 @@ mod tests {
         // Claim an impossible height.
         bytes[16..24].copy_from_slice(&u64::MAX.to_le_bytes());
         assert!(RTree::<2>::load_from(&mut bytes.as_slice()).is_err());
+    }
+
+    #[test]
+    fn truncated_dump_rejected_at_every_length() {
+        let tree = sample_tree(40);
+        let mut bytes = Vec::new();
+        tree.save_to(&mut bytes).unwrap();
+        // Chop the dump at a spread of lengths across header and page image;
+        // every cut must surface an error, never a panic or a bogus tree.
+        for cut in (0..bytes.len()).step_by(97.max(bytes.len() / 64)) {
+            assert!(
+                RTree::<2>::load_from(&mut &bytes[..cut]).is_err(),
+                "truncation at {cut} bytes accepted"
+            );
+        }
+    }
+
+    #[test]
+    fn bit_flipped_header_never_panics() {
+        let tree = sample_tree(40);
+        let mut clean = Vec::new();
+        tree.save_to(&mut clean).unwrap();
+        // Flip every bit of the tree header one at a time (the first 80
+        // bytes: magic + 9 u64 fields). Loads may legitimately succeed when
+        // the flip hits a don't-care bit, but must never abort, and a
+        // successful load must still validate.
+        for bit in 0..80 * 8 {
+            let mut bytes = clean.clone();
+            bytes[bit / 8] ^= 1 << (bit % 8);
+            if let Ok(t) = RTree::<2>::load_from(&mut bytes.as_slice()) {
+                t.validate().unwrap();
+            }
+        }
+    }
+
+    #[test]
+    fn oversized_header_fields_rejected() {
+        let tree = sample_tree(10);
+        let mut clean = Vec::new();
+        tree.save_to(&mut clean).unwrap();
+        // Field offsets after the 8-byte magic: dim, root, height, len,
+        // page_size, buffer_frames. Oversize each in turn; a hostile value
+        // must be rejected up front, not fed to an allocator.
+        for (field, value) in [
+            (1usize, u64::MAX),       // root id out of u32
+            (3, u64::MAX / 2),        // len beyond any capacity
+            (4, u64::MAX),            // absurd page size
+            (5, u64::from(u32::MAX)), // absurd frame count
+            (5, 0),                   // zero frames (pool would assert)
+        ] {
+            let mut bytes = clean.clone();
+            let at = 8 + field * 8;
+            bytes[at..at + 8].copy_from_slice(&value.to_le_bytes());
+            assert!(
+                RTree::<2>::load_from(&mut bytes.as_slice()).is_err(),
+                "oversized field {field} (= {value}) accepted"
+            );
+        }
     }
 }

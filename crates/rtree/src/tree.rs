@@ -182,6 +182,25 @@ impl<const D: usize> RTree<D> {
         self.pool.attach_obs(obs);
     }
 
+    /// Installs (or clears) a fault injector on the tree's simulated disk:
+    /// every node read/write through the buffer pool becomes subject to the
+    /// injector's schedule (chaos testing).
+    pub fn set_fault_injector(&self, injector: Option<std::sync::Arc<sdj_storage::FaultInjector>>) {
+        self.pool.set_fault_injector(injector);
+    }
+
+    /// Bounds how many times the buffer pool retries an operation that
+    /// failed with a transient fault (0 = fail on first fault).
+    pub fn set_retry_limit(&self, limit: u32) {
+        self.pool.set_retry_limit(limit);
+    }
+
+    /// Buffer-pool counters, including fault/retry totals.
+    #[must_use]
+    pub fn pool_stats(&self) -> sdj_storage::PoolStats {
+        self.pool.stats()
+    }
+
     /// A conservative lower bound on the number of objects in the subtree of
     /// a node at `level` (used by the maximum-distance estimation of
     /// §2.2.4: "derived from the minimum fan-out and the height of the

@@ -67,6 +67,12 @@ pub struct PoolStats {
     /// lock, so `accesses() - shared_lock_acquisitions` approximates the
     /// global-lock acquisitions a single-mutex pool would have paid.
     pub shared_lock_acquisitions: u64,
+    /// Device-level operations that failed under the pool (each failed
+    /// attempt counts once, whether or not a retry later succeeded).
+    pub faults: u64,
+    /// Retry attempts made for transient faults (a fault that succeeds on
+    /// its second attempt contributes 1 fault and 1 retry).
+    pub retries: u64,
 }
 
 impl PoolStats {
@@ -87,6 +93,8 @@ impl PoolStats {
         self.prefetch_hits += o.prefetch_hits;
         self.read_copies += o.read_copies;
         self.shared_lock_acquisitions += o.shared_lock_acquisitions;
+        self.faults += o.faults;
+        self.retries += o.retries;
     }
 }
 
@@ -103,12 +111,15 @@ pub struct BufferObs {
     writebacks: Arc<Counter>,
     prefetch_reads: Arc<Counter>,
     prefetch_hits: Arc<Counter>,
+    faults: Arc<Counter>,
+    retries: Arc<Counter>,
 }
 
 impl BufferObs {
     /// Builds the handle from a context, registering `{prefix}.hits`,
     /// `{prefix}.misses`, `{prefix}.evictions`, `{prefix}.writebacks`,
-    /// `{prefix}.prefetch_reads` and `{prefix}.prefetch_hits`.
+    /// `{prefix}.prefetch_reads`, `{prefix}.prefetch_hits`,
+    /// `{prefix}.faults` and `{prefix}.retries`.
     #[must_use]
     pub fn new(ctx: &ObsContext, prefix: &str) -> Self {
         Self {
@@ -119,6 +130,8 @@ impl BufferObs {
             writebacks: ctx.registry.counter(&format!("{prefix}.writebacks")),
             prefetch_reads: ctx.registry.counter(&format!("{prefix}.prefetch_reads")),
             prefetch_hits: ctx.registry.counter(&format!("{prefix}.prefetch_hits")),
+            faults: ctx.registry.counter(&format!("{prefix}.faults")),
+            retries: ctx.registry.counter(&format!("{prefix}.retries")),
         }
     }
 }
@@ -329,6 +342,9 @@ pub struct BufferPool {
     read_copies: AtomicU64,
     /// Pool-wide pager-lock acquisition count.
     shared_locks: AtomicU64,
+    /// Maximum number of retries for a transient device fault (0 = fail on
+    /// the first fault, the historical behaviour).
+    retry_limit: AtomicU32,
 }
 
 impl std::fmt::Debug for BufferPool {
@@ -392,7 +408,27 @@ impl BufferPool {
             capacity,
             read_copies: AtomicU64::new(0),
             shared_locks: AtomicU64::new(0),
+            retry_limit: AtomicU32::new(0),
         }
+    }
+
+    /// Sets the bounded retry policy: how many times a transient device
+    /// fault is retried before it is surfaced. Zero (the default) fails on
+    /// the first fault. Non-transient faults are never retried.
+    pub fn set_retry_limit(&self, retries: u32) {
+        self.retry_limit.store(retries, Ordering::Relaxed);
+    }
+
+    /// The current transient-fault retry limit.
+    #[must_use]
+    pub fn retry_limit(&self) -> u32 {
+        self.retry_limit.load(Ordering::Relaxed)
+    }
+
+    /// Installs (or clears) a deterministic fault injector on the underlying
+    /// pager. See [`crate::fault::FaultInjector`].
+    pub fn set_fault_injector(&self, injector: Option<Arc<crate::fault::FaultInjector>>) {
+        self.lock_pager().set_fault_injector(injector);
     }
 
     /// Attaches an observability handle: subsequent hits, misses, evictions,
@@ -433,6 +469,15 @@ impl BufferPool {
         self.lock_pager().allocate()
     }
 
+    /// Allocates a new zero-filled page, surfacing
+    /// [`crate::StorageError::DiskFull`] when an installed fault injector's
+    /// allocation budget is exhausted. Runtime consumers that can recover
+    /// from a full disk (the hybrid queue's spill tier) use this instead of
+    /// [`BufferPool::allocate`].
+    pub fn try_allocate(&self) -> Result<PageId> {
+        self.lock_pager().try_allocate()
+    }
+
     /// Frees a page, dropping any cached copy of it.
     pub fn free(&self, id: PageId) -> Result<()> {
         let mut s = self.shard_for(id).lock();
@@ -450,15 +495,31 @@ impl BufferPool {
     /// pinned.
     fn fault(&self, s: &mut ShardInner, id: PageId, prefetched: bool) -> Result<Fetched> {
         let mut data = vec![0u8; self.page_size].into_boxed_slice();
+        let limit = self.retry_limit();
         // One pager-lock acquisition covers the read and any write-back.
         s.stats.shared_lock_acquisitions += 1;
         let mut pager = self.lock_pager();
-        pager.read(id, &mut data)?;
+        let mut failed = 0u32;
+        loop {
+            match pager.read(id, &mut data) {
+                Ok(()) => {
+                    s.note_retry_success(failed);
+                    break;
+                }
+                Err(e) => {
+                    s.note_fault(false, &e);
+                    if !e.is_transient() || failed >= limit {
+                        return Err(e);
+                    }
+                    failed += 1;
+                }
+            }
+        }
         if s.frames.len() >= s.capacity {
             let Some(victim) = s.pick_victim() else {
                 return Ok(Fetched::Transient(data));
             };
-            s.evict(victim, &mut pager)?;
+            s.evict(victim, &mut pager, limit)?;
             drop(pager);
             s.frames[victim] = Frame::new(id, data, prefetched);
             s.map.insert(id, victim);
@@ -541,7 +602,24 @@ impl BufferPool {
                         obs.writebacks.inc();
                     }
                     s.stats.shared_lock_acquisitions += 1;
-                    self.lock_pager().write(id, &data)?;
+                    let limit = self.retry_limit();
+                    let mut pager = self.lock_pager();
+                    let mut failed = 0u32;
+                    loop {
+                        match pager.write(id, &data) {
+                            Ok(()) => {
+                                s.note_retry_success(failed);
+                                break;
+                            }
+                            Err(e) => {
+                                s.note_fault(true, &e);
+                                if !e.is_transient() || failed >= limit {
+                                    return Err(e);
+                                }
+                                failed += 1;
+                            }
+                        }
+                    }
                     return Ok(r);
                 }
             }
@@ -575,13 +653,29 @@ impl BufferPool {
 
     /// Writes all dirty frames back to the pager.
     pub fn flush_all(&self) -> Result<()> {
+        let limit = self.retry_limit();
         for shard in self.shards.iter() {
             let mut s = shard.lock();
             s.stats.shared_lock_acquisitions += 1;
             let mut pager = self.lock_pager();
             for idx in 0..s.frames.len() {
                 if s.frames[idx].dirty {
-                    pager.write(s.frames[idx].page, &s.frames[idx].data)?;
+                    let mut failed = 0u32;
+                    loop {
+                        match pager.write(s.frames[idx].page, &s.frames[idx].data) {
+                            Ok(()) => {
+                                s.note_retry_success(failed);
+                                break;
+                            }
+                            Err(e) => {
+                                s.note_fault(true, &e);
+                                if !e.is_transient() || failed >= limit {
+                                    return Err(e);
+                                }
+                                failed += 1;
+                            }
+                        }
+                    }
                     s.frames[idx].dirty = false;
                     s.stats.writebacks += 1;
                     if let Some(obs) = &s.obs {
@@ -661,6 +755,29 @@ impl BufferPool {
 }
 
 impl ShardInner {
+    /// Records one failed device operation (counter + event).
+    fn note_fault(&mut self, write: bool, e: &crate::StorageError) {
+        self.stats.faults += 1;
+        if let Some(obs) = &self.obs {
+            obs.faults.inc();
+            obs.sink.emit(&Event::FaultInjected {
+                write,
+                transient: e.is_transient(),
+            });
+        }
+    }
+
+    /// Records a success that needed `failed` retries of a transient fault.
+    fn note_retry_success(&mut self, failed: u32) {
+        if failed > 0 {
+            self.stats.retries += u64::from(failed);
+            if let Some(obs) = &self.obs {
+                obs.retries.add(u64::from(failed));
+                obs.sink.emit(&Event::RetrySucceeded { retries: failed });
+            }
+        }
+    }
+
     fn on_hit(&mut self, idx: usize) {
         self.stats.hits += 1;
         if let Some(obs) = &self.obs {
@@ -738,8 +855,9 @@ impl ShardInner {
     }
 
     /// Removes frame `victim` from the shard's bookkeeping, writing it back
-    /// if dirty. The caller immediately re-fills the frame slot.
-    fn evict(&mut self, victim: usize, pager: &mut Pager) -> Result<()> {
+    /// if dirty (with bounded retries of transient faults). The caller
+    /// immediately re-fills the frame slot.
+    fn evict(&mut self, victim: usize, pager: &mut Pager, retry_limit: u32) -> Result<()> {
         if self.policy == EvictionPolicy::Lru {
             self.unlink(victim);
         }
@@ -747,7 +865,22 @@ impl ShardInner {
         self.map.remove(&old);
         let writeback = self.frames[victim].dirty;
         if writeback {
-            pager.write(old, &self.frames[victim].data)?;
+            let mut failed = 0u32;
+            loop {
+                match pager.write(old, &self.frames[victim].data) {
+                    Ok(()) => {
+                        self.note_retry_success(failed);
+                        break;
+                    }
+                    Err(e) => {
+                        self.note_fault(true, &e);
+                        if !e.is_transient() || failed >= retry_limit {
+                            return Err(e);
+                        }
+                        failed += 1;
+                    }
+                }
+            }
             self.stats.writebacks += 1;
             if let Some(obs) = &self.obs {
                 obs.writebacks.inc();
@@ -1002,6 +1135,62 @@ mod tests {
         }
         assert_eq!(pool.stats().hits, 0);
         assert_eq!(pool.stats().misses, 30);
+    }
+
+    // ------------------------------------------------------ fault retries
+
+    #[test]
+    fn transient_faults_retried_and_counted() {
+        use crate::fault::{FaultConfig, FaultInjector};
+        use sdj_obs::{ObsContext, RingRecorder};
+        let ring = Arc::new(RingRecorder::new(256));
+        let ctx = ObsContext::new(ring.clone() as Arc<dyn EventSink>);
+        let (pool, ids) = pool(2);
+        pool.attach_obs(BufferObs::new(&ctx, "buf"));
+        pool.set_retry_limit(8);
+        pool.set_fault_injector(Some(Arc::new(FaultInjector::new(
+            FaultConfig::transient_only(99, 0.5),
+        ))));
+        // A scan over more pages than frames: every access is a demand miss
+        // plus possible writeback, so plenty of device ops get faulted.
+        let mut buf = [0u8; 8];
+        for _ in 0..4 {
+            for id in &ids {
+                pool.read(*id, &mut buf).unwrap();
+            }
+        }
+        let s = pool.stats();
+        assert!(s.faults > 0, "expected injected faults, got {s:?}");
+        assert_eq!(
+            s.retries, s.faults,
+            "every transient fault retried exactly once per failure"
+        );
+        let snap = ctx.registry.snapshot();
+        assert_eq!(snap.counter("buf.faults"), Some(s.faults));
+        assert_eq!(snap.counter("buf.retries"), Some(s.retries));
+        let counts = ring.counts();
+        assert_eq!(counts.fault_injected, s.faults);
+        assert!(counts.retry_succeeded > 0);
+    }
+
+    #[test]
+    fn zero_retry_limit_surfaces_first_transient_fault() {
+        use crate::fault::{FaultConfig, FaultInjector};
+        let (pool, ids) = pool(2);
+        pool.set_fault_injector(Some(Arc::new(FaultInjector::new(FaultConfig {
+            seed: 7,
+            fail_read_nth: Some(1),
+            ..FaultConfig::default()
+        }))));
+        let mut buf = [0u8; 8];
+        assert_eq!(
+            pool.read(ids[0], &mut buf),
+            Err(crate::StorageError::Io { transient: true })
+        );
+        assert_eq!(pool.stats().faults, 1);
+        assert_eq!(pool.stats().retries, 0);
+        // The page is intact; a later read succeeds.
+        pool.read(ids[0], &mut buf).unwrap();
     }
 
     // ------------------------------------------------ guards, shards, CLOCK

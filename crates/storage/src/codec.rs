@@ -6,6 +6,50 @@
 
 use crate::{Result, StorageError};
 
+/// Lookup table for the reflected CRC-32 (IEEE 802.3, polynomial
+/// `0xEDB88320`) used to checksum pages.
+const CRC32_TABLE: [u32; 256] = {
+    let mut table = [0u32; 256];
+    let mut i = 0usize;
+    while i < 256 {
+        let mut c = i as u32;
+        let mut k = 0;
+        while k < 8 {
+            c = if c & 1 != 0 {
+                0xEDB8_8320 ^ (c >> 1)
+            } else {
+                c >> 1
+            };
+            k += 1;
+        }
+        table[i] = c;
+        i += 1;
+    }
+    table
+};
+
+/// CRC-32 (IEEE) of `data`. Used as the per-page checksum: computed on every
+/// write, verified on every read from the simulated disk.
+#[must_use]
+pub fn crc32(data: &[u8]) -> u32 {
+    let mut c = 0xFFFF_FFFFu32;
+    for &b in data {
+        c = CRC32_TABLE[((c ^ u32::from(b)) & 0xFF) as usize] ^ (c >> 8);
+    }
+    !c
+}
+
+/// Copies `bytes` into a fixed-size array, reporting a corrupt page instead
+/// of panicking when the length does not match.
+fn fixed<const N: usize>(bytes: &[u8]) -> Result<[u8; N]> {
+    let mut out = [0u8; N];
+    if bytes.len() != N {
+        return Err(StorageError::Corrupt("fixed-width field length mismatch"));
+    }
+    out.copy_from_slice(bytes);
+    Ok(out)
+}
+
 /// A write cursor over a page buffer.
 #[derive(Debug)]
 pub struct PageWriter<'a> {
@@ -132,22 +176,22 @@ impl<'a> PageReader<'a> {
 
     /// Reads a `u16` (little endian).
     pub fn get_u16(&mut self) -> Result<u16> {
-        Ok(u16::from_le_bytes(self.take(2)?.try_into().expect("len 2")))
+        Ok(u16::from_le_bytes(fixed(self.take(2)?)?))
     }
 
     /// Reads a `u32` (little endian).
     pub fn get_u32(&mut self) -> Result<u32> {
-        Ok(u32::from_le_bytes(self.take(4)?.try_into().expect("len 4")))
+        Ok(u32::from_le_bytes(fixed(self.take(4)?)?))
     }
 
     /// Reads a `u64` (little endian).
     pub fn get_u64(&mut self) -> Result<u64> {
-        Ok(u64::from_le_bytes(self.take(8)?.try_into().expect("len 8")))
+        Ok(u64::from_le_bytes(fixed(self.take(8)?)?))
     }
 
     /// Reads an `f64` (little-endian IEEE 754 bits).
     pub fn get_f64(&mut self) -> Result<f64> {
-        Ok(f64::from_le_bytes(self.take(8)?.try_into().expect("len 8")))
+        Ok(f64::from_le_bytes(fixed(self.take(8)?)?))
     }
 
     /// Reads `len` raw bytes.
@@ -224,6 +268,25 @@ mod tests {
         let mut r = PageReader::new(&buf);
         r.skip(6).unwrap();
         assert_eq!(r.get_u32().unwrap(), 42);
+    }
+
+    #[test]
+    fn crc32_known_vectors() {
+        // Reference values for the IEEE polynomial.
+        assert_eq!(crc32(b""), 0);
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+        assert_eq!(
+            crc32(b"The quick brown fox jumps over the lazy dog"),
+            0x414F_A339
+        );
+    }
+
+    #[test]
+    fn crc32_detects_single_bit_flip() {
+        let mut page = vec![0xA5u8; 256];
+        let clean = crc32(&page);
+        page[100] ^= 0x10;
+        assert_ne!(crc32(&page), clean);
     }
 
     #[test]

@@ -20,6 +20,21 @@ pub enum StorageError {
     },
     /// Decoded bytes were structurally invalid.
     Corrupt(&'static str),
+    /// A simulated device-level I/O failure. Transient faults may succeed on
+    /// retry; non-transient ones (e.g. a torn write) will not.
+    Io { transient: bool },
+    /// The simulated disk ran out of space while allocating a page.
+    DiskFull,
+}
+
+impl StorageError {
+    /// Whether retrying the failed operation could plausibly succeed.
+    ///
+    /// Only device-level faults explicitly marked transient qualify; logical
+    /// errors (unknown/freed pages, corruption, disk-full) are permanent.
+    pub fn is_transient(&self) -> bool {
+        matches!(self, StorageError::Io { transient: true })
+    }
 }
 
 impl fmt::Display for StorageError {
@@ -38,6 +53,9 @@ impl fmt::Display for StorageError {
                 "access of {len} bytes at offset {offset} exceeds page size {size}"
             ),
             StorageError::Corrupt(what) => write!(f, "corrupt page data: {what}"),
+            StorageError::Io { transient: true } => write!(f, "transient i/o fault"),
+            StorageError::Io { transient: false } => write!(f, "i/o fault"),
+            StorageError::DiskFull => write!(f, "disk full"),
         }
     }
 }
@@ -70,5 +88,19 @@ mod tests {
         assert!(StorageError::Corrupt("bad tag")
             .to_string()
             .contains("bad tag"));
+        assert_eq!(
+            StorageError::Io { transient: true }.to_string(),
+            "transient i/o fault"
+        );
+        assert_eq!(StorageError::DiskFull.to_string(), "disk full");
+    }
+
+    #[test]
+    fn transience() {
+        assert!(StorageError::Io { transient: true }.is_transient());
+        assert!(!StorageError::Io { transient: false }.is_transient());
+        assert!(!StorageError::DiskFull.is_transient());
+        assert!(!StorageError::Corrupt("x").is_transient());
+        assert!(!StorageError::UnknownPage(0).is_transient());
     }
 }

@@ -19,11 +19,13 @@
 mod buffer;
 pub mod codec;
 mod error;
+pub mod fault;
 mod pager;
 pub mod persist;
 
 pub use buffer::{BufferObs, BufferPool, EvictionPolicy, PageGuard, PoolConfig, PoolStats};
 pub use error::StorageError;
+pub use fault::{FaultConfig, FaultInjector};
 pub use pager::{DiskStats, PageId, Pager};
 pub use persist::PersistError;
 

@@ -1,6 +1,11 @@
 //! The simulated disk: a flat collection of fixed-size pages with
-//! allocation, free-list reuse, and read/write accounting.
+//! allocation, free-list reuse, read/write accounting, per-page CRC32
+//! checksums, and an optional deterministic fault injector.
 
+use std::sync::Arc;
+
+use crate::codec::crc32;
+use crate::fault::{FaultInjector, ReadFault, WriteFault};
 use crate::{Result, StorageError};
 
 /// Identifier of a disk page.
@@ -38,12 +43,20 @@ pub struct DiskStats {
 /// freed pages go on a free list for reuse, so page ids stay dense over the
 /// lifetime of a workload — important for the hybrid priority queue, which
 /// continuously allocates and frees bucket pages.
+/// Every live page carries a CRC32 checksum maintained on write and verified
+/// on read, so bit rot (or an injected bit flip / torn write) surfaces as
+/// [`StorageError::Corrupt`] instead of silently wrong data.
 #[derive(Debug)]
 pub struct Pager {
     page_size: usize,
     pages: Vec<Option<Box<[u8]>>>,
+    /// Checksum sidecar, indexed like `pages`; meaningless for freed slots.
+    crcs: Vec<u32>,
+    /// CRC of an all-zero page, cached because every allocation needs it.
+    zero_crc: u32,
     free_list: Vec<PageId>,
     stats: DiskStats,
+    injector: Option<Arc<FaultInjector>>,
 }
 
 impl Pager {
@@ -57,9 +70,18 @@ impl Pager {
         Self {
             page_size,
             pages: Vec::new(),
+            crcs: Vec::new(),
+            zero_crc: crc32(&vec![0u8; page_size]),
             free_list: Vec::new(),
             stats: DiskStats::default(),
+            injector: None,
         }
+    }
+
+    /// Installs (or clears) a fault injector consulted on every subsequent
+    /// read, write and fallible allocation.
+    pub fn set_fault_injector(&mut self, injector: Option<Arc<FaultInjector>>) {
+        self.injector = injector;
     }
 
     /// The page size in bytes.
@@ -81,16 +103,34 @@ impl Pager {
     }
 
     /// Allocates a zero-filled page, reusing a freed slot when possible.
+    ///
+    /// Infallible (and exempt from fault injection): index construction uses
+    /// this path, while runtime consumers that can handle a full disk — the
+    /// hybrid queue's spill tier — go through [`Pager::try_allocate`].
     pub fn allocate(&mut self) -> PageId {
         self.stats.allocations += 1;
         if let Some(id) = self.free_list.pop() {
             self.pages[id.0 as usize] = Some(vec![0u8; self.page_size].into_boxed_slice());
+            self.crcs[id.0 as usize] = self.zero_crc;
             return id;
         }
-        let id = PageId(u32::try_from(self.pages.len()).expect("pager overflow"));
+        assert!(self.pages.len() < u32::MAX as usize, "pager overflow");
+        let id = PageId(self.pages.len() as u32);
         self.pages
             .push(Some(vec![0u8; self.page_size].into_boxed_slice()));
+        self.crcs.push(self.zero_crc);
         id
+    }
+
+    /// Allocates a zero-filled page, surfacing [`StorageError::DiskFull`]
+    /// when the fault injector's allocation budget is exhausted.
+    pub fn try_allocate(&mut self) -> Result<PageId> {
+        if let Some(inj) = &self.injector {
+            if inj.on_allocate() {
+                return Err(StorageError::DiskFull);
+            }
+        }
+        Ok(self.allocate())
     }
 
     /// Frees a page, making its id available for reuse.
@@ -109,6 +149,9 @@ impl Pager {
     }
 
     /// Reads a full page into `buf` (which must be exactly one page long).
+    ///
+    /// The stored checksum is verified before any bytes are copied out; a
+    /// mismatch surfaces as [`StorageError::Corrupt`].
     pub fn read(&mut self, id: PageId, buf: &mut [u8]) -> Result<()> {
         if buf.len() != self.page_size {
             return Err(StorageError::BadBufferSize {
@@ -116,24 +159,12 @@ impl Pager {
                 actual: buf.len(),
             });
         }
-        let page = self
-            .pages
-            .get(id.0 as usize)
-            .ok_or(StorageError::UnknownPage(id.0))?
-            .as_ref()
-            .ok_or(StorageError::FreedPage(id.0))?;
-        buf.copy_from_slice(page);
-        self.stats.reads += 1;
-        Ok(())
-    }
-
-    /// Writes a full page from `buf` (which must be exactly one page long).
-    pub fn write(&mut self, id: PageId, buf: &[u8]) -> Result<()> {
-        if buf.len() != self.page_size {
-            return Err(StorageError::BadBufferSize {
-                expected: self.page_size,
-                actual: buf.len(),
-            });
+        let fate = match &self.injector {
+            Some(inj) => inj.on_read(),
+            None => ReadFault::None,
+        };
+        if fate == ReadFault::Transient {
+            return Err(StorageError::Io { transient: true });
         }
         let page = self
             .pages
@@ -141,9 +172,66 @@ impl Pager {
             .ok_or(StorageError::UnknownPage(id.0))?
             .as_mut()
             .ok_or(StorageError::FreedPage(id.0))?;
+        if let ReadFault::BitFlip(bit) = fate {
+            // Persistent media damage: the stored byte changes, the stored
+            // checksum does not, so this (and every later) read detects it.
+            let bit = (bit % (self.page_size as u64 * 8)) as usize;
+            page[bit / 8] ^= 1 << (bit % 8);
+        }
+        if crc32(page) != self.crcs[id.0 as usize] {
+            return Err(StorageError::Corrupt("page checksum mismatch"));
+        }
+        buf.copy_from_slice(page);
+        self.stats.reads += 1;
+        Ok(())
+    }
+
+    /// Writes a full page from `buf` (which must be exactly one page long),
+    /// updating the page's stored checksum.
+    pub fn write(&mut self, id: PageId, buf: &[u8]) -> Result<()> {
+        if buf.len() != self.page_size {
+            return Err(StorageError::BadBufferSize {
+                expected: self.page_size,
+                actual: buf.len(),
+            });
+        }
+        let fate = match &self.injector {
+            Some(inj) => inj.on_write(),
+            None => WriteFault::None,
+        };
+        if fate == WriteFault::Transient {
+            return Err(StorageError::Io { transient: true });
+        }
+        let page = self
+            .pages
+            .get_mut(id.0 as usize)
+            .ok_or(StorageError::UnknownPage(id.0))?
+            .as_mut()
+            .ok_or(StorageError::FreedPage(id.0))?;
+        if fate == WriteFault::Torn {
+            // Half the sectors land, the checksum stays stale: the next read
+            // of this page reports `Corrupt` rather than mixed old/new data.
+            let half = self.page_size / 2;
+            page[..half].copy_from_slice(&buf[..half]);
+            return Err(StorageError::Io { transient: false });
+        }
         page.copy_from_slice(buf);
+        self.crcs[id.0 as usize] = crc32(buf);
         self.stats.writes += 1;
         Ok(())
+    }
+
+    /// Stored checksum of a live page (used by the persist layer's
+    /// versioned dump format).
+    pub(crate) fn page_crc(&self, id: PageId) -> Result<u32> {
+        let slot = self
+            .pages
+            .get(id.0 as usize)
+            .ok_or(StorageError::UnknownPage(id.0))?;
+        if slot.is_none() {
+            return Err(StorageError::FreedPage(id.0));
+        }
+        Ok(self.crcs[id.0 as usize])
     }
 
     /// Current disk counters.
@@ -235,5 +323,86 @@ mod tests {
     fn invalid_sentinel() {
         assert!(PageId::INVALID.is_invalid());
         assert!(!PageId(0).is_invalid());
+    }
+
+    use crate::fault::FaultConfig;
+
+    #[test]
+    fn transient_read_fault_then_success() {
+        let mut pager = Pager::new(32);
+        let id = pager.allocate();
+        pager.write(id, &[7u8; 32]).unwrap();
+        pager.set_fault_injector(Some(Arc::new(FaultInjector::new(FaultConfig {
+            seed: 3,
+            fail_read_nth: Some(1),
+            ..FaultConfig::default()
+        }))));
+        let mut buf = [0u8; 32];
+        assert_eq!(
+            pager.read(id, &mut buf),
+            Err(StorageError::Io { transient: true })
+        );
+        pager.read(id, &mut buf).unwrap();
+        assert_eq!(buf, [7u8; 32]);
+    }
+
+    #[test]
+    fn bit_flip_detected_as_corrupt() {
+        let mut pager = Pager::new(32);
+        let id = pager.allocate();
+        pager.write(id, &[9u8; 32]).unwrap();
+        pager.set_fault_injector(Some(Arc::new(FaultInjector::new(FaultConfig {
+            seed: 5,
+            bit_flip: 1.0,
+            ..FaultConfig::default()
+        }))));
+        let mut buf = [0u8; 32];
+        assert_eq!(
+            pager.read(id, &mut buf),
+            Err(StorageError::Corrupt("page checksum mismatch"))
+        );
+        // The damage is persistent: even without further injection the page
+        // stays corrupt.
+        pager.set_fault_injector(None);
+        assert_eq!(
+            pager.read(id, &mut buf),
+            Err(StorageError::Corrupt("page checksum mismatch"))
+        );
+    }
+
+    #[test]
+    fn torn_write_leaves_corrupt_page() {
+        let mut pager = Pager::new(32);
+        let id = pager.allocate();
+        pager.write(id, &[1u8; 32]).unwrap();
+        pager.set_fault_injector(Some(Arc::new(FaultInjector::new(FaultConfig {
+            seed: 5,
+            torn_write: 1.0,
+            ..FaultConfig::default()
+        }))));
+        assert_eq!(
+            pager.write(id, &[2u8; 32]),
+            Err(StorageError::Io { transient: false })
+        );
+        pager.set_fault_injector(None);
+        let mut buf = [0u8; 32];
+        assert_eq!(
+            pager.read(id, &mut buf),
+            Err(StorageError::Corrupt("page checksum mismatch"))
+        );
+    }
+
+    #[test]
+    fn disk_full_on_try_allocate() {
+        let mut pager = Pager::new(16);
+        pager.set_fault_injector(Some(Arc::new(FaultInjector::new(FaultConfig {
+            seed: 1,
+            disk_full_after: Some(1),
+            ..FaultConfig::default()
+        }))));
+        pager.try_allocate().unwrap();
+        assert_eq!(pager.try_allocate(), Err(StorageError::DiskFull));
+        // Infallible allocation (index builds) is exempt.
+        let _ = pager.allocate();
     }
 }

@@ -1,20 +1,27 @@
 //! Persistence: dumping the simulated disk to a real file and loading it
 //! back, so indexes built in one process can be reopened in another.
 //!
-//! File layout (little endian):
+//! Current file layout (little endian):
 //!
 //! ```text
-//! magic    8 bytes  "SDJPAGE1"
+//! magic    8 bytes  "SDJPAGE2"
 //! page_sz  u64
 //! pages    u64      total page slots (live + freed)
-//! per slot: present u8, then page bytes if present
+//! per slot: present u8, then crc32 u32 + page bytes if present
 //! ```
+//!
+//! The legacy `SDJPAGE1` layout (no per-page checksum) still loads; its
+//! checksums are recomputed from the page bytes on the way in.
 
 use std::io::{Read, Write};
+use std::path::Path;
+use std::sync::atomic::{AtomicU64, Ordering};
 
+use crate::codec::crc32;
 use crate::{PageId, Pager, StorageError};
 
-const MAGIC: &[u8; 8] = b"SDJPAGE1";
+const MAGIC_V1: &[u8; 8] = b"SDJPAGE1";
+const MAGIC: &[u8; 8] = b"SDJPAGE2";
 
 /// I/O or format error while persisting a pager.
 #[derive(Debug)]
@@ -52,7 +59,8 @@ impl From<StorageError> for PersistError {
 }
 
 impl Pager {
-    /// Writes the full disk image to `out`.
+    /// Writes the full disk image to `out` in the current (`SDJPAGE2`,
+    /// checksummed) format.
     pub fn save_to(&mut self, out: &mut impl Write) -> std::result::Result<(), PersistError> {
         out.write_all(MAGIC)?;
         out.write_all(&(self.page_size() as u64).to_le_bytes())?;
@@ -64,6 +72,7 @@ impl Pager {
             match self.read(id, &mut buf) {
                 Ok(()) => {
                     out.write_all(&[1])?;
+                    out.write_all(&self.page_crc(id)?.to_le_bytes())?;
                     out.write_all(&buf)?;
                 }
                 Err(StorageError::FreedPage(_)) => out.write_all(&[0])?,
@@ -76,12 +85,18 @@ impl Pager {
     /// Reconstructs a pager from a disk image written by
     /// [`Pager::save_to`]. Freed slots are restored onto the free list so
     /// id allocation continues seamlessly.
+    ///
+    /// Accepts both the current checksummed format (each stored checksum is
+    /// verified against the page bytes) and the legacy `SDJPAGE1` format
+    /// (checksums recomputed on load).
     pub fn load_from(input: &mut impl Read) -> std::result::Result<Self, PersistError> {
         let mut magic = [0u8; 8];
         input.read_exact(&mut magic)?;
-        if &magic != MAGIC {
-            return Err(PersistError::Format("bad magic"));
-        }
+        let checksummed = match &magic {
+            m if m == MAGIC => true,
+            m if m == MAGIC_V1 => false,
+            _ => return Err(PersistError::Format("bad magic")),
+        };
         let mut u64buf = [0u8; 8];
         input.read_exact(&mut u64buf)?;
         let page_size = u64::from_le_bytes(u64buf) as usize;
@@ -90,6 +105,9 @@ impl Pager {
         }
         input.read_exact(&mut u64buf)?;
         let total = u64::from_le_bytes(u64buf) as usize;
+        if total > u32::MAX as usize {
+            return Err(PersistError::Format("implausible page count"));
+        }
 
         let mut pager = Pager::new(page_size);
         let mut freed: Vec<PageId> = Vec::new();
@@ -101,7 +119,20 @@ impl Pager {
             debug_assert_eq!(id.0 as usize, slot);
             match tag[0] {
                 1 => {
+                    let mut stored_crc = None;
+                    if checksummed {
+                        let mut crcbuf = [0u8; 4];
+                        input.read_exact(&mut crcbuf)?;
+                        stored_crc = Some(u32::from_le_bytes(crcbuf));
+                    }
                     input.read_exact(&mut buf)?;
+                    if let Some(stored) = stored_crc {
+                        if crc32(&buf) != stored {
+                            return Err(PersistError::Storage(StorageError::Corrupt(
+                                "page checksum mismatch in dump",
+                            )));
+                        }
+                    }
                     pager.write(id, &buf)?;
                 }
                 0 => freed.push(id),
@@ -114,6 +145,45 @@ impl Pager {
         pager.reset_stats();
         Ok(pager)
     }
+}
+
+static ATOMIC_SAVE_TOKEN: AtomicU64 = AtomicU64::new(0);
+
+/// Writes a file atomically: the payload goes to a uniquely named temp file
+/// in the destination's directory, is flushed and fsynced, and is then
+/// renamed over `path`. A crash mid-save leaves the previous file intact.
+///
+/// Shared by the R-tree and quadtree `save` paths (the `RunReport` writer
+/// uses the same pattern).
+pub fn save_atomic(
+    path: &Path,
+    write: impl FnOnce(&mut std::io::BufWriter<std::fs::File>) -> std::result::Result<(), PersistError>,
+) -> std::result::Result<(), PersistError> {
+    let dir = path.parent().filter(|p| !p.as_os_str().is_empty());
+    let file_name = path
+        .file_name()
+        .ok_or(PersistError::Format("save path has no file name"))?
+        .to_string_lossy()
+        .into_owned();
+    let token = ATOMIC_SAVE_TOKEN.fetch_add(1, Ordering::Relaxed);
+    let tmp_name = format!(".{file_name}.tmp{}.{token:x}", std::process::id());
+    let tmp_path = match dir {
+        Some(d) => d.join(&tmp_name),
+        None => std::path::PathBuf::from(&tmp_name),
+    };
+    let result = (|| {
+        let file = std::fs::File::create(&tmp_path)?;
+        let mut out = std::io::BufWriter::new(file);
+        write(&mut out)?;
+        out.flush()?;
+        out.get_ref().sync_all()?;
+        std::fs::rename(&tmp_path, path)?;
+        Ok(())
+    })();
+    if result.is_err() {
+        let _ = std::fs::remove_file(&tmp_path);
+    }
+    result
 }
 
 /// Reads exactly 8 bytes as a little-endian u64 (shared by index headers).
@@ -194,5 +264,71 @@ mod tests {
             Pager::load_from(&mut bytes.as_slice()),
             Err(PersistError::Io(_))
         ));
+    }
+
+    /// Hand-rolls a legacy (un-checksummed) dump with one live page.
+    fn v1_dump(page_size: usize, payload: u8) -> Vec<u8> {
+        let mut bytes = Vec::new();
+        bytes.extend_from_slice(b"SDJPAGE1");
+        bytes.extend_from_slice(&(page_size as u64).to_le_bytes());
+        bytes.extend_from_slice(&1u64.to_le_bytes());
+        bytes.push(1);
+        bytes.extend_from_slice(&vec![payload; page_size]);
+        bytes
+    }
+
+    #[test]
+    fn legacy_v1_dump_still_loads() {
+        let bytes = v1_dump(32, 0xAB);
+        let mut pager = Pager::load_from(&mut bytes.as_slice()).unwrap();
+        let mut buf = [0u8; 32];
+        pager.read(PageId(0), &mut buf).unwrap();
+        assert_eq!(buf, [0xABu8; 32]);
+        // Re-saving produces the current checksummed format.
+        let mut resaved = Vec::new();
+        pager.save_to(&mut resaved).unwrap();
+        assert_eq!(&resaved[..8], b"SDJPAGE2");
+    }
+
+    #[test]
+    fn v2_dump_detects_flipped_page_byte() {
+        let mut pager = Pager::new(32);
+        let a = pager.allocate();
+        pager.write(a, &[5u8; 32]).unwrap();
+        let mut bytes = Vec::new();
+        pager.save_to(&mut bytes).unwrap();
+        // Flip a byte inside the page payload (past magic + header + tag + crc).
+        let payload_start = 8 + 8 + 8 + 1 + 4;
+        bytes[payload_start + 3] ^= 0x40;
+        assert!(matches!(
+            Pager::load_from(&mut bytes.as_slice()),
+            Err(PersistError::Storage(StorageError::Corrupt(_)))
+        ));
+    }
+
+    #[test]
+    fn save_atomic_replaces_and_cleans_up() {
+        let dir = std::env::temp_dir().join(format!("sdj_persist_test_{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("dump.bin");
+        std::fs::write(&path, b"old contents").unwrap();
+        save_atomic(&path, |out| {
+            out.write_all(b"new contents")?;
+            Ok(())
+        })
+        .unwrap();
+        assert_eq!(std::fs::read(&path).unwrap(), b"new contents");
+        // A failing writer leaves the original file untouched and no temp
+        // files behind.
+        let r = save_atomic(&path, |_| Err(PersistError::Format("boom")));
+        assert!(r.is_err());
+        assert_eq!(std::fs::read(&path).unwrap(), b"new contents");
+        let leftovers: Vec<_> = std::fs::read_dir(&dir)
+            .unwrap()
+            .filter_map(|e| e.ok())
+            .filter(|e| e.file_name().to_string_lossy().contains(".tmp"))
+            .collect();
+        assert!(leftovers.is_empty(), "temp files left: {leftovers:?}");
+        std::fs::remove_dir_all(&dir).unwrap();
     }
 }
