@@ -62,6 +62,20 @@ SDJ_FAULT_SEED=1998 SDJ_FAULT_RATE=0.2 ./target/release/sdj-report \
 ./target/release/sdj-report --check results/RunReport_chaos.json \
     --expect-drain --expect-retries
 
+echo "==> planner / bulk-path gate"
+# The bulk partition/plane-sweep path must stay multiset-equal to the
+# incremental engine (bit-identical ordered streams), invariant across
+# worker counts, and the cost-based planner's choice must be recorded in
+# reports and overridable. The lane kernels ride the geom suboptimal_flops
+# gate above (sdj-geom --all-targets covers them). bench_planner must keep
+# building so BENCH_planner.json stays reproducible.
+cargo build --release --offline -p sdj-bench --bin bench_planner
+cargo test -p sdj-core --offline -q --test bulk_equivalence
+cargo test -p sdj-exec --offline -q --test bulk_parallel
+./target/release/sdj-report --n 3000 --k 200 --force-plan bulk \
+    --out results/RunReport_bulk.json
+./target/release/sdj-report --check results/RunReport_bulk.json --expect-plan bulk
+
 echo "==> observability smoke gate"
 # A small instrumented join must produce a schema-valid RunReport whose
 # rank curve is monotone and whose queue curve grows then drains; the

@@ -35,6 +35,8 @@ fn measure(t1: &RTree<2>, t2: &RTree<2>, k: u64, domain: KeyDomain, path: Expans
         (KeyDomain::Plain, ExpansionPath::Batched) => "plain/batched",
         (KeyDomain::Squared, ExpansionPath::Scalar) => "squared/scalar",
         (KeyDomain::Squared, ExpansionPath::Batched) => "squared/batched (default)",
+        (KeyDomain::Squared, ExpansionPath::Lanes) => "squared/lanes (fixed-width)",
+        (KeyDomain::Plain, ExpansionPath::Lanes) => "plain/lanes",
     };
     let config = JoinConfig::default()
         .with_max_pairs(k)
@@ -78,6 +80,7 @@ fn main() {
         (KeyDomain::Plain, ExpansionPath::Batched),
         (KeyDomain::Squared, ExpansionPath::Scalar),
         (KeyDomain::Squared, ExpansionPath::Batched),
+        (KeyDomain::Squared, ExpansionPath::Lanes),
     ];
     let mut samples = Vec::with_capacity(combos.len());
     for (domain, path) in combos {

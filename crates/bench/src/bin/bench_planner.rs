@@ -1,0 +1,198 @@
+//! Incremental-vs-bulk crossover measurement for the cost-based planner.
+//!
+//! Joins two 100k-point sets (uniform and clustered workloads) across a
+//! sweep of `(K, Dmax)` query points, running **both** execution paths to
+//! completion at each point and recording the planner's choice next to the
+//! measured costs, so `BENCH_planner.json` shows where the model's
+//! crossover sits relative to the real one.
+//!
+//! This is a 1-CPU container: wall-clock ratios between the two paths are
+//! honest (both are measured on the same single core, the bulk path's
+//! parallelism adds nothing here), but they do not demonstrate speedup from
+//! parallel sweeping — the work counters (`distance_calcs`, cells swept,
+//! pairs deduped) are the portable signal. See `EXPERIMENTS.md`.
+
+use std::time::Instant;
+
+use sdj_bench::build_tree;
+use sdj_core::{BulkConfig, JoinConfig, PlanChoice};
+use sdj_datagen::{gaussian_clusters, uniform_points, unit_box};
+use sdj_exec::{run_planned, ParallelConfig};
+use sdj_rtree::RTree;
+
+struct Sample {
+    workload: &'static str,
+    k: Option<u64>,
+    dmax: f64,
+    planned: PlanChoice,
+    incremental_seconds: f64,
+    incremental_distance_calcs: u64,
+    bulk_seconds: f64,
+    bulk_distance_calcs: u64,
+    bulk_cells_swept: u64,
+    bulk_pairs_deduped: u64,
+    pairs: u64,
+    model_agrees_with_wall_clock: bool,
+}
+
+fn measure(
+    t1: &RTree<2>,
+    t2: &RTree<2>,
+    workload: &'static str,
+    k: Option<u64>,
+    dmax: f64,
+) -> Sample {
+    let mut config = JoinConfig::default().with_range(0.0, dmax);
+    if let Some(k) = k {
+        config = config.with_max_pairs(k);
+    }
+    let parallel = ParallelConfig::with_threads(1);
+
+    let start = Instant::now();
+    let inc = run_planned(
+        t1,
+        t2,
+        config,
+        parallel,
+        BulkConfig::default(),
+        Some(PlanChoice::Incremental),
+        None,
+    );
+    let incremental_seconds = start.elapsed().as_secs_f64();
+    assert!(
+        inc.error.is_none(),
+        "incremental run failed: {:?}",
+        inc.error
+    );
+
+    let start = Instant::now();
+    let bulk = run_planned(
+        t1,
+        t2,
+        config,
+        parallel,
+        BulkConfig::default(),
+        Some(PlanChoice::Bulk),
+        None,
+    );
+    let bulk_seconds = start.elapsed().as_secs_f64();
+    assert!(bulk.error.is_none(), "bulk run failed: {:?}", bulk.error);
+    assert_eq!(
+        inc.results.len(),
+        bulk.results.len(),
+        "paths disagree on result count ({workload}, k={k:?}, dmax={dmax})"
+    );
+
+    let planned = inc.plan.choice; // same inputs → same verdict for both calls
+    let faster = if incremental_seconds <= bulk_seconds {
+        PlanChoice::Incremental
+    } else {
+        PlanChoice::Bulk
+    };
+    let b = bulk.bulk.expect("bulk run carries bulk stats");
+    Sample {
+        workload,
+        k,
+        dmax,
+        planned,
+        incremental_seconds,
+        incremental_distance_calcs: inc.stats.distance_calcs,
+        bulk_seconds,
+        bulk_distance_calcs: bulk.stats.distance_calcs,
+        bulk_cells_swept: b.cell_pairs_swept,
+        bulk_pairs_deduped: b.pairs_deduped,
+        pairs: inc.results.len() as u64,
+        model_agrees_with_wall_clock: planned == faster,
+    }
+}
+
+fn env_num<T: std::str::FromStr>(name: &str, default: T) -> T {
+    match std::env::var(name) {
+        Ok(v) => v
+            .parse()
+            .unwrap_or_else(|_| panic!("{name}={v:?} is not a number")),
+        Err(_) => default,
+    }
+}
+
+fn main() {
+    let n: usize = env_num("SDJ_BENCH_N", 100_000);
+
+    eprintln!("# building uniform and clustered {n}-point tree pairs ...");
+    let bbox = unit_box();
+    let uniform = (
+        build_tree(&uniform_points(n, &bbox, 97)),
+        build_tree(&uniform_points(n, &bbox, 98)),
+    );
+    let clustered = (
+        build_tree(&gaussian_clusters(n, 32, 0.01, &bbox, 41)),
+        build_tree(&gaussian_clusters(n, 32, 0.01, &bbox, 42)),
+    );
+
+    // The (K, Dmax) sweep: small-K points sit deep in incremental
+    // territory, full drains (k = None) in bulk territory; the middle rows
+    // bracket the crossover. Dmax keeps the drains tractable on one core.
+    let points: [(Option<u64>, f64); 5] = [
+        (Some(10), 0.001),
+        (Some(1_000), 0.001),
+        (Some(10_000), 0.001),
+        (None, 0.0005),
+        (None, 0.001),
+    ];
+
+    let mut samples = Vec::new();
+    for (workload, (t1, t2)) in [("uniform", &uniform), ("clustered", &clustered)] {
+        for &(k, dmax) in &points {
+            eprintln!("# {workload}: k={k:?}, dmax={dmax} (both paths) ...");
+            samples.push(measure(t1, t2, workload, k, dmax));
+        }
+    }
+
+    let mut rows = String::new();
+    for (i, s) in samples.iter().enumerate() {
+        if i > 0 {
+            rows.push_str(",\n");
+        }
+        let k_json = s.k.map_or("null".into(), |k| k.to_string());
+        rows.push_str(&format!(
+            "    {{\"workload\": \"{}\", \"k\": {}, \"dmax\": {}, \"pairs\": {}, \
+             \"planned\": \"{}\", \"incremental_seconds\": {:.6}, \
+             \"incremental_distance_calcs\": {}, \"bulk_seconds\": {:.6}, \
+             \"bulk_distance_calcs\": {}, \"bulk_cells_swept\": {}, \
+             \"bulk_pairs_deduped\": {}, \"model_agrees_with_wall_clock\": {}}}",
+            s.workload,
+            k_json,
+            s.dmax,
+            s.pairs,
+            s.planned,
+            s.incremental_seconds,
+            s.incremental_distance_calcs,
+            s.bulk_seconds,
+            s.bulk_distance_calcs,
+            s.bulk_cells_swept,
+            s.bulk_pairs_deduped,
+            s.model_agrees_with_wall_clock,
+        ));
+    }
+    let agree = samples
+        .iter()
+        .filter(|s| s.model_agrees_with_wall_clock)
+        .count();
+    let host = sdj_obs::HostInfo::detect();
+    let json = format!(
+        "{{\n  \"schema_version\": 1,\n  \"benchmark\": \"incremental vs bulk crossover, \
+         {n} x {n} points, uniform and clustered workloads, (K, Dmax) sweep\",\n  \
+         \"host\": {{\"nproc\": {}, \"build_profile\": \"{}\"}},\n  \
+         \"note\": \"1-CPU host: wall-clock compares the two serial paths honestly but shows \
+         no parallel speedup; distance_calcs / cells swept / pairs deduped are the portable \
+         counters. Both paths are run to completion at every point and must agree on the \
+         result count.\",\n  \"model_agreement\": \"{agree}/{total}\",\n  \
+         \"samples\": [\n{rows}\n  ]\n}}\n",
+        host.nproc,
+        host.build_profile,
+        total = samples.len(),
+    );
+    sdj_obs::write_atomic("BENCH_planner.json", json.as_bytes()).expect("write BENCH_planner.json");
+    print!("{json}");
+    eprintln!("# wrote BENCH_planner.json");
+}

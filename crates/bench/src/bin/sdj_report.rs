@@ -25,9 +25,9 @@ use std::sync::Arc;
 use std::time::Instant;
 
 use sdj_bench::build_tree;
-use sdj_core::{DistanceJoin, JoinConfig};
+use sdj_core::{BulkConfig, BulkStats, DistanceJoin, JoinConfig, JoinStats, Plan, PlanChoice};
 use sdj_datagen::{uniform_points, unit_box};
-use sdj_exec::{ParallelConfig, ParallelDistanceJoin};
+use sdj_exec::{run_planned, ParallelConfig};
 use sdj_geom::Point;
 use sdj_obs::{sparkline, EventSink, NdjsonWriter, ObsContext, RunRecorder, RunReport, TeeSink};
 use sdj_rtree::{ObjectId, RTree, RTreeConfig};
@@ -42,8 +42,10 @@ struct Args {
     check: Option<String>,
     expect_drain: bool,
     expect_retries: bool,
+    expect_plan: Option<String>,
     overhead: bool,
     label: String,
+    force_plan: Option<PlanChoice>,
 }
 
 impl Args {
@@ -57,8 +59,10 @@ impl Args {
             check: None,
             expect_drain: false,
             expect_retries: false,
+            expect_plan: None,
             overhead: false,
             label: "uniform distance join".into(),
+            force_plan: None,
         };
         let argv: Vec<String> = std::env::args().collect();
         let mut i = 1;
@@ -97,14 +101,27 @@ impl Args {
                 }
                 "--expect-drain" => a.expect_drain = true,
                 "--expect-retries" => a.expect_retries = true,
+                "--expect-plan" => {
+                    a.expect_plan = Some(take(&argv, i, "--expect-plan"));
+                    i += 1;
+                }
                 "--overhead" => a.overhead = true,
                 "--label" => {
                     a.label = take(&argv, i, "--label");
                     i += 1;
                 }
+                "--force-plan" => {
+                    a.force_plan = Some(match take(&argv, i, "--force-plan").as_str() {
+                        "incremental" => PlanChoice::Incremental,
+                        "bulk" => PlanChoice::Bulk,
+                        other => panic!("--force-plan takes incremental|bulk, got {other}"),
+                    });
+                    i += 1;
+                }
                 other => panic!(
                     "unknown argument {other} (expected --n/--k/--threads/--out/--events/\
-                     --check/--expect-drain/--expect-retries/--overhead/--label)"
+                     --check/--expect-drain/--expect-retries/--expect-plan/--overhead/--label/\
+                     --force-plan)"
                 ),
             }
             i += 1;
@@ -137,40 +154,53 @@ fn build_env(n: usize) -> (RTree<2>, RTree<2>) {
     }
 }
 
-/// Pass 1: the K closest pairs through the selected engine. Returns the
-/// stats, the produced count, the K-th distance, and elapsed seconds.
+/// What pass 1 measures, whichever execution path ran it.
+struct KPass {
+    stats: JoinStats,
+    produced: u64,
+    dmax: f64,
+    seconds: f64,
+    plan: Plan,
+    executed: PlanChoice,
+    bulk: Option<BulkStats>,
+}
+
+/// Pass 1: the K closest pairs through the planner-selected (or forced)
+/// execution path.
 fn run_k_pass(
     t1: &RTree<2>,
     t2: &RTree<2>,
     k: u64,
     threads: usize,
+    force: Option<PlanChoice>,
     ctx: &ObsContext,
-) -> (sdj_core::JoinStats, u64, f64, f64) {
+) -> KPass {
     let config = JoinConfig::default().with_max_pairs(k);
     let start = Instant::now();
-    if threads > 1 {
-        let mut dmax = 0.0f64;
-        let run = ParallelDistanceJoin::new(t1, t2, config, ParallelConfig::with_threads(threads))
-            .with_obs(ctx.clone())
-            .run(|stream| {
-                let mut produced = 0u64;
-                for r in stream {
-                    produced += 1;
-                    dmax = dmax.max(r.distance);
-                }
-                produced
-            });
-        assert_eq!(run.error, None, "parallel pass failed");
-        (run.stats, run.value, dmax, start.elapsed().as_secs_f64())
-    } else {
-        let mut join = DistanceJoin::new(t1, t2, config).with_obs(ctx);
-        let mut produced = 0u64;
-        let mut dmax = 0.0f64;
-        for r in join.by_ref() {
-            produced += 1;
-            dmax = dmax.max(r.distance);
-        }
-        (join.stats(), produced, dmax, start.elapsed().as_secs_f64())
+    let run = run_planned(
+        t1,
+        t2,
+        config,
+        ParallelConfig::with_threads(threads),
+        BulkConfig::default(),
+        force,
+        Some(ctx.clone()),
+    );
+    let seconds = start.elapsed().as_secs_f64();
+    assert!(run.error.is_none(), "pass 1 failed: {:?}", run.error);
+    let dmax = run
+        .results
+        .iter()
+        .map(|r| r.distance)
+        .fold(0.0f64, f64::max);
+    KPass {
+        stats: run.stats,
+        produced: run.results.len() as u64,
+        dmax,
+        seconds,
+        plan: run.plan,
+        executed: run.executed,
+        bulk: run.bulk,
     }
 }
 
@@ -274,10 +304,29 @@ fn run_report(args: &Args) -> Result<(), String> {
     // land in ctx1's registry and therefore in the report.
     t1.attach_obs(BufferObs::new(&ctx1, "buf.t1"));
     t2.attach_obs(BufferObs::new(&ctx1, "buf.t2"));
-    let (stats, produced, dmax, seconds) = run_k_pass(&t1, &t2, args.k, args.threads, &ctx1);
+    let pass1 = run_k_pass(&t1, &t2, args.k, args.threads, args.force_plan, &ctx1);
+    let KPass {
+        stats,
+        produced,
+        dmax,
+        seconds,
+        plan,
+        executed,
+        bulk,
+    } = pass1;
     if produced == 0 {
         return Err("pass 1 produced no results".into());
     }
+    eprintln!(
+        "# plan: {executed}{} (est incremental {:.0}, est bulk {:.0})",
+        if args.force_plan.is_some() {
+            " [forced]"
+        } else {
+            ""
+        },
+        plan.est_incremental,
+        plan.est_bulk,
+    );
 
     eprintln!("# pass 2: drain join restricted to [0, {dmax:.6}] ...");
     let ctx2 = ObsContext::new(sink_for(&queue_rec))
@@ -296,6 +345,16 @@ fn run_report(args: &Args) -> Result<(), String> {
         ("k".into(), args.k as f64),
         ("threads".into(), args.threads as f64),
         ("dmax".into(), dmax),
+        // 0 = incremental, 1 = bulk (mirrors the `plan.choice` gauge).
+        (
+            "plan.choice".into(),
+            match executed {
+                PlanChoice::Incremental => 0.0,
+                PlanChoice::Bulk => 1.0,
+            },
+        ),
+        ("plan.est_incremental".into(), plan.est_incremental),
+        ("plan.est_bulk".into(), plan.est_bulk),
     ];
     report.counters = vec![
         ("pairs_produced".into(), produced),
@@ -307,9 +366,19 @@ fn run_report(args: &Args) -> Result<(), String> {
         ("node_accesses".into(), stats.node_accesses),
         ("node_io".into(), stats.node_io),
     ];
-    // Registry-side counters from pass 1 (expansions, results, ...).
+    // Registry-side counters from pass 1 (expansions, results, and — when
+    // the bulk path ran — bulk.cells / bulk.cell_pairs_swept /
+    // bulk.pairs_deduped plus the plan.* choice counters).
     for (name, value) in ctx1.registry.snapshot().counters {
         report.counters.push((name, value));
+    }
+    if let Some(b) = bulk {
+        report
+            .counters
+            .push(("bulk.replicated1".into(), b.replicated1));
+        report
+            .counters
+            .push(("bulk.replicated2".into(), b.replicated2));
     }
     report.metrics = vec![
         ("seconds".into(), seconds),
@@ -336,7 +405,7 @@ fn run_report(args: &Args) -> Result<(), String> {
     let queue: Vec<f64> = report.queue_series.iter().map(|p| p.1 as f64).collect();
     let dists: Vec<f64> = report.distance_by_rank.iter().map(|p| p.1).collect();
     println!(
-        "run: {} (n={}, k={}, threads={})",
+        "run: {} (n={}, k={}, threads={}, plan={executed})",
         args.label, args.n, args.k, args.threads
     );
     println!(
@@ -367,7 +436,12 @@ fn run_report(args: &Args) -> Result<(), String> {
     Ok(())
 }
 
-fn run_check(path: &str, expect_drain: bool, expect_retries: bool) -> Result<(), String> {
+fn run_check(
+    path: &str,
+    expect_drain: bool,
+    expect_retries: bool,
+    expect_plan: Option<&str>,
+) -> Result<(), String> {
     let text = std::fs::read_to_string(path).map_err(|e| format!("read {path}: {e}"))?;
     let report = RunReport::from_json(&text).map_err(|e| format!("{path}: {e}"))?;
     report.validate().map_err(|e| format!("{path}: {e}"))?;
@@ -403,6 +477,41 @@ fn run_check(path: &str, expect_drain: bool, expect_retries: bool) -> Result<(),
             ));
         }
         println!("{path}: chaos ok (faults={faults}, retries={retries})");
+    }
+    if let Some(expected) = expect_plan {
+        // The planner gate: the report must record the expected execution
+        // path, both as the `plan.choice` workload entry and the per-path
+        // counter; a bulk run must additionally have partitioned and swept.
+        let choice = report
+            .workload
+            .iter()
+            .find(|(name, _)| name == "plan.choice")
+            .map(|(_, v)| *v)
+            .ok_or_else(|| format!("{path}: no plan.choice recorded"))?;
+        let got = if choice == 0.0 { "incremental" } else { "bulk" };
+        if got != expected {
+            return Err(format!("{path}: plan.choice is {got}, expected {expected}"));
+        }
+        let counter = |name: &str| -> u64 {
+            report
+                .counters
+                .iter()
+                .find(|(n, _)| n == name)
+                .map_or(0, |(_, v)| *v)
+        };
+        if counter(&format!("plan.{expected}")) == 0 {
+            return Err(format!("{path}: plan.{expected} counter not recorded"));
+        }
+        if expected == "bulk"
+            && (counter("bulk.cells") == 0 || counter("bulk.cell_pairs_swept") == 0)
+        {
+            return Err(format!(
+                "{path}: bulk run recorded no cells/sweeps (cells={}, swept={})",
+                counter("bulk.cells"),
+                counter("bulk.cell_pairs_swept")
+            ));
+        }
+        println!("{path}: plan ok ({expected})");
     }
     println!(
         "{path}: ok (schema {}, {} counters, {} queue points, {} rank points)",
@@ -499,7 +608,12 @@ fn run_overhead(args: &Args) -> Result<(), String> {
 fn main() -> ExitCode {
     let args = Args::parse();
     let result = if let Some(path) = &args.check {
-        run_check(path, args.expect_drain, args.expect_retries)
+        run_check(
+            path,
+            args.expect_drain,
+            args.expect_retries,
+            args.expect_plan.as_deref(),
+        )
     } else if args.overhead {
         run_overhead(&args)
     } else {

@@ -81,6 +81,11 @@ pub enum ExpansionPath {
     /// Per-entry scalar bound evaluations (the pre-kernel behaviour, kept
     /// for A/B comparisons).
     Scalar,
+    /// The batched kernels with their hottest column passes (MINDIST and
+    /// MAXDIST over the expansion/sweep windows) unrolled into explicit
+    /// fixed-width f64 lanes (`sdj_geom::LANE_WIDTH`). Element arithmetic is
+    /// unchanged, so result streams are bit-identical to [`Self::Batched`].
+    Lanes,
 }
 
 /// Full configuration of an incremental distance join.

@@ -42,6 +42,43 @@ use crate::semi::{SeenSet, SemiConfig, SemiState};
 use crate::stats::JoinStats;
 use crate::view::{NodeView, ViewCache, VIEW_CACHE_CAP};
 
+/// Routes a MINDIST column pass by expansion path: `lanes` selects the
+/// explicit fixed-width lane kernel ([`ExpansionPath::Lanes`]), otherwise the
+/// plain batched kernel runs. Both produce identical bits, so every caller
+/// (expansion, sweep windows, the bulk executor) is free to A/B them.
+#[inline]
+pub(crate) fn mindist_keys_into<const D: usize>(
+    soa: &SoaRects<D>,
+    lanes: bool,
+    keys: KeySpace,
+    q: &Rect<D>,
+    range: std::ops::Range<usize>,
+    out: &mut Vec<f64>,
+) {
+    if lanes {
+        soa.mindist_keys_lanes(keys, q, range, out);
+    } else {
+        soa.mindist_keys(keys, q, range, out);
+    }
+}
+
+/// [`mindist_keys_into`] for the MAXDIST column pass.
+#[inline]
+pub(crate) fn maxdist_keys_into<const D: usize>(
+    soa: &SoaRects<D>,
+    lanes: bool,
+    keys: KeySpace,
+    q: &Rect<D>,
+    range: std::ops::Range<usize>,
+    out: &mut Vec<f64>,
+) {
+    if lanes {
+        soa.maxdist_keys_lanes(keys, q, range, out);
+    } else {
+        soa.maxdist_keys(keys, q, range, out);
+    }
+}
+
 /// One result of a distance join: a pair of objects and their distance.
 #[derive(Clone, Copy, Debug, PartialEq)]
 pub struct ResultPair {
@@ -564,6 +601,12 @@ where
 
     /// The tightest known maximum key (query bound, estimator, and — for
     /// ascending runs — the cross-worker shared bound), in the key domain.
+    /// True when the lane-unrolled column kernels are selected
+    /// ([`ExpansionPath::Lanes`]).
+    fn lanes(&self) -> bool {
+        matches!(self.config.expansion, ExpansionPath::Lanes)
+    }
+
     fn effective_max_key(&self) -> f64 {
         let mut max = match &self.estimator {
             Some(est) => self.max_key.min(est.current_dmax()),
@@ -1010,7 +1053,9 @@ where
     /// `first_side`, pairing its entries with the other item.
     fn expand_one(&mut self, pair: &Pair<D>, first_side: bool) -> sdj_storage::Result<()> {
         match self.config.expansion {
-            ExpansionPath::Batched => self.expand_one_batched(pair, first_side),
+            ExpansionPath::Batched | ExpansionPath::Lanes => {
+                self.expand_one_batched(pair, first_side)
+            }
             ExpansionPath::Scalar => self.expand_one_scalar(pair, first_side),
         }
     }
@@ -1051,10 +1096,10 @@ where
             };
             obs.on_expand(side, n as u32);
         }
+        let lanes = self.lanes();
         let mut minds = std::mem::take(&mut self.scratch_keys);
         minds.clear();
-        view.rects
-            .mindist_keys(keys, other.rect(), 0..n, &mut minds);
+        mindist_keys_into(&view.rects, lanes, keys, other.rect(), 0..n, &mut minds);
         self.stats.distance_calcs += n as u64;
 
         if first_side {
@@ -1274,7 +1319,7 @@ where
     /// distance range.
     fn expand_both(&mut self, pair: &Pair<D>) -> sdj_storage::Result<()> {
         match self.config.expansion {
-            ExpansionPath::Batched => self.expand_both_batched(pair),
+            ExpansionPath::Batched | ExpansionPath::Lanes => self.expand_both_batched(pair),
             ExpansionPath::Scalar => self.expand_both_scalar(pair),
         }
     }
@@ -1305,6 +1350,7 @@ where
             obs.on_expand(Side::Both, (view1.rects.len() + view2.rects.len()) as u32);
         }
         let keys = self.keys;
+        let lanes = self.lanes();
         let eff_max = if self.ascending() {
             self.effective_max_key()
         } else {
@@ -1326,11 +1372,11 @@ where
         let r2 = pair.item2.rect();
         let n1 = view1.rects.len();
         minds.clear();
-        view1.rects.mindist_keys(keys, r2, 0..n1, &mut minds);
+        mindist_keys_into(&view1.rects, lanes, keys, r2, 0..n1, &mut minds);
         self.stats.distance_calcs += n1 as u64;
         if min_key > 0.0 {
             maxds.clear();
-            view1.rects.maxdist_keys(keys, r2, 0..n1, &mut maxds);
+            maxdist_keys_into(&view1.rects, lanes, keys, r2, 0..n1, &mut maxds);
             self.stats.distance_calcs += n1 as u64;
         }
         entries1.clear();
@@ -1360,11 +1406,11 @@ where
         let r1 = pair.item1.rect();
         let n2 = view2.rects.len();
         minds.clear();
-        view2.rects.mindist_keys(keys, r1, 0..n2, &mut minds);
+        mindist_keys_into(&view2.rects, lanes, keys, r1, 0..n2, &mut minds);
         self.stats.distance_calcs += n2 as u64;
         if min_key > 0.0 {
             maxds.clear();
-            view2.rects.maxdist_keys(keys, r1, 0..n2, &mut maxds);
+            maxdist_keys_into(&view2.rects, lanes, keys, r1, 0..n2, &mut maxds);
             self.stats.distance_calcs += n2 as u64;
         }
         entries2.clear();
@@ -1428,7 +1474,7 @@ where
                 continue;
             }
             minds.clear();
-            soa2.mindist_keys(keys, e1.rect(), start..end, &mut minds);
+            mindist_keys_into(&soa2, lanes, keys, e1.rect(), start..end, &mut minds);
             self.stats.distance_calcs += (end - start) as u64;
             let c1 = Self::child_item(e1);
             for (e2, &mind) in entries2[start..end].iter().zip(&minds) {

@@ -56,6 +56,7 @@
 
 pub mod apps;
 mod bound;
+pub mod bulk;
 mod config;
 mod estimate;
 pub mod index;
@@ -65,12 +66,14 @@ pub mod nn;
 mod obs;
 mod oracle;
 mod pair;
+pub mod plan;
 mod queue;
 mod semi;
 mod stats;
 mod view;
 
 pub use bound::SharedDistanceBound;
+pub use bulk::{BulkConfig, BulkDistanceJoin, BulkHit, BulkStats, CellScratch, CellTally};
 pub use config::{
     EstimationBound, ExpansionPath, JoinConfig, KeyDomain, QueueBackend, ResultOrder, TiePolicy,
     TraversalPolicy,
@@ -83,6 +86,7 @@ pub use nn::{nearest_neighbors, IndexNearestNeighbors, IndexNeighbor};
 pub use obs::JoinObs;
 pub use oracle::{DistanceOracle, MbrOracle, SliceOracle};
 pub use pair::{Item, ItemId, Pair, PairKey};
+pub use plan::{plan, plan_for_trees, Plan, PlanChoice, PlanInputs};
 pub use queue::JoinQueue;
 pub use semi::{DmaxStrategy, SeenSet, SemiConfig, SemiFilter};
 pub use stats::JoinStats;

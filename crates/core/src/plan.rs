@@ -1,0 +1,288 @@
+//! Cost-based execution-path planner: incremental priority-queue join vs
+//! bulk partition/plane-sweep join.
+//!
+//! The two executors answer the same query with opposite cost shapes. The
+//! incremental engine ([`crate::DistanceJoin`]) pays a priority-queue
+//! `log`-factor per produced pair but touches only the index regions that
+//! can contribute to the first `K` results — unbeatable when `K` is small
+//! relative to the result set. The bulk path ([`crate::BulkDistanceJoin`])
+//! reads both trees once and sweeps grid cells with near-linear per-pair
+//! cost, but always materialises *every* qualifying pair — unbeatable when
+//! the consumer drains the result (a full within-range join, or `K` near
+//! the result count).
+//!
+//! The planner estimates both costs from quantities that are cheap to read
+//! before execution — input cardinalities, the joint bounding box, the
+//! `[Dmin, Dmax]` restriction, and `K` — and picks the smaller. The units
+//! are abstract "work units" (roughly: one distance evaluation); the
+//! absolute values are meaningless, only the comparison matters. The
+//! crossover the model predicts is measured empirically by the
+//! `bench_planner` binary (see `BENCH_planner.json`), and [`PlanChoice`] is
+//! surfaced in run reports so a misprediction is visible, and overridable
+//! (`--force-plan` in `sdj-report`).
+
+use crate::config::JoinConfig;
+use crate::index::SpatialIndex;
+
+/// Which execution path the planner selected (or was forced to).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum PlanChoice {
+    /// The incremental priority-queue join.
+    Incremental,
+    /// The bulk partition/plane-sweep join.
+    Bulk,
+}
+
+impl PlanChoice {
+    /// Stable lowercase name, used in reports and counters.
+    #[must_use]
+    pub fn as_str(self) -> &'static str {
+        match self {
+            PlanChoice::Incremental => "incremental",
+            PlanChoice::Bulk => "bulk",
+        }
+    }
+}
+
+impl std::fmt::Display for PlanChoice {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+/// The planner's inputs: statistics of both trees plus the query knobs the
+/// cost model reads. Build one with [`PlanInputs::from_trees`] or by hand
+/// (the planner unit tests pin decisions on hand-built stats).
+#[derive(Clone, Copy, Debug)]
+pub struct PlanInputs<const D: usize> {
+    /// Object count of the first relation.
+    pub n1: usize,
+    /// Object count of the second relation.
+    pub n2: usize,
+    /// Extent of the joint bounding box per axis (non-negative; `0.0` for
+    /// degenerate axes).
+    pub extent: [f64; D],
+    /// `STOP AFTER` bound — `None` means the consumer drains the result.
+    pub max_pairs: Option<u64>,
+    /// Lower distance restriction (`Dmin`).
+    pub min_distance: f64,
+    /// Upper distance restriction (`Dmax`; may be infinite).
+    pub max_distance: f64,
+}
+
+impl<const D: usize> PlanInputs<D> {
+    /// Reads the statistics off two spatial indexes and a join config. Uses
+    /// only O(1) index metadata (lengths and root regions) — no I/O beyond
+    /// what the indexes cache.
+    pub fn from_trees<I1, I2>(tree1: &I1, tree2: &I2, config: &JoinConfig) -> Self
+    where
+        I1: SpatialIndex<D> + ?Sized,
+        I2: SpatialIndex<D> + ?Sized,
+    {
+        let bbox = match (tree1.root_region(), tree2.root_region()) {
+            (Ok(r1), Ok(r2)) => Some(r1.union(&r2)),
+            (Ok(r), _) | (_, Ok(r)) => Some(r),
+            _ => None,
+        };
+        let extent = match bbox {
+            Some(b) => std::array::from_fn(|a| (b.hi()[a] - b.lo()[a]).max(0.0)),
+            None => [0.0; D],
+        };
+        Self {
+            n1: tree1.len(),
+            n2: tree2.len(),
+            extent,
+            max_pairs: config.max_pairs,
+            min_distance: config.min_distance,
+            max_distance: config.max_distance,
+        }
+    }
+}
+
+/// The planner's verdict: the chosen path plus the estimates behind it, so
+/// reports can show *why* a path was picked.
+#[derive(Clone, Copy, Debug)]
+pub struct Plan {
+    /// The cheaper path under the cost model.
+    pub choice: PlanChoice,
+    /// Estimated work units of the incremental path.
+    pub est_incremental: f64,
+    /// Estimated work units of the bulk path.
+    pub est_bulk: f64,
+    /// Estimated qualifying pairs under the `[Dmin, Dmax]` restriction
+    /// (uniformity assumption).
+    pub est_pairs: f64,
+}
+
+/// Fixed setup charge of the incremental path (queue plumbing, initial node
+/// descents) in work units.
+const INCREMENTAL_SETUP: f64 = 1_000.0;
+/// Work units charged per produced pair per `log2(n)` queue level: each
+/// result costs queue pushes/pops over node and pair entries whose heap
+/// depth scales with the input size.
+const INCREMENTAL_PER_PAIR_LEVEL: f64 = 16.0;
+/// Fixed setup charge of the bulk path: both trees must be fully harvested
+/// and partitioned before the first result can be emitted, whereas the
+/// incremental path can stop after its first descent.
+const BULK_SETUP: f64 = 1_500.0;
+/// Work units the bulk path pays per harvested entry (leaf read, grid
+/// replication, sort amortisation).
+const BULK_PER_ENTRY: f64 = 4.0;
+/// Work units the bulk path pays per candidate pair inside sweep windows
+/// (kernel evaluation plus dedup/range filtering).
+const BULK_PER_PAIR: f64 = 2.0;
+
+/// Chooses the execution path for `inputs` under the cost model above.
+#[must_use]
+pub fn plan<const D: usize>(inputs: &PlanInputs<D>) -> Plan {
+    let n1 = inputs.n1 as f64;
+    let n2 = inputs.n2 as f64;
+
+    // Result-cardinality estimate under a uniformity assumption: along each
+    // axis a pair within distance `d` keeps its centre gap within `d`, a
+    // window of width `2d` out of the axis extent. `Dmax = ∞` (or a
+    // degenerate axis) caps the axis selectivity at 1, i.e. the full cross
+    // product. `Dmin` only *removes* pairs and mostly near zero distance,
+    // where few pairs live; the model ignores it for cardinality (it still
+    // reaches the executors as a filter).
+    let mut selectivity = 1.0f64;
+    for a in 0..D {
+        let ext = inputs.extent[a];
+        let f = if inputs.max_distance.is_finite() && ext > 0.0 {
+            (2.0 * inputs.max_distance / ext).min(1.0)
+        } else {
+            1.0
+        };
+        selectivity *= f;
+    }
+    let est_pairs = n1 * n2 * selectivity;
+
+    // How many pairs the incremental consumer will actually pull.
+    let k_eff = match inputs.max_pairs {
+        Some(k) => (k as f64).min(est_pairs),
+        None => est_pairs,
+    };
+    let n_max = n1.max(n2).max(2.0);
+    let est_incremental = INCREMENTAL_SETUP + k_eff * INCREMENTAL_PER_PAIR_LEVEL * n_max.log2();
+    let est_bulk = BULK_SETUP + (n1 + n2) * BULK_PER_ENTRY + est_pairs * BULK_PER_PAIR;
+
+    let choice = if est_incremental <= est_bulk {
+        PlanChoice::Incremental
+    } else {
+        PlanChoice::Bulk
+    };
+    Plan {
+        choice,
+        est_incremental,
+        est_bulk,
+        est_pairs,
+    }
+}
+
+/// Convenience: [`PlanInputs::from_trees`] followed by [`plan`].
+pub fn plan_for_trees<const D: usize, I1, I2>(tree1: &I1, tree2: &I2, config: &JoinConfig) -> Plan
+where
+    I1: SpatialIndex<D> + ?Sized,
+    I2: SpatialIndex<D> + ?Sized,
+{
+    plan(&PlanInputs::from_trees(tree1, tree2, config))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// 100k × 100k uniform points on the unit box, `Dmax = 0.001`.
+    fn uniform_inputs() -> PlanInputs<2> {
+        PlanInputs {
+            n1: 100_000,
+            n2: 100_000,
+            extent: [1.0, 1.0],
+            max_pairs: None,
+            min_distance: 0.0,
+            max_distance: 0.001,
+        }
+    }
+
+    #[test]
+    fn tiny_k_prefers_incremental() {
+        let inputs = PlanInputs {
+            max_pairs: Some(10),
+            max_distance: f64::INFINITY,
+            ..uniform_inputs()
+        };
+        let p = plan(&inputs);
+        assert_eq!(p.choice, PlanChoice::Incremental);
+        assert!(p.est_incremental < p.est_bulk);
+    }
+
+    #[test]
+    fn full_drain_prefers_bulk() {
+        // No STOP AFTER: the consumer drains every within-range pair — the
+        // incremental path would pay the queue log-factor on all of them.
+        let p = plan(&uniform_inputs());
+        assert_eq!(p.choice, PlanChoice::Bulk);
+        // ~100k*100k*(0.002)^2 = 40k pairs estimated.
+        assert!(p.est_pairs > 10_000.0 && p.est_pairs < 100_000.0);
+    }
+
+    #[test]
+    fn wide_range_small_inputs_prefer_bulk() {
+        let inputs = PlanInputs {
+            n1: 2_000,
+            n2: 2_000,
+            extent: [1.0, 1.0],
+            max_pairs: None,
+            min_distance: 0.0,
+            max_distance: f64::INFINITY,
+        };
+        let p = plan(&inputs);
+        assert_eq!(p.choice, PlanChoice::Bulk);
+        // Unbounded Dmax means the full cross product qualifies.
+        assert!((p.est_pairs - 4_000_000.0).abs() < 1.0);
+    }
+
+    #[test]
+    fn large_k_on_large_inputs_crosses_to_bulk() {
+        // K = 100k of an estimated ~40k-pair result: k_eff saturates at the
+        // drain, so the decision matches the full-drain case.
+        let inputs = PlanInputs {
+            max_pairs: Some(100_000),
+            ..uniform_inputs()
+        };
+        assert_eq!(plan(&inputs).choice, PlanChoice::Bulk);
+    }
+
+    #[test]
+    fn dmin_only_restriction_is_a_drain() {
+        // A pure Dmin restriction removes almost nothing from the estimate:
+        // still a full-drain bulk pick.
+        let inputs = PlanInputs {
+            min_distance: 0.5,
+            max_distance: f64::INFINITY,
+            ..uniform_inputs()
+        };
+        assert_eq!(plan(&inputs).choice, PlanChoice::Bulk);
+    }
+
+    #[test]
+    fn empty_inputs_prefer_incremental() {
+        let inputs = PlanInputs::<2> {
+            n1: 0,
+            n2: 0,
+            extent: [0.0, 0.0],
+            max_pairs: None,
+            min_distance: 0.0,
+            max_distance: f64::INFINITY,
+        };
+        // Nothing to do either way; the tie-break keeps the streaming path.
+        assert_eq!(plan(&inputs).choice, PlanChoice::Incremental);
+    }
+
+    #[test]
+    fn choice_names_are_stable() {
+        assert_eq!(PlanChoice::Incremental.as_str(), "incremental");
+        assert_eq!(PlanChoice::Bulk.as_str(), "bulk");
+        assert_eq!(PlanChoice::Bulk.to_string(), "bulk");
+    }
+}

@@ -152,8 +152,10 @@ proptest! {
         let (reference, _) = stream(&case, KeyDomain::Squared, ExpansionPath::Batched);
         for (domain, path) in [
             (KeyDomain::Squared, ExpansionPath::Scalar),
+            (KeyDomain::Squared, ExpansionPath::Lanes),
             (KeyDomain::Plain, ExpansionPath::Batched),
             (KeyDomain::Plain, ExpansionPath::Scalar),
+            (KeyDomain::Plain, ExpansionPath::Lanes),
         ] {
             let (got, _) = stream(&case, domain, path);
             prop_assert_eq!(

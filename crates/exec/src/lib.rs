@@ -36,6 +36,10 @@
 //! multiset, in a valid distance order. Only the relative order of
 //! equal-distance results may differ from a serial run's tie order.
 
+mod bulk;
+
+pub use bulk::{run_planned, BulkRunOutput, ForcedPlan, ParallelBulkJoin, PlannedRun};
+
 use std::sync::mpsc::Receiver;
 use std::sync::{Arc, Mutex};
 

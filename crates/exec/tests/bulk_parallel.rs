@@ -1,0 +1,210 @@
+//! The parallel bulk driver's invariants:
+//!
+//! * **Thread-count invariance**: per-cell runs are deterministic and the
+//!   driver reassembles them in cell order (unordered) or by a total-order
+//!   merge (ordered), so the output is *identical* — bit for bit, including
+//!   tie order — for any worker count.
+//! * **Equivalence**: the parallel bulk output matches the serial
+//!   incremental engine's result multiset, and the ordered distance
+//!   sequence bitwise.
+//! * **Planned runs**: `run_planned` executes the forced path, both paths
+//!   agree, and the obs wiring records `plan_chosen` / `plan.*` / `bulk.*`.
+
+use std::sync::Arc;
+
+use sdj_core::bulk::BulkConfig;
+use sdj_core::{DistanceJoin, JoinConfig, PlanChoice, ResultOrder};
+use sdj_exec::{run_planned, ParallelBulkJoin, ParallelConfig};
+use sdj_geom::{Point, Rect};
+use sdj_obs::{ObsContext, RingRecorder};
+use sdj_rtree::{ObjectId, RTree, RTreeConfig};
+
+fn tree_of(points: &[(f64, f64)]) -> RTree<2> {
+    let mut t = RTree::new(RTreeConfig::small(6));
+    for (i, &(x, y)) in points.iter().enumerate() {
+        t.insert(ObjectId(i as u64), Point::xy(x, y).to_rect())
+            .unwrap();
+    }
+    t
+}
+
+fn tree_of_boxes(n: usize, half: f64) -> RTree<2> {
+    let mut t = RTree::new(RTreeConfig::small(6));
+    for i in 0..n {
+        let (x, y) = ((i % 16) as f64, (i / 16) as f64);
+        let r = Rect::new([x - half, y - half], [x + half, y + half]);
+        t.insert(ObjectId(i as u64), r).unwrap();
+    }
+    t
+}
+
+fn grid_points(n: usize) -> Vec<(f64, f64)> {
+    (0..n).map(|i| ((i % 16) as f64, (i / 16) as f64)).collect()
+}
+
+fn key(r: &sdj_core::ResultPair) -> (u64, u64, u64) {
+    (r.distance.to_bits(), r.oid1.0, r.oid2.0)
+}
+
+#[test]
+fn ordered_output_is_invariant_across_thread_counts() {
+    let t1 = tree_of_boxes(192, 0.4);
+    let t2 = tree_of(&grid_points(200));
+    let config = JoinConfig::default().with_range(0.2, 2.5);
+    let reference =
+        ParallelBulkJoin::new(&t1, &t2, config, ParallelConfig::with_threads(1)).collect();
+    assert!(reference.error.is_none());
+    assert!(!reference.value.is_empty());
+    for threads in [2, 3, 8] {
+        let run = ParallelBulkJoin::new(&t1, &t2, config, ParallelConfig::with_threads(threads))
+            .collect();
+        assert!(run.error.is_none());
+        let got: Vec<_> = run.value.iter().map(key).collect();
+        let want: Vec<_> = reference.value.iter().map(key).collect();
+        assert_eq!(got, want, "threads={threads} diverged (ordered)");
+        assert_eq!(run.stats.distance_calcs, reference.stats.distance_calcs);
+        assert_eq!(
+            run.bulk, reference.bulk,
+            "threads={threads} counters diverged"
+        );
+    }
+}
+
+#[test]
+fn unordered_output_is_invariant_across_thread_counts() {
+    let t1 = tree_of_boxes(192, 0.4);
+    let t2 = tree_of(&grid_points(200));
+    let config = JoinConfig::default().with_range(0.0, 1.5);
+    let collect_unordered = |threads: usize| {
+        let mut out = Vec::new();
+        let run = ParallelBulkJoin::new(&t1, &t2, config, ParallelConfig::with_threads(threads))
+            .run_unordered(|stream| {
+                out.extend(stream.map(|r| key(&r)));
+            });
+        assert!(run.error.is_none());
+        out
+    };
+    let reference = collect_unordered(1);
+    assert!(!reference.is_empty());
+    for threads in [2, 5] {
+        assert_eq!(
+            collect_unordered(threads),
+            reference,
+            "threads={threads} diverged (unordered cell order)"
+        );
+    }
+}
+
+#[test]
+fn parallel_bulk_matches_serial_incremental() {
+    let t1 = tree_of_boxes(160, 0.45);
+    let t2 = tree_of(&grid_points(180));
+    for descending in [false, true] {
+        let mut config = JoinConfig::default().with_range(0.1, 3.0);
+        if descending {
+            config.order = ResultOrder::Descending;
+        }
+        let serial: Vec<_> = DistanceJoin::new(&t1, &t2, config).collect();
+        let run =
+            ParallelBulkJoin::new(&t1, &t2, config, ParallelConfig::with_threads(4)).collect();
+        assert!(run.error.is_none());
+        assert_eq!(run.value.len(), serial.len());
+        for (a, b) in serial.iter().zip(&run.value) {
+            assert_eq!(
+                a.distance.to_bits(),
+                b.distance.to_bits(),
+                "distance sequence diverged (descending={descending})"
+            );
+        }
+        let mut got: Vec<_> = run.value.iter().map(key).collect();
+        let mut want: Vec<_> = serial.iter().map(key).collect();
+        got.sort_unstable();
+        want.sort_unstable();
+        assert_eq!(got, want);
+    }
+}
+
+#[test]
+fn max_pairs_truncation_matches_incremental() {
+    let t1 = tree_of(&grid_points(150));
+    let t2 = tree_of(&grid_points(150));
+    let config = JoinConfig::default().with_max_pairs(25);
+    let serial: Vec<_> = DistanceJoin::new(&t1, &t2, config).collect();
+    let run = ParallelBulkJoin::new(&t1, &t2, config, ParallelConfig::with_threads(3)).collect();
+    assert!(run.error.is_none());
+    assert_eq!(run.value.len(), 25);
+    for (a, b) in serial.iter().zip(&run.value) {
+        assert_eq!(a.distance.to_bits(), b.distance.to_bits());
+    }
+}
+
+#[test]
+fn planned_runs_agree_and_record_the_choice() {
+    let t1 = tree_of(&grid_points(150));
+    let t2 = tree_of(&grid_points(150));
+    let config = JoinConfig::default().with_range(0.0, 2.0);
+    let parallel = ParallelConfig::with_threads(2);
+
+    let mut outputs = Vec::new();
+    for force in [PlanChoice::Incremental, PlanChoice::Bulk] {
+        let sink = Arc::new(RingRecorder::new(64));
+        let ctx = ObsContext::new(Arc::clone(&sink) as Arc<dyn sdj_obs::EventSink>);
+        let run = run_planned(
+            &t1,
+            &t2,
+            config,
+            parallel,
+            BulkConfig::default(),
+            Some(force),
+            Some(ctx.clone()),
+        );
+        assert!(run.error.is_none());
+        assert_eq!(run.executed, force);
+        assert!(run.forced);
+        assert_eq!(sink.counts().plan_chosen, 1, "plan_chosen event missing");
+        let snapshot = ctx.registry.snapshot();
+        let counter = |name: &str| snapshot.counter(name).unwrap_or(0);
+        match force {
+            PlanChoice::Incremental => {
+                assert_eq!(counter("plan.incremental"), 1);
+                assert!(run.bulk.is_none());
+                assert_eq!(snapshot.gauge("plan.choice").map(|(v, _)| v), Some(0));
+            }
+            PlanChoice::Bulk => {
+                assert_eq!(counter("plan.bulk"), 1);
+                assert!(counter("bulk.cells") > 0);
+                assert!(counter("bulk.cell_pairs_swept") > 0);
+                assert_eq!(snapshot.gauge("plan.choice").map(|(v, _)| v), Some(1));
+                let bulk = run.bulk.expect("bulk stats present");
+                assert_eq!(bulk.cells, counter("bulk.cells"));
+            }
+        }
+        let mut sorted: Vec<_> = run.results.iter().map(key).collect();
+        sorted.sort_unstable();
+        outputs.push(sorted);
+    }
+    assert_eq!(
+        outputs[0], outputs[1],
+        "paths disagree on the result multiset"
+    );
+}
+
+#[test]
+fn auto_plan_follows_the_cost_model() {
+    let t1 = tree_of(&grid_points(150));
+    let t2 = tree_of(&grid_points(150));
+    // Tiny K on an unbounded range: squarely incremental territory.
+    let run = run_planned(
+        &t1,
+        &t2,
+        JoinConfig::default().with_max_pairs(5),
+        ParallelConfig::with_threads(1),
+        BulkConfig::default(),
+        None,
+        None,
+    );
+    assert!(!run.forced);
+    assert_eq!(run.executed, run.plan.choice);
+    assert_eq!(run.executed, PlanChoice::Incremental);
+    assert_eq!(run.results.len(), 5);
+}

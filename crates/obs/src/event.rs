@@ -108,6 +108,34 @@ impl Tier {
     }
 }
 
+/// An execution path the cost-based planner can select.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum PlanPath {
+    /// The incremental priority-queue join.
+    Incremental,
+    /// The bulk partition/plane-sweep join.
+    Bulk,
+}
+
+impl PlanPath {
+    /// Stable wire name.
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            PlanPath::Incremental => "incremental",
+            PlanPath::Bulk => "bulk",
+        }
+    }
+
+    fn parse(s: &str) -> Option<Self> {
+        Some(match s {
+            "incremental" => PlanPath::Incremental,
+            "bulk" => PlanPath::Bulk,
+            _ => return None,
+        })
+    }
+}
+
 /// One instrumentation event. All payloads are `Copy`.
 #[derive(Clone, Copy, Debug, PartialEq)]
 pub enum Event {
@@ -185,6 +213,17 @@ pub enum Event {
         /// Number of failed attempts before the success.
         retries: u32,
     },
+    /// The cost-based planner selected an execution path for a run.
+    PlanChosen {
+        /// The path that will execute.
+        path: PlanPath,
+        /// True when an override forced the path instead of the cost model.
+        forced: bool,
+        /// The model's incremental-path cost estimate (work units).
+        est_incremental: f64,
+        /// The model's bulk-path cost estimate (work units).
+        est_bulk: f64,
+    },
 }
 
 /// Formats an `f64` for NDJSON: finite values as shortest-roundtrip Rust
@@ -234,6 +273,7 @@ impl Event {
             Event::WorkerFinished { .. } => "worker_finished",
             Event::FaultInjected { .. } => "fault_injected",
             Event::RetrySucceeded { .. } => "retry_succeeded",
+            Event::PlanChosen { .. } => "plan_chosen",
         }
     }
 
@@ -303,6 +343,21 @@ impl Event {
                 out.push_str(",\"retries\":");
                 out.push_str(&retries.to_string());
             }
+            Event::PlanChosen {
+                path,
+                forced,
+                est_incremental,
+                est_bulk,
+            } => {
+                out.push_str(",\"path\":\"");
+                out.push_str(path.name());
+                out.push_str("\",\"forced\":");
+                out.push_str(if forced { "true" } else { "false" });
+                out.push_str(",\"est_incremental\":");
+                fmt_f64(out, est_incremental);
+                out.push_str(",\"est_bulk\":");
+                fmt_f64(out, est_bulk);
+            }
         }
         out.push('}');
     }
@@ -364,6 +419,12 @@ impl Event {
             },
             "retry_succeeded" => Event::RetrySucceeded {
                 retries: int("retries")? as u32,
+            },
+            "plan_chosen" => Event::PlanChosen {
+                path: PlanPath::parse(v.get("path")?.as_str()?)?,
+                forced: v.get("forced")?.as_bool()?,
+                est_incremental: parse_f64(v.get("est_incremental")?)?,
+                est_bulk: parse_f64(v.get("est_bulk")?)?,
             },
             _ => return None,
         })
@@ -433,6 +494,18 @@ mod tests {
                 transient: true,
             },
             Event::RetrySucceeded { retries: 3 },
+            Event::PlanChosen {
+                path: PlanPath::Bulk,
+                forced: false,
+                est_incremental: 1.0e6,
+                est_bulk: 4.5e5,
+            },
+            Event::PlanChosen {
+                path: PlanPath::Incremental,
+                forced: true,
+                est_incremental: 2_000.0,
+                est_bulk: f64::INFINITY,
+            },
         ]
     }
 

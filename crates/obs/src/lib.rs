@@ -31,7 +31,7 @@ pub mod metrics;
 pub mod report;
 pub mod sink;
 
-pub use event::{Event, PairKind, Side, Tier};
+pub use event::{Event, PairKind, PlanPath, Side, Tier};
 pub use json::JsonValue;
 pub use metrics::{Counter, Gauge, Histogram, HistogramSummary, Registry, Snapshot};
 pub use report::{sparkline, write_atomic, HostInfo, RunRecorder, RunReport};

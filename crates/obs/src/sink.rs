@@ -56,6 +56,8 @@ pub struct EventCounts {
     pub fault_injected: u64,
     /// `RetrySucceeded` events seen.
     pub retry_succeeded: u64,
+    /// `PlanChosen` events seen.
+    pub plan_chosen: u64,
     /// Elements that migrated into the disk tier (spills).
     pub elems_to_disk: u64,
     /// Elements that migrated out of the disk tier (bucket reloads).
@@ -95,6 +97,7 @@ impl EventCounts {
             Event::WorkerFinished { .. } => self.worker_finished += 1,
             Event::FaultInjected { .. } => self.fault_injected += 1,
             Event::RetrySucceeded { .. } => self.retry_succeeded += 1,
+            Event::PlanChosen { .. } => self.plan_chosen += 1,
         }
     }
 
@@ -111,6 +114,7 @@ impl EventCounts {
             + self.worker_finished
             + self.fault_injected
             + self.retry_succeeded
+            + self.plan_chosen
     }
 }
 
