@@ -84,6 +84,19 @@ echo "==> observability smoke gate"
 ./target/release/sdj-report --n 4000 --k 800 --threads 2 \
     --out results/RunReport_ci.json --events results/RunReport_ci.ndjson
 ./target/release/sdj-report --check results/RunReport_ci.json --expect-drain
+
+echo "==> profiling gate"
+# An instrumented run must carry the EXPLAIN-ANALYZE profile: a non-empty
+# per-phase span table whose self-times conserve against the lane budget,
+# plus a well-formed planner calibration section. Profiling must be a pure
+# observer: streams stay bit-identical with spans off/sampled/always
+# (proptested), and the overhead gate runs both comparisons — bare vs
+# fully instrumented, and spans-off vs spans-on — under SDJ_OVERHEAD_PCT.
+cargo test -p sdj-core --offline -q --test profiling_invariance
+./target/release/sdj-report --n 20000 --k 5000 \
+    --out results/RunReport_profile.json --profile
+./target/release/sdj-report --check results/RunReport_profile.json \
+    --expect-drain --expect-profile
 ./target/release/sdj-report --overhead --n 20000 --k 10000
 
 echo "CI OK"

@@ -25,6 +25,12 @@ struct Sample {
     k: Option<u64>,
     dmax: f64,
     planned: PlanChoice,
+    est_incremental: f64,
+    est_bulk: f64,
+    /// Model-predicted incremental/bulk cost ratio (< 1 → incremental).
+    predicted_cost_ratio: f64,
+    /// Measured incremental/bulk wall-clock ratio at the same point.
+    actual_seconds_ratio: f64,
     incremental_seconds: f64,
     incremental_distance_calcs: u64,
     bulk_seconds: f64,
@@ -95,6 +101,10 @@ fn measure(
         k,
         dmax,
         planned,
+        est_incremental: inc.plan.est_incremental,
+        est_bulk: inc.plan.est_bulk,
+        predicted_cost_ratio: inc.plan.est_incremental / inc.plan.est_bulk.max(f64::MIN_POSITIVE),
+        actual_seconds_ratio: incremental_seconds / bulk_seconds.max(f64::MIN_POSITIVE),
         incremental_seconds,
         incremental_distance_calcs: inc.stats.distance_calcs,
         bulk_seconds,
@@ -156,7 +166,9 @@ fn main() {
         let k_json = s.k.map_or("null".into(), |k| k.to_string());
         rows.push_str(&format!(
             "    {{\"workload\": \"{}\", \"k\": {}, \"dmax\": {}, \"pairs\": {}, \
-             \"planned\": \"{}\", \"incremental_seconds\": {:.6}, \
+             \"planned\": \"{}\", \"est_incremental\": {:.1}, \"est_bulk\": {:.1}, \
+             \"predicted_cost_ratio\": {:.6}, \"actual_seconds_ratio\": {:.6}, \
+             \"incremental_seconds\": {:.6}, \
              \"incremental_distance_calcs\": {}, \"bulk_seconds\": {:.6}, \
              \"bulk_distance_calcs\": {}, \"bulk_cells_swept\": {}, \
              \"bulk_pairs_deduped\": {}, \"model_agrees_with_wall_clock\": {}}}",
@@ -165,6 +177,10 @@ fn main() {
             s.dmax,
             s.pairs,
             s.planned,
+            s.est_incremental,
+            s.est_bulk,
+            s.predicted_cost_ratio,
+            s.actual_seconds_ratio,
             s.incremental_seconds,
             s.incremental_distance_calcs,
             s.bulk_seconds,
@@ -179,16 +195,21 @@ fn main() {
         .filter(|s| s.model_agrees_with_wall_clock)
         .count();
     let host = sdj_obs::HostInfo::detect();
+    let mut cpu_model = String::new();
+    sdj_obs::json::escape_into(&mut cpu_model, &host.cpu_model);
     let json = format!(
-        "{{\n  \"schema_version\": 1,\n  \"benchmark\": \"incremental vs bulk crossover, \
+        "{{\n  \"schema_version\": 2,\n  \"benchmark\": \"incremental vs bulk crossover, \
          {n} x {n} points, uniform and clustered workloads, (K, Dmax) sweep\",\n  \
-         \"host\": {{\"nproc\": {}, \"build_profile\": \"{}\"}},\n  \
+         \"host\": {{\"nproc\": {}, \"cpu_model\": \"{}\", \"build_profile\": \"{}\"}},\n  \
          \"note\": \"1-CPU host: wall-clock compares the two serial paths honestly but shows \
          no parallel speedup; distance_calcs / cells swept / pairs deduped are the portable \
          counters. Both paths are run to completion at every point and must agree on the \
-         result count.\",\n  \"model_agreement\": \"{agree}/{total}\",\n  \
+         result count. predicted_cost_ratio is the planner model's incremental/bulk estimate \
+         (< 1 means it picks incremental); actual_seconds_ratio is the measured one.\",\n  \
+         \"model_agreement\": \"{agree}/{total}\",\n  \
          \"samples\": [\n{rows}\n  ]\n}}\n",
         host.nproc,
+        cpu_model,
         host.build_profile,
         total = samples.len(),
     );

@@ -29,7 +29,10 @@ use sdj_core::{BulkConfig, BulkStats, DistanceJoin, JoinConfig, JoinStats, Plan,
 use sdj_datagen::{uniform_points, unit_box};
 use sdj_exec::{run_planned, ParallelConfig};
 use sdj_geom::Point;
-use sdj_obs::{sparkline, EventSink, NdjsonWriter, ObsContext, RunRecorder, RunReport, TeeSink};
+use sdj_obs::{
+    sparkline, CalibrationSection, EventSink, NdjsonWriter, ObsContext, ProfileSection,
+    RunRecorder, RunReport, SpanMode, TeeSink,
+};
 use sdj_rtree::{ObjectId, RTree, RTreeConfig};
 use sdj_storage::{BufferObs, FaultConfig, FaultInjector};
 
@@ -43,7 +46,9 @@ struct Args {
     expect_drain: bool,
     expect_retries: bool,
     expect_plan: Option<String>,
+    expect_profile: bool,
     overhead: bool,
+    profile: bool,
     label: String,
     force_plan: Option<PlanChoice>,
 }
@@ -60,7 +65,9 @@ impl Args {
             expect_drain: false,
             expect_retries: false,
             expect_plan: None,
+            expect_profile: false,
             overhead: false,
+            profile: false,
             label: "uniform distance join".into(),
             force_plan: None,
         };
@@ -105,7 +112,9 @@ impl Args {
                     a.expect_plan = Some(take(&argv, i, "--expect-plan"));
                     i += 1;
                 }
+                "--expect-profile" => a.expect_profile = true,
                 "--overhead" => a.overhead = true,
+                "--profile" => a.profile = true,
                 "--label" => {
                     a.label = take(&argv, i, "--label");
                     i += 1;
@@ -120,8 +129,8 @@ impl Args {
                 }
                 other => panic!(
                     "unknown argument {other} (expected --n/--k/--threads/--out/--events/\
-                     --check/--expect-drain/--expect-retries/--expect-plan/--overhead/--label/\
-                     --force-plan)"
+                     --check/--expect-drain/--expect-retries/--expect-plan/--expect-profile/\
+                     --overhead/--profile/--label/--force-plan)"
                 ),
             }
             i += 1;
@@ -162,7 +171,9 @@ struct KPass {
     seconds: f64,
     plan: Plan,
     executed: PlanChoice,
+    forced: bool,
     bulk: Option<BulkStats>,
+    workers: usize,
 }
 
 /// Pass 1: the K closest pairs through the planner-selected (or forced)
@@ -200,7 +211,9 @@ fn run_k_pass(
         seconds,
         plan: run.plan,
         executed: run.executed,
+        forced: run.forced,
         bulk: run.bulk,
+        workers: run.workers_spawned,
     }
 }
 
@@ -312,7 +325,9 @@ fn run_report(args: &Args) -> Result<(), String> {
         seconds,
         plan,
         executed,
+        forced,
         bulk,
+        workers,
     } = pass1;
     if produced == 0 {
         return Err("pass 1 produced no results".into());
@@ -369,8 +384,9 @@ fn run_report(args: &Args) -> Result<(), String> {
     // Registry-side counters from pass 1 (expansions, results, and — when
     // the bulk path ran — bulk.cells / bulk.cell_pairs_swept /
     // bulk.pairs_deduped plus the plan.* choice counters).
-    for (name, value) in ctx1.registry.snapshot().counters {
-        report.counters.push((name, value));
+    let snap1 = ctx1.registry.snapshot();
+    for (name, value) in &snap1.counters {
+        report.counters.push((name.clone(), *value));
     }
     if let Some(b) = bulk {
         report
@@ -384,6 +400,39 @@ fn run_report(args: &Args) -> Result<(), String> {
         ("seconds".into(), seconds),
         ("pairs_per_sec".into(), produced as f64 / seconds.max(1e-12)),
     ];
+
+    // EXPLAIN-ANALYZE profile of pass 1. The self-time budget is one lane
+    // per spawned worker plus the main thread (whose Merge spans measure
+    // what the consumer waited for, overlapping the workers' own time).
+    let profile_threads = (workers + 1) as u64;
+    let profile = ProfileSection::from_snapshot(&snap1, seconds, profile_threads);
+    // Worker utilization: total busy time over the spawned workers' share
+    // of the wall clock (exec.worker_busy_ns spans thread start to stream
+    // end, so send-stalls count as busy — this measures imbalance, not CPU).
+    if workers > 0 {
+        if let Some(h) = snap1.histogram("exec.worker_busy_ns") {
+            let budget = seconds * 1e9 * workers as f64;
+            if budget > 0.0 && h.count > 0 {
+                report
+                    .metrics
+                    .push(("worker_utilization".into(), (h.sum / budget).min(1.0)));
+            }
+        }
+    }
+    report.profile = Some(profile);
+    report.calibration = Some(CalibrationSection {
+        choice: match executed {
+            PlanChoice::Incremental => "incremental".into(),
+            PlanChoice::Bulk => "bulk".into(),
+        },
+        forced,
+        est_incremental: plan.est_incremental,
+        est_bulk: plan.est_bulk,
+        est_pairs: plan.est_pairs,
+        predicted_ratio: plan.est_incremental / plan.est_bulk.max(f64::MIN_POSITIVE),
+        observed_seconds: seconds,
+        observed_pairs: produced,
+    });
     rank_rec.fill_report(&mut report);
     let mut drain_side = RunReport::default();
     queue_rec.fill_report(&mut drain_side);
@@ -423,6 +472,11 @@ fn run_report(args: &Args) -> Result<(), String> {
         report.events_recorded,
         args.out
     );
+    if args.profile {
+        if let Some(p) = &report.profile {
+            render_profile(p, &report);
+        }
+    }
     if let Some(w) = &ndjson {
         eprintln!(
             "# ndjson: {} lines, {} write errors",
@@ -436,11 +490,68 @@ fn run_report(args: &Args) -> Result<(), String> {
     Ok(())
 }
 
+/// Prints the per-phase EXPLAIN-ANALYZE table (the `--profile` flag).
+fn render_profile(p: &ProfileSection, report: &RunReport) {
+    let wall_ns = p.wall_seconds * 1e9;
+    println!();
+    println!(
+        "profile: wall {:.3}s, budget {} lane(s), attributed {:.1}% of wall \
+         ({:.1}% of budget)",
+        p.wall_seconds,
+        p.threads,
+        p.attributed_ns() / wall_ns.max(1e-9) * 100.0,
+        p.attributed_fraction() * 100.0
+    );
+    println!(
+        "{:<11} {:>12} {:>9} {:>12} {:>7} {:>9} {:>9} {:>9} {:>9} {:>11}",
+        "phase", "calls", "sampled", "est total", "% wall", "ns/call", "p50", "p95", "p99", "max"
+    );
+    for row in &p.phases {
+        println!(
+            "{:<11} {:>12} {:>9} {:>10.3}ms {:>6.1}% {:>9.0} {:>9.0} {:>9.0} {:>9.0} {:>11}",
+            row.phase,
+            row.calls,
+            row.sampled_calls,
+            row.est_total_ns / 1e6,
+            row.est_total_ns / wall_ns.max(1e-9) * 100.0,
+            row.ns_per_call(),
+            row.p50_ns,
+            row.p95_ns,
+            row.p99_ns,
+            row.max_ns,
+        );
+    }
+    if let Some((_, util)) = report
+        .metrics
+        .iter()
+        .find(|(name, _)| name == "worker_utilization")
+    {
+        println!(
+            "worker utilization: {:.1}% (busy / wall x workers)",
+            util * 100.0
+        );
+    }
+    if let Some(c) = &report.calibration {
+        println!(
+            "calibration: chose {}{}, predicted cost ratio {:.3} \
+             (incremental {:.0} vs bulk {:.0}), observed {:.3}s for {} pairs",
+            c.choice,
+            if c.forced { " [forced]" } else { "" },
+            c.predicted_ratio,
+            c.est_incremental,
+            c.est_bulk,
+            c.observed_seconds,
+            c.observed_pairs
+        );
+    }
+}
+
 fn run_check(
     path: &str,
     expect_drain: bool,
     expect_retries: bool,
     expect_plan: Option<&str>,
+    expect_profile: bool,
 ) -> Result<(), String> {
     let text = std::fs::read_to_string(path).map_err(|e| format!("read {path}: {e}"))?;
     let report = RunReport::from_json(&text).map_err(|e| format!("{path}: {e}"))?;
@@ -513,6 +624,56 @@ fn run_check(
         }
         println!("{path}: plan ok ({expected})");
     }
+    if expect_profile {
+        // The profiling gate: the report must carry a populated phase table
+        // whose self-times conserve (structural validity — known phases,
+        // sane counts — is already enforced by validate() above), plus a
+        // well-formed calibration record.
+        let p = report
+            .profile
+            .as_ref()
+            .ok_or_else(|| format!("{path}: no profile section recorded"))?;
+        if p.phases.is_empty() {
+            return Err(format!("{path}: profile has no phase rows"));
+        }
+        if !p.phases.iter().any(|r| r.sampled_calls > 0) {
+            return Err(format!("{path}: no phase has a sampled self-time"));
+        }
+        // 25% slack over the wall x lanes budget absorbs stride-sampling
+        // estimator error; a profile past that double-counts somewhere.
+        if !p.conserves(0.25) {
+            return Err(format!(
+                "{path}: phase self-times do not conserve \
+                 (attributed {:.1}% of wall x {} lanes)",
+                p.attributed_fraction() * 100.0,
+                p.threads
+            ));
+        }
+        let c = report
+            .calibration
+            .as_ref()
+            .ok_or_else(|| format!("{path}: no plan calibration recorded"))?;
+        if !(c.predicted_ratio.is_finite() && c.predicted_ratio > 0.0) {
+            return Err(format!(
+                "{path}: predicted cost ratio {} is not positive",
+                c.predicted_ratio
+            ));
+        }
+        if c.observed_seconds <= 0.0 || c.observed_pairs == 0 {
+            return Err(format!(
+                "{path}: calibration observed nothing (seconds={}, pairs={})",
+                c.observed_seconds, c.observed_pairs
+            ));
+        }
+        println!(
+            "{path}: profile ok ({} phases, attributed {:.1}% of budget; \
+             calibration {} ratio {:.3})",
+            p.phases.len(),
+            p.attributed_fraction() * 100.0,
+            c.choice,
+            c.predicted_ratio
+        );
+    }
     println!(
         "{path}: ok (schema {}, {} counters, {} queue points, {} rank points)",
         sdj_obs::report::SCHEMA_VERSION,
@@ -520,6 +681,72 @@ fn run_check(
         report.queue_series.len(),
         report.distance_by_rank.len()
     );
+    Ok(())
+}
+
+/// Interleaved min-of-N comparison of a baseline against a candidate;
+/// fails when the candidate's best time exceeds the baseline's by more
+/// than `budget` percent, or when the two disagree on `distance_calcs`.
+///
+/// Warm-up once each, then interleave and keep the per-variant minimum:
+/// min-of-N is robust against one-off scheduler noise in either direction,
+/// and alternating the within-round order cancels slow drift (cache
+/// warming, frequency scaling). Rounds are adaptive: per-run scheduler
+/// noise on a busy single-core host can dwarf a ~0% true delta, but both
+/// minima converge to the quiet-machine time, so we keep sampling until
+/// the comparison clears the budget (or a cap).
+fn compare_overhead(
+    base_label: &str,
+    cand_label: &str,
+    budget: f64,
+    base: impl Fn() -> (f64, u64),
+    cand: impl Fn() -> (f64, u64),
+) -> Result<(), String> {
+    let _ = base();
+    let _ = cand();
+    let mut best_base = f64::INFINITY;
+    let mut best_cand = f64::INFINITY;
+    let mut calcs = (0u64, 0u64);
+    let mut overhead = f64::INFINITY;
+    const MIN_ROUNDS: usize = 3;
+    const MAX_ROUNDS: usize = 15;
+    for round in 0..MAX_ROUNDS {
+        let ((sb, cb), (sn, cn)) = if round % 2 == 0 {
+            let b = base();
+            let n = cand();
+            (b, n)
+        } else {
+            let n = cand();
+            let b = base();
+            (b, n)
+        };
+        best_base = best_base.min(sb);
+        best_cand = best_cand.min(sn);
+        calcs = (cb, cn);
+        overhead = (best_cand - best_base) / best_base * 100.0;
+        eprintln!(
+            "# round {round}: {base_label} {sb:.4}s, {cand_label} {sn:.4}s \
+             (best-vs-best delta {overhead:+.2}%)"
+        );
+        if round + 1 >= MIN_ROUNDS && overhead <= budget {
+            break;
+        }
+    }
+    if calcs.0 != calcs.1 {
+        return Err(format!(
+            "{cand_label} changed the work: {} vs {} distance calcs",
+            calcs.0, calcs.1
+        ));
+    }
+    println!(
+        "overhead: {base_label} {best_base:.4}s, {cand_label} {best_cand:.4}s, \
+         delta {overhead:+.2}% (budget {budget}%)"
+    );
+    if overhead > budget {
+        return Err(format!(
+            "{cand_label} overhead {overhead:.2}% over {base_label} exceeds {budget}%"
+        ));
+    }
     Ok(())
 }
 
@@ -532,76 +759,47 @@ fn run_overhead(args: &Args) -> Result<(), String> {
     let (t1, t2) = build_env(args.n);
     let config = JoinConfig::default().with_max_pairs(args.k);
 
-    let bare = |t1: &RTree<2>, t2: &RTree<2>| -> (f64, u64) {
+    // One timing sample runs the join several times: a single K-pass is a
+    // few tens of ms, and scheduler jitter on a busy single-core host is
+    // the same order — far too noisy to resolve a 2% budget. Repetition
+    // amortizes the noise without changing what is measured.
+    const REPS: usize = 8;
+    let run_with = |ctx: Option<&ObsContext>| -> (f64, u64) {
+        let mut calcs = 0;
         let start = Instant::now();
-        let mut join = DistanceJoin::new(t1, t2, config);
-        let n = join.by_ref().count();
-        let secs = start.elapsed().as_secs_f64();
-        assert!(n > 0);
-        (secs, join.stats().distance_calcs)
-    };
-    let noop = |t1: &RTree<2>, t2: &RTree<2>| -> (f64, u64) {
-        let ctx = ObsContext::noop();
-        let start = Instant::now();
-        let mut join = DistanceJoin::new(t1, t2, config).with_obs(&ctx);
-        let n = join.by_ref().count();
-        let secs = start.elapsed().as_secs_f64();
-        assert!(n > 0);
-        (secs, join.stats().distance_calcs)
+        for _ in 0..REPS {
+            let mut join = DistanceJoin::new(&t1, &t2, config);
+            if let Some(ctx) = ctx {
+                join = join.with_obs(ctx);
+            }
+            let n = join.by_ref().count();
+            assert!(n > 0);
+            calcs = join.stats().distance_calcs;
+        }
+        (start.elapsed().as_secs_f64(), calcs)
     };
 
-    // Warm-up once each, then interleave and keep the per-variant minimum:
-    // min-of-N is robust against one-off scheduler noise in either
-    // direction, and alternating the within-round order cancels slow drift
-    // (cache warming, frequency scaling). Rounds are adaptive: per-run
-    // scheduler noise on a busy single-core host can dwarf a ~0% true
-    // delta, but both minima converge to the quiet-machine time, so we
-    // keep sampling until the comparison clears the budget (or a cap).
-    let _ = bare(&t1, &t2);
-    let _ = noop(&t1, &t2);
-    let mut best_bare = f64::INFINITY;
-    let mut best_noop = f64::INFINITY;
-    let mut calcs = (0u64, 0u64);
-    let mut overhead = f64::INFINITY;
-    const MIN_ROUNDS: usize = 3;
-    const MAX_ROUNDS: usize = 15;
-    for round in 0..MAX_ROUNDS {
-        let ((sb, cb), (sn, cn)) = if round % 2 == 0 {
-            let b = bare(&t1, &t2);
-            let n = noop(&t1, &t2);
-            (b, n)
-        } else {
-            let n = noop(&t1, &t2);
-            let b = bare(&t1, &t2);
-            (b, n)
-        };
-        best_bare = best_bare.min(sb);
-        best_noop = best_noop.min(sn);
-        calcs = (cb, cn);
-        overhead = (best_noop - best_bare) / best_bare * 100.0;
-        eprintln!(
-            "# round {round}: bare {sb:.4}s, noop-instrumented {sn:.4}s \
-             (best-vs-best delta {overhead:+.2}%)"
-        );
-        if round + 1 >= MIN_ROUNDS && overhead <= budget {
-            break;
-        }
-    }
-    if calcs.0 != calcs.1 {
-        return Err(format!(
-            "instrumentation changed the work: {} vs {} distance calcs",
-            calcs.0, calcs.1
-        ));
-    }
-    println!(
-        "overhead: bare {best_bare:.4}s, noop-instrumented {best_noop:.4}s, \
-         delta {overhead:+.2}% (budget {budget}%)"
-    );
-    if overhead > budget {
-        return Err(format!(
-            "no-op sink overhead {overhead:.2}% exceeds {budget}%"
-        ));
-    }
+    // Gate 1: the fully uninstrumented engine against the default
+    // instrumented configuration (no-op sink, sampled spans) — the
+    // historical "instrumentation is free" guarantee, now spans included.
+    compare_overhead(
+        "bare",
+        "noop-instrumented",
+        budget,
+        || run_with(None),
+        || run_with(Some(&ObsContext::noop())),
+    )?;
+
+    // Gate 2: spans isolated — the same no-op instrumented engine with
+    // span accounting off versus on (sampled). This is the phase-profiling
+    // layer's own overhead budget.
+    compare_overhead(
+        "spans-off",
+        "spans-on",
+        budget,
+        || run_with(Some(&ObsContext::noop().with_span_mode(SpanMode::Off))),
+        || run_with(Some(&ObsContext::noop())),
+    )?;
     Ok(())
 }
 
@@ -613,6 +811,7 @@ fn main() -> ExitCode {
             args.expect_drain,
             args.expect_retries,
             args.expect_plan.as_deref(),
+            args.expect_profile,
         )
     } else if args.overhead {
         run_overhead(&args)

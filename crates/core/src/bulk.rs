@@ -48,6 +48,7 @@
 //! enforces both properties under proptest.
 
 use sdj_geom::{KeySpace, OrdF64, Rect, SoaRects};
+use sdj_obs::{ObsContext, Phase, SpanTimer};
 use sdj_rtree::ObjectId;
 
 use crate::config::{ExpansionPath, JoinConfig, ResultOrder};
@@ -159,6 +160,20 @@ pub struct CellScratch<const D: usize> {
     right: Vec<u32>,
     soa2: SoaRects<D>,
     keys_buf: Vec<f64>,
+    /// Per-worker phase-span timer: every cell swept with this scratch
+    /// records Sweep/Kernel/Dedup spans into the context's shared set.
+    spans: Option<SpanTimer>,
+}
+
+impl<const D: usize> CellScratch<D> {
+    /// Scratch whose sweeps record phase spans into `ctx`'s registry.
+    #[must_use]
+    pub fn for_context(ctx: &ObsContext) -> Self {
+        Self {
+            spans: SpanTimer::from_context(ctx),
+            ..Self::default()
+        }
+    }
 }
 
 /// A uniform grid over the joint bounding box.
@@ -288,6 +303,9 @@ pub struct BulkDistanceJoin<const D: usize> {
     active: Vec<u32>,
     stats: JoinStats,
     bulk: BulkStats,
+    /// Phase-span timer for the serial driver (build, merge and finish
+    /// phases; parallel drivers time those stages with their own timers).
+    spans: Option<SpanTimer>,
 }
 
 impl<const D: usize> BulkDistanceJoin<D> {
@@ -326,6 +344,32 @@ impl<const D: usize> BulkDistanceJoin<D> {
         I1: SpatialIndex<D> + ?Sized,
         I2: SpatialIndex<D> + ?Sized,
     {
+        Self::with_bulk_config_obs(tree1, tree2, config, bulk_config, None)
+    }
+
+    /// [`BulkDistanceJoin::with_bulk_config`] with phase-span observability:
+    /// the harvest pass records a [`Phase::Partition`] span and the cell
+    /// replication a [`Phase::Replicate`] span into `ctx`'s registry, and
+    /// the serial `run` drivers record merge/emit spans.
+    ///
+    /// # Errors
+    /// Propagates storage errors from the harvesting pass.
+    ///
+    /// # Panics
+    /// Panics on an invalid `config` or forced `cell_width` (see
+    /// [`BulkDistanceJoin::with_bulk_config`]).
+    pub fn with_bulk_config_obs<I1, I2>(
+        tree1: &I1,
+        tree2: &I2,
+        config: JoinConfig,
+        bulk_config: BulkConfig,
+        ctx: Option<&ObsContext>,
+    ) -> sdj_storage::Result<Self>
+    where
+        I1: SpatialIndex<D> + ?Sized,
+        I2: SpatialIndex<D> + ?Sized,
+    {
+        let mut spans = ctx.and_then(SpanTimer::from_context);
         config.validate();
         if let Some(w) = bulk_config.cell_width {
             assert!(
@@ -339,8 +383,15 @@ impl<const D: usize> BulkDistanceJoin<D> {
 
         let mut entries1 = Vec::with_capacity(tree1.len());
         let mut entries2 = Vec::with_capacity(tree2.len());
-        harvest(tree1, &mut stats, &mut entries1)?;
-        harvest(tree2, &mut stats, &mut entries2)?;
+        if let Some(t) = &mut spans {
+            t.enter(Phase::Partition);
+        }
+        let harvested = harvest(tree1, &mut stats, &mut entries1)
+            .and_then(|()| harvest(tree2, &mut stats, &mut entries2));
+        if let Some(t) = &mut spans {
+            t.exit(Phase::Partition);
+        }
+        harvested?;
         stats.node_io = (tree1.io_misses() + tree2.io_misses()) - io_before;
         assert!(
             entries1.len() <= u32::MAX as usize && entries2.len() <= u32::MAX as usize,
@@ -377,8 +428,15 @@ impl<const D: usize> BulkDistanceJoin<D> {
             active: Vec::new(),
             stats,
             bulk: BulkStats::default(),
+            spans,
         };
+        if let Some(t) = &mut join.spans {
+            t.enter(Phase::Replicate);
+        }
         join.replicate();
+        if let Some(t) = &mut join.spans {
+            t.exit(Phase::Replicate);
+        }
         Ok(join)
     }
 
@@ -475,6 +533,9 @@ impl<const D: usize> BulkDistanceJoin<D> {
             return tally;
         }
         tally.swept = true;
+        if let Some(t) = &mut scratch.spans {
+            t.enter(Phase::Sweep);
+        }
         let keys = self.keys;
         let entries1 = &self.entries1;
         let entries2 = &self.entries2;
@@ -526,6 +587,9 @@ impl<const D: usize> BulkDistanceJoin<D> {
                 continue;
             }
             scratch.keys_buf.clear();
+            if let Some(t) = &mut scratch.spans {
+                t.enter(Phase::Kernel);
+            }
             mindist_keys_into(
                 &scratch.soa2,
                 self.lanes,
@@ -534,7 +598,13 @@ impl<const D: usize> BulkDistanceJoin<D> {
                 start..end,
                 &mut scratch.keys_buf,
             );
+            if let Some(t) = &mut scratch.spans {
+                t.exit(Phase::Kernel);
+            }
             tally.distance_calcs += (end - start) as u64;
+            if let Some(t) = &mut scratch.spans {
+                t.enter(Phase::Dedup);
+            }
             for (w, &key) in (start..end).zip(&scratch.keys_buf) {
                 let ri = scratch.right[w];
                 let (oid2, r2) = &entries2[ri as usize];
@@ -565,6 +635,12 @@ impl<const D: usize> BulkDistanceJoin<D> {
                 });
                 tally.emitted += 1;
             }
+            if let Some(t) = &mut scratch.spans {
+                t.exit(Phase::Dedup);
+            }
+        }
+        if let Some(t) = &mut scratch.spans {
+            t.exit(Phase::Sweep);
         }
         tally
     }
@@ -577,13 +653,19 @@ impl<const D: usize> BulkDistanceJoin<D> {
         if self.config.max_pairs.is_some() {
             return self.run();
         }
-        let mut scratch = CellScratch::default();
+        // Hand the join's timer to the scratch for the sweep loop (the
+        // sweeps record through the scratch), then take it back for finish.
+        let mut scratch = CellScratch {
+            spans: self.spans.take(),
+            ..CellScratch::default()
+        };
         let mut hits = Vec::new();
         for c in 0..self.active.len() {
             let cell = self.active[c] as usize;
             let tally = self.sweep_cell(cell, &mut scratch, &mut hits);
             self.absorb_tally(&tally);
         }
+        self.spans = scratch.spans.take();
         self.finish(hits)
     }
 
@@ -592,7 +674,10 @@ impl<const D: usize> BulkDistanceJoin<D> {
     /// truncated to `max_pairs` if set.
     pub fn run(&mut self) -> Vec<ResultPair> {
         let ascending = matches!(self.config.order, ResultOrder::Ascending);
-        let mut scratch = CellScratch::default();
+        let mut scratch = CellScratch {
+            spans: self.spans.take(),
+            ..CellScratch::default()
+        };
         let mut runs = Vec::with_capacity(self.active.len());
         for c in 0..self.active.len() {
             let cell = self.active[c] as usize;
@@ -600,17 +685,34 @@ impl<const D: usize> BulkDistanceJoin<D> {
             let tally = self.sweep_cell(cell, &mut scratch, &mut run);
             self.absorb_tally(&tally);
             if !run.is_empty() {
+                // Per-cell run sorting is part of the merge work.
+                if let Some(t) = &mut scratch.spans {
+                    t.enter(Phase::Merge);
+                }
                 sort_run(&mut run, ascending);
+                if let Some(t) = &mut scratch.spans {
+                    t.exit(Phase::Merge);
+                }
                 runs.push(run);
             }
         }
+        self.spans = scratch.spans.take();
+        if let Some(t) = &mut self.spans {
+            t.enter(Phase::Merge);
+        }
         let merged = merge_sorted_runs(runs, ascending, self.config.max_pairs);
+        if let Some(t) = &mut self.spans {
+            t.exit(Phase::Merge);
+        }
         self.finish(merged)
     }
 
     /// Converts hits to reported results, paying the deferred `sqrt` (once
     /// per emitted pair under squared keys) and counting emissions.
     pub fn finish(&mut self, hits: Vec<BulkHit>) -> Vec<ResultPair> {
+        if let Some(t) = &mut self.spans {
+            t.enter(Phase::Emit);
+        }
         let keys = self.keys;
         let squared = keys.is_squared();
         let mut out = Vec::with_capacity(hits.len());
@@ -624,6 +726,9 @@ impl<const D: usize> BulkDistanceJoin<D> {
                 oid2: h.oid2,
                 distance: keys.to_distance(h.key),
             });
+        }
+        if let Some(t) = &mut self.spans {
+            t.exit(Phase::Emit);
         }
         out
     }

@@ -26,7 +26,7 @@
 //! (`DESIGN.md` §8 gives the argument).
 
 use sdj_geom::{KeySpace, Rect, SoaRects};
-use sdj_obs::{ObsContext, PairKind, Side};
+use sdj_obs::{ObsContext, PairKind, Phase, Side};
 use sdj_rtree::{ObjectId, RTree};
 use sdj_storage::StorageError;
 
@@ -421,6 +421,7 @@ where
         let per_shard = self.queue.len().div_ceil(shards);
         shard_vecs.resize_with(shards, || Vec::with_capacity(per_shard));
         if !exhausted {
+            self.span_enter(Phase::QueuePop);
             let mut next = 0usize;
             loop {
                 match self.queue.pop() {
@@ -440,6 +441,7 @@ where
                     }
                 }
             }
+            self.span_exit(Phase::QueuePop);
         }
         JoinFrontier {
             prefix,
@@ -1035,13 +1037,31 @@ where
     /// public accessors run. A hybrid-backend spill fault surfaces here; the
     /// caller aborts the run, so the partially flushed batch is never
     /// observed as output.
+    /// Opens a phase span on the attached obs handle (no-op otherwise).
+    #[inline]
+    fn span_enter(&mut self, phase: Phase) {
+        if let Some(obs) = &mut self.obs {
+            obs.span_enter(phase);
+        }
+    }
+
+    /// Closes the innermost phase span (no-op when uninstrumented).
+    #[inline]
+    fn span_exit(&mut self, phase: Phase) {
+        if let Some(obs) = &mut self.obs {
+            obs.span_exit(phase);
+        }
+    }
+
     fn flush_pending(&mut self) -> sdj_storage::Result<()> {
         if self.pending.is_empty() {
             return Ok(());
         }
         self.stats.pairs_enqueued += self.pending.len() as u64;
         let mut pending = std::mem::take(&mut self.pending);
+        self.span_enter(Phase::QueuePush);
         let flushed = self.queue.push_batch(pending.drain(..));
+        self.span_exit(Phase::QueuePush);
         self.pending = pending;
         // Update the high-water mark once per flush, not once per push:
         // batch insertions must be observed too.
@@ -1052,12 +1072,15 @@ where
     /// PROCESS_NODE1 / PROCESS_NODE2 (Figure 3): expands the node on
     /// `first_side`, pairing its entries with the other item.
     fn expand_one(&mut self, pair: &Pair<D>, first_side: bool) -> sdj_storage::Result<()> {
-        match self.config.expansion {
+        self.span_enter(Phase::Expand);
+        let r = match self.config.expansion {
             ExpansionPath::Batched | ExpansionPath::Lanes => {
                 self.expand_one_batched(pair, first_side)
             }
             ExpansionPath::Scalar => self.expand_one_scalar(pair, first_side),
-        }
+        };
+        self.span_exit(Phase::Expand);
+        r
     }
 
     /// [`expand_one`](Self::expand_one) over a cached struct-of-arrays node
@@ -1099,7 +1122,9 @@ where
         let lanes = self.lanes();
         let mut minds = std::mem::take(&mut self.scratch_keys);
         minds.clear();
+        self.span_enter(Phase::Kernel);
         mindist_keys_into(&view.rects, lanes, keys, other.rect(), 0..n, &mut minds);
+        self.span_exit(Phase::Kernel);
         self.stats.distance_calcs += n as u64;
 
         if first_side {
@@ -1318,10 +1343,13 @@ where
     /// opened and their entries paired with a plane sweep restricted by the
     /// distance range.
     fn expand_both(&mut self, pair: &Pair<D>) -> sdj_storage::Result<()> {
-        match self.config.expansion {
+        self.span_enter(Phase::Expand);
+        let r = match self.config.expansion {
             ExpansionPath::Batched | ExpansionPath::Lanes => self.expand_both_batched(pair),
             ExpansionPath::Scalar => self.expand_both_scalar(pair),
-        }
+        };
+        self.span_exit(Phase::Expand);
+        r
     }
 
     /// [`expand_both`](Self::expand_both) over cached struct-of-arrays node
@@ -1372,13 +1400,15 @@ where
         let r2 = pair.item2.rect();
         let n1 = view1.rects.len();
         minds.clear();
+        self.span_enter(Phase::Kernel);
         mindist_keys_into(&view1.rects, lanes, keys, r2, 0..n1, &mut minds);
-        self.stats.distance_calcs += n1 as u64;
         if min_key > 0.0 {
             maxds.clear();
             maxdist_keys_into(&view1.rects, lanes, keys, r2, 0..n1, &mut maxds);
             self.stats.distance_calcs += n1 as u64;
         }
+        self.span_exit(Phase::Kernel);
+        self.stats.distance_calcs += n1 as u64;
         entries1.clear();
         entries1.reserve(n1);
         for (i, e) in view1.node.entries.iter().enumerate() {
@@ -1406,13 +1436,15 @@ where
         let r1 = pair.item1.rect();
         let n2 = view2.rects.len();
         minds.clear();
+        self.span_enter(Phase::Kernel);
         mindist_keys_into(&view2.rects, lanes, keys, r1, 0..n2, &mut minds);
-        self.stats.distance_calcs += n2 as u64;
         if min_key > 0.0 {
             maxds.clear();
             maxdist_keys_into(&view2.rects, lanes, keys, r1, 0..n2, &mut maxds);
             self.stats.distance_calcs += n2 as u64;
         }
+        self.span_exit(Phase::Kernel);
+        self.stats.distance_calcs += n2 as u64;
         entries2.clear();
         entries2.reserve(n2);
         for (i, e) in view2.node.entries.iter().enumerate() {
@@ -1441,6 +1473,7 @@ where
         // `total_cmp` keeps the sweep well-defined even if a corrupt page
         // decoded to a NaN coordinate (NaNs sort last; the pair is still
         // pruned or reported by the distance kernels, never a panic).
+        self.span_enter(Phase::Sweep);
         entries2.sort_by(|a, b| a.rect().lo()[0].total_cmp(&b.rect().lo()[0]));
         let mut soa2 = std::mem::take(&mut self.scratch_soa2);
         soa2.clear();
@@ -1474,7 +1507,9 @@ where
                 continue;
             }
             minds.clear();
+            self.span_enter(Phase::Kernel);
             mindist_keys_into(&soa2, lanes, keys, e1.rect(), start..end, &mut minds);
+            self.span_exit(Phase::Kernel);
             self.stats.distance_calcs += (end - start) as u64;
             let c1 = Self::child_item(e1);
             for (e2, &mind) in entries2[start..end].iter().zip(&minds) {
@@ -1482,6 +1517,7 @@ where
                 self.consider(Pair::new(c1, c2), Some(mind));
             }
         }
+        self.span_exit(Phase::Sweep);
         self.scratch_keys = minds;
         self.scratch_keys2 = maxds;
         self.scratch_entries1 = entries1;
@@ -1610,6 +1646,13 @@ where
     /// `sqrt` per reported result is paid here (and counted in
     /// [`JoinStats::sqrt_calls`]), after the suppression filters.
     fn report(&mut self, oid1: ObjectId, oid2: ObjectId, key: f64) -> Option<ResultPair> {
+        self.span_enter(Phase::Emit);
+        let r = self.report_inner(oid1, oid2, key);
+        self.span_exit(Phase::Emit);
+        r
+    }
+
+    fn report_inner(&mut self, oid1: ObjectId, oid2: ObjectId, key: f64) -> Option<ResultPair> {
         if self.config.exclude_equal_ids && oid1 == oid2 {
             self.stats.filtered_self += 1;
             return None;
@@ -1699,7 +1742,10 @@ where
 
     /// One iteration of the algorithm's main loop (Figure 3).
     fn step_inner(&mut self) -> sdj_storage::Result<StepOutcome> {
-        let Some((key, pair)) = self.queue.pop()? else {
+        self.span_enter(Phase::QueuePop);
+        let popped = self.queue.pop();
+        self.span_exit(Phase::QueuePop);
+        let Some((key, pair)) = popped? else {
             return Ok(StepOutcome::Exhausted);
         };
         self.stats.pairs_dequeued += 1;
@@ -1732,22 +1778,32 @@ where
             self.stats.pruned_by_shared += 1;
             return Ok(StepOutcome::Continue);
         }
-        if let Some(semi) = &self.semi {
-            if semi.filters_on_dequeue() {
-                if let Some(oid1) = pair.item1.object_id() {
-                    if semi.seen.contains(oid1.0) {
-                        self.stats.filtered_seen += 1;
-                        return Ok(StepOutcome::Continue);
+        if self.semi.is_some() {
+            // The dequeue-time filters are the semi-join's dedup work; the
+            // span must close before any early return, hence the flag.
+            self.span_enter(Phase::Dedup);
+            let mut filtered = false;
+            if let Some(semi) = &self.semi {
+                if semi.filters_on_dequeue() {
+                    if let Some(oid1) = pair.item1.object_id() {
+                        if semi.seen.contains(oid1.0) {
+                            self.stats.filtered_seen += 1;
+                            filtered = true;
+                        }
+                    }
+                }
+                if !filtered && ascending {
+                    if let Some(bound) = semi.bound_for(pair.item1.identity()) {
+                        if key.dist.get() > bound {
+                            self.stats.pruned_by_dmax += 1;
+                            filtered = true;
+                        }
                     }
                 }
             }
-            if ascending {
-                if let Some(bound) = semi.bound_for(pair.item1.identity()) {
-                    if key.dist.get() > bound {
-                        self.stats.pruned_by_dmax += 1;
-                        return Ok(StepOutcome::Continue);
-                    }
-                }
+            self.span_exit(Phase::Dedup);
+            if filtered {
+                return Ok(StepOutcome::Continue);
             }
         }
 

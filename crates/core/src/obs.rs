@@ -10,7 +10,9 @@
 
 use std::sync::Arc;
 
-use sdj_obs::{Counter, Event, EventSink, Gauge, Histogram, ObsContext, PairKind, Side};
+use sdj_obs::{
+    Counter, Event, EventSink, Gauge, Histogram, ObsContext, PairKind, Phase, Side, SpanTimer,
+};
 
 /// Instrumentation state carried by one join engine (serial run, frontier
 /// partitioner, or parallel worker).
@@ -35,6 +37,9 @@ pub struct JoinObs {
     expansions: Arc<Counter>,
     semi_bound_updates: Arc<Counter>,
     bound_tightenings: Arc<Counter>,
+    /// Phase-span timer ([`sdj_obs::span`]); `None` when the context has
+    /// spans off.
+    spans: Option<SpanTimer>,
 }
 
 impl JoinObs {
@@ -64,6 +69,24 @@ impl JoinObs {
             expansions: r.counter("join.expansions"),
             semi_bound_updates: r.counter("join.semi_bound_updates"),
             bound_tightenings: r.counter("join.bound_tightenings"),
+            spans: SpanTimer::from_context(ctx),
+        }
+    }
+
+    /// Opens a phase span (no-op when spans are off). Must be matched by
+    /// [`JoinObs::span_exit`] with the same phase.
+    #[inline]
+    pub(crate) fn span_enter(&mut self, phase: Phase) {
+        if let Some(t) = &mut self.spans {
+            t.enter(phase);
+        }
+    }
+
+    /// Closes the innermost phase span (no-op when spans are off).
+    #[inline]
+    pub(crate) fn span_exit(&mut self, phase: Phase) {
+        if let Some(t) = &mut self.spans {
+            t.exit(phase);
         }
     }
 

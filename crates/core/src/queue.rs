@@ -185,6 +185,12 @@ impl<const D: usize> JoinQueue<D> {
         if let JoinQueue::Hybrid(q) = self {
             let gauges = sdj_pqueue::TierGauges::register(&ctx.registry);
             q.attach_obs(std::sync::Arc::clone(&ctx.sink), Some(gauges));
+            if let (Some(spill), Some(reload)) = (
+                sdj_obs::LeafSpan::from_context(ctx, sdj_obs::Phase::Spill),
+                sdj_obs::LeafSpan::from_context(ctx, sdj_obs::Phase::Reload),
+            ) {
+                q.attach_spans(spill, reload);
+            }
         }
     }
 }

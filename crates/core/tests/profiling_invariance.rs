@@ -1,0 +1,190 @@
+//! Profiling must be a pure observer: attaching span accounting (off,
+//! sampled, or always) must not change a single bit of any result stream,
+//! and in always mode the recorded per-phase self-times must conserve —
+//! they sum to no more than the measured wall clock, and every phase that
+//! was entered has positive time.
+
+use std::time::Instant;
+
+use proptest::prelude::*;
+use sdj_core::{
+    BulkConfig, BulkDistanceJoin, DistanceJoin, DmaxStrategy, JoinConfig, SemiConfig, SemiFilter,
+};
+use sdj_geom::Point;
+use sdj_obs::{ObsContext, SpanMode};
+use sdj_rtree::{ObjectId, RTree, RTreeConfig};
+
+fn tree(points: &[Point<2>], fanout: usize) -> RTree<2> {
+    let mut t = RTree::new(RTreeConfig::small(fanout));
+    for (i, p) in points.iter().enumerate() {
+        t.insert(ObjectId(i as u64), p.to_rect()).unwrap();
+    }
+    t
+}
+
+fn arb_points(max: usize) -> impl Strategy<Value = Vec<Point<2>>> {
+    prop::collection::vec((0.0..10.0f64, 0.0..10.0f64), 1..max)
+        .prop_map(|v| v.into_iter().map(|(x, y)| Point::xy(x, y)).collect())
+}
+
+/// The result stream as exact bits: object ids plus the distance's raw
+/// IEEE-754 representation, so "bit-identical" means exactly that.
+type Bits = Vec<(u64, u64, u64)>;
+
+fn join_bits(t1: &RTree<2>, t2: &RTree<2>, config: JoinConfig, ctx: Option<&ObsContext>) -> Bits {
+    let mut join = DistanceJoin::new(t1, t2, config);
+    if let Some(ctx) = ctx {
+        join = join.with_obs(ctx);
+    }
+    join.map(|r| (r.oid1.0, r.oid2.0, r.distance.to_bits()))
+        .collect()
+}
+
+fn semi_bits(
+    t1: &RTree<2>,
+    t2: &RTree<2>,
+    config: JoinConfig,
+    semi: SemiConfig,
+    ctx: Option<&ObsContext>,
+) -> Bits {
+    let mut join = DistanceJoin::semi(t1, t2, config, semi);
+    if let Some(ctx) = ctx {
+        join = join.with_obs(ctx);
+    }
+    join.map(|r| (r.oid1.0, r.oid2.0, r.distance.to_bits()))
+        .collect()
+}
+
+fn bulk_bits(t1: &RTree<2>, t2: &RTree<2>, config: JoinConfig, ctx: Option<&ObsContext>) -> Bits {
+    let mut join =
+        BulkDistanceJoin::with_bulk_config_obs(t1, t2, config, BulkConfig::default(), ctx)
+            .expect("bulk join construction");
+    join.run()
+        .into_iter()
+        .map(|r| (r.oid1.0, r.oid2.0, r.distance.to_bits()))
+        .collect()
+}
+
+/// Every observation mode that a caller can attach.
+fn modes() -> [Option<ObsContext>; 3] {
+    [
+        Some(ObsContext::noop().with_span_mode(SpanMode::Off)),
+        Some(ObsContext::noop()), // SpanMode::Sampled is the default
+        Some(ObsContext::noop().with_span_mode(SpanMode::Always)),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn streams_are_bit_identical_with_profiling_on_and_off(
+        a in arb_points(40),
+        b in arb_points(50),
+        fanout in 3usize..7,
+        max_pairs in prop::option::of(1u64..60),
+        dmax in prop::option::of(0.5..8.0f64),
+    ) {
+        let mut config = JoinConfig::default();
+        if let Some(k) = max_pairs {
+            config.max_pairs = Some(k);
+        }
+        if let Some(hi) = dmax {
+            config = config.with_range(0.0, hi);
+        }
+        let t1 = tree(&a, fanout);
+        let t2 = tree(&b, fanout);
+        let semi = SemiConfig { filter: SemiFilter::Outside, dmax: DmaxStrategy::Local };
+
+        let base_join = join_bits(&t1, &t2, config, None);
+        let base_semi = semi_bits(&t1, &t2, config, semi, None);
+        let base_bulk = bulk_bits(&t1, &t2, config, None);
+        for ctx in modes() {
+            let ctx = ctx.as_ref();
+            prop_assert_eq!(&join_bits(&t1, &t2, config, ctx), &base_join);
+            prop_assert_eq!(&semi_bits(&t1, &t2, config, semi, ctx), &base_semi);
+            prop_assert_eq!(&bulk_bits(&t1, &t2, config, ctx), &base_bulk);
+        }
+    }
+}
+
+/// Conservation check helper: runs `f` with an always-mode context, then
+/// asserts (a) the per-phase self-times sum to no more than the wall time
+/// around the run (with a small allowance for the 1 ns zero-span clamp),
+/// and (b) every phase that was entered measured every call and accrued
+/// positive time.
+fn assert_conserves(label: &str, f: impl FnOnce(&ObsContext)) {
+    let ctx = ObsContext::noop().with_span_mode(SpanMode::Always);
+    let start = Instant::now();
+    f(&ctx);
+    let wall_ns = start.elapsed().as_nanos() as f64;
+
+    let snap = ctx.registry.snapshot();
+    assert!(!snap.spans.is_empty(), "{label}: no phases recorded");
+    let mut attributed = 0.0;
+    for s in &snap.spans {
+        assert!(s.calls > 0, "{label}: snapshot contains an untouched phase");
+        assert_eq!(
+            s.sampled_calls, s.calls,
+            "{label}: always mode must measure every {} span",
+            s.phase
+        );
+        assert!(
+            s.sampled_ns >= s.calls,
+            "{label}: phase {} was entered {} times but only accrued {} ns",
+            s.phase,
+            s.calls,
+            s.sampled_ns
+        );
+        attributed += s.est_total_ns();
+    }
+    // Self-times are disjoint slices of the run, so their sum is bounded
+    // by wall time; the clamp can add up to 1 ns per span on top.
+    let clamp_allowance: u64 = snap.spans.iter().map(|s| s.calls).sum();
+    assert!(
+        attributed <= wall_ns + clamp_allowance as f64,
+        "{label}: attributed {attributed:.0} ns exceeds wall {wall_ns:.0} ns"
+    );
+    // And on a serial run of this size the spans should explain most of
+    // the wall time, not a sliver of it.
+    assert!(
+        attributed >= wall_ns * 0.5,
+        "{label}: attributed {attributed:.0} ns is under half of wall {wall_ns:.0} ns"
+    );
+}
+
+fn grid_points(n: usize, step: f64) -> Vec<Point<2>> {
+    let side = (n as f64).sqrt().ceil() as usize;
+    (0..n)
+        .map(|i| Point::xy((i % side) as f64 * step, (i / side) as f64 * step))
+        .collect()
+}
+
+#[test]
+fn incremental_span_self_times_conserve() {
+    let t1 = tree(&grid_points(900, 0.11), 8);
+    let t2 = tree(&grid_points(900, 0.13), 8);
+    let config = JoinConfig::default().with_max_pairs(4_000);
+    assert_conserves("incremental", |ctx| {
+        let n = DistanceJoin::new(&t1, &t2, config).with_obs(ctx).count();
+        assert_eq!(n, 4_000);
+    });
+}
+
+#[test]
+fn bulk_span_self_times_conserve() {
+    let t1 = tree(&grid_points(900, 0.11), 8);
+    let t2 = tree(&grid_points(900, 0.13), 8);
+    let config = JoinConfig::default().with_range(0.0, 0.3);
+    assert_conserves("bulk", |ctx| {
+        let mut join = BulkDistanceJoin::with_bulk_config_obs(
+            &t1,
+            &t2,
+            config,
+            BulkConfig::default(),
+            Some(ctx),
+        )
+        .expect("bulk join construction");
+        assert!(!join.run().is_empty());
+    });
+}

@@ -21,7 +21,7 @@ use std::sync::Mutex;
 use sdj_core::bulk::{BulkConfig, BulkDistanceJoin, BulkHit, BulkStats, CellScratch, CellTally};
 use sdj_core::plan::{plan_for_trees, Plan, PlanChoice};
 use sdj_core::{JoinConfig, JoinStats, ResultOrder, ResultPair, SpatialIndex};
-use sdj_obs::{Event, ObsContext, PlanPath};
+use sdj_obs::{Event, ObsContext, Phase, PlanPath, SpanTimer};
 use sdj_storage::StorageError;
 
 use crate::{JoinStream, ParallelConfig, ParallelDistanceJoin, RunOutput};
@@ -121,11 +121,12 @@ where
         consume: impl FnOnce(&mut JoinStream) -> R,
     ) -> BulkRunOutput<R> {
         let ascending = matches!(self.config.order, ResultOrder::Ascending);
-        let mut join = match BulkDistanceJoin::with_bulk_config(
+        let mut join = match BulkDistanceJoin::with_bulk_config_obs(
             self.tree1,
             self.tree2,
             self.config,
             self.bulk_config,
+            self.obs.as_ref(),
         ) {
             Ok(join) => join,
             Err(e) => {
@@ -162,7 +163,11 @@ where
                 let tallies = &tallies;
                 let obs = self.obs.as_ref();
                 scope.spawn(move || {
-                    let mut scratch = CellScratch::default();
+                    // Per-worker scratch carries its own span timer; cell
+                    // sweeps record Sweep/Kernel/Dedup, run sorting Merge.
+                    let mut scratch =
+                        obs.map_or_else(CellScratch::default, CellScratch::for_context);
+                    let mut sort_spans = obs.and_then(SpanTimer::from_context);
                     let mut local: Vec<(usize, Vec<BulkHit>)> = Vec::new();
                     let mut local_tallies: Vec<CellTally> = Vec::new();
                     let mut emitted: u64 = 0;
@@ -173,7 +178,13 @@ where
                         let tally = join.sweep_cell(cell as usize, &mut scratch, &mut run);
                         emitted += tally.emitted;
                         if ordered && !run.is_empty() {
+                            if let Some(t) = &mut sort_spans {
+                                t.enter(Phase::Merge);
+                            }
                             sdj_core::bulk::sort_run(&mut run, ascending);
+                            if let Some(t) = &mut sort_spans {
+                                t.exit(Phase::Merge);
+                            }
                         }
                         local.push((i, run));
                         local_tallies.push(tally);
@@ -207,11 +218,18 @@ where
         let runs = runs
             .into_inner()
             .unwrap_or_else(std::sync::PoisonError::into_inner);
+        let mut merge_spans = self.obs.as_ref().and_then(SpanTimer::from_context);
+        if let Some(t) = &mut merge_spans {
+            t.enter(Phase::Merge);
+        }
         let hits = if ordered {
             sdj_core::bulk::merge_sorted_runs(runs, ascending, self.config.max_pairs)
         } else {
             runs.into_iter().flatten().collect()
         };
+        if let Some(t) = &mut merge_spans {
+            t.exit(Phase::Merge);
+        }
         let results = join.finish(hits);
 
         let stats = join.stats();
@@ -320,6 +338,24 @@ where
         if forced {
             ctx.registry.counter("plan.forced").inc();
         }
+        // Cost-model estimates as gauges, so the report's calibration
+        // section can compare predictions against observed phase times.
+        let clamp = |v: f64| {
+            if v.is_finite() {
+                v.min(i64::MAX as f64).round() as i64
+            } else {
+                i64::MAX
+            }
+        };
+        ctx.registry
+            .gauge("plan.est_incremental")
+            .set(clamp(plan.est_incremental));
+        ctx.registry
+            .gauge("plan.est_bulk")
+            .set(clamp(plan.est_bulk));
+        ctx.registry
+            .gauge("plan.est_pairs")
+            .set(clamp(plan.est_pairs));
     }
     match executed {
         PlanChoice::Incremental => {

@@ -48,7 +48,7 @@ use sdj_core::{
     PairKey, ResultOrder, ResultPair, SeenSet, SemiConfig, SharedDistanceBound, SpatialIndex,
 };
 use sdj_geom::Rect;
-use sdj_obs::{Event, EventSink, ObsContext};
+use sdj_obs::{Event, EventSink, ObsContext, Phase, SpanTimer};
 use sdj_storage::{FaultConfig, FaultInjector, StorageError};
 
 // The executor shares `&RTree` across scoped threads; this fails to compile
@@ -340,6 +340,13 @@ where
         let tallies: Mutex<Vec<(JoinStats, Option<StorageError>)>> =
             Mutex::new(Vec::with_capacity(workers_spawned));
 
+        // Per-worker busy time (span between thread start and stream end);
+        // `sdj-report` divides the sum by `wall * workers` for utilization.
+        let busy_hist = self
+            .obs
+            .as_ref()
+            .map(|ctx| ctx.registry.histogram("exec.worker_busy_ns"));
+
         let (value, mut stats) = std::thread::scope(|scope| {
             let mut receivers = Vec::with_capacity(workers_spawned);
             for (i, shard) in shards.into_iter().enumerate() {
@@ -350,13 +357,18 @@ where
                     .build_serial(worker_config, Some((shard, frontier.seen.clone())), worker)
                     .with_shared_bound(&shared);
                 let tallies = &tallies;
+                let busy_hist = busy_hist.clone();
                 scope.spawn(move || {
+                    let busy_start = std::time::Instant::now();
                     let mut sent: u64 = 0;
                     for result in &mut join {
                         if tx.send(Ok(result)).is_err() {
                             break; // the consumer dropped the stream
                         }
                         sent += 1;
+                    }
+                    if let Some(h) = &busy_hist {
+                        h.record(busy_start.elapsed().as_nanos() as f64);
                     }
                     if let Some(obs) = join.obs_mut() {
                         obs.finish(sent);
@@ -382,6 +394,7 @@ where
                 sink: Arc::clone(&ctx.sink),
                 result_sample_every: ctx.result_sample_every,
                 rank: prefix.len() as u64,
+                spans: SpanTimer::from_context(ctx),
             });
             let mut stream = JoinStream::new(
                 prefix,
@@ -456,6 +469,10 @@ struct StreamObs {
     /// Global rank of the last emitted result; starts at the prefix length,
     /// whose ranks worker 0 already reported.
     rank: u64,
+    /// Phase-span timer for the watermark merge. Merge self-time includes
+    /// blocking on worker channels — it measures what the consumer waits
+    /// for, not CPU burned.
+    spans: Option<SpanTimer>,
 }
 
 /// The globally ordered result stream of a parallel run: the frontier's
@@ -558,6 +575,21 @@ impl Iterator for JoinStream {
         if let Some(r) = self.prefix.next() {
             return Some(r);
         }
+        if let Some(StreamObs { spans: Some(t), .. }) = &mut self.obs {
+            t.enter(Phase::Merge);
+        }
+        let r = self.next_merged();
+        if let Some(StreamObs { spans: Some(t), .. }) = &mut self.obs {
+            t.exit(Phase::Merge);
+        }
+        r
+    }
+}
+
+impl JoinStream {
+    /// One element of the post-prefix watermark merge (see
+    /// [`Iterator::next`]).
+    fn next_merged(&mut self) -> Option<ResultPair> {
         loop {
             if self.remaining == Some(0) {
                 return None;

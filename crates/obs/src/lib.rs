@@ -30,12 +30,17 @@ pub mod json;
 pub mod metrics;
 pub mod report;
 pub mod sink;
+pub mod span;
 
 pub use event::{Event, PairKind, PlanPath, Side, Tier};
 pub use json::JsonValue;
 pub use metrics::{Counter, Gauge, Histogram, HistogramSummary, Registry, Snapshot};
-pub use report::{sparkline, write_atomic, HostInfo, RunRecorder, RunReport};
+pub use report::{
+    sparkline, write_atomic, CalibrationSection, HostInfo, PhaseRow, ProfileSection, RunRecorder,
+    RunReport,
+};
 pub use sink::{EventCounts, EventSink, NdjsonWriter, NoopSink, RingRecorder, TeeSink};
+pub use span::{LeafSpan, Phase, PhaseSnapshot, SpanMode, SpanSet, SpanTimer, PHASE_COUNT};
 
 use std::sync::Arc;
 
@@ -59,6 +64,9 @@ pub struct ObsContext {
     /// `NodeExpanded`). Off by default: they are meant for ring-buffer
     /// debugging, not for long NDJSON logs.
     pub detail: bool,
+    /// Phase-span accounting mode (see [`span::SpanMode`]). Sampled by
+    /// default — exact per-phase call counts, stride-sampled self-times.
+    pub span_mode: SpanMode,
 }
 
 impl ObsContext {
@@ -72,6 +80,7 @@ impl ObsContext {
             pop_sample_every: 128,
             result_sample_every: 1,
             detail: false,
+            span_mode: SpanMode::default(),
         }
     }
 
@@ -102,6 +111,13 @@ impl ObsContext {
         self.detail = detail;
         self
     }
+
+    /// Sets the phase-span accounting mode.
+    #[must_use]
+    pub fn with_span_mode(mut self, mode: SpanMode) -> Self {
+        self.span_mode = mode;
+        self
+    }
 }
 
 impl std::fmt::Debug for ObsContext {
@@ -110,6 +126,7 @@ impl std::fmt::Debug for ObsContext {
             .field("pop_sample_every", &self.pop_sample_every)
             .field("result_sample_every", &self.result_sample_every)
             .field("detail", &self.detail)
+            .field("span_mode", &self.span_mode)
             .finish_non_exhaustive()
     }
 }

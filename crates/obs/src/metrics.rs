@@ -11,6 +11,7 @@ use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
 
 use crate::json::escape_into;
+use crate::span::{PhaseSnapshot, SpanSet};
 
 /// Monotone atomic counter.
 #[derive(Debug, Default)]
@@ -261,6 +262,24 @@ impl HistogramSummary {
         let (lo, _) = Histogram::bucket_bounds(HISTOGRAM_BUCKETS - 1);
         lo
     }
+
+    /// Median estimate (see [`HistogramSummary::quantile`]).
+    #[must_use]
+    pub fn p50(&self) -> f64 {
+        self.quantile(0.50)
+    }
+
+    /// 95th-percentile estimate.
+    #[must_use]
+    pub fn p95(&self) -> f64 {
+        self.quantile(0.95)
+    }
+
+    /// 99th-percentile estimate.
+    #[must_use]
+    pub fn p99(&self) -> f64 {
+        self.quantile(0.99)
+    }
 }
 
 #[derive(Default)]
@@ -271,10 +290,12 @@ struct RegistryInner {
 }
 
 /// A named-instrument registry. Look-up-or-create is locked; the returned
-/// `Arc`s are then updated lock-free.
+/// `Arc`s are then updated lock-free. Also owns the run's shared
+/// [`SpanSet`] of per-phase profiling accumulators.
 #[derive(Default)]
 pub struct Registry {
     inner: Mutex<RegistryInner>,
+    spans: Arc<SpanSet>,
 }
 
 impl Registry {
@@ -282,6 +303,12 @@ impl Registry {
     #[must_use]
     pub fn new() -> Self {
         Self::default()
+    }
+
+    /// The run's shared per-phase span accumulators.
+    #[must_use]
+    pub fn spans(&self) -> &Arc<SpanSet> {
+        &self.spans
     }
 
     /// The counter named `name`, created on first use.
@@ -346,6 +373,7 @@ impl Registry {
             counters,
             gauges,
             histograms,
+            spans: self.spans.snapshot(),
         }
     }
 }
@@ -370,6 +398,9 @@ pub struct Snapshot {
     pub gauges: Vec<(String, i64, i64)>,
     /// `(name, summary)`, sorted by name.
     pub histograms: Vec<(String, HistogramSummary)>,
+    /// Per-phase span accumulators (phases entered at least once), in
+    /// [`crate::Phase::ALL`] order.
+    pub spans: Vec<PhaseSnapshot>,
 }
 
 impl Snapshot {
@@ -401,7 +432,8 @@ impl Snapshot {
     }
 
     /// Renders the snapshot as a JSON object (counters and gauges exact;
-    /// histograms as count/sum/mean/p50/p99).
+    /// histograms as count/sum/mean/p50/p95/p99; span phases as
+    /// calls/sampled_calls/sampled_ns/weighted_ns/max_ns/est_total_ns).
     #[must_use]
     pub fn to_json(&self) -> String {
         let mut out = String::with_capacity(256);
@@ -436,12 +468,26 @@ impl Snapshot {
             out.push('"');
             escape_into(&mut out, n);
             out.push_str(&format!(
-                "\":{{\"count\":{},\"sum\":{:.6},\"mean\":{:.6},\"p50\":{:.6},\"p99\":{:.6}}}",
+                "\":{{\"count\":{},\"sum\":{:.6},\"mean\":{:.6},\"p50\":{:.6},\"p95\":{:.6},\"p99\":{:.6}}}",
                 h.count,
                 h.sum,
                 h.mean(),
-                h.quantile(0.5),
-                h.quantile(0.99)
+                h.p50(),
+                h.p95(),
+                h.p99()
+            ));
+        }
+        out.push_str("},\"spans\":{");
+        for (i, s) in self.spans.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push('"');
+            escape_into(&mut out, s.phase.name());
+            out.push_str(&format!(
+                "\":{{\"calls\":{},\"sampled_calls\":{},\"sampled_ns\":{},\"weighted_ns\":{},\"max_ns\":{},\"est_total_ns\":{:.0}}}",
+                s.calls, s.sampled_calls, s.sampled_ns, s.weighted_ns, s.max_ns,
+                s.est_total_ns()
             ));
         }
         out.push_str("}}");

@@ -17,10 +17,14 @@ use std::sync::Mutex;
 
 use crate::event::Event;
 use crate::json::{escape_into, JsonValue};
+use crate::metrics::Snapshot;
 use crate::sink::EventSink;
+use crate::span::Phase;
 
 /// Current report schema version. Bump on breaking field changes.
-pub const SCHEMA_VERSION: u64 = 1;
+/// v2: host gains `cpu_model`; optional `profile` (per-phase span table)
+/// and `plan.calibration` sections.
+pub const SCHEMA_VERSION: u64 = 2;
 
 /// Hard cap on stored series points; beyond it the recorder decimates by
 /// doubling its stride, so memory stays bounded on any run length.
@@ -31,6 +35,10 @@ const SERIES_CAP: usize = 4096;
 pub struct HostInfo {
     /// Hardware threads available to the process.
     pub nproc: u64,
+    /// CPU model string (`"unknown"` when undetectable), so the
+    /// "1-CPU container host" caveat on benchmark numbers is
+    /// machine-readable.
+    pub cpu_model: String,
     /// `"release"` or `"debug"`.
     pub build_profile: String,
 }
@@ -47,15 +55,43 @@ impl HostInfo {
         };
         Self {
             nproc,
+            cpu_model: Self::detect_cpu_model(),
             build_profile: build_profile.to_string(),
         }
+    }
+
+    /// Best-effort CPU model string: `/proc/cpuinfo` on Linux, `"unknown"`
+    /// elsewhere or on failure.
+    fn detect_cpu_model() -> String {
+        #[cfg(target_os = "linux")]
+        {
+            if let Ok(info) = std::fs::read_to_string("/proc/cpuinfo") {
+                for line in info.lines() {
+                    // x86 says "model name", arm says "Processor"/"CPU part".
+                    if let Some(rest) = line
+                        .strip_prefix("model name")
+                        .or_else(|| line.strip_prefix("Processor"))
+                    {
+                        if let Some((_, model)) = rest.split_once(':') {
+                            let model = model.trim();
+                            if !model.is_empty() {
+                                return model.to_string();
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        "unknown".to_string()
     }
 
     /// Appends this as a JSON object.
     fn write_json(&self, out: &mut String) {
         out.push_str("{\"nproc\":");
         out.push_str(&self.nproc.to_string());
-        out.push_str(",\"build_profile\":\"");
+        out.push_str(",\"cpu_model\":\"");
+        escape_into(out, &self.cpu_model);
+        out.push_str("\",\"build_profile\":\"");
         escape_into(out, &self.build_profile);
         out.push_str("\"}");
     }
@@ -63,9 +99,143 @@ impl HostInfo {
     fn from_json(v: &JsonValue) -> Option<Self> {
         Some(Self {
             nproc: v.get("nproc")?.as_u64()?,
+            cpu_model: v
+                .get("cpu_model")
+                .and_then(JsonValue::as_str)
+                .unwrap_or("unknown")
+                .to_string(),
             build_profile: v.get("build_profile")?.as_str()?.to_string(),
         })
     }
+}
+
+/// One row of the EXPLAIN-ANALYZE profile table: a phase's call count and
+/// self-time estimates (nested spans are charged as self-time, so rows sum
+/// without double counting).
+#[derive(Clone, Debug, PartialEq)]
+pub struct PhaseRow {
+    /// Phase name ([`Phase::name`]).
+    pub phase: String,
+    /// Exact spans entered.
+    pub calls: u64,
+    /// Spans whose self-time was measured.
+    pub sampled_calls: u64,
+    /// Estimated total self-time (sampled time scaled to all calls), ns.
+    pub est_total_ns: f64,
+    /// Largest single measured self-time, ns.
+    pub max_ns: u64,
+    /// Median measured self-time per call, ns (histogram estimate).
+    pub p50_ns: f64,
+    /// 95th-percentile self-time per call, ns.
+    pub p95_ns: f64,
+    /// 99th-percentile self-time per call, ns.
+    pub p99_ns: f64,
+}
+
+impl PhaseRow {
+    /// Mean estimated self-time per call, ns.
+    #[must_use]
+    pub fn ns_per_call(&self) -> f64 {
+        if self.calls == 0 {
+            0.0
+        } else {
+            self.est_total_ns / self.calls as f64
+        }
+    }
+}
+
+/// The EXPLAIN-ANALYZE profile of one run: wall clock, worker count, and
+/// the per-phase self-time table.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct ProfileSection {
+    /// Measured wall-clock seconds of the profiled run.
+    pub wall_seconds: f64,
+    /// Worker threads the run used (self-times may sum up to
+    /// `wall_seconds × threads`).
+    pub threads: u64,
+    /// Per-phase rows, in [`Phase::ALL`] order (touched phases only).
+    pub phases: Vec<PhaseRow>,
+}
+
+impl ProfileSection {
+    /// Builds the table from a registry snapshot: span accumulators plus
+    /// the `span.<phase>.ns` histograms for the per-call quantiles.
+    #[must_use]
+    pub fn from_snapshot(snap: &Snapshot, wall_seconds: f64, threads: u64) -> Self {
+        let phases = snap
+            .spans
+            .iter()
+            .map(|s| {
+                let hist = snap.histogram(&format!("span.{}.ns", s.phase.name()));
+                let q = |f: fn(&crate::metrics::HistogramSummary) -> f64| hist.map_or(0.0, f);
+                PhaseRow {
+                    phase: s.phase.name().to_string(),
+                    calls: s.calls,
+                    sampled_calls: s.sampled_calls,
+                    est_total_ns: s.est_total_ns(),
+                    max_ns: s.max_ns,
+                    p50_ns: q(crate::metrics::HistogramSummary::p50),
+                    p95_ns: q(crate::metrics::HistogramSummary::p95),
+                    p99_ns: q(crate::metrics::HistogramSummary::p99),
+                }
+            })
+            .collect();
+        Self {
+            wall_seconds,
+            threads: threads.max(1),
+            phases,
+        }
+    }
+
+    /// Sum of estimated per-phase self-times, ns.
+    #[must_use]
+    pub fn attributed_ns(&self) -> f64 {
+        self.phases.iter().map(|p| p.est_total_ns).sum()
+    }
+
+    /// Attributed time as a fraction of the available wall clock
+    /// (`wall_seconds × threads`); 0 when the wall clock is unknown.
+    #[must_use]
+    pub fn attributed_fraction(&self) -> f64 {
+        let budget = self.wall_seconds * 1e9 * self.threads.max(1) as f64;
+        if budget <= 0.0 {
+            0.0
+        } else {
+            self.attributed_ns() / budget
+        }
+    }
+
+    /// Conservation check: attributed self-time must not exceed the wall
+    /// clock budget by more than `slack` (e.g. 0.25 allows 25% sampling
+    /// noise). Nested spans are charged as self-time, so a sound profile
+    /// cannot legitimately exceed the budget beyond estimator error.
+    #[must_use]
+    pub fn conserves(&self, slack: f64) -> bool {
+        self.wall_seconds > 0.0 && self.attributed_fraction() <= 1.0 + slack.max(0.0)
+    }
+}
+
+/// Planner calibration: the cost model's predictions recorded next to the
+/// observed outcome of the run it planned.
+#[derive(Clone, Debug, PartialEq)]
+pub struct CalibrationSection {
+    /// Path the planner chose (`"incremental"` / `"bulk"`).
+    pub choice: String,
+    /// Whether the executed path was forced rather than planned.
+    pub forced: bool,
+    /// Predicted abstract cost of the incremental path.
+    pub est_incremental: f64,
+    /// Predicted abstract cost of the bulk path.
+    pub est_bulk: f64,
+    /// Predicted result-pair count.
+    pub est_pairs: f64,
+    /// Predicted cost ratio `est_incremental / est_bulk` (the planner
+    /// picks incremental when this is < 1).
+    pub predicted_ratio: f64,
+    /// Measured wall-clock seconds of the executed path.
+    pub observed_seconds: f64,
+    /// Observed result-pair count.
+    pub observed_pairs: u64,
 }
 
 /// One instrumented run, ready to serialise.
@@ -87,6 +257,10 @@ pub struct RunReport {
     pub metrics: Vec<(String, f64)>,
     /// Total events the sink saw while recording.
     pub events_recorded: u64,
+    /// EXPLAIN-ANALYZE-style per-phase profile, when spans were on.
+    pub profile: Option<ProfileSection>,
+    /// Planner predictions vs the observed run (`plan.calibration`).
+    pub calibration: Option<CalibrationSection>,
 }
 
 /// A failed [`RunReport::validate`] check.
@@ -171,6 +345,48 @@ impl RunReport {
         }
         out.push_str("},\n  \"events_recorded\": ");
         out.push_str(&self.events_recorded.to_string());
+        if let Some(p) = &self.profile {
+            out.push_str(",\n  \"profile\": {\"wall_seconds\": ");
+            out.push_str(&fmt_metric(p.wall_seconds));
+            out.push_str(", \"threads\": ");
+            out.push_str(&p.threads.to_string());
+            out.push_str(", \"phases\": [");
+            for (i, row) in p.phases.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                out.push_str("\n    {\"phase\": \"");
+                escape_into(&mut out, &row.phase);
+                out.push_str(&format!(
+                    "\", \"calls\": {}, \"sampled_calls\": {}, \"est_total_ns\": {}, \
+                     \"max_ns\": {}, \"p50_ns\": {}, \"p95_ns\": {}, \"p99_ns\": {}}}",
+                    row.calls,
+                    row.sampled_calls,
+                    fmt_metric(row.est_total_ns),
+                    row.max_ns,
+                    fmt_metric(row.p50_ns),
+                    fmt_metric(row.p95_ns),
+                    fmt_metric(row.p99_ns),
+                ));
+            }
+            out.push_str("\n  ]}");
+        }
+        if let Some(c) = &self.calibration {
+            out.push_str(",\n  \"plan\": {\"calibration\": {\"choice\": \"");
+            escape_into(&mut out, &c.choice);
+            out.push_str(&format!(
+                "\", \"forced\": {}, \"est_incremental\": {}, \"est_bulk\": {}, \
+                 \"est_pairs\": {}, \"predicted_ratio\": {}, \"observed_seconds\": {}, \
+                 \"observed_pairs\": {}}}}}",
+                c.forced,
+                fmt_metric(c.est_incremental),
+                fmt_metric(c.est_bulk),
+                fmt_metric(c.est_pairs),
+                fmt_metric(c.predicted_ratio),
+                fmt_metric(c.observed_seconds),
+                c.observed_pairs,
+            ));
+        }
         out.push_str(",\n  \"queue_series\": [");
         for (i, (results, len)) in self.queue_series.iter().enumerate() {
             if i > 0 {
@@ -288,6 +504,14 @@ impl RunReport {
             .get("events_recorded")
             .and_then(JsonValue::as_u64)
             .unwrap_or(0);
+        let profile = match v.get("profile") {
+            Some(JsonValue::Null) | None => None,
+            Some(p) => Some(Self::profile_from_json(p)?),
+        };
+        let calibration = match v.get("plan").and_then(|p| p.get("calibration")) {
+            Some(JsonValue::Null) | None => None,
+            Some(c) => Some(Self::calibration_from_json(c)?),
+        };
         Ok(Self {
             label,
             host,
@@ -297,6 +521,84 @@ impl RunReport {
             distance_by_rank,
             metrics,
             events_recorded,
+            profile,
+            calibration,
+        })
+    }
+
+    fn profile_from_json(p: &JsonValue) -> Result<ProfileSection, ReportError> {
+        let num = |key: &str| -> Result<f64, ReportError> {
+            p.get(key)
+                .and_then(JsonValue::as_f64)
+                .ok_or_else(|| ReportError(format!("profile.{key} missing or not a number")))
+        };
+        let phases = match p.get("phases") {
+            Some(JsonValue::Arr(items)) => items
+                .iter()
+                .map(|row| -> Result<PhaseRow, ReportError> {
+                    let rnum = |key: &str| -> Result<f64, ReportError> {
+                        row.get(key).and_then(JsonValue::as_f64).ok_or_else(|| {
+                            ReportError(format!("profile phase {key} missing or not a number"))
+                        })
+                    };
+                    let runt = |key: &str| -> Result<u64, ReportError> {
+                        row.get(key).and_then(JsonValue::as_u64).ok_or_else(|| {
+                            ReportError(format!("profile phase {key} missing or not a u64"))
+                        })
+                    };
+                    Ok(PhaseRow {
+                        phase: row
+                            .get("phase")
+                            .and_then(JsonValue::as_str)
+                            .ok_or_else(|| ReportError("profile phase has no name".into()))?
+                            .to_string(),
+                        calls: runt("calls")?,
+                        sampled_calls: runt("sampled_calls")?,
+                        est_total_ns: rnum("est_total_ns")?,
+                        max_ns: runt("max_ns")?,
+                        p50_ns: rnum("p50_ns")?,
+                        p95_ns: rnum("p95_ns")?,
+                        p99_ns: rnum("p99_ns")?,
+                    })
+                })
+                .collect::<Result<Vec<_>, _>>()?,
+            _ => return Err(ReportError("profile.phases is not an array".into())),
+        };
+        Ok(ProfileSection {
+            wall_seconds: num("wall_seconds")?,
+            threads: p
+                .get("threads")
+                .and_then(JsonValue::as_u64)
+                .ok_or_else(|| ReportError("profile.threads missing".into()))?,
+            phases,
+        })
+    }
+
+    fn calibration_from_json(c: &JsonValue) -> Result<CalibrationSection, ReportError> {
+        let num = |key: &str| -> Result<f64, ReportError> {
+            c.get(key)
+                .and_then(JsonValue::as_f64)
+                .ok_or_else(|| ReportError(format!("plan.calibration.{key} missing")))
+        };
+        Ok(CalibrationSection {
+            choice: c
+                .get("choice")
+                .and_then(JsonValue::as_str)
+                .ok_or_else(|| ReportError("plan.calibration.choice missing".into()))?
+                .to_string(),
+            forced: c
+                .get("forced")
+                .and_then(JsonValue::as_bool)
+                .ok_or_else(|| ReportError("plan.calibration.forced missing".into()))?,
+            est_incremental: num("est_incremental")?,
+            est_bulk: num("est_bulk")?,
+            est_pairs: num("est_pairs")?,
+            predicted_ratio: num("predicted_ratio")?,
+            observed_seconds: num("observed_seconds")?,
+            observed_pairs: c
+                .get("observed_pairs")
+                .and_then(JsonValue::as_u64)
+                .ok_or_else(|| ReportError("plan.calibration.observed_pairs missing".into()))?,
         })
     }
 
@@ -334,6 +636,76 @@ impl RunReport {
             }
             prev_rank = Some(rank);
             prev_dist = dist.max(prev_dist);
+        }
+        if let Some(p) = &self.profile {
+            if !p.wall_seconds.is_finite() || p.wall_seconds < 0.0 {
+                return Err(ReportError(format!(
+                    "profile.wall_seconds is {}",
+                    p.wall_seconds
+                )));
+            }
+            if p.threads == 0 {
+                return Err(ReportError("profile.threads must be >= 1".into()));
+            }
+            let mut seen = Vec::new();
+            for row in &p.phases {
+                if Phase::from_name(&row.phase).is_none() {
+                    return Err(ReportError(format!(
+                        "unknown profile phase {:?}",
+                        row.phase
+                    )));
+                }
+                if seen.contains(&row.phase) {
+                    return Err(ReportError(format!(
+                        "duplicate profile phase {:?}",
+                        row.phase
+                    )));
+                }
+                seen.push(row.phase.clone());
+                if row.calls == 0 {
+                    return Err(ReportError(format!(
+                        "profile phase {} has 0 calls",
+                        row.phase
+                    )));
+                }
+                if row.sampled_calls > row.calls {
+                    return Err(ReportError(format!(
+                        "profile phase {} sampled {} of {} calls",
+                        row.phase, row.sampled_calls, row.calls
+                    )));
+                }
+                if !row.est_total_ns.is_finite() || row.est_total_ns < 0.0 {
+                    return Err(ReportError(format!(
+                        "profile phase {} est_total_ns is {}",
+                        row.phase, row.est_total_ns
+                    )));
+                }
+                if row.sampled_calls > 0 && row.est_total_ns <= 0.0 {
+                    return Err(ReportError(format!(
+                        "profile phase {} was sampled but has zero time",
+                        row.phase
+                    )));
+                }
+            }
+        }
+        if let Some(c) = &self.calibration {
+            if c.choice != "incremental" && c.choice != "bulk" {
+                return Err(ReportError(format!(
+                    "plan.calibration.choice {:?} not incremental/bulk",
+                    c.choice
+                )));
+            }
+            for (name, v) in [
+                ("est_incremental", c.est_incremental),
+                ("est_bulk", c.est_bulk),
+                ("est_pairs", c.est_pairs),
+                ("predicted_ratio", c.predicted_ratio),
+                ("observed_seconds", c.observed_seconds),
+            ] {
+                if !v.is_finite() || v < 0.0 {
+                    return Err(ReportError(format!("plan.calibration.{name} is {v}")));
+                }
+            }
         }
         Ok(())
     }
@@ -558,6 +930,7 @@ mod tests {
             label: "test run".into(),
             host: Some(HostInfo {
                 nproc: 4,
+                cpu_model: "Test CPU @ 2.0GHz".into(),
                 build_profile: "release".into(),
             }),
             workload: vec![("n".into(), 10000.0), ("k".into(), 1000.0)],
@@ -566,6 +939,42 @@ mod tests {
             distance_by_rank: vec![(1, 0.0), (2, 0.5), (10, 0.5), (100, 2.25)],
             metrics: vec![("seconds".into(), 1.25)],
             events_recorded: 42,
+            profile: Some(ProfileSection {
+                wall_seconds: 1.25,
+                threads: 1,
+                phases: vec![
+                    PhaseRow {
+                        phase: "queue_pop".into(),
+                        calls: 5000,
+                        sampled_calls: 120,
+                        est_total_ns: 400_000_000.0,
+                        max_ns: 90_000,
+                        p50_ns: 70_000.0,
+                        p95_ns: 85_000.0,
+                        p99_ns: 89_000.0,
+                    },
+                    PhaseRow {
+                        phase: "emit".into(),
+                        calls: 1000,
+                        sampled_calls: 60,
+                        est_total_ns: 500_000_000.0,
+                        max_ns: 600_000,
+                        p50_ns: 480_000.0,
+                        p95_ns: 550_000.0,
+                        p99_ns: 590_000.0,
+                    },
+                ],
+            }),
+            calibration: Some(CalibrationSection {
+                choice: "incremental".into(),
+                forced: false,
+                est_incremental: 123_000.0,
+                est_bulk: 456_000.0,
+                est_pairs: 1000.0,
+                predicted_ratio: 123.0 / 456.0,
+                observed_seconds: 1.25,
+                observed_pairs: 1000,
+            }),
         }
     }
 
@@ -580,14 +989,56 @@ mod tests {
         assert_eq!(back.queue_series, r.queue_series);
         assert_eq!(back.distance_by_rank, r.distance_by_rank);
         assert_eq!(back.events_recorded, 42);
+        assert_eq!(back.profile, r.profile);
+        assert_eq!(back.calibration, r.calibration);
         back.validate().expect("valid");
     }
 
     #[test]
     fn from_json_rejects_bad_schema_version() {
         let mut json = sample_report().to_json();
-        json = json.replace("\"schema_version\": 1", "\"schema_version\": 99");
+        json = json.replace("\"schema_version\": 2", "\"schema_version\": 99");
         assert!(RunReport::from_json(&json).is_err());
+    }
+
+    #[test]
+    fn profile_conservation_and_validation() {
+        let r = sample_report();
+        let p = r.profile.as_ref().unwrap();
+        // 0.9 s attributed of a 1.25 s wall clock: conserves, 72% coverage.
+        assert!(p.conserves(0.25));
+        assert!((p.attributed_fraction() - 0.72).abs() < 1e-9);
+
+        let mut bad = r.clone();
+        bad.profile.as_mut().unwrap().phases[0].phase = "warp_drive".into();
+        assert!(bad.validate().is_err(), "unknown phase name");
+
+        let mut bad = r.clone();
+        bad.profile.as_mut().unwrap().phases[0].calls = 0;
+        assert!(bad.validate().is_err(), "zero calls");
+
+        let mut bad = r.clone();
+        bad.profile.as_mut().unwrap().phases[0].sampled_calls = u64::MAX;
+        assert!(bad.validate().is_err(), "sampled > calls");
+
+        let mut bad = r.clone();
+        bad.calibration.as_mut().unwrap().choice = "quantum".into();
+        assert!(bad.validate().is_err(), "bad plan choice");
+
+        let mut over = r;
+        over.profile.as_mut().unwrap().phases[0].est_total_ns = 5e9;
+        assert!(!over.profile.unwrap().conserves(0.25), "attribution > wall");
+    }
+
+    #[test]
+    fn reports_without_profile_still_parse() {
+        let mut r = sample_report();
+        r.profile = None;
+        r.calibration = None;
+        let back = RunReport::from_json(&r.to_json()).expect("parses");
+        assert!(back.profile.is_none());
+        assert!(back.calibration.is_none());
+        back.validate().expect("valid");
     }
 
     #[test]

@@ -13,7 +13,7 @@
 use std::collections::BTreeMap;
 use std::sync::Arc;
 
-use sdj_obs::{Event, EventSink, Gauge, Registry, Tier};
+use sdj_obs::{Event, EventSink, Gauge, LeafSpan, Registry, Tier};
 use sdj_storage::codec::{PageReader, PageWriter};
 use sdj_storage::{BufferPool, DiskStats, FaultInjector, PageId, Pager, PoolStats, StorageError};
 
@@ -152,6 +152,11 @@ impl std::fmt::Debug for TierGauges {
 struct HybridObs {
     sink: Arc<dyn EventSink>,
     gauges: Option<TierGauges>,
+    /// Always-timed phase accumulators for tier traffic ([`sdj_obs::span`]):
+    /// spill and reload run against the pager, so their cost is real I/O
+    /// work the engine's sampled spans must be able to subtract.
+    spill_span: Option<LeafSpan>,
+    reload_span: Option<LeafSpan>,
 }
 
 struct Bucket {
@@ -231,8 +236,23 @@ where
     /// if `gauges` is given — the per-tier occupancy gauges are kept in sync
     /// after every queue operation.
     pub fn attach_obs(&mut self, sink: Arc<dyn EventSink>, gauges: Option<TierGauges>) {
-        self.obs = Some(HybridObs { sink, gauges });
+        self.obs = Some(HybridObs {
+            sink,
+            gauges,
+            spill_span: None,
+            reload_span: None,
+        });
         self.sync_obs_gauges();
+    }
+
+    /// Attaches phase-span accumulators for spill and reload traffic. Only
+    /// effective after [`HybridQueue::attach_obs`]; spans are always timed
+    /// (tier migrations are page-granular, so the clock reads are noise).
+    pub fn attach_spans(&mut self, spill: LeafSpan, reload: LeafSpan) {
+        if let Some(obs) = &mut self.obs {
+            obs.spill_span = Some(spill);
+            obs.reload_span = Some(reload);
+        }
     }
 
     fn sync_obs_gauges(&self) {
@@ -330,6 +350,21 @@ where
     }
 
     fn spill(&mut self, key: K, value: V) -> sdj_storage::Result<()> {
+        let timed = self
+            .obs
+            .as_ref()
+            .is_some_and(|o| o.spill_span.is_some())
+            .then(std::time::Instant::now);
+        let r = self.spill_inner(key, value);
+        if let (Some(t0), Some(obs)) = (timed, &self.obs) {
+            if let Some(span) = &obs.spill_span {
+                span.record_ns(t0.elapsed().as_nanos() as u64);
+            }
+        }
+        r
+    }
+
+    fn spill_inner(&mut self, key: K, value: V) -> sdj_storage::Result<()> {
         let k = self.bucket_index(key.distance());
         debug_assert!(k >= self.window, "spill of an in-window distance");
         let records_per_page = self.records_per_page;
@@ -403,6 +438,21 @@ where
     /// Loads every record of bucket `k` into the in-memory list, freeing its
     /// pages.
     fn reload_bucket(&mut self, k: u64) -> sdj_storage::Result<()> {
+        let timed = self
+            .obs
+            .as_ref()
+            .is_some_and(|o| o.reload_span.is_some())
+            .then(std::time::Instant::now);
+        let r = self.reload_bucket_inner(k);
+        if let (Some(t0), Some(obs)) = (timed, &self.obs) {
+            if let Some(span) = &obs.reload_span {
+                span.record_ns(t0.elapsed().as_nanos() as u64);
+            }
+        }
+        r
+    }
+
+    fn reload_bucket_inner(&mut self, k: u64) -> sdj_storage::Result<()> {
         let Some(bucket) = self.buckets.remove(&k) else {
             return Ok(());
         };

@@ -36,7 +36,7 @@ use std::ops::Deref;
 use std::sync::atomic::{AtomicU32, AtomicU64, Ordering};
 use std::sync::{Arc, Mutex, MutexGuard};
 
-use sdj_obs::{Counter, Event, EventSink, ObsContext};
+use sdj_obs::{Counter, Event, EventSink, LeafSpan, ObsContext, Phase};
 
 use crate::{PageId, Pager, Result};
 
@@ -113,6 +113,10 @@ pub struct BufferObs {
     prefetch_hits: Arc<Counter>,
     faults: Arc<Counter>,
     retries: Arc<Counter>,
+    /// Always-timed [`Phase::Io`] accumulator: every page fault (demand
+    /// miss, update miss, or prefetch) records its pager time here, so the
+    /// engine's sampled spans can subtract real I/O from their self-time.
+    io_span: Option<LeafSpan>,
 }
 
 impl BufferObs {
@@ -132,6 +136,7 @@ impl BufferObs {
             prefetch_hits: ctx.registry.counter(&format!("{prefix}.prefetch_hits")),
             faults: ctx.registry.counter(&format!("{prefix}.faults")),
             retries: ctx.registry.counter(&format!("{prefix}.retries")),
+            io_span: LeafSpan::from_context(ctx, Phase::Io),
         }
     }
 }
@@ -494,6 +499,21 @@ impl BufferPool {
     /// eviction bookkeeping. Returns a transient buffer when every frame is
     /// pinned.
     fn fault(&self, s: &mut ShardInner, id: PageId, prefetched: bool) -> Result<Fetched> {
+        let timed = s
+            .obs
+            .as_ref()
+            .is_some_and(|o| o.io_span.is_some())
+            .then(std::time::Instant::now);
+        let r = self.fault_inner(s, id, prefetched);
+        if let (Some(t0), Some(obs)) = (timed, &s.obs) {
+            if let Some(span) = &obs.io_span {
+                span.record_ns(t0.elapsed().as_nanos() as u64);
+            }
+        }
+        r
+    }
+
+    fn fault_inner(&self, s: &mut ShardInner, id: PageId, prefetched: bool) -> Result<Fetched> {
         let mut data = vec![0u8; self.page_size].into_boxed_slice();
         let limit = self.retry_limit();
         // One pager-lock acquisition covers the read and any write-back.
