@@ -99,4 +99,22 @@ cargo test -p sdj-core --offline -q --test profiling_invariance
     --expect-drain --expect-profile
 ./target/release/sdj-report --overhead --n 20000 --k 10000
 
+echo "==> queue-layout gate"
+# The flat 4-ary compact layout must stay invisible in the result stream:
+# the cross-layout proptests (pop streams, tier gauge conservation, slab
+# accounting, spill round-trips) must pass, bench_queue must keep building
+# so BENCH_queue.json stays reproducible, and a flat-layout report run must
+# produce the same pair counts as the default pairing run while recording
+# non-zero queue-memory gauges.
+cargo build --release --offline -p sdj-bench --bin bench_queue
+cargo test -p sdj-pqueue --offline -q --test layout_equivalence
+cargo test -p sdj-exec --offline -q --test parallel_equivalence flat_layout_is_stream_invisible_across_engines_and_backends
+./target/release/sdj-report --n 4000 --k 800 \
+    --out results/RunReport_queue_pairing.json
+SDJ_QUEUE_LAYOUT=flat ./target/release/sdj-report --n 4000 --k 800 \
+    --out results/RunReport_queue_flat.json
+./target/release/sdj-report --check results/RunReport_queue_flat.json \
+    --expect-drain --expect-queue-bytes \
+    --expect-pairs-match results/RunReport_queue_pairing.json
+
 echo "CI OK"

@@ -1,6 +1,6 @@
 //! Criterion microbenches for the substrates, including the ablations
-//! DESIGN.md calls out: pairing heap vs binary heap, hybrid-queue tiering,
-//! plane-sweep vs all-pairs node expansion, and the distance bound
+//! DESIGN.md calls out: pairing heap vs flat 4-ary heap, hybrid-queue
+//! tiering, plane-sweep vs all-pairs node expansion, and the distance bound
 //! functions.
 
 use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
@@ -9,7 +9,7 @@ use std::hint::black_box;
 use sdj_core::{DistanceJoin, JoinConfig, QueueBackend, TraversalPolicy};
 use sdj_datagen::{tiger, uniform_points, unit_box};
 use sdj_geom::{Metric, OrdF64, Point, Rect};
-use sdj_pqueue::{BinaryHeapQueue, HybridConfig, HybridQueue, PairingHeap, PriorityQueue};
+use sdj_pqueue::{FlatHeap, HybridConfig, HybridQueue, PairingHeap, PriorityQueue};
 use sdj_rtree::{ObjectId, RTree, RTreeConfig};
 
 fn keys(n: usize) -> Vec<f64> {
@@ -36,14 +36,14 @@ fn bench_heaps(c: &mut Criterion) {
             BatchSize::SmallInput,
         );
     });
-    group.bench_function("binary_heap", |b| {
+    group.bench_function("flat_dary_heap", |b| {
         b.iter_batched(
-            BinaryHeapQueue::<OrdF64, u64>::new,
+            FlatHeap::<OrdF64, u64>::new,
             |mut h| {
                 for (i, k) in ks.iter().enumerate() {
-                    h.push(OrdF64::new(*k), i as u64).expect("in-memory push");
+                    h.push(OrdF64::new(*k), i as u64);
                 }
-                while let Ok(Some(x)) = h.pop() {
+                while let Some(x) = h.pop() {
                     black_box(x);
                 }
             },

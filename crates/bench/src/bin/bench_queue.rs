@@ -1,0 +1,262 @@
+//! Queue-layout benchmark: pairing heap vs the flat 4-ary compact layout.
+//!
+//! Two measurements feed `BENCH_queue.json`:
+//!
+//! 1. **Microbench** — raw push-then-pop throughput of the two queue
+//!    structures over identical pseudo-random key streams (grow-then-drain,
+//!    the incremental join's queue shape per §3.2), with resident bytes at
+//!    the growth peak.
+//! 2. **End-to-end** — a 100k × 100k uniform-point distance join drained to
+//!    K = 100k under `QueueLayout::Pairing` and `QueueLayout::FlatDary`,
+//!    with the PR 7 profiler attached: per-layout wall clock,
+//!    `queue_pop`/`queue_push` self-times, `queue_bytes_peak`, and
+//!    bytes per queued pair at the queue's high-water mark. The two result
+//!    streams are asserted bit-identical before anything is reported.
+//!
+//! This is a 1-CPU container: wall-clock ratios compare the two layouts
+//! honestly on the same core; bytes per queued pair is the portable signal.
+
+use std::sync::Arc;
+use std::time::Instant;
+
+use sdj_bench::build_tree;
+use sdj_core::{DistanceJoin, JoinConfig, QueueLayout};
+use sdj_datagen::{uniform_points, unit_box};
+use sdj_geom::OrdF64;
+use sdj_obs::{NoopSink, ObsContext, ProfileSection};
+use sdj_pqueue::{FlatHeap, PairingHeap};
+
+fn env_num<T: std::str::FromStr>(name: &str, default: T) -> T {
+    match std::env::var(name) {
+        Ok(v) => v
+            .parse()
+            .unwrap_or_else(|_| panic!("{name}={v:?} is not a number")),
+        Err(_) => default,
+    }
+}
+
+/// Deterministic xorshift64* key stream in `[0, 1)`.
+struct KeyStream(u64);
+
+impl KeyStream {
+    fn next_key(&mut self) -> f64 {
+        self.0 ^= self.0 << 13;
+        self.0 ^= self.0 >> 7;
+        self.0 ^= self.0 << 17;
+        let bits = self.0.wrapping_mul(0x2545_F491_4F6C_DD1D);
+        (bits >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+struct MicroSample {
+    layout: &'static str,
+    ops: usize,
+    push_ns_per_op: f64,
+    pop_ns_per_op: f64,
+    peak_bytes: usize,
+    bytes_per_element: f64,
+}
+
+fn micro_pairing(ops: usize) -> MicroSample {
+    let mut keys = KeyStream(0x5DEE_CE66);
+    let mut q: PairingHeap<OrdF64, u64> = PairingHeap::new();
+    let start = Instant::now();
+    for i in 0..ops {
+        q.push(OrdF64::new(keys.next_key()), i as u64);
+    }
+    let push_s = start.elapsed().as_secs_f64();
+    let peak_bytes = q.approx_bytes();
+    let start = Instant::now();
+    let mut popped = 0usize;
+    while q.pop().is_some() {
+        popped += 1;
+    }
+    let pop_s = start.elapsed().as_secs_f64();
+    assert_eq!(popped, ops);
+    MicroSample {
+        layout: "pairing",
+        ops,
+        push_ns_per_op: push_s * 1e9 / ops as f64,
+        pop_ns_per_op: pop_s * 1e9 / ops as f64,
+        peak_bytes,
+        bytes_per_element: peak_bytes as f64 / ops as f64,
+    }
+}
+
+fn micro_flat(ops: usize) -> MicroSample {
+    let mut keys = KeyStream(0x5DEE_CE66);
+    let mut q: FlatHeap<OrdF64, u64> = FlatHeap::new();
+    let start = Instant::now();
+    for i in 0..ops {
+        q.push(OrdF64::new(keys.next_key()), i as u64);
+    }
+    let push_s = start.elapsed().as_secs_f64();
+    let peak_bytes = q.approx_bytes();
+    let start = Instant::now();
+    let mut popped = 0usize;
+    while q.pop().is_some() {
+        popped += 1;
+    }
+    let pop_s = start.elapsed().as_secs_f64();
+    assert_eq!(popped, ops);
+    MicroSample {
+        layout: "flat_dary",
+        ops,
+        push_ns_per_op: push_s * 1e9 / ops as f64,
+        pop_ns_per_op: pop_s * 1e9 / ops as f64,
+        peak_bytes,
+        bytes_per_element: peak_bytes as f64 / ops as f64,
+    }
+}
+
+struct JoinSample {
+    layout: &'static str,
+    seconds: f64,
+    pairs: u64,
+    max_queue: usize,
+    queue_bytes_peak: usize,
+    bytes_per_queued_pair: f64,
+    queue_pop_ns: f64,
+    queue_push_ns: f64,
+    slab_high_water: usize,
+    slab_recycled: u64,
+    /// Bit-exact stream fingerprint for the cross-layout identity check.
+    stream: Vec<(u64, u64, u64)>,
+}
+
+fn run_join(n: usize, k: u64, layout: QueueLayout, name: &'static str) -> JoinSample {
+    // Fresh trees per run: neither layout may inherit the other's warm
+    // buffer pool.
+    let bbox = unit_box();
+    let t1 = build_tree(&uniform_points(n, &bbox, 97));
+    let t2 = build_tree(&uniform_points(n, &bbox, 98));
+    let config = JoinConfig::default().with_max_pairs(k).with_layout(layout);
+    let ctx = ObsContext::new(Arc::new(NoopSink));
+    let mut join = DistanceJoin::new(&t1, &t2, config).with_obs(&ctx);
+    let start = Instant::now();
+    let stream: Vec<(u64, u64, u64)> = join
+        .by_ref()
+        .map(|r| (r.distance.to_bits(), r.oid1.0, r.oid2.0))
+        .collect();
+    let seconds = start.elapsed().as_secs_f64();
+    let stats = join.stats();
+    let (slab_high_water, slab_recycled) = join
+        .queue_slab_stats()
+        .map_or((0, 0), |(_, high, recycled)| (high, recycled));
+    let snap = ctx.registry.snapshot();
+    let profile = ProfileSection::from_snapshot(&snap, seconds, 1);
+    let phase_ns = |name: &str| {
+        profile
+            .phases
+            .iter()
+            .find(|p| p.phase == name)
+            .map_or(0.0, |p| p.est_total_ns)
+    };
+    JoinSample {
+        layout: name,
+        seconds,
+        pairs: stream.len() as u64,
+        max_queue: stats.max_queue,
+        queue_bytes_peak: stats.queue_bytes_peak,
+        bytes_per_queued_pair: stats.queue_bytes_peak as f64 / stats.max_queue.max(1) as f64,
+        queue_pop_ns: phase_ns("queue_pop"),
+        queue_push_ns: phase_ns("queue_push"),
+        slab_high_water,
+        slab_recycled,
+        stream,
+    }
+}
+
+fn main() {
+    let n: usize = env_num("SDJ_BENCH_N", 100_000);
+    let k: u64 = env_num("SDJ_BENCH_K", 100_000);
+    let micro_ops: usize = env_num("SDJ_BENCH_QOPS", 500_000);
+
+    eprintln!("# microbench: {micro_ops} push + {micro_ops} pop per layout ...");
+    let micro = [micro_pairing(micro_ops), micro_flat(micro_ops)];
+
+    eprintln!("# end-to-end: {n} x {n} uniform join, K = {k}, pairing layout ...");
+    let pairing = run_join(n, k, QueueLayout::Pairing, "pairing");
+    eprintln!("# end-to-end: {n} x {n} uniform join, K = {k}, flat 4-ary layout ...");
+    let flat = run_join(n, k, QueueLayout::FlatDary, "flat_dary");
+
+    assert_eq!(
+        pairing.stream, flat.stream,
+        "layouts must produce bit-identical result streams"
+    );
+    eprintln!(
+        "# streams bit-identical over {} pairs",
+        pairing.stream.len()
+    );
+
+    let bytes_reduction = pairing.bytes_per_queued_pair / flat.bytes_per_queued_pair.max(1e-9);
+    let pairing_queue_ns = pairing.queue_pop_ns + pairing.queue_push_ns;
+    let flat_queue_ns = flat.queue_pop_ns + flat.queue_push_ns;
+
+    let mut micro_rows = String::new();
+    for (i, m) in micro.iter().enumerate() {
+        if i > 0 {
+            micro_rows.push_str(",\n");
+        }
+        micro_rows.push_str(&format!(
+            "    {{\"layout\": \"{}\", \"ops\": {}, \"push_ns_per_op\": {:.2}, \
+             \"pop_ns_per_op\": {:.2}, \"peak_bytes\": {}, \"bytes_per_element\": {:.2}}}",
+            m.layout, m.ops, m.push_ns_per_op, m.pop_ns_per_op, m.peak_bytes, m.bytes_per_element,
+        ));
+    }
+    let mut join_rows = String::new();
+    for (i, s) in [&pairing, &flat].into_iter().enumerate() {
+        if i > 0 {
+            join_rows.push_str(",\n");
+        }
+        join_rows.push_str(&format!(
+            "    {{\"layout\": \"{}\", \"seconds\": {:.6}, \"pairs\": {}, \
+             \"max_queue\": {}, \"queue_bytes_peak\": {}, \"bytes_per_queued_pair\": {:.2}, \
+             \"queue_pop_est_ns\": {:.0}, \"queue_push_est_ns\": {:.0}, \
+             \"slab_high_water\": {}, \"slab_recycled\": {}}}",
+            s.layout,
+            s.seconds,
+            s.pairs,
+            s.max_queue,
+            s.queue_bytes_peak,
+            s.bytes_per_queued_pair,
+            s.queue_pop_ns,
+            s.queue_push_ns,
+            s.slab_high_water,
+            s.slab_recycled,
+        ));
+    }
+
+    let host = sdj_obs::HostInfo::detect();
+    let mut cpu_model = String::new();
+    sdj_obs::json::escape_into(&mut cpu_model, &host.cpu_model);
+    let json = format!(
+        "{{\n  \"schema_version\": 1,\n  \"benchmark\": \"queue layout: pairing heap vs flat \
+         4-ary compact layout; {micro_ops}-op microbench and {n} x {n} end-to-end join at \
+         K = {k}\",\n  \
+         \"host\": {{\"nproc\": {}, \"cpu_model\": \"{}\", \"build_profile\": \"{}\"}},\n  \
+         \"note\": \"Streams are asserted bit-identical across layouts before reporting. \
+         bytes_per_queued_pair = queue_bytes_peak / max_queue; the flat layout stores 16-byte \
+         heap entries plus interned items in a shared slab, the pairing layout stores fat \
+         pairs inline. queue_*_est_ns are Horvitz-Thompson self-time estimates from the \
+         sampled profiler (1-CPU host).\",\n  \
+         \"bytes_per_pair_reduction\": {:.2},\n  \
+         \"bytes_reduction_at_least_2x\": {},\n  \
+         \"queue_self_time_pairing_ns\": {:.0},\n  \
+         \"queue_self_time_flat_ns\": {:.0},\n  \
+         \"queue_self_time_reduced\": {},\n  \
+         \"microbench\": [\n{micro_rows}\n  ],\n  \
+         \"end_to_end\": [\n{join_rows}\n  ]\n}}\n",
+        host.nproc,
+        cpu_model,
+        host.build_profile,
+        bytes_reduction,
+        bytes_reduction >= 2.0,
+        pairing_queue_ns,
+        flat_queue_ns,
+        flat_queue_ns < pairing_queue_ns,
+    );
+    sdj_obs::write_atomic("BENCH_queue.json", json.as_bytes()).expect("write BENCH_queue.json");
+    print!("{json}");
+    eprintln!("# wrote BENCH_queue.json");
+}

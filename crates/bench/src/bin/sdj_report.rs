@@ -25,7 +25,9 @@ use std::sync::Arc;
 use std::time::Instant;
 
 use sdj_bench::build_tree;
-use sdj_core::{BulkConfig, BulkStats, DistanceJoin, JoinConfig, JoinStats, Plan, PlanChoice};
+use sdj_core::{
+    BulkConfig, BulkStats, DistanceJoin, JoinConfig, JoinStats, Plan, PlanChoice, QueueLayout,
+};
 use sdj_datagen::{uniform_points, unit_box};
 use sdj_exec::{run_planned, ParallelConfig};
 use sdj_geom::Point;
@@ -47,6 +49,8 @@ struct Args {
     expect_retries: bool,
     expect_plan: Option<String>,
     expect_profile: bool,
+    expect_queue_bytes: bool,
+    expect_pairs_match: Option<String>,
     overhead: bool,
     profile: bool,
     label: String,
@@ -66,6 +70,8 @@ impl Args {
             expect_retries: false,
             expect_plan: None,
             expect_profile: false,
+            expect_queue_bytes: false,
+            expect_pairs_match: None,
             overhead: false,
             profile: false,
             label: "uniform distance join".into(),
@@ -113,6 +119,11 @@ impl Args {
                     i += 1;
                 }
                 "--expect-profile" => a.expect_profile = true,
+                "--expect-queue-bytes" => a.expect_queue_bytes = true,
+                "--expect-pairs-match" => {
+                    a.expect_pairs_match = Some(take(&argv, i, "--expect-pairs-match"));
+                    i += 1;
+                }
                 "--overhead" => a.overhead = true,
                 "--profile" => a.profile = true,
                 "--label" => {
@@ -130,6 +141,7 @@ impl Args {
                 other => panic!(
                     "unknown argument {other} (expected --n/--k/--threads/--out/--events/\
                      --check/--expect-drain/--expect-retries/--expect-plan/--expect-profile/\
+                     --expect-queue-bytes/--expect-pairs-match/\
                      --overhead/--profile/--label/--force-plan)"
                 ),
             }
@@ -186,7 +198,9 @@ fn run_k_pass(
     force: Option<PlanChoice>,
     ctx: &ObsContext,
 ) -> KPass {
-    let config = JoinConfig::default().with_max_pairs(k);
+    let config = JoinConfig::default()
+        .with_max_pairs(k)
+        .with_layout(queue_layout_from_env());
     let start = Instant::now();
     let run = run_planned(
         t1,
@@ -222,9 +236,24 @@ fn run_k_pass(
 /// is the paper's Figure 6 (parallel workers each own a shard queue, which
 /// is a different quantity).
 fn run_drain_pass(t1: &RTree<2>, t2: &RTree<2>, dmax: f64, ctx: &ObsContext) -> u64 {
-    let config = JoinConfig::default().with_range(0.0, dmax);
+    let config = JoinConfig::default()
+        .with_range(0.0, dmax)
+        .with_layout(queue_layout_from_env());
     let mut join = DistanceJoin::new(t1, t2, config).with_obs(ctx);
     join.by_ref().count() as u64
+}
+
+/// Queue layout from the environment: `SDJ_QUEUE_LAYOUT=flat` selects the
+/// compact flat 4-ary layout (DESIGN.md §14), `pairing` (or unset) the
+/// default pointer-based pairing heap. Both passes and every execution
+/// path use the selected layout; result streams are layout-invariant, which
+/// the CI queue gate cross-checks via `--expect-pairs-match`.
+fn queue_layout_from_env() -> QueueLayout {
+    match std::env::var("SDJ_QUEUE_LAYOUT").as_deref() {
+        Ok("flat") | Ok("flat_dary") => QueueLayout::FlatDary,
+        Ok("pairing") | Err(_) => QueueLayout::Pairing,
+        Ok(other) => panic!("SDJ_QUEUE_LAYOUT={other:?} (expected flat|pairing)"),
+    }
 }
 
 /// Chaos mode from the environment: `SDJ_FAULT_SEED` (u64) enables a
@@ -370,6 +399,14 @@ fn run_report(args: &Args) -> Result<(), String> {
         ),
         ("plan.est_incremental".into(), plan.est_incremental),
         ("plan.est_bulk".into(), plan.est_bulk),
+        // 0 = pairing, 1 = flat 4-ary (the SDJ_QUEUE_LAYOUT selection).
+        (
+            "queue.layout".into(),
+            match queue_layout_from_env() {
+                QueueLayout::Pairing => 0.0,
+                QueueLayout::FlatDary => 1.0,
+            },
+        ),
     ];
     report.counters = vec![
         ("pairs_produced".into(), produced),
@@ -378,6 +415,7 @@ fn run_report(args: &Args) -> Result<(), String> {
         ("pairs_enqueued".into(), stats.pairs_enqueued),
         ("pairs_dequeued".into(), stats.pairs_dequeued),
         ("max_queue".into(), stats.max_queue as u64),
+        ("queue_bytes_peak".into(), stats.queue_bytes_peak as u64),
         ("node_accesses".into(), stats.node_accesses),
         ("node_io".into(), stats.node_io),
     ];
@@ -387,6 +425,16 @@ fn run_report(args: &Args) -> Result<(), String> {
     let snap1 = ctx1.registry.snapshot();
     for (name, value) in &snap1.counters {
         report.counters.push((name.clone(), *value));
+    }
+    // Queue-memory gauges (pq.bytes always; pq.slab_* under the flat
+    // layout): record each gauge's high-water mark as a counter so the
+    // queue CI gate can assert it from the report file.
+    for (name, _, high) in &snap1.gauges {
+        if name.starts_with("pq.") {
+            report
+                .counters
+                .push((format!("{name}.peak"), u64::try_from(*high).unwrap_or(0)));
+        }
     }
     if let Some(b) = bulk {
         report
@@ -521,6 +569,24 @@ fn render_profile(p: &ProfileSection, report: &RunReport) {
             row.max_ns,
         );
     }
+    // Queue memory next to the queue_pop/queue_push self-times: the
+    // layout's footprint at the queue's element high-water mark.
+    let counter = |name: &str| -> u64 {
+        report
+            .counters
+            .iter()
+            .find(|(n, _)| n == name)
+            .map_or(0, |(_, v)| *v)
+    };
+    let (bytes_peak, max_queue) = (counter("queue_bytes_peak"), counter("max_queue"));
+    if bytes_peak > 0 {
+        println!(
+            "queue memory: {} bytes peak, {:.1} bytes/queued pair at high-water {}",
+            bytes_peak,
+            bytes_peak as f64 / max_queue.max(1) as f64,
+            max_queue
+        );
+    }
     if let Some((_, util)) = report
         .metrics
         .iter()
@@ -552,6 +618,8 @@ fn run_check(
     expect_retries: bool,
     expect_plan: Option<&str>,
     expect_profile: bool,
+    expect_queue_bytes: bool,
+    expect_pairs_match: Option<&str>,
 ) -> Result<(), String> {
     let text = std::fs::read_to_string(path).map_err(|e| format!("read {path}: {e}"))?;
     let report = RunReport::from_json(&text).map_err(|e| format!("{path}: {e}"))?;
@@ -672,6 +740,60 @@ fn run_check(
             p.attributed_fraction() * 100.0,
             c.choice,
             c.predicted_ratio
+        );
+    }
+    let counter = |name: &str| -> u64 {
+        report
+            .counters
+            .iter()
+            .find(|(n, _)| n == name)
+            .map_or(0, |(_, v)| *v)
+    };
+    if expect_queue_bytes {
+        // The queue gate: the run must have recorded a non-zero queue-byte
+        // high-water mark, both as the engine-side JoinStats sample and as
+        // the pq.bytes gauge peak from the observability registry.
+        let (engine, gauge) = (counter("queue_bytes_peak"), counter("pq.bytes.peak"));
+        if engine == 0 || gauge == 0 {
+            return Err(format!(
+                "{path}: expected a recorded queue-byte high-water mark, got \
+                 queue_bytes_peak={engine} pq.bytes.peak={gauge}"
+            ));
+        }
+        println!(
+            "{path}: queue bytes ok (queue_bytes_peak={engine}, pq.bytes.peak={gauge}, \
+             {:.1} bytes/pair at high-water {})",
+            engine as f64 / counter("max_queue").max(1) as f64,
+            counter("max_queue")
+        );
+    }
+    if let Some(other_path) = expect_pairs_match {
+        // Layout invariance: the checked report must agree with a reference
+        // report (same workload, different queue layout) on every produced
+        // result count, in both passes.
+        let other_text =
+            std::fs::read_to_string(other_path).map_err(|e| format!("read {other_path}: {e}"))?;
+        let other = RunReport::from_json(&other_text).map_err(|e| format!("{other_path}: {e}"))?;
+        let other_counter = |name: &str| -> u64 {
+            other
+                .counters
+                .iter()
+                .find(|(n, _)| n == name)
+                .map_or(0, |(_, v)| *v)
+        };
+        for name in ["pairs_produced", "drain_pairs_produced"] {
+            let (a, b) = (counter(name), other_counter(name));
+            if a != b {
+                return Err(format!(
+                    "{path}: {name}={a} disagrees with {other_path}'s {b} — \
+                     the queue layout changed the result stream"
+                ));
+            }
+        }
+        println!(
+            "{path}: pairs match {other_path} (pairs_produced={}, drain_pairs_produced={})",
+            counter("pairs_produced"),
+            counter("drain_pairs_produced")
         );
     }
     println!(
@@ -812,6 +934,8 @@ fn main() -> ExitCode {
             args.expect_retries,
             args.expect_plan.as_deref(),
             args.expect_profile,
+            args.expect_queue_bytes,
+            args.expect_pairs_match.as_deref(),
         )
     } else if args.overhead {
         run_overhead(&args)

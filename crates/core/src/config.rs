@@ -4,6 +4,11 @@ use sdj_geom::Metric;
 use sdj_pqueue::HybridConfig;
 
 pub use crate::pair::TiePolicy;
+/// Queue memory layout (`DESIGN.md` §14): `Pairing` is the paper's
+/// pointer-based pairing heap over fat pairs; `FlatDary` stores 16-byte
+/// compact entries in a flat 4-ary implicit heap with pair payloads interned
+/// in a shared item arena. Result streams are bit-identical across layouts.
+pub use sdj_pqueue::Layout as QueueLayout;
 
 /// How node/node pairs are expanded (§2.2.2, evaluated in §4.1.1).
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Hash)]
@@ -99,6 +104,11 @@ pub struct JoinConfig {
     pub tie: TiePolicy,
     /// Priority-queue backend.
     pub queue: QueueBackend,
+    /// Priority-queue memory layout, applied to whichever backend is
+    /// selected (this field overrides any layout carried by a
+    /// [`HybridConfig`]). Pop order and result streams are identical across
+    /// layouts; only footprint and cache behaviour differ.
+    pub layout: QueueLayout,
     /// Minimum result distance (`WHERE d >= dmin`); pairs that cannot reach
     /// it are pruned via MAXDIST.
     pub min_distance: f64,
@@ -138,6 +148,7 @@ impl Default for JoinConfig {
             traversal: TraversalPolicy::default(),
             tie: TiePolicy::default(),
             queue: QueueBackend::default(),
+            layout: QueueLayout::default(),
             min_distance: 0.0,
             max_distance: f64::INFINITY,
             max_pairs: None,
@@ -201,6 +212,13 @@ impl JoinConfig {
     #[must_use]
     pub fn with_expansion(mut self, expansion: ExpansionPath) -> Self {
         self.expansion = expansion;
+        self
+    }
+
+    /// Convenience: select the queue memory layout.
+    #[must_use]
+    pub fn with_layout(mut self, layout: QueueLayout) -> Self {
+        self.layout = layout;
         self
     }
 

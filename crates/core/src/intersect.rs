@@ -82,7 +82,11 @@ where
             tree2,
             focus,
             keys,
-            queue: JoinQueue::new(&QueueBackend::Memory, keys),
+            queue: JoinQueue::new(
+                &QueueBackend::Memory,
+                crate::config::QueueLayout::Pairing,
+                keys,
+            ),
             node_scratch: IndexNode::empty(),
             soa: SoaRects::new(),
             keys_buf: Vec::new(),

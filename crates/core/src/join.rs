@@ -299,7 +299,7 @@ where
             keys,
             min_key: keys.to_key(config.min_distance),
             max_key: keys.to_key(config.max_distance),
-            queue: JoinQueue::new(&config.queue, keys),
+            queue: JoinQueue::new(&config.queue, config.layout, keys),
             estimator,
             semi,
             stats: JoinStats::default(),
@@ -541,6 +541,7 @@ where
         // shards; the flush-time sample covers batch insertions. Take the
         // max so neither path can under-report.
         s.max_queue = s.max_queue.max(self.queue.max_len());
+        s.queue_bytes_peak = s.queue_bytes_peak.max(self.queue.queue_bytes());
         s
     }
 
@@ -593,6 +594,14 @@ where
     #[must_use]
     pub fn hybrid_queue_info(&self) -> Option<(sdj_pqueue::HybridStats, usize)> {
         self.queue.hybrid_info()
+    }
+
+    /// Item-arena occupancy under [`QueueLayout::FlatDary`](crate::QueueLayout::FlatDary):
+    /// `(live distinct items, lifetime high-water, recycled allocations)`.
+    /// `None` under the pairing layout.
+    #[must_use]
+    pub fn queue_slab_stats(&self) -> Option<(usize, usize, u64)> {
+        self.queue.slab_stats()
     }
 
     // ----------------------------------------------------------- internals
@@ -1063,9 +1072,14 @@ where
         let flushed = self.queue.push_batch(pending.drain(..));
         self.span_exit(Phase::QueuePush);
         self.pending = pending;
-        // Update the high-water mark once per flush, not once per push:
-        // batch insertions must be observed too.
+        // Update the high-water marks once per flush, not once per push:
+        // batch insertions must be observed too, and the byte sample is
+        // taken when the queue is fullest (right after a flush).
         self.stats.max_queue = self.stats.max_queue.max(self.queue.len());
+        self.stats.queue_bytes_peak = self.stats.queue_bytes_peak.max(self.queue.queue_bytes());
+        if self.obs.is_some() {
+            self.queue.sync_gauges();
+        }
         flushed
     }
 

@@ -69,14 +69,15 @@ mod pair;
 pub mod plan;
 mod queue;
 mod semi;
+mod slab;
 mod stats;
 mod view;
 
 pub use bound::SharedDistanceBound;
 pub use bulk::{BulkConfig, BulkDistanceJoin, BulkHit, BulkStats, CellScratch, CellTally};
 pub use config::{
-    EstimationBound, ExpansionPath, JoinConfig, KeyDomain, QueueBackend, ResultOrder, TiePolicy,
-    TraversalPolicy,
+    EstimationBound, ExpansionPath, JoinConfig, KeyDomain, QueueBackend, QueueLayout, ResultOrder,
+    TiePolicy, TraversalPolicy,
 };
 pub use estimate::{Estimator, EstimatorMode};
 pub use index::{IndexEntry, IndexNode, NodeId, SpatialIndex};
@@ -89,4 +90,5 @@ pub use pair::{Item, ItemId, Pair, PairKey};
 pub use plan::{plan, plan_for_trees, Plan, PlanChoice, PlanInputs};
 pub use queue::JoinQueue;
 pub use semi::{DmaxStrategy, SeenSet, SemiConfig, SemiFilter};
+pub use slab::{ItemArena, PackedPair};
 pub use stats::JoinStats;

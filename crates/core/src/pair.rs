@@ -230,6 +230,22 @@ impl QueueKey for PairKey {
     fn distance(&self) -> f64 {
         self.dist.get()
     }
+
+    // The flat heap folds this into its compact entry tag; together with
+    // the order bits it reproduces this key's full `Ord`.
+    fn tie_rank(&self) -> u8 {
+        self.tie
+    }
+
+    // The key *is* its order image — `(dist, tie)` and nothing else — so
+    // the flat heap stores no key copies and rebuilds popped keys from
+    // their compact entries.
+    fn from_parts(bits: u64, tie_rank: u8) -> Self {
+        Self {
+            dist: OrdF64::new(sdj_pqueue::f64_from_order_bits(bits)),
+            tie: tie_rank,
+        }
+    }
 }
 
 impl Codec for PairKey {

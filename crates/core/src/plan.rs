@@ -13,13 +13,32 @@
 //!
 //! The planner estimates both costs from quantities that are cheap to read
 //! before execution — input cardinalities, the joint bounding box, the
-//! `[Dmin, Dmax]` restriction, and `K` — and picks the smaller. The units
-//! are abstract "work units" (roughly: one distance evaluation); the
-//! absolute values are meaningless, only the comparison matters. The
-//! crossover the model predicts is measured empirically by the
+//! `[Dmin, Dmax]` restriction, `K`, and one cached page per tree (the root,
+//! whose child rectangles yield the frontier signal below) — and picks the
+//! smaller. The units are abstract "work units" (roughly: one distance
+//! evaluation); the absolute values are meaningless, only the comparison
+//! matters. The crossover the model predicts is measured empirically by the
 //! `bench_planner` binary (see `BENCH_planner.json`), and [`PlanChoice`] is
 //! surfaced in run reports so a misprediction is visible, and overridable
 //! (`--force-plan` in `sdj-report`).
+//!
+//! # The frontier signal
+//!
+//! Under a `Dmax` restriction the incremental engine's dominant cost is
+//! nearly independent of `K`: node pairs whose `mindist` is below the
+//! frontier distance must be expanded before the results behind them can
+//! surface, so a distance-restricted run pays for (most of) the restricted
+//! *node frontier* even when the consumer stops early. That frontier is
+//! invisible to pure cardinality statistics — a uniform and a clustered
+//! workload with identical `(n, bbox, Dmax)` produce identical
+//! [`PlanInputs`] cardinalities but frontiers an order of magnitude apart.
+//! [`PlanInputs::from_trees`] therefore measures the top of the frontier
+//! directly: it counts cross-tree root-child pairs within `Dmax` (at most
+//! fanout² rectangle distances over two cached pages) and scales the count
+//! by the average subtree cardinality, giving [`PlanInputs::est_frontier`].
+//! Clustered trees put most root-child pairs far apart and score low;
+//! uniform trees score high; the measured crossovers in
+//! `BENCH_planner.json` separate accordingly.
 
 use crate::config::JoinConfig;
 use crate::index::SpatialIndex;
@@ -68,12 +87,18 @@ pub struct PlanInputs<const D: usize> {
     pub min_distance: f64,
     /// Upper distance restriction (`Dmax`; may be infinite).
     pub max_distance: f64,
+    /// Estimated size of the distance-restricted node frontier: cross-tree
+    /// root-child pairs within `Dmax`, scaled by the average objects per
+    /// root child (see the module docs). `0.0` when a root is unreadable —
+    /// the model then degrades to its cardinality terms.
+    pub est_frontier: f64,
 }
 
 impl<const D: usize> PlanInputs<D> {
-    /// Reads the statistics off two spatial indexes and a join config. Uses
-    /// only O(1) index metadata (lengths and root regions) — no I/O beyond
-    /// what the indexes cache.
+    /// Reads the statistics off two spatial indexes and a join config.
+    /// Touches only index metadata plus the two root pages (for the
+    /// frontier signal) — both cached, at most fanout² rectangle-distance
+    /// evaluations, no further I/O.
     pub fn from_trees<I1, I2>(tree1: &I1, tree2: &I2, config: &JoinConfig) -> Self
     where
         I1: SpatialIndex<D> + ?Sized,
@@ -95,8 +120,44 @@ impl<const D: usize> PlanInputs<D> {
             max_pairs: config.max_pairs,
             min_distance: config.min_distance,
             max_distance: config.max_distance,
+            est_frontier: est_frontier(tree1, tree2, config.max_distance),
         }
     }
+}
+
+/// Measures the top of the distance-restricted node frontier: the number
+/// of cross-tree root-child pairs whose `mindist` is within `dmax`, scaled
+/// by the average objects per root child of both sides. Both root pages
+/// are cached (or one demand read each); an unreadable or empty root
+/// yields `0.0`.
+fn est_frontier<const D: usize, I1, I2>(tree1: &I1, tree2: &I2, dmax: f64) -> f64
+where
+    I1: SpatialIndex<D> + ?Sized,
+    I2: SpatialIndex<D> + ?Sized,
+{
+    use sdj_geom::{Metric, SpatialObject};
+    let (Ok(root1), Ok(root2)) = (
+        tree1.read_node(tree1.root_id()),
+        tree2.read_node(tree2.root_id()),
+    ) else {
+        return 0.0;
+    };
+    let (m1, m2) = (root1.entries.len(), root2.entries.len());
+    if m1 == 0 || m2 == 0 {
+        return 0.0;
+    }
+    let within = if dmax.is_finite() {
+        root1
+            .entries
+            .iter()
+            .flat_map(|e1| root2.entries.iter().map(move |e2| (e1, e2)))
+            .filter(|(e1, e2)| e1.rect().min_distance(e2.rect(), Metric::Euclidean) <= dmax)
+            .count()
+    } else {
+        m1 * m2
+    };
+    let per_child = tree1.len() as f64 / m1 as f64 + tree2.len() as f64 / m2 as f64;
+    within as f64 * per_child
 }
 
 /// The planner's verdict: the chosen path plus the estimates behind it, so
@@ -117,10 +178,22 @@ pub struct Plan {
 /// Fixed setup charge of the incremental path (queue plumbing, initial node
 /// descents) in work units.
 const INCREMENTAL_SETUP: f64 = 1_000.0;
+/// Work units charged per unit of [`PlanInputs::est_frontier`]: the
+/// `K`-independent cost of expanding the distance-restricted node frontier
+/// (child decode, kernel distances, queue staging) that a restricted run
+/// pays before early results can surface. Calibrated against
+/// `BENCH_planner.json`'s 100k × 100k sweep, where the measured frontier
+/// (`incremental_distance_calcs` at `K = 10`) is ~5M on uniform data
+/// against an `est_frontier` of ~1.3M, and ~0.4M on clustered data against
+/// ~0.8M.
+const INCREMENTAL_PER_FRONTIER: f64 = 0.7;
 /// Work units charged per produced pair per `log2(n)` queue level: each
-/// result costs queue pushes/pops over node and pair entries whose heap
-/// depth scales with the input size.
-const INCREMENTAL_PER_PAIR_LEVEL: f64 = 16.0;
+/// result costs queue pushes/pops over entries whose heap depth scales
+/// with the input size. Retuned (16 → 0.4) together with the frontier
+/// term: the old constant absorbed the then-unmodelled frontier cost into
+/// the per-pair slope, which over-penalised large-`K` runs on clustered
+/// data.
+const INCREMENTAL_PER_PAIR_LEVEL: f64 = 0.4;
 /// Fixed setup charge of the bulk path: both trees must be fully harvested
 /// and partitioned before the first result can be emitted, whereas the
 /// incremental path can stop after its first descent.
@@ -163,7 +236,9 @@ pub fn plan<const D: usize>(inputs: &PlanInputs<D>) -> Plan {
         None => est_pairs,
     };
     let n_max = n1.max(n2).max(2.0);
-    let est_incremental = INCREMENTAL_SETUP + k_eff * INCREMENTAL_PER_PAIR_LEVEL * n_max.log2();
+    let est_incremental = INCREMENTAL_SETUP
+        + INCREMENTAL_PER_FRONTIER * inputs.est_frontier
+        + k_eff * INCREMENTAL_PER_PAIR_LEVEL * n_max.log2();
     let est_bulk = BULK_SETUP + (n1 + n2) * BULK_PER_ENTRY + est_pairs * BULK_PER_PAIR;
 
     let choice = if est_incremental <= est_bulk {
@@ -192,7 +267,9 @@ where
 mod tests {
     use super::*;
 
-    /// 100k × 100k uniform points on the unit box, `Dmax = 0.001`.
+    /// 100k × 100k uniform points on the unit box, `Dmax = 0.001`. The
+    /// frontier value is the measured one for these trees (~267 of 1600
+    /// root-child pairs within `Dmax`, 2500 objects per child per side).
     fn uniform_inputs() -> PlanInputs<2> {
         PlanInputs {
             n1: 100_000,
@@ -201,6 +278,7 @@ mod tests {
             max_pairs: None,
             min_distance: 0.0,
             max_distance: 0.001,
+            est_frontier: 1_335_000.0,
         }
     }
 
@@ -235,6 +313,9 @@ mod tests {
             max_pairs: None,
             min_distance: 0.0,
             max_distance: f64::INFINITY,
+            // Unbounded range: every root-child pair is on the frontier
+            // (40 × 40 pairs, 50 objects per leaf-level child per side).
+            est_frontier: 160_000.0,
         };
         let p = plan(&inputs);
         assert_eq!(p.choice, PlanChoice::Bulk);
@@ -274,6 +355,7 @@ mod tests {
             max_pairs: None,
             min_distance: 0.0,
             max_distance: f64::INFINITY,
+            est_frontier: 0.0,
         };
         // Nothing to do either way; the tie-break keeps the streaming path.
         assert_eq!(plan(&inputs).choice, PlanChoice::Incremental);

@@ -1,77 +1,156 @@
-//! The join's priority queue: a thin enum over the memory and hybrid
-//! backends, tracking the paper's "maximum queue size" measure.
+//! The join's priority queue: one facade over the four backend × layout
+//! combinations, tracking the paper's "maximum queue size" measure plus the
+//! queue's resident bytes.
+//!
+//! The [`crate::config::QueueBackend`] axis picks the paper's structure
+//! (in-memory heap vs the §3.2 hybrid memory/disk scheme); the
+//! [`QueueLayout`] axis picks its memory representation. Under
+//! [`QueueLayout::FlatDary`] pairs are stored as 8-byte [`PackedPair`]
+//! handles into a shared [`ItemArena`] and ordered by a flat 4-ary implicit
+//! heap ([`sdj_pqueue::FlatHeap`]); the fat-pair pairing heap is the
+//! default. All four combinations realise the same `(key, arrival)` total
+//! order, so result streams are bit-identical across them.
 
-use sdj_pqueue::{HybridConfig, HybridQueue, PairingHeap, PriorityQueue};
+use std::sync::Arc;
+
+use sdj_obs::Gauge;
+use sdj_pqueue::{FlatHeap, HybridConfig, HybridQueue, PairingHeap, PriorityQueue};
 use sdj_storage::DiskStats;
 
-use crate::config::QueueBackend;
+use crate::config::{QueueBackend, QueueLayout};
 use crate::pair::{Pair, PairKey};
+use crate::slab::{ItemArena, PackedPair};
 
-/// Priority queue of pairs, backed by either a pairing heap or the hybrid
-/// memory/disk scheme.
-pub enum JoinQueue<const D: usize> {
-    /// Purely in-memory pairing heap.
-    Memory(PairingHeap<PairKey, Pair<D>>),
-    /// Hybrid three-tier queue.
-    Hybrid(Box<HybridQueue<PairKey, Pair<D>>>),
+/// The backing structure: backend (memory/hybrid) × layout (pairing/flat).
+enum Backend<const D: usize> {
+    /// In-memory pairing heap over fat pairs.
+    Pairing(PairingHeap<PairKey, Pair<D>>),
+    /// In-memory flat 4-ary heap over compact pair handles, with the fat
+    /// items interned once each in the arena.
+    Flat {
+        heap: FlatHeap<PairKey, PackedPair>,
+        arena: ItemArena<D>,
+    },
+    /// Hybrid three-tier queue over fat pairs.
+    HybridPairing(Box<HybridQueue<PairKey, Pair<D>>>),
+    /// Hybrid three-tier queue over compact pair handles: the in-memory
+    /// tiers use the flat layout and spill pages carry 8-byte records.
+    /// Spilled handles keep their items pinned in the arena (references
+    /// bracket the full push..pop window), so reloads never re-intern.
+    HybridFlat {
+        queue: Box<HybridQueue<PairKey, PackedPair>>,
+        arena: ItemArena<D>,
+    },
+}
+
+/// Priority queue of pairs; see the module docs for the backend × layout
+/// matrix.
+pub struct JoinQueue<const D: usize> {
+    backend: Backend<D>,
+    /// `pq.bytes` gauge (registered by [`attach_obs`](Self::attach_obs) for
+    /// every backend), synced from [`queue_bytes`](Self::queue_bytes).
+    bytes_gauge: Option<Arc<Gauge>>,
+    /// `pq.slab_live` / `pq.slab_recycled` gauges (flat layouts only).
+    slab_gauges: Option<(Arc<Gauge>, Arc<Gauge>)>,
 }
 
 impl<const D: usize> JoinQueue<D> {
-    /// Creates the queue selected by `backend`, with keys in `keys`'s
-    /// domain. The hybrid backend's `D_T` is expressed in distance units;
-    /// its tier boundaries are mapped into the key domain via
+    /// Creates the queue selected by `backend` and `layout`, with keys in
+    /// `keys`'s domain. The hybrid backend's `D_T` is expressed in distance
+    /// units; its tier boundaries are mapped into the key domain via
     /// [`sdj_pqueue::KeyScale`], so the same config tiers identically under
-    /// squared and plain keys.
+    /// squared and plain keys. `layout` overrides any layout carried by the
+    /// backend's [`HybridConfig`] — the join config is the single switch.
     #[must_use]
-    pub fn new(backend: &QueueBackend, keys: sdj_geom::KeySpace) -> Self {
-        match backend {
-            QueueBackend::Memory => JoinQueue::Memory(PairingHeap::new()),
-            QueueBackend::Hybrid(config) => {
+    pub fn new(backend: &QueueBackend, layout: QueueLayout, keys: sdj_geom::KeySpace) -> Self {
+        let backend = match (backend, layout) {
+            (QueueBackend::Memory, QueueLayout::Pairing) => Backend::Pairing(PairingHeap::new()),
+            (QueueBackend::Memory, QueueLayout::FlatDary) => Backend::Flat {
+                heap: FlatHeap::new(),
+                arena: ItemArena::new(),
+            },
+            (QueueBackend::Hybrid(config), layout) => {
                 let scale = if keys.is_squared() {
                     sdj_pqueue::KeyScale::Squared
                 } else {
                     sdj_pqueue::KeyScale::Identity
                 };
-                JoinQueue::Hybrid(Box::new(HybridQueue::new(config.with_key_scale(scale))))
+                Self::hybrid_backend(config.with_key_scale(scale).with_layout(layout))
             }
+        };
+        Self {
+            backend,
+            bytes_gauge: None,
+            slab_gauges: None,
         }
     }
 
-    /// Creates a hybrid-backed queue directly.
+    /// Creates a hybrid-backed queue directly, honouring `config.layout`.
     #[must_use]
     pub fn hybrid(config: HybridConfig) -> Self {
-        JoinQueue::Hybrid(Box::new(HybridQueue::new(config)))
+        Self {
+            backend: Self::hybrid_backend(config),
+            bytes_gauge: None,
+            slab_gauges: None,
+        }
     }
 
-    /// Inserts a pair. The memory backend is infallible; the hybrid backend
-    /// surfaces disk faults (transient I/O, disk-full, corruption).
+    fn hybrid_backend(config: HybridConfig) -> Backend<D> {
+        match config.layout {
+            QueueLayout::Pairing => Backend::HybridPairing(Box::new(HybridQueue::new(config))),
+            QueueLayout::FlatDary => Backend::HybridFlat {
+                queue: Box::new(HybridQueue::new(config)),
+                arena: ItemArena::new(),
+            },
+        }
+    }
+
+    /// Inserts a pair. The memory backends are infallible; the hybrid
+    /// backends surface disk faults (transient I/O, disk-full, corruption).
     pub fn push(&mut self, key: PairKey, pair: Pair<D>) -> sdj_storage::Result<()> {
-        match self {
-            JoinQueue::Memory(q) => {
+        match &mut self.backend {
+            Backend::Pairing(q) => {
                 q.push(key, pair);
                 Ok(())
             }
-            JoinQueue::Hybrid(q) => PriorityQueue::push(q.as_mut(), key, pair),
+            Backend::Flat { heap, arena } => {
+                heap.push(key, arena.intern_pair(&pair));
+                Ok(())
+            }
+            Backend::HybridPairing(q) => PriorityQueue::push(q.as_mut(), key, pair),
+            Backend::HybridFlat { queue, arena } => {
+                let packed = arena.intern_pair(&pair);
+                match PriorityQueue::push(queue.as_mut(), key, packed) {
+                    Ok(()) => Ok(()),
+                    Err(e) => {
+                        // The pair never entered the queue; its references
+                        // must not pin the arena.
+                        arena.release_pair(packed);
+                        Err(e)
+                    }
+                }
+            }
         }
     }
 
-    /// Inserts a batch of pairs. The memory backend grows its arena at most
-    /// once for the whole batch; the hybrid backend falls back to per-element
-    /// pushes (its tiering decisions are per-element anyway) and stops at the
-    /// first storage error, dropping the rest of the batch — callers abort
-    /// the join on `Err`, so the partial state is never observed as output.
+    /// Inserts a batch of pairs. The fat memory backend grows its arena at
+    /// most once for the whole batch; the other backends push per element
+    /// (hybrid tiering decisions are per-element anyway) and the fallible
+    /// ones stop at the first storage error, dropping the rest of the batch
+    /// — callers abort the join on `Err`, so the partial state is never
+    /// observed as output.
     pub fn push_batch<I>(&mut self, batch: I) -> sdj_storage::Result<()>
     where
         I: IntoIterator<Item = (PairKey, Pair<D>)>,
     {
-        match self {
-            JoinQueue::Memory(q) => {
+        match &mut self.backend {
+            Backend::Pairing(q) => {
                 q.push_batch(batch);
                 Ok(())
             }
-            JoinQueue::Hybrid(q) => {
+            _ => {
                 for (key, pair) in batch {
-                    PriorityQueue::push(q.as_mut(), key, pair)?;
+                    self.push(key, pair)?;
                 }
                 Ok(())
             }
@@ -80,26 +159,42 @@ impl<const D: usize> JoinQueue<D> {
 
     /// Removes the minimum pair.
     pub fn pop(&mut self) -> sdj_storage::Result<Option<(PairKey, Pair<D>)>> {
-        match self {
-            JoinQueue::Memory(q) => Ok(q.pop()),
-            JoinQueue::Hybrid(q) => PriorityQueue::pop(q.as_mut()),
+        match &mut self.backend {
+            Backend::Pairing(q) => Ok(q.pop()),
+            Backend::Flat { heap, arena } => Ok(heap.pop().map(|(key, packed)| {
+                let pair = arena.resolve_pair(packed);
+                arena.release_pair(packed);
+                (key, pair)
+            })),
+            Backend::HybridPairing(q) => PriorityQueue::pop(q.as_mut()),
+            Backend::HybridFlat { queue, arena } => {
+                Ok(PriorityQueue::pop(queue.as_mut())?.map(|(key, packed)| {
+                    let pair = arena.resolve_pair(packed);
+                    arena.release_pair(packed);
+                    (key, pair)
+                }))
+            }
         }
     }
 
     /// The minimum key (may promote spilled elements in the hybrid case).
     pub fn peek_key(&mut self) -> sdj_storage::Result<Option<PairKey>> {
-        match self {
-            JoinQueue::Memory(q) => Ok(q.peek().cloned()),
-            JoinQueue::Hybrid(q) => PriorityQueue::peek_key(q.as_mut()),
+        match &mut self.backend {
+            Backend::Pairing(q) => Ok(q.peek().copied()),
+            Backend::Flat { heap, .. } => Ok(heap.peek()),
+            Backend::HybridPairing(q) => PriorityQueue::peek_key(q.as_mut()),
+            Backend::HybridFlat { queue, .. } => PriorityQueue::peek_key(queue.as_mut()),
         }
     }
 
     /// Current length.
     #[must_use]
     pub fn len(&self) -> usize {
-        match self {
-            JoinQueue::Memory(q) => q.len(),
-            JoinQueue::Hybrid(q) => PriorityQueue::len(q.as_ref()),
+        match &self.backend {
+            Backend::Pairing(q) => q.len(),
+            Backend::Flat { heap, .. } => heap.len(),
+            Backend::HybridPairing(q) => PriorityQueue::len(q.as_ref()),
+            Backend::HybridFlat { queue, .. } => PriorityQueue::len(queue.as_ref()),
         }
     }
 
@@ -112,86 +207,182 @@ impl<const D: usize> JoinQueue<D> {
     /// Lifetime high-water mark of the length.
     #[must_use]
     pub fn max_len(&self) -> usize {
-        match self {
-            JoinQueue::Memory(q) => PriorityQueue::max_len(q),
-            JoinQueue::Hybrid(q) => PriorityQueue::max_len(q.as_ref()),
+        match &self.backend {
+            Backend::Pairing(q) => PriorityQueue::max_len(q),
+            Backend::Flat { heap, .. } => PriorityQueue::max_len(heap),
+            Backend::HybridPairing(q) => PriorityQueue::max_len(q.as_ref()),
+            Backend::HybridFlat { queue, .. } => PriorityQueue::max_len(queue.as_ref()),
+        }
+    }
+
+    /// Approximate resident bytes of the queue: heap/entry storage at
+    /// capacity, plus (flat layouts) the item arena and (hybrid backends)
+    /// the spill buffer pool.
+    #[must_use]
+    pub fn queue_bytes(&self) -> usize {
+        match &self.backend {
+            Backend::Pairing(q) => q.approx_bytes(),
+            Backend::Flat { heap, arena } => heap.approx_bytes() + arena.approx_bytes(),
+            Backend::HybridPairing(q) => q.approx_bytes(),
+            Backend::HybridFlat { queue, arena } => queue.approx_bytes() + arena.approx_bytes(),
+        }
+    }
+
+    /// Item-arena occupancy for the flat layouts: `(live distinct items,
+    /// lifetime high-water, recycled allocations)`. `None` under the
+    /// pairing layout, which has no arena.
+    #[must_use]
+    pub fn slab_stats(&self) -> Option<(usize, usize, u64)> {
+        match &self.backend {
+            Backend::Pairing(_) | Backend::HybridPairing(_) => None,
+            Backend::Flat { arena, .. } | Backend::HybridFlat { arena, .. } => {
+                Some((arena.live(), arena.high_water(), arena.recycled()))
+            }
         }
     }
 
     /// Visits up to `limit` entries near the head of the queue (see
     /// [`PairingHeap::peek_top`]): the minimum first, then subtree minima in
-    /// breadth-first order. Memory backend only — the hybrid backend's head
+    /// breadth-first order. Memory backends only — the hybrid backends' head
     /// tier is reorganised on access, so peeking it is not side-effect-free;
-    /// it simply gets no prefetch hints.
-    pub fn peek_top(&self, limit: usize, visit: impl FnMut(&PairKey, &Pair<D>)) {
-        if let JoinQueue::Memory(q) = self {
-            q.peek_top(limit, visit);
+    /// they simply get no prefetch hints. The flat layout materialises each
+    /// visited pair from the arena.
+    pub fn peek_top(&self, limit: usize, mut visit: impl FnMut(&PairKey, &Pair<D>)) {
+        match &self.backend {
+            Backend::Pairing(q) => q.peek_top(limit, visit),
+            Backend::Flat { heap, arena } => {
+                heap.peek_top(limit, |key, packed| {
+                    visit(&key, &arena.resolve_pair(*packed));
+                });
+            }
+            Backend::HybridPairing(_) | Backend::HybridFlat { .. } => {}
         }
     }
 
-    /// Disk traffic of the hybrid backend (zeros for the memory backend).
+    /// Disk traffic of the hybrid backends (zeros for the memory backends).
     #[must_use]
     pub fn disk_stats(&self) -> DiskStats {
-        match self {
-            JoinQueue::Memory(_) => DiskStats::default(),
-            JoinQueue::Hybrid(q) => q.disk_stats(),
+        match &self.backend {
+            Backend::Pairing(_) | Backend::Flat { .. } => DiskStats::default(),
+            Backend::HybridPairing(q) => q.disk_stats(),
+            Backend::HybridFlat { queue, .. } => queue.disk_stats(),
         }
     }
 
-    /// Tiering information for the hybrid backend: `(tier stats, in-memory
-    /// element peak)`. `None` for the memory backend.
+    /// Tiering information for the hybrid backends: `(tier stats, in-memory
+    /// element peak)`. `None` for the memory backends.
     #[must_use]
     pub fn hybrid_info(&self) -> Option<(sdj_pqueue::HybridStats, usize)> {
-        match self {
-            JoinQueue::Memory(_) => None,
-            JoinQueue::Hybrid(q) => Some((q.stats(), q.in_memory_peak())),
+        match &self.backend {
+            Backend::Pairing(_) | Backend::Flat { .. } => None,
+            Backend::HybridPairing(q) => Some((q.stats(), q.in_memory_peak())),
+            Backend::HybridFlat { queue, .. } => Some((queue.stats(), queue.in_memory_peak())),
         }
     }
 
-    /// Attaches a fault injector to the hybrid backend's simulated disk.
-    /// No-op for the memory backend, which never touches storage.
+    /// Attaches a fault injector to the hybrid backends' simulated disk.
+    /// No-op for the memory backends, which never touch storage.
     pub fn set_fault_injector(
         &mut self,
         injector: Option<std::sync::Arc<sdj_storage::FaultInjector>>,
     ) {
-        if let JoinQueue::Hybrid(q) = self {
-            q.set_fault_injector(injector);
+        match &mut self.backend {
+            Backend::Pairing(_) | Backend::Flat { .. } => {}
+            Backend::HybridPairing(q) => q.set_fault_injector(injector),
+            Backend::HybridFlat { queue, .. } => queue.set_fault_injector(injector),
         }
     }
 
-    /// Bounds how many times the hybrid backend retries a transient disk
-    /// fault before surfacing it. No-op for the memory backend.
+    /// Bounds how many times the hybrid backends retry a transient disk
+    /// fault before surfacing it. No-op for the memory backends.
     pub fn set_retry_limit(&mut self, limit: u32) {
-        if let JoinQueue::Hybrid(q) = self {
-            q.set_retry_limit(limit);
+        match &mut self.backend {
+            Backend::Pairing(_) | Backend::Flat { .. } => {}
+            Backend::HybridPairing(q) => q.set_retry_limit(limit),
+            Backend::HybridFlat { queue, .. } => queue.set_retry_limit(limit),
         }
     }
 
-    /// Buffer-pool fault/retry counters of the hybrid backend (zeros for the
-    /// memory backend).
+    /// Buffer-pool fault/retry counters of the hybrid backends (zeros for
+    /// the memory backends).
     #[must_use]
     pub fn pool_stats(&self) -> sdj_storage::PoolStats {
-        match self {
-            JoinQueue::Memory(_) => sdj_storage::PoolStats::default(),
-            JoinQueue::Hybrid(q) => q.pool_stats(),
+        match &self.backend {
+            Backend::Pairing(_) | Backend::Flat { .. } => sdj_storage::PoolStats::default(),
+            Backend::HybridPairing(q) => q.pool_stats(),
+            Backend::HybridFlat { queue, .. } => queue.pool_stats(),
         }
     }
 
-    /// Attaches observability to the hybrid backend: tier migrations emit
-    /// events to the context's sink and the `pq.tier.*` occupancy gauges are
-    /// registered and kept in sync. No-op for the memory backend (the join's
-    /// own `join.queue_depth` gauge covers it).
+    /// Attaches observability: the `pq.bytes` gauge is registered for every
+    /// backend (and `pq.slab_live`/`pq.slab_recycled` for the flat layouts),
+    /// kept in sync by [`sync_gauges`](Self::sync_gauges); the hybrid
+    /// backends additionally emit tier migrations to the context's sink and
+    /// register the `pq.tier.*` occupancy gauges.
     pub fn attach_obs(&mut self, ctx: &sdj_obs::ObsContext) {
-        if let JoinQueue::Hybrid(q) = self {
+        self.bytes_gauge = Some(ctx.registry.gauge("pq.bytes"));
+        if self.slab_stats().is_some() {
+            self.slab_gauges = Some((
+                ctx.registry.gauge("pq.slab_live"),
+                ctx.registry.gauge("pq.slab_recycled"),
+            ));
+        }
+        let hybrid = match &mut self.backend {
+            Backend::Pairing(_) | Backend::Flat { .. } => None,
+            Backend::HybridPairing(q) => Some(q.as_mut() as &mut dyn HybridObsHook),
+            Backend::HybridFlat { queue, .. } => Some(queue.as_mut() as &mut dyn HybridObsHook),
+        };
+        if let Some(q) = hybrid {
             let gauges = sdj_pqueue::TierGauges::register(&ctx.registry);
-            q.attach_obs(std::sync::Arc::clone(&ctx.sink), Some(gauges));
+            q.hook_obs(std::sync::Arc::clone(&ctx.sink), gauges);
             if let (Some(spill), Some(reload)) = (
                 sdj_obs::LeafSpan::from_context(ctx, sdj_obs::Phase::Spill),
                 sdj_obs::LeafSpan::from_context(ctx, sdj_obs::Phase::Reload),
             ) {
-                q.attach_spans(spill, reload);
+                q.hook_spans(spill, reload);
             }
         }
+        self.sync_gauges();
+    }
+
+    /// Publishes the current byte and slab occupancies to the gauges
+    /// registered by [`attach_obs`](Self::attach_obs); no-op when
+    /// uninstrumented. The join calls this once per insertion flush.
+    pub fn sync_gauges(&self) {
+        if let Some(g) = &self.bytes_gauge {
+            g.set(i64::try_from(self.queue_bytes()).unwrap_or(i64::MAX));
+        }
+        if let Some((live, recycled)) = &self.slab_gauges {
+            if let Some((l, _, r)) = self.slab_stats() {
+                live.set(i64::try_from(l).unwrap_or(i64::MAX));
+                recycled.set(i64::try_from(r).unwrap_or(i64::MAX));
+            }
+        }
+    }
+}
+
+/// Object-safe slice of [`HybridQueue`]'s obs hooks, so the two payload
+/// instantiations share one attachment path.
+trait HybridObsHook {
+    fn hook_obs(
+        &mut self,
+        sink: std::sync::Arc<dyn sdj_obs::EventSink>,
+        gauges: sdj_pqueue::TierGauges,
+    );
+    fn hook_spans(&mut self, spill: sdj_obs::LeafSpan, reload: sdj_obs::LeafSpan);
+}
+
+impl<V: sdj_pqueue::Codec + Clone> HybridObsHook for HybridQueue<PairKey, V> {
+    fn hook_obs(
+        &mut self,
+        sink: std::sync::Arc<dyn sdj_obs::EventSink>,
+        gauges: sdj_pqueue::TierGauges,
+    ) {
+        self.attach_obs(sink, Some(gauges));
+    }
+
+    fn hook_spans(&mut self, spill: sdj_obs::LeafSpan, reload: sdj_obs::LeafSpan) {
+        self.attach_spans(spill, reload);
     }
 }
 
@@ -210,10 +401,13 @@ mod tests {
         Pair::new(item, item)
     }
 
+    fn keyspace() -> sdj_geom::KeySpace {
+        sdj_geom::KeySpace::plain(sdj_geom::Metric::Euclidean)
+    }
+
     #[test]
     fn both_backends_agree() {
-        let keys = sdj_geom::KeySpace::plain(sdj_geom::Metric::Euclidean);
-        let mut mem = JoinQueue::<2>::new(&QueueBackend::Memory, keys);
+        let mut mem = JoinQueue::<2>::new(&QueueBackend::Memory, QueueLayout::Pairing, keyspace());
         let mut hyb = JoinQueue::<2>::hybrid(HybridConfig::with_dt(1.0));
         for (i, d) in [3.0, 0.5, 7.25, 1.5, 4.0].iter().enumerate() {
             let p = pair(i as u64);
@@ -232,5 +426,93 @@ mod tests {
         }
         assert_eq!(mem.max_len(), 5);
         assert_eq!(hyb.max_len(), 5);
+    }
+
+    #[test]
+    fn layouts_pop_identical_pairs() {
+        let mut fat = JoinQueue::<2>::new(&QueueBackend::Memory, QueueLayout::Pairing, keyspace());
+        let mut flat =
+            JoinQueue::<2>::new(&QueueBackend::Memory, QueueLayout::FlatDary, keyspace());
+        // Repeated distances exercise the FIFO tie rule; repeated oids
+        // exercise arena sharing.
+        for (i, d) in [3.0, 0.5, 3.0, 1.5, 0.5, 3.0].iter().enumerate() {
+            let p = pair((i % 3) as u64);
+            let k = PairKey::new(*d, &p, TiePolicy::DepthFirst);
+            fat.push(k, p).unwrap();
+            flat.push(k, p).unwrap();
+        }
+        assert!(flat.slab_stats().is_some());
+        assert!(fat.slab_stats().is_none());
+        loop {
+            let a = fat.pop().unwrap();
+            let b = flat.pop().unwrap();
+            assert_eq!(a, b, "pop streams must be identical across layouts");
+            if a.is_none() {
+                break;
+            }
+        }
+        let (live, high, _) = flat.slab_stats().unwrap();
+        assert_eq!(live, 0, "all arena references released");
+        assert!(high <= 6, "at most one slot per distinct queued item side");
+    }
+
+    #[test]
+    fn hybrid_layouts_pop_identical_pairs_across_spill() {
+        let mut fat = JoinQueue::<2>::hybrid(HybridConfig::with_dt(0.5));
+        let mut flat =
+            JoinQueue::<2>::hybrid(HybridConfig::with_dt(0.5).with_layout(QueueLayout::FlatDary));
+        for i in 0..200u64 {
+            let p = pair(i % 7);
+            let d = f64::from(u32::try_from(i).unwrap()) * 0.17;
+            let k = PairKey::new(d, &p, TiePolicy::DepthFirst);
+            fat.push(k, p).unwrap();
+            flat.push(k, p).unwrap();
+        }
+        let mut popped = 0;
+        loop {
+            let a = fat.pop().unwrap();
+            let b = flat.pop().unwrap();
+            assert_eq!(a, b);
+            if a.is_none() {
+                break;
+            }
+            popped += 1;
+        }
+        assert_eq!(popped, 200);
+        let (live, _, _) = flat.slab_stats().unwrap();
+        assert_eq!(live, 0);
+    }
+
+    #[test]
+    fn flat_layout_reports_fewer_bytes() {
+        let mut fat = JoinQueue::<2>::new(&QueueBackend::Memory, QueueLayout::Pairing, keyspace());
+        let mut flat =
+            JoinQueue::<2>::new(&QueueBackend::Memory, QueueLayout::FlatDary, keyspace());
+        // One shared obr on each side — the expansion-shaped workload the
+        // arena is built for.
+        for i in 0..10_000u64 {
+            let p = Pair::new(
+                Item::Obr {
+                    oid: ObjectId(i % 97),
+                    mbr: Rect::new([0.0, 0.0], [0.0, 0.0]),
+                },
+                Item::Obr {
+                    oid: ObjectId(i % 89),
+                    mbr: Rect::new([0.0, 0.0], [0.0, 0.0]),
+                },
+            );
+            let k = PairKey::new(
+                f64::from(u32::try_from(i).unwrap()),
+                &p,
+                TiePolicy::DepthFirst,
+            );
+            fat.push(k, p).unwrap();
+            flat.push(k, p).unwrap();
+        }
+        let (fat_bytes, flat_bytes) = (fat.queue_bytes(), flat.queue_bytes());
+        assert!(
+            flat_bytes * 2 <= fat_bytes,
+            "flat layout should at least halve queue bytes: flat={flat_bytes} fat={fat_bytes}"
+        );
     }
 }

@@ -1,0 +1,312 @@
+//! Pair-payload slab: an interning arena for queue items and the compact
+//! pair handle the flat queue layout stores in place of fat [`Pair`]s.
+//!
+//! Under [`crate::config::QueueLayout::FlatDary`] the priority queue's
+//! per-element payload is a [`PackedPair`] — two `u32` arena slots — while
+//! the fat [`Item`]s live once each in an [`ItemArena`], shared by every
+//! queued pair that references them. A node or object bounding rectangle
+//! typically participates in many queued pairs at once (every child produced
+//! by one expansion pairs with the *same* other item), so interning
+//! collapses the dominant share of queue memory. Slots are
+//! reference-counted and recycled through a free list: arena occupancy
+//! tracks the set of *distinct* items currently queued, not the number of
+//! queued pairs.
+//!
+//! The two join sides never unify — `R1`'s node 7 and `R2`'s node 7 are
+//! different items — and neither do an object's exact ([`Item::Object`])
+//! and bounding-rectangle ([`Item::Obr`]) forms, which share a paper
+//! identity (§2.3 fn. 5) but differ in finality.
+
+use std::collections::HashMap;
+
+use sdj_pqueue::Codec;
+use sdj_storage::codec::{PageReader, PageWriter};
+
+use crate::pair::{Item, Pair};
+
+/// Interning key, packed into one `u64`: relation side (bit 63), item kind
+/// (bits 61–62), node/object id (low 61 bits). Two items with equal keys
+/// are identical (a node id determines its level and region; an object id
+/// determines its rectangle), which `intern` verifies in debug builds.
+/// Packing keeps the interning map's buckets and the per-slot key column at
+/// 8 bytes — the arena is resident queue memory, accounted per byte.
+///
+/// Kinds: 0 = node, 1 = obr, 2 = object. Obr and Object must not unify:
+/// they share an id but differ in finality ([`Pair::is_final`]).
+fn arena_key<const D: usize>(side: bool, item: &Item<D>) -> u64 {
+    let (kind, id) = match item {
+        Item::Node { page, .. } => (0u64, *page),
+        Item::Obr { oid, .. } => (1, oid.0),
+        Item::Object { oid, .. } => (2, oid.0),
+    };
+    debug_assert!(id < 1 << 61, "arena item id overflows the packed key");
+    (u64::from(side) << 63) | (kind << 61) | id
+}
+
+/// Compact pair payload stored by the flat queue layout: two [`ItemArena`]
+/// slots. Eight bytes in memory and on spill pages, versus the fat
+/// [`Pair`]'s two inline items.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct PackedPair {
+    /// Arena slot of the first-relation item.
+    pub i1: u32,
+    /// Arena slot of the second-relation item.
+    pub i2: u32,
+}
+
+impl Codec for PackedPair {
+    fn encoded_size() -> usize {
+        8
+    }
+
+    fn encode(&self, w: &mut PageWriter<'_>) -> sdj_storage::Result<()> {
+        w.put_u32(self.i1)?;
+        w.put_u32(self.i2)
+    }
+
+    fn decode(r: &mut PageReader<'_>) -> sdj_storage::Result<Self> {
+        Ok(Self {
+            i1: r.get_u32()?,
+            i2: r.get_u32()?,
+        })
+    }
+}
+
+/// Reference-counted interning arena of queue items, indexed by `u32`
+/// slots. Spilled [`PackedPair`]s keep their referenced items pinned here
+/// (the reference is taken at push and dropped at pop, bracketing any disk
+/// residency in between), so resolution never touches storage.
+#[derive(Debug, Default)]
+pub struct ItemArena<const D: usize> {
+    /// Slot payloads; freed slots keep their stale item (items are `Copy`)
+    /// until reuse.
+    items: Vec<Item<D>>,
+    /// Interning key of each slot, for map removal on release.
+    keys: Vec<u64>,
+    /// Reference count of each slot; 0 marks a free-listed slot.
+    refs: Vec<u32>,
+    /// Freed slots awaiting reuse.
+    free: Vec<u32>,
+    /// Key → slot lookup for live slots.
+    map: HashMap<u64, u32>,
+    /// Live (referenced) slots.
+    live: usize,
+    /// Lifetime high-water mark of `live`.
+    high_water: usize,
+    /// Allocations served from the free list.
+    recycled: u64,
+}
+
+impl<const D: usize> ItemArena<D> {
+    /// An empty arena.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Distinct items currently referenced.
+    #[must_use]
+    pub fn live(&self) -> usize {
+        self.live
+    }
+
+    /// Lifetime high-water mark of [`live`](Self::live).
+    #[must_use]
+    pub fn high_water(&self) -> usize {
+        self.high_water
+    }
+
+    /// Allocations served from the free list instead of growing the arena.
+    #[must_use]
+    pub fn recycled(&self) -> u64 {
+        self.recycled
+    }
+
+    /// Approximate resident bytes: slot columns plus the interning map, all
+    /// at capacity.
+    #[must_use]
+    pub fn approx_bytes(&self) -> usize {
+        self.items.capacity() * std::mem::size_of::<Item<D>>()
+            + self.keys.capacity() * std::mem::size_of::<u64>()
+            + self.refs.capacity() * std::mem::size_of::<u32>()
+            + self.free.capacity() * std::mem::size_of::<u32>()
+            // Hashbrown stores (K, V) buckets plus one control byte each.
+            + self.map.capacity() * (std::mem::size_of::<(u64, u32)>() + 1)
+    }
+
+    /// Reserves one more slot in `v` with 25% amortized growth instead of
+    /// `Vec`'s doubling — same bargain as the flat heap's entry arrays
+    /// (see `sdj_pqueue::FlatHeap`): a few extra reallocation copies for a
+    /// ≤ 1.25× capacity overshoot on resident queue memory.
+    #[inline]
+    fn reserve_one<T>(v: &mut Vec<T>) {
+        if v.len() == v.capacity() {
+            v.reserve_exact((v.capacity() / 4).max(32));
+        }
+    }
+
+    /// Interns one item, returning its slot and taking one reference.
+    pub fn intern(&mut self, side: bool, item: &Item<D>) -> u32 {
+        let key = arena_key(side, item);
+        if let Some(&slot) = self.map.get(&key) {
+            debug_assert_eq!(
+                &self.items[slot as usize], item,
+                "two distinct items interned under one arena key"
+            );
+            self.refs[slot as usize] = self.refs[slot as usize].saturating_add(1);
+            return slot;
+        }
+        let slot = match self.free.pop() {
+            Some(slot) => {
+                self.recycled += 1;
+                self.items[slot as usize] = *item;
+                self.keys[slot as usize] = key;
+                self.refs[slot as usize] = 1;
+                slot
+            }
+            None => {
+                let slot = u32::try_from(self.items.len()).expect("arena slots exceed u32");
+                Self::reserve_one(&mut self.items);
+                Self::reserve_one(&mut self.keys);
+                Self::reserve_one(&mut self.refs);
+                self.items.push(*item);
+                self.keys.push(key);
+                self.refs.push(1);
+                slot
+            }
+        };
+        self.map.insert(key, slot);
+        self.live += 1;
+        self.high_water = self.high_water.max(self.live);
+        slot
+    }
+
+    /// Interns both sides of a pair, returning the compact payload.
+    pub fn intern_pair(&mut self, pair: &Pair<D>) -> PackedPair {
+        PackedPair {
+            i1: self.intern(false, &pair.item1),
+            i2: self.intern(true, &pair.item2),
+        }
+    }
+
+    /// The fat item in `slot` (which must hold a live reference).
+    #[must_use]
+    pub fn resolve(&self, slot: u32) -> Item<D> {
+        debug_assert!(self.refs[slot as usize] > 0, "resolving a freed arena slot");
+        self.items[slot as usize]
+    }
+
+    /// Reconstructs the fat pair behind a compact payload.
+    #[must_use]
+    pub fn resolve_pair(&self, pair: PackedPair) -> Pair<D> {
+        Pair::new(self.resolve(pair.i1), self.resolve(pair.i2))
+    }
+
+    /// Drops one reference to `slot`, free-listing it at zero.
+    pub fn release(&mut self, slot: u32) {
+        let i = slot as usize;
+        debug_assert!(self.refs[i] > 0, "releasing a freed arena slot");
+        self.refs[i] -= 1;
+        if self.refs[i] == 0 {
+            self.map.remove(&self.keys[i]);
+            Self::reserve_one(&mut self.free);
+            self.free.push(slot);
+            self.live -= 1;
+        }
+    }
+
+    /// Drops the references a [`intern_pair`](Self::intern_pair) call took.
+    pub fn release_pair(&mut self, pair: PackedPair) {
+        self.release(pair.i1);
+        self.release(pair.i2);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sdj_geom::Rect;
+    use sdj_rtree::ObjectId;
+
+    fn node(page: u64) -> Item<2> {
+        Item::Node {
+            page,
+            level: 1,
+            mbr: Rect::new([0.0, 0.0], [1.0, 1.0]),
+        }
+    }
+
+    fn obr(oid: u64) -> Item<2> {
+        Item::Obr {
+            oid: ObjectId(oid),
+            mbr: Rect::new([0.5, 0.5], [0.5, 0.5]),
+        }
+    }
+
+    #[test]
+    fn interning_shares_slots_and_counts_refs() {
+        let mut arena = ItemArena::<2>::new();
+        let a = arena.intern(false, &node(1));
+        let b = arena.intern(false, &node(1));
+        assert_eq!(a, b, "same side + item interns to one slot");
+        assert_eq!(arena.live(), 1);
+        arena.release(a);
+        assert_eq!(arena.live(), 1, "one reference remains");
+        arena.release(b);
+        assert_eq!(arena.live(), 0);
+    }
+
+    #[test]
+    fn sides_and_kinds_do_not_unify() {
+        let mut arena = ItemArena::<2>::new();
+        let left = arena.intern(false, &node(1));
+        let right = arena.intern(true, &node(1));
+        assert_ne!(left, right, "R1 and R2 items are distinct");
+        let o = Item::Object {
+            oid: ObjectId(9),
+            mbr: Rect::new([0.5, 0.5], [0.5, 0.5]),
+        };
+        let as_obr = arena.intern(false, &obr(9));
+        let as_object = arena.intern(false, &o);
+        assert_ne!(as_obr, as_object, "obr and exact object are distinct");
+        assert_eq!(arena.live(), 4);
+    }
+
+    #[test]
+    fn released_slots_are_recycled() {
+        let mut arena = ItemArena::<2>::new();
+        for round in 0..10u64 {
+            let pp = arena.intern_pair(&Pair::new(node(round), obr(round + 100)));
+            assert_eq!(
+                arena.resolve_pair(pp),
+                Pair::new(node(round), obr(round + 100))
+            );
+            arena.release_pair(pp);
+        }
+        assert_eq!(arena.live(), 0);
+        assert_eq!(arena.high_water(), 2, "only one pair live at a time");
+        assert_eq!(arena.recycled(), 18, "rounds after the first reuse slots");
+    }
+
+    #[test]
+    fn packed_pair_codec_roundtrip() {
+        use sdj_storage::codec::{PageReader, PageWriter};
+        let pp = PackedPair {
+            i1: 7,
+            i2: u32::MAX,
+        };
+        let mut buf = vec![0u8; PackedPair::encoded_size()];
+        pp.encode(&mut PageWriter::new(&mut buf)).unwrap();
+        assert_eq!(PackedPair::decode(&mut PageReader::new(&buf)).unwrap(), pp);
+    }
+
+    #[test]
+    fn approx_bytes_reflects_capacity() {
+        let mut arena = ItemArena::<2>::new();
+        assert_eq!(arena.approx_bytes(), 0);
+        for i in 0..100 {
+            arena.intern(false, &node(i));
+        }
+        assert!(arena.approx_bytes() >= 100 * std::mem::size_of::<Item<2>>());
+    }
+}

@@ -17,6 +17,10 @@ pub struct JoinStats {
     pub pairs_reported: u64,
     /// High-water mark of the queue length.
     pub max_queue: usize,
+    /// High-water mark of the queue's approximate resident bytes (entry
+    /// storage, item arena, spill buffer pool), sampled once per insertion
+    /// flush.
+    pub queue_bytes_peak: usize,
     /// Logical node reads performed by the join (each may or may not hit the
     /// buffer pool).
     pub node_accesses: u64,
@@ -70,6 +74,7 @@ impl JoinStats {
         self.pairs_dequeued += other.pairs_dequeued;
         self.pairs_reported += other.pairs_reported;
         self.max_queue = self.max_queue.max(other.max_queue);
+        self.queue_bytes_peak = self.queue_bytes_peak.max(other.queue_bytes_peak);
         self.node_accesses += other.node_accesses;
         self.node_io += other.node_io;
         self.pruned_by_range += other.pruned_by_range;

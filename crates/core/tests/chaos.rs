@@ -45,6 +45,7 @@ fn hybrid_backend(dt: f64) -> QueueBackend {
         page_size: 256,
         buffer_frames: 2,
         key_scale: KeyScale::Squared,
+        ..HybridConfig::default()
     })
 }
 

@@ -42,6 +42,7 @@ fn spilly_config() -> JoinConfig {
             page_size: 256,
             buffer_frames: 2,
             key_scale: KeyScale::Squared,
+            ..HybridConfig::default()
         }),
         ..JoinConfig::default()
     }

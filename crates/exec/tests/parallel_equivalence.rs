@@ -4,7 +4,10 @@
 //! counts 1/2/4/8.
 
 use proptest::prelude::*;
-use sdj_core::{DistanceJoin, DmaxStrategy, JoinConfig, ResultOrder, SemiConfig, SemiFilter};
+use sdj_core::{
+    DistanceJoin, DmaxStrategy, JoinConfig, QueueBackend, QueueLayout, ResultOrder, SemiConfig,
+    SemiFilter,
+};
 use sdj_exec::{ParallelConfig, ParallelDistanceJoin};
 use sdj_geom::Point;
 use sdj_rtree::{ObjectId, RTree, RTreeConfig};
@@ -107,6 +110,7 @@ struct Case {
     frontier_factor: usize,
     channel_capacity: usize,
     range: Option<(f64, f64)>,
+    layout: QueueLayout,
 }
 
 fn arb_case() -> impl Strategy<Value = Case> {
@@ -120,9 +124,10 @@ fn arb_case() -> impl Strategy<Value = Case> {
         1usize..6,
         1usize..5,
         prop::option::of((0.0..4.0f64, 0.0..10.0f64)),
+        prop::sample::select(vec![QueueLayout::Pairing, QueueLayout::FlatDary]),
     )
         .prop_map(
-            |(a, b, fanout, threads, frontier_factor, channel_capacity, range)| Case {
+            |(a, b, fanout, threads, frontier_factor, channel_capacity, range, layout)| Case {
                 a,
                 b,
                 fanout,
@@ -130,12 +135,13 @@ fn arb_case() -> impl Strategy<Value = Case> {
                 frontier_factor,
                 channel_capacity,
                 range: range.map(|(lo, w)| (lo, lo + w)),
+                layout,
             },
         )
 }
 
 fn case_config(case: &Case) -> (JoinConfig, ParallelConfig) {
-    let mut config = JoinConfig::default();
+    let mut config = JoinConfig::default().with_layout(case.layout);
     if let Some((lo, hi)) = case.range {
         config = config.with_range(lo, hi);
     }
@@ -428,6 +434,82 @@ fn prefetch_is_stream_invisible_and_conserves_io() {
             "I/O conservation broke at shards={shards}"
         );
         assert_eq!(on_stats.pairs_reported, off_stats.pairs_reported);
+    }
+}
+
+/// The compact flat 4-ary queue layout is a pure representation change:
+/// every engine (serial, parallel at several thread counts) and every queue
+/// backend (memory, hybrid with spilling) must produce the bit-identical
+/// result stream under `QueueLayout::FlatDary` that it produces under the
+/// default pairing layout.
+#[test]
+fn flat_layout_is_stream_invisible_across_engines_and_backends() {
+    let a = uniform(300, 101);
+    let b = uniform(350, 102);
+    let t1 = tree(&a, 8);
+    let t2 = tree(&b, 8);
+    let backends: [QueueBackend; 2] = [
+        QueueBackend::Memory,
+        // A small D_T increment forces real list-tier and spill traffic.
+        QueueBackend::Hybrid(sdj_pqueue::HybridConfig {
+            dt: 0.05,
+            page_size: 256,
+            buffer_frames: 2,
+            ..sdj_pqueue::HybridConfig::default()
+        }),
+    ];
+    for backend in backends {
+        let config = |layout: QueueLayout| JoinConfig {
+            queue: backend,
+            ..JoinConfig::default().with_layout(layout)
+        };
+        let want: Vec<_> = DistanceJoin::new(&t1, &t2, config(QueueLayout::Pairing))
+            .map(|r| key(&r))
+            .collect();
+        let serial_flat: Vec<_> = DistanceJoin::new(&t1, &t2, config(QueueLayout::FlatDary))
+            .map(|r| key(&r))
+            .collect();
+        assert_eq!(serial_flat, want, "serial stream drifted under flat layout");
+        for threads in [1usize, 4] {
+            let run = ParallelDistanceJoin::new(
+                &t1,
+                &t2,
+                config(QueueLayout::FlatDary),
+                ParallelConfig {
+                    threads,
+                    frontier_factor: 8,
+                    channel_capacity: 16,
+                },
+            )
+            .collect();
+            assert_eq!(run.error, None);
+            assert_eq!(
+                run.value.iter().map(key).collect::<Vec<_>>(),
+                want,
+                "parallel flat-layout stream drifted at threads={threads}"
+            );
+            assert!(
+                run.stats.queue_bytes_peak > 0,
+                "flat layout must report queue bytes"
+            );
+        }
+        let semi_want: Vec<_> = DistanceJoin::semi(
+            &t1,
+            &t2,
+            config(QueueLayout::Pairing),
+            SemiConfig::default(),
+        )
+        .map(|r| key(&r))
+        .collect();
+        let semi_flat: Vec<_> = DistanceJoin::semi(
+            &t1,
+            &t2,
+            config(QueueLayout::FlatDary),
+            SemiConfig::default(),
+        )
+        .map(|r| key(&r))
+        .collect();
+        assert_eq!(semi_flat, semi_want, "semi-join drifted under flat layout");
     }
 }
 

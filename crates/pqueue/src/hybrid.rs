@@ -17,11 +17,35 @@ use sdj_obs::{Event, EventSink, Gauge, LeafSpan, Registry, Tier};
 use sdj_storage::codec::{PageReader, PageWriter};
 use sdj_storage::{BufferPool, DiskStats, FaultInjector, PageId, Pager, PoolStats, StorageError};
 
+use crate::flat::FlatHeap;
 use crate::pairing::PairingHeap;
 use crate::traits::{Codec, PriorityQueue, QueueKey};
 
 /// Bytes of a spill-page header: record count (`u16`) + next page (`u32`).
 const BUCKET_HEADER: usize = 6;
+
+/// Spill codec v2 marker: the high bit of the page's record-count word.
+/// New pages are stamped with it (they may carry the flat layout's compact
+/// slab-indexed payloads rather than v1's inline payloads); the reader
+/// masks the bit off, so unmarked v1 pages still load unchanged.
+const SPILL_V2_MARK: u16 = 0x8000;
+
+/// Memory layout of the queue's in-memory tiers.
+///
+/// Both layouts realise the identical total order `(key, arrival)` — equal
+/// keys pop in FIFO arrival order — so the choice is invisible in the
+/// result stream and purely a cache/memory trade-off.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum Layout {
+    /// Pointer-based pairing heap (+ `Vec` list tier) holding full
+    /// `(K, V)` pairs in its nodes.
+    #[default]
+    Pairing,
+    /// Flat 4-ary implicit heap sifting 16-byte compact entries over a
+    /// `(K, V)` slab; the list tier is a staged compact-entry run in the
+    /// same structure (see [`FlatHeap`]).
+    FlatDary,
+}
 
 /// How queue keys relate to the distance units `D_T` is expressed in.
 ///
@@ -75,6 +99,8 @@ pub struct HybridConfig {
     pub buffer_frames: usize,
     /// The key domain of pushed keys (see [`KeyScale`]).
     pub key_scale: KeyScale,
+    /// Memory layout of the in-memory tiers (see [`Layout`]).
+    pub layout: Layout,
 }
 
 impl Default for HybridConfig {
@@ -84,6 +110,7 @@ impl Default for HybridConfig {
             page_size: 1024,
             buffer_frames: 64,
             key_scale: KeyScale::Identity,
+            layout: Layout::Pairing,
         }
     }
 }
@@ -102,6 +129,13 @@ impl HybridConfig {
     #[must_use]
     pub fn with_key_scale(mut self, key_scale: KeyScale) -> Self {
         self.key_scale = key_scale;
+        self
+    }
+
+    /// Returns the configuration with its in-memory layout replaced.
+    #[must_use]
+    pub fn with_layout(mut self, layout: Layout) -> Self {
+        self.layout = layout;
         self
     }
 }
@@ -166,6 +200,125 @@ struct Bucket {
     total: usize,
 }
 
+/// The two in-memory tiers (heap + list) in either [`Layout`].
+///
+/// In the flat layout both tiers live inside one [`FlatHeap`]: the heap
+/// tier is its sifted region, the list tier its staged run, and the window
+/// pour is `promote_staged` — a sort plus a move, with zero sift steps,
+/// because the pour only ever lands in an empty heap.
+enum MemTier<K, V> {
+    Pairing {
+        heap: PairingHeap<K, V>,
+        list: Vec<(K, V)>,
+    },
+    Flat(FlatHeap<K, V>),
+}
+
+impl<K: QueueKey, V: Clone> MemTier<K, V> {
+    fn new(layout: Layout) -> Self {
+        match layout {
+            Layout::Pairing => MemTier::Pairing {
+                heap: PairingHeap::new(),
+                list: Vec::new(),
+            },
+            Layout::FlatDary => MemTier::Flat(FlatHeap::new()),
+        }
+    }
+
+    fn heap_len(&self) -> usize {
+        match self {
+            MemTier::Pairing { heap, .. } => heap.len(),
+            MemTier::Flat(f) => f.sifted_len(),
+        }
+    }
+
+    fn list_len(&self) -> usize {
+        match self {
+            MemTier::Pairing { list, .. } => list.len(),
+            MemTier::Flat(f) => f.staged_len(),
+        }
+    }
+
+    fn heap_is_empty(&self) -> bool {
+        self.heap_len() == 0
+    }
+
+    fn list_is_empty(&self) -> bool {
+        self.list_len() == 0
+    }
+
+    fn push_heap(&mut self, key: K, value: V) {
+        match self {
+            MemTier::Pairing { heap, .. } => heap.push(key, value),
+            MemTier::Flat(f) => f.push(key, value),
+        }
+    }
+
+    fn push_list(&mut self, key: K, value: V) {
+        match self {
+            MemTier::Pairing { list, .. } => list.push((key, value)),
+            MemTier::Flat(f) => f.stage(key, value),
+        }
+    }
+
+    /// Appends reloaded records to the list tier, preserving their order.
+    fn extend_list(&mut self, records: Vec<(K, V)>) {
+        match self {
+            MemTier::Pairing { list, .. } => list.extend(records),
+            MemTier::Flat(f) => {
+                for (k, v) in records {
+                    f.stage(k, v);
+                }
+            }
+        }
+    }
+
+    /// Pours the list tier into the heap tier, returning how many moved.
+    ///
+    /// Both layouts realise the same resulting order: the pairing heap
+    /// stamps arrival sequence numbers as it pushes (list order *is*
+    /// arrival order — see `reload_bucket_inner`), and the flat heap's
+    /// staged entries keep the arrival tags they were given at stage time.
+    fn pour(&mut self) -> usize {
+        match self {
+            MemTier::Pairing { heap, list } => {
+                let n = list.len();
+                heap.reserve(n);
+                for (key, value) in list.drain(..) {
+                    heap.push(key, value);
+                }
+                n
+            }
+            MemTier::Flat(f) => f.promote_staged(),
+        }
+    }
+
+    /// Pops the heap tier's minimum. Callers pour the list first
+    /// (`ensure_front`), so this never has to look past the heap tier.
+    fn pop_heap(&mut self) -> Option<(K, V)> {
+        match self {
+            MemTier::Pairing { heap, .. } => heap.pop(),
+            MemTier::Flat(f) => f.pop(),
+        }
+    }
+
+    fn peek_heap(&self) -> Option<K> {
+        match self {
+            MemTier::Pairing { heap, .. } => heap.peek().cloned(),
+            MemTier::Flat(f) => f.peek(),
+        }
+    }
+
+    fn approx_bytes(&self) -> usize {
+        match self {
+            MemTier::Pairing { heap, list } => {
+                heap.approx_bytes() + list.capacity() * std::mem::size_of::<(K, V)>()
+            }
+            MemTier::Flat(f) => f.approx_bytes(),
+        }
+    }
+}
+
 /// A three-tier memory/disk min-priority queue.
 ///
 /// Storage errors on the simulated spill disk (transient I/O faults,
@@ -176,10 +329,11 @@ struct Bucket {
 /// element being pushed); callers are expected to abort the enclosing run,
 /// which is what the join engines do.
 pub struct HybridQueue<K, V> {
-    heap: PairingHeap<K, V>,
-    list: Vec<(K, V)>,
+    mem: MemTier<K, V>,
     buckets: BTreeMap<u64, Bucket>,
     pool: BufferPool,
+    /// Resident bytes of the spill buffer pool (frames × page size).
+    pool_bytes: usize,
     dt: f64,
     scale: KeyScale,
     /// Window counter: in distance terms the heap covers `[0, w·dt)` and the
@@ -196,7 +350,7 @@ pub struct HybridQueue<K, V> {
 impl<K, V> HybridQueue<K, V>
 where
     K: QueueKey + Codec,
-    V: Codec,
+    V: Codec + Clone,
 {
     /// Creates an empty hybrid queue.
     ///
@@ -215,10 +369,10 @@ where
         );
         let pool = BufferPool::new(Pager::new(config.page_size), config.buffer_frames);
         Self {
-            heap: PairingHeap::new(),
-            list: Vec::new(),
+            mem: MemTier::new(config.layout),
             buckets: BTreeMap::new(),
             pool,
+            pool_bytes: config.page_size * config.buffer_frames,
             dt: config.dt,
             scale: config.key_scale,
             window: 1,
@@ -260,8 +414,8 @@ where
             gauges: Some(g), ..
         }) = &self.obs
         {
-            g.heap.set(self.heap.len() as i64);
-            g.list.set(self.list.len() as i64);
+            g.heap.set(self.mem.heap_len() as i64);
+            g.list.set(self.mem.list_len() as i64);
             g.disk.set(self.on_disk_len() as i64);
         }
     }
@@ -306,7 +460,24 @@ where
     /// Number of elements currently resident in memory (heap + list).
     #[must_use]
     pub fn in_memory_len(&self) -> usize {
-        self.heap.len() + self.list.len()
+        self.mem.heap_len() + self.mem.list_len()
+    }
+
+    /// Approximate resident bytes of the queue: in-memory tiers at their
+    /// allocated capacities plus the spill area's buffer frames.
+    #[must_use]
+    pub fn approx_bytes(&self) -> usize {
+        self.mem.approx_bytes() + self.pool_bytes
+    }
+
+    /// Slab statistics of the flat layout: `(live, high_water, recycled)`.
+    /// `None` under [`Layout::Pairing`].
+    #[must_use]
+    pub fn slab_stats(&self) -> Option<(usize, usize, u64)> {
+        match &self.mem {
+            MemTier::Pairing { .. } => None,
+            MemTier::Flat(f) => Some((f.slab_live(), f.slab_high_water(), f.slab_recycled())),
+        }
     }
 
     /// Number of elements currently spilled to disk.
@@ -324,7 +495,7 @@ where
     }
 
     fn note_memory(&mut self) {
-        let m = self.heap.len() + self.list.len();
+        let m = self.mem.heap_len() + self.mem.list_len();
         if m > self.mem_peak {
             self.mem_peak = m;
         }
@@ -389,7 +560,8 @@ where
             let next = bucket.as_ref().map_or(PageId::INVALID, |b| b.head);
             let header = self.pool.update(page, |buf| {
                 let mut w = PageWriter::new(buf);
-                w.put_u16(0)?;
+                // Zero records, stamped as spill codec v2.
+                w.put_u16(SPILL_V2_MARK)?;
                 w.put_u32(next.0)
             });
             if let Err(e) = header.and_then(|r| r) {
@@ -413,8 +585,12 @@ where
         let offset = BUCKET_HEADER + head_count * (K::encoded_size() + V::encoded_size());
         let written = self.pool.update(b.head, |buf| {
             let new_count = u16::try_from(head_count + 1)
-                .map_err(|_| StorageError::Corrupt("bucket record count overflows u16"))?;
-            buf[0..2].copy_from_slice(&new_count.to_le_bytes());
+                .ok()
+                .filter(|c| c & SPILL_V2_MARK == 0)
+                .ok_or(StorageError::Corrupt("bucket record count overflows"))?;
+            // Preserve the page's version mark (new pages are always v2).
+            let mark = u16::from_le_bytes([buf[0], buf[1]]) & SPILL_V2_MARK;
+            buf[0..2].copy_from_slice(&(new_count | mark).to_le_bytes());
             let mut w = PageWriter::new(&mut buf[offset..]);
             key.encode(&mut w)?;
             value.encode(&mut w)
@@ -460,10 +636,19 @@ where
         let records_per_page = self.records_per_page;
         let mut page = bucket.head;
         let mut loaded = 0usize;
+        // The chain runs newest page first. Collect per page, then append
+        // oldest first: the list tier then holds the bucket in *arrival*
+        // order, independent of how many records fit a page — which is what
+        // keeps equal-key pop order identical across queue layouts (their
+        // record widths, and hence page boundaries, differ).
+        let mut pages: Vec<Vec<(K, V)>> = Vec::new();
         while !page.is_invalid() {
             let read = self.pool.with_page(page, |buf| -> sdj_storage::Result<_> {
                 let mut r = PageReader::new(buf);
-                let count = r.get_u16()? as usize;
+                // Mask the codec-version mark: v2 pages are stamped, legacy
+                // v1 pages are not, and both carry the same record layout
+                // for a given (K, V).
+                let count = (r.get_u16()? & !SPILL_V2_MARK) as usize;
                 let next = PageId(r.get_u32()?);
                 if count > records_per_page {
                     return Err(StorageError::Corrupt("bucket record count exceeds page"));
@@ -479,9 +664,12 @@ where
             });
             let (next, records) = read.and_then(|r| r)?;
             loaded += records.len();
-            self.list.extend(records);
+            pages.push(records);
             self.pool.free(page)?;
             page = next;
+        }
+        for records in pages.into_iter().rev() {
+            self.mem.extend_list(records);
         }
         debug_assert_eq!(loaded, bucket.total);
         self.stats.reloaded += loaded as u64;
@@ -494,11 +682,11 @@ where
     /// Makes the heap's minimum the queue's global minimum, advancing the
     /// window and reloading disk buckets as needed.
     fn ensure_front(&mut self) -> sdj_storage::Result<()> {
-        while self.heap.is_empty() {
-            if self.list.is_empty() && self.buckets.is_empty() {
+        while self.mem.heap_is_empty() {
+            if self.mem.list_is_empty() && self.buckets.is_empty() {
                 return Ok(());
             }
-            if self.list.is_empty() {
+            if self.mem.list_is_empty() {
                 // Jump the window straight to the first non-empty bucket.
                 let Some(&k) = self.buckets.keys().next() else {
                     return Ok(());
@@ -506,10 +694,7 @@ where
                 self.window = k;
                 self.reload_bucket(k)?;
             }
-            let drained = self.list.len();
-            for (key, value) in self.list.drain(..) {
-                self.heap.push(key, value);
-            }
+            let drained = self.mem.pour();
             self.stats.promotions += 1;
             if drained > 0 {
                 self.emit_migration(Tier::List, Tier::Heap, drained);
@@ -527,15 +712,15 @@ where
 impl<K, V> PriorityQueue<K, V> for HybridQueue<K, V>
 where
     K: QueueKey + Codec,
-    V: Codec,
+    V: Codec + Clone,
 {
     fn push(&mut self, key: K, value: V) -> sdj_storage::Result<()> {
         let d = key.distance();
         assert!(d >= 0.0, "distance keys must be non-negative");
         if d < self.d1() {
-            self.heap.push(key, value);
+            self.mem.push_heap(key, value);
         } else if d < self.d2() {
-            self.list.push((key, value));
+            self.mem.push_list(key, value);
         } else {
             self.spill(key, value)?;
         }
@@ -548,7 +733,7 @@ where
 
     fn pop(&mut self) -> sdj_storage::Result<Option<(K, V)>> {
         self.ensure_front()?;
-        let out = self.heap.pop();
+        let out = self.mem.pop_heap();
         if out.is_some() {
             self.len -= 1;
         }
@@ -559,7 +744,7 @@ where
     fn peek_key(&mut self) -> sdj_storage::Result<Option<K>> {
         self.ensure_front()?;
         self.sync_obs_gauges();
-        Ok(self.heap.peek().cloned())
+        Ok(self.mem.peek_heap())
     }
 
     fn len(&self) -> usize {
@@ -585,6 +770,7 @@ mod tests {
             page_size: 128,
             buffer_frames: 4,
             key_scale: KeyScale::Identity,
+            layout: Layout::Pairing,
         })
     }
 
@@ -700,6 +886,7 @@ mod tests {
                 page_size: 128,
                 buffer_frames: 4,
                 key_scale: scale,
+                layout: Layout::Pairing,
             })
         };
         let mut plain = mk(KeyScale::Identity);
@@ -724,6 +911,119 @@ mod tests {
             }
         }
         assert_eq!(plain.stats(), squared.stats());
+    }
+
+    fn flat_queue(dt: f64) -> HybridQueue<OrdF64, u64> {
+        HybridQueue::new(HybridConfig {
+            dt,
+            page_size: 128,
+            buffer_frames: 4,
+            key_scale: KeyScale::Identity,
+            layout: Layout::FlatDary,
+        })
+    }
+
+    #[test]
+    fn flat_layout_pops_in_global_order_across_tiers() {
+        let mut q = flat_queue(1.0);
+        let ds = [5.5, 0.25, 3.75, 1.5, 0.75, 9.0, 2.25, 1.25, 7.5];
+        for (i, d) in ds.iter().enumerate() {
+            q.push(OrdF64::new(*d), i as u64).unwrap();
+        }
+        assert!(q.on_disk_len() > 0, "some elements must have spilled");
+        let mut got = Vec::new();
+        while let Some((k, _)) = q.pop().unwrap() {
+            got.push(k.get());
+        }
+        let mut want = ds.to_vec();
+        want.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        assert_eq!(got, want);
+        assert_eq!(q.stats().spilled, q.stats().reloaded);
+        let (live, high, _) = q.slab_stats().unwrap();
+        assert_eq!(live, 0);
+        assert!(high > 0);
+    }
+
+    #[test]
+    fn slab_stats_absent_under_pairing_layout() {
+        let q = queue(1.0);
+        assert!(q.slab_stats().is_none());
+        assert!(q.approx_bytes() >= 128 * 4, "pool frames accounted");
+    }
+
+    /// Spill codec v1 pages carry an unmarked count word; the v2 reader
+    /// masks the version bit, so stripping it from every spilled page must
+    /// change nothing.
+    #[test]
+    fn legacy_unmarked_v1_pages_still_load() {
+        let mut q = queue(1.0);
+        let ds: Vec<f64> = (0..120).map(|i| 5.0 + f64::from(i) * 0.01).collect();
+        for (i, d) in ds.iter().enumerate() {
+            q.push(OrdF64::new(*d), i as u64).unwrap();
+        }
+        assert!(q.on_disk_len() > 0);
+        // Rewrite every bucket page header as v1 (clear the high bit of the
+        // LE count word).
+        let heads: Vec<PageId> = q.buckets.values().map(|b| b.head).collect();
+        for mut page in heads {
+            while !page.is_invalid() {
+                let next = q
+                    .pool
+                    .update(page, |buf| {
+                        buf[1] &= 0x7F;
+                        PageId(u32::from_le_bytes([buf[2], buf[3], buf[4], buf[5]]))
+                    })
+                    .unwrap();
+                page = next;
+            }
+        }
+        let mut got = Vec::new();
+        while let Some((k, v)) = q.pop().unwrap() {
+            got.push((k.get(), v));
+        }
+        let want: Vec<(f64, u64)> = ds.iter().enumerate().map(|(i, d)| (*d, i as u64)).collect();
+        assert_eq!(got, want);
+    }
+
+    proptest! {
+        /// The flat layout's pop sequence — keys AND values — is
+        /// bit-identical to the pairing layout's under fuzzed interleavings
+        /// of pushes (with heavy key duplication, exercising FIFO ties) and
+        /// pops, across tier shapes (dt sweeps the heap/list/disk split) and
+        /// page-boundary differences.
+        #[test]
+        fn layouts_pop_identically(
+            ops in prop::collection::vec((any::<bool>(), 0u32..60), 1..400),
+            dt in 0.1..30.0f64,
+        ) {
+            let mk = |layout| HybridQueue::<OrdF64, u64>::new(HybridConfig {
+                dt,
+                page_size: 128,
+                buffer_frames: 4,
+                key_scale: KeyScale::Identity,
+                layout,
+            });
+            let mut pairing = mk(Layout::Pairing);
+            let mut flat = mk(Layout::FlatDary);
+            for (i, (is_pop, k)) in ops.into_iter().enumerate() {
+                if is_pop {
+                    prop_assert_eq!(pairing.pop().unwrap(), flat.pop().unwrap());
+                } else {
+                    let d = OrdF64::new(f64::from(k) * 0.37);
+                    pairing.push(d, i as u64).unwrap();
+                    flat.push(d, i as u64).unwrap();
+                }
+                prop_assert_eq!(pairing.len(), flat.len());
+            }
+            loop {
+                let (a, b) = (pairing.pop().unwrap(), flat.pop().unwrap());
+                prop_assert_eq!(&a, &b);
+                if a.is_none() {
+                    break;
+                }
+            }
+            prop_assert_eq!(pairing.stats(), flat.stats());
+        }
     }
 
     #[test]
@@ -828,6 +1128,7 @@ mod tests {
                 page_size: 256,
                 buffer_frames: 2,
                 key_scale: KeyScale::Identity,
+                layout: Layout::Pairing,
             });
             for (i, d) in ds.iter().enumerate() {
                 q.push(OrdF64::new(*d), i as u64).unwrap();

@@ -7,15 +7,19 @@
 //! * [`PairingHeap`] — the in-memory structure the paper chose ("we chose
 //!   the pairing heap structure", §3.2), with O(1) insert and amortised
 //!   O(log n) delete-min;
-//! * [`BinaryHeapQueue`] — a `std::collections::BinaryHeap` adapter used as
-//!   an ablation comparator in the microbenches;
+//! * [`FlatHeap`] — a cache-conscious flat 4-ary implicit heap sifting
+//!   16-byte compact entries in SoA layout over a slab of `(K, V)` payloads
+//!   with free-list recycling ([`Layout::FlatDary`]);
 //! * [`HybridQueue`] — the three-tier memory/disk scheme of §3.2: keys below
-//!   `D1` live in a pairing heap, keys in `[D1, D2)` in an unorganised
-//!   in-memory list, and keys of `D2` and above spill to linked page lists
-//!   on a simulated disk, bucketed by a fixed distance increment `D_T`.
+//!   `D1` live in a heap (either layout), keys in `[D1, D2)` in an
+//!   unorganised in-memory list, and keys of `D2` and above spill to linked
+//!   page lists on a simulated disk, bucketed by a fixed distance increment
+//!   `D_T`.
 //!
-//! All queues implement the [`PriorityQueue`] trait so the join algorithms
-//! can be configured with either backend.
+//! All queues implement the fallible [`PriorityQueue`] trait so the join
+//! algorithms can be configured with any backend, and all of them realise
+//! the same total order `(key, arrival)` — equal keys pop in FIFO arrival
+//! order — so the backend choice is invisible in result streams.
 //!
 //! # Key domains
 //!
@@ -26,12 +30,12 @@
 //! carries a [`KeyScale`] translating its distance-valued `D_T` into the
 //! producer's key domain.
 
-mod binary;
+mod flat;
 mod hybrid;
 mod pairing;
 mod traits;
 
-pub use binary::BinaryHeapQueue;
-pub use hybrid::{HybridConfig, HybridQueue, HybridStats, KeyScale, TierGauges};
+pub use flat::{FlatHeap, ARITY};
+pub use hybrid::{HybridConfig, HybridQueue, HybridStats, KeyScale, Layout, TierGauges};
 pub use pairing::PairingHeap;
-pub use traits::{Codec, PriorityQueue, QueueKey};
+pub use traits::{f64_from_order_bits, f64_order_bits, Codec, PriorityQueue, QueueKey};

@@ -11,17 +11,23 @@ const NIL: usize = usize::MAX;
 
 struct Slot<K, V> {
     data: Option<(K, V)>,
+    /// Arrival stamp: merges compare `(key, seq)`, a *total* order, so
+    /// equal keys pop in FIFO arrival order — the same order the flat
+    /// d-ary layout realises, which is what makes result streams
+    /// bit-identical across queue layouts.
+    seq: u64,
     child: usize,
     sibling: usize,
 }
 
-/// An arena-backed pairing heap ordered by minimum key.
+/// An arena-backed pairing heap ordered by minimum `(key, arrival)`.
 pub struct PairingHeap<K, V> {
     slots: Vec<Slot<K, V>>,
     free: Vec<usize>,
     root: usize,
     len: usize,
     max_len: usize,
+    seq: u64,
 }
 
 impl<K: Ord, V> Default for PairingHeap<K, V> {
@@ -40,6 +46,7 @@ impl<K: Ord, V> PairingHeap<K, V> {
             root: NIL,
             len: 0,
             max_len: 0,
+            seq: 0,
         }
     }
 
@@ -138,10 +145,13 @@ impl<K: Ord, V> PairingHeap<K, V> {
 
     /// Inserts an element. O(1).
     pub fn push(&mut self, key: K, value: V) {
+        let seq = self.seq;
+        self.seq += 1;
         let idx = match self.free.pop() {
             Some(idx) => {
                 self.slots[idx] = Slot {
                     data: Some((key, value)),
+                    seq,
                     child: NIL,
                     sibling: NIL,
                 };
@@ -150,6 +160,7 @@ impl<K: Ord, V> PairingHeap<K, V> {
             None => {
                 self.slots.push(Slot {
                     data: Some((key, value)),
+                    seq,
                     child: NIL,
                     sibling: NIL,
                 });
@@ -188,6 +199,7 @@ impl<K: Ord, V> PairingHeap<K, V> {
         self.free.clear();
         self.root = NIL;
         self.len = 0;
+        self.seq = 0;
     }
 
     /// Largest length observed.
@@ -196,11 +208,25 @@ impl<K: Ord, V> PairingHeap<K, V> {
         self.max_len
     }
 
-    /// Key order between two slots; vacant slots sort last so a broken
-    /// occupancy invariant degrades the ordering instead of panicking.
+    /// Approximate resident bytes of the heap: the slot arena and free list
+    /// at their allocated capacities.
+    #[must_use]
+    pub fn approx_bytes(&self) -> usize {
+        self.slots.capacity() * std::mem::size_of::<Slot<K, V>>()
+            + self.free.capacity() * std::mem::size_of::<usize>()
+    }
+
+    /// `(key, arrival)` order between two slots — a strict total order, so
+    /// FIFO among equal keys is structural, not merge-order luck. Vacant
+    /// slots sort last so a broken occupancy invariant degrades the
+    /// ordering instead of panicking.
     fn le(&self, a: usize, b: usize) -> bool {
         match (self.slots[a].data.as_ref(), self.slots[b].data.as_ref()) {
-            (Some(x), Some(y)) => x.0 <= y.0,
+            (Some(x), Some(y)) => match x.0.cmp(&y.0) {
+                std::cmp::Ordering::Less => true,
+                std::cmp::Ordering::Greater => false,
+                std::cmp::Ordering::Equal => self.slots[a].seq <= self.slots[b].seq,
+            },
             (Some(_), None) => true,
             (None, _) => false,
         }
@@ -326,6 +352,19 @@ mod tests {
             }
         }
         assert!(h.slots.len() <= 100, "arena grew to {}", h.slots.len());
+    }
+
+    #[test]
+    fn equal_keys_pop_fifo() {
+        let mut h = PairingHeap::new();
+        for v in 0..50u64 {
+            h.push(1u32, v);
+        }
+        h.push(0, 99);
+        assert_eq!(h.pop(), Some((0, 99)));
+        for v in 0..50u64 {
+            assert_eq!(h.pop(), Some((1, v)));
+        }
     }
 
     #[test]
