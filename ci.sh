@@ -99,6 +99,24 @@ cargo test -p sdj-core --offline -q --test profiling_invariance
     --expect-drain --expect-profile
 ./target/release/sdj-report --overhead --n 20000 --k 10000
 
+echo "==> adaptive replanning gate"
+# The adaptive path must stay invisible in the result stream: the forced
+# equivalence proptests (arbitrary handoff checkpoints, bit-identical
+# ordered streams, multiset equality, fail-clean under faults) must pass,
+# and a forced-adaptive report run must record the executed path. The
+# second run pins a deterministic mid-query handoff via
+# SDJ_ADAPTIVE_FORCE_AT and requires the single incremental→bulk switch
+# to land in the report (plan.replans / plan.replan_at_pair).
+cargo test -p sdj-core --offline -q --test adaptive_equivalence
+./target/release/sdj-report --n 3000 --k 500 --force-plan adaptive \
+    --out results/RunReport_adaptive.json
+./target/release/sdj-report --check results/RunReport_adaptive.json \
+    --expect-plan adaptive
+SDJ_ADAPTIVE_FORCE_AT=200 ./target/release/sdj-report --n 3000 --k 500 \
+    --force-plan adaptive --out results/RunReport_adaptive_handoff.json
+./target/release/sdj-report --check results/RunReport_adaptive_handoff.json \
+    --expect-plan adaptive --expect-replans 1
+
 echo "==> queue-layout gate"
 # The flat 4-ary compact layout must stay invisible in the result stream:
 # the cross-layout proptests (pop streams, tier gauge conservation, slab

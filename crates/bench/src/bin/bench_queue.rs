@@ -52,6 +52,10 @@ struct MicroSample {
     layout: &'static str,
     ops: usize,
     push_ns_per_op: f64,
+    /// One `push_batch` of all `ops` items into an empty queue — the flat
+    /// layout's bottom-up heapify path, and the frontier-seeding pattern of
+    /// the adaptive handoff (`BulkDistanceJoin::from_frontier`).
+    batch_push_ns_per_op: f64,
     pop_ns_per_op: f64,
     peak_bytes: usize,
     bytes_per_element: f64,
@@ -73,10 +77,22 @@ fn micro_pairing(ops: usize) -> MicroSample {
     }
     let pop_s = start.elapsed().as_secs_f64();
     assert_eq!(popped, ops);
+
+    let mut keys = KeyStream(0x5DEE_CE66);
+    let batch: Vec<(OrdF64, u64)> = (0..ops)
+        .map(|i| (OrdF64::new(keys.next_key()), i as u64))
+        .collect();
+    let mut q: PairingHeap<OrdF64, u64> = PairingHeap::new();
+    let start = Instant::now();
+    q.push_batch(batch);
+    let batch_s = start.elapsed().as_secs_f64();
+    assert_eq!(q.len(), ops);
+
     MicroSample {
         layout: "pairing",
         ops,
         push_ns_per_op: push_s * 1e9 / ops as f64,
+        batch_push_ns_per_op: batch_s * 1e9 / ops as f64,
         pop_ns_per_op: pop_s * 1e9 / ops as f64,
         peak_bytes,
         bytes_per_element: peak_bytes as f64 / ops as f64,
@@ -99,10 +115,22 @@ fn micro_flat(ops: usize) -> MicroSample {
     }
     let pop_s = start.elapsed().as_secs_f64();
     assert_eq!(popped, ops);
+
+    let mut keys = KeyStream(0x5DEE_CE66);
+    let batch: Vec<(OrdF64, u64)> = (0..ops)
+        .map(|i| (OrdF64::new(keys.next_key()), i as u64))
+        .collect();
+    let mut q: FlatHeap<OrdF64, u64> = FlatHeap::new();
+    let start = Instant::now();
+    q.push_batch(batch);
+    let batch_s = start.elapsed().as_secs_f64();
+    assert_eq!(q.len(), ops);
+
     MicroSample {
         layout: "flat_dary",
         ops,
         push_ns_per_op: push_s * 1e9 / ops as f64,
+        batch_push_ns_per_op: batch_s * 1e9 / ops as f64,
         pop_ns_per_op: pop_s * 1e9 / ops as f64,
         peak_bytes,
         bytes_per_element: peak_bytes as f64 / ops as f64,
@@ -172,13 +200,33 @@ fn main() {
     let k: u64 = env_num("SDJ_BENCH_K", 100_000);
     let micro_ops: usize = env_num("SDJ_BENCH_QOPS", 500_000);
 
-    eprintln!("# microbench: {micro_ops} push + {micro_ops} pop per layout ...");
-    let micro = [micro_pairing(micro_ops), micro_flat(micro_ops)];
+    // Min-of-2 per variant: single-shot wall clocks on a busy virtualized
+    // core carry enough noise to swamp the layouts' true difference; the
+    // faster of two runs compares quiet-machine times (same idiom as the
+    // sdj-report overhead gate and bench_planner).
+    eprintln!("# microbench: {micro_ops} push + {micro_ops} pop per layout, min of 2 ...");
+    let min_micro = |run: fn(usize) -> MicroSample| {
+        let (a, b) = (run(micro_ops), run(micro_ops));
+        if a.push_ns_per_op + a.pop_ns_per_op <= b.push_ns_per_op + b.pop_ns_per_op {
+            a
+        } else {
+            b
+        }
+    };
+    let micro = [min_micro(micro_pairing), min_micro(micro_flat)];
 
-    eprintln!("# end-to-end: {n} x {n} uniform join, K = {k}, pairing layout ...");
-    let pairing = run_join(n, k, QueueLayout::Pairing, "pairing");
-    eprintln!("# end-to-end: {n} x {n} uniform join, K = {k}, flat 4-ary layout ...");
-    let flat = run_join(n, k, QueueLayout::FlatDary, "flat_dary");
+    let min_join = |layout: QueueLayout, name: &'static str| {
+        eprintln!("# end-to-end: {n} x {n} uniform join, K = {k}, {name} layout, min of 2 ...");
+        let (a, b) = (run_join(n, k, layout, name), run_join(n, k, layout, name));
+        assert_eq!(a.stream, b.stream, "{name} layout is not deterministic");
+        if a.seconds <= b.seconds {
+            a
+        } else {
+            b
+        }
+    };
+    let pairing = min_join(QueueLayout::Pairing, "pairing");
+    let flat = min_join(QueueLayout::FlatDary, "flat_dary");
 
     assert_eq!(
         pairing.stream, flat.stream,
@@ -200,8 +248,15 @@ fn main() {
         }
         micro_rows.push_str(&format!(
             "    {{\"layout\": \"{}\", \"ops\": {}, \"push_ns_per_op\": {:.2}, \
-             \"pop_ns_per_op\": {:.2}, \"peak_bytes\": {}, \"bytes_per_element\": {:.2}}}",
-            m.layout, m.ops, m.push_ns_per_op, m.pop_ns_per_op, m.peak_bytes, m.bytes_per_element,
+             \"batch_push_ns_per_op\": {:.2}, \"pop_ns_per_op\": {:.2}, \
+             \"peak_bytes\": {}, \"bytes_per_element\": {:.2}}}",
+            m.layout,
+            m.ops,
+            m.push_ns_per_op,
+            m.batch_push_ns_per_op,
+            m.pop_ns_per_op,
+            m.peak_bytes,
+            m.bytes_per_element,
         ));
     }
     let mut join_rows = String::new();
@@ -231,7 +286,7 @@ fn main() {
     let mut cpu_model = String::new();
     sdj_obs::json::escape_into(&mut cpu_model, &host.cpu_model);
     let json = format!(
-        "{{\n  \"schema_version\": 1,\n  \"benchmark\": \"queue layout: pairing heap vs flat \
+        "{{\n  \"schema_version\": 2,\n  \"benchmark\": \"queue layout: pairing heap vs flat \
          4-ary compact layout; {micro_ops}-op microbench and {n} x {n} end-to-end join at \
          K = {k}\",\n  \
          \"host\": {{\"nproc\": {}, \"cpu_model\": \"{}\", \"build_profile\": \"{}\"}},\n  \
@@ -239,7 +294,9 @@ fn main() {
          bytes_per_queued_pair = queue_bytes_peak / max_queue; the flat layout stores 16-byte \
          heap entries plus interned items in a shared slab, the pairing layout stores fat \
          pairs inline. queue_*_est_ns are Horvitz-Thompson self-time estimates from the \
-         sampled profiler (1-CPU host).\",\n  \
+         sampled profiler (1-CPU host). batch_push_ns_per_op is one push_batch of all ops \
+         into an empty queue — the flat layout's bottom-up heapify, the adaptive handoff's \
+         frontier-seeding pattern.\",\n  \
          \"bytes_per_pair_reduction\": {:.2},\n  \
          \"bytes_reduction_at_least_2x\": {},\n  \
          \"queue_self_time_pairing_ns\": {:.0},\n  \

@@ -27,6 +27,7 @@ use std::time::Instant;
 use sdj_bench::build_tree;
 use sdj_core::{
     BulkConfig, BulkStats, DistanceJoin, JoinConfig, JoinStats, Plan, PlanChoice, QueueLayout,
+    ReplanInfo,
 };
 use sdj_datagen::{uniform_points, unit_box};
 use sdj_exec::{run_planned, ParallelConfig};
@@ -48,6 +49,7 @@ struct Args {
     expect_drain: bool,
     expect_retries: bool,
     expect_plan: Option<String>,
+    expect_replans: Option<u64>,
     expect_profile: bool,
     expect_queue_bytes: bool,
     expect_pairs_match: Option<String>,
@@ -69,6 +71,7 @@ impl Args {
             expect_drain: false,
             expect_retries: false,
             expect_plan: None,
+            expect_replans: None,
             expect_profile: false,
             expect_queue_bytes: false,
             expect_pairs_match: None,
@@ -118,6 +121,14 @@ impl Args {
                     a.expect_plan = Some(take(&argv, i, "--expect-plan"));
                     i += 1;
                 }
+                "--expect-replans" => {
+                    a.expect_replans = Some(
+                        take(&argv, i, "--expect-replans")
+                            .parse()
+                            .expect("--expect-replans takes an integer"),
+                    );
+                    i += 1;
+                }
                 "--expect-profile" => a.expect_profile = true,
                 "--expect-queue-bytes" => a.expect_queue_bytes = true,
                 "--expect-pairs-match" => {
@@ -134,14 +145,17 @@ impl Args {
                     a.force_plan = Some(match take(&argv, i, "--force-plan").as_str() {
                         "incremental" => PlanChoice::Incremental,
                         "bulk" => PlanChoice::Bulk,
-                        other => panic!("--force-plan takes incremental|bulk, got {other}"),
+                        "adaptive" => PlanChoice::Adaptive,
+                        other => {
+                            panic!("--force-plan takes incremental|bulk|adaptive, got {other}")
+                        }
                     });
                     i += 1;
                 }
                 other => panic!(
                     "unknown argument {other} (expected --n/--k/--threads/--out/--events/\
-                     --check/--expect-drain/--expect-retries/--expect-plan/--expect-profile/\
-                     --expect-queue-bytes/--expect-pairs-match/\
+                     --check/--expect-drain/--expect-retries/--expect-plan/--expect-replans/\
+                     --expect-profile/--expect-queue-bytes/--expect-pairs-match/\
                      --overhead/--profile/--label/--force-plan)"
                 ),
             }
@@ -186,6 +200,7 @@ struct KPass {
     forced: bool,
     bulk: Option<BulkStats>,
     workers: usize,
+    replanned: Option<ReplanInfo>,
 }
 
 /// Pass 1: the K closest pairs through the planner-selected (or forced)
@@ -228,6 +243,7 @@ fn run_k_pass(
         forced: run.forced,
         bulk: run.bulk,
         workers: run.workers_spawned,
+        replanned: run.replanned,
     }
 }
 
@@ -357,6 +373,7 @@ fn run_report(args: &Args) -> Result<(), String> {
         forced,
         bulk,
         workers,
+        replanned,
     } = pass1;
     if produced == 0 {
         return Err("pass 1 produced no results".into());
@@ -371,6 +388,13 @@ fn run_report(args: &Args) -> Result<(), String> {
         plan.est_incremental,
         plan.est_bulk,
     );
+    if let Some(r) = &replanned {
+        eprintln!(
+            "# plan: incremental→bulk @ pair {} (pop {}, est incremental \
+             remaining {:.0}, est bulk remaining {:.0})",
+            r.at_pair, r.at_pop, r.est_incremental_remaining, r.est_bulk_remaining,
+        );
+    }
 
     eprintln!("# pass 2: drain join restricted to [0, {dmax:.6}] ...");
     let ctx2 = ObsContext::new(sink_for(&queue_rec))
@@ -389,16 +413,20 @@ fn run_report(args: &Args) -> Result<(), String> {
         ("k".into(), args.k as f64),
         ("threads".into(), args.threads as f64),
         ("dmax".into(), dmax),
-        // 0 = incremental, 1 = bulk (mirrors the `plan.choice` gauge).
+        // 0 = incremental, 1 = bulk, 2 = adaptive (mirrors the
+        // `plan.choice` gauge).
         (
             "plan.choice".into(),
             match executed {
                 PlanChoice::Incremental => 0.0,
                 PlanChoice::Bulk => 1.0,
+                PlanChoice::Adaptive => 2.0,
             },
         ),
         ("plan.est_incremental".into(), plan.est_incremental),
         ("plan.est_bulk".into(), plan.est_bulk),
+        // Mid-query replans (0 or 1 under the default max_replans).
+        ("plan.replans".into(), replanned.is_some() as u64 as f64),
         // 0 = pairing, 1 = flat 4-ary (the SDJ_QUEUE_LAYOUT selection).
         (
             "queue.layout".into(),
@@ -408,6 +436,11 @@ fn run_report(args: &Args) -> Result<(), String> {
             },
         ),
     ];
+    if let Some(r) = &replanned {
+        report
+            .workload
+            .push(("plan.replan_at_pair".into(), r.at_pair as f64));
+    }
     report.counters = vec![
         ("pairs_produced".into(), produced),
         ("drain_pairs_produced".into(), drained),
@@ -472,6 +505,7 @@ fn run_report(args: &Args) -> Result<(), String> {
         choice: match executed {
             PlanChoice::Incremental => "incremental".into(),
             PlanChoice::Bulk => "bulk".into(),
+            PlanChoice::Adaptive => "adaptive".into(),
         },
         forced,
         est_incremental: plan.est_incremental,
@@ -610,17 +644,33 @@ fn render_profile(p: &ProfileSection, report: &RunReport) {
             c.observed_pairs
         );
     }
+    // The adaptive path's mid-query switch, if one fired: which result rank
+    // the incremental engine had reached when the frontier was handed to
+    // the bulk executor.
+    let workload = |name: &str| -> Option<f64> {
+        report
+            .workload
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|(_, v)| *v)
+    };
+    if workload("plan.replans").unwrap_or(0.0) >= 1.0 {
+        println!(
+            "replan: incremental→bulk @ pair {:.0} ({:.0} switch(es))",
+            workload("plan.replan_at_pair").unwrap_or(0.0),
+            workload("plan.replans").unwrap_or(0.0)
+        );
+    }
 }
 
-fn run_check(
-    path: &str,
-    expect_drain: bool,
-    expect_retries: bool,
-    expect_plan: Option<&str>,
-    expect_profile: bool,
-    expect_queue_bytes: bool,
-    expect_pairs_match: Option<&str>,
-) -> Result<(), String> {
+fn run_check(path: &str, args: &Args) -> Result<(), String> {
+    let expect_drain = args.expect_drain;
+    let expect_retries = args.expect_retries;
+    let expect_plan = args.expect_plan.as_deref();
+    let expect_replans = args.expect_replans;
+    let expect_profile = args.expect_profile;
+    let expect_queue_bytes = args.expect_queue_bytes;
+    let expect_pairs_match = args.expect_pairs_match.as_deref();
     let text = std::fs::read_to_string(path).map_err(|e| format!("read {path}: {e}"))?;
     let report = RunReport::from_json(&text).map_err(|e| format!("{path}: {e}"))?;
     report.validate().map_err(|e| format!("{path}: {e}"))?;
@@ -667,7 +717,12 @@ fn run_check(
             .find(|(name, _)| name == "plan.choice")
             .map(|(_, v)| *v)
             .ok_or_else(|| format!("{path}: no plan.choice recorded"))?;
-        let got = if choice == 0.0 { "incremental" } else { "bulk" };
+        let got = match choice as i64 {
+            0 => "incremental",
+            1 => "bulk",
+            2 => "adaptive",
+            _ => "unknown",
+        };
         if got != expected {
             return Err(format!("{path}: plan.choice is {got}, expected {expected}"));
         }
@@ -691,6 +746,36 @@ fn run_check(
             ));
         }
         println!("{path}: plan ok ({expected})");
+    }
+    if let Some(expected) = expect_replans {
+        // The adaptive gate: the report must record exactly the expected
+        // number of mid-query switches, and a fired switch must also carry
+        // the pair rank at which the frontier was handed off.
+        let replans = report
+            .workload
+            .iter()
+            .find(|(name, _)| name == "plan.replans")
+            .map(|(_, v)| *v as u64)
+            .ok_or_else(|| format!("{path}: no plan.replans recorded"))?;
+        if replans != expected {
+            return Err(format!(
+                "{path}: plan.replans is {replans}, expected {expected}"
+            ));
+        }
+        let at_pair = report
+            .workload
+            .iter()
+            .find(|(name, _)| name == "plan.replan_at_pair")
+            .map(|(_, v)| *v);
+        if expected > 0 && at_pair.is_none() {
+            return Err(format!(
+                "{path}: a replan fired but plan.replan_at_pair is missing"
+            ));
+        }
+        match at_pair {
+            Some(p) => println!("{path}: replans ok ({replans} @ pair {p:.0})"),
+            None => println!("{path}: replans ok ({replans})"),
+        }
     }
     if expect_profile {
         // The profiling gate: the report must carry a populated phase table
@@ -928,15 +1013,7 @@ fn run_overhead(args: &Args) -> Result<(), String> {
 fn main() -> ExitCode {
     let args = Args::parse();
     let result = if let Some(path) = &args.check {
-        run_check(
-            path,
-            args.expect_drain,
-            args.expect_retries,
-            args.expect_plan.as_deref(),
-            args.expect_profile,
-            args.expect_queue_bytes,
-            args.expect_pairs_match.as_deref(),
-        )
+        run_check(path, &args)
     } else if args.overhead {
         run_overhead(&args)
     } else {

@@ -53,7 +53,7 @@ use sdj_rtree::ObjectId;
 
 use crate::config::{ExpansionPath, JoinConfig, ResultOrder};
 use crate::index::{IndexEntry, IndexNode, SpatialIndex};
-use crate::join::{mindist_keys_into, ResultPair};
+use crate::join::{mindist_keys_into, EmissionWatermark, ResultPair};
 use crate::stats::JoinStats;
 
 /// Hard ceiling on the total number of grid cells, shared across any
@@ -98,6 +98,11 @@ pub struct BulkStats {
     /// Right-entry replicas across cells (≥ right entry count; grows with
     /// `Dmax` relative to the cell width).
     pub replicated2: u64,
+    /// Candidates suppressed by the adaptive handoff's emission-watermark
+    /// floor: pairs the incremental prefix already reported (key strictly
+    /// below the floor, or equal and in the tie set). Zero outside
+    /// frontier-seeded runs.
+    pub below_watermark: u64,
 }
 
 impl BulkStats {
@@ -108,6 +113,7 @@ impl BulkStats {
         self.pairs_deduped += other.pairs_deduped;
         self.replicated1 += other.replicated1;
         self.replicated2 += other.replicated2;
+        self.below_watermark += other.below_watermark;
     }
 }
 
@@ -144,6 +150,9 @@ pub struct CellTally {
     pub pruned_by_range: u64,
     /// Self-pairs dropped by `exclude_equal_ids`.
     pub filtered_self: u64,
+    /// Candidates dropped by the emission-watermark floor (adaptive
+    /// handoff; see [`BulkStats::below_watermark`]).
+    pub below_watermark: u64,
     /// Hits appended to the output run.
     pub emitted: u64,
     /// True if both slices were non-empty and a sweep actually ran.
@@ -301,6 +310,13 @@ pub struct BulkDistanceJoin<const D: usize> {
     cells2: Vec<Vec<u32>>,
     /// Cells with both slices non-empty — the parallel work units.
     active: Vec<u32>,
+    /// Emission-watermark floor of a frontier-seeded run (`-inf` + empty
+    /// tie set otherwise, which filters nothing): candidates with
+    /// `key < floor_key` were all emitted by the incremental prefix, and
+    /// candidates at exactly `floor_key` were emitted iff their id pair is
+    /// in `floor_ties` (sorted for binary search).
+    floor_key: f64,
+    floor_ties: Vec<(u64, u64)>,
     stats: JoinStats,
     bulk: BulkStats,
     /// Phase-span timer for the serial driver (build, merge and finish
@@ -426,6 +442,8 @@ impl<const D: usize> BulkDistanceJoin<D> {
             cells1: Vec::new(),
             cells2: Vec::new(),
             active: Vec::new(),
+            floor_key: f64::NEG_INFINITY,
+            floor_ties: Vec::new(),
             stats,
             bulk: BulkStats::default(),
             spans,
@@ -438,6 +456,115 @@ impl<const D: usize> BulkDistanceJoin<D> {
             t.exit(Phase::Replicate);
         }
         Ok(join)
+    }
+
+    /// Builds a bulk join seeded from an exported incremental frontier
+    /// (the adaptive handoff): the entry sets are the objects harvested
+    /// from the frontier's queue pairs — no tree pass runs here — and the
+    /// run is restricted to the *remainder* of the incremental stream by
+    /// two bounds, both in the key domain so comparisons are exact against
+    /// the bit-identical kernel keys:
+    ///
+    /// * `floor` — the incremental prefix's [`EmissionWatermark`]:
+    ///   candidates strictly below it were all emitted already (ascending
+    ///   emission is monotone), candidates at exactly its key are dropped
+    ///   iff they are in its tie set.
+    /// * `max_key_hint` — the tightest maximum key the paused engine had
+    ///   proven (query bound and estimator, [`crate::JoinFrontier::dmax_hint`]):
+    ///   every result still owed lies within it, and everything above it
+    ///   is either out of range or was legitimately pruned. The geometric
+    ///   expansion radius (grid replication, owner-cell rule) is derived
+    ///   from it with a one-sided pad so the `sqrt` round-trip out of the
+    ///   key domain can never under-cover the exact key filter.
+    ///
+    /// # Panics
+    /// Panics on an invalid `config`, a forced non-finite `cell_width`, or
+    /// more than `u32::MAX` entries per side.
+    #[must_use]
+    pub fn from_frontier(
+        entries1: Vec<(ObjectId, Rect<D>)>,
+        entries2: Vec<(ObjectId, Rect<D>)>,
+        config: JoinConfig,
+        bulk_config: BulkConfig,
+        floor: Option<&EmissionWatermark>,
+        max_key_hint: f64,
+        ctx: Option<&ObsContext>,
+    ) -> Self {
+        let spans = ctx.and_then(SpanTimer::from_context);
+        config.validate();
+        if let Some(w) = bulk_config.cell_width {
+            assert!(
+                w.is_finite() && w > 0.0,
+                "forced cell width must be positive and finite"
+            );
+        }
+        assert!(
+            entries1.len() <= u32::MAX as usize && entries2.len() <= u32::MAX as usize,
+            "bulk join supports at most u32::MAX objects per side"
+        );
+        let keys = config.key_space();
+        let max_key = keys.to_key(config.max_distance).min(max_key_hint);
+        // Geometric radius covering the key filter: pad the distance-domain
+        // image of the hint one-sided (sqrt of a squared key rounds to
+        // nearest, ≤ 1 ulp either way) so replication windows and the
+        // owner-cell reference point never exclude a pair the exact
+        // key-domain filter would keep.
+        let hint_dist = keys.to_distance(max_key_hint);
+        let padded = if hint_dist.is_finite() {
+            hint_dist + hint_dist * 1e-9 + f64::MIN_POSITIVE
+        } else {
+            hint_dist
+        };
+        let dmax = config.max_distance.min(padded);
+
+        let grid = if entries1.is_empty() || entries2.is_empty() {
+            Grid::single([0.0; D])
+        } else {
+            let bbox = joint_bbox(&entries1, &entries2);
+            let w = bulk_config.cell_width.unwrap_or_else(|| {
+                derived_cell_width(&bbox, dmax, entries1.len() + entries2.len(), &bulk_config)
+            });
+            Grid::build(&bbox, w)
+        };
+
+        let (floor_key, mut floor_ties) = match floor {
+            Some(wm) => (
+                wm.key,
+                wm.ties.iter().map(|&(a, b)| (a.0, b.0)).collect::<Vec<_>>(),
+            ),
+            None => (f64::NEG_INFINITY, Vec::new()),
+        };
+        floor_ties.sort_unstable();
+        floor_ties.dedup();
+
+        let mut join = Self {
+            config,
+            bulk_config,
+            keys,
+            lanes: matches!(config.expansion, ExpansionPath::Lanes),
+            min_key: keys.to_key(config.min_distance),
+            max_key,
+            dmax,
+            grid,
+            entries1,
+            entries2,
+            cells1: Vec::new(),
+            cells2: Vec::new(),
+            active: Vec::new(),
+            floor_key,
+            floor_ties,
+            stats: JoinStats::default(),
+            bulk: BulkStats::default(),
+            spans,
+        };
+        if let Some(t) = &mut join.spans {
+            t.enter(Phase::Replicate);
+        }
+        join.replicate();
+        if let Some(t) = &mut join.spans {
+            t.exit(Phase::Replicate);
+        }
+        join
     }
 
     /// Distributes both entry sets into the grid cells: left entries over
@@ -510,6 +637,7 @@ impl<const D: usize> BulkDistanceJoin<D> {
         self.stats.pruned_by_range += t.pruned_by_range;
         self.stats.filtered_self += t.filtered_self;
         self.bulk.pairs_deduped += t.deduped;
+        self.bulk.below_watermark += t.below_watermark;
         if t.swept {
             self.bulk.cell_pairs_swept += 1;
         }
@@ -561,6 +689,7 @@ impl<const D: usize> BulkDistanceJoin<D> {
         let cell_coords = self.grid.coords(cell);
         let max_key = self.max_key;
         let min_key = self.min_key;
+        let floor_key = self.floor_key;
         let exclude_equal = self.config.exclude_equal_ids;
         let dmax = self.dmax;
 
@@ -622,6 +751,13 @@ impl<const D: usize> BulkDistanceJoin<D> {
                 }
                 if key > max_key || key < min_key {
                     tally.pruned_by_range += 1;
+                    continue;
+                }
+                if key < floor_key
+                    || (key == floor_key
+                        && self.floor_ties.binary_search(&(oid1.0, oid2.0)).is_ok())
+                {
+                    tally.below_watermark += 1;
                     continue;
                 }
                 if exclude_equal && oid1 == oid2 {

@@ -153,6 +153,38 @@ where
     /// handed to [`SpatialIndex::prefetch_nodes`].
     scratch_hints: Vec<NodeId>,
     scratch_hint_pages: Vec<NodeId>,
+    /// Emission watermark, maintained only when the adaptive driver enables
+    /// it ([`DistanceJoin::track_watermark`]); `None` keeps the result path
+    /// free of the extra bookkeeping.
+    watermark: Option<EmissionWatermark>,
+}
+
+/// The last emitted result's position in the (monotone, ascending) output
+/// order: its key-domain distance plus every pair emitted at *exactly* that
+/// key. A frontier-seeded bulk run filters its candidates against this
+/// floor — strictly smaller keys were all emitted already (emission is
+/// monotone non-decreasing), and equal keys are emitted iff they are not in
+/// the tie set — so the seeded run produces exactly the not-yet-emitted
+/// remainder. Comparisons happen in the key domain on both sides (the bulk
+/// kernels produce bit-identical keys to the incremental kernels), so the
+/// floor is exact: no epsilon, no sqrt round-trip.
+#[derive(Clone, Debug, Default)]
+pub struct EmissionWatermark {
+    /// Key-domain value of the last emitted result; `-inf` before the
+    /// first emission (nothing is below the floor).
+    pub key: f64,
+    /// `(oid1, oid2)` of every result emitted at exactly `key`, cleared
+    /// whenever a strictly greater key is emitted.
+    pub ties: Vec<(ObjectId, ObjectId)>,
+}
+
+impl EmissionWatermark {
+    fn new() -> Self {
+        Self {
+            key: f64::NEG_INFINITY,
+            ties: Vec::new(),
+        }
+    }
 }
 
 /// Outcome of processing one queue element.
@@ -322,6 +354,7 @@ where
             views2: ViewCache::new(VIEW_CACHE_CAP),
             scratch_hints: Vec::new(),
             scratch_hint_pages: Vec::new(),
+            watermark: None,
         }
     }
 
@@ -422,22 +455,39 @@ where
         shard_vecs.resize_with(shards, || Vec::with_capacity(per_shard));
         if !exhausted {
             self.span_enter(Phase::QueuePop);
-            let mut next = 0usize;
-            loop {
-                match self.queue.pop() {
-                    Ok(Some(entry)) => {
-                        shard_vecs[next].push(entry);
-                        next = (next + 1) % shards;
+            if shards == 1 {
+                // A single shard needs no round-robin balance and its order
+                // is irrelevant (resume re-heapifies, the adaptive handoff
+                // harvests): drain without re-sorting work. The flat layout
+                // walks its entry arrays straight off the slab.
+                let shard = &mut shard_vecs[0];
+                if let Err(e) = self
+                    .queue
+                    .drain_unordered(|key, pair| shard.push((key, pair)))
+                {
+                    if self.error.is_none() {
+                        self.error = Some(e);
                     }
-                    Ok(None) => break,
-                    Err(e) => {
-                        // A fault while draining the queue loses the shards'
-                        // completeness; surface the error so the executor
-                        // aborts instead of running an incomplete partition.
-                        if self.error.is_none() {
-                            self.error = Some(e);
+                }
+            } else {
+                let mut next = 0usize;
+                loop {
+                    match self.queue.pop() {
+                        Ok(Some(entry)) => {
+                            shard_vecs[next].push(entry);
+                            next = (next + 1) % shards;
                         }
-                        break;
+                        Ok(None) => break,
+                        Err(e) => {
+                            // A fault while draining the queue loses the
+                            // shards' completeness; surface the error so the
+                            // executor aborts instead of running an
+                            // incomplete partition.
+                            if self.error.is_none() {
+                                self.error = Some(e);
+                            }
+                            break;
+                        }
                     }
                 }
             }
@@ -456,6 +506,59 @@ where
             error: self.error.take(),
             exhausted,
         }
+    }
+
+    /// Runs the engine for at most `max_pops` queue pops, appending every
+    /// result produced to `out`. Returns `true` when the join finished
+    /// (queue exhausted or the `K` limit reached) and `false` when the pop
+    /// budget ran out first — the adaptive driver's checkpoint granularity,
+    /// far finer than result granularity (a drain-heavy run can pop
+    /// millions of node pairs between consecutive results). On a storage
+    /// fault the engine is `done` and the error is returned; results
+    /// already appended remain a correct prefix (the fail-clean contract).
+    pub(crate) fn drive(
+        &mut self,
+        max_pops: u64,
+        out: &mut Vec<ResultPair>,
+    ) -> sdj_storage::Result<bool> {
+        if self.done {
+            return Ok(true);
+        }
+        let budget_end = self.stats.pairs_dequeued.saturating_add(max_pops);
+        while self.stats.pairs_dequeued < budget_end {
+            match self.step() {
+                Ok(StepOutcome::Result(r)) => out.push(r),
+                Ok(StepOutcome::Continue) => {}
+                Ok(StepOutcome::Exhausted) => {
+                    self.done = true;
+                    return Ok(true);
+                }
+                Err(e) => {
+                    self.done = true;
+                    return Err(e);
+                }
+            }
+            if self.done {
+                return Ok(true);
+            }
+        }
+        Ok(false)
+    }
+
+    /// Starts maintaining the [`EmissionWatermark`] (adaptive handoff
+    /// support). Must be enabled before any result is emitted so the floor
+    /// covers the whole prefix.
+    pub(crate) fn track_watermark(&mut self) {
+        assert!(
+            self.stats.pairs_reported == 0,
+            "watermark tracking must start before the first result"
+        );
+        self.watermark = Some(EmissionWatermark::new());
+    }
+
+    /// The current emission watermark, if tracking was enabled.
+    pub(crate) fn watermark(&self) -> Option<&EmissionWatermark> {
+        self.watermark.as_ref()
     }
 
     /// Restricts the join to objects falling inside the given windows
@@ -618,7 +721,7 @@ where
         matches!(self.config.expansion, ExpansionPath::Lanes)
     }
 
-    fn effective_max_key(&self) -> f64 {
+    pub(crate) fn effective_max_key(&self) -> f64 {
         let mut max = match &self.estimator {
             Some(est) => self.max_key.min(est.current_dmax()),
             None => self.max_key,
@@ -1676,6 +1779,13 @@ where
                 self.stats.filtered_seen += 1;
                 return None;
             }
+        }
+        if let Some(wm) = &mut self.watermark {
+            if key > wm.key {
+                wm.key = key;
+                wm.ties.clear();
+            }
+            wm.ties.push((oid1, oid2));
         }
         let distance = self.keys.to_distance(key);
         if self.keys.is_squared() {

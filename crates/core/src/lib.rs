@@ -54,6 +54,7 @@
 //! assert!(closest[0].distance <= closest[1].distance);
 //! ```
 
+pub mod adaptive;
 pub mod apps;
 mod bound;
 pub mod bulk;
@@ -73,6 +74,10 @@ mod slab;
 mod stats;
 mod view;
 
+pub use adaptive::{
+    AdaptiveConfig, AdaptiveDistanceJoin, AdaptiveOutcome, AdaptiveRun, Handoff, ReplanInfo,
+    ReplanSignals,
+};
 pub use bound::SharedDistanceBound;
 pub use bulk::{BulkConfig, BulkDistanceJoin, BulkHit, BulkStats, CellScratch, CellTally};
 pub use config::{
@@ -82,7 +87,7 @@ pub use config::{
 pub use estimate::{Estimator, EstimatorMode};
 pub use index::{IndexEntry, IndexNode, NodeId, SpatialIndex};
 pub use intersect::{IntersectionPair, OrderedIntersectionJoin};
-pub use join::{DistanceJoin, DistanceSemiJoin, JoinFrontier, ResultPair};
+pub use join::{DistanceJoin, DistanceSemiJoin, EmissionWatermark, JoinFrontier, ResultPair};
 pub use nn::{nearest_neighbors, IndexNearestNeighbors, IndexNeighbor};
 pub use obs::JoinObs;
 pub use oracle::{DistanceOracle, MbrOracle, SliceOracle};

@@ -50,6 +50,12 @@ pub enum PlanChoice {
     Incremental,
     /// The bulk partition/plane-sweep join.
     Bulk,
+    /// The adaptive driver: start incremental, re-cost at checkpoints from
+    /// observed signals, and hand the frontier to the bulk path mid-query
+    /// if bulk wins by a hysteresis margin. Never produced by the static
+    /// [`plan`] — it is a forced/driver-level mode, surfaced here so
+    /// reports and forcing flags share one vocabulary.
+    Adaptive,
 }
 
 impl PlanChoice {
@@ -59,6 +65,7 @@ impl PlanChoice {
         match self {
             PlanChoice::Incremental => "incremental",
             PlanChoice::Bulk => "bulk",
+            PlanChoice::Adaptive => "adaptive",
         }
     }
 }
@@ -205,19 +212,14 @@ const BULK_PER_ENTRY: f64 = 4.0;
 /// (kernel evaluation plus dedup/range filtering).
 const BULK_PER_PAIR: f64 = 2.0;
 
-/// Chooses the execution path for `inputs` under the cost model above.
-#[must_use]
-pub fn plan<const D: usize>(inputs: &PlanInputs<D>) -> Plan {
-    let n1 = inputs.n1 as f64;
-    let n2 = inputs.n2 as f64;
-
-    // Result-cardinality estimate under a uniformity assumption: along each
-    // axis a pair within distance `d` keeps its centre gap within `d`, a
-    // window of width `2d` out of the axis extent. `Dmax = ∞` (or a
-    // degenerate axis) caps the axis selectivity at 1, i.e. the full cross
-    // product. `Dmin` only *removes* pairs and mostly near zero distance,
-    // where few pairs live; the model ignores it for cardinality (it still
-    // reaches the executors as a filter).
+/// Result-cardinality estimate under a uniformity assumption: along each
+/// axis a pair within distance `d` keeps its centre gap within `d`, a
+/// window of width `2d` out of the axis extent. `Dmax = ∞` (or a
+/// degenerate axis) caps the axis selectivity at 1, i.e. the full cross
+/// product. `Dmin` only *removes* pairs and mostly near zero distance,
+/// where few pairs live; the model ignores it for cardinality (it still
+/// reaches the executors as a filter).
+fn est_pairs_of<const D: usize>(inputs: &PlanInputs<D>) -> f64 {
     let mut selectivity = 1.0f64;
     for a in 0..D {
         let ext = inputs.extent[a];
@@ -228,7 +230,37 @@ pub fn plan<const D: usize>(inputs: &PlanInputs<D>) -> Plan {
         };
         selectivity *= f;
     }
-    let est_pairs = n1 * n2 * selectivity;
+    inputs.n1 as f64 * inputs.n2 as f64 * selectivity
+}
+
+/// The `SDJ_PLAN_BIAS` knob: a positive factor multiplied into the *static*
+/// incremental estimate before the comparison in [`plan`]. A value below 1
+/// makes the static planner over-favour the incremental path, above 1 the
+/// bulk path — a deliberate mis-calibration used by tests and benchmarks to
+/// exercise the adaptive driver's recovery from a wrong initial pick. The
+/// checkpoint re-costing ([`replan`]) never applies it: recovery must come
+/// from observed signals, not from un-biasing the same constant.
+fn plan_bias() -> f64 {
+    std::env::var("SDJ_PLAN_BIAS")
+        .ok()
+        .and_then(|v| v.parse::<f64>().ok())
+        .filter(|b| b.is_finite() && *b > 0.0)
+        .unwrap_or(1.0)
+}
+
+/// Chooses the execution path for `inputs` under the cost model above.
+/// The reported `est_incremental` includes any `SDJ_PLAN_BIAS` factor, so
+/// the recorded estimates always explain the recorded choice.
+#[must_use]
+pub fn plan<const D: usize>(inputs: &PlanInputs<D>) -> Plan {
+    plan_with_bias(inputs, plan_bias())
+}
+
+/// [`plan`] with an explicit bias factor (see [`plan_bias`]).
+fn plan_with_bias<const D: usize>(inputs: &PlanInputs<D>, bias: f64) -> Plan {
+    let n1 = inputs.n1 as f64;
+    let n2 = inputs.n2 as f64;
+    let est_pairs = est_pairs_of(inputs);
 
     // How many pairs the incremental consumer will actually pull.
     let k_eff = match inputs.max_pairs {
@@ -236,9 +268,10 @@ pub fn plan<const D: usize>(inputs: &PlanInputs<D>) -> Plan {
         None => est_pairs,
     };
     let n_max = n1.max(n2).max(2.0);
-    let est_incremental = INCREMENTAL_SETUP
+    let est_incremental = (INCREMENTAL_SETUP
         + INCREMENTAL_PER_FRONTIER * inputs.est_frontier
-        + k_eff * INCREMENTAL_PER_PAIR_LEVEL * n_max.log2();
+        + k_eff * INCREMENTAL_PER_PAIR_LEVEL * n_max.log2())
+        * bias;
     let est_bulk = BULK_SETUP + (n1 + n2) * BULK_PER_ENTRY + est_pairs * BULK_PER_PAIR;
 
     let choice = if est_incremental <= est_bulk {
@@ -251,6 +284,81 @@ pub fn plan<const D: usize>(inputs: &PlanInputs<D>) -> Plan {
         est_incremental,
         est_bulk,
         est_pairs,
+    }
+}
+
+/// Live progress counters of a running incremental join, read at an
+/// adaptive checkpoint. All are cheap: they come off [`crate::JoinStats`]
+/// and the queue length, no instrumentation required.
+#[derive(Clone, Copy, Debug)]
+pub struct ObservedProgress {
+    /// Pairs dequeued so far (the checkpoint clock).
+    pub pops: u64,
+    /// Results reported so far.
+    pub results: u64,
+    /// Pairs enqueued so far.
+    pub enqueued: u64,
+    /// Current queue length.
+    pub queue_len: usize,
+}
+
+/// A checkpoint re-costing verdict: remaining-work estimates for both
+/// paths, evaluated from *observed* inputs, plus the hysteresis decision.
+#[derive(Clone, Copy, Debug)]
+pub struct Replan {
+    /// Estimated remaining work units of continuing incrementally.
+    pub est_incremental_remaining: f64,
+    /// Estimated work units of switching to a frontier-seeded bulk run.
+    pub est_bulk_remaining: f64,
+    /// The frontier estimate after the observed ratchet (see [`replan`]).
+    pub observed_frontier: f64,
+    /// True when bulk wins by at least the hysteresis margin.
+    pub switch: bool,
+}
+
+/// Re-evaluates the cost model mid-run with observed inputs: the static
+/// frontier estimate is ratcheted up by what the run has actually staged
+/// (`enqueued + queue_len` pairs have *provably* entered the frontier — the
+/// estimate can only grow, never shrink, so a too-optimistic static pick is
+/// corrected but a correct one is not thrashed), work already performed is
+/// subtracted from the incremental side, and the bulk side is charged its
+/// full setup plus the not-yet-emitted result mass. The switch fires only
+/// when the remaining incremental estimate exceeds the remaining bulk
+/// estimate by the `hysteresis` factor (> 1), so a near-tie never replans.
+#[must_use]
+pub fn replan<const D: usize>(
+    inputs: &PlanInputs<D>,
+    observed: &ObservedProgress,
+    hysteresis: f64,
+) -> Replan {
+    let n1 = inputs.n1 as f64;
+    let n2 = inputs.n2 as f64;
+    let est_pairs = est_pairs_of(inputs);
+    let k_eff = match inputs.max_pairs {
+        Some(k) => (k as f64).min(est_pairs),
+        None => est_pairs,
+    };
+    let n_max = n1.max(n2).max(2.0);
+
+    let staged = observed.enqueued as f64 + observed.queue_len as f64;
+    let observed_frontier = inputs.est_frontier.max(staged);
+    let frontier_remaining =
+        (observed_frontier - observed.pops as f64).max(observed.queue_len as f64);
+    let results_remaining = (k_eff - observed.results as f64).max(0.0);
+    let est_incremental_remaining = INCREMENTAL_PER_FRONTIER * frontier_remaining
+        + results_remaining * INCREMENTAL_PER_PAIR_LEVEL * n_max.log2();
+    // The bulk side still pays everything: full harvest-scale setup (the
+    // frontier's subtrees are most of both trees when a switch is worth
+    // considering) and the whole remaining result mass.
+    let est_bulk_remaining = BULK_SETUP
+        + (n1 + n2) * BULK_PER_ENTRY
+        + (est_pairs - observed.results as f64).max(0.0) * BULK_PER_PAIR;
+
+    Replan {
+        est_incremental_remaining,
+        est_bulk_remaining,
+        observed_frontier,
+        switch: est_incremental_remaining > hysteresis * est_bulk_remaining,
     }
 }
 
@@ -366,5 +474,95 @@ mod tests {
         assert_eq!(PlanChoice::Incremental.as_str(), "incremental");
         assert_eq!(PlanChoice::Bulk.as_str(), "bulk");
         assert_eq!(PlanChoice::Bulk.to_string(), "bulk");
+        assert_eq!(PlanChoice::Adaptive.as_str(), "adaptive");
+    }
+
+    #[test]
+    fn bias_flips_the_static_choice_only() {
+        // The full-drain point picks bulk unbiased; a bias favouring the
+        // incremental side flips the static choice (the mis-calibration
+        // knob), but the checkpoint re-costing still says switch.
+        let inputs = uniform_inputs();
+        assert_eq!(plan_with_bias(&inputs, 1.0).choice, PlanChoice::Bulk);
+        assert_eq!(plan_with_bias(&inputs, 0.1).choice, PlanChoice::Incremental);
+        let observed = ObservedProgress {
+            pops: 4096,
+            results: 0,
+            enqueued: 8000,
+            queue_len: 6000,
+        };
+        assert!(replan(&inputs, &observed, 1.05).switch);
+    }
+
+    #[test]
+    fn replan_switches_on_a_drain_heavy_run() {
+        // Early checkpoint of the uniform full drain: almost all frontier
+        // work is still ahead, the remaining-result mass is the whole
+        // result set — bulk wins by more than the hysteresis margin.
+        let r = replan(
+            &uniform_inputs(),
+            &ObservedProgress {
+                pops: 4096,
+                results: 10,
+                enqueued: 9000,
+                queue_len: 7000,
+            },
+            1.05,
+        );
+        assert!(r.switch);
+        assert!(r.est_incremental_remaining > r.est_bulk_remaining);
+    }
+
+    #[test]
+    fn replan_holds_on_a_cheap_frontier() {
+        // Clustered-workload shape: the frontier estimate is well below the
+        // bulk side's harvest cost, so no checkpoint ever switches — even
+        // deep into the run.
+        let inputs = PlanInputs {
+            est_frontier: 600_000.0,
+            ..uniform_inputs()
+        };
+        for pops in [0u64, 4096, 100_000, 500_000] {
+            let r = replan(
+                &inputs,
+                &ObservedProgress {
+                    pops,
+                    results: (pops / 20).min(30_000),
+                    enqueued: pops / 2,
+                    queue_len: 4000,
+                },
+                1.05,
+            );
+            assert!(!r.switch, "spurious switch at {pops} pops");
+        }
+    }
+
+    #[test]
+    fn replan_ratchet_only_raises_the_frontier() {
+        // Observed staging below the static estimate leaves it untouched;
+        // above it, the estimate grows to match what provably entered.
+        let inputs = uniform_inputs();
+        let low = replan(
+            &inputs,
+            &ObservedProgress {
+                pops: 0,
+                results: 0,
+                enqueued: 10,
+                queue_len: 10,
+            },
+            1.05,
+        );
+        assert!((low.observed_frontier - inputs.est_frontier).abs() < 1e-9);
+        let high = replan(
+            &inputs,
+            &ObservedProgress {
+                pops: 0,
+                results: 0,
+                enqueued: 2_000_000,
+                queue_len: 50_000,
+            },
+            1.05,
+        );
+        assert!((high.observed_frontier - 2_050_000.0).abs() < 1e-9);
     }
 }

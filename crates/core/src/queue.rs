@@ -148,6 +148,13 @@ impl<const D: usize> JoinQueue<D> {
                 q.push_batch(batch);
                 Ok(())
             }
+            Backend::Flat { heap, arena } => {
+                heap.push_batch(batch.into_iter().map(|(key, pair)| {
+                    let packed = arena.intern_pair(&pair);
+                    (key, packed)
+                }));
+                Ok(())
+            }
             _ => {
                 for (key, pair) in batch {
                     self.push(key, pair)?;
@@ -155,6 +162,45 @@ impl<const D: usize> JoinQueue<D> {
                 Ok(())
             }
         }
+    }
+
+    /// Drains every queued pair in arbitrary order, visiting each exactly
+    /// once, and leaves the queue empty. The flat memory backend walks its
+    /// entry arrays directly, resolving interned slab payloads in place —
+    /// no per-pop sifting and no fat-pair staging — which is what the
+    /// adaptive handoff wants: the whole frontier, order discarded. The
+    /// pairing backend pop-drains (its entries are pointer-linked), and the
+    /// hybrid backends pop-drain too because spilled tiers must be reloaded
+    /// through the ordered path anyway; those pops surface storage errors.
+    pub fn drain_unordered(
+        &mut self,
+        mut visit: impl FnMut(PairKey, Pair<D>),
+    ) -> sdj_storage::Result<()> {
+        if matches!(
+            self.backend,
+            Backend::HybridPairing(_) | Backend::HybridFlat { .. }
+        ) {
+            while let Some((key, pair)) = self.pop()? {
+                visit(key, pair);
+            }
+            return Ok(());
+        }
+        match &mut self.backend {
+            Backend::Pairing(q) => {
+                while let Some((key, pair)) = q.pop() {
+                    visit(key, pair);
+                }
+            }
+            Backend::Flat { heap, arena } => {
+                heap.drain_unordered(|key, packed| {
+                    let pair = arena.resolve_pair(packed);
+                    arena.release_pair(packed);
+                    visit(key, pair);
+                });
+            }
+            Backend::HybridPairing(_) | Backend::HybridFlat { .. } => unreachable!(),
+        }
+        Ok(())
     }
 
     /// Removes the minimum pair.

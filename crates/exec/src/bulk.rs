@@ -20,7 +20,10 @@ use std::sync::Mutex;
 
 use sdj_core::bulk::{BulkConfig, BulkDistanceJoin, BulkHit, BulkStats, CellScratch, CellTally};
 use sdj_core::plan::{plan_for_trees, Plan, PlanChoice};
-use sdj_core::{JoinConfig, JoinStats, ResultOrder, ResultPair, SpatialIndex};
+use sdj_core::{
+    AdaptiveConfig, AdaptiveDistanceJoin, AdaptiveOutcome, JoinConfig, JoinStats, ReplanInfo,
+    ResultOrder, ResultPair, SpatialIndex,
+};
 use sdj_obs::{Event, ObsContext, Phase, PlanPath, SpanTimer};
 use sdj_storage::StorageError;
 
@@ -146,113 +149,10 @@ where
             }
         };
 
-        let active = join.active_cells().to_vec();
-        let workers = self.parallel.threads.max(1).min(active.len().max(1));
-        let cursor = AtomicUsize::new(0);
-        // Per-cell output runs, scattered back into cell order after the
-        // pool joins — output is identical for any worker count.
-        let runs: Mutex<Vec<Vec<BulkHit>>> = Mutex::new(vec![Vec::new(); active.len()]);
-        let tallies: Mutex<Vec<CellTally>> = Mutex::new(Vec::with_capacity(active.len()));
-
-        std::thread::scope(|scope| {
-            for w in 0..workers {
-                let join = &join;
-                let active = &active;
-                let cursor = &cursor;
-                let runs = &runs;
-                let tallies = &tallies;
-                let obs = self.obs.as_ref();
-                scope.spawn(move || {
-                    // Per-worker scratch carries its own span timer; cell
-                    // sweeps record Sweep/Kernel/Dedup, run sorting Merge.
-                    let mut scratch =
-                        obs.map_or_else(CellScratch::default, CellScratch::for_context);
-                    let mut sort_spans = obs.and_then(SpanTimer::from_context);
-                    let mut local: Vec<(usize, Vec<BulkHit>)> = Vec::new();
-                    let mut local_tallies: Vec<CellTally> = Vec::new();
-                    let mut emitted: u64 = 0;
-                    loop {
-                        let i = cursor.fetch_add(1, Ordering::Relaxed);
-                        let Some(&cell) = active.get(i) else { break };
-                        let mut run = Vec::new();
-                        let tally = join.sweep_cell(cell as usize, &mut scratch, &mut run);
-                        emitted += tally.emitted;
-                        if ordered && !run.is_empty() {
-                            if let Some(t) = &mut sort_spans {
-                                t.enter(Phase::Merge);
-                            }
-                            sdj_core::bulk::sort_run(&mut run, ascending);
-                            if let Some(t) = &mut sort_spans {
-                                t.exit(Phase::Merge);
-                            }
-                        }
-                        local.push((i, run));
-                        local_tallies.push(tally);
-                    }
-                    if let Some(ctx) = obs {
-                        ctx.sink.emit(&Event::WorkerFinished {
-                            worker: u32::try_from(w + 1).unwrap_or(u32::MAX),
-                            results: emitted,
-                        });
-                    }
-                    let mut runs = runs
-                        .lock()
-                        .unwrap_or_else(std::sync::PoisonError::into_inner);
-                    for (i, run) in local {
-                        runs[i] = run;
-                    }
-                    tallies
-                        .lock()
-                        .unwrap_or_else(std::sync::PoisonError::into_inner)
-                        .extend(local_tallies);
-                });
-            }
-        });
-
-        for tally in tallies
-            .into_inner()
-            .unwrap_or_else(std::sync::PoisonError::into_inner)
-        {
-            join.absorb_tally(&tally);
-        }
-        let runs = runs
-            .into_inner()
-            .unwrap_or_else(std::sync::PoisonError::into_inner);
-        let mut merge_spans = self.obs.as_ref().and_then(SpanTimer::from_context);
-        if let Some(t) = &mut merge_spans {
-            t.enter(Phase::Merge);
-        }
-        let hits = if ordered {
-            sdj_core::bulk::merge_sorted_runs(runs, ascending, self.config.max_pairs)
-        } else {
-            runs.into_iter().flatten().collect()
-        };
-        if let Some(t) = &mut merge_spans {
-            t.exit(Phase::Merge);
-        }
-        let results = join.finish(hits);
+        let (results, workers) = sweep_pool(&mut join, ordered, &self.parallel, self.obs.as_ref());
 
         let stats = join.stats();
         let bulk = join.bulk_stats();
-        if let Some(ctx) = &self.obs {
-            ctx.registry.counter("bulk.cells").add(bulk.cells);
-            ctx.registry
-                .counter("bulk.cell_pairs_swept")
-                .add(bulk.cell_pairs_swept);
-            ctx.registry
-                .counter("bulk.pairs_deduped")
-                .add(bulk.pairs_deduped);
-            for (rank, r) in results.iter().enumerate() {
-                let rank = rank as u64 + 1;
-                if rank.is_multiple_of(ctx.result_sample_every) {
-                    ctx.sink.emit(&Event::ResultReported {
-                        rank,
-                        dist: r.distance,
-                    });
-                }
-            }
-        }
-
         let mut stream = JoinStream::new(results, Vec::new(), ascending, None, None, None);
         let value = consume(&mut stream);
         BulkRunOutput {
@@ -263,6 +163,126 @@ where
             workers_spawned: workers,
         }
     }
+}
+
+/// The shared cell-sweep worker pool: sweeps a built [`BulkDistanceJoin`]'s
+/// active cells with a shared atomic cursor and scoped threads, reassembles
+/// per-cell runs in cell order (or k-way merges them when `ordered`), and
+/// finishes the hits into results. Used by [`ParallelBulkJoin`] for
+/// tree-harvested runs and by [`run_adaptive`] for frontier-seeded ones —
+/// output is identical for any worker count either way.
+fn sweep_pool<const D: usize>(
+    join: &mut BulkDistanceJoin<D>,
+    ordered: bool,
+    parallel: &ParallelConfig,
+    obs: Option<&ObsContext>,
+) -> (Vec<ResultPair>, usize) {
+    let ascending = matches!(join.config().order, ResultOrder::Ascending);
+    let max_pairs = join.config().max_pairs;
+    let active = join.active_cells().to_vec();
+    let workers = parallel.threads.max(1).min(active.len().max(1));
+    let cursor = AtomicUsize::new(0);
+    // Per-cell output runs, scattered back into cell order after the
+    // pool joins — output is identical for any worker count.
+    let runs: Mutex<Vec<Vec<BulkHit>>> = Mutex::new(vec![Vec::new(); active.len()]);
+    let tallies: Mutex<Vec<CellTally>> = Mutex::new(Vec::with_capacity(active.len()));
+
+    std::thread::scope(|scope| {
+        for w in 0..workers {
+            let join = &*join;
+            let active = &active;
+            let cursor = &cursor;
+            let runs = &runs;
+            let tallies = &tallies;
+            scope.spawn(move || {
+                // Per-worker scratch carries its own span timer; cell
+                // sweeps record Sweep/Kernel/Dedup, run sorting Merge.
+                let mut scratch = obs.map_or_else(CellScratch::default, CellScratch::for_context);
+                let mut sort_spans = obs.and_then(SpanTimer::from_context);
+                let mut local: Vec<(usize, Vec<BulkHit>)> = Vec::new();
+                let mut local_tallies: Vec<CellTally> = Vec::new();
+                let mut emitted: u64 = 0;
+                loop {
+                    let i = cursor.fetch_add(1, Ordering::Relaxed);
+                    let Some(&cell) = active.get(i) else { break };
+                    let mut run = Vec::new();
+                    let tally = join.sweep_cell(cell as usize, &mut scratch, &mut run);
+                    emitted += tally.emitted;
+                    if ordered && !run.is_empty() {
+                        if let Some(t) = &mut sort_spans {
+                            t.enter(Phase::Merge);
+                        }
+                        sdj_core::bulk::sort_run(&mut run, ascending);
+                        if let Some(t) = &mut sort_spans {
+                            t.exit(Phase::Merge);
+                        }
+                    }
+                    local.push((i, run));
+                    local_tallies.push(tally);
+                }
+                if let Some(ctx) = obs {
+                    ctx.sink.emit(&Event::WorkerFinished {
+                        worker: u32::try_from(w + 1).unwrap_or(u32::MAX),
+                        results: emitted,
+                    });
+                }
+                let mut runs = runs
+                    .lock()
+                    .unwrap_or_else(std::sync::PoisonError::into_inner);
+                for (i, run) in local {
+                    runs[i] = run;
+                }
+                tallies
+                    .lock()
+                    .unwrap_or_else(std::sync::PoisonError::into_inner)
+                    .extend(local_tallies);
+            });
+        }
+    });
+
+    for tally in tallies
+        .into_inner()
+        .unwrap_or_else(std::sync::PoisonError::into_inner)
+    {
+        join.absorb_tally(&tally);
+    }
+    let runs = runs
+        .into_inner()
+        .unwrap_or_else(std::sync::PoisonError::into_inner);
+    let mut merge_spans = obs.and_then(SpanTimer::from_context);
+    if let Some(t) = &mut merge_spans {
+        t.enter(Phase::Merge);
+    }
+    let hits = if ordered {
+        sdj_core::bulk::merge_sorted_runs(runs, ascending, max_pairs)
+    } else {
+        runs.into_iter().flatten().collect()
+    };
+    if let Some(t) = &mut merge_spans {
+        t.exit(Phase::Merge);
+    }
+    let results = join.finish(hits);
+
+    let bulk = join.bulk_stats();
+    if let Some(ctx) = obs {
+        ctx.registry.counter("bulk.cells").add(bulk.cells);
+        ctx.registry
+            .counter("bulk.cell_pairs_swept")
+            .add(bulk.cell_pairs_swept);
+        ctx.registry
+            .counter("bulk.pairs_deduped")
+            .add(bulk.pairs_deduped);
+        for (rank, r) in results.iter().enumerate() {
+            let rank = rank as u64 + 1;
+            if rank.is_multiple_of(ctx.result_sample_every) {
+                ctx.sink.emit(&Event::ResultReported {
+                    rank,
+                    dist: r.distance,
+                });
+            }
+        }
+    }
+    (results, workers)
 }
 
 /// Execution-path override for [`run_planned`]: `None` lets the cost model
@@ -286,6 +306,9 @@ pub struct PlannedRun {
     pub executed: PlanChoice,
     /// True when an override forced the path.
     pub forced: bool,
+    /// The adaptive path's mid-run switch record — `None` for the static
+    /// paths, and for adaptive runs that never fired.
+    pub replanned: Option<ReplanInfo>,
     /// First storage error, if any.
     pub error: Option<StorageError>,
     /// Worker threads spawned by the executed path.
@@ -316,6 +339,7 @@ where
         let path = match executed {
             PlanChoice::Incremental => PlanPath::Incremental,
             PlanChoice::Bulk => PlanPath::Bulk,
+            PlanChoice::Adaptive => PlanPath::Adaptive,
         };
         ctx.sink.emit(&Event::PlanChosen {
             path,
@@ -323,16 +347,19 @@ where
             est_incremental: plan.est_incremental,
             est_bulk: plan.est_bulk,
         });
-        // `plan.choice` gauge: 0 = incremental, 1 = bulk; the per-path
-        // counters make the choice visible in counter-only views.
+        // `plan.choice` gauge: 0 = incremental, 1 = bulk, 2 = adaptive;
+        // the per-path counters make the choice visible in counter-only
+        // views.
         ctx.registry.gauge("plan.choice").set(match executed {
             PlanChoice::Incremental => 0,
             PlanChoice::Bulk => 1,
+            PlanChoice::Adaptive => 2,
         });
         ctx.registry
             .counter(match executed {
                 PlanChoice::Incremental => "plan.incremental",
                 PlanChoice::Bulk => "plan.bulk",
+                PlanChoice::Adaptive => "plan.adaptive",
             })
             .inc();
         if forced {
@@ -376,6 +403,7 @@ where
                 plan,
                 executed,
                 forced,
+                replanned: None,
                 error,
                 workers_spawned,
             }
@@ -394,8 +422,85 @@ where
                 plan,
                 executed,
                 forced,
+                replanned: None,
                 error: out.error,
                 workers_spawned: out.workers_spawned,
+            }
+        }
+        PlanChoice::Adaptive => {
+            let out = run_adaptive(
+                tree1,
+                tree2,
+                config,
+                parallel,
+                bulk_config,
+                AdaptiveConfig::from_env(),
+                obs,
+            );
+            PlannedRun {
+                plan,
+                forced,
+                ..out
+            }
+        }
+    }
+}
+
+/// Runs the adaptive path: the incremental engine with checkpointed
+/// re-costing, and — when a handoff fires — the frontier-seeded bulk
+/// remainder swept by the shared worker pool. The merged ordered stream is
+/// collected; `replanned` records the switch coordinate when one fired.
+///
+/// The returned `plan`/`executed` fields are set to the adaptive path
+/// itself; [`run_planned`] overwrites `plan` with the static verdict when
+/// dispatching here.
+pub fn run_adaptive<const D: usize, I1, I2>(
+    tree1: &I1,
+    tree2: &I2,
+    config: JoinConfig,
+    parallel: ParallelConfig,
+    bulk_config: BulkConfig,
+    adaptive: AdaptiveConfig,
+    obs: Option<ObsContext>,
+) -> PlannedRun
+where
+    I1: SpatialIndex<D> + Sync,
+    I2: SpatialIndex<D> + Sync,
+{
+    let plan = plan_for_trees(tree1, tree2, &config);
+    let mut join = AdaptiveDistanceJoin::with_configs(tree1, tree2, config, bulk_config, adaptive);
+    if let Some(ctx) = &obs {
+        join = join.with_obs(ctx);
+    }
+    match join.execute() {
+        AdaptiveOutcome::Completed(run) => PlannedRun {
+            results: run.results,
+            stats: run.stats,
+            bulk: None,
+            plan,
+            executed: PlanChoice::Adaptive,
+            forced: false,
+            replanned: run.replanned,
+            error: run.error,
+            workers_spawned: 0,
+        },
+        AdaptiveOutcome::Handoff(h) => {
+            let mut bulk = h.bulk;
+            let (tail, workers) = sweep_pool(&mut bulk, true, &parallel, obs.as_ref());
+            let mut results = h.prefix;
+            results.extend(tail);
+            let mut stats = h.inc_stats;
+            stats.merge(&bulk.stats());
+            PlannedRun {
+                results,
+                stats,
+                bulk: Some(bulk.bulk_stats()),
+                plan,
+                executed: PlanChoice::Adaptive,
+                forced: false,
+                replanned: Some(h.info),
+                error: None,
+                workers_spawned: workers,
             }
         }
     }

@@ -38,7 +38,9 @@
 
 mod bulk;
 
-pub use bulk::{run_planned, BulkRunOutput, ForcedPlan, ParallelBulkJoin, PlannedRun};
+pub use bulk::{
+    run_adaptive, run_planned, BulkRunOutput, ForcedPlan, ParallelBulkJoin, PlannedRun,
+};
 
 use std::sync::mpsc::Receiver;
 use std::sync::{Arc, Mutex};

@@ -146,7 +146,11 @@ fn planned_runs_agree_and_record_the_choice() {
     let parallel = ParallelConfig::with_threads(2);
 
     let mut outputs = Vec::new();
-    for force in [PlanChoice::Incremental, PlanChoice::Bulk] {
+    for force in [
+        PlanChoice::Incremental,
+        PlanChoice::Bulk,
+        PlanChoice::Adaptive,
+    ] {
         let sink = Arc::new(RingRecorder::new(64));
         let ctx = ObsContext::new(Arc::clone(&sink) as Arc<dyn sdj_obs::EventSink>);
         let run = run_planned(
@@ -178,6 +182,17 @@ fn planned_runs_agree_and_record_the_choice() {
                 let bulk = run.bulk.expect("bulk stats present");
                 assert_eq!(bulk.cells, counter("bulk.cells"));
             }
+            PlanChoice::Adaptive => {
+                assert_eq!(counter("plan.adaptive"), 1);
+                assert_eq!(snapshot.gauge("plan.choice").map(|(v, _)| v), Some(2));
+                // Whether a replan fired is the cost model's call; when it
+                // did, the switch must be visible in event and gauge form.
+                if run.replanned.is_some() {
+                    assert_eq!(sink.counts().replanned, 1, "replanned event missing");
+                    assert_eq!(snapshot.gauge("plan.replans").map(|(v, _)| v), Some(1));
+                    assert!(run.bulk.is_some());
+                }
+            }
         }
         let mut sorted: Vec<_> = run.results.iter().map(key).collect();
         sorted.sort_unstable();
@@ -186,6 +201,10 @@ fn planned_runs_agree_and_record_the_choice() {
     assert_eq!(
         outputs[0], outputs[1],
         "paths disagree on the result multiset"
+    );
+    assert_eq!(
+        outputs[0], outputs[2],
+        "adaptive disagrees on the result multiset"
     );
 }
 

@@ -115,6 +115,9 @@ pub enum PlanPath {
     Incremental,
     /// The bulk partition/plane-sweep join.
     Bulk,
+    /// Adaptive: start incremental, hand off to a frontier-seeded bulk run
+    /// if mid-run re-costing says so.
+    Adaptive,
 }
 
 impl PlanPath {
@@ -124,6 +127,7 @@ impl PlanPath {
         match self {
             PlanPath::Incremental => "incremental",
             PlanPath::Bulk => "bulk",
+            PlanPath::Adaptive => "adaptive",
         }
     }
 
@@ -131,6 +135,7 @@ impl PlanPath {
         Some(match s {
             "incremental" => PlanPath::Incremental,
             "bulk" => PlanPath::Bulk,
+            "adaptive" => PlanPath::Adaptive,
             _ => return None,
         })
     }
@@ -224,6 +229,22 @@ pub enum Event {
         /// The model's bulk-path cost estimate (work units).
         est_bulk: f64,
     },
+    /// An adaptive run re-evaluated the cost model mid-query and switched
+    /// execution paths, handing the exported frontier to the new one.
+    Replanned {
+        /// The path the run started on.
+        from: PlanPath,
+        /// The path the remainder executes on.
+        to: PlanPath,
+        /// Queue pops performed when the switch fired.
+        at_pop: u64,
+        /// Result pairs already emitted when the switch fired.
+        at_pair: u64,
+        /// Re-costed remaining work of staying on `from` (work units).
+        est_incremental_remaining: f64,
+        /// Re-costed work of switching to `to` (work units).
+        est_bulk_remaining: f64,
+    },
 }
 
 /// Formats an `f64` for NDJSON: finite values as shortest-roundtrip Rust
@@ -274,6 +295,7 @@ impl Event {
             Event::FaultInjected { .. } => "fault_injected",
             Event::RetrySucceeded { .. } => "retry_succeeded",
             Event::PlanChosen { .. } => "plan_chosen",
+            Event::Replanned { .. } => "replanned",
         }
     }
 
@@ -358,6 +380,27 @@ impl Event {
                 out.push_str(",\"est_bulk\":");
                 fmt_f64(out, est_bulk);
             }
+            Event::Replanned {
+                from,
+                to,
+                at_pop,
+                at_pair,
+                est_incremental_remaining,
+                est_bulk_remaining,
+            } => {
+                out.push_str(",\"from\":\"");
+                out.push_str(from.name());
+                out.push_str("\",\"to\":\"");
+                out.push_str(to.name());
+                out.push_str("\",\"at_pop\":");
+                out.push_str(&at_pop.to_string());
+                out.push_str(",\"at_pair\":");
+                out.push_str(&at_pair.to_string());
+                out.push_str(",\"est_incremental_remaining\":");
+                fmt_f64(out, est_incremental_remaining);
+                out.push_str(",\"est_bulk_remaining\":");
+                fmt_f64(out, est_bulk_remaining);
+            }
         }
         out.push('}');
     }
@@ -425,6 +468,14 @@ impl Event {
                 forced: v.get("forced")?.as_bool()?,
                 est_incremental: parse_f64(v.get("est_incremental")?)?,
                 est_bulk: parse_f64(v.get("est_bulk")?)?,
+            },
+            "replanned" => Event::Replanned {
+                from: PlanPath::parse(v.get("from")?.as_str()?)?,
+                to: PlanPath::parse(v.get("to")?.as_str()?)?,
+                at_pop: int("at_pop")?,
+                at_pair: int("at_pair")?,
+                est_incremental_remaining: parse_f64(v.get("est_incremental_remaining")?)?,
+                est_bulk_remaining: parse_f64(v.get("est_bulk_remaining")?)?,
             },
             _ => return None,
         })
@@ -505,6 +556,20 @@ mod tests {
                 forced: true,
                 est_incremental: 2_000.0,
                 est_bulk: f64::INFINITY,
+            },
+            Event::PlanChosen {
+                path: PlanPath::Adaptive,
+                forced: true,
+                est_incremental: 2_000.0,
+                est_bulk: 3_000.0,
+            },
+            Event::Replanned {
+                from: PlanPath::Incremental,
+                to: PlanPath::Bulk,
+                at_pop: 8192,
+                at_pair: 120,
+                est_incremental_remaining: 9.5e5,
+                est_bulk_remaining: 3.25e5,
             },
         ]
     }

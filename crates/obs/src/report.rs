@@ -689,9 +689,9 @@ impl RunReport {
             }
         }
         if let Some(c) = &self.calibration {
-            if c.choice != "incremental" && c.choice != "bulk" {
+            if c.choice != "incremental" && c.choice != "bulk" && c.choice != "adaptive" {
                 return Err(ReportError(format!(
-                    "plan.calibration.choice {:?} not incremental/bulk",
+                    "plan.calibration.choice {:?} not incremental/bulk/adaptive",
                     c.choice
                 )));
             }

@@ -58,6 +58,8 @@ pub struct EventCounts {
     pub retry_succeeded: u64,
     /// `PlanChosen` events seen.
     pub plan_chosen: u64,
+    /// `Replanned` events seen.
+    pub replanned: u64,
     /// Elements that migrated into the disk tier (spills).
     pub elems_to_disk: u64,
     /// Elements that migrated out of the disk tier (bucket reloads).
@@ -98,6 +100,7 @@ impl EventCounts {
             Event::FaultInjected { .. } => self.fault_injected += 1,
             Event::RetrySucceeded { .. } => self.retry_succeeded += 1,
             Event::PlanChosen { .. } => self.plan_chosen += 1,
+            Event::Replanned { .. } => self.replanned += 1,
         }
     }
 
@@ -115,6 +118,7 @@ impl EventCounts {
             + self.fault_injected
             + self.retry_succeeded
             + self.plan_chosen
+            + self.replanned
     }
 }
 

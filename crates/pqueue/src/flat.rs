@@ -257,6 +257,12 @@ impl<K: QueueKey, V: Clone> FlatHeap<K, V> {
     }
 
     /// Inserts a batch of elements, growing the arrays at most once.
+    ///
+    /// Entries are appended raw and the heap invariant is restored once at
+    /// the end: per-entry sift-up for small batches (`O(k·log₄ n)`), or one
+    /// Floyd bottom-up heapify pass over the whole sifted region (`O(n)`)
+    /// when the batch is a sizeable fraction of it — the flush-batched push
+    /// shape where per-push sifting was losing to the pairing heap.
     pub fn push_batch<I>(&mut self, batch: I)
     where
         I: IntoIterator<Item = (K, V)>,
@@ -264,9 +270,64 @@ impl<K: QueueKey, V: Clone> FlatHeap<K, V> {
         let batch = batch.into_iter();
         let (lower, _) = batch.size_hint();
         self.reserve(lower);
+        let before = self.keys.len();
         for (key, value) in batch {
-            self.push(key, value);
+            let bits = key.order_bits();
+            let tag = self.next_tag(key.tie_rank());
+            let pay = self.alloc_slot(value);
+            self.push_entry(bits, tag, pay);
+            self.len += 1;
         }
+        self.max_len = self.max_len.max(self.len);
+        // `next_tag` may have renumbered mid-batch; renumbering sorts the
+        // whole region by `(key, tag)`, which is itself a valid heap, so
+        // both restoration paths below stay correct (and cheap) after it.
+        let total = self.keys.len();
+        let appended = total - before;
+        if appended == 0 {
+            return;
+        }
+        if appended >= total / 4 {
+            self.heapify();
+        } else {
+            for i in before..total {
+                self.sift_up(i);
+            }
+        }
+    }
+
+    /// Restores the heap invariant over the whole sifted region by sifting
+    /// down from the last parent to the root (Floyd's bottom-up
+    /// construction). O(n) — each level's sift cost halves going up.
+    fn heapify(&mut self) {
+        let n = self.keys.len();
+        if n < 2 {
+            return;
+        }
+        let last_parent = (n - 2) / ARITY;
+        for i in (0..=last_parent).rev() {
+            self.sift_down(i);
+        }
+    }
+
+    /// Drains every element — sifted and staged — in arbitrary array order,
+    /// visiting each rebuilt key and value exactly once, then leaves the
+    /// heap empty. O(n) with zero sift work: the adaptive handoff harvests
+    /// the whole frontier without needing it sorted, so popping entries one
+    /// at a time would waste `n·log₄ n` comparisons re-ordering entries
+    /// whose order is about to be discarded.
+    pub fn drain_unordered(&mut self, mut visit: impl FnMut(K, V)) {
+        for i in 0..self.keys.len() {
+            let key = Self::rebuild_key(self.keys[i], self.tags[i]);
+            let value = self.slab_vals[self.pays[i] as usize].clone();
+            visit(key, value);
+        }
+        for (bits, tag, pay) in std::mem::take(&mut self.staged) {
+            let key = Self::rebuild_key(bits, tag);
+            let value = self.slab_vals[pay as usize].clone();
+            visit(key, value);
+        }
+        self.clear();
     }
 
     /// Appends an element to the staged run without sifting — the hybrid
@@ -703,6 +764,97 @@ mod tests {
             h.push(OrdF64::new(f64::from(k)), 0);
         }
         assert_eq!(h.keys.capacity(), cap, "no reallocation during pushes");
+    }
+
+    #[test]
+    fn push_batch_large_takes_heapify_path() {
+        // A batch much larger than the sifted region triggers the Floyd
+        // bottom-up heapify; the pop sequence must be unchanged.
+        let mut h: FlatHeap<OrdF64, u64> = FlatHeap::new();
+        h.push(OrdF64::new(500.0), 999);
+        h.push_batch((0..256u64).map(|v| (OrdF64::new(((v * 37) % 101) as f64), v)));
+        let mut out = Vec::new();
+        while let Some((k, v)) = h.pop() {
+            out.push((k.get(), v));
+        }
+        assert_eq!(out.len(), 257);
+        let mut sorted = out.clone();
+        sorted.sort_by(|a, b| a.0.total_cmp(&b.0));
+        let dists: Vec<f64> = out.iter().map(|(k, _)| *k).collect();
+        let expect: Vec<f64> = sorted.iter().map(|(k, _)| *k).collect();
+        assert_eq!(dists, expect);
+    }
+
+    #[test]
+    fn push_batch_small_keeps_fifo_among_equal_keys() {
+        // A small batch into a large region takes the per-entry sift-up
+        // path; equal keys must still pop in arrival order.
+        let mut h: FlatHeap<OrdF64, u64> = FlatHeap::new();
+        for v in 0..64u64 {
+            h.push(OrdF64::new(2.0), v);
+        }
+        h.push_batch([(OrdF64::new(2.0), 64u64), (OrdF64::new(1.0), 65)]);
+        assert_eq!(h.pop().map(|(_, v)| v), Some(65));
+        for v in 0..65u64 {
+            assert_eq!(h.pop().map(|(_, v)| v), Some(v));
+        }
+    }
+
+    #[test]
+    fn drain_unordered_yields_every_element_once() {
+        let mut h: FlatHeap<OrdF64, u64> = FlatHeap::new();
+        for v in 0..40u64 {
+            h.push(OrdF64::new((v % 7) as f64), v);
+        }
+        for v in 40..50u64 {
+            h.stage(OrdF64::new((v % 7) as f64), v);
+        }
+        let mut got = Vec::new();
+        h.drain_unordered(|k, v| got.push((k.get(), v)));
+        assert!(h.is_empty());
+        assert_eq!(h.pop(), None);
+        got.sort_by_key(|e| e.1);
+        let expect: Vec<(f64, u64)> = (0..50u64).map(|v| ((v % 7) as f64, v)).collect();
+        assert_eq!(got, expect);
+        // Reusable afterwards.
+        h.push(OrdF64::new(9.0), 1);
+        assert_eq!(h.pop().map(|(_, v)| v), Some(1));
+    }
+
+    proptest! {
+        /// `push_batch` (both restoration paths) agrees with per-element
+        /// pushes into a pairing heap on the full pop sequence.
+        #[test]
+        fn push_batch_matches_individual_pushes(
+            batches in prop::collection::vec(
+                prop::collection::vec(0u32..20, 0..60),
+                1..8,
+            ),
+        ) {
+            let mut flat: FlatHeap<OrdF64, u32> = FlatHeap::new();
+            let mut pairing: PairingHeap<OrdF64, u32> = PairingHeap::new();
+            let mut next = 0u32;
+            for batch in batches {
+                let items: Vec<(OrdF64, u32)> = batch
+                    .iter()
+                    .map(|k| {
+                        let v = next;
+                        next += 1;
+                        (OrdF64::new(f64::from(*k)), v)
+                    })
+                    .collect();
+                for &(k, v) in &items {
+                    pairing.push(k, v);
+                }
+                flat.push_batch(items);
+                // Interleave a pop so batches land on non-empty regions.
+                prop_assert_eq!(flat.pop(), pairing.pop());
+            }
+            while let Some(got) = flat.pop() {
+                prop_assert_eq!(Some(got), pairing.pop());
+            }
+            prop_assert_eq!(pairing.pop(), None);
+        }
     }
 
     proptest! {
