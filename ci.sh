@@ -52,7 +52,7 @@ echo "==> fail-clean chaos gate"
 # end-to-end report run under transient faults must complete bit-identically
 # with retries recorded in the report. The seed pins one deterministic
 # schedule, so this gate is reproducible (see README: SDJ_FAULT_SEED).
-cargo clippy -p sdj-storage -p sdj-pqueue --lib --no-deps --offline -- \
+cargo clippy -p sdj-storage -p sdj-pqueue -p sdj-core --lib --no-deps --offline -- \
     -D warnings -D clippy::unwrap_used -D clippy::expect_used
 cargo test -p sdj-storage --offline -q fault
 cargo test -p sdj-core --offline -q --test chaos
@@ -134,5 +134,20 @@ SDJ_QUEUE_LAYOUT=flat ./target/release/sdj-report --n 4000 --k 800 \
 ./target/release/sdj-report --check results/RunReport_queue_flat.json \
     --expect-drain --expect-queue-bytes \
     --expect-pairs-match results/RunReport_queue_pairing.json
+
+echo "==> session service gate"
+# The cursor-session service must stay invisible in every result stream:
+# interleaved/paused/resumed/budgeted sessions emit bit-identical streams
+# to solo runs and cancellation leaks nothing (fuzzed-schedule proptests),
+# a kind-confused queue pair must decode to a typed Corrupt error rather
+# than a panic (one corrupt query must not take down a serving process),
+# and a 4-session interleaved report run must attribute each session's
+# share of the shared buffer pool in the report's sessions rows.
+cargo test -p sdj-service --offline -q --test session_equivalence
+cargo test -p sdj-core --offline -q --test chaos kind_confused_pair_decodes_to_error_or_honest_kinds
+./target/release/sdj-report --n 4000 --k 400 --sessions 4 \
+    --out results/RunReport_sessions.json
+./target/release/sdj-report --check results/RunReport_sessions.json \
+    --expect-drain --expect-sessions 4
 
 echo "CI OK"

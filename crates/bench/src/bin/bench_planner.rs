@@ -15,7 +15,7 @@
 use std::time::Instant;
 
 use sdj_bench::build_tree;
-use sdj_core::{BulkConfig, JoinConfig, PlanChoice};
+use sdj_core::{AdaptiveConfig, BulkConfig, JoinConfig, PlanChoice};
 use sdj_datagen::{gaussian_clusters, uniform_points, unit_box};
 use sdj_exec::{run_planned, ParallelConfig};
 use sdj_rtree::RTree;
@@ -77,6 +77,7 @@ fn measure(
                 config,
                 parallel,
                 BulkConfig::default(),
+                AdaptiveConfig::default(),
                 Some(force),
                 None,
             );

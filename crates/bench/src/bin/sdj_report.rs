@@ -10,11 +10,16 @@
 //!   produces the grow-then-drain queue-size curve of Figure 6 (a
 //!   `k`-limited run stops while its queue is still full). Writes the
 //!   report atomically to `--out`, optionally logs every event as NDJSON to
-//!   `--events`, and prints the two series as sparklines.
+//!   `--events`, and prints the two series as sparklines. `--sessions N`
+//!   adds a third pass that opens `N` concurrent cursor sessions (plans
+//!   cycling incremental/bulk/adaptive) over the same shared buffer pools,
+//!   drains them round-robin, and records one per-session attribution row
+//!   in the report's `sessions` array.
 //! * **`--check FILE`**: parses and validates a previously written report
 //!   (schema version, counters, rank/distance monotonicity; with
-//!   `--expect-drain` also the Figure-6 queue shape). Exits non-zero on any
-//!   failure — this is the CI gate.
+//!   `--expect-drain` also the Figure-6 queue shape; with
+//!   `--expect-sessions N` also the service pass's attribution rows). Exits
+//!   non-zero on any failure — this is the CI gate.
 //! * **`--overhead`**: interleaved min-of-N timing of the uninstrumented
 //!   engine against the same engine with a no-op sink attached; fails if
 //!   the no-op instrumentation costs more than `SDJ_OVERHEAD_PCT` (default
@@ -26,17 +31,18 @@ use std::time::Instant;
 
 use sdj_bench::build_tree;
 use sdj_core::{
-    BulkConfig, BulkStats, DistanceJoin, JoinConfig, JoinStats, Plan, PlanChoice, QueueLayout,
-    ReplanInfo,
+    AdaptiveConfig, BulkConfig, BulkStats, DistanceJoin, JoinConfig, JoinStats, Plan, PlanChoice,
+    QueueLayout, ReplanInfo,
 };
 use sdj_datagen::{uniform_points, unit_box};
 use sdj_exec::{run_planned, ParallelConfig};
 use sdj_geom::Point;
 use sdj_obs::{
     sparkline, CalibrationSection, EventSink, NdjsonWriter, ObsContext, ProfileSection,
-    RunRecorder, RunReport, SpanMode, TeeSink,
+    RunRecorder, RunReport, SessionSection, SpanMode, TeeSink,
 };
 use sdj_rtree::{ObjectId, RTree, RTreeConfig};
+use sdj_service::{drain_round_robin, JoinService, ServiceConfig, SessionConfig};
 use sdj_storage::{BufferObs, FaultConfig, FaultInjector};
 
 struct Args {
@@ -57,6 +63,8 @@ struct Args {
     profile: bool,
     label: String,
     force_plan: Option<PlanChoice>,
+    sessions: Option<usize>,
+    expect_sessions: Option<usize>,
 }
 
 impl Args {
@@ -79,6 +87,8 @@ impl Args {
             profile: false,
             label: "uniform distance join".into(),
             force_plan: None,
+            sessions: None,
+            expect_sessions: None,
         };
         let argv: Vec<String> = std::env::args().collect();
         let mut i = 1;
@@ -152,11 +162,27 @@ impl Args {
                     });
                     i += 1;
                 }
+                "--sessions" => {
+                    a.sessions = Some(
+                        take(&argv, i, "--sessions")
+                            .parse()
+                            .expect("--sessions takes an integer"),
+                    );
+                    i += 1;
+                }
+                "--expect-sessions" => {
+                    a.expect_sessions = Some(
+                        take(&argv, i, "--expect-sessions")
+                            .parse()
+                            .expect("--expect-sessions takes an integer"),
+                    );
+                    i += 1;
+                }
                 other => panic!(
                     "unknown argument {other} (expected --n/--k/--threads/--out/--events/\
                      --check/--expect-drain/--expect-retries/--expect-plan/--expect-replans/\
                      --expect-profile/--expect-queue-bytes/--expect-pairs-match/\
-                     --overhead/--profile/--label/--force-plan)"
+                     --overhead/--profile/--label/--force-plan/--sessions/--expect-sessions)"
                 ),
             }
             i += 1;
@@ -223,6 +249,7 @@ fn run_k_pass(
         config,
         ParallelConfig::with_threads(threads),
         BulkConfig::default(),
+        AdaptiveConfig::from_env(),
         force,
         Some(ctx.clone()),
     );
@@ -321,6 +348,69 @@ fn install_chaos(t1: &RTree<2>, t2: &RTree<2>) {
     t2.set_retry_limit(chaos.retries);
 }
 
+/// The service pass behind `--sessions N`: opens `n_sessions` concurrent
+/// cursor sessions over the *same* two trees (one shared buffer pool per
+/// tree), cycling the forced plan through incremental / bulk / adaptive so
+/// every engine shape runs interleaved, drains them round-robin, and
+/// returns one attribution row per session for the report's `sessions`
+/// array. Every session must finish cleanly — a terminal session error
+/// fails the whole report run.
+fn run_sessions_pass(
+    t1: &RTree<2>,
+    t2: &RTree<2>,
+    n_sessions: usize,
+    k: u64,
+    ctx: &ObsContext,
+) -> Result<Vec<SessionSection>, String> {
+    let service = JoinService::new(
+        t1,
+        t2,
+        ServiceConfig {
+            max_sessions: u32::try_from(n_sessions.max(1)).unwrap_or(u32::MAX),
+            session_budget: None,
+        },
+    )
+    .with_obs(ctx);
+    let plans = [
+        PlanChoice::Incremental,
+        PlanChoice::Bulk,
+        PlanChoice::Adaptive,
+    ];
+    let mut handles = Vec::with_capacity(n_sessions);
+    for i in 0..n_sessions {
+        let plan = plans[i % plans.len()];
+        let config = SessionConfig {
+            join: JoinConfig::default().with_max_pairs(k),
+            force_plan: Some(plan),
+            label: Some(format!("report-{plan}")),
+            ..SessionConfig::default()
+        };
+        handles.push(
+            service
+                .open(config)
+                .map_err(|e| format!("open session {i}: {e}"))?,
+        );
+    }
+    let outcomes = drain_round_robin(&mut handles, 64);
+    for (h, o) in handles.iter().zip(&outcomes) {
+        if let Some(e) = &o.error {
+            return Err(format!("session {} ({}) failed: {e}", h.id(), h.label()));
+        }
+        if o.results.is_empty() {
+            return Err(format!(
+                "session {} ({}) produced nothing",
+                h.id(),
+                h.label()
+            ));
+        }
+    }
+    let sections = handles.iter().map(|h| h.report_section()).collect();
+    // Every handle must have released its engine state: the scheduler ran
+    // them all to completion, so nothing may still pin shared pool frames.
+    debug_assert_eq!(service.pinned_frames(), 0);
+    Ok(sections)
+}
+
 fn run_report(args: &Args) -> Result<(), String> {
     eprintln!("# building two uniform {}-point trees ...", args.n);
     let (t1, t2) = build_env(args.n);
@@ -406,6 +496,22 @@ fn run_report(args: &Args) -> Result<(), String> {
     t1.attach_obs(BufferObs::new(&ctx2, "buf.t1"));
     t2.attach_obs(BufferObs::new(&ctx2, "buf.t2"));
     let drained = run_drain_pass(&t1, &t2, dmax, &ctx2);
+
+    // Optional pass 3: the multi-session service run. Its per-session
+    // attribution rows land in the report's `sessions` array; its events
+    // go to the NDJSON log (when one is open) but deliberately not into
+    // either recorder — the Figure 6–8 series stay single-query.
+    let session_sections = match args.sessions {
+        Some(s) => {
+            eprintln!("# pass 3: {s} interleaved cursor sessions over the shared pools ...");
+            let ctx_s = match &ndjson {
+                Some(w) => ObsContext::new(Arc::clone(w) as Arc<dyn EventSink>),
+                None => ObsContext::noop(),
+            };
+            run_sessions_pass(&t1, &t2, s, args.k, &ctx_s)?
+        }
+        None => Vec::new(),
+    };
 
     let mut report = RunReport::new(&args.label);
     report.workload = vec![
@@ -515,6 +621,7 @@ fn run_report(args: &Args) -> Result<(), String> {
         observed_seconds: seconds,
         observed_pairs: produced,
     });
+    report.sessions = session_sections;
     rank_rec.fill_report(&mut report);
     let mut drain_side = RunReport::default();
     queue_rec.fill_report(&mut drain_side);
@@ -554,6 +661,24 @@ fn run_report(args: &Args) -> Result<(), String> {
         report.events_recorded,
         args.out
     );
+    for s in &report.sessions {
+        let buf = |name: &str| -> u64 {
+            s.counters
+                .iter()
+                .find(|(n, _)| n == name)
+                .map_or(0, |(_, v)| *v)
+        };
+        println!(
+            "session {:>2} [{}] plan={} results={} batches={} buf.hits={} buf.misses={}",
+            s.id,
+            s.label,
+            s.plan,
+            s.results,
+            s.batches,
+            buf("buf.hits"),
+            buf("buf.misses"),
+        );
+    }
     if args.profile {
         if let Some(p) = &report.profile {
             render_profile(p, &report);
@@ -879,6 +1004,53 @@ fn run_check(path: &str, args: &Args) -> Result<(), String> {
             "{path}: pairs match {other_path} (pairs_produced={}, drain_pairs_produced={})",
             counter("pairs_produced"),
             counter("drain_pairs_produced")
+        );
+    }
+    if let Some(want) = args.expect_sessions {
+        // The service gate: the report must carry exactly `want` session
+        // attribution rows, every session must have produced results over
+        // at least one batch, and the rows together must attribute real
+        // buffer-pool traffic — a service run whose sessions all report
+        // zero pool activity means the attribution plumbing is broken.
+        if report.sessions.len() != want {
+            return Err(format!(
+                "{path}: expected {want} session sections, got {}",
+                report.sessions.len()
+            ));
+        }
+        let buf_of = |s: &sdj_obs::SessionSection, name: &str| -> u64 {
+            s.counters
+                .iter()
+                .find(|(n, _)| n == name)
+                .map_or(0, |(_, v)| *v)
+        };
+        let mut attributed = 0usize;
+        for s in &report.sessions {
+            if s.results == 0 || s.batches == 0 {
+                return Err(format!(
+                    "{path}: session {} ({}) recorded results={} batches={}",
+                    s.id, s.label, s.results, s.batches
+                ));
+            }
+            if s.cancelled {
+                return Err(format!(
+                    "{path}: session {} ({}) was cancelled mid-run",
+                    s.id, s.label
+                ));
+            }
+            if buf_of(s, "buf.hits") + buf_of(s, "buf.misses") > 0 {
+                attributed += 1;
+            }
+        }
+        if attributed == 0 {
+            return Err(format!(
+                "{path}: no session attributed any buffer-pool traffic"
+            ));
+        }
+        println!(
+            "{path}: sessions ok ({want} sessions, {attributed} with pool attribution, \
+             {} results total)",
+            report.sessions.iter().map(|s| s.results).sum::<u64>()
         );
     }
     println!(

@@ -59,7 +59,7 @@
 //! `crates/core/tests/adaptive_equivalence.rs` fuzzes with handoffs forced
 //! at arbitrary checkpoints.
 
-use std::collections::HashSet;
+use std::collections::{HashSet, VecDeque};
 
 use sdj_geom::Rect;
 use sdj_obs::{Event, ObsContext, Phase, PlanPath};
@@ -70,6 +70,7 @@ use crate::bulk::{BulkConfig, BulkDistanceJoin, BulkStats};
 use crate::config::{JoinConfig, ResultOrder};
 use crate::index::{IndexEntry, IndexNode, NodeId, SpatialIndex};
 use crate::join::{DistanceJoin, ResultPair};
+use crate::oracle::MbrOracle;
 use crate::pair::Item;
 use crate::plan::{self, ObservedProgress, PlanInputs};
 use crate::stats::JoinStats;
@@ -352,18 +353,7 @@ where
     /// chooses serial or parallel execution of the remainder.
     #[must_use]
     pub fn execute(self) -> AdaptiveOutcome<D> {
-        let inputs = PlanInputs::from_trees(self.tree1, self.tree2, &self.config);
-        let mut join = DistanceJoin::new(self.tree1, self.tree2, self.config);
-        if let Some(ctx) = &self.ctx {
-            join = join.with_obs(ctx);
-        }
-        if let Some(inj) = &self.queue_fault {
-            join.set_queue_fault_injector(Some(std::sync::Arc::clone(inj)));
-        }
-        if let Some(limit) = self.queue_retry_limit {
-            join.set_queue_retry_limit(limit);
-        }
-        join.track_watermark();
+        let (inputs, mut join) = self.build_engine();
 
         let eligible = self.eligible();
         let stride = self.adaptive.pop_stride.max(1);
@@ -456,6 +446,48 @@ where
                 forced,
             };
             return self.handoff(join, results, signals, info);
+        }
+    }
+
+    /// Builds the configured incremental engine (instrumentation, fault
+    /// injection, watermark tracking) plus the planner inputs checkpoints
+    /// re-cost against — the shared setup of [`Self::execute`] and
+    /// [`Self::cursor`].
+    fn build_engine(&self) -> (PlanInputs<D>, DistanceJoin<'a, D, MbrOracle, I1, I2>) {
+        let inputs = PlanInputs::from_trees(self.tree1, self.tree2, &self.config);
+        let mut join = DistanceJoin::new(self.tree1, self.tree2, self.config);
+        if let Some(ctx) = &self.ctx {
+            join = join.with_obs(ctx);
+        }
+        if let Some(inj) = &self.queue_fault {
+            join.set_queue_fault_injector(Some(std::sync::Arc::clone(inj)));
+        }
+        if let Some(limit) = self.queue_retry_limit {
+            join.set_queue_retry_limit(limit);
+        }
+        join.track_watermark();
+        (inputs, join)
+    }
+
+    /// Converts the driver into a pull-paced cursor: the same
+    /// checkpoint/replan/handoff machine as [`Self::execute`], but advanced
+    /// only as far as the consumer's [`AdaptiveCursor::pull`] calls demand,
+    /// so a session can hold the join paused between batches with the
+    /// frontier intact.
+    #[must_use]
+    pub fn cursor(self) -> AdaptiveCursor<'a, D, I1, I2> {
+        let (inputs, join) = self.build_engine();
+        AdaptiveCursor {
+            driver: self,
+            inputs,
+            state: CursorState::Incremental(Box::new(join)),
+            buf: VecDeque::new(),
+            signals: Vec::new(),
+            replanned: None,
+            stats: JoinStats::default(),
+            bulk_stats: None,
+            checkpoint: 0,
+            pending_error: None,
         }
     }
 
@@ -592,6 +624,279 @@ where
             inc_stats,
             signals,
         })
+    }
+}
+
+/// Where an [`AdaptiveCursor`] currently is in its run.
+enum CursorState<'a, const D: usize, I1, I2>
+where
+    I1: SpatialIndex<D>,
+    I2: SpatialIndex<D>,
+{
+    /// Driving the incremental engine through checkpoints.
+    Incremental(Box<DistanceJoin<'a, D, MbrOracle, I1, I2>>),
+    /// A handoff fired; the seeded bulk remainder has been swept and its
+    /// ordered tail is being drained.
+    BulkTail(std::vec::IntoIter<ResultPair>),
+    /// Exhausted (or failed clean).
+    Finished,
+}
+
+/// A pull-driven adaptive join cursor.
+///
+/// [`AdaptiveDistanceJoin::execute`] owns its own loop: it drives the
+/// engine stride after stride until exhaustion or a handoff, then hands the
+/// whole remainder back at once. A cursor session cannot work that way — it
+/// needs to surface results a batch at a time, pause indefinitely between
+/// batches with the frontier held in place, and be cancelled mid-stream.
+/// `AdaptiveCursor` is the same machine inverted: each [`Self::pull`]
+/// drives at most one stride (so the checkpoint schedule, and therefore
+/// the replan decision sequence, is *identical* to `execute`'s), buffers
+/// any results the stride over-produced, and parks. When a checkpoint
+/// fires the handoff, the seeded bulk remainder is swept serially on the
+/// spot — the bulk path materialises by nature — and its ordered tail is
+/// then drained batch by batch.
+///
+/// Fail-clean shape: a storage fault ends the stream, but every result
+/// produced before it is still handed out first; the typed error surfaces
+/// on the first `pull` after the buffered prefix drains (the PR 5
+/// "correct prefix, then the error" contract, adapted to a pull API).
+pub struct AdaptiveCursor<'a, const D: usize, I1 = RTree<D>, I2 = RTree<D>>
+where
+    I1: SpatialIndex<D>,
+    I2: SpatialIndex<D>,
+{
+    driver: AdaptiveDistanceJoin<'a, D, I1, I2>,
+    inputs: PlanInputs<D>,
+    state: CursorState<'a, D, I1, I2>,
+    /// Results a stride produced beyond what the consumer asked for.
+    buf: VecDeque<ResultPair>,
+    signals: Vec<ReplanSignals>,
+    replanned: Option<ReplanInfo>,
+    /// Incremental-phase counters, frozen when that phase ends.
+    stats: JoinStats,
+    bulk_stats: Option<BulkStats>,
+    checkpoint: u64,
+    /// A terminal fault, held until the buffered prefix has drained.
+    pending_error: Option<StorageError>,
+}
+
+impl<'a, const D: usize, I1, I2> AdaptiveCursor<'a, D, I1, I2>
+where
+    I1: SpatialIndex<D>,
+    I2: SpatialIndex<D>,
+{
+    /// Appends up to `n` further results to `out`, in stream order.
+    ///
+    /// Returns `Ok(true)` once the stream is exhausted (this call may have
+    /// appended fewer than `n`, including zero). `Err` is terminal and
+    /// fail-clean: everything appended across all `pull` calls so far is a
+    /// correct prefix of the fault-free stream.
+    pub fn pull(&mut self, n: usize, out: &mut Vec<ResultPair>) -> sdj_storage::Result<bool> {
+        let target = out.len().saturating_add(n);
+        while out.len() < target {
+            if let Some(r) = self.buf.pop_front() {
+                out.push(r);
+                continue;
+            }
+            match &mut self.state {
+                CursorState::Finished => {
+                    if let Some(e) = self.pending_error.take() {
+                        return Err(e);
+                    }
+                    return Ok(true);
+                }
+                CursorState::BulkTail(tail) => match tail.next() {
+                    Some(r) => out.push(r),
+                    None => self.state = CursorState::Finished,
+                },
+                CursorState::Incremental(_) => self.advance_incremental(),
+            }
+        }
+        Ok(self.is_done())
+    }
+
+    /// One iteration of the `execute` loop: drive a stride (or up to the
+    /// forced handoff point), then run the checkpoint, possibly switching
+    /// to the bulk tail. Results land in `buf`; faults land in
+    /// `pending_error` so the buffered prefix drains first.
+    fn advance_incremental(&mut self) {
+        let adaptive = self.driver.adaptive;
+        let stride = adaptive.pop_stride.max(1);
+        let can_replan = self.driver.eligible()
+            && self.signals.iter().filter(|s| s.switched).count() < adaptive.max_replans as usize;
+        let CursorState::Incremental(join) = &mut self.state else {
+            return;
+        };
+        let budget = if !can_replan {
+            u64::MAX
+        } else {
+            match adaptive.force_handoff_at {
+                Some(at) => {
+                    let pops = join.stats().pairs_dequeued;
+                    if at <= pops {
+                        0
+                    } else {
+                        (at - pops).min(stride)
+                    }
+                }
+                None => stride,
+            }
+        };
+        if budget > 0 {
+            let mut chunk = Vec::new();
+            let outcome = join.drive(budget, &mut chunk);
+            self.buf.extend(chunk);
+            match outcome {
+                Ok(true) => {
+                    self.stats = join.stats();
+                    self.state = CursorState::Finished;
+                    return;
+                }
+                Ok(false) => {}
+                Err(e) => {
+                    self.stats = join.stats();
+                    self.pending_error = Some(e);
+                    self.state = CursorState::Finished;
+                    return;
+                }
+            }
+        }
+
+        self.checkpoint += 1;
+        let stats = join.stats();
+        let observed = ObservedProgress {
+            pops: stats.pairs_dequeued,
+            results: stats.pairs_reported,
+            enqueued: stats.pairs_enqueued,
+            queue_len: join.queue_len(),
+        };
+        let forced = matches!(adaptive.force_handoff_at, Some(at) if observed.pops >= at);
+        let verdict = plan::replan(&self.inputs, &observed, adaptive.hysteresis);
+        let switch = forced || verdict.switch;
+        self.signals.push(ReplanSignals {
+            checkpoint: self.checkpoint,
+            pops: observed.pops,
+            results: observed.results,
+            queue_len: observed.queue_len,
+            pairs_enqueued: observed.enqueued,
+            observed_frontier: verdict.observed_frontier,
+            pops_per_result: if observed.results == 0 {
+                f64::INFINITY
+            } else {
+                observed.pops as f64 / observed.results as f64
+            },
+            queue_growth_per_pop: if observed.pops == 0 {
+                0.0
+            } else {
+                observed.queue_len as f64 / observed.pops as f64
+            },
+            queue_self_share: self.driver.queue_self_share(),
+            est_incremental_remaining: verdict.est_incremental_remaining,
+            est_bulk_remaining: verdict.est_bulk_remaining,
+            switched: switch,
+        });
+        if !switch {
+            return;
+        }
+
+        let info = ReplanInfo {
+            at_pop: observed.pops,
+            at_pair: observed.results,
+            est_incremental_remaining: verdict.est_incremental_remaining,
+            est_bulk_remaining: verdict.est_bulk_remaining,
+            forced,
+        };
+        let CursorState::Incremental(join) =
+            std::mem::replace(&mut self.state, CursorState::Finished)
+        else {
+            return;
+        };
+        let pending: Vec<ResultPair> = self.buf.drain(..).collect();
+        let signals = std::mem::take(&mut self.signals);
+        match self.driver.handoff(*join, pending, signals, info) {
+            AdaptiveOutcome::Completed(run) => {
+                self.buf.extend(run.results);
+                self.stats = run.stats;
+                self.signals = run.signals;
+                self.pending_error = run.error;
+            }
+            AdaptiveOutcome::Handoff(h) => {
+                self.buf.extend(h.prefix);
+                self.stats = h.inc_stats;
+                self.signals = h.signals;
+                self.replanned = Some(h.info);
+                let mut bulk = h.bulk;
+                let tail = bulk.run();
+                self.bulk_stats = Some(bulk.bulk_stats());
+                self.state = CursorState::BulkTail(tail.into_iter());
+            }
+        }
+    }
+
+    /// True once every result has been handed out and no error is pending.
+    #[must_use]
+    pub fn is_done(&self) -> bool {
+        matches!(self.state, CursorState::Finished)
+            && self.buf.is_empty()
+            && self.pending_error.is_none()
+    }
+
+    /// Bytes held by the paused incremental engine's queue (all tiers).
+    /// Zero once the incremental phase has ended.
+    #[must_use]
+    pub fn queue_bytes(&self) -> usize {
+        match &self.state {
+            CursorState::Incremental(j) => j.queue_bytes(),
+            _ => 0,
+        }
+    }
+
+    /// Bytes held by results a stride over-produced (or the materialised
+    /// bulk tail still waiting to be drained).
+    #[must_use]
+    pub fn buffered_bytes(&self) -> usize {
+        let tail = match &self.state {
+            CursorState::BulkTail(t) => t.len(),
+            _ => 0,
+        };
+        (self.buf.len() + tail) * std::mem::size_of::<ResultPair>()
+    }
+
+    /// Incremental-phase counters (live while that phase runs).
+    #[must_use]
+    pub fn stats(&self) -> JoinStats {
+        match &self.state {
+            CursorState::Incremental(j) => j.stats(),
+            _ => self.stats,
+        }
+    }
+
+    /// Bulk-phase counters, once a handoff has run.
+    #[must_use]
+    pub fn bulk_stats(&self) -> Option<&BulkStats> {
+        self.bulk_stats.as_ref()
+    }
+
+    /// The switch record, once a handoff has fired.
+    #[must_use]
+    pub fn replanned(&self) -> Option<&ReplanInfo> {
+        self.replanned.as_ref()
+    }
+
+    /// Every checkpoint's signals so far, in order.
+    #[must_use]
+    pub fn signals(&self) -> &[ReplanSignals] {
+        &self.signals
+    }
+
+    /// Re-registers the underlying queue's gauges under `prefix` (e.g.
+    /// `session.3.`), for per-session attribution. No-op once the
+    /// incremental phase has ended.
+    pub fn attach_queue_obs_prefixed(&mut self, ctx: &ObsContext, prefix: &str) {
+        if let CursorState::Incremental(j) = &mut self.state {
+            j.attach_queue_obs_prefixed(ctx, prefix);
+        }
     }
 }
 

@@ -7,6 +7,8 @@
 //! set of objects" — each function here is a thin, correctly configured
 //! wrapper over [`DistanceJoin`].
 
+use std::collections::HashMap;
+
 use sdj_geom::Metric;
 use sdj_rtree::{ObjectId, RTree};
 
@@ -79,20 +81,22 @@ pub fn all_nearest_neighbors<const D: usize>(tree: &RTree<D>, metric: Metric) ->
 
 /// Discrete-Voronoi clustering (the stores/warehouses example of §1):
 /// assigns every object of `objects` to its nearest site in `sites`,
-/// returning `assignment[oid] = site id`. Objects ids must be dense in
-/// `0..objects.len()`.
+/// returning `assignment[&oid] = site id`. Object ids may be arbitrary —
+/// the assignment is keyed, not positional, so sparse ids (as produced by
+/// insert/delete workloads) work and never panic.
+#[must_use]
 pub fn voronoi_assignment<const D: usize>(
     objects: &RTree<D>,
     sites: &RTree<D>,
     metric: Metric,
-) -> Vec<ObjectId> {
+) -> HashMap<ObjectId, ObjectId> {
     let config = JoinConfig {
         metric,
         ..JoinConfig::default()
     };
-    let mut assignment = vec![ObjectId(u64::MAX); objects.len()];
+    let mut assignment = HashMap::with_capacity(objects.len());
     for pair in DistanceJoin::semi(objects, sites, config, best_semi()) {
-        assignment[usize::try_from(pair.oid1.0).expect("dense ids")] = pair.oid2;
+        assignment.entry(pair.oid1).or_insert(pair.oid2);
     }
     assignment
 }
@@ -168,10 +172,39 @@ mod tests {
         let objects = tree(&[(0.0, 0.0), (1.0, 1.0), (9.0, 9.0), (10.0, 10.0)]);
         let sites = tree(&[(0.0, 0.0), (10.0, 10.0)]);
         let assignment = voronoi_assignment(&objects, &sites, Metric::Euclidean);
-        assert_eq!(
-            assignment,
-            vec![ObjectId(0), ObjectId(0), ObjectId(1), ObjectId(1)]
-        );
+        assert_eq!(assignment.len(), 4);
+        assert_eq!(assignment[&ObjectId(0)], ObjectId(0));
+        assert_eq!(assignment[&ObjectId(1)], ObjectId(0));
+        assert_eq!(assignment[&ObjectId(2)], ObjectId(1));
+        assert_eq!(assignment[&ObjectId(3)], ObjectId(1));
+    }
+
+    #[test]
+    fn voronoi_assignment_handles_sparse_ids() {
+        // Ids far outside 0..len() — the shape an insert/delete workload
+        // leaves behind. The old positional assignment panicked here.
+        let mut objects = RTree::new(RTreeConfig::small(4));
+        for (oid, (x, y)) in [
+            (7u64, (0.0, 0.0)),
+            (1_000_003, (1.0, 1.0)),
+            (u64::from(u32::MAX) + 5, (10.0, 10.0)),
+        ] {
+            objects
+                .insert(ObjectId(oid), Point::xy(x, y).to_rect())
+                .unwrap();
+        }
+        let mut sites = RTree::new(RTreeConfig::small(4));
+        sites
+            .insert(ObjectId(42), Point::xy(0.0, 0.0).to_rect())
+            .unwrap();
+        sites
+            .insert(ObjectId(99), Point::xy(10.0, 10.0).to_rect())
+            .unwrap();
+        let assignment = voronoi_assignment(&objects, &sites, Metric::Euclidean);
+        assert_eq!(assignment.len(), 3, "every object assigned exactly once");
+        assert_eq!(assignment[&ObjectId(7)], ObjectId(42));
+        assert_eq!(assignment[&ObjectId(1_000_003)], ObjectId(42));
+        assert_eq!(assignment[&ObjectId(u64::from(u32::MAX) + 5)], ObjectId(99));
     }
 
     #[test]

@@ -192,9 +192,12 @@ impl Estimator {
     }
 
     fn remove_key(&mut self, key: MKey) {
-        let entry = self.entries.remove(&key).expect("caller checked presence");
-        self.by_dmax.remove(&(entry.dmax, entry.seq));
-        self.total -= u128::from(entry.count);
+        // Callers check presence; an absent key is simply a no-op rather
+        // than a panic path.
+        if let Some(entry) = self.entries.remove(&key) {
+            self.by_dmax.remove(&(entry.dmax, entry.seq));
+            self.total -= u128::from(entry.count);
+        }
     }
 
     /// Drops the largest-`d_max` entries while the rest still cover the

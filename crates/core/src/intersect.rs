@@ -205,9 +205,12 @@ where
     fn step(&mut self) -> sdj_storage::Result<Option<IntersectionPair>> {
         while let Some((key, pair)) = self.queue.pop()? {
             if pair.is_final(true) {
+                // Same fail-clean contract as the distance join: a
+                // kind-confused decode surfaces as a typed error.
+                let corrupt = StorageError::Corrupt("final pair holds a node-kind item");
                 return Ok(Some(IntersectionPair {
-                    oid1: pair.item1.object_id().expect("final pair"),
-                    oid2: pair.item2.object_id().expect("final pair"),
+                    oid1: pair.item1.object_id().ok_or(corrupt.clone())?,
+                    oid2: pair.item2.object_id().ok_or(corrupt)?,
                     // The only key → distance conversion: one sqrt per
                     // reported pair under the squared Euclidean domain.
                     distance_from_focus: self.keys.to_distance(key.dist.get()),
@@ -219,7 +222,11 @@ where
                 (Some(l1), Some(l2)) => self.expand(&pair, l1 >= l2)?,
                 (Some(_), None) => self.expand(&pair, true)?,
                 (None, Some(_)) => self.expand(&pair, false)?,
-                (None, None) => unreachable!("final pairs are handled above"),
+                (None, None) => {
+                    return Err(StorageError::Corrupt(
+                        "pair kind combination impossible for an intact queue",
+                    ))
+                }
             }
         }
         Ok(None)

@@ -707,6 +707,30 @@ where
         self.queue.slab_stats()
     }
 
+    /// Approximate resident bytes of the priority queue (heap storage, item
+    /// arena, spill buffer pool). This is the number a per-session memory
+    /// budget meters: the queue *is* the whole paused query state.
+    #[must_use]
+    pub fn queue_bytes(&self) -> usize {
+        self.queue.queue_bytes()
+    }
+
+    /// Whether the join has finished (queue exhausted, result budget hit,
+    /// or a storage error stopped it — see [`take_error`](Self::take_error)).
+    #[must_use]
+    pub fn is_done(&self) -> bool {
+        self.done
+    }
+
+    /// Registers this join's queue gauges under `{prefix}pq.*` in the
+    /// context's registry (see [`JoinQueue::attach_obs_prefixed`]), without
+    /// installing the engine-level [`JoinObs`] handle. The session service
+    /// uses `session.<id>.` prefixes so concurrent cursors stay
+    /// distinguishable in one registry.
+    pub fn attach_queue_obs_prefixed(&mut self, ctx: &ObsContext, prefix: &str) {
+        self.queue.attach_obs_prefixed(ctx, prefix);
+    }
+
     // ----------------------------------------------------------- internals
 
     fn ascending(&self) -> bool {
@@ -1937,8 +1961,18 @@ where
             } else {
                 -key.dist.get()
             };
-            let oid1 = pair.item1.object_id().expect("final pair");
-            let oid2 = pair.item2.object_id().expect("final pair");
+            // A final pair must carry object ids on both sides. A
+            // kind-confused decode (a corrupt spill page whose item tag says
+            // node where an object is required) surfaces here as the typed
+            // fail-clean error instead of aborting co-hosted sessions.
+            let oid1 = pair
+                .item1
+                .object_id()
+                .ok_or(StorageError::Corrupt("final pair holds a node-kind item"))?;
+            let oid2 = pair
+                .item2
+                .object_id()
+                .ok_or(StorageError::Corrupt("final pair holds a node-kind item"))?;
             return Ok(match self.report(oid1, oid2, result_key) {
                 Some(result) => StepOutcome::Result(result),
                 None => StepOutcome::Continue,
@@ -1954,7 +1988,7 @@ where
                 self.stats.object_distance_calcs += 1;
                 // The oracle answers in real distances; map its answer into
                 // the key domain once and stay there.
-                let k = self.keys.to_key(self.oracle.object_distance(o1, o2));
+                let k = self.keys.to_key(self.oracle.object_distance(o1, o2)?);
                 if k < self.min_key || k > self.effective_max_key() {
                     self.stats.pruned_by_range += 1;
                     return Ok(StepOutcome::Continue);
@@ -1983,12 +2017,11 @@ where
                     self.enqueue_final(object_pair, k);
                 }
             }
-            (Item::Node { .. }, Item::Node { level: l2, .. }) => {
-                let l2 = *l2;
+            (Item::Node { level: l1, .. }, Item::Node { level: l2, .. }) => {
+                let (l1, l2) = (*l1, *l2);
                 match self.config.traversal {
                     TraversalPolicy::Basic => self.expand_one(&pair, true)?,
                     TraversalPolicy::Even => {
-                        let l1 = pair.item1.node_level().expect("node item");
                         // Process the node at the shallower level (the
                         // one closer to its root); at equal levels, the
                         // one covering more space — this keeps the
@@ -2008,7 +2041,14 @@ where
             }
             (Item::Node { .. }, _) => self.expand_one(&pair, true)?,
             (_, Item::Node { .. }) => self.expand_one(&pair, false)?,
-            _ => unreachable!("non-final object pair kinds are handled above"),
+            // Every legitimately constructed pair is covered above; the only
+            // way to land here is a kind-confused decode from a corrupt spill
+            // page, which must fail clean rather than panic.
+            _ => {
+                return Err(StorageError::Corrupt(
+                    "pair kind combination impossible for an intact queue",
+                ))
+            }
         }
         Ok(StepOutcome::Continue)
     }

@@ -75,8 +75,8 @@ mod stats;
 mod view;
 
 pub use adaptive::{
-    AdaptiveConfig, AdaptiveDistanceJoin, AdaptiveOutcome, AdaptiveRun, Handoff, ReplanInfo,
-    ReplanSignals,
+    AdaptiveConfig, AdaptiveCursor, AdaptiveDistanceJoin, AdaptiveOutcome, AdaptiveRun, Handoff,
+    ReplanInfo, ReplanSignals,
 };
 pub use bound::SharedDistanceBound;
 pub use bulk::{BulkConfig, BulkDistanceJoin, BulkHit, BulkStats, CellScratch, CellTally};

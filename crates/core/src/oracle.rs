@@ -10,6 +10,7 @@
 
 use sdj_geom::{Metric, SpatialObject};
 use sdj_rtree::ObjectId;
+use sdj_storage::StorageError;
 
 /// Source of exact object-to-object distances.
 pub trait DistanceOracle<const D: usize> {
@@ -19,7 +20,14 @@ pub trait DistanceOracle<const D: usize> {
 
     /// Exact distance between object `o1` of the first relation and `o2` of
     /// the second.
-    fn object_distance(&self, o1: ObjectId, o2: ObjectId) -> f64;
+    ///
+    /// # Errors
+    ///
+    /// [`StorageError::Corrupt`] when an id does not resolve to a stored
+    /// object — refinement of a pair whose ids the oracle has never heard
+    /// of means the queue state is damaged, and the query fails clean
+    /// instead of panicking the process.
+    fn object_distance(&self, o1: ObjectId, o2: ObjectId) -> sdj_storage::Result<f64>;
 }
 
 /// Oracle for objects stored directly in the leaves (points, rectangles):
@@ -30,8 +38,12 @@ pub struct MbrOracle;
 impl<const D: usize> DistanceOracle<D> for MbrOracle {
     const EXACT: bool = true;
 
-    fn object_distance(&self, _o1: ObjectId, _o2: ObjectId) -> f64 {
-        unreachable!("MbrOracle is exact; refinement never runs")
+    fn object_distance(&self, _o1: ObjectId, _o2: ObjectId) -> sdj_storage::Result<f64> {
+        // Exact oracles never refine; being consulted at all means a
+        // non-final pair was treated as refinable — corrupt queue state.
+        Err(StorageError::Corrupt(
+            "refinement requested from an exact oracle",
+        ))
     }
 }
 
@@ -60,10 +72,17 @@ impl<'a, O> SliceOracle<'a, O> {
 impl<const D: usize, O: SpatialObject<D>> DistanceOracle<D> for SliceOracle<'_, O> {
     const EXACT: bool = false;
 
-    fn object_distance(&self, o1: ObjectId, o2: ObjectId) -> f64 {
-        let a = &self.objects1[usize::try_from(o1.0).expect("oid fits usize")];
-        let b = &self.objects2[usize::try_from(o2.0).expect("oid fits usize")];
-        a.min_distance(b, self.metric)
+    fn object_distance(&self, o1: ObjectId, o2: ObjectId) -> sdj_storage::Result<f64> {
+        const BAD_ID: StorageError = StorageError::Corrupt("object id outside the oracle table");
+        let a = usize::try_from(o1.0)
+            .ok()
+            .and_then(|i| self.objects1.get(i))
+            .ok_or(BAD_ID)?;
+        let b = usize::try_from(o2.0)
+            .ok()
+            .and_then(|i| self.objects2.get(i))
+            .ok_or(BAD_ID)?;
+        Ok(a.min_distance(b, self.metric))
     }
 }
 
@@ -81,11 +100,11 @@ mod tests {
         ];
         let oracle = SliceOracle::new(&a, &b, Metric::Euclidean);
         assert_eq!(
-            DistanceOracle::<2>::object_distance(&oracle, ObjectId(0), ObjectId(0)),
+            DistanceOracle::<2>::object_distance(&oracle, ObjectId(0), ObjectId(0)).unwrap(),
             3.0
         );
         assert_eq!(
-            DistanceOracle::<2>::object_distance(&oracle, ObjectId(0), ObjectId(1)),
+            DistanceOracle::<2>::object_distance(&oracle, ObjectId(0), ObjectId(1)).unwrap(),
             0.0,
             "crossing segments"
         );
@@ -93,7 +112,19 @@ mod tests {
     }
 
     #[test]
+    fn out_of_table_ids_are_typed_errors() {
+        let a = [Segment::new(Point::xy(0.0, 0.0), Point::xy(1.0, 0.0))];
+        let oracle = SliceOracle::new(&a, &a, Metric::Euclidean);
+        let err = DistanceOracle::<2>::object_distance(&oracle, ObjectId(0), ObjectId(7))
+            .expect_err("id 7 is outside the table");
+        assert!(matches!(err, StorageError::Corrupt(_)));
+    }
+
+    #[test]
     fn mbr_oracle_is_exact() {
         const { assert!(<MbrOracle as DistanceOracle<2>>::EXACT) };
+        let err = DistanceOracle::<2>::object_distance(&MbrOracle, ObjectId(0), ObjectId(1))
+            .expect_err("exact oracles refuse refinement");
+        assert!(matches!(err, StorageError::Corrupt(_)));
     }
 }

@@ -114,12 +114,12 @@ impl<const D: usize> JoinQueue<D> {
                 Ok(())
             }
             Backend::Flat { heap, arena } => {
-                heap.push(key, arena.intern_pair(&pair));
+                heap.push(key, arena.intern_pair(&pair)?);
                 Ok(())
             }
             Backend::HybridPairing(q) => PriorityQueue::push(q.as_mut(), key, pair),
             Backend::HybridFlat { queue, arena } => {
-                let packed = arena.intern_pair(&pair);
+                let packed = arena.intern_pair(&pair)?;
                 match PriorityQueue::push(queue.as_mut(), key, packed) {
                     Ok(()) => Ok(()),
                     Err(e) => {
@@ -149,10 +149,22 @@ impl<const D: usize> JoinQueue<D> {
                 Ok(())
             }
             Backend::Flat { heap, arena } => {
-                heap.push_batch(batch.into_iter().map(|(key, pair)| {
-                    let packed = arena.intern_pair(&pair);
-                    (key, packed)
-                }));
+                // Intern the whole batch before handing it to the heap so a
+                // mid-batch slot exhaustion releases every staged reference
+                // and leaves the queue unchanged.
+                let mut staged = Vec::new();
+                for (key, pair) in batch {
+                    match arena.intern_pair(&pair) {
+                        Ok(packed) => staged.push((key, packed)),
+                        Err(e) => {
+                            for (_, packed) in staged {
+                                arena.release_pair(packed);
+                            }
+                            return Err(e);
+                        }
+                    }
+                }
+                heap.push_batch(staged);
                 Ok(())
             }
             _ => {
@@ -366,11 +378,19 @@ impl<const D: usize> JoinQueue<D> {
     /// backends additionally emit tier migrations to the context's sink and
     /// register the `pq.tier.*` occupancy gauges.
     pub fn attach_obs(&mut self, ctx: &sdj_obs::ObsContext) {
-        self.bytes_gauge = Some(ctx.registry.gauge("pq.bytes"));
+        self.attach_obs_prefixed(ctx, "");
+    }
+
+    /// [`attach_obs`](Self::attach_obs) with every gauge name prefixed —
+    /// `{prefix}pq.bytes`, `{prefix}pq.slab_*`, `{prefix}pq.tier.*` — so a
+    /// multi-session server can attribute each cursor's queue occupancy
+    /// separately (`session.<id>.` prefixes) in one shared registry.
+    pub fn attach_obs_prefixed(&mut self, ctx: &sdj_obs::ObsContext, prefix: &str) {
+        self.bytes_gauge = Some(ctx.registry.gauge(&format!("{prefix}pq.bytes")));
         if self.slab_stats().is_some() {
             self.slab_gauges = Some((
-                ctx.registry.gauge("pq.slab_live"),
-                ctx.registry.gauge("pq.slab_recycled"),
+                ctx.registry.gauge(&format!("{prefix}pq.slab_live")),
+                ctx.registry.gauge(&format!("{prefix}pq.slab_recycled")),
             ));
         }
         let hybrid = match &mut self.backend {
@@ -379,7 +399,7 @@ impl<const D: usize> JoinQueue<D> {
             Backend::HybridFlat { queue, .. } => Some(queue.as_mut() as &mut dyn HybridObsHook),
         };
         if let Some(q) = hybrid {
-            let gauges = sdj_pqueue::TierGauges::register(&ctx.registry);
+            let gauges = sdj_pqueue::TierGauges::register_prefixed(&ctx.registry, prefix);
             q.hook_obs(std::sync::Arc::clone(&ctx.sink), gauges);
             if let (Some(spill), Some(reload)) = (
                 sdj_obs::LeafSpan::from_context(ctx, sdj_obs::Phase::Spill),

@@ -21,6 +21,7 @@ use std::collections::HashMap;
 
 use sdj_pqueue::Codec;
 use sdj_storage::codec::{PageReader, PageWriter};
+use sdj_storage::StorageError;
 
 use crate::pair::{Item, Pair};
 
@@ -76,7 +77,7 @@ impl Codec for PackedPair {
 /// slots. Spilled [`PackedPair`]s keep their referenced items pinned here
 /// (the reference is taken at push and dropped at pop, bracketing any disk
 /// residency in between), so resolution never touches storage.
-#[derive(Debug, Default)]
+#[derive(Debug)]
 pub struct ItemArena<const D: usize> {
     /// Slot payloads; freed slots keep their stale item (items are `Copy`)
     /// until reuse.
@@ -95,6 +96,27 @@ pub struct ItemArena<const D: usize> {
     high_water: usize,
     /// Allocations served from the free list.
     recycled: u64,
+    /// Hard cap on distinct slots. Exceeding it is a typed
+    /// [`StorageError::ResourceExhausted`], never a panic: the slot index
+    /// must fit `u32` (the `PackedPair` wire format), and a session
+    /// operator may lower the cap to bound a runaway query.
+    slot_limit: u32,
+}
+
+impl<const D: usize> Default for ItemArena<D> {
+    fn default() -> Self {
+        Self {
+            items: Vec::new(),
+            keys: Vec::new(),
+            refs: Vec::new(),
+            free: Vec::new(),
+            map: HashMap::new(),
+            live: 0,
+            high_water: 0,
+            recycled: 0,
+            slot_limit: u32::MAX,
+        }
+    }
 }
 
 impl<const D: usize> ItemArena<D> {
@@ -102,6 +124,18 @@ impl<const D: usize> ItemArena<D> {
     #[must_use]
     pub fn new() -> Self {
         Self::default()
+    }
+
+    /// An empty arena capped at `limit` distinct slots. The representation
+    /// cap (`u32::MAX`) always applies; a lower limit turns the arena into
+    /// a per-query admission guard that fails clean instead of growing
+    /// without bound.
+    #[must_use]
+    pub fn with_slot_limit(limit: u32) -> Self {
+        Self {
+            slot_limit: limit,
+            ..Self::default()
+        }
     }
 
     /// Distinct items currently referenced.
@@ -146,7 +180,13 @@ impl<const D: usize> ItemArena<D> {
     }
 
     /// Interns one item, returning its slot and taking one reference.
-    pub fn intern(&mut self, side: bool, item: &Item<D>) -> u32 {
+    ///
+    /// # Errors
+    ///
+    /// [`StorageError::ResourceExhausted`] when growing past the slot limit
+    /// (the `u32` representation cap, or a lower per-session one) — the
+    /// query that overflowed is killed cleanly, not the process.
+    pub fn intern(&mut self, side: bool, item: &Item<D>) -> sdj_storage::Result<u32> {
         let key = arena_key(side, item);
         if let Some(&slot) = self.map.get(&key) {
             debug_assert_eq!(
@@ -154,7 +194,7 @@ impl<const D: usize> ItemArena<D> {
                 "two distinct items interned under one arena key"
             );
             self.refs[slot as usize] = self.refs[slot as usize].saturating_add(1);
-            return slot;
+            return Ok(slot);
         }
         let slot = match self.free.pop() {
             Some(slot) => {
@@ -165,7 +205,10 @@ impl<const D: usize> ItemArena<D> {
                 slot
             }
             None => {
-                let slot = u32::try_from(self.items.len()).expect("arena slots exceed u32");
+                let slot = u32::try_from(self.items.len())
+                    .ok()
+                    .filter(|&s| s < self.slot_limit)
+                    .ok_or(StorageError::ResourceExhausted("pair-slab arena slots"))?;
                 Self::reserve_one(&mut self.items);
                 Self::reserve_one(&mut self.keys);
                 Self::reserve_one(&mut self.refs);
@@ -178,15 +221,25 @@ impl<const D: usize> ItemArena<D> {
         self.map.insert(key, slot);
         self.live += 1;
         self.high_water = self.high_water.max(self.live);
-        slot
+        Ok(slot)
     }
 
     /// Interns both sides of a pair, returning the compact payload.
-    pub fn intern_pair(&mut self, pair: &Pair<D>) -> PackedPair {
-        PackedPair {
-            i1: self.intern(false, &pair.item1),
-            i2: self.intern(true, &pair.item2),
-        }
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`intern`](Self::intern) slot exhaustion; a first-side
+    /// reference already taken is released so a failed pair leaks nothing.
+    pub fn intern_pair(&mut self, pair: &Pair<D>) -> sdj_storage::Result<PackedPair> {
+        let i1 = self.intern(false, &pair.item1)?;
+        let i2 = match self.intern(true, &pair.item2) {
+            Ok(i2) => i2,
+            Err(e) => {
+                self.release(i1);
+                return Err(e);
+            }
+        };
+        Ok(PackedPair { i1, i2 })
     }
 
     /// The fat item in `slot` (which must hold a live reference).
@@ -246,8 +299,8 @@ mod tests {
     #[test]
     fn interning_shares_slots_and_counts_refs() {
         let mut arena = ItemArena::<2>::new();
-        let a = arena.intern(false, &node(1));
-        let b = arena.intern(false, &node(1));
+        let a = arena.intern(false, &node(1)).unwrap();
+        let b = arena.intern(false, &node(1)).unwrap();
         assert_eq!(a, b, "same side + item interns to one slot");
         assert_eq!(arena.live(), 1);
         arena.release(a);
@@ -259,15 +312,15 @@ mod tests {
     #[test]
     fn sides_and_kinds_do_not_unify() {
         let mut arena = ItemArena::<2>::new();
-        let left = arena.intern(false, &node(1));
-        let right = arena.intern(true, &node(1));
+        let left = arena.intern(false, &node(1)).unwrap();
+        let right = arena.intern(true, &node(1)).unwrap();
         assert_ne!(left, right, "R1 and R2 items are distinct");
         let o = Item::Object {
             oid: ObjectId(9),
             mbr: Rect::new([0.5, 0.5], [0.5, 0.5]),
         };
-        let as_obr = arena.intern(false, &obr(9));
-        let as_object = arena.intern(false, &o);
+        let as_obr = arena.intern(false, &obr(9)).unwrap();
+        let as_object = arena.intern(false, &o).unwrap();
         assert_ne!(as_obr, as_object, "obr and exact object are distinct");
         assert_eq!(arena.live(), 4);
     }
@@ -276,7 +329,9 @@ mod tests {
     fn released_slots_are_recycled() {
         let mut arena = ItemArena::<2>::new();
         for round in 0..10u64 {
-            let pp = arena.intern_pair(&Pair::new(node(round), obr(round + 100)));
+            let pp = arena
+                .intern_pair(&Pair::new(node(round), obr(round + 100)))
+                .unwrap();
             assert_eq!(
                 arena.resolve_pair(pp),
                 Pair::new(node(round), obr(round + 100))
@@ -301,11 +356,32 @@ mod tests {
     }
 
     #[test]
+    fn slot_limit_is_a_typed_error_and_recycling_still_works() {
+        let mut arena = ItemArena::<2>::with_slot_limit(2);
+        let pp = arena.intern_pair(&Pair::new(node(1), obr(2))).unwrap();
+        // A third distinct slot exceeds the cap and fails clean, releasing
+        // the first-side reference the failed pair had already taken.
+        let err = arena
+            .intern_pair(&Pair::new(node(3), obr(4)))
+            .expect_err("cap exceeded");
+        assert_eq!(
+            err,
+            StorageError::ResourceExhausted("pair-slab arena slots")
+        );
+        assert_eq!(arena.live(), 2, "failed intern_pair leaks no references");
+        // Releasing frees capacity: the free list serves new items under the
+        // same cap.
+        arena.release_pair(pp);
+        let again = arena.intern_pair(&Pair::new(node(3), obr(4))).unwrap();
+        assert_eq!(arena.resolve_pair(again), Pair::new(node(3), obr(4)));
+    }
+
+    #[test]
     fn approx_bytes_reflects_capacity() {
         let mut arena = ItemArena::<2>::new();
         assert_eq!(arena.approx_bytes(), 0);
         for i in 0..100 {
-            arena.intern(false, &node(i));
+            arena.intern(false, &node(i)).unwrap();
         }
         assert!(arena.approx_bytes() >= 100 * std::mem::size_of::<Item<2>>());
     }

@@ -258,6 +258,41 @@ proptest! {
         let got = adaptive_stream_unordered(&case);
         prop_assert_eq!(canon(&got), canon(&reference));
     }
+
+    /// The pull-paced cursor produces the same stream as the one-shot
+    /// `run()`, bit-for-bit and in the same order, regardless of how the
+    /// pulls chop it up — the invariant that lets a session hold an
+    /// adaptive join paused between batches.
+    #[test]
+    fn cursor_stream_matches_run(case in arb_case(), batch in 1usize..7) {
+        let (reference, replanned) = adaptive_stream(&case);
+
+        let t1 = tree(&case.a, case.fanout);
+        let t2 = tree(&case.b, case.fanout);
+        let join = AdaptiveDistanceJoin::with_configs(
+            &t1,
+            &t2,
+            config_of(&case),
+            BulkConfig::default(),
+            adaptive_config_of(&case),
+        );
+        let mut cursor = join.cursor();
+        let mut out = Vec::new();
+        loop {
+            let before = out.len();
+            let done = cursor.pull(batch, &mut out).expect("fault-free cursor");
+            if done {
+                break;
+            }
+            prop_assert!(out.len() > before, "pull made no progress");
+        }
+        prop_assert!(cursor.is_done());
+        prop_assert_eq!(triples(&out), reference);
+        prop_assert_eq!(cursor.replanned().is_some(), replanned);
+        // A drained cursor holds no queue or buffered-result memory.
+        prop_assert_eq!(cursor.queue_bytes(), 0);
+        prop_assert_eq!(cursor.buffered_bytes(), 0);
+    }
 }
 
 // Chaos: a fault schedule over the trees and the hybrid queue's pager,

@@ -319,12 +319,20 @@ pub struct PlannedRun {
 /// `force` override), emits the `PlanChosen` event and `plan.*` registry
 /// instruments, then executes the chosen path in parallel and collects the
 /// ordered results.
+///
+/// The adaptive knobs are an explicit per-call parameter, not process
+/// state: two queries in the same process may run with different strides
+/// or forced handoffs. Entry points that want the `SDJ_ADAPTIVE_*`
+/// environment defaults pass [`AdaptiveConfig::from_env()`] at the app
+/// boundary.
+#[allow(clippy::too_many_arguments)] // one knob struct per execution path, by design
 pub fn run_planned<const D: usize, I1, I2>(
     tree1: &I1,
     tree2: &I2,
     config: JoinConfig,
     parallel: ParallelConfig,
     bulk_config: BulkConfig,
+    adaptive: AdaptiveConfig,
     force: ForcedPlan,
     obs: Option<ObsContext>,
 ) -> PlannedRun
@@ -428,15 +436,7 @@ where
             }
         }
         PlanChoice::Adaptive => {
-            let out = run_adaptive(
-                tree1,
-                tree2,
-                config,
-                parallel,
-                bulk_config,
-                AdaptiveConfig::from_env(),
-                obs,
-            );
+            let out = run_adaptive(tree1, tree2, config, parallel, bulk_config, adaptive, obs);
             PlannedRun {
                 plan,
                 forced,

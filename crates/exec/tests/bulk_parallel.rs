@@ -13,7 +13,7 @@
 use std::sync::Arc;
 
 use sdj_core::bulk::BulkConfig;
-use sdj_core::{DistanceJoin, JoinConfig, PlanChoice, ResultOrder};
+use sdj_core::{AdaptiveConfig, DistanceJoin, JoinConfig, PlanChoice, ResultOrder};
 use sdj_exec::{run_planned, ParallelBulkJoin, ParallelConfig};
 use sdj_geom::{Point, Rect};
 use sdj_obs::{ObsContext, RingRecorder};
@@ -159,6 +159,7 @@ fn planned_runs_agree_and_record_the_choice() {
             config,
             parallel,
             BulkConfig::default(),
+            AdaptiveConfig::default(),
             Some(force),
             Some(ctx.clone()),
         );
@@ -219,6 +220,7 @@ fn auto_plan_follows_the_cost_model() {
         JoinConfig::default().with_max_pairs(5),
         ParallelConfig::with_threads(1),
         BulkConfig::default(),
+        AdaptiveConfig::default(),
         None,
         None,
     );

@@ -245,6 +245,33 @@ pub enum Event {
         /// Re-costed work of switching to `to` (work units).
         est_bulk_remaining: f64,
     },
+    /// A cursor session was admitted by the join service and its engine
+    /// built on the planner-chosen path.
+    SessionOpened {
+        /// Service-assigned session id.
+        session: u32,
+        /// The execution path the session's engine runs on.
+        path: PlanPath,
+    },
+    /// A session's `next_batch` pull completed.
+    SessionBatch {
+        /// Service-assigned session id.
+        session: u32,
+        /// Results delivered by this batch.
+        results: u64,
+        /// Cumulative results the session has emitted.
+        total: u64,
+    },
+    /// A session ended: its stream finished, it failed, or it was cancelled
+    /// (frontier dropped, pins and slab references released).
+    SessionClosed {
+        /// Service-assigned session id.
+        session: u32,
+        /// Cumulative results the session emitted.
+        results: u64,
+        /// True when the session was cancelled before exhausting its stream.
+        cancelled: bool,
+    },
 }
 
 /// Formats an `f64` for NDJSON: finite values as shortest-roundtrip Rust
@@ -296,6 +323,9 @@ impl Event {
             Event::RetrySucceeded { .. } => "retry_succeeded",
             Event::PlanChosen { .. } => "plan_chosen",
             Event::Replanned { .. } => "replanned",
+            Event::SessionOpened { .. } => "session_opened",
+            Event::SessionBatch { .. } => "session_batch",
+            Event::SessionClosed { .. } => "session_closed",
         }
     }
 
@@ -401,6 +431,37 @@ impl Event {
                 out.push_str(",\"est_bulk_remaining\":");
                 fmt_f64(out, est_bulk_remaining);
             }
+            Event::SessionOpened { session, path } => {
+                out.push_str(",\"session\":");
+                out.push_str(&session.to_string());
+                out.push_str(",\"path\":\"");
+                out.push_str(path.name());
+                out.push('"');
+            }
+            Event::SessionBatch {
+                session,
+                results,
+                total,
+            } => {
+                out.push_str(",\"session\":");
+                out.push_str(&session.to_string());
+                out.push_str(",\"results\":");
+                out.push_str(&results.to_string());
+                out.push_str(",\"total\":");
+                out.push_str(&total.to_string());
+            }
+            Event::SessionClosed {
+                session,
+                results,
+                cancelled,
+            } => {
+                out.push_str(",\"session\":");
+                out.push_str(&session.to_string());
+                out.push_str(",\"results\":");
+                out.push_str(&results.to_string());
+                out.push_str(",\"cancelled\":");
+                out.push_str(if cancelled { "true" } else { "false" });
+            }
         }
         out.push('}');
     }
@@ -476,6 +537,20 @@ impl Event {
                 at_pair: int("at_pair")?,
                 est_incremental_remaining: parse_f64(v.get("est_incremental_remaining")?)?,
                 est_bulk_remaining: parse_f64(v.get("est_bulk_remaining")?)?,
+            },
+            "session_opened" => Event::SessionOpened {
+                session: int("session")? as u32,
+                path: PlanPath::parse(v.get("path")?.as_str()?)?,
+            },
+            "session_batch" => Event::SessionBatch {
+                session: int("session")? as u32,
+                results: int("results")?,
+                total: int("total")?,
+            },
+            "session_closed" => Event::SessionClosed {
+                session: int("session")? as u32,
+                results: int("results")?,
+                cancelled: v.get("cancelled")?.as_bool()?,
             },
             _ => return None,
         })
@@ -570,6 +645,25 @@ mod tests {
                 at_pair: 120,
                 est_incremental_remaining: 9.5e5,
                 est_bulk_remaining: 3.25e5,
+            },
+            Event::SessionOpened {
+                session: 3,
+                path: PlanPath::Adaptive,
+            },
+            Event::SessionBatch {
+                session: 3,
+                results: 64,
+                total: 192,
+            },
+            Event::SessionClosed {
+                session: 3,
+                results: 192,
+                cancelled: true,
+            },
+            Event::SessionClosed {
+                session: 0,
+                results: 0,
+                cancelled: false,
             },
         ]
     }

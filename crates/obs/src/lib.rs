@@ -37,7 +37,7 @@ pub use json::JsonValue;
 pub use metrics::{Counter, Gauge, Histogram, HistogramSummary, Registry, Snapshot};
 pub use report::{
     sparkline, write_atomic, CalibrationSection, HostInfo, PhaseRow, ProfileSection, RunRecorder,
-    RunReport,
+    RunReport, SessionSection,
 };
 pub use sink::{EventCounts, EventSink, NdjsonWriter, NoopSink, RingRecorder, TeeSink};
 pub use span::{LeafSpan, Phase, PhaseSnapshot, SpanMode, SpanSet, SpanTimer, PHASE_COUNT};

@@ -23,7 +23,10 @@ use crate::span::Phase;
 
 /// Current report schema version. Bump on breaking field changes.
 /// v2: host gains `cpu_model`; optional `profile` (per-phase span table)
-/// and `plan.calibration` sections.
+/// and `plan.calibration` sections. Still v2 (additive): optional
+/// `sessions` array attributing one service run's counters per cursor
+/// session — absent for single-query reports, so older readers are
+/// unaffected.
 pub const SCHEMA_VERSION: u64 = 2;
 
 /// Hard cap on stored series points; beyond it the recorder decimates by
@@ -238,6 +241,28 @@ pub struct CalibrationSection {
     pub observed_pairs: u64,
 }
 
+/// Per-session attribution row of a multi-cursor service run: which
+/// session pulled how much, on which plan, and the share of the shared
+/// buffer pool / queue memory its pulls accounted for.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct SessionSection {
+    /// Service-assigned session id.
+    pub id: u32,
+    /// Caller-supplied session label (may be empty).
+    pub label: String,
+    /// Executed plan path: `"incremental"`, `"bulk"` or `"adaptive"`.
+    pub plan: String,
+    /// Results the session emitted.
+    pub results: u64,
+    /// `next_batch` pulls the session served.
+    pub batches: u64,
+    /// True when the session was cancelled before exhausting its stream.
+    pub cancelled: bool,
+    /// Attributed counters (`buf.*` pool deltas measured across this
+    /// session's serialized pull windows, `pq.*` queue occupancy peaks).
+    pub counters: Vec<(String, u64)>,
+}
+
 /// One instrumented run, ready to serialise.
 #[derive(Clone, Debug, Default)]
 pub struct RunReport {
@@ -261,6 +286,9 @@ pub struct RunReport {
     pub profile: Option<ProfileSection>,
     /// Planner predictions vs the observed run (`plan.calibration`).
     pub calibration: Option<CalibrationSection>,
+    /// Per-session attribution rows of a service run (empty — and omitted
+    /// from the JSON — for single-query reports).
+    pub sessions: Vec<SessionSection>,
 }
 
 /// A failed [`RunReport::validate`] check.
@@ -387,6 +415,35 @@ impl RunReport {
                 c.observed_pairs,
             ));
         }
+        if !self.sessions.is_empty() {
+            out.push_str(",\n  \"sessions\": [");
+            for (i, s) in self.sessions.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                out.push_str("\n    {\"id\": ");
+                out.push_str(&s.id.to_string());
+                out.push_str(", \"label\": \"");
+                escape_into(&mut out, &s.label);
+                out.push_str("\", \"plan\": \"");
+                escape_into(&mut out, &s.plan);
+                out.push_str(&format!(
+                    "\", \"results\": {}, \"batches\": {}, \"cancelled\": {}, \"counters\": {{",
+                    s.results, s.batches, s.cancelled
+                ));
+                for (j, (k, v)) in s.counters.iter().enumerate() {
+                    if j > 0 {
+                        out.push_str(", ");
+                    }
+                    out.push('"');
+                    escape_into(&mut out, k);
+                    out.push_str("\": ");
+                    out.push_str(&v.to_string());
+                }
+                out.push_str("}}");
+            }
+            out.push_str("\n  ]");
+        }
         out.push_str(",\n  \"queue_series\": [");
         for (i, (results, len)) in self.queue_series.iter().enumerate() {
             if i > 0 {
@@ -512,6 +569,14 @@ impl RunReport {
             Some(JsonValue::Null) | None => None,
             Some(c) => Some(Self::calibration_from_json(c)?),
         };
+        let sessions = match v.get("sessions") {
+            Some(JsonValue::Arr(items)) => items
+                .iter()
+                .map(Self::session_from_json)
+                .collect::<Result<Vec<_>, _>>()?,
+            None | Some(JsonValue::Null) => Vec::new(),
+            _ => return Err(ReportError("sessions is not an array".into())),
+        };
         Ok(Self {
             label,
             host,
@@ -523,6 +588,46 @@ impl RunReport {
             events_recorded,
             profile,
             calibration,
+            sessions,
+        })
+    }
+
+    fn session_from_json(s: &JsonValue) -> Result<SessionSection, ReportError> {
+        let uint = |key: &str| -> Result<u64, ReportError> {
+            s.get(key)
+                .and_then(JsonValue::as_u64)
+                .ok_or_else(|| ReportError(format!("session {key} missing or not a u64")))
+        };
+        let text = |key: &str| -> Result<String, ReportError> {
+            Ok(s.get(key)
+                .and_then(JsonValue::as_str)
+                .ok_or_else(|| ReportError(format!("session {key} missing")))?
+                .to_string())
+        };
+        let counters = match s.get("counters") {
+            Some(JsonValue::Obj(fields)) => fields
+                .iter()
+                .map(|(k, val)| {
+                    val.as_u64().map(|n| (k.clone(), n)).ok_or_else(|| {
+                        ReportError(format!("session counter {k} not a non-negative int"))
+                    })
+                })
+                .collect::<Result<Vec<_>, _>>()?,
+            None => Vec::new(),
+            _ => return Err(ReportError("session counters is not an object".into())),
+        };
+        Ok(SessionSection {
+            id: u32::try_from(uint("id")?)
+                .map_err(|_| ReportError("session id exceeds u32".into()))?,
+            label: text("label")?,
+            plan: text("plan")?,
+            results: uint("results")?,
+            batches: uint("batches")?,
+            cancelled: s
+                .get("cancelled")
+                .and_then(JsonValue::as_bool)
+                .ok_or_else(|| ReportError("session cancelled missing".into()))?,
+            counters,
         })
     }
 
@@ -705,6 +810,19 @@ impl RunReport {
                 if !v.is_finite() || v < 0.0 {
                     return Err(ReportError(format!("plan.calibration.{name} is {v}")));
                 }
+            }
+        }
+        let mut session_ids = Vec::new();
+        for s in &self.sessions {
+            if session_ids.contains(&s.id) {
+                return Err(ReportError(format!("duplicate session id {}", s.id)));
+            }
+            session_ids.push(s.id);
+            if s.plan != "incremental" && s.plan != "bulk" && s.plan != "adaptive" {
+                return Err(ReportError(format!(
+                    "session {} plan {:?} not incremental/bulk/adaptive",
+                    s.id, s.plan
+                )));
             }
         }
         Ok(())
@@ -975,6 +1093,26 @@ mod tests {
                 observed_seconds: 1.25,
                 observed_pairs: 1000,
             }),
+            sessions: vec![
+                SessionSection {
+                    id: 0,
+                    label: "s0".into(),
+                    plan: "incremental".into(),
+                    results: 400,
+                    batches: 7,
+                    cancelled: false,
+                    counters: vec![("buf.accesses".into(), 900), ("pq.bytes_peak".into(), 4096)],
+                },
+                SessionSection {
+                    id: 1,
+                    label: String::new(),
+                    plan: "bulk".into(),
+                    results: 600,
+                    batches: 3,
+                    cancelled: true,
+                    counters: Vec::new(),
+                },
+            ],
         }
     }
 
@@ -991,7 +1129,26 @@ mod tests {
         assert_eq!(back.events_recorded, 42);
         assert_eq!(back.profile, r.profile);
         assert_eq!(back.calibration, r.calibration);
+        assert_eq!(back.sessions, r.sessions);
         back.validate().expect("valid");
+    }
+
+    #[test]
+    fn sessions_section_is_optional_and_validated() {
+        let mut r = sample_report();
+        r.sessions.clear();
+        let json = r.to_json();
+        assert!(!json.contains("\"sessions\""), "empty section omitted");
+        let back = RunReport::from_json(&json).expect("parses");
+        assert!(back.sessions.is_empty());
+
+        let mut dup = sample_report();
+        dup.sessions[1].id = dup.sessions[0].id;
+        assert!(dup.validate().is_err(), "duplicate session id");
+
+        let mut bad = sample_report();
+        bad.sessions[0].plan = "quantum".into();
+        assert!(bad.validate().is_err(), "bad session plan");
     }
 
     #[test]

@@ -60,6 +60,8 @@ pub struct EventCounts {
     pub plan_chosen: u64,
     /// `Replanned` events seen.
     pub replanned: u64,
+    /// `SessionOpened` / `SessionBatch` / `SessionClosed` events seen.
+    pub session: u64,
     /// Elements that migrated into the disk tier (spills).
     pub elems_to_disk: u64,
     /// Elements that migrated out of the disk tier (bucket reloads).
@@ -101,6 +103,9 @@ impl EventCounts {
             Event::RetrySucceeded { .. } => self.retry_succeeded += 1,
             Event::PlanChosen { .. } => self.plan_chosen += 1,
             Event::Replanned { .. } => self.replanned += 1,
+            Event::SessionOpened { .. }
+            | Event::SessionBatch { .. }
+            | Event::SessionClosed { .. } => self.session += 1,
         }
     }
 
@@ -119,6 +124,7 @@ impl EventCounts {
             + self.retry_succeeded
             + self.plan_chosen
             + self.replanned
+            + self.session
     }
 }
 

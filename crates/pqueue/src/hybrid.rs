@@ -169,10 +169,18 @@ impl TierGauges {
     /// Registers (or re-uses) the three tier gauges in `registry`.
     #[must_use]
     pub fn register(registry: &Registry) -> Self {
+        Self::register_prefixed(registry, "")
+    }
+
+    /// Registers the tier gauges under `{prefix}pq.tier.*`. A multi-session
+    /// server passes `session.<id>.` so each cursor's tier occupancy is
+    /// attributed separately in one registry.
+    #[must_use]
+    pub fn register_prefixed(registry: &Registry, prefix: &str) -> Self {
         Self {
-            heap: registry.gauge("pq.tier.heap"),
-            list: registry.gauge("pq.tier.list"),
-            disk: registry.gauge("pq.tier.disk"),
+            heap: registry.gauge(&format!("{prefix}pq.tier.heap")),
+            list: registry.gauge(&format!("{prefix}pq.tier.list")),
+            disk: registry.gauge(&format!("{prefix}pq.tier.disk")),
         }
     }
 }

@@ -201,6 +201,15 @@ impl<const D: usize> RTree<D> {
         self.pool.stats()
     }
 
+    /// Resident frames currently pinned by outstanding page guards (see
+    /// [`sdj_storage::BufferPool::pinned_frames`]); zero when no reader is
+    /// mid-access, which the session service asserts after cancelling a
+    /// cursor over this tree.
+    #[must_use]
+    pub fn pinned_frames(&self) -> usize {
+        self.pool.pinned_frames()
+    }
+
     /// A conservative lower bound on the number of objects in the subtree of
     /// a node at `level` (used by the maximum-distance estimation of
     /// §2.2.4: "derived from the minimum fan-out and the height of the

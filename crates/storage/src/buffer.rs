@@ -96,6 +96,26 @@ impl PoolStats {
         self.faults += o.faults;
         self.retries += o.retries;
     }
+
+    /// The counter deltas accumulated since `baseline` was snapshotted.
+    /// All counters are monotonic, so this is how a session attributes the
+    /// traffic of one serialized pull window on a shared pool to itself.
+    #[must_use]
+    pub fn since(&self, baseline: &PoolStats) -> PoolStats {
+        PoolStats {
+            hits: self.hits - baseline.hits,
+            misses: self.misses - baseline.misses,
+            evictions: self.evictions - baseline.evictions,
+            writebacks: self.writebacks - baseline.writebacks,
+            prefetch_reads: self.prefetch_reads - baseline.prefetch_reads,
+            prefetch_hits: self.prefetch_hits - baseline.prefetch_hits,
+            read_copies: self.read_copies - baseline.read_copies,
+            shared_lock_acquisitions: self.shared_lock_acquisitions
+                - baseline.shared_lock_acquisitions,
+            faults: self.faults - baseline.faults,
+            retries: self.retries - baseline.retries,
+        }
+    }
 }
 
 /// Observability handle for a buffer pool: counters pre-registered under a
@@ -753,6 +773,25 @@ impl BufferPool {
     #[must_use]
     pub fn resident(&self) -> usize {
         self.shards.iter().map(|s| s.lock().map.len()).sum()
+    }
+
+    /// Number of resident frames currently pinned by outstanding
+    /// [`PageGuard`]s. A quiesced pool reads zero; the session service
+    /// asserts exactly that after a cursor is cancelled to prove the
+    /// dropped engine released every pin.
+    #[must_use]
+    pub fn pinned_frames(&self) -> usize {
+        self.shards
+            .iter()
+            .map(|s| {
+                let inner = s.lock();
+                inner
+                    .map
+                    .values()
+                    .filter(|&&idx| inner.frames[idx].pin_count() > 0)
+                    .count()
+            })
+            .sum()
     }
 
     /// Consumes the pool, flushing dirty pages, and returns the pager.

@@ -25,6 +25,10 @@ pub enum StorageError {
     Io { transient: bool },
     /// The simulated disk ran out of space while allocating a page.
     DiskFull,
+    /// A bounded in-memory structure (e.g. the pair-slab arena or a
+    /// per-session queue budget) ran out of capacity. Permanent for the
+    /// query that hit it; the process stays up.
+    ResourceExhausted(&'static str),
 }
 
 impl StorageError {
@@ -56,6 +60,9 @@ impl fmt::Display for StorageError {
             StorageError::Io { transient: true } => write!(f, "transient i/o fault"),
             StorageError::Io { transient: false } => write!(f, "i/o fault"),
             StorageError::DiskFull => write!(f, "disk full"),
+            StorageError::ResourceExhausted(what) => {
+                write!(f, "resource exhausted: {what}")
+            }
         }
     }
 }
@@ -93,6 +100,9 @@ mod tests {
             "transient i/o fault"
         );
         assert_eq!(StorageError::DiskFull.to_string(), "disk full");
+        assert!(StorageError::ResourceExhausted("arena slots")
+            .to_string()
+            .contains("arena slots"));
     }
 
     #[test]
@@ -102,5 +112,6 @@ mod tests {
         assert!(!StorageError::DiskFull.is_transient());
         assert!(!StorageError::Corrupt("x").is_transient());
         assert!(!StorageError::UnknownPage(0).is_transient());
+        assert!(!StorageError::ResourceExhausted("x").is_transient());
     }
 }

@@ -18,6 +18,7 @@
 //! | [`datagen`] | `sdj-datagen` | seeded TIGER-like workload generators |
 //! | [`query`] | `sdj-query` | relations, predicates, `STOP AFTER` queries |
 //! | [`obs`] | `sdj-obs` | events, metrics registry, run reports (DESIGN.md §7) |
+//! | [`service`] | `sdj-service` | concurrent cursor sessions over a shared pool (DESIGN.md §16) |
 //!
 //! See the README for a tour and `DESIGN.md` for the paper-to-module map.
 //!
@@ -46,4 +47,5 @@ pub use sdj_pqueue as pqueue;
 pub use sdj_quadtree as quadtree;
 pub use sdj_query as query;
 pub use sdj_rtree as rtree;
+pub use sdj_service as service;
 pub use sdj_storage as storage;
